@@ -1,0 +1,95 @@
+//! Model-architecture ablation (supporting analysis, not a paper table):
+//! the paper's "RNN" on the security-patch identification task, across
+//! recurrent backbones (GRU vs LSTM) and against the feature-space
+//! ensembles (Random Forest, AdaBoost). Run on the NVD+wild condition of
+//! Table VI.
+
+use patchdb::PatchRecord;
+use patchdb_bench::{
+    build_experiment, build_vocab, features_dataset, print_table, rnn_pairs, split_records,
+};
+use patchdb_ml::{evaluate, AdaBoost, Classifier, ConfusionMatrix, Metrics, RandomForest};
+use patchdb_nn::{Backbone, RnnClassifier, RnnConfig, TokenSequence};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let report = build_experiment(909, false);
+    let db = &report.db;
+    println!("dataset: {}", db.stats());
+
+    let pos: Vec<&PatchRecord> = db.security_patches().collect();
+    let neg: Vec<&PatchRecord> = db.non_security.iter().collect();
+    let (pos_tr, pos_te) = split_records(&pos, 0.8, 1);
+    let (neg_tr, neg_te) = split_records(&neg, 0.8, 2);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push = |name: &str, m: Metrics, secs: f64| {
+        rows.push(vec![
+            name.into(),
+            format!("{:.1}%", 100.0 * m.precision()),
+            format!("{:.1}%", 100.0 * m.recall()),
+            format!("{:.1}%", 100.0 * m.f1()),
+            format!("{secs:.1}s"),
+        ]);
+    };
+
+    // Feature-space models.
+    let train_ds = features_dataset(&pos_tr, &neg_tr);
+    let test_ds = features_dataset(&pos_te, &neg_te);
+    let t = std::time::Instant::now();
+    let mut rf = RandomForest::new(32, 12, 5);
+    rf.fit(&train_ds);
+    push("Random Forest (60 features)", evaluate(&rf, &test_ds), t.elapsed().as_secs_f64());
+
+    let t = std::time::Instant::now();
+    let mut ada = AdaBoost::new(60, 2, 5);
+    ada.fit(&train_ds);
+    push("AdaBoost (60 features)", evaluate(&ada, &test_ds), t.elapsed().as_secs_f64());
+
+    // Token-space models.
+    let vocab = build_vocab(
+        pos.iter().map(|r| &r.patch).chain(neg.iter().map(|r| &r.patch)),
+        4096,
+    );
+    let cfg = RnnConfig {
+        vocab_size: vocab.size().max(64),
+        embed_dim: 24,
+        hidden_dim: 32,
+        epochs: 4,
+        lr: 5e-3,
+        max_len: 160,
+        seed: 9,
+    };
+    let train_pairs = rnn_pairs(&vocab, &pos_tr, &neg_tr);
+    let test_pairs = rnn_pairs(&vocab, &pos_te, &neg_te);
+    let eval_rnn = |model: &RnnClassifier, test: &[(TokenSequence, bool)]| -> Metrics {
+        let mut cm = ConfusionMatrix::default();
+        for (seq, label) in test {
+            cm.record(model.predict(seq), *label);
+        }
+        Metrics::new(cm)
+    };
+
+    for backbone in [Backbone::Gru, Backbone::Lstm] {
+        let t = std::time::Instant::now();
+        let mut model = RnnClassifier::with_backbone(cfg, backbone);
+        model.train(&train_pairs);
+        push(
+            match backbone {
+                Backbone::Gru => "RNN (GRU backbone)",
+                Backbone::Lstm => "RNN (LSTM backbone)",
+            },
+            eval_rnn(&model, &test_pairs),
+            t.elapsed().as_secs_f64(),
+        );
+    }
+
+    print_table(
+        "Ablation: model architectures on NVD+wild identification",
+        &["Model", "Precision", "Recall", "F1", "train time"],
+        &rows,
+    );
+    println!("\nexpected: token-level models beat count-feature models (the paper's");
+    println!("RNN-vs-RF finding); GRU ≈ LSTM with GRU cheaper per step.");
+    println!("\n[ablation_models completed in {:?}]", t0.elapsed());
+}

@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks for the core algorithmic components:
+//! lexing, feature extraction, Levenshtein, Myers diff, nearest link
+//! search (matrix-free vs explicit-matrix ablation), random-forest
+//! training, GRU steps, and the oversampler.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use patchdb_corpus::{ChangeKind, CorpusConfig, GitHubForge};
+use patchdb_features::{extract, euclidean, levenshtein, FeatureVector};
+use patchdb_ml::{Classifier, Dataset, RandomForest};
+use patchdb_nls::{nearest_link_search, nearest_link_search_matrix};
+use patchdb_synth::{synthesize, SynthOptions};
+
+fn sample_changes(n: usize) -> Vec<patchdb_corpus::GeneratedChange> {
+    let forge = GitHubForge::generate(&CorpusConfig::with_total_commits(n * 2, 3));
+    forge
+        .all_commits()
+        .take(n)
+        .map(|(_, c)| forge.materialize(c))
+        .collect()
+}
+
+fn bench_lexer(c: &mut Criterion) {
+    let changes = sample_changes(16);
+    let sources: Vec<String> =
+        changes.iter().flat_map(|ch| ch.after_files.values().cloned()).collect();
+    let bytes: usize = sources.iter().map(String::len).sum();
+    let mut g = c.benchmark_group("clang-lite");
+    g.throughput(criterion::Throughput::Bytes(bytes as u64));
+    g.bench_function("tokenize", |b| {
+        b.iter(|| {
+            for s in &sources {
+                black_box(clang_lite::tokenize(s));
+            }
+        })
+    });
+    g.bench_function("find_if_statements", |b| {
+        b.iter(|| {
+            for s in &sources {
+                black_box(clang_lite::find_if_statements(s));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_features(c: &mut Criterion) {
+    let changes = sample_changes(64);
+    c.bench_function("features/extract-60d", |b| {
+        b.iter(|| {
+            for ch in &changes {
+                black_box(extract(&ch.patch, None));
+            }
+        })
+    });
+}
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let a: Vec<u32> = (0..200).map(|i| i % 17).collect();
+    let bv: Vec<u32> = (0..220).map(|i| (i * 7) % 17).collect();
+    c.bench_function("levenshtein/200x220", |b| {
+        b.iter(|| black_box(levenshtein(&a, &bv)))
+    });
+}
+
+fn bench_myers(c: &mut Criterion) {
+    let changes = sample_changes(16);
+    c.bench_function("myers/diff_files", |b| {
+        b.iter(|| {
+            for ch in &changes {
+                for (path, before) in &ch.before_files {
+                    if let Some(after) = ch.after_files.get(path) {
+                        black_box(patch_core::diff_files(path, before, after, 3));
+                    }
+                }
+            }
+        })
+    });
+}
+
+fn random_features(n: usize, rng: &mut ChaCha8Rng) -> Vec<FeatureVector> {
+    (0..n)
+        .map(|_| {
+            let mut v = FeatureVector::zero();
+            for x in v.as_mut_slice().iter_mut().take(12) {
+                *x = rng.gen_range(-1.0..1.0);
+            }
+            v
+        })
+        .collect()
+}
+
+fn bench_nls(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut g = c.benchmark_group("nearest-link-search");
+    for (m, n) in [(50usize, 1000usize), (100, 4000), (200, 8000)] {
+        let sec = random_features(m, &mut rng);
+        let wild = random_features(n, &mut rng);
+        g.bench_with_input(BenchmarkId::new("matrix-free", format!("{m}x{n}")), &(), |b, ()| {
+            b.iter(|| black_box(nearest_link_search(&sec, &wild)))
+        });
+        // Ablation: explicit matrix (memory-heavy) variant.
+        if m * n <= 800_000 {
+            let matrix: Vec<Vec<f64>> = sec
+                .iter()
+                .map(|s| wild.iter().map(|w| euclidean(s, w)).collect())
+                .collect();
+            g.bench_with_input(BenchmarkId::new("explicit-matrix", format!("{m}x{n}")), &(), |b, ()| {
+                b.iter(|| black_box(nearest_link_search_matrix(&matrix)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let rows: Vec<Vec<f64>> =
+        (0..2000).map(|_| (0..60).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let labels: Vec<bool> = rows.iter().map(|r| r[0] + r[1] > 0.0).collect();
+    let data = Dataset::new(rows, labels).unwrap();
+    c.bench_function("random-forest/fit-2000x60", |b| {
+        b.iter(|| {
+            let mut rf = RandomForest::new(16, 8, 1);
+            rf.fit(&data);
+            black_box(rf.tree_count())
+        })
+    });
+}
+
+fn bench_gru(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let cell = patchdb_nn::GruCell::new(24, 32, &mut rng);
+    let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.37).sin()).collect();
+    let h = vec![0.0; 32];
+    c.bench_function("gru/forward-step", |b| {
+        b.iter(|| black_box(cell.forward(&x, &h)))
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let changes: Vec<_> = sample_changes(64)
+        .into_iter()
+        .filter(|ch| matches!(ch.kind, ChangeKind::Security(_)))
+        .collect();
+    let opts = SynthOptions::default();
+    c.bench_function("oversample/security-patches", |b| {
+        b.iter(|| {
+            for ch in &changes {
+                black_box(synthesize(&ch.patch, &ch.before_files, &ch.after_files, &opts));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lexer, bench_features, bench_levenshtein, bench_myers,
+              bench_nls, bench_forest, bench_gru, bench_synthesis
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Table II — "# of security patches identified in five rounds":
+//! the five-round nearest-link augmentation protocol over Sets I–III.
+//!
+//! Paper (at 6M-commit scale):
+//!
+//! | Set        | Round | Candidates | Verified | Ratio |
+//! |------------|-------|-----------:|---------:|------:|
+//! | I: 100K    | 1     | 4076       | 895      | 22%   |
+//! | I: 100K    | 2     | 4971       | 1235     | 25%   |
+//! | I: 100K    | 3     | 6206       | 993      | 16%   |
+//! | II: 200K   | 4     | 7199       | 2088     | 29%   |
+//! | III: 200K  | 5     | 9287       | 2786     | 30%   |
+//!
+//! Expected shape here (≈1/20 scale): candidates grow round over round,
+//! ratios sit in the low-to-high 20s, and the larger Sets II/III verify at
+//! a higher rate than Set I — ~3× the 6–10% brute-force base rate.
+
+use patchdb_bench::{build_experiment, print_table};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let report = build_experiment(2021, false);
+
+    let rows: Vec<Vec<String>> = report
+        .rounds
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}: {}", r.pool, r.search_range),
+                r.round.to_string(),
+                r.candidates.to_string(),
+                r.verified_security.to_string(),
+                format!("{:.0}%", 100.0 * r.ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table II: security patches identified per augmentation round",
+        &["Search Range", "Round", "Candidates", "Verified Sec.", "Ratio"],
+        &rows,
+    );
+
+    let stats = report.db.stats();
+    println!(
+        "\nfinal dataset: {} NVD-based + {} wild-based security patches, {} cleaned non-security",
+        stats.nvd_security, stats.wild_security, stats.non_security
+    );
+    println!(
+        "base security rate in the wild is ~8%; mean round ratio {:.0}% → ~{:.1}× brute-force efficiency",
+        100.0 * report.rounds.iter().map(|r| r.ratio).sum::<f64>() / report.rounds.len() as f64,
+        report.rounds.iter().map(|r| r.ratio).sum::<f64>() / report.rounds.len() as f64 / 0.08
+    );
+    println!("paper: 22% / 25% / 16% / 29% / 30%, i.e. ~3× over the 6–10% base rate");
+    println!("\n[table2 completed in {:?}]", t0.elapsed());
+}

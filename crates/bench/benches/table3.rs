@@ -1,0 +1,137 @@
+//! Table III — "Comparison with other augmentation methods":
+//! given the NVD-based dataset (positives) and a cleaned non-security set,
+//! how many of each method's candidates from a 200K-scale unlabeled pool
+//! are real security patches?
+//!
+//! Paper: brute force 8%, pseudo labeling 13%, uncertainty-based labeling
+//! 12% (1174 candidates), nearest link search 29%.
+//!
+//! Expected shape here: NLS well above all three baselines; brute force at
+//! the ~8% base rate; model-driven baselines in between (they overfit the
+//! NVD distribution, which differs from the wild's — Section IV-B).
+
+use patchdb_corpus::{GitHubForge, VerificationOracle};
+use patchdb_features::{apply_weights, extract, learn_weights, FeatureVector};
+use patchdb_mine::{collect_wild, mine_nvd, sample_wild};
+use patchdb_nls::{
+    brute_force_candidates, nearest_link_search, pseudo_label_candidates,
+    uncertainty_candidates,
+};
+
+use patchdb_bench::{bench_options, print_table};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let options = bench_options(333);
+    let forge = GitHubForge::generate(&options.corpus);
+    let oracle = VerificationOracle::new(0.02, 77);
+
+    // Labeled data: the NVD-based security set plus ~2× verified
+    // non-security patches (the paper trains on 4076 + 8352).
+    let mined = mine_nvd(&forge);
+    let contexts: std::collections::HashMap<&str, patchdb_features::RepoContext> = forge
+        .repos()
+        .iter()
+        .map(|r| {
+            (r.name.as_str(), patchdb_features::RepoContext {
+                total_files: r.total_files,
+                total_functions: r.total_functions,
+            })
+        })
+        .collect();
+    let nvd_features: Vec<FeatureVector> = mined
+        .patches
+        .iter()
+        .map(|m| extract(&m.patch, contexts.get(m.repo.as_str())))
+        .collect();
+
+    let wild = collect_wild(&forge, &mined.claimed_ids());
+    let neg_source = sample_wild(&wild, 4 * mined.patches.len(), 11);
+    let mut neg_features = Vec::new();
+    for w in &neg_source {
+        if neg_features.len() >= 2 * nvd_features.len() {
+            break;
+        }
+        if !oracle.verify(w.commit) {
+            let change = forge.materialize(w.commit);
+            let patch = change.patch.retain_c_files().unwrap_or(change.patch);
+            neg_features.push(extract(&patch, Some(&w.repo_context())));
+        }
+    }
+
+    // The unlabeled pool (disjoint from the negatives' sample by reseed).
+    let pool_size = (20_000.0 * patchdb_bench::bench_scale()).round() as usize;
+    let pool = sample_wild(&wild, pool_size, 999);
+    let pool_features: Vec<FeatureVector> = pool
+        .iter()
+        .map(|w| {
+            let change = forge.materialize(w.commit);
+            let patch = change.patch.retain_c_files().unwrap_or(change.patch);
+            extract(&patch, Some(&w.repo_context()))
+        })
+        .collect();
+
+    let hit_rate = |candidates: &[usize]| -> f64 {
+        let hits = candidates.iter().filter(|&&i| oracle.verify(pool[i].commit)).count();
+        hits as f64 / candidates.len().max(1) as f64
+    };
+    let k = nvd_features.len();
+
+    // 1. Brute force: a 1K random subset of the whole pool.
+    let bf = brute_force_candidates(pool.len(), 1_000.min(pool.len()), 5);
+    let bf_rate = hit_rate(&bf);
+
+    // 2. Pseudo labeling: top-K most confident Random Forest predictions.
+    let pl = pseudo_label_candidates(&nvd_features, &neg_features, &pool_features, k, 6);
+    let pl_rate = hit_rate(&pl);
+
+    // 3. Uncertainty-based labeling: ten-classifier consensus.
+    let un = uncertainty_candidates(&nvd_features, &neg_features, &pool_features, 7);
+    let un_rate = hit_rate(&un);
+
+    // 4. Nearest link search in the weighted feature space.
+    let weights = learn_weights(nvd_features.iter().chain(pool_features.iter()));
+    let sec_w: Vec<FeatureVector> =
+        nvd_features.iter().map(|v| apply_weights(v, &weights)).collect();
+    let pool_w: Vec<FeatureVector> =
+        pool_features.iter().map(|v| apply_weights(v, &weights)).collect();
+    let nls = nearest_link_search(&sec_w, &pool_w);
+    let nls_rate = hit_rate(&nls);
+
+    print_table(
+        "Table III: comparison with other augmentation methods",
+        &["Method", "Unlabeled", "Candidates", "Security Patches"],
+        &[
+            vec![
+                "Brute Force Search".into(),
+                pool.len().to_string(),
+                pool.len().to_string(),
+                format!("{:.0}%", 100.0 * bf_rate),
+            ],
+            vec![
+                "Pseudo Labeling".into(),
+                pool.len().to_string(),
+                pl.len().to_string(),
+                format!("{:.0}%", 100.0 * pl_rate),
+            ],
+            vec![
+                "Uncertainty-based Labeling".into(),
+                pool.len().to_string(),
+                un.len().to_string(),
+                format!("{:.0}%", 100.0 * un_rate),
+            ],
+            vec![
+                "Nearest Link Search (ours)".into(),
+                pool.len().to_string(),
+                nls.len().to_string(),
+                format!("{:.0}%", 100.0 * nls_rate),
+            ],
+        ],
+    );
+    println!("\npaper:      8% / 13% / 12% / 29%");
+    println!(
+        "efficiency: NLS finds security patches at {:.1}× the brute-force rate (paper ≈3.6×)",
+        nls_rate / bf_rate.max(1e-9)
+    );
+    println!("\n[table3 completed in {:?}]", t0.elapsed());
+}

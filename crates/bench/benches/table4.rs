@@ -1,0 +1,142 @@
+//! Table IV — "Performance w/o or w/ synthetic patches":
+//! does source-level oversampling help the RNN security-patch classifier?
+//!
+//! Paper:
+//!
+//! | Dataset    | Synthetic             | Precision      | Recall        |
+//! |------------|-----------------------|----------------|---------------|
+//! | NVD        | –                     | 82.1%          | 84.8%         |
+//! | NVD        | 17K sec + 20K nonsec  | 86.0% (+3.9)   | 87.2% (+2.4)  |
+//! | NVD+Wild   | –                     | 92.9%          | 61.1%         |
+//! | NVD+Wild   | 58K sec + 129K nonsec | 93.0% (+0.1)   | 61.2% (+0.1)  |
+//!
+//! Expected shape here: a visible improvement from synthetic data on the
+//! small (NVD-only) dataset, and a negligible change on the larger
+//! NVD+wild dataset — "the oversampling technique is effective … if we
+//! only have a small dataset" (Section IV-C).
+
+use patchdb::PatchRecord;
+use patchdb_bench::{build_experiment, build_vocab, print_table, rnn_pairs, split_records};
+use patchdb_ml::{ConfusionMatrix, Metrics};
+use patchdb_nn::{encode_patch, RnnClassifier, RnnConfig, TokenSequence, Vocabulary};
+
+fn rnn_config(vocab: &Vocabulary, seed: u64) -> RnnConfig {
+    RnnConfig {
+        vocab_size: vocab.size().max(64),
+        embed_dim: 24,
+        hidden_dim: 32,
+        epochs: 5,
+        lr: 5e-3,
+        max_len: 160,
+        seed,
+    }
+}
+
+fn eval_rnn(model: &RnnClassifier, test: &[(TokenSequence, bool)]) -> Metrics {
+    let mut cm = ConfusionMatrix::default();
+    for (seq, label) in test {
+        cm.record(model.predict(seq), *label);
+    }
+    Metrics::new(cm)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_condition(
+    name: &str,
+    pos: &[&PatchRecord],
+    neg: &[&PatchRecord],
+    synthetic: &[&patchdb::SyntheticRecord],
+    vocab: &Vocabulary,
+    seed: u64,
+    rows: &mut Vec<Vec<String>>,
+    synth_label: &str,
+) {
+    let (pos_train, pos_test) = split_records(pos, 0.8, seed);
+    let (neg_train, neg_test) = split_records(neg, 0.8, seed ^ 1);
+
+    let train = rnn_pairs(vocab, &pos_train, &neg_train);
+    let test = rnn_pairs(vocab, &pos_test, &neg_test);
+
+    // Without synthetic data.
+    let mut model = RnnClassifier::new(rnn_config(vocab, seed));
+    model.train(&train);
+    let base = eval_rnn(&model, &test);
+    rows.push(vec![
+        name.into(),
+        "-".into(),
+        format!("{:.1}%", 100.0 * base.precision()),
+        format!("{:.1}%", 100.0 * base.recall()),
+    ]);
+
+    // With synthetic data derived from *training* records only (the
+    // paper's "generated solely based on the training set").
+    let train_ids: std::collections::HashSet<_> =
+        pos_train.iter().chain(&neg_train).map(|r| r.commit).collect();
+    let mut augmented = train.clone();
+    let mut n_sec = 0usize;
+    let mut n_nonsec = 0usize;
+    for s in synthetic {
+        if train_ids.contains(&s.derived_from) {
+            augmented.push((encode_patch(&s.patch, vocab), s.is_security));
+            if s.is_security {
+                n_sec += 1;
+            } else {
+                n_nonsec += 1;
+            }
+        }
+    }
+    let mut model2 = RnnClassifier::new(rnn_config(vocab, seed));
+    model2.train(&augmented);
+    let with = eval_rnn(&model2, &test);
+    rows.push(vec![
+        name.into(),
+        format!("{synth_label} ({n_sec} sec + {n_nonsec} nonsec)"),
+        format!(
+            "{:.1}% ({:+.1})",
+            100.0 * with.precision(),
+            100.0 * (with.precision() - base.precision())
+        ),
+        format!(
+            "{:.1}% ({:+.1})",
+            100.0 * with.recall(),
+            100.0 * (with.recall() - base.recall())
+        ),
+    ]);
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let report = build_experiment(404, true);
+    let db = &report.db;
+    println!("dataset: {}", db.stats());
+
+    // Negative partner sets: the cleaned non-security records, split so
+    // the NVD condition gets ~2× negatives (paper: 4076 + 8352) and the
+    // NVD+wild condition gets the rest.
+    let nvd_pos: Vec<&PatchRecord> = db.nvd.iter().collect();
+    let all_pos: Vec<&PatchRecord> = db.security_patches().collect();
+    let negs: Vec<&PatchRecord> = db.non_security.iter().collect();
+    let nvd_neg: Vec<&PatchRecord> =
+        negs.iter().copied().take(2 * nvd_pos.len()).collect();
+
+    let synthetic: Vec<&patchdb::SyntheticRecord> = db.synthetic.iter().collect();
+
+    // One vocabulary over all natural patches keeps conditions comparable.
+    let vocab = build_vocab(
+        all_pos.iter().map(|r| &r.patch).chain(negs.iter().map(|r| &r.patch)),
+        4096,
+    );
+
+    let mut rows = Vec::new();
+    run_condition("NVD", &nvd_pos, &nvd_neg, &synthetic, &vocab, 21, &mut rows, "synth");
+    run_condition("NVD+Wild", &all_pos, &negs, &synthetic, &vocab, 22, &mut rows, "synth");
+
+    print_table(
+        "Table IV: RNN performance w/o and w/ synthetic patches",
+        &["Dataset", "Synthetic Dataset", "Precision", "Recall"],
+        &rows,
+    );
+    println!("\npaper: NVD 82.1→86.0% precision, 84.8→87.2% recall (clear gain);");
+    println!("       NVD+Wild 92.9→93.0%, 61.1→61.2% (no meaningful gain)");
+    println!("\n[table4 completed in {:?}]", t0.elapsed());
+}

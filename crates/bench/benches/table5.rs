@@ -1,0 +1,73 @@
+//! Table V — "Security patch distribution in PatchDB":
+//! the 12-category change-pattern composition of the assembled dataset,
+//! from a 1K sample (as the paper's manual study) — here both via ground
+//! truth (standing in for the three experts) and via the rule-based
+//! automatic classifier.
+//!
+//! Paper (1K sample): type 8 (function calls) 24.4% head; types 1/3/8
+//! together >50%; type 12 (others) 0.8% tail.
+
+use patchdb::{classify_patch, ALL_CATEGORIES};
+use patchdb_bench::{build_experiment, print_table};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Paper values for side-by-side comparison, in Table V order.
+const PAPER: [f64; 12] =
+    [10.8, 9.1, 18.0, 4.8, 9.1, 1.8, 2.6, 24.4, 1.7, 5.0, 12.0, 0.8];
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let report = build_experiment(505, false);
+    let db = &report.db;
+    println!("dataset: {}", db.stats());
+
+    // 1K sample of natural security patches, like the paper's study.
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(55);
+    let mut sample: Vec<&patchdb::PatchRecord> = db.security_patches().collect();
+    sample.shuffle(&mut rng);
+    sample.truncate(1_000);
+
+    let mut truth_counts = [0usize; 12];
+    let mut auto_counts = [0usize; 12];
+    for r in &sample {
+        if let Some(c) = r.truth_category {
+            truth_counts[c.type_id() - 1] += 1;
+        }
+        auto_counts[classify_patch(&r.patch).type_id() - 1] += 1;
+    }
+    let total: usize = truth_counts.iter().sum();
+
+    let rows: Vec<Vec<String>> = ALL_CATEGORIES
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            vec![
+                c.type_id().to_string(),
+                c.label().to_owned(),
+                format!("{:.1}%", 100.0 * truth_counts[i] as f64 / total.max(1) as f64),
+                format!("{:.1}%", 100.0 * auto_counts[i] as f64 / sample.len().max(1) as f64),
+                format!("{:.1}%", PAPER[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table V: security patch distribution in PatchDB (1K sample)",
+        &["ID", "Type of patch pattern", "% (truth)", "% (auto)", "% (paper)"],
+        &rows,
+    );
+
+    // Agreement between automatic classification and ground truth.
+    let agree = sample
+        .iter()
+        .filter(|r| r.truth_category == Some(classify_patch(&r.patch)))
+        .count();
+    println!(
+        "\nrule-based classifier agrees with ground truth on {}/{} = {:.1}% of the sample",
+        agree,
+        sample.len(),
+        100.0 * agree as f64 / sample.len().max(1) as f64
+    );
+    println!("(the paper's three experts cross-checked labels manually)");
+    println!("\n[table5 completed in {:?}]", t0.elapsed());
+}

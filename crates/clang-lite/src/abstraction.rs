@@ -1,0 +1,110 @@
+//! Token abstraction: rewrites identifiers, literals, and call targets to
+//! canonical placeholders so that two code fragments can be compared
+//! modulo naming. Table I computes the hunk-level Levenshtein features
+//! twice — before and after abstraction (features 49–56).
+
+use std::collections::HashMap;
+
+use crate::token::{Token, TokenKind};
+
+/// One abstracted token: the canonical text plus the original.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractedToken {
+    /// The canonical placeholder (`VAR0`, `FUNC1`, `LITERAL`, or the
+    /// original text for keywords/punctuators).
+    pub canon: String,
+    /// The original token text.
+    pub original: String,
+}
+
+/// Abstracts a token stream:
+///
+/// * identifiers used as call targets become `FUNCn`;
+/// * other identifiers become `VARn`;
+/// * all literals become `LITERAL`;
+/// * keywords and punctuators pass through unchanged.
+///
+/// Numbering is first-appearance order and consistent within the stream,
+/// so `a + a` abstracts to `VAR0 + VAR0` while `a + b` gives
+/// `VAR0 + VAR1`.
+///
+/// ```rust
+/// use clang_lite::{abstract_tokens, tokenize};
+/// let a = abstract_tokens(&tokenize("x = foo(x, 3);"));
+/// let canon: Vec<&str> = a.iter().map(|t| t.canon.as_str()).collect();
+/// assert_eq!(canon, ["VAR0", "=", "FUNC0", "(", "VAR0", ",", "LITERAL", ")", ";"]);
+/// ```
+pub fn abstract_tokens(tokens: &[Token]) -> Vec<AbstractedToken> {
+    let mut vars: HashMap<&str, usize> = HashMap::new();
+    let mut funcs: HashMap<&str, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(tokens.len());
+
+    for (i, t) in tokens.iter().enumerate() {
+        let canon = match &t.kind {
+            TokenKind::Ident => {
+                let called = tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+                if called {
+                    let next = funcs.len();
+                    let id = *funcs.entry(t.text.as_str()).or_insert(next);
+                    format!("FUNC{id}")
+                } else {
+                    let next = vars.len();
+                    let id = *vars.entry(t.text.as_str()).or_insert(next);
+                    format!("VAR{id}")
+                }
+            }
+            TokenKind::Int | TokenKind::Float | TokenKind::Str | TokenKind::Char => {
+                "LITERAL".to_owned()
+            }
+            _ => t.text.clone(),
+        };
+        out.push(AbstractedToken { canon, original: t.text.clone() });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn canon(src: &str) -> Vec<String> {
+        abstract_tokens(&tokenize(src)).into_iter().map(|t| t.canon).collect()
+    }
+
+    #[test]
+    fn consistent_numbering() {
+        assert_eq!(canon("a = a + b;"), ["VAR0", "=", "VAR0", "+", "VAR1", ";"]);
+    }
+
+    #[test]
+    fn functions_numbered_separately() {
+        assert_eq!(
+            canon("f(g(x))"),
+            ["FUNC0", "(", "FUNC1", "(", "VAR0", ")", ")"]
+        );
+    }
+
+    #[test]
+    fn same_name_var_and_func_distinct() {
+        // `x` used both as a variable and as a call target.
+        assert_eq!(canon("x = x();"), ["VAR0", "=", "FUNC0", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn literals_collapse() {
+        assert_eq!(canon("1 + 2.0 + \"s\""), ["LITERAL", "+", "LITERAL", "+", "LITERAL"]);
+    }
+
+    #[test]
+    fn keywords_pass_through() {
+        assert_eq!(canon("return x;"), ["return", "VAR0", ";"]);
+    }
+
+    #[test]
+    fn renaming_invariance() {
+        // The whole point: renamed code abstracts identically.
+        assert_eq!(canon("total += item->price;"), canon("sum += node->value;"));
+        assert_ne!(canon("a + a"), canon("a + b"));
+    }
+}

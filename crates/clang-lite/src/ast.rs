@@ -1,0 +1,496 @@
+//! A statement-level AST for C/C++ bodies — the richer structural view on
+//! top of the token stream, playing the role of LLVM's statement nodes
+//! (`IfStmt <line:N, line:N>` etc., Section III-C-2 of the paper).
+//!
+//! The parser is recursive-descent at *statement* granularity: it
+//! understands control-flow statements, blocks, declarations, labels and
+//! jumps, and treats everything else as opaque expression statements. It
+//! is tolerant: unbalanced or exotic input degrades to `Expr` nodes
+//! rather than failing, because patches routinely reference code we only
+//! partially see.
+
+use serde::{Deserialize, Serialize};
+
+use crate::keywords::Keyword;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// The kind of a statement node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StmtKind {
+    /// `if (…) … [else …]`; `children[0]` is the then-branch and
+    /// `children[1]` (when present) the else-branch.
+    If {
+        /// Raw condition text.
+        cond: String,
+        /// Whether an else branch exists.
+        has_else: bool,
+    },
+    /// `while (…) …`.
+    While {
+        /// Raw condition text.
+        cond: String,
+    },
+    /// `do … while (…);`.
+    DoWhile,
+    /// `for (…) …`.
+    For,
+    /// `switch (…) { … }`.
+    Switch,
+    /// `{ … }`.
+    Block,
+    /// `return …;`.
+    Return,
+    /// `goto label;`.
+    Goto,
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// A local declaration (starts with a type keyword).
+    Decl,
+    /// `label:`.
+    Label(String),
+    /// `case …:` / `default:`.
+    CaseLabel,
+    /// Anything else ending in `;`.
+    Expr,
+    /// A stray `;`.
+    Empty,
+}
+
+/// One statement node with its (1-based, inclusive) line extent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stmt {
+    /// What the statement is.
+    pub kind: StmtKind,
+    /// First line of the statement.
+    pub start_line: usize,
+    /// Last line of the statement (including nested bodies).
+    pub end_line: usize,
+    /// Nested statements (branch bodies, block members).
+    pub children: Vec<Stmt>,
+}
+
+impl Stmt {
+    /// Depth-first pre-order iterator over this statement and descendants.
+    pub fn walk(&self) -> Vec<&Stmt> {
+        let mut out = vec![self];
+        for c in &self.children {
+            out.extend(c.walk());
+        }
+        out
+    }
+
+    /// Counts nodes of a given predicate in the subtree.
+    pub fn count_matching(&self, pred: &dyn Fn(&Stmt) -> bool) -> usize {
+        self.walk().into_iter().filter(|s| pred(s)).count()
+    }
+}
+
+/// Parses every balanced `{ … }` body in `src` into statement trees. Top
+/// level returns one [`StmtKind::Block`] per function-ish body found.
+pub fn parse_bodies(src: &str) -> Vec<Stmt> {
+    let tokens = tokenize(src);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut depth = 0isize;
+    while i < tokens.len() {
+        if tokens[i].is_punct("{") {
+            if depth == 0 {
+                let mut cur = Cursor { tokens: &tokens, pos: i };
+                if let Some(stmt) = cur.block() {
+                    out.push(stmt);
+                    i = cur.pos;
+                    continue;
+                }
+            }
+            depth += 1;
+        } else if tokens[i].is_punct("}") {
+            depth -= 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+struct Cursor<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(p))
+    }
+
+    fn line(&self) -> usize {
+        self.peek().map_or(1, |t| t.span.line)
+    }
+
+    /// Consumes a balanced parenthesized group, returning its inner text.
+    fn paren_group(&mut self) -> Option<(String, usize)> {
+        if !self.at_punct("(") {
+            return None;
+        }
+        let mut depth = 0isize;
+        let mut parts: Vec<&str> = Vec::new();
+        let mut end_line = self.line();
+        while let Some(t) = self.bump() {
+            if t.is_punct("(") {
+                depth += 1;
+                if depth > 1 {
+                    parts.push("(");
+                }
+            } else if t.is_punct(")") {
+                depth -= 1;
+                end_line = t.span.end_line;
+                if depth == 0 {
+                    return Some((parts.join(" "), end_line));
+                }
+                parts.push(")");
+            } else {
+                parts.push(t.text.as_str());
+            }
+        }
+        Some((parts.join(" "), end_line)) // unbalanced: tolerate
+    }
+
+    /// Consumes tokens to the next `;` at depth 0, or stops before `}`.
+    fn to_semicolon(&mut self) -> usize {
+        let mut depth = 0isize;
+        let mut end = self.line();
+        while let Some(t) = self.peek() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" => {
+                        if depth == 0 {
+                            return end;
+                        }
+                        depth -= 1;
+                    }
+                    "}" => {
+                        if depth == 0 {
+                            return end;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => {
+                        end = t.span.end_line;
+                        self.bump();
+                        return end;
+                    }
+                    _ => {}
+                }
+            }
+            end = t.span.end_line;
+            self.bump();
+        }
+        end
+    }
+
+    fn block(&mut self) -> Option<Stmt> {
+        if !self.at_punct("{") {
+            return None;
+        }
+        let start = self.line();
+        self.bump();
+        let mut children = Vec::new();
+        let mut end = start;
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct("}") => {
+                    end = t.span.end_line;
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    let before = self.pos;
+                    if let Some(s) = self.stmt() {
+                        end = s.end_line;
+                        // Only keep statements that consumed input; a
+                        // zero-width "statement" (e.g. a stray `)`) would
+                        // otherwise loop forever.
+                        if self.pos > before {
+                            children.push(s);
+                        }
+                    }
+                    if self.pos == before {
+                        // Defensive: never stall.
+                        self.bump();
+                    }
+                }
+            }
+        }
+        Some(Stmt { kind: StmtKind::Block, start_line: start, end_line: end, children })
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        let t = self.peek()?.clone();
+        let start = t.span.line;
+        match &t.kind {
+            TokenKind::Punct if t.text == "{" => self.block(),
+            TokenKind::Punct if t.text == ";" => {
+                self.bump();
+                Some(Stmt { kind: StmtKind::Empty, start_line: start, end_line: start, children: vec![] })
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                let (cond, _) = self.paren_group().unwrap_or_default();
+                let then = self.stmt()?;
+                let mut end = then.end_line;
+                let mut children = vec![then];
+                let mut has_else = false;
+                if self.peek().is_some_and(|n| n.is_keyword(Keyword::Else)) {
+                    self.bump();
+                    has_else = true;
+                    let els = self.stmt()?;
+                    end = els.end_line;
+                    children.push(els);
+                }
+                Some(Stmt {
+                    kind: StmtKind::If { cond, has_else },
+                    start_line: start,
+                    end_line: end,
+                    children,
+                })
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                let (cond, cond_end) = self.paren_group().unwrap_or_default();
+                let body = self.stmt();
+                let (end, children) = match body {
+                    Some(b) => (b.end_line, vec![b]),
+                    None => (cond_end, vec![]),
+                };
+                Some(Stmt { kind: StmtKind::While { cond }, start_line: start, end_line: end, children })
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = self.stmt()?;
+                // `while ( … ) ;`
+                if self.peek().is_some_and(|n| n.is_keyword(Keyword::While)) {
+                    self.bump();
+                    let _ = self.paren_group();
+                }
+                let end = self.to_semicolon().max(body.end_line);
+                Some(Stmt { kind: StmtKind::DoWhile, start_line: start, end_line: end, children: vec![body] })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                let (_, header_end) = self.paren_group().unwrap_or_default();
+                let body = self.stmt();
+                let (end, children) = match body {
+                    Some(b) => (b.end_line, vec![b]),
+                    None => (header_end, vec![]),
+                };
+                Some(Stmt { kind: StmtKind::For, start_line: start, end_line: end, children })
+            }
+            TokenKind::Keyword(Keyword::Switch) => {
+                self.bump();
+                let _ = self.paren_group();
+                let body = self.stmt();
+                let (end, children) = match body {
+                    Some(b) => (b.end_line, vec![b]),
+                    None => (start, vec![]),
+                };
+                Some(Stmt { kind: StmtKind::Switch, start_line: start, end_line: end, children })
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let end = self.to_semicolon();
+                Some(Stmt { kind: StmtKind::Return, start_line: start, end_line: end, children: vec![] })
+            }
+            TokenKind::Keyword(Keyword::Goto) => {
+                self.bump();
+                let end = self.to_semicolon();
+                Some(Stmt { kind: StmtKind::Goto, start_line: start, end_line: end, children: vec![] })
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                let end = self.to_semicolon();
+                Some(Stmt { kind: StmtKind::Break, start_line: start, end_line: end, children: vec![] })
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                let end = self.to_semicolon();
+                Some(Stmt { kind: StmtKind::Continue, start_line: start, end_line: end, children: vec![] })
+            }
+            TokenKind::Keyword(Keyword::Case) | TokenKind::Keyword(Keyword::Default) => {
+                self.bump();
+                // Consume to the `:` so the following statements parse on
+                // their own.
+                while let Some(n) = self.peek() {
+                    let done = n.is_punct(":");
+                    let end = n.span.end_line;
+                    self.bump();
+                    if done {
+                        return Some(Stmt {
+                            kind: StmtKind::CaseLabel,
+                            start_line: start,
+                            end_line: end,
+                            children: vec![],
+                        });
+                    }
+                }
+                None
+            }
+            TokenKind::Keyword(kw) if kw.is_type() => {
+                let end = self.to_semicolon();
+                Some(Stmt { kind: StmtKind::Decl, start_line: start, end_line: end, children: vec![] })
+            }
+            TokenKind::Ident => {
+                // Label? `ident :` not followed by another `:` (avoid `::`).
+                let next = self.tokens.get(self.pos + 1);
+                let next2 = self.tokens.get(self.pos + 2);
+                if next.is_some_and(|n| n.is_punct(":")) && !next2.is_some_and(|n| n.is_punct(":"))
+                {
+                    let name = t.text.clone();
+                    self.bump();
+                    let colon_end = self.peek().map_or(start, |c| c.span.end_line);
+                    self.bump();
+                    return Some(Stmt {
+                        kind: StmtKind::Label(name),
+                        start_line: start,
+                        end_line: colon_end,
+                        children: vec![],
+                    });
+                }
+                let end = self.to_semicolon();
+                Some(Stmt { kind: StmtKind::Expr, start_line: start, end_line: end, children: vec![] })
+            }
+            _ => {
+                let end = self.to_semicolon();
+                Some(Stmt { kind: StmtKind::Expr, start_line: start, end_line: end, children: vec![] })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"int f(struct s *p, int n)
+{
+    int i = 0;
+    if (!p)
+        return -1;
+    for (i = 0; i < n; i++) {
+        if (p->data[i] == 0)
+            break;
+        use(p, i);
+    }
+    while (n > 0)
+        n--;
+    do {
+        step();
+    } while (more());
+    switch (n) {
+    case 0:
+        return 0;
+    default:
+        break;
+    }
+out:
+    cleanup(p);
+    goto out;
+}
+"#;
+
+    fn body() -> Stmt {
+        let bodies = parse_bodies(SRC);
+        assert_eq!(bodies.len(), 1, "{bodies:#?}");
+        bodies.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parses_all_statement_kinds() {
+        let b = body();
+        let kinds: Vec<&StmtKind> = b.walk().into_iter().map(|s| &s.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::If { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::For)));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::While { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::DoWhile)));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::Switch)));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::Goto)));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::Label(n) if n == "out")));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::CaseLabel)));
+        assert!(kinds.iter().any(|k| matches!(k, StmtKind::Decl)));
+    }
+
+    #[test]
+    fn if_extents_match_find_if_statements() {
+        let b = body();
+        let ast_ifs: Vec<(usize, usize)> = b
+            .walk()
+            .into_iter()
+            .filter(|s| matches!(s.kind, StmtKind::If { .. }))
+            .map(|s| (s.start_line, s.end_line))
+            .collect();
+        let finder_ifs: Vec<(usize, usize)> = crate::structure::find_if_statements(SRC)
+            .into_iter()
+            .map(|s| (s.line(), s.end_line))
+            .collect();
+        assert_eq!(ast_ifs, finder_ifs, "AST and finder disagree");
+    }
+
+    #[test]
+    fn condition_text_recovered() {
+        let b = body();
+        let conds: Vec<String> = b
+            .walk()
+            .into_iter()
+            .filter_map(|s| match &s.kind {
+                StmtKind::If { cond, .. } => Some(cond.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(conds.iter().any(|c| c.contains('!') && c.contains('p')), "{conds:?}");
+    }
+
+    #[test]
+    fn else_branch_counted() {
+        let src = "void g(int a) {\n    if (a)\n        x();\n    else {\n        y();\n    }\n}\n";
+        let b = parse_bodies(src).remove(0);
+        let ifs: Vec<&Stmt> = b
+            .walk()
+            .into_iter()
+            .filter(|s| matches!(s.kind, StmtKind::If { .. }))
+            .collect();
+        assert_eq!(ifs.len(), 1);
+        assert!(matches!(ifs[0].kind, StmtKind::If { has_else: true, .. }));
+        assert_eq!(ifs[0].children.len(), 2);
+        assert_eq!(ifs[0].end_line, 6);
+    }
+
+    #[test]
+    fn tolerant_on_garbage() {
+        for junk in ["{", "{ if ( } ", "{ do until done }", "{{{{", "{ case }"] {
+            let _ = parse_bodies(junk); // must not panic or hang
+        }
+    }
+
+    #[test]
+    fn counting_helper() {
+        let b = body();
+        let jumps = b.count_matching(&|s| {
+            matches!(s.kind, StmtKind::Return | StmtKind::Break | StmtKind::Goto)
+        });
+        assert!(jumps >= 4, "{jumps}");
+    }
+}

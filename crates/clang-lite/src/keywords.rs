@@ -1,0 +1,181 @@
+//! C and C++ reserved words, grouped the way the feature extractor needs
+//! them (control flow, loops, jumps, types, memory management).
+
+use serde::{Deserialize, Serialize};
+
+/// A recognized C/C++ keyword.
+///
+/// Only the keywords the PatchDB pipelines care about get their own
+/// variant; everything else lexes as [`Keyword::Other`] with the original
+/// text preserved on the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are the keywords themselves
+pub enum Keyword {
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Switch,
+    Case,
+    Default,
+    Break,
+    Continue,
+    Return,
+    Goto,
+    Sizeof,
+    New,
+    Delete,
+    Struct,
+    Union,
+    Enum,
+    Typedef,
+    Static,
+    Const,
+    Void,
+    Int,
+    Char,
+    Float,
+    Double,
+    Long,
+    Short,
+    Unsigned,
+    Signed,
+    Bool,
+    True,
+    False,
+    Nullptr,
+    /// Any other reserved word (`extern`, `volatile`, `template`, …).
+    Other,
+}
+
+/// Maps an identifier-shaped string to its keyword, if it is one.
+pub fn keyword_of(text: &str) -> Option<Keyword> {
+    use Keyword::*;
+    Some(match text {
+        "if" => If,
+        "else" => Else,
+        "for" => For,
+        "while" => While,
+        "do" => Do,
+        "switch" => Switch,
+        "case" => Case,
+        "default" => Default,
+        "break" => Break,
+        "continue" => Continue,
+        "return" => Return,
+        "goto" => Goto,
+        "sizeof" => Sizeof,
+        "new" => New,
+        "delete" => Delete,
+        "struct" => Struct,
+        "union" => Union,
+        "enum" => Enum,
+        "typedef" => Typedef,
+        "static" => Static,
+        "const" => Const,
+        "void" => Void,
+        "int" => Int,
+        "char" => Char,
+        "float" => Float,
+        "double" => Double,
+        "long" => Long,
+        "short" => Short,
+        "unsigned" => Unsigned,
+        "signed" => Signed,
+        "bool" => Bool,
+        "true" => True,
+        "false" => False,
+        "nullptr" => Nullptr,
+        // The long tail of reserved words we recognize but do not
+        // distinguish.
+        "auto" | "register" | "extern" | "volatile" | "inline" | "restrict"
+        | "_Bool" | "_Complex" | "_Atomic" | "_Noreturn" | "_Static_assert"
+        | "_Thread_local" | "class" | "namespace" | "template" | "typename"
+        | "public" | "private" | "protected" | "virtual" | "override"
+        | "final" | "operator" | "this" | "throw" | "try" | "catch"
+        | "using" | "friend" | "constexpr" | "decltype" | "noexcept"
+        | "static_cast" | "dynamic_cast" | "const_cast" | "reinterpret_cast"
+        | "explicit" | "mutable" | "wchar_t" | "char16_t" | "char32_t"
+        | "alignas" | "alignof" | "static_assert" | "thread_local"
+        | "NULL" => Other,
+        _ => return None,
+    })
+}
+
+/// True when `text` is any recognized reserved word.
+///
+/// `NULL` is treated as a keyword (it is a macro in real C, but behaves as
+/// a null-pointer literal for feature purposes, as the paper's null-check
+/// category requires).
+pub fn is_keyword(text: &str) -> bool {
+    keyword_of(text).is_some()
+}
+
+impl Keyword {
+    /// True for the loop-introducing keywords (`for`, `while`, `do`),
+    /// Table I features 15–18.
+    pub fn is_loop(self) -> bool {
+        matches!(self, Keyword::For | Keyword::While | Keyword::Do)
+    }
+
+    /// True for jump statements (`break`, `continue`, `return`, `goto`),
+    /// the paper's Type-9 patch pattern evidence.
+    pub fn is_jump(self) -> bool {
+        matches!(
+            self,
+            Keyword::Break | Keyword::Continue | Keyword::Return | Keyword::Goto
+        )
+    }
+
+    /// True for type-introducing keywords, used when detecting variable
+    /// definitions (the paper's Type-4 pattern).
+    pub fn is_type(self) -> bool {
+        matches!(
+            self,
+            Keyword::Void
+                | Keyword::Int
+                | Keyword::Char
+                | Keyword::Float
+                | Keyword::Double
+                | Keyword::Long
+                | Keyword::Short
+                | Keyword::Unsigned
+                | Keyword::Signed
+                | Keyword::Bool
+                | Keyword::Struct
+                | Keyword::Union
+                | Keyword::Enum
+                | Keyword::Const
+                | Keyword::Static
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizes_core_keywords() {
+        assert_eq!(keyword_of("if"), Some(Keyword::If));
+        assert_eq!(keyword_of("while"), Some(Keyword::While));
+        assert_eq!(keyword_of("template"), Some(Keyword::Other));
+        assert_eq!(keyword_of("banana"), None);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Keyword::For.is_loop());
+        assert!(!Keyword::If.is_loop());
+        assert!(Keyword::Goto.is_jump());
+        assert!(Keyword::Unsigned.is_type());
+        assert!(!Keyword::Return.is_type());
+    }
+
+    #[test]
+    fn null_is_keywordish() {
+        assert!(is_keyword("NULL"));
+        assert!(!is_keyword("null"));
+    }
+}

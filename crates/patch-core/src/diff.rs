@@ -1,0 +1,318 @@
+//! Myers O(ND) diff between two texts, grouped into context hunks.
+//!
+//! The synthetic corpus generates *file pairs* (before/after a change) and
+//! needs real unified diffs out of them — the same artifact `git show`
+//! would produce. This module provides that path.
+
+use crate::hunk::{Hunk, Line};
+use crate::patch::FileDiff;
+use crate::split_lines;
+
+/// One edit-script operation over line indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Lines `old[i]` and `new[j]` match (indices into the line arrays).
+    Equal(usize, usize),
+    /// Line `old[i]` was deleted.
+    Delete(usize),
+    /// Line `new[j]` was inserted.
+    Insert(usize),
+}
+
+/// Computes a minimal line-level edit script between `old` and `new`
+/// using Myers' greedy O(ND) algorithm.
+///
+/// The result replays `old` into `new`: equal ops advance both sides,
+/// deletes consume `old`, inserts consume `new`.
+pub fn diff_lines(old: &[&str], new: &[&str]) -> Vec<EditOp> {
+    let n = old.len() as isize;
+    let m = new.len() as isize;
+    let max = n + m;
+    if max == 0 {
+        return Vec::new();
+    }
+
+    // v[k + offset] = furthest x on diagonal k. `trace[d]` is the v array
+    // as it stood entering depth d of the forward pass, which is exactly
+    // what the backtracking pass needs.
+    let offset = max;
+    let mut v = vec![0isize; (2 * max + 1) as usize];
+    let mut trace: Vec<Vec<isize>> = Vec::new();
+
+    'outer: for d in 0..=max {
+        trace.push(v.clone());
+        let mut k = -d;
+        while k <= d {
+            let idx = (k + offset) as usize;
+            let mut x = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1]
+            } else {
+                v[idx - 1] + 1
+            };
+            let mut y = x - k;
+            while x < n && y < m && old[x as usize] == new[y as usize] {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                break 'outer;
+            }
+            k += 2;
+        }
+    }
+    // The final v (post-break) is needed for the deepest backtrack step.
+    trace.push(v);
+
+    // Backtrack from (n, m) following the move that produced each depth.
+    let mut ops = Vec::new();
+    let (mut x, mut y) = (n, m);
+    for d in (0..trace.len() as isize - 1).rev() {
+        let vd = &trace[d as usize];
+        let k = x - y;
+        let prev_k = if k == -d
+            || (k != d && vd[(k - 1 + offset) as usize] < vd[(k + 1 + offset) as usize])
+        {
+            k + 1
+        } else {
+            k - 1
+        };
+        let prev_x = vd[(prev_k + offset) as usize];
+        let prev_y = prev_x - prev_k;
+
+        // Diagonal snake back to the move's landing point.
+        while x > prev_x && y > prev_y {
+            x -= 1;
+            y -= 1;
+            ops.push(EditOp::Equal(x as usize, y as usize));
+        }
+        if d > 0 {
+            if x == prev_x {
+                // Down move: insertion of new[prev_y].
+                ops.push(EditOp::Insert(prev_y as usize));
+            } else {
+                // Right move: deletion of old[prev_x].
+                ops.push(EditOp::Delete(prev_x as usize));
+            }
+        }
+        x = prev_x;
+        y = prev_y;
+    }
+    // Leading snake before the first edit (d == 0 row).
+    while x > 0 && y > 0 {
+        x -= 1;
+        y -= 1;
+        ops.push(EditOp::Equal(x as usize, y as usize));
+    }
+    ops.reverse();
+    ops
+}
+
+/// Diffs two file contents and groups the edit script into hunks with
+/// `context` lines of surrounding context (3 matches Git's default).
+///
+/// Returns a [`FileDiff`] with no hunks when the files are identical.
+pub fn diff_files(path: &str, old_text: &str, new_text: &str, context: usize) -> FileDiff {
+    let old = split_lines(old_text);
+    let new = split_lines(new_text);
+    let ops = diff_lines(&old, &new);
+
+    let mut hunks: Vec<Hunk> = Vec::new();
+    let mut i = 0usize;
+    // 0-based counts of old/new lines consumed before op `i`.
+    let mut old_pos = 0usize;
+    let mut new_pos = 0usize;
+
+    while i < ops.len() {
+        // Skip to the next non-equal op.
+        if let EditOp::Equal(..) = ops[i] {
+            old_pos += 1;
+            new_pos += 1;
+            i += 1;
+            continue;
+        }
+
+        // A change group starts; back up `context` equal ops.
+        let group_start = i;
+        let mut ctx_start = group_start;
+        let mut back = 0;
+        while ctx_start > 0 && back < context {
+            match ops[ctx_start - 1] {
+                EditOp::Equal(..) => {
+                    ctx_start -= 1;
+                    back += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // Extend the group forward, merging changes separated by fewer than
+        // 2 * context equal lines (matching diff -u's hunk merging).
+        let mut end = group_start;
+        let mut last_change = group_start;
+        while end < ops.len() {
+            match ops[end] {
+                EditOp::Equal(..) => {
+                    if end - last_change > 2 * context {
+                        break;
+                    }
+                }
+                _ => last_change = end,
+            }
+            end += 1;
+        }
+        let ctx_end = (last_change + 1 + context).min(ops.len());
+
+        // Positions at the (backed-up) start of the hunk. Each backed-up op
+        // is an Equal, consuming one line on both sides.
+        let hunk_old_pos = old_pos - back;
+        let hunk_new_pos = new_pos - back;
+
+        // Build the hunk body, advancing the running positions through to
+        // the end of the group.
+        let mut lines = Vec::new();
+        let mut old_count = 0usize;
+        let mut new_count = 0usize;
+        old_pos = hunk_old_pos;
+        new_pos = hunk_new_pos;
+        for op in &ops[ctx_start..ctx_end] {
+            match *op {
+                EditOp::Equal(oi, _) => {
+                    old_count += 1;
+                    new_count += 1;
+                    old_pos += 1;
+                    new_pos += 1;
+                    lines.push(Line::context(old[oi]));
+                }
+                EditOp::Delete(oi) => {
+                    old_count += 1;
+                    old_pos += 1;
+                    lines.push(Line::removed(old[oi]));
+                }
+                EditOp::Insert(ni) => {
+                    new_count += 1;
+                    new_pos += 1;
+                    lines.push(Line::added(new[ni]));
+                }
+            }
+        }
+        // Unified-diff convention: a zero-count range's start is the line
+        // *after which* the change applies (0 allowed); otherwise the first
+        // line covered, 1-based.
+        let old_start = if old_count == 0 { hunk_old_pos } else { hunk_old_pos + 1 };
+        let new_start = if new_count == 0 { hunk_new_pos } else { hunk_new_pos + 1 };
+
+        hunks.push(Hunk {
+            old_start,
+            old_count,
+            new_start,
+            new_count,
+            section: String::new(),
+            lines,
+        });
+        i = ctx_end;
+    }
+
+    FileDiff::new(path, hunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply_file_diff;
+
+    fn replay(old: &[&str], new: &[&str]) {
+        let ops = diff_lines(old, new);
+        let mut rebuilt = Vec::new();
+        let mut oi = 0;
+        for op in &ops {
+            match *op {
+                EditOp::Equal(o, n) => {
+                    assert_eq!(old[o], new[n]);
+                    assert_eq!(o, oi);
+                    rebuilt.push(new[n]);
+                    oi += 1;
+                }
+                EditOp::Delete(o) => {
+                    assert_eq!(o, oi);
+                    oi += 1;
+                }
+                EditOp::Insert(n) => rebuilt.push(new[n]),
+            }
+        }
+        assert_eq!(oi, old.len());
+        assert_eq!(rebuilt, new);
+    }
+
+    #[test]
+    fn edit_script_replays() {
+        replay(&["a", "b", "c"], &["a", "x", "c"]);
+        replay(&[], &["a"]);
+        replay(&["a"], &[]);
+        replay(&["a", "b"], &["a", "b"]);
+        replay(&["a", "b", "c", "d"], &["c", "d", "a", "b"]);
+        replay(&["x"; 5], &["x"; 7]);
+    }
+
+    #[test]
+    fn identical_files_produce_no_hunks() {
+        let d = diff_files("a.c", "x\ny\n", "x\ny\n", 3);
+        assert!(d.hunks.is_empty());
+    }
+
+    #[test]
+    fn diff_then_apply_round_trips() {
+        let old = "a\nb\nc\nd\ne\nf\ng\nh\n";
+        let new = "a\nb\nC\nd\ne\nf\nG\nh\nI\n";
+        let d = diff_files("a.c", old, new, 1);
+        assert!(d.validate().is_ok(), "{:?}", d.validate());
+        let rebuilt = apply_file_diff(&d, old).unwrap();
+        assert_eq!(rebuilt, new);
+    }
+
+    #[test]
+    fn distant_changes_become_separate_hunks() {
+        let old: Vec<String> = (0..40).map(|i| format!("line{i}")).collect();
+        let mut new = old.clone();
+        new[2] = "changed-a".into();
+        new[30] = "changed-b".into();
+        let old_text = crate::join_lines(&old);
+        let new_text = crate::join_lines(&new);
+        let d = diff_files("a.c", &old_text, &new_text, 3);
+        assert_eq!(d.hunks.len(), 2);
+        let rebuilt = apply_file_diff(&d, &old_text).unwrap();
+        assert_eq!(rebuilt, new_text);
+    }
+
+    #[test]
+    fn close_changes_merge_into_one_hunk() {
+        let old: Vec<String> = (0..12).map(|i| format!("line{i}")).collect();
+        let mut new = old.clone();
+        new[4] = "x".into();
+        new[7] = "y".into();
+        let d = diff_files("a.c", &crate::join_lines(&old), &crate::join_lines(&new), 3);
+        assert_eq!(d.hunks.len(), 1);
+    }
+
+    #[test]
+    fn pure_insertion_at_start() {
+        let old = "b\nc\n";
+        let new = "a\nb\nc\n";
+        let d = diff_files("a.c", old, new, 3);
+        assert_eq!(apply_file_diff(&d, old).unwrap(), new);
+    }
+
+    #[test]
+    fn pure_deletion_to_empty() {
+        let old = "a\nb\n";
+        let d = diff_files("a.c", old, "", 3);
+        assert_eq!(apply_file_diff(&d, old).unwrap(), "");
+    }
+
+    #[test]
+    fn creation_from_empty() {
+        let new = "a\nb\n";
+        let d = diff_files("a.c", "", new, 3);
+        assert_eq!(apply_file_diff(&d, "").unwrap(), new);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for parsing unified diffs.
+
+use std::fmt;
+
+/// Error produced when parsing a unified diff / commit patch fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParsePatchError {
+    /// A `commit <hash>` header carried something that is not 40 hex digits.
+    InvalidCommitId(String),
+    /// A `@@ -a,b +c,d @@` hunk header could not be parsed.
+    InvalidHunkHeader {
+        /// 1-based line number within the patch text.
+        line: usize,
+        /// The offending header text.
+        text: String,
+    },
+    /// A body line did not start with ` `, `+`, `-`, or `\`.
+    InvalidBodyLine {
+        /// 1-based line number within the patch text.
+        line: usize,
+        /// The offending body text.
+        text: String,
+    },
+    /// A hunk declared more old/new lines than its body supplied.
+    TruncatedHunk {
+        /// 1-based line number where the hunk started.
+        line: usize,
+    },
+    /// The patch text contained no `diff --git` sections at all.
+    NoFileDiffs,
+    /// A `diff --git` header was malformed.
+    InvalidDiffHeader {
+        /// 1-based line number within the patch text.
+        line: usize,
+        /// The offending header text.
+        text: String,
+    },
+}
+
+impl fmt::Display for ParsePatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePatchError::InvalidCommitId(s) => {
+                write!(f, "invalid commit id: {s:?} (expected 40 hex digits)")
+            }
+            ParsePatchError::InvalidHunkHeader { line, text } => {
+                write!(f, "invalid hunk header at line {line}: {text:?}")
+            }
+            ParsePatchError::InvalidBodyLine { line, text } => {
+                write!(f, "invalid body line at line {line}: {text:?}")
+            }
+            ParsePatchError::TruncatedHunk { line } => {
+                write!(f, "hunk starting at line {line} ends before its declared length")
+            }
+            ParsePatchError::NoFileDiffs => write!(f, "patch contains no file diffs"),
+            ParsePatchError::InvalidDiffHeader { line, text } => {
+                write!(f, "invalid diff header at line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParsePatchError {}

@@ -1,0 +1,268 @@
+//! Patches (commits) and per-file diffs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::commit::CommitId;
+use crate::error::ParsePatchError;
+use crate::hunk::Hunk;
+
+/// File extensions the PatchDB pipeline treats as C/C++ source
+/// (Section III-A: `.c`, `.cpp`, `.h`, `.hpp`, plus common variants).
+pub(crate) const C_EXTENSIONS: &[&str] = &["c", "cc", "cpp", "cxx", "h", "hh", "hpp", "hxx"];
+
+/// The diff of one file within a patch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FileDiff {
+    /// Path of the file in the old tree (without the `a/` prefix).
+    pub old_path: String,
+    /// Path of the file in the new tree (without the `b/` prefix).
+    pub new_path: String,
+    /// Abbreviated blob ids as they appear on the `index` line, if any.
+    pub index: Option<String>,
+    /// The file's hunks, in old-file order.
+    pub hunks: Vec<Hunk>,
+}
+
+impl FileDiff {
+    /// Creates a diff for a file modified in place.
+    pub fn new(path: impl Into<String>, hunks: Vec<Hunk>) -> Self {
+        let path = path.into();
+        FileDiff { old_path: path.clone(), new_path: path, index: None, hunks }
+    }
+
+    /// True when the file looks like C/C++ source per the paper's filter.
+    ///
+    /// ```rust
+    /// use patch_core::FileDiff;
+    /// assert!(FileDiff::new("src/bits.c", vec![]).is_c_family());
+    /// assert!(!FileDiff::new("ChangeLog", vec![]).is_c_family());
+    /// assert!(!FileDiff::new("configure.sh", vec![]).is_c_family());
+    /// ```
+    pub fn is_c_family(&self) -> bool {
+        let ext = |p: &str| p.rsplit_once('.').map(|(_, e)| e.to_ascii_lowercase());
+        match (ext(&self.old_path), ext(&self.new_path)) {
+            (Some(a), _) if C_EXTENSIONS.contains(&a.as_str()) => true,
+            (_, Some(b)) if C_EXTENSIONS.contains(&b.as_str()) => true,
+            _ => false,
+        }
+    }
+
+    /// Iterates over all added lines across hunks.
+    pub fn added_lines(&self) -> impl Iterator<Item = &crate::Line> {
+        self.hunks.iter().flat_map(|h| h.added())
+    }
+
+    /// Iterates over all removed lines across hunks.
+    pub fn removed_lines(&self) -> impl Iterator<Item = &crate::Line> {
+        self.hunks.iter().flat_map(|h| h.removed())
+    }
+
+    /// Validates every hunk's declared counts and ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut prev_end = 0usize;
+        for (i, h) in self.hunks.iter().enumerate() {
+            h.validate().map_err(|e| format!("hunk {i}: {e}"))?;
+            // A zero-count old range at `start` sits *after* old line `start`
+            // and occupies no lines; treat its begin as `start + 1`.
+            let begin = if h.old_count == 0 { h.old_start + 1 } else { h.old_start };
+            if begin <= prev_end {
+                return Err(format!("hunk {i} overlaps or is out of order"));
+            }
+            prev_end = if h.old_count == 0 {
+                h.old_start
+            } else {
+                h.old_start + h.old_count - 1
+            };
+        }
+        Ok(())
+    }
+}
+
+/// A patch: one commit's metadata plus its file diffs.
+///
+/// Matches the textual form PatchDB downloads from
+/// `https://github.com/{owner}/{repo}/commit/{hash}.patch`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Patch {
+    /// The commit hash identifying the patch.
+    pub commit: CommitId,
+    /// The commit message (subject and body, newline separated).
+    pub message: String,
+    /// Per-file diffs.
+    pub files: Vec<FileDiff>,
+}
+
+impl Patch {
+    /// Starts building a patch from a commit hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `commit` is not 40 hex digits; use [`PatchBuilder::new`]
+    /// with a pre-parsed [`CommitId`] for fallible construction.
+    pub fn builder(commit: impl AsRef<str>) -> PatchBuilder {
+        PatchBuilder::new(
+            commit
+                .as_ref()
+                .parse()
+                .expect("Patch::builder requires a valid 40-hex commit id"),
+        )
+    }
+
+    /// Parses the textual form produced by `git format-patch` /
+    /// `github.com/.../commit/<hash>.patch` (and by [`Patch::to_unified_string`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePatchError`] when headers or hunk bodies are malformed.
+    pub fn parse(text: &str) -> Result<Self, ParsePatchError> {
+        crate::parser::parse_patch(text)
+    }
+
+    /// Renders the patch back to its textual unified-diff form.
+    pub fn to_unified_string(&self) -> String {
+        crate::printer::print_patch(self)
+    }
+
+    /// Total number of hunks across all files.
+    pub fn hunk_count(&self) -> usize {
+        self.files.iter().map(|f| f.hunks.len()).sum()
+    }
+
+    /// Iterates over all hunks across all files.
+    pub fn hunks(&self) -> impl Iterator<Item = &Hunk> {
+        self.files.iter().flat_map(|f| f.hunks.iter())
+    }
+
+    /// Returns a copy with non-C/C++ file diffs removed, mirroring the
+    /// paper's cleaning step (Section III-A: drop `.changelog`, `.sh`, …).
+    ///
+    /// Returns `None` when nothing C-like remains.
+    pub fn retain_c_files(&self) -> Option<Patch> {
+        let files: Vec<FileDiff> =
+            self.files.iter().filter(|f| f.is_c_family()).cloned().collect();
+        if files.is_empty() {
+            None
+        } else {
+            Some(Patch { commit: self.commit, message: self.message.clone(), files })
+        }
+    }
+
+    /// Validates all file diffs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        for f in &self.files {
+            f.validate().map_err(|e| format!("{}: {e}", f.new_path))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Patch`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct PatchBuilder {
+    commit: CommitId,
+    message: String,
+    files: Vec<FileDiff>,
+}
+
+impl PatchBuilder {
+    /// Creates a builder for the given commit id.
+    pub fn new(commit: CommitId) -> Self {
+        PatchBuilder { commit, message: String::new(), files: Vec::new() }
+    }
+
+    /// Sets the commit message.
+    pub fn message(mut self, message: impl Into<String>) -> Self {
+        self.message = message.into();
+        self
+    }
+
+    /// Appends a file diff.
+    pub fn file(mut self, file: FileDiff) -> Self {
+        self.files.push(file);
+        self
+    }
+
+    /// Appends several file diffs.
+    pub fn files(mut self, files: impl IntoIterator<Item = FileDiff>) -> Self {
+        self.files.extend(files);
+        self
+    }
+
+    /// Finishes building the patch.
+    pub fn build(self) -> Patch {
+        Patch { commit: self.commit, message: self.message, files: self.files }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hunk::{Hunk, Line};
+
+    fn hunk() -> Hunk {
+        Hunk {
+            old_start: 1,
+            old_count: 2,
+            new_start: 1,
+            new_count: 2,
+            section: String::new(),
+            lines: vec![Line::context("a"), Line::removed("b"), Line::added("c")],
+        }
+    }
+
+    #[test]
+    fn c_family_detection() {
+        for p in ["x.c", "x.CPP", "a/b/c.hpp", "y.cc", "z.hxx"] {
+            assert!(FileDiff::new(p, vec![]).is_c_family(), "{p}");
+        }
+        for p in ["ChangeLog", "build.sh", "test.phpt", "Kconfig", "a.rs"] {
+            assert!(!FileDiff::new(p, vec![]).is_c_family(), "{p}");
+        }
+    }
+
+    #[test]
+    fn retain_c_files_strips_docs() {
+        let p = Patch::builder("0".repeat(40))
+            .file(FileDiff::new("src/x.c", vec![hunk()]))
+            .file(FileDiff::new("doc/ChangeLog", vec![hunk()]))
+            .build();
+        let cleaned = p.retain_c_files().unwrap();
+        assert_eq!(cleaned.files.len(), 1);
+        assert_eq!(cleaned.files[0].new_path, "src/x.c");
+    }
+
+    #[test]
+    fn retain_c_files_none_when_empty() {
+        let p = Patch::builder("0".repeat(40))
+            .file(FileDiff::new("README.md", vec![hunk()]))
+            .build();
+        assert!(p.retain_c_files().is_none());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_order_hunks() {
+        let mut f = FileDiff::new("x.c", vec![hunk(), hunk()]);
+        assert!(f.validate().is_err());
+        f.hunks[1].old_start = 10;
+        f.hunks[1].new_start = 10;
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let p = Patch::builder("ab".repeat(20))
+            .message("m")
+            .files(vec![FileDiff::new("a.c", vec![]), FileDiff::new("b.c", vec![])])
+            .build();
+        assert_eq!(p.files.len(), 2);
+        assert_eq!(p.message, "m");
+    }
+}

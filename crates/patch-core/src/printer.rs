@@ -1,0 +1,113 @@
+//! Printer: renders a [`Patch`] back to its textual unified-diff form.
+
+use crate::hunk::LineKind;
+use crate::patch::Patch;
+
+/// Renders `patch` in the `commit …` / `diff --git …` textual shape that
+/// [`crate::parser`] accepts, so `parse(print(p)) == p` for valid patches.
+pub(crate) fn print_patch(patch: &Patch) -> String {
+    // Rough capacity: headers plus every body line with prefix and newline.
+    let body: usize = patch
+        .files
+        .iter()
+        .flat_map(|f| f.hunks.iter())
+        .map(|h| h.lines.iter().map(|l| l.content.len() + 2).sum::<usize>() + 32)
+        .sum();
+    let mut out = String::with_capacity(body + patch.message.len() + 128);
+
+    out.push_str("commit ");
+    out.push_str(&patch.commit.to_string());
+    out.push('\n');
+    if !patch.message.is_empty() {
+        out.push_str(&patch.message);
+        out.push('\n');
+    }
+    out.push('\n');
+
+    for file in &patch.files {
+        out.push_str("diff --git a/");
+        out.push_str(&file.old_path);
+        out.push_str(" b/");
+        out.push_str(&file.new_path);
+        out.push('\n');
+        if let Some(ix) = &file.index {
+            out.push_str("index ");
+            out.push_str(ix);
+            out.push('\n');
+        }
+        out.push_str("--- a/");
+        out.push_str(&file.old_path);
+        out.push('\n');
+        out.push_str("+++ b/");
+        out.push_str(&file.new_path);
+        out.push('\n');
+        for hunk in &file.hunks {
+            out.push_str(&hunk.header());
+            out.push('\n');
+            for line in &hunk.lines {
+                match line.kind {
+                    LineKind::Context => out.push(' '),
+                    LineKind::Added => out.push('+'),
+                    LineKind::Removed => out.push('-'),
+                }
+                out.push_str(&line.content);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hunk::{Hunk, Line};
+    use crate::patch::{FileDiff, Patch};
+
+    #[test]
+    fn printed_patch_reparses_identically() {
+        let patch = Patch::builder("ab".repeat(20))
+            .message("subject\n\nbody line")
+            .file(FileDiff {
+                old_path: "src/a.c".into(),
+                new_path: "src/a.c".into(),
+                index: Some("1111111..2222222 100644".into()),
+                hunks: vec![Hunk {
+                    old_start: 3,
+                    old_count: 3,
+                    new_start: 3,
+                    new_count: 4,
+                    section: "f".into(),
+                    lines: vec![
+                        Line::context("int x = 0;"),
+                        Line::removed("use(x);"),
+                        Line::added("if (x >= 0)"),
+                        Line::added("  use(x);"),
+                        Line::context("return;"),
+                    ],
+                }],
+            })
+            .build();
+        let text = patch.to_unified_string();
+        let back = Patch::parse(&text).unwrap();
+        assert_eq!(patch, back);
+    }
+
+    #[test]
+    fn empty_message_prints_and_reparses() {
+        let patch = Patch::builder("0".repeat(40))
+            .file(FileDiff::new(
+                "x.c",
+                vec![Hunk {
+                    old_start: 1,
+                    old_count: 1,
+                    new_start: 1,
+                    new_count: 1,
+                    section: String::new(),
+                    lines: vec![Line::context("a")],
+                }],
+            ))
+            .build();
+        let back = Patch::parse(&patch.to_unified_string()).unwrap();
+        assert_eq!(patch, back);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the diff substrate: the diff/apply/revert
+//! triangle and parse/print round-trips must hold for arbitrary inputs.
+
+use proptest::prelude::*;
+
+use patch_core::{
+    apply_file_diff, diff_files, diff_lines, join_lines, revert_file_diff, EditOp, Patch,
+};
+
+/// Strategy: a file as a vector of short lines drawn from a small alphabet,
+/// so that diffs contain plenty of genuine matches and near-misses.
+fn file_lines() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            "int x = 0;",
+            "if (x > 0) {",
+            "}",
+            "return x;",
+            "x++;",
+            "call(x);",
+            "",
+            "/* comment */",
+        ])
+        .prop_map(str::to_owned),
+        0..40,
+    )
+}
+
+/// Strategy: mutate a file by random splices to get a related "after" file.
+fn edited_pair() -> impl Strategy<Value = (Vec<String>, Vec<String>)> {
+    (file_lines(), prop::collection::vec((any::<prop::sample::Index>(), 0..4usize), 0..6))
+        .prop_map(|(old, edits)| {
+            let mut new = old.clone();
+            for (idx, op) in edits {
+                if new.is_empty() {
+                    new.push("seed();".to_owned());
+                    continue;
+                }
+                let i = idx.index(new.len());
+                match op {
+                    0 => new.insert(i, "inserted();".to_owned()),
+                    1 => {
+                        new.remove(i);
+                    }
+                    2 => new[i] = "replaced();".to_owned(),
+                    _ => new.swap(0, i),
+                }
+            }
+            (old, new)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Myers edit script faithfully replays `old` into `new`.
+    #[test]
+    fn edit_script_replays((old, new) in edited_pair()) {
+        let old_refs: Vec<&str> = old.iter().map(String::as_str).collect();
+        let new_refs: Vec<&str> = new.iter().map(String::as_str).collect();
+        let ops = diff_lines(&old_refs, &new_refs);
+        let mut rebuilt: Vec<&str> = Vec::new();
+        let mut oi = 0usize;
+        for op in &ops {
+            match *op {
+                EditOp::Equal(o, n) => {
+                    prop_assert_eq!(&old_refs[o], &new_refs[n]);
+                    prop_assert_eq!(o, oi);
+                    rebuilt.push(new_refs[n]);
+                    oi += 1;
+                }
+                EditOp::Delete(o) => {
+                    prop_assert_eq!(o, oi);
+                    oi += 1;
+                }
+                EditOp::Insert(n) => rebuilt.push(new_refs[n]),
+            }
+        }
+        prop_assert_eq!(oi, old_refs.len());
+        prop_assert_eq!(rebuilt, new_refs);
+    }
+
+    /// diff → apply reproduces the new file; diff → revert reproduces the old.
+    #[test]
+    fn diff_apply_revert_triangle((old, new) in edited_pair(), ctx in 0usize..4) {
+        let old_text = join_lines(&old);
+        let new_text = join_lines(&new);
+        let d = diff_files("prop.c", &old_text, &new_text, ctx);
+        prop_assert!(d.validate().is_ok(), "invalid diff: {:?}", d.validate());
+        let applied = apply_file_diff(&d, &old_text).unwrap();
+        prop_assert_eq!(&applied, &new_text);
+        let reverted = revert_file_diff(&d, &new_text).unwrap();
+        prop_assert_eq!(&reverted, &old_text);
+    }
+
+    /// Non-empty diffs survive a print → parse round trip.
+    #[test]
+    fn print_parse_round_trip((old, new) in edited_pair()) {
+        let old_text = join_lines(&old);
+        let new_text = join_lines(&new);
+        let d = diff_files("prop.c", &old_text, &new_text, 3);
+        if d.hunks.is_empty() {
+            return Ok(()); // identical files produce no printable diff
+        }
+        let patch = Patch::builder("ab".repeat(20)).message("prop test").file(d).build();
+        let text = patch.to_unified_string();
+        let back = Patch::parse(&text).unwrap();
+        prop_assert_eq!(patch, back);
+    }
+
+    /// Hunk counts always agree with declared @@ ranges.
+    #[test]
+    fn hunks_always_validate((old, new) in edited_pair()) {
+        let d = diff_files("prop.c", &join_lines(&old), &join_lines(&new), 2);
+        for h in &d.hunks {
+            prop_assert!(h.validate().is_ok());
+            prop_assert!(!h.is_trivial(), "hunks must contain a change");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! C file scaffolding: preludes, filler functions, and rendering, shared
+//! by the security and non-security change generators.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::words::{file_path, func_name, ident, pick, STRUCT_NAMES, TYPES};
+
+/// Identifier bundle for one target function, so BEFORE and AFTER versions
+/// agree on naming.
+#[derive(Debug, Clone)]
+pub(crate) struct Scope {
+    pub fn_name: String,
+    pub struct_name: String,
+    pub obj: String,
+    pub buf: String,
+    pub len: String,
+    pub idx: String,
+    pub val: String,
+    pub ret_ty: String,
+    pub helper: String,
+}
+
+impl Scope {
+    pub(crate) fn generate(rng: &mut ChaCha8Rng) -> Self {
+        Scope {
+            fn_name: func_name(rng),
+            struct_name: pick(rng, STRUCT_NAMES).to_owned(),
+            obj: ident(rng),
+            buf: ident(rng),
+            len: format!("{}_len", ident(rng)),
+            idx: pick(rng, &["i", "j", "idx", "pos", "off"]).to_owned(),
+            val: ident(rng),
+            ret_ty: pick(rng, &["int", "long", "ssize_t"]).to_owned(),
+            helper: func_name(rng),
+        }
+    }
+}
+
+/// A C file with a designated *target* function the change generators
+/// rewrite; everything else is stable filler shared by both versions.
+#[derive(Debug, Clone)]
+pub(crate) struct FileSketch {
+    pub path: String,
+    prelude: Vec<String>,
+    fillers_before: Vec<Vec<String>>,
+    fillers_after: Vec<Vec<String>>,
+}
+
+impl FileSketch {
+    pub(crate) fn generate(rng: &mut ChaCha8Rng) -> Self {
+        let mut prelude = vec![
+            "#include <stdlib.h>".to_owned(),
+            "#include <string.h>".to_owned(),
+        ];
+        if rng.gen_bool(0.6) {
+            prelude.push(format!("#include \"{}.h\"", ident(rng)));
+        }
+        if rng.gen_bool(0.5) {
+            prelude.push(format!(
+                "#define {}_MAX {}",
+                ident(rng).to_uppercase(),
+                [64, 128, 256, 512, 1024][rng.gen_range(0..5)]
+            ));
+        }
+        prelude.push(String::new());
+
+        let n_before = rng.gen_range(0..3);
+        let n_after = rng.gen_range(0..2);
+        let fillers_before = (0..n_before).map(|_| filler_function(rng)).collect();
+        let fillers_after = (0..n_after).map(|_| filler_function(rng)).collect();
+
+        FileSketch { path: file_path(rng), prelude, fillers_before, fillers_after }
+    }
+
+    /// Renders the file with the given target-function body in place.
+    pub(crate) fn render(&self, target: &[String]) -> String {
+        let mut lines: Vec<&str> = Vec::new();
+        for l in &self.prelude {
+            lines.push(l);
+        }
+        for f in &self.fillers_before {
+            for l in f {
+                lines.push(l);
+            }
+            lines.push("");
+        }
+        for l in target {
+            lines.push(l);
+        }
+        lines.push("");
+        for f in &self.fillers_after {
+            for l in f {
+                lines.push(l);
+            }
+            lines.push("");
+        }
+        patch_core::join_lines(&lines)
+    }
+}
+
+/// A small complete function used as stable filler.
+pub(crate) fn filler_function(rng: &mut ChaCha8Rng) -> Vec<String> {
+    let name = func_name(rng);
+    let arg = ident(rng);
+    let local = ident(rng);
+    let ty = pick(rng, TYPES);
+    match rng.gen_range(0..3) {
+        0 => vec![
+            format!("static {ty} {name}({ty} {arg})"),
+            "{".to_owned(),
+            format!("    return {arg} * 2 + 1;"),
+            "}".to_owned(),
+        ],
+        1 => vec![
+            format!("void {name}(struct {} *{arg})", pick(rng, STRUCT_NAMES)),
+            "{".to_owned(),
+            format!("    if ({arg})"),
+            format!("        {arg}->refcount++;"),
+            "}".to_owned(),
+        ],
+        _ => vec![
+            format!("static {ty} {name}(const char *{arg})"),
+            "{".to_owned(),
+            format!("    {ty} {local} = 0;"),
+            format!("    while ({arg}[{local}])"),
+            format!("        {local}++;"),
+            format!("    return {local};"),
+            "}".to_owned(),
+        ],
+    }
+}
+
+/// Extra no-op-ish statements inserted identically in both versions to add
+/// variety around the change site.
+pub(crate) fn filler_statement(rng: &mut ChaCha8Rng, scope: &Scope) -> String {
+    match rng.gen_range(0..5) {
+        0 => format!("    {}->flags |= 0x{:x};", scope.obj, rng.gen_range(1..256)),
+        1 => format!("    log_debug(\"{}: %d\", {});", scope.fn_name, scope.idx),
+        2 => format!("    {} = {} + {};", scope.val, scope.idx, rng.gen_range(1..16)),
+        3 => format!("    ({})++;", scope.idx),
+        _ => format!("    {}({});", scope.helper, scope.obj),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rendered_file_is_parsable_c() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sketch = FileSketch::generate(&mut rng);
+        let target = vec![
+            "int target(void)".to_owned(),
+            "{".to_owned(),
+            "    return 0;".to_owned(),
+            "}".to_owned(),
+        ];
+        let text = sketch.render(&target);
+        let fns = clang_lite::find_functions(&text);
+        assert!(fns.iter().any(|f| f.name == "target"), "functions: {fns:?}");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(8);
+        let mut b = ChaCha8Rng::seed_from_u64(8);
+        let ta = FileSketch::generate(&mut a).render(&[]);
+        let tb = FileSketch::generate(&mut b).render(&[]);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn filler_functions_lex_cleanly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..20 {
+            let f = filler_function(&mut rng);
+            let text = f.join("\n");
+            // Balanced braces.
+            let toks = clang_lite::tokenize(&text);
+            let open = toks.iter().filter(|t| t.is_punct("{")).count();
+            let close = toks.iter().filter(|t| t.is_punct("}")).count();
+            assert_eq!(open, close, "{text}");
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The 12 security-patch change-pattern categories of Table V, and the
+//! per-source category mixes (Fig. 6) the generator is calibrated to.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Table V's taxonomy of security patches by code change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PatchCategory {
+    /// Type 1: add or change bound checks.
+    BoundCheck,
+    /// Type 2: add or change null checks.
+    NullCheck,
+    /// Type 3: add or change other sanity checks.
+    OtherSanityCheck,
+    /// Type 4: change variable definitions.
+    VariableDefinition,
+    /// Type 5: change variable values.
+    VariableValue,
+    /// Type 6: change function declarations.
+    FunctionDeclaration,
+    /// Type 7: change function parameters.
+    FunctionParameter,
+    /// Type 8: add or change function calls.
+    FunctionCall,
+    /// Type 9: add or change jump statements.
+    JumpStatement,
+    /// Type 10: move statements without modification.
+    MoveStatement,
+    /// Type 11: add or change functions (redesign).
+    Redesign,
+    /// Type 12: others.
+    Others,
+}
+
+/// All categories in Table V order.
+pub const ALL_CATEGORIES: [PatchCategory; 12] = [
+    PatchCategory::BoundCheck,
+    PatchCategory::NullCheck,
+    PatchCategory::OtherSanityCheck,
+    PatchCategory::VariableDefinition,
+    PatchCategory::VariableValue,
+    PatchCategory::FunctionDeclaration,
+    PatchCategory::FunctionParameter,
+    PatchCategory::FunctionCall,
+    PatchCategory::JumpStatement,
+    PatchCategory::MoveStatement,
+    PatchCategory::Redesign,
+    PatchCategory::Others,
+];
+
+impl PatchCategory {
+    /// Table V 1-based type id.
+    pub fn type_id(self) -> usize {
+        ALL_CATEGORIES.iter().position(|c| *c == self).expect("member of ALL") + 1
+    }
+
+    /// Table V row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PatchCategory::BoundCheck => "add or change bound checks",
+            PatchCategory::NullCheck => "add or change null checks",
+            PatchCategory::OtherSanityCheck => "add or change other sanity checks",
+            PatchCategory::VariableDefinition => "change variable definitions",
+            PatchCategory::VariableValue => "change variable values",
+            PatchCategory::FunctionDeclaration => "change function declarations",
+            PatchCategory::FunctionParameter => "change function parameters",
+            PatchCategory::FunctionCall => "add or change function calls",
+            PatchCategory::JumpStatement => "add or change jump statements",
+            PatchCategory::MoveStatement => "move statements without modification",
+            PatchCategory::Redesign => "add or change functions (redesign)",
+            PatchCategory::Others => "others",
+        }
+    }
+}
+
+/// A categorical distribution over the 12 types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryMix {
+    weights: [f64; 12],
+}
+
+impl CategoryMix {
+    /// Builds a mix from weights in [`ALL_CATEGORIES`] order (need not be
+    /// normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any is negative.
+    pub fn new(weights: [f64; 12]) -> Self {
+        assert!(weights.iter().all(|w| *w >= 0.0), "negative weight");
+        assert!(weights.iter().sum::<f64>() > 0.0, "all-zero weights");
+        CategoryMix { weights }
+    }
+
+    /// The NVD-side mix: long tail with Redesign (11), FunctionCall (8)
+    /// and OtherSanityCheck (3) heads ≈60 % (Fig. 6, left bars).
+    pub fn nvd() -> Self {
+        CategoryMix::new([
+            8.0,  // bound checks
+            7.0,  // null checks
+            15.0, // other sanity checks
+            4.0,  // variable definitions
+            6.0,  // variable values
+            2.0,  // function declarations
+            3.0,  // function parameters
+            20.0, // function calls
+            2.0,  // jump statements
+            4.0,  // move statements
+            25.0, // redesign  ← NVD head class
+            4.0,  // others
+        ])
+    }
+
+    /// The wild-side mix: FunctionCall (8) head, Redesign (11) ≈5 %
+    /// (Fig. 6, right bars).
+    pub fn wild() -> Self {
+        CategoryMix::new([
+            13.0, // bound checks
+            8.5,  // null checks
+            15.0, // other sanity checks
+            5.0,  // variable definitions
+            11.0, // variable values
+            1.5,  // function declarations
+            2.5,  // function parameters
+            34.0, // function calls ← wild head class
+            1.5,  // jump statements
+            5.5,  // move statements
+            2.0,  // redesign      ← collapses in the wild
+            0.5,  // others
+        ])
+    }
+
+    /// Samples one category.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> PatchCategory {
+        let total: f64 = self.weights.iter().sum();
+        let mut t = rng.gen_range(0.0..total);
+        for (c, w) in ALL_CATEGORIES.iter().zip(&self.weights) {
+            if t < *w {
+                return *c;
+            }
+            t -= w;
+        }
+        PatchCategory::Others
+    }
+
+    /// The normalized probability of one category.
+    pub fn probability(&self, c: PatchCategory) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        self.weights[c.type_id() - 1] / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn type_ids_are_table_v_order() {
+        assert_eq!(PatchCategory::BoundCheck.type_id(), 1);
+        assert_eq!(PatchCategory::FunctionCall.type_id(), 8);
+        assert_eq!(PatchCategory::Others.type_id(), 12);
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let mix = CategoryMix::nvd();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut counts: HashMap<PatchCategory, usize> = HashMap::new();
+        let n = 20_000;
+        for _ in 0..n {
+            *counts.entry(mix.sample(&mut rng)).or_insert(0) += 1;
+        }
+        let redesign = counts[&PatchCategory::Redesign] as f64 / n as f64;
+        assert!((redesign - 0.25).abs() < 0.02, "redesign {redesign}");
+        let jump = counts[&PatchCategory::JumpStatement] as f64 / n as f64;
+        assert!((jump - 0.02).abs() < 0.01, "jump {jump}");
+    }
+
+    #[test]
+    fn nvd_vs_wild_heads_differ() {
+        let nvd = CategoryMix::nvd();
+        let wild = CategoryMix::wild();
+        assert!(nvd.probability(PatchCategory::Redesign) > 0.2);
+        assert!(wild.probability(PatchCategory::Redesign) < 0.07);
+        assert!(
+            wild.probability(PatchCategory::FunctionCall)
+                > nvd.probability(PatchCategory::FunctionCall)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weights")]
+    fn zero_mix_rejected() {
+        CategoryMix::new([0.0; 12]);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = ALL_CATEGORIES.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 12);
+    }
+}

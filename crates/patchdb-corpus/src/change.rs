@@ -1,0 +1,174 @@
+//! Change materialization: a 64-bit seed plus a [`ChangeKind`]
+//! deterministically expands into file pairs and a unified-diff patch.
+
+use std::collections::HashMap;
+
+use patch_core::{diff_files, CommitId, FileDiff, Hunk, Line, Patch};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::builder::FileSketch;
+use crate::category::PatchCategory;
+use crate::nonsecurity::generate_nonsecurity;
+use crate::security::generate_security;
+
+pub use crate::nonsecurity::NonSecKind;
+
+/// What a commit does, at ground-truth level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChangeKind {
+    /// A security fix of the given Table V category.
+    Security(PatchCategory),
+    /// A non-security change of the given kind.
+    NonSecurity(NonSecKind),
+}
+
+impl ChangeKind {
+    /// True for security fixes.
+    pub fn is_security(self) -> bool {
+        matches!(self, ChangeKind::Security(_))
+    }
+
+    /// The Table V category, for security fixes.
+    pub fn category(self) -> Option<PatchCategory> {
+        match self {
+            ChangeKind::Security(c) => Some(c),
+            ChangeKind::NonSecurity(_) => None,
+        }
+    }
+}
+
+/// A fully materialized commit: both file versions and the diff.
+#[derive(Debug, Clone)]
+pub struct GeneratedChange {
+    /// The commit's patch (diff of all touched files).
+    pub patch: Patch,
+    /// Touched files' content before the commit, by path.
+    pub before_files: HashMap<String, String>,
+    /// Touched files' content after the commit, by path.
+    pub after_files: HashMap<String, String>,
+    /// Ground-truth kind.
+    pub kind: ChangeKind,
+}
+
+/// Expands `(seed, kind)` into a concrete change. Deterministic: the same
+/// inputs always produce byte-identical output, which is what lets the
+/// forge store commits as seeds.
+pub fn generate_change(
+    seed: u64,
+    kind: ChangeKind,
+    mention_security: bool,
+    reported: bool,
+) -> GeneratedChange {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sketch = FileSketch::generate(&mut rng);
+    let pair = match kind {
+        ChangeKind::Security(cat) => generate_security(&mut rng, cat, mention_security, reported),
+        ChangeKind::NonSecurity(k) => generate_nonsecurity(&mut rng, k),
+    };
+
+    let before_text = sketch.render(&pair.before);
+    let after_text = sketch.render(&pair.after);
+    let mut files = vec![diff_files(&sketch.path, &before_text, &after_text, 3)];
+    let mut before_files = HashMap::new();
+    let mut after_files = HashMap::new();
+    before_files.insert(sketch.path.clone(), before_text);
+    after_files.insert(sketch.path.clone(), after_text);
+
+    // Some real commits also touch a ChangeLog / docs file; the miner's
+    // C/C++ filter must strip these (Section III-A).
+    if rng.gen_bool(0.15) {
+        files.push(changelog_diff(&pair.message));
+    }
+
+    let patch = Patch::builder(CommitId::from_seed(seed).to_string())
+        .message(pair.message)
+        .files(files)
+        .build();
+    GeneratedChange { patch, before_files, after_files, kind }
+}
+
+fn changelog_diff(message: &str) -> FileDiff {
+    FileDiff::new(
+        "ChangeLog",
+        vec![Hunk {
+            old_start: 0,
+            old_count: 0,
+            new_start: 1,
+            new_count: 1,
+            section: String::new(),
+            lines: vec![Line::added(format!("* {message}"))],
+        }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::ALL_CATEGORIES;
+    use patch_core::apply_file_diff;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_change(99, ChangeKind::Security(PatchCategory::BoundCheck), false, true);
+        let b = generate_change(99, ChangeKind::Security(PatchCategory::BoundCheck), false, true);
+        assert_eq!(a.patch, b.patch);
+        let c = generate_change(100, ChangeKind::Security(PatchCategory::BoundCheck), false, true);
+        assert_ne!(a.patch.commit, c.patch.commit);
+    }
+
+    #[test]
+    fn patch_applies_to_before_files() {
+        for (i, cat) in ALL_CATEGORIES.iter().enumerate() {
+            let change = generate_change(1000 + i as u64, ChangeKind::Security(*cat), false, false);
+            for file in &change.patch.files {
+                if file.new_path == "ChangeLog" {
+                    continue;
+                }
+                let before = &change.before_files[&file.old_path];
+                let after = &change.after_files[&file.new_path];
+                let rebuilt = apply_file_diff(file, before)
+                    .unwrap_or_else(|e| panic!("{cat:?}: {e}"));
+                assert_eq!(&rebuilt, after, "{cat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn patch_round_trips_via_text() {
+        let change = generate_change(5, ChangeKind::NonSecurity(NonSecKind::BugFix), false, false);
+        let text = change.patch.to_unified_string();
+        let back = Patch::parse(&text).unwrap();
+        assert_eq!(change.patch, back);
+    }
+
+    #[test]
+    fn changelog_sometimes_present_and_strippable() {
+        let mut saw_changelog = false;
+        for seed in 0..80 {
+            let change =
+                generate_change(seed, ChangeKind::Security(PatchCategory::FunctionCall), false, true);
+            if change.patch.files.iter().any(|f| f.new_path == "ChangeLog") {
+                saw_changelog = true;
+                let cleaned = change.patch.retain_c_files().expect("C file remains");
+                assert!(cleaned.files.iter().all(|f| f.is_c_family()));
+            }
+        }
+        assert!(saw_changelog, "changelog path never exercised in 80 seeds");
+    }
+
+    #[test]
+    fn every_patch_has_hunks() {
+        for seed in 0..30 {
+            for kind in [
+                ChangeKind::Security(PatchCategory::Redesign),
+                ChangeKind::NonSecurity(NonSecKind::Style),
+            ] {
+                let change = generate_change(seed, kind, false, false);
+                assert!(change.patch.hunk_count() > 0, "{kind:?} seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Corpus-generation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters controlling forge generation. Defaults are calibrated to
+/// the paper's reported statistics at laptop scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of repositories (the paper mines 313).
+    pub n_repos: usize,
+    /// Mean commits per repository (commit counts are spread ±50 %).
+    pub mean_commits_per_repo: usize,
+    /// Fraction of commits that are security patches (paper: 6–10 %).
+    pub security_rate: f64,
+    /// Fraction of *security* patches indexed by the synthetic NVD.
+    pub nvd_report_rate: f64,
+    /// Probability that a reported security patch's message mentions
+    /// security/CVE terms.
+    pub reported_mention_rate: f64,
+    /// Probability that a silent security patch's message mentions
+    /// security terms anyway (paper cites 39 % for Linux).
+    pub silent_mention_rate: f64,
+    /// Fraction of non-security commits that are *shape twins* of security
+    /// fixes (see `NonSecKind::ShapeTwin`). Calibrated so nearest-link
+    /// candidates verify at the paper's ~22–30%.
+    pub twin_rate: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// A paper-shaped corpus at roughly 1/20 scale: 313 repos, ~64 commits
+    /// each → ~20K commits, ~8 % security, NVD dataset ≈ 450 patches.
+    pub fn default_scale(seed: u64) -> Self {
+        CorpusConfig {
+            n_repos: 313,
+            mean_commits_per_repo: 64,
+            security_rate: 0.08,
+            nvd_report_rate: 0.28,
+            reported_mention_rate: 0.7,
+            silent_mention_rate: 0.12,
+            twin_rate: 0.25,
+            seed,
+        }
+    }
+
+    /// A corpus sized by total commit count, keeping the paper's rates.
+    pub fn with_total_commits(total: usize, seed: u64) -> Self {
+        let n_repos = 313.min(total.max(1));
+        CorpusConfig {
+            n_repos,
+            mean_commits_per_repo: (total / n_repos).max(1),
+            ..Self::default_scale(seed)
+        }
+    }
+
+    /// A tiny corpus for unit tests: 4 repos, ~30 commits each.
+    pub fn tiny(seed: u64) -> Self {
+        CorpusConfig {
+            n_repos: 4,
+            mean_commits_per_repo: 30,
+            security_rate: 0.15,
+            nvd_report_rate: 0.5,
+            reported_mention_rate: 0.7,
+            silent_mention_rate: 0.12,
+            twin_rate: 0.25,
+            seed,
+        }
+    }
+
+    /// Expected total commit count.
+    pub fn expected_commits(&self) -> usize {
+        self.n_repos * self.mean_commits_per_repo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_total_commits_hits_target() {
+        let c = CorpusConfig::with_total_commits(10_000, 1);
+        let expected = c.expected_commits();
+        assert!((9_000..=11_000).contains(&expected), "{expected}");
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        assert!(CorpusConfig::tiny(0).expected_commits() < 200);
+    }
+}

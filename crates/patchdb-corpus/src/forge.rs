@@ -1,0 +1,258 @@
+//! The synthetic GitHub: repositories and seed-backed commit streams.
+
+use patch_core::CommitId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::category::CategoryMix;
+use crate::change::{generate_change, ChangeKind, GeneratedChange};
+use crate::config::CorpusConfig;
+use crate::nonsecurity::sample_nonsec_kind;
+use crate::nvd::NvdIndex;
+use crate::words::repo_name;
+
+/// Ground-truth labels attached to every synthetic commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Whether the commit fixes a vulnerability.
+    pub is_security: bool,
+    /// Whether the fix is indexed by the synthetic NVD.
+    pub reported_to_nvd: bool,
+    /// Whether the commit message mentions security/CVE terms.
+    pub mentions_security: bool,
+}
+
+/// One commit: a seed (for materialization), its id, and ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Commit {
+    /// The commit hash (derived from the seed).
+    pub id: CommitId,
+    /// Materialization seed.
+    pub seed: u64,
+    /// What the commit does.
+    pub kind: ChangeKind,
+    /// Ground-truth labels.
+    pub truth: GroundTruth,
+}
+
+/// A synthetic repository.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Repository {
+    /// Repository name, e.g. `libjson-parser`.
+    pub name: String,
+    /// The commit stream, oldest first (as `git log --reverse`).
+    pub commits: Vec<Commit>,
+    /// Number of files in the repository (for the Table I % features).
+    pub total_files: usize,
+    /// Number of function definitions in the repository.
+    pub total_functions: usize,
+}
+
+/// The synthetic GitHub plus its NVD index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GitHubForge {
+    repos: Vec<Repository>,
+    nvd: NvdIndex,
+    config: CorpusConfig,
+}
+
+impl GitHubForge {
+    /// Generates a forge from a configuration. Deterministic in
+    /// `config.seed`.
+    pub fn generate(config: &CorpusConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let nvd_mix = CategoryMix::nvd();
+        let wild_mix = CategoryMix::wild();
+        let mut repos = Vec::with_capacity(config.n_repos);
+        let mut seed_counter: u64 = config.seed.wrapping_mul(0x9e37_79b9) + 1;
+
+        for _ in 0..config.n_repos {
+            let name = unique_repo_name(&mut rng, &repos);
+            let spread = (config.mean_commits_per_repo / 2).max(1);
+            let n_commits = config.mean_commits_per_repo - spread / 2
+                + rng.gen_range(0..=spread.max(1));
+            let mut commits = Vec::with_capacity(n_commits);
+            for _ in 0..n_commits {
+                seed_counter = seed_counter.wrapping_add(0x2545_f491_4f6c_dd1d);
+                let is_security = rng.gen_bool(config.security_rate);
+                let (kind, reported, mentions) = if is_security {
+                    let reported = rng.gen_bool(config.nvd_report_rate);
+                    // Reported fixes follow the NVD category mix; silent
+                    // ones the wild mix (this is what makes Fig. 6 emerge).
+                    let mix = if reported { &nvd_mix } else { &wild_mix };
+                    let cat = mix.sample(&mut rng);
+                    let mentions = if reported {
+                        rng.gen_bool(config.reported_mention_rate)
+                    } else {
+                        rng.gen_bool(config.silent_mention_rate)
+                    };
+                    (ChangeKind::Security(cat), reported, mentions)
+                } else if rng.gen_bool(config.twin_rate) {
+                    // A shape twin of a (wild-mix) security fix.
+                    let cat = wild_mix.sample(&mut rng);
+                    (
+                        ChangeKind::NonSecurity(crate::NonSecKind::ShapeTwin(cat)),
+                        false,
+                        false,
+                    )
+                } else {
+                    (ChangeKind::NonSecurity(sample_nonsec_kind(&mut rng)), false, false)
+                };
+                commits.push(Commit {
+                    id: CommitId::from_seed(seed_counter),
+                    seed: seed_counter,
+                    kind,
+                    truth: GroundTruth {
+                        is_security,
+                        reported_to_nvd: reported,
+                        mentions_security: mentions,
+                    },
+                });
+            }
+            repos.push(Repository {
+                name,
+                commits,
+                total_files: rng.gen_range(40..400),
+                total_functions: rng.gen_range(300..4000),
+            });
+        }
+
+        let nvd = NvdIndex::build(&repos, &mut rng);
+        GitHubForge { repos, nvd, config: *config }
+    }
+
+    /// The repositories.
+    pub fn repos(&self) -> &[Repository] {
+        &self.repos
+    }
+
+    /// The synthetic NVD.
+    pub fn nvd(&self) -> &NvdIndex {
+        &self.nvd
+    }
+
+    /// The configuration the forge was generated from.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Materializes a commit into its file pair and patch.
+    pub fn materialize(&self, commit: &Commit) -> GeneratedChange {
+        generate_change(
+            commit.seed,
+            commit.kind,
+            commit.truth.mentions_security,
+            commit.truth.reported_to_nvd,
+        )
+    }
+
+    /// Serves the textual `.patch` download for a commit URL's repo/hash,
+    /// like `https://github.com/{owner}/{repo}/commit/{hash}.patch`.
+    ///
+    /// Returns `None` for unknown repos or hashes (dead links happen in
+    /// the real NVD too, and the miner must tolerate them).
+    pub fn fetch_patch_text(&self, repo: &str, hash: &CommitId) -> Option<String> {
+        let repository = self.repos.iter().find(|r| r.name == repo)?;
+        let commit = repository.commits.iter().find(|c| c.id == *hash)?;
+        Some(self.materialize(commit).patch.to_unified_string())
+    }
+
+    /// Looks a commit up by repository name and hash.
+    pub fn find_commit(&self, repo: &str, hash: &CommitId) -> Option<(&Repository, &Commit)> {
+        let repository = self.repos.iter().find(|r| r.name == repo)?;
+        let commit = repository.commits.iter().find(|c| c.id == *hash)?;
+        Some((repository, commit))
+    }
+
+    /// Iterates over every `(repository, commit)` pair — the "wild".
+    pub fn all_commits(&self) -> impl Iterator<Item = (&Repository, &Commit)> {
+        self.repos.iter().flat_map(|r| r.commits.iter().map(move |c| (r, c)))
+    }
+
+    /// Total commit count across repositories.
+    pub fn total_commits(&self) -> usize {
+        self.repos.iter().map(|r| r.commits.len()).sum()
+    }
+}
+
+fn unique_repo_name(rng: &mut ChaCha8Rng, existing: &[Repository]) -> String {
+    loop {
+        let name = repo_name(rng);
+        if !existing.iter().any(|r| r.name == name) {
+            return name;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CorpusConfig;
+
+    #[test]
+    fn forge_is_deterministic() {
+        let a = GitHubForge::generate(&CorpusConfig::tiny(5));
+        let b = GitHubForge::generate(&CorpusConfig::tiny(5));
+        assert_eq!(a.repos().len(), b.repos().len());
+        assert_eq!(a.repos()[0].commits, b.repos()[0].commits);
+        let c = GitHubForge::generate(&CorpusConfig::tiny(6));
+        assert_ne!(a.repos()[0].commits, c.repos()[0].commits);
+    }
+
+    #[test]
+    fn security_rate_is_calibrated() {
+        let config = CorpusConfig {
+            n_repos: 20,
+            mean_commits_per_repo: 200,
+            ..CorpusConfig::default_scale(3)
+        };
+        let forge = GitHubForge::generate(&config);
+        let total = forge.total_commits();
+        let sec = forge.all_commits().filter(|(_, c)| c.truth.is_security).count();
+        let rate = sec as f64 / total as f64;
+        assert!((0.06..=0.10).contains(&rate), "security rate {rate}");
+    }
+
+    #[test]
+    fn commit_hashes_are_unique() {
+        let forge = GitHubForge::generate(&CorpusConfig::tiny(8));
+        let mut ids: Vec<_> = forge.all_commits().map(|(_, c)| c.id).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn fetch_patch_serves_parsable_text() {
+        let forge = GitHubForge::generate(&CorpusConfig::tiny(1));
+        let repo = &forge.repos()[0];
+        let commit = &repo.commits[0];
+        let text = forge.fetch_patch_text(&repo.name, &commit.id).unwrap();
+        let parsed = patch_core::Patch::parse(&text).unwrap();
+        assert_eq!(parsed.commit, commit.id);
+    }
+
+    #[test]
+    fn fetch_unknown_returns_none() {
+        let forge = GitHubForge::generate(&CorpusConfig::tiny(1));
+        let bogus = CommitId::from_seed(0xdead);
+        assert!(forge.fetch_patch_text("no-such-repo", &bogus).is_none());
+        let repo = &forge.repos()[0];
+        assert!(forge.fetch_patch_text(&repo.name, &bogus).is_none());
+    }
+
+    #[test]
+    fn only_security_commits_report_to_nvd() {
+        let forge = GitHubForge::generate(&CorpusConfig::tiny(12));
+        for (_, c) in forge.all_commits() {
+            if c.truth.reported_to_nvd {
+                assert!(c.truth.is_security);
+                assert!(c.kind.is_security());
+            }
+            assert_eq!(c.kind.is_security(), c.truth.is_security);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Non-security change generators: new features, non-security bug fixes,
+//! performance work, refactors, and documentation/style churn — the 90-94%
+//! of wild commits that are *not* security patches, including the hard
+//! negatives (bug fixes that also add `if` statements, like the paper's
+//! Listing 2).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::builder::{filler_statement, Scope};
+use crate::security::TargetPair;
+use crate::words::{ident, pick, NOUNS, VERBS};
+
+/// The non-security change kinds the forge emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NonSecKind {
+    /// Adds new functionality (new branch, new function, new field use).
+    NewFeature,
+    /// Fixes a functional (non-security) bug — the hard negatives.
+    BugFix,
+    /// Performance work: caching, loop restructuring.
+    Performance,
+    /// Behavior-preserving renames and reshuffles.
+    Refactor,
+    /// Comment-only changes.
+    Documentation,
+    /// Whitespace/style churn.
+    Style,
+    /// A substantial functional rewrite — ordinary development that
+    /// reshapes a whole function. In the Table I feature space these are
+    /// the non-security population nearest to NVD redesign fixes, which
+    /// keeps both pseudo labeling's top-confidence picks and nearest-link
+    /// redesign seeds honest (the paper's wild has far more rewrites than
+    /// redesign *fixes*, Fig. 6).
+    Rework,
+    /// A *shape twin*: a functional change whose diff shape matches a
+    /// security fix of the given category (defensive checks added for
+    /// robustness, lock hygiene, type refactors, rewrites, …). These are
+    /// the commits that force manual verification in the first place —
+    /// without them any shape-based search would be 100% precise, where
+    /// the paper measures ~30% (Table II/III).
+    ShapeTwin(crate::category::PatchCategory),
+}
+
+/// All non-security kinds, with sampling weights matching commit-stream
+/// folklore (features and fixes dominate).
+pub(crate) const NONSEC_WEIGHTED: &[(NonSecKind, f64)] = &[
+    (NonSecKind::NewFeature, 34.0),
+    (NonSecKind::BugFix, 30.0),
+    (NonSecKind::Performance, 10.0),
+    (NonSecKind::Refactor, 12.0),
+    (NonSecKind::Documentation, 6.0),
+    (NonSecKind::Style, 4.0),
+    (NonSecKind::Rework, 11.0),
+];
+
+pub(crate) fn sample_nonsec_kind(rng: &mut ChaCha8Rng) -> NonSecKind {
+    let total: f64 = NONSEC_WEIGHTED.iter().map(|(_, w)| w).sum();
+    let mut t = rng.gen_range(0.0..total);
+    for (k, w) in NONSEC_WEIGHTED {
+        if t < *w {
+            return *k;
+        }
+        t -= w;
+    }
+    NonSecKind::Style
+}
+
+/// Generates one non-security change of the requested kind.
+pub(crate) fn generate_nonsecurity(rng: &mut ChaCha8Rng, kind: NonSecKind) -> TargetPair {
+    if let NonSecKind::ShapeTwin(cat) = kind {
+        return shape_twin(rng, cat);
+    }
+    let scope = Scope::generate(rng);
+    let (before, after) = match kind {
+        NonSecKind::NewFeature => new_feature(rng, &scope),
+        NonSecKind::BugFix => bug_fix(rng, &scope),
+        NonSecKind::Performance => performance(rng, &scope),
+        NonSecKind::Refactor => refactor(rng, &scope),
+        NonSecKind::Documentation => documentation(rng, &scope),
+        NonSecKind::Style => style(rng, &scope),
+        NonSecKind::Rework => rework(rng, &scope),
+        NonSecKind::ShapeTwin(_) => unreachable!("handled above"),
+    };
+    TargetPair { before, after, message: nonsec_message(rng, &scope, kind) }
+}
+
+fn base(rng: &mut ChaCha8Rng, s: &Scope) -> Vec<String> {
+    let mut lines = vec![
+        format!(
+            "{} {}(struct {} *{}, int {})",
+            s.ret_ty, s.fn_name, s.struct_name, s.obj, s.val
+        ),
+        "{".to_owned(),
+        format!("    int {} = 0;", s.idx),
+        format!("    char *{} = {}->data;", s.buf, s.obj),
+    ];
+    if rng.gen_bool(0.5) {
+        lines.push(filler_statement(rng, s));
+    }
+    lines.push(format!("    for ({0} = 0; {0} < {1}; {0}++)", s.idx, s.val));
+    lines.push(format!("        {}[{}] = {}({}, {});", s.buf, s.idx, s.helper, s.obj, s.idx));
+    lines.push(format!("    return {};", s.idx));
+    lines.push("}".to_owned());
+    lines
+}
+
+fn new_feature(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let before = base(rng, s);
+    let mut after = before.clone();
+    match rng.gen_range(0..3) {
+        0 => {
+            // New optional behavior behind a flag (adds an if — looks
+            // security-ish in the feature space, but adds functionality).
+            let flag = ident(rng);
+            let at = after.len() - 2;
+            after.splice(
+                at..at,
+                [
+                    format!("    if ({}->{}_enabled)", s.obj, flag),
+                    format!("        {}_notify({}, {});", flag, s.obj, s.idx),
+                ],
+            );
+        }
+        1 => {
+            // New statistics counter.
+            let at = after.len() - 2;
+            after.insert(at, format!("    {}->stats.{}_total += {};", s.obj, pick(rng, NOUNS), s.idx));
+        }
+        _ => {
+            // New trailing helper function (pure addition).
+            after.push(String::new());
+            after.push(format!("int {}_{}(struct {} *{})", s.fn_name, pick(rng, VERBS), s.struct_name, s.obj));
+            after.push("{".to_owned());
+            after.push(format!("    return {}->pos;", s.obj));
+            after.push("}".to_owned());
+        }
+    }
+    (before, after)
+}
+
+fn bug_fix(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let before = base(rng, s);
+    let mut after = before.clone();
+    match rng.gen_range(0..6) {
+        0 => {
+            // Listing-2 style: special-case a condition to avoid a crash of
+            // the *functional* kind (adds an if + call, a hard negative).
+            let at = after.len() - 2;
+            after.splice(
+                at..at,
+                [
+                    format!("    if ({}->mode == 1)", s.obj),
+                    format!("        {}_flush({});", pick(rng, VERBS), s.obj),
+                ],
+            );
+        }
+        1 => {
+            // Off-by-one in an iteration count (functional, not memory):
+            // loop bound variable swapped for the right field.
+            let loop_at = after
+                .iter()
+                .position(|l| l.contains("for ("))
+                .expect("base body has a loop");
+            after[loop_at] =
+                format!("    for ({0} = 0; {0} < {1}->count; {0}++)", s.idx, s.obj);
+        }
+        2 => {
+            // Wrong return value.
+            let ret_at = after.len() - 2;
+            after[ret_at] = format!("    return {} > 0 ? {} : -EAGAIN;", s.idx, s.idx);
+        }
+        // The remaining variants are the **hard negatives** that make real
+        // wild mining hard (and keep the nearest-link hit rate at the
+        // paper's ~30% rather than ~100%): functional fixes whose code
+        // shape is indistinguishable from a security check in the Table I
+        // feature space — only semantics (and ground truth) differ.
+        3 => {
+            // Retry-on-full: syntactically a bound check.
+            let at = after.len() - 3;
+            after.splice(
+                at..at,
+                [
+                    format!("    if ({} >= (int){})", s.idx, s.val),
+                    "        return -EAGAIN;".to_owned(),
+                ],
+            );
+        }
+        4 => {
+            // Skip-inactive: syntactically a null/flag check.
+            after.splice(
+                3..3,
+                [
+                    format!("    if (!{}->active)", s.obj),
+                    "        return 0;".to_owned(),
+                ],
+            );
+        }
+        _ => {
+            // Config clamp: syntactically a sanity check.
+            let at = after.len() - 3;
+            after.splice(
+                at..at,
+                [
+                    format!("    if ({} > {}_MAX || {} == 0)", s.val, s.buf.to_uppercase(), s.val),
+                    "        return -ERANGE;".to_owned(),
+                ],
+            );
+        }
+    }
+    (before, after)
+}
+
+fn performance(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let before = base(rng, s);
+    let mut after = before.clone();
+    if rng.gen_bool(0.5) {
+        // Hoist a repeated computation out of the loop.
+        let loop_at = after.iter().position(|l| l.contains("for (")).expect("loop");
+        after.insert(loop_at, format!("    int cached_{} = {}({}, 0);", s.val, s.helper, s.obj));
+        after[loop_at + 2] = format!("        {}[{}] = cached_{} + {};", s.buf, s.idx, s.val, s.idx);
+    } else {
+        // Batch update outside the loop.
+        let at = after.len() - 2;
+        after.insert(at, format!("    prefetch({}->data);", s.obj));
+    }
+    (before, after)
+}
+
+fn refactor(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let before = base(rng, s);
+    let new_name = format!("{}_{}", s.idx, pick(rng, &["iter", "cursor", "n"]));
+    let after: Vec<String> = before
+        .iter()
+        .map(|l| l.replace(&format!(" {} ", s.idx), &format!(" {new_name} "))
+            .replace(&format!("({}", s.idx), &format!("({new_name}"))
+            .replace(&format!("{})", s.idx), &format!("{new_name})"))
+            .replace(&format!("[{}]", s.idx), &format!("[{new_name}]"))
+            .replace(&format!("{}++", s.idx), &format!("{new_name}++")))
+        .collect();
+    (before, after)
+}
+
+fn documentation(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let mut before = base(rng, s);
+    before.insert(0, format!("/* {}: process one {} */", s.fn_name, pick(rng, NOUNS)));
+    let mut after = before.clone();
+    after[0] = format!(
+        "/* {}: process one {}. Returns the consumed count. */",
+        s.fn_name,
+        pick(rng, NOUNS)
+    );
+    if rng.gen_bool(0.4) {
+        after.insert(1, " /* NOTE: caller holds the ref. */".to_owned());
+    }
+    (before, after)
+}
+
+fn style(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let before = base(rng, s);
+    let mut after = before.clone();
+    // Re-indent one statement or convert spacing around an operator.
+    if let Some(at) = after.iter().position(|l| l.contains(" = 0;")) {
+        after[at] = after[at].replace(" = 0;", " = 0; ").trim_end().to_owned() + "";
+        after[at] = format!("    {}", after[at].trim_start());
+        // Ensure something actually changed; otherwise tweak brace style.
+        if after[at] == before[at] {
+            after[at] = before[at].replace(" = ", "  =  ");
+        }
+    }
+    let _ = rng;
+    (before, after)
+}
+
+/// A functional change reusing the security generators' code shapes, with
+/// a functional-sounding message and mild *code tells*.
+///
+/// The tells mirror reality: a retry-path check returns `-EAGAIN` where an
+/// input-validation fix returns `-EINVAL`; housekeeping changes drag a
+/// trace call along. They are visible to a token-level model (the paper's
+/// RNN reaches 83–93% precision against exactly such hard negatives) but
+/// barely move the Table I *count* features (the Random Forest does much
+/// worse — Table VI), and they leave the nearest-link feature clusters
+/// overlapping (candidates verify at ~25%, Table II).
+fn shape_twin(rng: &mut ChaCha8Rng, cat: crate::category::PatchCategory) -> TargetPair {
+    let mut pair = crate::security::generate_security(rng, cat, false, false);
+
+    // Idiom swaps applied to the *added* lines only: each maps a security
+    // idiom to an equally plausible functional one with the same token
+    // counts (literal↔literal, identifier↔identifier, keyword↔keyword),
+    // so the Table I features barely move.
+    let ret_swap = *&["return -EAGAIN;", "return 0;", "return -ENOSPC;"][rng.gen_range(0..3)];
+    let subs: Vec<(&str, String)> = vec![
+        ("return -1;", ret_swap.to_owned()),
+        ("return -EINVAL;", ret_swap.to_owned()),
+        ("return -EBUSY;", ret_swap.to_owned()),
+        ("return -EFAULT;", ret_swap.to_owned()),
+        ("return -EOVERFLOW;", ret_swap.to_owned()),
+        ("mutex_lock(", "spin_lock(".to_owned()),
+        ("mutex_unlock(", "spin_unlock(".to_owned()),
+        (", 0, ", ", 0xff, ".to_owned()), // poison fill instead of scrub
+        ("strlcpy(", "strscpy(".to_owned()),
+        ("snprintf(", "scnprintf(".to_owned()),
+        ("strncat(", "strlcat(".to_owned()),
+        ("static ", "inline ".to_owned()),
+        ("unsigned int ", "long long ".to_owned()),
+        ("(size_t)", "(long)".to_owned()),
+        (" = {0};", " = {1};".to_owned()),
+        ("volatile ", "register ".to_owned()),
+        (", size_t ", ", unsigned long ".to_owned()),
+    ];
+    let before_set: std::collections::HashSet<String> = pair.before.iter().cloned().collect();
+    for line in pair.after.iter_mut() {
+        if before_set.contains(line) {
+            continue; // context line: changing it would add diff churn
+        }
+        for (from, to) in &subs {
+            if line.contains(from) {
+                *line = line.replace(from, to);
+                break;
+            }
+        }
+    }
+    // Moved-statement twins relocate a different field's bookkeeping; the
+    // substitution hits both versions so the move stays a pure move.
+    if cat == crate::category::PatchCategory::MoveStatement {
+        for line in pair.before.iter_mut().chain(pair.after.iter_mut()) {
+            if line.contains("->length = (int)") {
+                *line = line.replace("->length = (int)", "->epoch = (int)");
+            }
+        }
+    }
+
+    let verb = pick(rng, VERBS);
+    let noun = pick(rng, NOUNS);
+    pair.message = match rng.gen_range(0..5) {
+        0 => format!("{verb}_{noun}: be more defensive about inputs"),
+        1 => format!("refactor {noun} handling in {verb}_{noun}"),
+        2 => format!("{verb}_{noun}: handle retry path"),
+        3 => format!("simplify {noun} bookkeeping"),
+        _ => format!("{verb}_{noun}: robustness cleanup"),
+    };
+    pair
+}
+
+/// A whole-function rewrite with no security intent: both versions are
+/// random bodies, like `security::redesign` but without hardening.
+fn rework(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let sig = format!(
+        "{} {}(struct {} *{}, size_t {})",
+        s.ret_ty, s.fn_name, s.struct_name, s.obj, s.len
+    );
+    let body = |rng: &mut ChaCha8Rng| {
+        let mut v = vec![sig.clone(), "{".to_owned()];
+        v.extend(crate::security::random_body(rng, s, false));
+        v.push("}".to_owned());
+        v
+    };
+    (body(rng), body(rng))
+}
+
+fn nonsec_message(rng: &mut ChaCha8Rng, s: &Scope, kind: NonSecKind) -> String {
+    match kind {
+        NonSecKind::NewFeature => match rng.gen_range(0..3) {
+            0 => format!("{}: add {} support", s.fn_name, pick(rng, NOUNS)),
+            1 => format!("add {} statistics to {}", pick(rng, NOUNS), s.fn_name),
+            _ => format!("introduce {}_{} helper", s.fn_name, pick(rng, VERBS)),
+        },
+        NonSecKind::BugFix => match rng.gen_range(0..3) {
+            0 => format!("{}: fix wrong {} count", s.fn_name, pick(rng, NOUNS)),
+            1 => format!("fix {} regression in {}", pick(rng, NOUNS), s.fn_name),
+            _ => format!("{}: handle mode-1 {} correctly", s.fn_name, pick(rng, NOUNS)),
+        },
+        NonSecKind::Performance => format!("{}: avoid recomputing {}", s.fn_name, pick(rng, NOUNS)),
+        NonSecKind::Refactor => format!("{}: rename loop variable", s.fn_name),
+        NonSecKind::Documentation => format!("{}: clarify comment", s.fn_name),
+        NonSecKind::Style => format!("{}: style cleanup", s.fn_name),
+        NonSecKind::Rework => match rng.gen_range(0..3) {
+            0 => format!("rewrite {} for the new {} layout", s.fn_name, pick(rng, NOUNS)),
+            1 => format!("{}: restructure {} processing", s.fn_name, pick(rng, NOUNS)),
+            _ => format!("rework {} internals", s.fn_name),
+        },
+        NonSecKind::ShapeTwin(_) => unreachable!("twins build their own message"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const ALL: [NonSecKind; 6] = [
+        NonSecKind::NewFeature,
+        NonSecKind::BugFix,
+        NonSecKind::Performance,
+        NonSecKind::Refactor,
+        NonSecKind::Documentation,
+        NonSecKind::Style,
+    ];
+
+    #[test]
+    fn every_kind_changes_something() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for k in ALL {
+            for _ in 0..10 {
+                let pair = generate_nonsecurity(&mut rng, k);
+                assert_ne!(pair.before, pair.after, "{k:?} produced identical versions");
+            }
+        }
+    }
+
+    #[test]
+    fn messages_do_not_mention_cves() {
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        for k in ALL {
+            for _ in 0..5 {
+                let pair = generate_nonsecurity(&mut rng, k);
+                assert!(!pair.message.contains("CVE"));
+                assert!(!pair.message.to_lowercase().contains("security"));
+            }
+        }
+    }
+
+    #[test]
+    fn kind_sampling_heavily_favors_features_and_fixes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let n = 10_000;
+        let mut feat = 0;
+        for _ in 0..n {
+            if matches!(sample_nonsec_kind(&mut rng), NonSecKind::NewFeature | NonSecKind::BugFix)
+            {
+                feat += 1;
+            }
+        }
+        // 64 of 107 weight units are features+fixes after adding Rework.
+        let frac = feat as f64 / n as f64;
+        assert!((frac - 64.0 / 107.0).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn refactor_preserves_line_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let pair = generate_nonsecurity(&mut rng, NonSecKind::Refactor);
+        assert_eq!(pair.before.len(), pair.after.len());
+    }
+}

@@ -1,0 +1,197 @@
+//! The synthetic NVD: CVE entries with reference hyperlinks, some tagged
+//! `Patch`, some noise — mirroring the shape Section III-A crawls.
+
+use patch_core::CommitId;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::forge::Repository;
+
+/// A reference hyperlink attached to a CVE entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reference {
+    /// The URL.
+    pub url: String,
+    /// NVD-style tags (`Patch`, `Third Party Advisory`, …).
+    pub tags: Vec<String>,
+}
+
+impl Reference {
+    /// True when the reference is tagged as a patch link.
+    pub fn is_patch(&self) -> bool {
+        self.tags.iter().any(|t| t == "Patch")
+    }
+}
+
+/// One synthetic CVE entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CveEntry {
+    /// The CVE identifier, e.g. `CVE-2018-12345`.
+    pub id: String,
+    /// CVSS-ish severity score in [0, 10].
+    pub severity: f64,
+    /// A CWE id, e.g. `CWE-119`.
+    pub cwe: String,
+    /// Reference hyperlinks.
+    pub references: Vec<Reference>,
+}
+
+/// The synthetic vulnerability database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NvdIndex {
+    entries: Vec<CveEntry>,
+}
+
+impl NvdIndex {
+    /// Builds the index from repositories: every commit whose ground truth
+    /// says `reported_to_nvd` gets an entry with a `Patch`-tagged GitHub
+    /// commit URL; entries also carry advisory-link noise, a fraction have
+    /// **no** patch link at all (the paper notes patch info is often
+    /// missing), and ~1 % of patch links are wrong (Section V-B).
+    pub(crate) fn build(repos: &[Repository], rng: &mut ChaCha8Rng) -> Self {
+        let mut entries = Vec::new();
+        let mut all_ids: Vec<(String, CommitId)> = Vec::new();
+        for r in repos {
+            for c in &r.commits {
+                all_ids.push((r.name.clone(), c.id));
+            }
+        }
+
+        for repo in repos {
+            for commit in &repo.commits {
+                if !commit.truth.reported_to_nvd {
+                    continue;
+                }
+                let year = rng.gen_range(1999..2020);
+                let num = rng.gen_range(1000..99999);
+                let mut references = vec![Reference {
+                    url: format!("https://security-advisories.example/adv/{num}"),
+                    tags: vec!["Third Party Advisory".to_owned()],
+                }];
+                let dropped = rng.gen_bool(0.12); // missing patch link
+                if !dropped {
+                    // ~1% wrong links: point at some other commit.
+                    let (link_repo, link_id) = if rng.gen_bool(0.01) && !all_ids.is_empty() {
+                        let pick = rng.gen_range(0..all_ids.len());
+                        all_ids[pick].clone()
+                    } else {
+                        (repo.name.clone(), commit.id)
+                    };
+                    references.push(Reference {
+                        url: format!(
+                            "https://github.com/synthetic/{link_repo}/commit/{link_id}"
+                        ),
+                        tags: vec!["Patch".to_owned()],
+                    });
+                }
+                entries.push(CveEntry {
+                    id: format!("CVE-{year}-{num}"),
+                    severity: rng.gen_range(2.0..10.0),
+                    cwe: format!("CWE-{}", [119, 125, 787, 476, 416, 190, 20][rng.gen_range(0..7)]),
+                    references,
+                });
+            }
+        }
+
+        // Pure-noise entries with no GitHub link at all.
+        let noise = entries.len() / 10;
+        for _ in 0..noise {
+            let year = rng.gen_range(1999..2020);
+            let num = rng.gen_range(1000..99999);
+            entries.push(CveEntry {
+                id: format!("CVE-{year}-{num}"),
+                severity: rng.gen_range(2.0..10.0),
+                cwe: "CWE-20".to_owned(),
+                references: vec![Reference {
+                    url: format!("https://vendor.example/bulletin/{num}"),
+                    tags: vec!["Vendor Advisory".to_owned()],
+                }],
+            });
+        }
+        NvdIndex { entries }
+    }
+
+    /// All CVE entries.
+    pub fn entries(&self) -> &[CveEntry] {
+        &self.entries
+    }
+
+    /// Iterates `(cve_id, url)` over `Patch`-tagged references.
+    pub fn patch_references(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().flat_map(|e| {
+            e.references
+                .iter()
+                .filter(|r| r.is_patch())
+                .map(move |r| (e.id.as_str(), r.url.as_str()))
+        })
+    }
+}
+
+/// Parses a GitHub commit URL of the form
+/// `https://github.com/{owner}/{repo}/commit/{hash}` into `(repo, hash)`.
+///
+/// Returns `None` for non-GitHub or malformed URLs — the crawler skips
+/// those, as the paper's does.
+pub fn parse_commit_url(url: &str) -> Option<(String, CommitId)> {
+    let rest = url.strip_prefix("https://github.com/")?;
+    let mut parts = rest.split('/');
+    let _owner = parts.next()?;
+    let repo = parts.next()?;
+    if parts.next()? != "commit" {
+        return None;
+    }
+    let hash = parts.next()?.trim_end_matches(".patch");
+    Some((repo.to_owned(), hash.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CorpusConfig;
+    use crate::forge::GitHubForge;
+
+    #[test]
+    fn patch_links_resolve_to_reported_commits() {
+        let forge = GitHubForge::generate(&CorpusConfig::tiny(3));
+        let mut resolved = 0;
+        for (_cve, url) in forge.nvd().patch_references() {
+            let (repo, hash) = parse_commit_url(url).expect("github url");
+            if let Some((_, commit)) = forge.find_commit(&repo, &hash) {
+                resolved += 1;
+                // The link may be one of the ~1% wrong ones, but it still
+                // points at a real commit.
+                let _ = commit;
+            }
+        }
+        assert!(resolved > 0);
+    }
+
+    #[test]
+    fn some_entries_lack_patch_links() {
+        let forge = GitHubForge::generate(&CorpusConfig::with_total_commits(4000, 5));
+        let without = forge
+            .nvd()
+            .entries()
+            .iter()
+            .filter(|e| !e.references.iter().any(Reference::is_patch))
+            .count();
+        assert!(without > 0, "noise entries missing");
+    }
+
+    #[test]
+    fn url_parser_rejects_non_github() {
+        assert!(parse_commit_url("https://vendor.example/x").is_none());
+        assert!(parse_commit_url("https://github.com/o/r/issues/4").is_none());
+        assert!(parse_commit_url("https://github.com/o/r/commit/zzz").is_none());
+    }
+
+    #[test]
+    fn url_parser_accepts_patch_suffix() {
+        let id = CommitId::from_seed(4);
+        let url = format!("https://github.com/synthetic/repo/commit/{id}.patch");
+        let (repo, hash) = parse_commit_url(&url).unwrap();
+        assert_eq!(repo, "repo");
+        assert_eq!(hash, id);
+    }
+}

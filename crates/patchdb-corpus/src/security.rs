@@ -1,0 +1,598 @@
+//! Generators producing realistic (BEFORE, AFTER) function pairs for each
+//! of the 12 security-patch categories of Table V. Every generator yields
+//! code that lexes and structurally parses under `clang-lite`, so the
+//! whole downstream pipeline — feature extraction, oversampling,
+//! categorization — exercises real paths.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::builder::{filler_statement, Scope};
+use crate::category::PatchCategory;
+use crate::words::{ident, pick};
+
+/// A target function in both versions plus the commit message.
+#[derive(Debug, Clone)]
+pub(crate) struct TargetPair {
+    pub before: Vec<String>,
+    pub after: Vec<String>,
+    pub message: String,
+}
+
+/// Generates one security fix of the requested category.
+///
+/// `reported` selects the *stylistic sub-variant mix*: NVD-reported fixes
+/// and silent wild fixes realize each category with different idiom
+/// frequencies (fresh checks vs strengthened ones, `!p` vs `== NULL`,
+/// call swaps vs lock hygiene, error-constant dialects). This is the
+/// distribution discrepancy between the NVD and the wild that Section
+/// IV-B/IV-E attributes the baselines' and NVD-only models' weakness to.
+pub(crate) fn generate_security(
+    rng: &mut ChaCha8Rng,
+    category: PatchCategory,
+    mention_security: bool,
+    reported: bool,
+) -> TargetPair {
+    let scope = Scope::generate(rng);
+    let (before, after) = match category {
+        PatchCategory::BoundCheck => bound_check(rng, &scope, reported),
+        PatchCategory::NullCheck => null_check(rng, &scope, reported),
+        PatchCategory::OtherSanityCheck => sanity_check(rng, &scope, reported),
+        PatchCategory::VariableDefinition => variable_definition(rng, &scope),
+        PatchCategory::VariableValue => variable_value(rng, &scope),
+        PatchCategory::FunctionDeclaration => function_declaration(rng, &scope),
+        PatchCategory::FunctionParameter => function_parameter(rng, &scope),
+        PatchCategory::FunctionCall => function_call(rng, &scope, reported),
+        PatchCategory::JumpStatement => jump_statement(rng, &scope),
+        PatchCategory::MoveStatement => move_statement(rng, &scope),
+        PatchCategory::Redesign => redesign(rng, &scope),
+        PatchCategory::Others => others(rng, &scope),
+    };
+    let message = security_message(rng, &scope, category, mention_security);
+    let mut pair = TargetPair { before, after, message };
+    vary_error_returns(rng, &mut pair, reported);
+    if reported {
+        add_reported_hardening(rng, &scope, &mut pair);
+    }
+    pair
+}
+
+/// NVD-reported fixes frequently land with extra hardening or telemetry
+/// alongside the core change (they were vetted, reviewed, and released),
+/// while silent wild fixes stay minimal. This count-*visible* style gap is
+/// the NVD↔wild feature-distribution discrepancy Section IV-B blames for
+/// the weakness of globally-trained models, which local nearest-link
+/// matching tolerates.
+fn add_reported_hardening(rng: &mut ChaCha8Rng, s: &Scope, pair: &mut TargetPair) {
+    if !rng.gen_bool(0.85) {
+        return;
+    }
+    let extra = match rng.gen_range(0..3) {
+        0 => format!("    log_warn(\"{}: rejected input\");", s.fn_name),
+        1 => format!("    {}->err_count++;", s.obj),
+        _ => format!("    {}_audit({});", s.helper, s.obj),
+    };
+    let at = pair
+        .after
+        .iter()
+        .rposition(|l| l.trim_start().starts_with("return"))
+        .unwrap_or(pair.after.len().saturating_sub(1));
+    pair.after.insert(at, extra);
+}
+
+/// Replaces the template error returns on *added* lines with a random
+/// security-idiom variant, so the security population itself mixes plain
+/// and symbolic error constants (as real kernels do). The twin generator
+/// substitutes a disjoint functional pool, keeping token streams
+/// separable while count features overlap.
+fn vary_error_returns(rng: &mut ChaCha8Rng, pair: &mut TargetPair, reported: bool) {
+    // Overlapping but shifted error-constant dialects per source.
+    let pool: [&str; 4] =
+        ["return -1;", "return -EINVAL;", "return -EFAULT;", "return -EOVERFLOW;"];
+    let idx = if reported {
+        // NVD dialect: mostly -1 / -EINVAL.
+        if rng.gen_bool(0.8) { rng.gen_range(0..2) } else { rng.gen_range(2..4) }
+    } else {
+        // Silent-wild dialect: mostly -EFAULT / -EOVERFLOW.
+        if rng.gen_bool(0.7) { rng.gen_range(2..4) } else { rng.gen_range(0..2) }
+    };
+    let choice = pool[idx];
+    let before_set: std::collections::HashSet<String> = pair.before.iter().cloned().collect();
+    for line in pair.after.iter_mut() {
+        if before_set.contains(line) {
+            continue;
+        }
+        let t = line.trim_start();
+        if t == "return -1;" || t == "return -EINVAL;" || t == "return -EBUSY;" {
+            let indent: String = line.chars().take_while(|c| c.is_whitespace()).collect();
+            *line = format!("{indent}{choice}");
+        }
+    }
+}
+
+/// Base body: signature, locals, a worker region (returned index marks
+/// where the "vulnerable operation" sits), and a return.
+fn base(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, usize) {
+    let mut lines = vec![
+        format!(
+            "{} {}(struct {} *{}, size_t {})",
+            s.ret_ty, s.fn_name, s.struct_name, s.obj, s.len
+        ),
+        "{".to_owned(),
+        format!("    int {} = {}->pos;", s.idx, s.obj),
+        format!("    char *{} = {}->data;", s.buf, s.obj),
+        format!("    int {} = 0;", s.val),
+    ];
+    if rng.gen_bool(0.5) {
+        lines.push(filler_statement(rng, s));
+    }
+    let vuln_at = lines.len();
+    lines.push(format!("    {}[{}] = {}({}, {});", s.buf, s.idx, s.helper, s.obj, s.idx));
+    if rng.gen_bool(0.4) {
+        lines.push(filler_statement(rng, s));
+    }
+    lines.push(format!("    {}->pos = {} + 1;", s.obj, s.idx));
+    lines.push(format!("    return {};", s.val));
+    lines.push("}".to_owned());
+    (lines, vuln_at)
+}
+
+fn bound_check(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
+    let (before, vuln_at) = base(rng, s);
+    let mut after = before.clone();
+    // Reported fixes mostly insert a fresh check; silent ones mostly
+    // strengthen an existing one (Listing-1 style).
+    if rng.gen_bool(if reported { 0.85 } else { 0.25 }) {
+        // Variant 1: insert a fresh bound check before the raw write.
+        after.splice(
+            vuln_at..vuln_at,
+            [
+                format!("    if ({} >= (int){})", s.idx, s.len),
+                "        return -1;".to_owned(),
+            ],
+        );
+    } else {
+        // Variant 2 (Listing-1 style): strengthen an existing check.
+        let weak = format!("    if ({} <= (int){})", s.idx, s.len);
+        let strong = format!("    if ({} < (int){} && {} >= 0)", s.idx, s.len, s.idx);
+        let mut b2 = before.clone();
+        b2.splice(
+            vuln_at..vuln_at,
+            [weak, format!("        {}[{}] = 0;", s.buf, s.idx)],
+        );
+        let mut a2 = b2.clone();
+        a2[vuln_at] = strong;
+        return (b2, a2);
+    }
+    (before, after)
+}
+
+fn null_check(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
+    let (before, _) = base(rng, s);
+    let mut after = before.clone();
+    // Insert right after `{`. Reported fixes prefer the terse `!p` idiom;
+    // silent ones the explicit `== NULL` comparison.
+    let guard = if rng.gen_bool(if reported { 0.8 } else { 0.2 }) {
+        vec![
+            format!("    if (!{})", s.obj),
+            "        return -EINVAL;".to_owned(),
+        ]
+    } else {
+        vec![
+            format!("    if ({} == NULL || {}->data == NULL)", s.obj, s.obj),
+            "        return -EINVAL;".to_owned(),
+        ]
+    };
+    after.splice(2..2, guard);
+    (before, after)
+}
+
+fn sanity_check(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
+    let (before, vuln_at) = base(rng, s);
+    let mut after = before.clone();
+    let max = ident(rng).to_uppercase();
+    // Reported fixes skew toward range checks; silent ones toward state
+    // and alignment checks.
+    let variant = if reported {
+        if rng.gen_bool(0.7) { 0 } else { rng.gen_range(1..3) }
+    } else {
+        if rng.gen_bool(0.3) { 0 } else { rng.gen_range(1..3) }
+    };
+    let guard = match variant {
+        0 => vec![
+            format!("    if ({} > {}_MAX || {} == 0)", s.len, max, s.len),
+            "        return -1;".to_owned(),
+        ],
+        1 => vec![
+            format!("    if ({}->state != {}_READY)", s.obj, max),
+            "        return -EBUSY;".to_owned(),
+        ],
+        _ => vec![
+            format!("    if ({} % 4 != 0)", s.len),
+            "        return -1;".to_owned(),
+        ],
+    };
+    after.splice(vuln_at..vuln_at, guard);
+    (before, after)
+}
+
+fn variable_definition(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let mut before = vec![
+        format!("{} {}(struct {} *{})", s.ret_ty, s.fn_name, s.struct_name, s.obj),
+        "{".to_owned(),
+    ];
+    let (old_decl, new_decl) = if rng.gen_bool(0.5) {
+        (
+            format!("    int {} = {}->length;", s.len, s.obj),
+            format!("    unsigned int {} = {}->length;", s.len, s.obj),
+        )
+    } else {
+        let small = [16, 32, 64][rng.gen_range(0..3)];
+        (
+            format!("    char {}[{}];", s.buf, small),
+            format!("    char {}[{}];", s.buf, small * 4),
+        )
+    };
+    before.push(old_decl);
+    before.push(format!("    snprintf({0}, sizeof({0}), \"%s\", {1}->name);", s.buf, s.obj));
+    before.push(format!("    return (int){};", s.len));
+    before.push("}".to_owned());
+    let mut after = before.clone();
+    after[2] = new_decl;
+    (before, after)
+}
+
+fn variable_value(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let (mut before, vuln_at) = base(rng, s);
+    let mut after;
+    if rng.gen_bool(0.5) {
+        // Uninitialized-memory style: `char tmp[N];` → `char tmp[N] = {0};`
+        let n = [32, 64, 128][rng.gen_range(0..3)];
+        before.splice(vuln_at..vuln_at, [format!("    char {}_tmp[{}];", s.buf, n)]);
+        after = before.clone();
+        after[vuln_at] = format!("    char {}_tmp[{}] = {{0}};", s.buf, n);
+    } else {
+        after = before.clone();
+        // Initial value hardening: -1 sentinel → 0.
+        after[4] = format!("    int {} = 1;", s.val);
+    }
+    (before, after)
+}
+
+fn function_declaration(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let (before, _) = base(rng, s);
+    let mut after = before.clone();
+    // Widening the return type is a no-op when it's already `ssize_t`;
+    // fall back to the `static` variant there.
+    after[0] = if rng.gen_bool(0.5) || s.ret_ty == "ssize_t" {
+        format!("static {}", before[0])
+    } else {
+        before[0].replacen(&s.ret_ty, "ssize_t", 1)
+    };
+    (before, after)
+}
+
+fn function_parameter(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let _ = rng;
+    let mut before = vec![
+        format!("{} {}(struct {} *{})", s.ret_ty, s.fn_name, s.struct_name, s.obj),
+        "{".to_owned(),
+        format!("    char *{} = {}->data;", s.buf, s.obj),
+        format!("    memcpy({}, {}->src, {}->length);", s.buf, s.obj, s.obj),
+        "    return 0;".to_owned(),
+        "}".to_owned(),
+    ];
+    let mut after = before.clone();
+    after[0] = format!(
+        "{} {}(struct {} *{}, size_t {})",
+        s.ret_ty, s.fn_name, s.struct_name, s.obj, s.len
+    );
+    after[3] = format!("    memcpy({}, {}->src, {});", s.buf, s.obj, s.len);
+    // Both versions keep a caller comment line so context is shared.
+    before.push(format!("/* callers: {}_dispatch */", s.fn_name));
+    after.push(format!("/* callers: {}_dispatch */", s.fn_name));
+    (before, after)
+}
+
+fn function_call(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
+    // Reported fixes skew toward unsafe-call swaps; silent ones toward
+    // locking and scrubbing hygiene.
+    let variant = if reported {
+        if rng.gen_bool(0.6) { 0 } else { rng.gen_range(1..3) }
+    } else {
+        if rng.gen_bool(0.2) { 0 } else { rng.gen_range(1..3) }
+    };
+    match variant {
+        0 => {
+            // Unsafe library call swap.
+            let (bad, good) = match rng.gen_range(0..3) {
+                0 => (
+                    format!("    strcpy({}, {}->name);", s.buf, s.obj),
+                    format!("    strlcpy({}, {}->name, {});", s.buf, s.obj, s.len),
+                ),
+                1 => (
+                    format!("    sprintf({}, \"%s\", {}->name);", s.buf, s.obj),
+                    format!("    snprintf({}, {}, \"%s\", {}->name);", s.buf, s.len, s.obj),
+                ),
+                _ => (
+                    format!("    strcat({}, {}->suffix);", s.buf, s.obj),
+                    format!("    strncat({}, {}->suffix, {} - 1);", s.buf, s.obj, s.len),
+                ),
+            };
+            let (mut before, vuln_at) = base(rng, s);
+            before[vuln_at] = bad.clone();
+            let mut after = before.clone();
+            after[vuln_at] = good;
+            (before, after)
+        }
+        1 => {
+            // Race condition: wrap the vulnerable op with lock/unlock
+            // (Table VII's race-condition fix pattern).
+            let (before, vuln_at) = base(rng, s);
+            let mut after = before.clone();
+            after.insert(vuln_at, format!("    mutex_lock(&{}->lock);", s.obj));
+            after.insert(vuln_at + 2, format!("    mutex_unlock(&{}->lock);", s.obj));
+            (before, after)
+        }
+        _ => {
+            // Data leakage: scrub or release the critical value after last
+            // use (Table VII's data-leakage fix pattern).
+            let (before, _) = base(rng, s);
+            let mut after = before.clone();
+            let ret_at = after.len() - 2; // before `return`
+            after.insert(
+                ret_at,
+                format!("    memset({}, 0, {});", s.buf, s.len),
+            );
+            (before, after)
+        }
+    }
+}
+
+fn jump_statement(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let (mut before, vuln_at) = base(rng, s);
+    // Give the function an error branch that returns directly (leaking).
+    before.splice(
+        vuln_at..vuln_at,
+        [
+            format!("    if ({}({}, {}) < 0)", s.helper, s.obj, s.len),
+            "        return -1;".to_owned(),
+        ],
+    );
+    let mut after = before.clone();
+    after[vuln_at + 1] = "        goto out_free;".to_owned();
+    let end = after.len() - 1; // before closing brace
+    after.splice(
+        end..end,
+        [
+            "out_free:".to_owned(),
+            format!("    free({});", s.buf),
+            "    return -1;".to_owned(),
+        ],
+    );
+    let _ = rng;
+    (before, after)
+}
+
+fn move_statement(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    // Use-before-init: the assignment moves above the use.
+    let stmt = format!("    {}->length = (int){};", s.obj, s.len);
+    let (mut before, vuln_at) = base(rng, s);
+    let tail_at = before.len() - 2;
+    before.insert(tail_at, stmt.clone());
+    let mut after = before.clone();
+    after.remove(tail_at);
+    after.insert(vuln_at, stmt);
+    let _ = rng;
+    (before, after)
+}
+
+/// Redesigns are deliberately **heterogeneous**: both versions are drawn
+/// from a randomized statement pool with variable size, so redesign
+/// patches spread widely in the Table I feature space. That heterogeneity
+/// is what keeps nearest link search from simply transferring the NVD's
+/// redesign-heavy mix onto the wild dataset (the paper's Fig. 6 finds
+/// redesign collapsing to ~5% in the wild).
+fn redesign(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let sig = format!(
+        "{} {}(struct {} *{}, size_t {})",
+        s.ret_ty, s.fn_name, s.struct_name, s.obj, s.len
+    );
+    let before = {
+        let mut b = vec![sig.clone(), "{".to_owned()];
+        b.extend(random_body(rng, s, false));
+        b.push("}".to_owned());
+        b
+    };
+    let after = {
+        let mut a = vec![sig, "{".to_owned()];
+        a.extend(random_body(rng, s, true));
+        a.push("}".to_owned());
+        a
+    };
+    (before, after)
+}
+
+/// A randomized function body of 5–16 statements. `hardened` bodies lead
+/// with defensive guards (the rewritten, safe implementation).
+pub(crate) fn random_body(rng: &mut ChaCha8Rng, s: &Scope, hardened: bool) -> Vec<String> {
+    let tmp = ident(rng);
+    let mut lines = vec![
+        format!("    char *{} = {}->data;", s.buf, s.obj),
+        format!("    size_t {} = 0;", tmp),
+    ];
+    if hardened {
+        lines.push(format!("    if (!{} || !{}->data)", s.obj, s.obj));
+        lines.push("        return -EINVAL;".to_owned());
+    }
+    let n = rng.gen_range(3..11);
+    for _ in 0..n {
+        match rng.gen_range(0..6) {
+            0 => lines.push(format!("    {} += {}({}, {});", tmp, s.helper, s.obj, tmp)),
+            1 => {
+                lines.push(format!("    while ({} < {})", tmp, s.len));
+                lines.push(format!("        {}[{}++] = 0;", s.buf, tmp));
+            }
+            2 => {
+                lines.push(format!("    if ({}->mode == {})", s.obj, rng.gen_range(0..4)));
+                lines.push(format!("        {}({});", s.helper, s.obj));
+            }
+            3 => lines.push(format!("    memcpy({}, {}->src, {});", s.buf, s.obj, tmp)),
+            4 => lines.push(filler_statement(rng, s)),
+            _ => lines.push(format!("    {}->pos = (int){};", s.obj, tmp)),
+        }
+    }
+    lines.push(format!("    return (int){};", tmp));
+    lines
+}
+
+fn others(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+    let (before, vuln_at) = base(rng, s);
+    let mut after = before.clone();
+    match rng.gen_range(0..3) {
+        0 => {
+            // Integer-width cast fix.
+            after[vuln_at] =
+                format!("    {}[(size_t){}] = {}({}, {});", s.buf, s.idx, s.helper, s.obj, s.idx);
+        }
+        1 => {
+            // Format-string hardening in a log call.
+            after.insert(vuln_at, format!("    log_info(\"%.64s\", {}->name);", s.obj));
+            after.remove(vuln_at + 1);
+        }
+        _ => {
+            // Volatile on a flag read.
+            after[2] = format!("    volatile int {} = {}->pos;", s.idx, s.obj);
+        }
+    }
+    (before, after)
+}
+
+/// Commit messages. Silent security patches (the majority, per the Linux
+/// study the paper cites) avoid security words; reported ones sometimes
+/// carry CVE ids.
+fn security_message(
+    rng: &mut ChaCha8Rng,
+    s: &Scope,
+    category: PatchCategory,
+    mention_security: bool,
+) -> String {
+    if mention_security {
+        let year = rng.gen_range(2015..2020);
+        let num = rng.gen_range(1000..20000);
+        match rng.gen_range(0..3) {
+            0 => format!(
+                "Fix {} in {} (CVE-{year}-{num})",
+                vuln_noun(category),
+                s.fn_name
+            ),
+            1 => format!("security: prevent {} in {}", vuln_noun(category), s.fn_name),
+            _ => format!("{}: fix {} vulnerability", s.fn_name, vuln_noun(category)),
+        }
+    } else {
+        match rng.gen_range(0..5) {
+            0 => format!("{}: fix crash on malformed input", s.fn_name),
+            1 => format!("fix corner case in {}", s.fn_name),
+            2 => format!("{}: harden {} handling", s.fn_name, pick(rng, crate::words::NOUNS)),
+            3 => format!("avoid invalid access in {}", s.fn_name),
+            _ => format!("{}: correct {} handling", s.fn_name, pick(rng, crate::words::NOUNS)),
+        }
+    }
+}
+
+fn vuln_noun(category: PatchCategory) -> &'static str {
+    match category {
+        PatchCategory::BoundCheck => "buffer overflow",
+        PatchCategory::NullCheck => "null pointer dereference",
+        PatchCategory::OtherSanityCheck => "invalid input",
+        PatchCategory::VariableDefinition => "integer overflow",
+        PatchCategory::VariableValue => "information leak",
+        PatchCategory::FunctionDeclaration => "symbol exposure",
+        PatchCategory::FunctionParameter => "out-of-bounds copy",
+        PatchCategory::FunctionCall => "unsafe call",
+        PatchCategory::JumpStatement => "memory leak",
+        PatchCategory::MoveStatement => "use of uninitialized value",
+        PatchCategory::Redesign => "memory corruption",
+        PatchCategory::Others => "undefined behavior",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::ALL_CATEGORIES;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_category_produces_a_real_change() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for c in ALL_CATEGORIES {
+            for round in 0..10 {
+                let pair = generate_security(&mut rng, c, round % 2 == 0, round % 3 == 0);
+                assert_ne!(pair.before, pair.after, "{c:?} produced identical versions");
+                assert!(!pair.message.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_functions_lex_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for c in ALL_CATEGORIES {
+            for _ in 0..5 {
+                let pair = generate_security(&mut rng, c, false, false);
+                for version in [&pair.before, &pair.after] {
+                    let text = version.join("\n");
+                    let toks = clang_lite::tokenize(&text);
+                    let open = toks.iter().filter(|t| t.is_punct("{")).count();
+                    let close = toks.iter().filter(|t| t.is_punct("}")).count();
+                    assert_eq!(open, close, "{c:?}: unbalanced braces\n{text}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn check_categories_add_if_statements() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for c in [
+            PatchCategory::BoundCheck,
+            PatchCategory::NullCheck,
+            PatchCategory::OtherSanityCheck,
+        ] {
+            let pair = generate_security(&mut rng, c, false, false);
+            let ifs_before = clang_lite::find_if_statements(&pair.before.join("\n")).len();
+            let ifs_after = clang_lite::find_if_statements(&pair.after.join("\n")).len();
+            assert!(
+                ifs_after >= ifs_before,
+                "{c:?}: ifs {ifs_before} → {ifs_after}"
+            );
+        }
+    }
+
+    #[test]
+    fn move_statement_preserves_content() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let pair = generate_security(&mut rng, PatchCategory::MoveStatement, false, false);
+        let mut b = pair.before.clone();
+        let mut a = pair.after.clone();
+        b.sort();
+        a.sort();
+        assert_eq!(b, a, "move must not alter the multiset of lines");
+    }
+
+    #[test]
+    fn cve_appears_only_when_reported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut saw_cve = false;
+        for _ in 0..20 {
+            let pair = generate_security(&mut rng, PatchCategory::BoundCheck, true, true);
+            saw_cve |= pair.message.contains("CVE-");
+        }
+        assert!(saw_cve);
+        for _ in 0..20 {
+            let pair = generate_security(&mut rng, PatchCategory::BoundCheck, false, false);
+            assert!(!pair.message.contains("CVE-"));
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! The Table I feature extractor: patch in, 60-dimensional vector out.
+
+use std::collections::HashSet;
+
+use clang_lite::{abstract_tokens, count_stats, tokenize_fragment, FragmentStats, TokenKind};
+use patch_core::{Hunk, LineKind, Patch};
+use serde::{Deserialize, Serialize};
+
+use crate::levenshtein::levenshtein;
+use crate::vector::{FeatureVector, FEATURE_DIM};
+
+/// Repository-level denominators for the "% of affected files/functions"
+/// features (57–60 in Table I). The paper's extractor knows the repository
+/// each patch came from; when mining supplies this context the percentages
+/// are true ratios, otherwise they degrade to 1.0 (patch-local view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepoContext {
+    /// Total number of files in the repository at the patch's commit.
+    pub total_files: usize,
+    /// Total number of function definitions in the repository.
+    pub total_functions: usize,
+}
+
+/// Extracts the 60 Table I features from one patch.
+///
+/// Works on the patch text alone (hunks and their lines); the patch need
+/// not apply to any file snapshot. `ctx` feeds the percentage features.
+pub fn extract(patch: &Patch, ctx: Option<&RepoContext>) -> FeatureVector {
+    let mut f = [0.0f64; FEATURE_DIM];
+
+    let hunks: Vec<&Hunk> = patch.hunks().collect();
+    let n_hunks = hunks.len();
+
+    let mut added_lines = 0usize;
+    let mut removed_lines = 0usize;
+    let mut added_chars = 0usize;
+    let mut removed_chars = 0usize;
+    let mut added = FragmentStats::default();
+    let mut removed = FragmentStats::default();
+
+    let mut lev_raw = Vec::with_capacity(n_hunks);
+    let mut lev_abs = Vec::with_capacity(n_hunks);
+    let mut hunk_keys_raw = Vec::with_capacity(n_hunks);
+    let mut hunk_keys_abs = Vec::with_capacity(n_hunks);
+
+    for h in &hunks {
+        let mut old_tokens: Vec<String> = Vec::new();
+        let mut new_tokens: Vec<String> = Vec::new();
+        for l in &h.lines {
+            let toks = tokenize_fragment(&l.content, 1);
+            let texts = toks
+                .iter()
+                .filter(|t| !matches!(t.kind, TokenKind::Comment))
+                .map(|t| t.text.clone());
+            match l.kind {
+                LineKind::Added => {
+                    added_lines += 1;
+                    added_chars += l.content.len();
+                    added.add(&count_stats(&toks));
+                    new_tokens.extend(texts);
+                }
+                LineKind::Removed => {
+                    removed_lines += 1;
+                    removed_chars += l.content.len();
+                    removed.add(&count_stats(&toks));
+                    old_tokens.extend(texts);
+                }
+                LineKind::Context => {
+                    let texts: Vec<String> = texts.collect();
+                    old_tokens.extend(texts.iter().cloned());
+                    new_tokens.extend(texts);
+                }
+            }
+        }
+
+        lev_raw.push(levenshtein(&old_tokens, &new_tokens) as f64);
+
+        // Abstraction is applied across the whole hunk body so numbering is
+        // consistent between the old and new projections.
+        let abstracted = |texts: &[String]| -> Vec<String> {
+            let joined = texts.join(" ");
+            abstract_tokens(&tokenize_fragment(&joined, 1))
+                .into_iter()
+                .map(|t| t.canon)
+                .collect()
+        };
+        let old_abs = abstracted(&old_tokens);
+        let new_abs = abstracted(&new_tokens);
+        lev_abs.push(levenshtein(&old_abs, &new_abs) as f64);
+
+        hunk_keys_raw.push(hunk_body_key(h, false));
+        hunk_keys_abs.push(hunk_body_key(h, true));
+    }
+
+    let n = |x: usize| x as f64;
+
+    // 1-2: basic shape.
+    f[0] = n(added_lines + removed_lines);
+    f[1] = n(n_hunks);
+    // 3-6: lines.
+    f[2] = n(added_lines);
+    f[3] = n(removed_lines);
+    f[4] = n(added_lines + removed_lines);
+    f[5] = n(added_lines) - n(removed_lines);
+    // 7-10: characters.
+    f[6] = n(added_chars);
+    f[7] = n(removed_chars);
+    f[8] = n(added_chars + removed_chars);
+    f[9] = n(added_chars) - n(removed_chars);
+
+    // 11-46: the nine a/r/t/n statement & operator families.
+    let fam = [
+        (added.ifs, removed.ifs),
+        (added.loops, removed.loops),
+        (added.calls, removed.calls),
+        (added.arithmetic_ops, removed.arithmetic_ops),
+        (added.relation_ops, removed.relation_ops),
+        (added.logical_ops, removed.logical_ops),
+        (added.bitwise_ops, removed.bitwise_ops),
+        (added.memory_ops, removed.memory_ops),
+        (added.variables, removed.variables),
+    ];
+    for (k, (a, r)) in fam.iter().enumerate() {
+        let base = 10 + 4 * k;
+        f[base] = n(*a);
+        f[base + 1] = n(*r);
+        f[base + 2] = n(a + r);
+        f[base + 3] = n(*a) - n(*r);
+    }
+
+    // 47-48: modified functions.
+    let affected_functions = affected_function_count(patch);
+    f[46] = n(affected_functions);
+    f[47] = signature_delta(patch);
+
+    // 49-54: intra-hunk Levenshtein, raw then abstracted.
+    let (mean_r, min_r, max_r) = summarize(&lev_raw);
+    f[48] = mean_r;
+    f[49] = min_r;
+    f[50] = max_r;
+    let (mean_a, min_a, max_a) = summarize(&lev_abs);
+    f[51] = mean_a;
+    f[52] = min_a;
+    f[53] = max_a;
+
+    // 55-56: duplicate hunks (total minus distinct), raw and abstracted —
+    // the "apply the same fix in N places" signal.
+    f[54] = n(n_hunks - distinct(&hunk_keys_raw));
+    f[55] = n(n_hunks - distinct(&hunk_keys_abs));
+
+    // 57-60: affected range.
+    let affected_files = patch.files.len();
+    f[56] = n(affected_files);
+    f[58] = n(affected_functions);
+    match ctx {
+        Some(c) => {
+            f[57] = n(affected_files) / n(c.total_files.max(1));
+            f[59] = n(affected_functions) / n(c.total_functions.max(1));
+        }
+        None => {
+            f[57] = 1.0;
+            f[59] = 1.0;
+        }
+    }
+
+    FeatureVector(f)
+}
+
+/// Extracts features for a batch of patches (convenience for pipelines).
+pub fn extract_batch<'a, I>(patches: I, ctx: Option<&RepoContext>) -> Vec<FeatureVector>
+where
+    I: IntoIterator<Item = &'a Patch>,
+{
+    patches.into_iter().map(|p| extract(p, ctx)).collect()
+}
+
+/// Counts distinct functions a patch touches: distinct `@@ … @@ section`
+/// texts where available, anonymous hunks counting individually.
+fn affected_function_count(patch: &Patch) -> usize {
+    let mut named: HashSet<&str> = HashSet::new();
+    let mut anonymous = 0usize;
+    for h in patch.hunks() {
+        let sec = h.section.trim();
+        if sec.is_empty() {
+            anonymous += 1;
+        } else {
+            named.insert(sec);
+        }
+    }
+    named.len() + anonymous
+}
+
+/// Net function definitions: signature-looking added lines minus removed.
+fn signature_delta(patch: &Patch) -> f64 {
+    let mut delta = 0i64;
+    for h in patch.hunks() {
+        for l in &h.lines {
+            if looks_like_signature(&l.content) {
+                match l.kind {
+                    LineKind::Added => delta += 1,
+                    LineKind::Removed => delta -= 1,
+                    LineKind::Context => {}
+                }
+            }
+        }
+    }
+    delta as f64
+}
+
+/// Heuristic for a function-definition opener: a type-ish prefix, a called
+/// identifier, and the line ending in `{` or `)` at top-level indentation.
+fn looks_like_signature(line: &str) -> bool {
+    if line.starts_with([' ', '\t']) {
+        return false;
+    }
+    let toks = tokenize_fragment(line, 1);
+    if toks.len() < 4 {
+        return false;
+    }
+    let first_typeish = match &toks[0].kind {
+        TokenKind::Keyword(kw) => kw.is_type(),
+        TokenKind::Ident => true,
+        _ => false,
+    };
+    let has_call = toks
+        .windows(2)
+        .any(|w| w[0].kind == TokenKind::Ident && w[1].is_punct("("));
+    let last = toks.last().expect("len checked");
+    first_typeish && has_call && (last.is_punct("{") || last.is_punct(")"))
+}
+
+fn summarize(xs: &[f64]) -> (f64, f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let sum: f64 = xs.iter().sum();
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (sum / xs.len() as f64, min, max)
+}
+
+fn distinct(keys: &[String]) -> usize {
+    keys.iter().collect::<HashSet<_>>().len()
+}
+
+/// Canonical key of a hunk body for duplicate detection; with `abs` the
+/// tokens are abstracted first so renamed copies of a fix still collide.
+fn hunk_body_key(hunk: &Hunk, abs: bool) -> String {
+    let mut key = String::new();
+    for l in &hunk.lines {
+        key.push(match l.kind {
+            LineKind::Context => ' ',
+            LineKind::Added => '+',
+            LineKind::Removed => '-',
+        });
+        if abs {
+            for t in abstract_tokens(&tokenize_fragment(&l.content, 1)) {
+                key.push_str(&t.canon);
+                key.push('\u{1}');
+            }
+        } else {
+            key.push_str(l.content.trim());
+        }
+        key.push('\n');
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patch_core::diff_files;
+
+    fn patch_of(before: &str, after: &str) -> Patch {
+        Patch::builder("0".repeat(40))
+            .message("test")
+            .file(diff_files("t.c", before, after, 3))
+            .build()
+    }
+
+    #[test]
+    fn sanity_check_features() {
+        let p = patch_of(
+            "int f(int a) {\n  return a;\n}\n",
+            "int f(int a) {\n  if (a < 0)\n    return 0;\n  return a;\n}\n",
+        );
+        let v = extract(&p, None);
+        assert_eq!(v.get_named("hunks"), 1.0);
+        assert_eq!(v.get_named("added lines"), 2.0);
+        assert_eq!(v.get_named("removed lines"), 0.0);
+        assert_eq!(v.get_named("added if statements"), 1.0);
+        assert_eq!(v.get_named("net if statements"), 1.0);
+        assert_eq!(v.get_named("added relation operators"), 1.0);
+        assert_eq!(v.get_named("affected files"), 1.0);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn net_features_signed() {
+        let p = patch_of(
+            "void g() {\n  if (a) b();\n  if (c) d();\n}\n",
+            "void g() {\n  b();\n}\n",
+        );
+        let v = extract(&p, None);
+        assert!(v.get_named("net if statements") <= -2.0 + 1e-9);
+        assert!(v.get_named("net lines") < 0.0);
+    }
+
+    #[test]
+    fn levenshtein_abstracted_leq_raw_for_rename() {
+        // Pure rename: abstracted distance collapses to 0.
+        let p = patch_of(
+            "void g() {\n  total = total + item;\n}\n",
+            "void g() {\n  sum = sum + node;\n}\n",
+        );
+        let v = extract(&p, None);
+        assert!(v.get_named("mean hunk levenshtein") > 0.0);
+        assert_eq!(v.get_named("mean hunk levenshtein (abstracted)"), 0.0);
+    }
+
+    #[test]
+    fn duplicate_hunks_detected() {
+        let before = (0..30).map(|i| format!("line{i};")).collect::<Vec<_>>();
+        let mut after = before.clone();
+        after[2] = "fixed();".to_owned();
+        after[20] = "fixed();".to_owned();
+        let p = patch_of(
+            &patch_core::join_lines(&before),
+            &patch_core::join_lines(&after),
+        );
+        let v = extract(&p, None);
+        assert_eq!(v.get_named("hunks"), 2.0);
+        // Bodies differ in context, so raw duplicates stay 0 here; the
+        // abstracted key also includes context, hence also 0. Duplicate
+        // detection needs identical bodies:
+        assert_eq!(v.get_named("same hunks"), 0.0);
+    }
+
+    #[test]
+    fn identical_hunk_bodies_count_as_same() {
+        use patch_core::{FileDiff, Hunk, Line};
+        let mk = |start: usize| Hunk {
+            old_start: start,
+            old_count: 1,
+            new_start: start,
+            new_count: 1,
+            section: String::new(),
+            lines: vec![Line::removed("old();"), Line::added("new();")],
+        };
+        let p = Patch::builder("0".repeat(40))
+            .file(FileDiff::new("x.c", vec![mk(1), mk(10), mk(20)]))
+            .build();
+        let v = extract(&p, None);
+        assert_eq!(v.get_named("same hunks"), 2.0); // 3 hunks, 1 distinct
+    }
+
+    #[test]
+    fn repo_context_drives_percentages() {
+        let p = patch_of("a();\n", "b();\n");
+        let ctx = RepoContext { total_files: 50, total_functions: 200 };
+        let v = extract(&p, Some(&ctx));
+        assert!((v.get_named("affected files %") - 0.02).abs() < 1e-12);
+        assert!(v.get_named("affected functions %") > 0.0);
+        let v_no = extract(&p, None);
+        assert_eq!(v_no.get_named("affected files %"), 1.0);
+    }
+
+    #[test]
+    fn empty_patch_is_zeroish() {
+        let p = Patch::builder("0".repeat(40))
+            .file(patch_core::FileDiff::new("x.c", vec![]))
+            .build();
+        let v = extract(&p, None);
+        assert_eq!(v.get_named("hunks"), 0.0);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn signature_detection() {
+        assert!(looks_like_signature("int foo(int a) {"));
+        assert!(looks_like_signature("static void bar(void)"));
+        assert!(!looks_like_signature("  foo(a);"));
+        assert!(!looks_like_signature("x = 1;"));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let p = patch_of("a();\n", "b();\n");
+        let batch = extract_batch([&p.clone(), &p].map(|x| x.clone()).iter(), None);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], extract(&p, None));
+    }
+}

@@ -1,0 +1,127 @@
+//! Feature weighting and distances (Section III-B-2).
+//!
+//! Each dimension j is scaled by `w_j = 1 / max_i |a_ij|` over the pooled
+//! population (security + wild patches), mapping values into `[-1, 1]`
+//! while preserving signs of net features. Distances between weighted
+//! vectors are plain Euclidean.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vector::{FeatureVector, FEATURE_DIM};
+
+/// Per-dimension weights learned from a population of feature vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    values: Vec<f64>,
+}
+
+impl Weights {
+    /// Identity weights (no scaling).
+    pub fn identity() -> Self {
+        Weights { values: vec![1.0; FEATURE_DIM] }
+    }
+
+    /// A view of the per-dimension weight values.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Learns `w_j = 1 / max_i |a_ij|` over `rows`.
+///
+/// Dimensions that are identically zero across the population get weight
+/// 0 rather than an infinity: a constant column carries no information and
+/// must not poison distances (documented deviation from the paper's
+/// formula, which is undefined there).
+pub fn learn_weights<'a, I>(rows: I) -> Weights
+where
+    I: IntoIterator<Item = &'a FeatureVector>,
+{
+    let mut max_abs = [0.0f64; FEATURE_DIM];
+    for row in rows {
+        for (m, v) in max_abs.iter_mut().zip(row.as_slice()) {
+            *m = m.max(v.abs());
+        }
+    }
+    Weights {
+        values: max_abs
+            .iter()
+            .map(|m| if *m > 0.0 { 1.0 / m } else { 0.0 })
+            .collect(),
+    }
+}
+
+/// Applies weights to a vector, producing the normalized point.
+pub fn apply_weights(v: &FeatureVector, w: &Weights) -> FeatureVector {
+    let mut out = [0.0f64; FEATURE_DIM];
+    for ((o, x), wj) in out.iter_mut().zip(v.as_slice()).zip(&w.values) {
+        *o = x * wj;
+    }
+    FeatureVector(out)
+}
+
+/// Euclidean distance between two (weighted) feature vectors.
+pub fn euclidean(a: &FeatureVector, b: &FeatureVector) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_with(idx: usize, val: f64) -> FeatureVector {
+        let mut v = FeatureVector::zero();
+        v.as_mut_slice()[idx] = val;
+        v
+    }
+
+    #[test]
+    fn weights_scale_to_unit_range() {
+        let rows = vec![vec_with(0, 10.0), vec_with(0, -40.0), vec_with(1, 4.0)];
+        let w = learn_weights(&rows);
+        assert!((w.as_slice()[0] - 1.0 / 40.0).abs() < 1e-12);
+        for r in &rows {
+            let n = apply_weights(r, &w);
+            assert!(n.as_slice().iter().all(|x| x.abs() <= 1.0 + 1e-12));
+        }
+        // Sign preserved.
+        assert!(apply_weights(&rows[1], &w).as_slice()[0] < 0.0);
+    }
+
+    #[test]
+    fn zero_column_gets_zero_weight() {
+        let rows = vec![vec_with(2, 1.0)];
+        let w = learn_weights(&rows);
+        assert_eq!(w.as_slice()[0], 0.0);
+        assert!(w.as_slice()[2] > 0.0);
+        // And applying them never produces NaN.
+        let n = apply_weights(&rows[0], &w);
+        assert!(n.is_finite());
+    }
+
+    #[test]
+    fn euclidean_axioms() {
+        let a = vec_with(0, 3.0);
+        let b = vec_with(1, 4.0);
+        assert_eq!(euclidean(&a, &a), 0.0);
+        assert!((euclidean(&a, &b) - 5.0).abs() < 1e-12);
+        assert_eq!(euclidean(&a, &b), euclidean(&b, &a));
+    }
+
+    #[test]
+    fn identity_weights_are_noop() {
+        let v = vec_with(5, 2.5);
+        assert_eq!(apply_weights(&v, &Weights::identity()), v);
+    }
+
+    #[test]
+    fn empty_population_weights_all_zero() {
+        let w = learn_weights(std::iter::empty());
+        assert!(w.as_slice().iter().all(|x| *x == 0.0));
+    }
+}

@@ -1,0 +1,256 @@
+//! Naive Bayes models: Gaussian NB and a discretized variant standing in
+//! for Weka's BayesNet (which, with default search settings, reduces to a
+//! naive structure over discretized attributes — documented substitution).
+
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::Classifier;
+use crate::dataset::Dataset;
+
+/// Gaussian naive Bayes with per-class feature means/variances.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GaussianNaiveBayes {
+    prior_pos: f64,
+    mean: [Vec<f64>; 2], // [neg, pos]
+    var: [Vec<f64>; 2],
+}
+
+impl GaussianNaiveBayes {
+    /// Creates an untrained model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn fit(&mut self, data: &Dataset) {
+        let w = data.width();
+        let mut count = [0usize; 2];
+        let mut mean = [vec![0.0; w], vec![0.0; w]];
+        for (row, &y) in data.rows().iter().zip(data.labels()) {
+            let c = usize::from(y);
+            count[c] += 1;
+            for (m, v) in mean[c].iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for c in 0..2 {
+            for m in &mut mean[c] {
+                *m /= count[c].max(1) as f64;
+            }
+        }
+        let mut var = [vec![0.0; w], vec![0.0; w]];
+        for (row, &y) in data.rows().iter().zip(data.labels()) {
+            let c = usize::from(y);
+            for ((s, v), m) in var[c].iter_mut().zip(row).zip(&mean[c]) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for c in 0..2 {
+            for s in &mut var[c] {
+                *s = (*s / count[c].max(1) as f64).max(1e-9); // variance floor
+            }
+        }
+        self.prior_pos = count[1] as f64 / data.len().max(1) as f64;
+        self.mean = mean;
+        self.var = var;
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if self.mean[0].is_empty() && self.mean[1].is_empty() {
+            return 0.5;
+        }
+        let log_lik = |c: usize| -> f64 {
+            let prior = if c == 1 { self.prior_pos } else { 1.0 - self.prior_pos };
+            let mut ll = prior.max(1e-12).ln();
+            for ((v, m), s2) in x.iter().zip(&self.mean[c]).zip(&self.var[c]) {
+                ll += -0.5 * ((v - m) * (v - m) / s2 + s2.ln() + (2.0 * std::f64::consts::PI).ln());
+            }
+            ll
+        };
+        let (l0, l1) = (log_lik(0), log_lik(1));
+        let m = l0.max(l1);
+        let (e0, e1) = ((l0 - m).exp(), (l1 - m).exp());
+        e1 / (e0 + e1)
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian-naive-bayes"
+    }
+}
+
+/// Discretized naive Bayes ("BayesNet-lite"): equal-width bins per feature
+/// learned from training ranges, Laplace-smoothed bin likelihoods.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiscretizedBayesNet {
+    bins: usize,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    prior_pos: f64,
+    /// `log P(bin | class)` per class, feature-major: `[class][feature][bin]`.
+    log_lik: [Vec<Vec<f64>>; 2],
+}
+
+impl DiscretizedBayesNet {
+    /// Creates an untrained model with `bins` equal-width bins per feature.
+    pub fn new(bins: usize) -> Self {
+        DiscretizedBayesNet {
+            bins: bins.max(2),
+            lo: Vec::new(),
+            hi: Vec::new(),
+            prior_pos: 0.5,
+            log_lik: [Vec::new(), Vec::new()],
+        }
+    }
+
+    fn bin_of(&self, feature: usize, v: f64) -> usize {
+        let (lo, hi) = (self.lo[feature], self.hi[feature]);
+        if hi <= lo {
+            return 0;
+        }
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((t * self.bins as f64) as usize).min(self.bins - 1)
+    }
+}
+
+impl Classifier for DiscretizedBayesNet {
+    fn fit(&mut self, data: &Dataset) {
+        let w = data.width();
+        self.lo = vec![f64::INFINITY; w];
+        self.hi = vec![f64::NEG_INFINITY; w];
+        for row in data.rows() {
+            for ((lo, hi), v) in self.lo.iter_mut().zip(&mut self.hi).zip(row) {
+                *lo = lo.min(*v);
+                *hi = hi.max(*v);
+            }
+        }
+        let mut counts = [
+            vec![vec![1.0f64; self.bins]; w], // Laplace prior of 1 per bin
+            vec![vec![1.0f64; self.bins]; w],
+        ];
+        let mut class_n = [w as f64 * 0.0 + self.bins as f64; 2]; // per-feature normalizer base
+        let mut n_pos = 0usize;
+        for (row, &y) in data.rows().iter().zip(data.labels()) {
+            let c = usize::from(y);
+            if y {
+                n_pos += 1;
+            }
+            for (f, v) in row.iter().enumerate() {
+                let b = self.bin_of(f, *v);
+                counts[c][f][b] += 1.0;
+            }
+        }
+        class_n[0] = (data.len() - n_pos) as f64 + self.bins as f64;
+        class_n[1] = n_pos as f64 + self.bins as f64;
+        for c in 0..2 {
+            self.log_lik[c] = counts[c]
+                .iter()
+                .map(|fbins| fbins.iter().map(|n| (n / class_n[c]).ln()).collect())
+                .collect();
+        }
+        self.prior_pos = n_pos as f64 / data.len().max(1) as f64;
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if self.lo.is_empty() {
+            return 0.5;
+        }
+        let score = |c: usize| -> f64 {
+            let prior = if c == 1 { self.prior_pos } else { 1.0 - self.prior_pos };
+            let mut ll = prior.max(1e-12).ln();
+            for (f, v) in x.iter().enumerate().take(self.log_lik[c].len()) {
+                ll += self.log_lik[c][f][self.bin_of(f, *v)];
+            }
+            ll
+        };
+        let (l0, l1) = (score(0), score(1));
+        let m = l0.max(l1);
+        let (e0, e1) = ((l0 - m).exp(), (l1 - m).exp());
+        e1 / (e0 + e1)
+    }
+
+    fn name(&self) -> &'static str {
+        "bayes-net"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::evaluate;
+
+    fn gaussian_blobs(n: usize) -> Dataset {
+        // Two well-separated blobs along both axes, deterministic jitter.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let j1 = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+            let j2 = ((i * 40503) % 1000) as f64 / 1000.0 - 0.5;
+            if i % 2 == 0 {
+                x.push(vec![j1, j2]);
+                y.push(false);
+            } else {
+                x.push(vec![3.0 + j1, 3.0 + j2]);
+                y.push(true);
+            }
+        }
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn gaussian_nb_separates_blobs() {
+        let d = gaussian_blobs(400);
+        let (train, test) = d.split(0.8, 1);
+        let mut m = GaussianNaiveBayes::new();
+        m.fit(&train);
+        assert!(evaluate(&m, &test).accuracy() > 0.97);
+    }
+
+    #[test]
+    fn bayes_net_separates_blobs() {
+        let d = gaussian_blobs(400);
+        let (train, test) = d.split(0.8, 1);
+        let mut m = DiscretizedBayesNet::new(8);
+        m.fit(&train);
+        assert!(evaluate(&m, &test).accuracy() > 0.95);
+    }
+
+    #[test]
+    fn priors_shift_probabilities() {
+        // 90% negative data: an ambiguous point leans negative.
+        let mut x = vec![vec![0.0]; 90];
+        x.extend(vec![vec![0.2]; 10]);
+        let mut y = vec![false; 90];
+        y.extend(vec![true; 10]);
+        let d = Dataset::new(x, y).unwrap();
+        let mut m = GaussianNaiveBayes::new();
+        m.fit(&d);
+        assert!(m.predict_proba(&[0.1]) < 0.5);
+    }
+
+    #[test]
+    fn constant_feature_does_not_nan() {
+        let d = Dataset::new(vec![vec![1.0], vec![1.0]], vec![true, false]).unwrap();
+        let mut g = GaussianNaiveBayes::new();
+        g.fit(&d);
+        assert!(g.predict_proba(&[1.0]).is_finite());
+        let mut b = DiscretizedBayesNet::new(4);
+        b.fit(&d);
+        assert!(b.predict_proba(&[1.0]).is_finite());
+    }
+
+    #[test]
+    fn untrained_predicts_half() {
+        assert_eq!(GaussianNaiveBayes::new().predict_proba(&[0.0]), 0.5);
+        assert_eq!(DiscretizedBayesNet::new(4).predict_proba(&[0.0]), 0.5);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edge_bins() {
+        let d = gaussian_blobs(100);
+        let mut m = DiscretizedBayesNet::new(8);
+        m.fit(&d);
+        let p = m.predict_proba(&[1e9, -1e9]);
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+    }
+}

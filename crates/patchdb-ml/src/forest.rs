@@ -1,0 +1,169 @@
+//! Random forest: bagged Gini trees with √d feature subsampling — the
+//! model behind the pseudo-labeling baseline (Table III) and the
+//! statistical-feature classifier of Table VI.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::classifier::Classifier;
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, GrowParams, SplitCriterion};
+
+/// A random forest over binary-labeled feature rows.
+///
+/// Training parallelizes across trees with crossbeam scoped threads when
+/// the forest is large enough to pay for it.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    n_trees: usize,
+    max_depth: usize,
+    seed: u64,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Creates an untrained forest of `n_trees` depth-bounded trees.
+    pub fn new(n_trees: usize, max_depth: usize, seed: u64) -> Self {
+        RandomForest { n_trees: n_trees.max(1), max_depth, seed, trees: Vec::new() }
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) {
+        let mtry = ((data.width() as f64).sqrt().ceil() as usize).max(1);
+        let params = GrowParams {
+            criterion: SplitCriterion::Gini,
+            max_depth: self.max_depth,
+            min_samples_split: 2,
+            mtry: Some(mtry),
+        };
+
+        let seeds: Vec<u64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+            (0..self.n_trees).map(|_| rng.gen()).collect()
+        };
+
+        let fit_one = |tree_seed: u64| -> DecisionTree {
+            let mut rng = ChaCha8Rng::seed_from_u64(tree_seed);
+            let sample = data.bootstrap(data.len(), &mut rng);
+            let mut tree = DecisionTree::new(SplitCriterion::Gini, self.max_depth);
+            tree.fit_params(&sample, params, &mut rng);
+            tree
+        };
+
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+        if self.n_trees >= 8 && data.len() >= 512 && threads > 1 {
+            let chunks: Vec<Vec<u64>> =
+                seeds.chunks(self.n_trees.div_ceil(threads)).map(<[u64]>::to_vec).collect();
+            let mut results: Vec<Vec<DecisionTree>> = Vec::with_capacity(chunks.len());
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        let fit_one = &fit_one;
+                        scope.spawn(move |_| {
+                            chunk.iter().map(|&s| fit_one(s)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.push(h.join().expect("forest worker panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            self.trees = results.into_iter().flatten().collect();
+        } else {
+            self.trees = seeds.into_iter().map(fit_one).collect();
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        let sum: f64 = self.trees.iter().map(|t| t.predict_proba(x)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::evaluate;
+
+    fn two_moons(n: usize) -> Dataset {
+        // Deterministic pseudo-random interleaved clusters.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let t = (i as f64) / n as f64 * std::f64::consts::PI;
+            let noise = ((i * 2654435761) % 97) as f64 / 970.0;
+            if i % 2 == 0 {
+                x.push(vec![t.cos() + noise, t.sin() + noise]);
+                y.push(false);
+            } else {
+                x.push(vec![1.0 - t.cos() + noise, 0.5 - t.sin() + noise]);
+                y.push(true);
+            }
+        }
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn beats_90_percent_on_moons() {
+        let d = two_moons(600);
+        let (train, test) = d.split(0.8, 3);
+        let mut rf = RandomForest::new(24, 8, 11);
+        rf.fit(&train);
+        let m = evaluate(&rf, &test);
+        assert!(m.accuracy() > 0.9, "accuracy {}", m.accuracy());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = two_moons(200);
+        let mut a = RandomForest::new(8, 6, 5);
+        let mut b = RandomForest::new(8, 6, 5);
+        a.fit(&d);
+        b.fit(&d);
+        for i in 0..d.len() {
+            let (x, _) = d.example(i);
+            assert_eq!(a.predict_proba(x), b.predict_proba(x));
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // 600 rows × 16 trees triggers the threaded path; 4 trees the serial
+        // one. Same per-tree seeds → same model regardless of path.
+        let d = two_moons(600);
+        let mut big = RandomForest::new(16, 6, 5);
+        big.fit(&d);
+        assert_eq!(big.tree_count(), 16);
+        let (x, _) = d.example(0);
+        let p = big.predict_proba(x);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn probabilities_average_trees() {
+        let d = two_moons(100);
+        let mut rf = RandomForest::new(4, 4, 9);
+        rf.fit(&d);
+        for i in 0..20 {
+            let (x, _) = d.example(i);
+            let p = rf.predict_proba(x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! k-nearest-neighbors classifier. Not one of the paper's ten ensemble
+//! members, but the natural contrast to nearest link search (Section
+//! III-B-3 explicitly distinguishes the two), so the ablation benches use
+//! it.
+
+use crate::classifier::{Classifier, Standardizer};
+use crate::dataset::Dataset;
+
+/// Brute-force k-NN over z-scored features.
+#[derive(Debug, Clone)]
+pub struct KNearestNeighbors {
+    k: usize,
+    scaler: Standardizer,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+}
+
+impl KNearestNeighbors {
+    /// Creates an untrained model voting over `k` neighbors.
+    pub fn new(k: usize) -> Self {
+        KNearestNeighbors {
+            k: k.max(1),
+            scaler: Standardizer::default(),
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn fit(&mut self, data: &Dataset) {
+        self.scaler = Standardizer::fit(data);
+        self.rows = data.rows().iter().map(|r| self.scaler.transform(r)).collect();
+        self.labels = data.labels().to_vec();
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if self.rows.is_empty() {
+            return 0.5;
+        }
+        let z = self.scaler.transform(x);
+        let mut dists: Vec<(f64, bool)> = self
+            .rows
+            .iter()
+            .zip(&self.labels)
+            .map(|(r, &y)| {
+                let d: f64 = r.iter().zip(&z).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, y)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let pos = dists[..k].iter().filter(|(_, y)| *y).count();
+        pos as f64 / k as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "k-nearest-neighbors"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::evaluate;
+
+    #[test]
+    fn memorizes_with_k1() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![false, false, true, true],
+        )
+        .unwrap();
+        let mut m = KNearestNeighbors::new(1);
+        m.fit(&d);
+        assert_eq!(evaluate(&m, &d).accuracy(), 1.0);
+    }
+
+    #[test]
+    fn k3_votes() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![0.1], vec![0.2], vec![5.0]],
+            vec![true, true, false, false],
+        )
+        .unwrap();
+        let mut m = KNearestNeighbors::new(3);
+        m.fit(&d);
+        // Neighbors of 0.05: {0.0 T, 0.1 T, 0.2 F} → 2/3.
+        assert!((m.predict_proba(&[0.05]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untrained_predicts_half() {
+        assert_eq!(KNearestNeighbors::new(3).predict_proba(&[1.0]), 0.5);
+    }
+}

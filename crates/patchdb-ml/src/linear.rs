@@ -1,0 +1,368 @@
+//! Linear models: logistic regression, an SGD log-loss classifier, a
+//! Pegasos-style linear SVM, and the voted perceptron — four of the ten
+//! classifiers in the paper's uncertainty ensemble.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::classifier::{Classifier, Standardizer};
+use crate::dataset::Dataset;
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn dot(w: &[f64], x: &[f64]) -> f64 {
+    w.iter().zip(x).map(|(a, b)| a * b).sum()
+}
+
+/// Shared state of the gradient-trained linear models.
+#[derive(Debug, Clone, Default)]
+struct LinearState {
+    weights: Vec<f64>,
+    bias: f64,
+    scaler: Standardizer,
+}
+
+impl LinearState {
+    fn margin(&self, x: &[f64]) -> f64 {
+        if self.weights.is_empty() {
+            return 0.0;
+        }
+        let z = self.scaler.transform(x);
+        dot(&self.weights, &z) + self.bias
+    }
+}
+
+/// Full-batch logistic regression trained with gradient descent and L2
+/// regularization on z-scored features.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    state: LinearState,
+    epochs: usize,
+    lr: f64,
+    l2: f64,
+    seed: u64,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model with library defaults (200 epochs,
+    /// learning rate 0.1, weak L2).
+    pub fn new(seed: u64) -> Self {
+        LogisticRegression {
+            state: LinearState::default(),
+            epochs: 200,
+            lr: 0.1,
+            l2: 1e-4,
+            seed,
+        }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, data: &Dataset) {
+        let _ = self.seed; // deterministic full-batch; seed kept for API parity
+        self.state.scaler = Standardizer::fit(data);
+        let rows: Vec<Vec<f64>> =
+            data.rows().iter().map(|r| self.state.scaler.transform(r)).collect();
+        let n = rows.len().max(1) as f64;
+        let w = data.width();
+        self.state.weights = vec![0.0; w];
+        self.state.bias = 0.0;
+
+        for _ in 0..self.epochs {
+            let mut grad_w = vec![0.0; w];
+            let mut grad_b = 0.0;
+            for (row, &label) in rows.iter().zip(data.labels()) {
+                let p = sigmoid(dot(&self.state.weights, row) + self.state.bias);
+                let err = p - f64::from(label);
+                for (g, v) in grad_w.iter_mut().zip(row) {
+                    *g += err * v;
+                }
+                grad_b += err;
+            }
+            for (wi, g) in self.state.weights.iter_mut().zip(&grad_w) {
+                *wi -= self.lr * (g / n + self.l2 * *wi);
+            }
+            self.state.bias -= self.lr * grad_b / n;
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.state.margin(x))
+    }
+
+    fn name(&self) -> &'static str {
+        "logistic-regression"
+    }
+}
+
+/// Stochastic-gradient log-loss classifier (scikit's `SGDClassifier`
+/// flavor): per-example updates, decaying step size.
+#[derive(Debug, Clone)]
+pub struct SgdClassifier {
+    state: LinearState,
+    epochs: usize,
+    lr0: f64,
+    seed: u64,
+}
+
+impl SgdClassifier {
+    /// Creates an untrained model (30 epochs, step 0.5/(1+t·1e-3)).
+    pub fn new(seed: u64) -> Self {
+        SgdClassifier { state: LinearState::default(), epochs: 30, lr0: 0.5, seed }
+    }
+}
+
+impl Classifier for SgdClassifier {
+    fn fit(&mut self, data: &Dataset) {
+        self.state.scaler = Standardizer::fit(data);
+        let rows: Vec<Vec<f64>> =
+            data.rows().iter().map(|r| self.state.scaler.transform(r)).collect();
+        let w = data.width();
+        self.state.weights = vec![0.0; w];
+        self.state.bias = 0.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        let mut t = 0usize;
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                let lr = self.lr0 / (1.0 + 1e-3 * t as f64);
+                let p = sigmoid(dot(&self.state.weights, &rows[i]) + self.state.bias);
+                let err = p - f64::from(data.labels()[i]);
+                for (wi, v) in self.state.weights.iter_mut().zip(&rows[i]) {
+                    *wi -= lr * err * v;
+                }
+                self.state.bias -= lr * err;
+            }
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.state.margin(x))
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd-classifier"
+    }
+}
+
+/// Pegasos-style linear SVM (hinge loss, λ-regularized SGD). Probabilities
+/// are a sigmoid squash of the margin — adequate for thresholding and
+/// consensus voting.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    state: LinearState,
+    epochs: usize,
+    lambda: f64,
+    seed: u64,
+}
+
+impl LinearSvm {
+    /// Creates an untrained SVM (30 epochs, λ = 1e-4).
+    pub fn new(seed: u64) -> Self {
+        LinearSvm { state: LinearState::default(), epochs: 30, lambda: 1e-4, seed }
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, data: &Dataset) {
+        self.state.scaler = Standardizer::fit(data);
+        let rows: Vec<Vec<f64>> =
+            data.rows().iter().map(|r| self.state.scaler.transform(r)).collect();
+        let w = data.width();
+        self.state.weights = vec![0.0; w];
+        self.state.bias = 0.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        let mut t = 0usize;
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                let lr = 1.0 / (self.lambda * t as f64);
+                let y = if data.labels()[i] { 1.0 } else { -1.0 };
+                let margin = y * (dot(&self.state.weights, &rows[i]) + self.state.bias);
+                // w ← (1 − ηλ)w  [+ ηy·x when inside the margin]
+                for wi in &mut self.state.weights {
+                    *wi *= 1.0 - (lr * self.lambda).min(1.0);
+                }
+                if margin < 1.0 {
+                    for (wi, v) in self.state.weights.iter_mut().zip(&rows[i]) {
+                        *wi += lr * y * v;
+                    }
+                    self.state.bias += lr * y * 0.1; // unregularized, damped
+                }
+            }
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.state.margin(x))
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-svm"
+    }
+}
+
+/// Freund–Schapire voted perceptron: keeps every intermediate weight
+/// vector with its survival count and votes them at prediction time.
+#[derive(Debug, Clone)]
+pub struct VotedPerceptron {
+    snapshots: Vec<(Vec<f64>, f64, usize)>, // (weights, bias, votes)
+    scaler: Standardizer,
+    epochs: usize,
+    seed: u64,
+}
+
+impl VotedPerceptron {
+    /// Creates an untrained model (10 epochs).
+    pub fn new(seed: u64) -> Self {
+        VotedPerceptron {
+            snapshots: Vec::new(),
+            scaler: Standardizer::default(),
+            epochs: 10,
+            seed,
+        }
+    }
+}
+
+impl Classifier for VotedPerceptron {
+    fn fit(&mut self, data: &Dataset) {
+        self.scaler = Standardizer::fit(data);
+        let rows: Vec<Vec<f64>> = data.rows().iter().map(|r| self.scaler.transform(r)).collect();
+        let w = data.width();
+        let mut weights = vec![0.0; w];
+        let mut bias = 0.0;
+        let mut votes = 1usize;
+        self.snapshots.clear();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let y = if data.labels()[i] { 1.0 } else { -1.0 };
+                if y * (dot(&weights, &rows[i]) + bias) <= 0.0 {
+                    // Mistake: snapshot the surviving vector, then update.
+                    self.snapshots.push((weights.clone(), bias, votes));
+                    for (wi, v) in weights.iter_mut().zip(&rows[i]) {
+                        *wi += y * v;
+                    }
+                    bias += y;
+                    votes = 1;
+                } else {
+                    votes += 1;
+                }
+            }
+        }
+        self.snapshots.push((weights, bias, votes));
+        // Cap memory: keep the heaviest 256 snapshots.
+        if self.snapshots.len() > 256 {
+            self.snapshots.sort_by_key(|(_, _, v)| std::cmp::Reverse(*v));
+            self.snapshots.truncate(256);
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if self.snapshots.is_empty() {
+            return 0.5;
+        }
+        let z = self.scaler.transform(x);
+        let mut score = 0.0;
+        let mut total = 0.0;
+        for (w, b, v) in &self.snapshots {
+            let sign = if dot(w, &z) + b >= 0.0 { 1.0 } else { -1.0 };
+            score += (*v as f64) * sign;
+            total += *v as f64;
+        }
+        (score / total + 1.0) / 2.0
+    }
+
+    fn name(&self) -> &'static str {
+        "voted-perceptron"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::evaluate;
+
+    fn linearly_separable(n: usize) -> Dataset {
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = (i % 20) as f64;
+                let b = ((i * 7) % 20) as f64;
+                vec![a, b]
+            })
+            .collect();
+        let y: Vec<bool> = x.iter().map(|r| r[0] + r[1] > 19.0).collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    fn check_model<C: Classifier>(mut model: C, min_acc: f64) {
+        let d = linearly_separable(400);
+        let (train, test) = d.split(0.8, 2);
+        model.fit(&train);
+        let m = evaluate(&model, &test);
+        assert!(
+            m.accuracy() >= min_acc,
+            "{} accuracy {} < {min_acc}",
+            model.name(),
+            m.accuracy()
+        );
+    }
+
+    #[test]
+    fn logistic_regression_separates() {
+        check_model(LogisticRegression::new(1), 0.93);
+    }
+
+    #[test]
+    fn sgd_separates() {
+        check_model(SgdClassifier::new(1), 0.93);
+    }
+
+    #[test]
+    fn svm_separates() {
+        check_model(LinearSvm::new(1), 0.9);
+    }
+
+    #[test]
+    fn voted_perceptron_separates() {
+        check_model(VotedPerceptron::new(1), 0.9);
+    }
+
+    #[test]
+    fn sigmoid_is_stable() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let d = linearly_separable(100);
+        let mut m = LogisticRegression::new(3);
+        m.fit(&d);
+        for i in 0..d.len() {
+            let p = m.predict_proba(d.example(i).0);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn untrained_models_predict_half() {
+        assert_eq!(LogisticRegression::new(0).predict_proba(&[1.0, 2.0]), 0.5);
+        assert_eq!(VotedPerceptron::new(0).predict_proba(&[1.0, 2.0]), 0.5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Confusion-matrix metrics: the precision/recall numbers every PatchDB
+//! table reports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Positives predicted positive.
+    pub tp: usize,
+    /// Negatives predicted positive.
+    pub fp: usize,
+    /// Positives predicted negative.
+    pub fn_: usize,
+    /// Negatives predicted negative.
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Records one (prediction, truth) pair.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total examples recorded.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+/// Metrics derived from a confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// The underlying confusion matrix.
+    pub confusion: ConfusionMatrix,
+}
+
+impl Metrics {
+    /// Wraps a confusion matrix.
+    pub fn new(confusion: ConfusionMatrix) -> Self {
+        Metrics { confusion }
+    }
+
+    /// `tp / (tp + fp)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let d = self.confusion.tp + self.confusion.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.confusion.tp as f64 / d as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let d = self.confusion.tp + self.confusion.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.confusion.tp as f64 / d as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.confusion.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.confusion.tp + self.confusion.tn) as f64 / t as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "precision {:.1}%, recall {:.1}%, F1 {:.1}%, accuracy {:.1}%",
+            100.0 * self.precision(),
+            100.0 * self.recall(),
+            100.0 * self.f1(),
+            100.0 * self.accuracy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        let m = Metrics::new(ConfusionMatrix { tp: 8, fp: 2, fn_: 4, tn: 6 });
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 8.0 / 12.0).abs() < 1e-12);
+        assert!((m.accuracy() - 0.7).abs() < 1e-12);
+        let f1 = 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0);
+        assert!((m.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let m = Metrics::new(ConfusionMatrix::default());
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn record_routes_correctly() {
+        let mut c = ConfusionMatrix::default();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = Metrics::new(ConfusionMatrix { tp: 1, fp: 0, fn_: 0, tn: 1 });
+        let s = m.to_string();
+        assert!(s.contains("precision 100.0%"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Simplified SMO (sequential minimal optimization) linear SVM, after
+//! Platt (1998) — the "SMO classifier" member of the paper's
+//! uncertainty ensemble.
+//!
+//! This is the simplified-SMO variant (random second multiplier, bounded
+//! passes) on a linear kernel. For separable-ish data it converges to the
+//! same decision boundary as the dual SVM; for our ensemble use only the
+//! decision function matters.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::classifier::{Classifier, Standardizer};
+use crate::dataset::Dataset;
+
+/// Linear-kernel SMO SVM.
+#[derive(Debug, Clone)]
+pub struct SmoSvm {
+    c: f64,
+    tol: f64,
+    max_passes: usize,
+    seed: u64,
+    scaler: Standardizer,
+    weights: Vec<f64>,
+    bias: f64,
+    trained: bool,
+}
+
+impl SmoSvm {
+    /// Creates an untrained model (C = 1.0, tolerance 1e-3, 5 passes).
+    pub fn new(seed: u64) -> Self {
+        SmoSvm {
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            seed,
+            scaler: Standardizer::default(),
+            weights: Vec::new(),
+            bias: 0.0,
+            trained: false,
+        }
+    }
+
+    fn decision(&self, z: &[f64]) -> f64 {
+        self.weights.iter().zip(z).map(|(a, b)| a * b).sum::<f64>() + self.bias
+    }
+}
+
+impl Classifier for SmoSvm {
+    fn fit(&mut self, data: &Dataset) {
+        self.scaler = Standardizer::fit(data);
+        let x: Vec<Vec<f64>> = data.rows().iter().map(|r| self.scaler.transform(r)).collect();
+        let y: Vec<f64> = data.labels().iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let n = x.len();
+        if n == 0 {
+            return;
+        }
+        // Cap the working set: SMO is O(n²)-ish; subsample large sets.
+        let cap = 2000usize;
+        let idxs: Vec<usize> = if n > cap {
+            let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5151);
+            (0..cap).map(|_| rng.gen_range(0..n)).collect()
+        } else {
+            (0..n).collect()
+        };
+        let xs: Vec<&Vec<f64>> = idxs.iter().map(|&i| &x[i]).collect();
+        let ys: Vec<f64> = idxs.iter().map(|&i| y[i]).collect();
+        let m = xs.len();
+
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(p, q)| p * q).sum::<f64>();
+        let mut alpha = vec![0.0f64; m];
+        let mut b = 0.0f64;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        let f = |alpha: &[f64], b: f64, xi: &[f64], xs: &[&Vec<f64>], ys: &[f64]| -> f64 {
+            let mut s = b;
+            for j in 0..xs.len() {
+                if alpha[j] != 0.0 {
+                    s += alpha[j] * ys[j] * dot(xs[j], xi);
+                }
+            }
+            s
+        };
+
+        let mut passes = 0usize;
+        // Hard bound on total sweeps: simplified SMO resets its clean-pass
+        // counter on every multiplier change, which can otherwise sweep
+        // for a very long time on non-separable data.
+        let max_sweeps = 40usize;
+        let mut sweeps = 0usize;
+        while passes < self.max_passes && sweeps < max_sweeps {
+            sweeps += 1;
+            let mut changed = 0usize;
+            for i in 0..m {
+                let ei = f(&alpha, b, xs[i], &xs, &ys) - ys[i];
+                if (ys[i] * ei < -self.tol && alpha[i] < self.c)
+                    || (ys[i] * ei > self.tol && alpha[i] > 0.0)
+                {
+                    let mut j = rng.gen_range(0..m - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    let ej = f(&alpha, b, xs[j], &xs, &ys) - ys[j];
+                    let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                    let (lo, hi) = if (ys[i] - ys[j]).abs() > f64::EPSILON {
+                        ((aj_old - ai_old).max(0.0), (self.c + aj_old - ai_old).min(self.c))
+                    } else {
+                        ((ai_old + aj_old - self.c).max(0.0), (ai_old + aj_old).min(self.c))
+                    };
+                    if lo >= hi {
+                        continue;
+                    }
+                    let eta = 2.0 * dot(xs[i], xs[j]) - dot(xs[i], xs[i]) - dot(xs[j], xs[j]);
+                    if eta >= 0.0 {
+                        continue;
+                    }
+                    let mut aj = aj_old - ys[j] * (ei - ej) / eta;
+                    aj = aj.clamp(lo, hi);
+                    if (aj - aj_old).abs() < 1e-5 {
+                        continue;
+                    }
+                    let ai = ai_old + ys[i] * ys[j] * (aj_old - aj);
+                    alpha[i] = ai;
+                    alpha[j] = aj;
+                    let b1 = b - ei
+                        - ys[i] * (ai - ai_old) * dot(xs[i], xs[i])
+                        - ys[j] * (aj - aj_old) * dot(xs[i], xs[j]);
+                    let b2 = b - ej
+                        - ys[i] * (ai - ai_old) * dot(xs[i], xs[j])
+                        - ys[j] * (aj - aj_old) * dot(xs[j], xs[j]);
+                    b = if ai > 0.0 && ai < self.c {
+                        b1
+                    } else if aj > 0.0 && aj < self.c {
+                        b2
+                    } else {
+                        (b1 + b2) / 2.0
+                    };
+                    changed += 1;
+                }
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        // Collapse to primal weights (linear kernel).
+        let width = xs.first().map_or(0, |r| r.len());
+        let mut w = vec![0.0; width];
+        for j in 0..m {
+            if alpha[j] != 0.0 {
+                for (wk, v) in w.iter_mut().zip(xs[j].iter()) {
+                    *wk += alpha[j] * ys[j] * v;
+                }
+            }
+        }
+        self.weights = w;
+        self.bias = b;
+        self.trained = true;
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if !self.trained {
+            return 0.5;
+        }
+        let z = self.scaler.transform(x);
+        let d = self.decision(&z);
+        // Squash the margin; scale keeps mid-range gradations.
+        1.0 / (1.0 + (-2.0 * d).exp())
+    }
+
+    fn name(&self) -> &'static str {
+        "smo-svm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::evaluate;
+
+    #[test]
+    fn separates_simple_margin() {
+        let x: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                let v = i as f64 / 10.0;
+                vec![v, 12.0 - v]
+            })
+            .collect();
+        let y: Vec<bool> = (0..120).map(|i| i >= 60).collect();
+        let d = Dataset::new(x, y).unwrap();
+        let (train, test) = d.split(0.8, 2);
+        let mut m = SmoSvm::new(1);
+        m.fit(&train);
+        let acc = evaluate(&m, &test).accuracy();
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let y: Vec<bool> = (0..60).map(|i| i > 30).collect();
+        let d = Dataset::new(x, y).unwrap();
+        let mut a = SmoSvm::new(9);
+        let mut b = SmoSvm::new(9);
+        a.fit(&d);
+        b.fit(&d);
+        assert_eq!(a.predict_proba(&[15.0]), b.predict_proba(&[15.0]));
+    }
+
+    #[test]
+    fn untrained_predicts_half() {
+        assert_eq!(SmoSvm::new(0).predict_proba(&[1.0]), 0.5);
+    }
+}

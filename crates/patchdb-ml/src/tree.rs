@@ -1,0 +1,499 @@
+//! Decision trees: CART-style growth with Gini or entropy (J48-style)
+//! splitting, plus REPTree — an entropy tree with reduced-error pruning —
+//! two of the ten Weka classifiers in the paper's uncertainty baseline.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::Classifier;
+use crate::dataset::Dataset;
+
+/// Split-quality criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitCriterion {
+    /// Gini impurity (CART; used by the Random Forest).
+    Gini,
+    /// Information gain (C4.5/J48 style).
+    Entropy,
+}
+
+impl SplitCriterion {
+    fn impurity(self, pos: f64, total: f64) -> f64 {
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let p = pos / total;
+        match self {
+            SplitCriterion::Gini => 2.0 * p * (1.0 - p),
+            SplitCriterion::Entropy => {
+                let h = |q: f64| if q <= 0.0 || q >= 1.0 { 0.0 } else { -q * q.log2() };
+                h(p) + h(1.0 - p)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+        /// Training positive-fraction at this node, kept for pruning.
+        prob: f64,
+    },
+}
+
+/// Growth hyper-parameters shared by trees and forests.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GrowParams {
+    pub criterion: SplitCriterion,
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// Number of candidate features per split; `None` = all.
+    pub mtry: Option<usize>,
+}
+
+/// A binary decision tree classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    criterion: SplitCriterion,
+    max_depth: usize,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl DecisionTree {
+    /// Creates an untrained tree.
+    pub fn new(criterion: SplitCriterion, max_depth: usize) -> Self {
+        DecisionTree { criterion, max_depth, nodes: Vec::new(), root: 0 }
+    }
+
+    /// Number of nodes in the fitted tree (0 before fitting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn fit_params(&mut self, data: &Dataset, params: GrowParams, rng: &mut ChaCha8Rng) {
+        self.nodes.clear();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        self.root = grow(&mut self.nodes, data, &idx, params, 0, rng);
+    }
+
+    fn proba(&self, x: &[f64]) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.5;
+        }
+        let mut at = self.root;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    at = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &Dataset) {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let params = GrowParams {
+            criterion: self.criterion,
+            max_depth: self.max_depth,
+            min_samples_split: 2,
+            mtry: None,
+        };
+        self.fit_params(data, params, &mut rng);
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        self.proba(x)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.criterion {
+            SplitCriterion::Gini => "decision-tree(gini)",
+            SplitCriterion::Entropy => "J48",
+        }
+    }
+}
+
+/// Recursively grows a subtree over `idx`, returning its node index.
+fn grow(
+    nodes: &mut Vec<Node>,
+    data: &Dataset,
+    idx: &[usize],
+    params: GrowParams,
+    depth: usize,
+    rng: &mut ChaCha8Rng,
+) -> usize {
+    let pos = idx.iter().filter(|&&i| data.labels()[i]).count();
+    let prob = if idx.is_empty() { 0.5 } else { pos as f64 / idx.len() as f64 };
+
+    let stop = depth >= params.max_depth
+        || idx.len() < params.min_samples_split
+        || pos == 0
+        || pos == idx.len();
+    if stop {
+        nodes.push(Node::Leaf { prob });
+        return nodes.len() - 1;
+    }
+
+    let Some((feature, threshold)) = best_split(data, idx, params, rng) else {
+        nodes.push(Node::Leaf { prob });
+        return nodes.len() - 1;
+    };
+
+    let (li, ri): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| data.rows()[i][feature] <= threshold);
+    if li.is_empty() || ri.is_empty() {
+        nodes.push(Node::Leaf { prob });
+        return nodes.len() - 1;
+    }
+    let left = grow(nodes, data, &li, params, depth + 1, rng);
+    let right = grow(nodes, data, &ri, params, depth + 1, rng);
+    nodes.push(Node::Split { feature, threshold, left, right, prob });
+    nodes.len() - 1
+}
+
+/// Exhaustive best split over (a sample of) features via the sorted-sweep
+/// O(n log n) scan per feature.
+fn best_split(
+    data: &Dataset,
+    idx: &[usize],
+    params: GrowParams,
+    rng: &mut ChaCha8Rng,
+) -> Option<(usize, f64)> {
+    let width = data.width();
+    let mut features: Vec<usize> = (0..width).collect();
+    if let Some(m) = params.mtry {
+        features.shuffle(rng);
+        features.truncate(m.max(1).min(width));
+    }
+
+    let total = idx.len() as f64;
+    let total_pos = idx.iter().filter(|&&i| data.labels()[i]).count() as f64;
+    let parent = params.criterion.impurity(total_pos, total);
+
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+
+    for &f in &features {
+        order.clear();
+        order.extend_from_slice(idx);
+        order.sort_unstable_by(|&a, &b| {
+            data.rows()[a][f].partial_cmp(&data.rows()[b][f]).expect("finite features")
+        });
+
+        let mut left_pos = 0.0;
+        let mut left_n = 0.0;
+        for w in 0..order.len() - 1 {
+            let i = order[w];
+            left_n += 1.0;
+            if data.labels()[i] {
+                left_pos += 1.0;
+            }
+            let v = data.rows()[i][f];
+            let next = data.rows()[order[w + 1]][f];
+            if next <= v {
+                continue; // no threshold separates equal values
+            }
+            let right_n = total - left_n;
+            let right_pos = total_pos - left_pos;
+            let child = (left_n / total) * params.criterion.impurity(left_pos, left_n)
+                + (right_n / total) * params.criterion.impurity(right_pos, right_n);
+            // Accept any non-negative gain (zero-gain splits let the tree
+            // work through XOR-like structure; max_depth bounds growth).
+            let gain = parent - child;
+            if gain >= 0.0 && best.map_or(true, |(g, ..)| gain > g) {
+                best = Some((gain, f, (v + next) / 2.0));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+/// REPTree: entropy-grown tree with reduced-error pruning on an internal
+/// hold-out set, after Weka's `REPTree`.
+#[derive(Debug, Clone)]
+pub struct RepTree {
+    max_depth: usize,
+    seed: u64,
+    tree: DecisionTree,
+}
+
+impl RepTree {
+    /// Creates an untrained REPTree.
+    pub fn new(max_depth: usize, seed: u64) -> Self {
+        RepTree { max_depth, seed, tree: DecisionTree::new(SplitCriterion::Entropy, max_depth) }
+    }
+
+    /// Node count after fitting (post-pruning and compaction).
+    pub fn node_count(&self) -> usize {
+        self.tree.node_count()
+    }
+}
+
+impl Classifier for RepTree {
+    fn fit(&mut self, data: &Dataset) {
+        let (grow_set, prune_set) = data.holdout(0.25, self.seed);
+        let fit_on = if grow_set.is_empty() { data } else { &grow_set };
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        self.tree.fit_params(
+            fit_on,
+            GrowParams {
+                criterion: SplitCriterion::Entropy,
+                max_depth: self.max_depth,
+                min_samples_split: 2,
+                mtry: None,
+            },
+            &mut rng,
+        );
+        if !prune_set.is_empty() {
+            prune(&mut self.tree, &prune_set);
+            compact(&mut self.tree);
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        self.tree.proba(x)
+    }
+
+    fn name(&self) -> &'static str {
+        "REPTree"
+    }
+}
+
+/// Reduced-error pruning: post-order, replace a split by a leaf carrying
+/// its training probability whenever that does not increase hold-out error.
+fn prune(tree: &mut DecisionTree, validation: &Dataset) {
+    if tree.nodes.is_empty() {
+        return;
+    }
+    // Route each validation example to the nodes it passes through.
+    // Simpler: for each node, compute the set of validation rows reaching it
+    // by replaying from the root each time a node is considered. The tree is
+    // small (depth-bounded), so this stays cheap.
+    let order = postorder(tree);
+    for at in order {
+        let Node::Split { prob, .. } = tree.nodes[at] else { continue };
+        let reach = reaching(tree, validation, at);
+        if reach.is_empty() {
+            // No evidence either way: collapse (Occam).
+            tree.nodes[at] = Node::Leaf { prob };
+            continue;
+        }
+        let mut subtree_err = 0usize;
+        let mut leaf_err = 0usize;
+        for &i in &reach {
+            let (x, y) = validation.example(i);
+            if (proba_from(tree, at, x) >= 0.5) != y {
+                subtree_err += 1;
+            }
+            if (prob >= 0.5) != y {
+                leaf_err += 1;
+            }
+        }
+        if leaf_err <= subtree_err {
+            tree.nodes[at] = Node::Leaf { prob };
+        }
+    }
+}
+
+/// Drops arena nodes orphaned by pruning, renumbering the survivors.
+fn compact(tree: &mut DecisionTree) {
+    if tree.nodes.is_empty() {
+        return;
+    }
+    let mut keep = vec![false; tree.nodes.len()];
+    let mut stack = vec![tree.root];
+    while let Some(at) = stack.pop() {
+        if keep[at] {
+            continue;
+        }
+        keep[at] = true;
+        if let Node::Split { left, right, .. } = &tree.nodes[at] {
+            stack.push(*left);
+            stack.push(*right);
+        }
+    }
+    let mut remap = vec![usize::MAX; tree.nodes.len()];
+    let mut next = 0usize;
+    for (i, k) in keep.iter().enumerate() {
+        if *k {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let old = std::mem::take(&mut tree.nodes);
+    for (i, node) in old.into_iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        tree.nodes.push(match node {
+            Node::Leaf { prob } => Node::Leaf { prob },
+            Node::Split { feature, threshold, left, right, prob } => Node::Split {
+                feature,
+                threshold,
+                left: remap[left],
+                right: remap[right],
+                prob,
+            },
+        });
+    }
+    tree.root = remap[tree.root];
+}
+
+fn postorder(tree: &DecisionTree) -> Vec<usize> {
+    // Node indices are assigned children-first in `grow`, so ascending
+    // order is already a valid post-order.
+    (0..tree.nodes.len()).collect()
+}
+
+fn reaching(tree: &DecisionTree, data: &Dataset, target: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    'rows: for i in 0..data.len() {
+        let (x, _) = data.example(i);
+        let mut at = tree.root;
+        loop {
+            if at == target {
+                out.push(i);
+                continue 'rows;
+            }
+            match &tree.nodes[at] {
+                Node::Leaf { .. } => continue 'rows,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    at = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+    out
+}
+
+fn proba_from(tree: &DecisionTree, start: usize, x: &[f64]) -> f64 {
+    let mut at = start;
+    loop {
+        match &tree.nodes[at] {
+            Node::Leaf { prob } => return *prob,
+            Node::Split { feature, threshold, left, right, .. } => {
+                at = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                    *left
+                } else {
+                    *right
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::evaluate;
+
+    fn interval(n: usize) -> Dataset {
+        // Nonlinear concept: positive iff x ∈ [3, 7) — needs two splits.
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![(i as f64 * 9.7) % 10.0]).collect();
+        let y: Vec<bool> = x.iter().map(|r| (3.0..7.0).contains(&r[0])).collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    fn separable(n: usize) -> Dataset {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let y: Vec<bool> = (0..n).map(|i| i >= n / 2).collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn learns_interval_with_depth_two() {
+        let d = interval(400);
+        let mut t = DecisionTree::new(SplitCriterion::Gini, 2);
+        t.fit(&d);
+        let m = evaluate(&t, &d);
+        assert!(m.accuracy() > 0.99, "accuracy {}", m.accuracy());
+    }
+
+    #[test]
+    fn entropy_matches_gini_on_separable() {
+        let d = separable(100);
+        for crit in [SplitCriterion::Gini, SplitCriterion::Entropy] {
+            let mut t = DecisionTree::new(crit, 3);
+            t.fit(&d);
+            assert_eq!(evaluate(&t, &d).accuracy(), 1.0);
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_majority_vote() {
+        let d = separable(10);
+        let mut t = DecisionTree::new(SplitCriterion::Gini, 0);
+        t.fit(&d);
+        assert_eq!(t.node_count(), 1);
+        // 5 pos / 10 → prob 0.5 → predicts positive everywhere.
+        assert!(t.predict(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let d = Dataset::new(vec![vec![1.0]; 20], vec![true; 20]).unwrap();
+        let mut t = DecisionTree::new(SplitCriterion::Gini, 8);
+        t.fit(&d);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_proba(&[1.0]), 1.0);
+    }
+
+    #[test]
+    fn reptree_learns_and_prunes() {
+        let d = separable(300);
+        let mut t = RepTree::new(12, 5);
+        t.fit(&d);
+        let m = evaluate(&t, &d);
+        assert!(m.accuracy() > 0.95, "accuracy {}", m.accuracy());
+    }
+
+    #[test]
+    fn reptree_prunes_noise_smaller_than_unpruned() {
+        // Random labels: the unpruned tree overfits; REP pruning should
+        // collapse most of it.
+        let x: Vec<Vec<f64>> = (0..300).map(|i| vec![(i as f64 * 7.3) % 10.0]).collect();
+        let y: Vec<bool> = (0..300).map(|i| (i * 2654435761usize) % 7 < 3).collect();
+        let d = Dataset::new(x, y).unwrap();
+
+        let mut plain = DecisionTree::new(SplitCriterion::Entropy, 12);
+        plain.fit(&d);
+        let mut rep = RepTree::new(12, 5);
+        rep.fit(&d);
+        let leaves = |t: &DecisionTree| {
+            t.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        };
+        assert!(
+            leaves(&rep.tree) < leaves(&plain),
+            "pruned {} vs plain {}",
+            leaves(&rep.tree),
+            leaves(&plain)
+        );
+    }
+
+    #[test]
+    fn unfitted_tree_predicts_half() {
+        let t = DecisionTree::new(SplitCriterion::Gini, 3);
+        assert_eq!(t.predict_proba(&[1.0]), 0.5);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the ML substrate: probability bounds, split
+//! bookkeeping, metric identities, and determinism across the whole
+//! classifier zoo.
+
+use proptest::prelude::*;
+
+use patchdb_ml::{
+    evaluate, AdaBoost, Classifier, ConfusionMatrix, Dataset, DecisionTree,
+    GaussianNaiveBayes, KNearestNeighbors, LogisticRegression, Metrics, RandomForest,
+    SplitCriterion,
+};
+
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (4usize..60, 1usize..4, any::<u64>()).prop_map(|(n, width, seed)| {
+        // Deterministic pseudo-random rows with a learnable-but-noisy rule.
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 100.0
+        };
+        for _ in 0..n {
+            let row: Vec<f64> = (0..width).map(|_| next()).collect();
+            labels.push(row[0] > 5.0);
+            rows.push(row);
+        }
+        // Force both classes to exist.
+        let half = labels.len() / 2;
+        labels[0] = true;
+        labels[half] = false;
+        let mut rows = rows;
+        rows[0][0] = 9.0;
+        rows[half][0] = 1.0;
+        Dataset::new(rows, labels).unwrap()
+    })
+}
+
+fn all_models() -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(RandomForest::new(6, 4, 1)),
+        Box::new(DecisionTree::new(SplitCriterion::Gini, 4)),
+        Box::new(DecisionTree::new(SplitCriterion::Entropy, 4)),
+        Box::new(LogisticRegression::new(2)),
+        Box::new(GaussianNaiveBayes::new()),
+        Box::new(KNearestNeighbors::new(3)),
+        Box::new(AdaBoost::new(6, 1, 3)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every classifier's probabilities stay in [0, 1] on arbitrary data.
+    #[test]
+    fn probabilities_bounded(data in dataset()) {
+        for mut model in all_models() {
+            model.fit(&data);
+            for i in 0..data.len() {
+                let p = model.predict_proba(data.example(i).0);
+                prop_assert!((0.0..=1.0).contains(&p), "{}: p = {p}", model.name());
+                prop_assert!(p.is_finite());
+            }
+        }
+    }
+
+    /// Splits partition the data and preserve the class counts.
+    #[test]
+    fn split_partitions(data in dataset(), frac in 0.1f64..0.9, seed in any::<u64>()) {
+        let (train, test) = data.split(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        prop_assert_eq!(train.positives() + test.positives(), data.positives());
+    }
+
+    /// Evaluation totals equal the dataset size; metric identities hold.
+    #[test]
+    fn metric_identities(data in dataset()) {
+        let mut model = DecisionTree::new(SplitCriterion::Gini, 3);
+        model.fit(&data);
+        let m = evaluate(&model, &data);
+        prop_assert_eq!(m.confusion.total(), data.len());
+        let p = m.precision();
+        let r = m.recall();
+        let f1 = m.f1();
+        if p + r > 0.0 {
+            prop_assert!((f1 - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        }
+        prop_assert!(m.accuracy() >= 0.0 && m.accuracy() <= 1.0);
+    }
+
+    /// Confusion-matrix recording is order-insensitive in aggregate.
+    #[test]
+    fn confusion_accumulates(preds in prop::collection::vec((any::<bool>(), any::<bool>()), 0..64)) {
+        let mut cm = ConfusionMatrix::default();
+        for (p, a) in &preds {
+            cm.record(*p, *a);
+        }
+        prop_assert_eq!(cm.total(), preds.len());
+        let m = Metrics::new(cm);
+        let tp = preds.iter().filter(|(p, a)| *p && *a).count();
+        let fp = preds.iter().filter(|(p, a)| *p && !*a).count();
+        if tp + fp > 0 {
+            prop_assert!((m.precision() - tp as f64 / (tp + fp) as f64).abs() < 1e-12);
+        }
+    }
+
+    /// Training twice from the same seeds yields identical predictions.
+    #[test]
+    fn determinism(data in dataset()) {
+        let mut a = RandomForest::new(6, 4, 9);
+        let mut b = RandomForest::new(6, 4, 9);
+        a.fit(&data);
+        b.fit(&data);
+        for i in 0..data.len() {
+            let x = data.example(i).0;
+            prop_assert_eq!(a.predict_proba(x), b.predict_proba(x));
+        }
+    }
+}

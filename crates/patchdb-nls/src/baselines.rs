@@ -1,0 +1,135 @@
+//! The three candidate-selection baselines of Table III.
+
+use patchdb_features::FeatureVector;
+use patchdb_ml::{Classifier, Dataset, RandomForest};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Brute force: every unlabeled patch is a candidate; sampling `n` of
+/// them models "manually verify a random subset".
+pub fn brute_force_candidates(pool_size: usize, n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..pool_size).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(n);
+    idx
+}
+
+/// Pseudo labeling (Lee, 2013): train one model on the labeled data and
+/// take the `k` unlabeled points it is most confident are positive. The
+/// paper uses a Random Forest, their best-performing single model.
+pub fn pseudo_label_candidates(
+    labeled_pos: &[FeatureVector],
+    labeled_neg: &[FeatureVector],
+    pool: &[FeatureVector],
+    k: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let model = fit_forest(labeled_pos, labeled_neg, seed);
+    let mut scored: Vec<(usize, f64)> = pool
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i, model.predict_proba(x.as_slice())))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+    scored.into_iter().take(k).map(|(i, _)| i).collect()
+}
+
+/// Uncertainty-based labeling (Segal et al., 2006): an unlabeled patch is
+/// a candidate only when **all ten** heterogeneous classifiers agree it is
+/// positive — the consensus filter of Section IV-B. Unlike the other
+/// methods the candidate count is data-driven, not chosen.
+pub fn uncertainty_candidates(
+    labeled_pos: &[FeatureVector],
+    labeled_neg: &[FeatureVector],
+    pool: &[FeatureVector],
+    seed: u64,
+) -> Vec<usize> {
+    let data = to_dataset(labeled_pos, labeled_neg);
+    let mut ensemble = patchdb_ml::uncertainty_ensemble(seed);
+    for model in &mut ensemble {
+        model.fit(&data);
+    }
+    pool.iter()
+        .enumerate()
+        .filter(|(_, x)| ensemble.iter().all(|m| m.predict(x.as_slice())))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn to_dataset(pos: &[FeatureVector], neg: &[FeatureVector]) -> Dataset {
+    let rows: Vec<Vec<f64>> = pos
+        .iter()
+        .chain(neg)
+        .map(|v| v.as_slice().to_vec())
+        .collect();
+    let labels: Vec<bool> = std::iter::repeat(true)
+        .take(pos.len())
+        .chain(std::iter::repeat(false).take(neg.len()))
+        .collect();
+    Dataset::new(rows, labels).expect("feature vectors are rectangular and finite")
+}
+
+fn fit_forest(pos: &[FeatureVector], neg: &[FeatureVector], seed: u64) -> RandomForest {
+    let data = to_dataset(pos, neg);
+    let mut rf = RandomForest::new(24, 10, seed);
+    rf.fit(&data);
+    rf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(x: f64, y: f64) -> FeatureVector {
+        let mut v = FeatureVector::zero();
+        v.as_mut_slice()[0] = x;
+        v.as_mut_slice()[1] = y;
+        v
+    }
+
+    fn clusters() -> (Vec<FeatureVector>, Vec<FeatureVector>, Vec<FeatureVector>) {
+        // Positives near (5,5), negatives near (0,0); pool mixes both.
+        let pos: Vec<_> = (0..40).map(|i| fv(5.0 + (i % 5) as f64 * 0.1, 5.0)).collect();
+        let neg: Vec<_> = (0..40).map(|i| fv((i % 5) as f64 * 0.1, 0.0)).collect();
+        let mut pool = Vec::new();
+        for i in 0..30 {
+            pool.push(fv(5.0 + (i % 7) as f64 * 0.05, 4.9)); // positive-like
+        }
+        for i in 0..70 {
+            pool.push(fv((i % 7) as f64 * 0.05, 0.1)); // negative-like
+        }
+        (pos, neg, pool)
+    }
+
+    #[test]
+    fn brute_force_is_a_random_subset() {
+        let c = brute_force_candidates(100, 10, 3);
+        assert_eq!(c.len(), 10);
+        assert!(c.iter().all(|&i| i < 100));
+        assert_eq!(c, brute_force_candidates(100, 10, 3));
+        assert_ne!(c, brute_force_candidates(100, 10, 4));
+    }
+
+    #[test]
+    fn pseudo_labeling_prefers_positive_region() {
+        let (pos, neg, pool) = clusters();
+        let cands = pseudo_label_candidates(&pos, &neg, &pool, 20, 7);
+        // The first 30 pool entries are the positive-like ones.
+        let hits = cands.iter().filter(|&&i| i < 30).count();
+        assert!(hits >= 18, "only {hits}/20 candidates in the positive region");
+    }
+
+    #[test]
+    fn uncertainty_consensus_is_high_precision() {
+        let (pos, neg, pool) = clusters();
+        let cands = uncertainty_candidates(&pos, &neg, &pool, 5);
+        assert!(!cands.is_empty());
+        let hits = cands.iter().filter(|&&i| i < 30).count();
+        assert_eq!(hits, cands.len(), "consensus picked a negative-region point");
+        // And it is conservative: strictly fewer candidates than the pool's
+        // positive-like half would allow.
+        assert!(cands.len() <= 30);
+    }
+}

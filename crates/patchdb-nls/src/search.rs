@@ -1,0 +1,256 @@
+//! Algorithm 1: the nearest link search.
+//!
+//! Given M verified security patches and N wild patches in the weighted
+//! feature space, find for each security patch one *distinct* wild patch
+//! ("link") such that the total link distance is (greedily) minimized.
+//! Unlike k-NN, each wild patch may be claimed at most once — the paper is
+//! explicit about this distinction (Section III-B-3).
+
+use patchdb_features::{euclidean, FeatureVector};
+
+/// Runs nearest link search matrix-free.
+///
+/// Faithful to Algorithm 1: per-row minima `U`/`V` are initialized in one
+/// pass, then M iterations pick the global minimum row, resolving column
+/// collisions by rescanning that row with claimed columns masked
+/// (`l_{c_j} ← inf`). Worst-case `O(M·N + M·C·N)` where `C` is the number
+/// of collisions (`≤ M`), matching the paper's `O(MN²)` bound without
+/// materializing the `M×N` matrix.
+///
+/// Returns `c`, where `c[m]` is the index of the wild patch linked to
+/// security patch `m`. Every returned index is distinct.
+///
+/// # Panics
+///
+/// Panics when `wild.len() < security.len()` (the assignment needs at
+/// least M distinct columns) or when `security` is empty.
+pub fn nearest_link_search(security: &[FeatureVector], wild: &[FeatureVector]) -> Vec<usize> {
+    assert!(!security.is_empty(), "no security patches to link from");
+    assert!(
+        wild.len() >= security.len(),
+        "wild pool ({}) smaller than security set ({})",
+        wild.len(),
+        security.len()
+    );
+    let m_count = security.len();
+
+    // Lines 1–3: per-row minimum and argmin.
+    let mut u = vec![f64::INFINITY; m_count];
+    let mut v = vec![0usize; m_count];
+    for (m, sec) in security.iter().enumerate() {
+        for (n, w) in wild.iter().enumerate() {
+            let d = euclidean(sec, w);
+            if d < u[m] {
+                u[m] = d;
+                v[m] = n;
+            }
+        }
+    }
+
+    // Lines 5–17: greedy global assignment with lazy collision rescans.
+    let mut c = vec![usize::MAX; m_count];
+    let mut used = vec![false; wild.len()];
+    for _ in 0..m_count {
+        // m0 ← argmin U
+        let m0 = u
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+            .map(|(i, _)| i)
+            .expect("non-empty U");
+        let mut n0 = v[m0];
+        if used[n0] {
+            // Rescan row m0 with used columns masked (lines 10–15).
+            let mut best = f64::INFINITY;
+            let mut best_n = usize::MAX;
+            for (n, w) in wild.iter().enumerate() {
+                if used[n] {
+                    continue;
+                }
+                let d = euclidean(&security[m0], w);
+                if d < best {
+                    best = d;
+                    best_n = n;
+                }
+            }
+            n0 = best_n;
+        }
+        c[m0] = n0;
+        used[n0] = true;
+        u[m0] = f64::INFINITY;
+    }
+    c
+}
+
+/// Reference implementation over an explicit distance matrix
+/// `d[m][n]` — used to cross-check the matrix-free version and by the
+/// ablation benches.
+///
+/// # Panics
+///
+/// Panics on an empty or ragged matrix, or when there are fewer columns
+/// than rows.
+pub fn nearest_link_search_matrix(d: &[Vec<f64>]) -> Vec<usize> {
+    let m_count = d.len();
+    assert!(m_count > 0, "empty distance matrix");
+    let n_count = d[0].len();
+    assert!(d.iter().all(|row| row.len() == n_count), "ragged matrix");
+    assert!(n_count >= m_count, "need at least M columns");
+
+    let mut u: Vec<f64> = Vec::with_capacity(m_count);
+    let mut v: Vec<usize> = Vec::with_capacity(m_count);
+    for row in d {
+        let (n, val) = row
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty row");
+        u.push(*val);
+        v.push(n);
+    }
+
+    let mut c = vec![usize::MAX; m_count];
+    let mut used = vec![false; n_count];
+    for _ in 0..m_count {
+        let m0 = u
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty U");
+        let mut n0 = v[m0];
+        if used[n0] {
+            let mut best = f64::INFINITY;
+            let mut best_n = usize::MAX;
+            for (n, dv) in d[m0].iter().enumerate() {
+                if !used[n] && *dv < best {
+                    best = *dv;
+                    best_n = n;
+                }
+            }
+            n0 = best_n;
+        }
+        c[m0] = n0;
+        used[n0] = true;
+        u[m0] = f64::INFINITY;
+    }
+    c
+}
+
+/// Total distance of a set of links — the objective Algorithm 1 greedily
+/// minimizes.
+pub fn total_link_distance(
+    security: &[FeatureVector],
+    wild: &[FeatureVector],
+    links: &[usize],
+) -> f64 {
+    security
+        .iter()
+        .zip(links)
+        .map(|(s, &n)| euclidean(s, &wild[n]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn fv(vals: &[f64]) -> FeatureVector {
+        let mut v = FeatureVector::zero();
+        v.as_mut_slice()[..vals.len()].copy_from_slice(vals);
+        v
+    }
+
+    #[test]
+    fn simple_assignment() {
+        let sec = vec![fv(&[0.0]), fv(&[10.0])];
+        let wild = vec![fv(&[9.5]), fv(&[0.2]), fv(&[50.0])];
+        let links = nearest_link_search(&sec, &wild);
+        assert_eq!(links, vec![1, 0]);
+    }
+
+    #[test]
+    fn collision_resolution_prefers_closer_link() {
+        // Both security patches are nearest to wild 0; the closer one
+        // (processed first, as the global minimum) claims it.
+        let sec = vec![fv(&[0.0]), fv(&[0.3])];
+        let wild = vec![fv(&[0.1]), fv(&[1.0])];
+        let links = nearest_link_search(&sec, &wild);
+        assert_eq!(links[0], 0); // distance 0.1 wins the global argmin
+        assert_eq!(links[1], 1); // rescan lands on the remaining column
+    }
+
+    #[test]
+    fn links_are_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sec: Vec<FeatureVector> =
+            (0..40).map(|_| fv(&[rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])).collect();
+        let wild: Vec<FeatureVector> =
+            (0..200).map(|_| fv(&[rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])).collect();
+        let links = nearest_link_search(&sec, &wild);
+        let mut sorted = links.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), links.len(), "duplicate link");
+    }
+
+    #[test]
+    fn matrix_free_matches_matrix_version() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let sec: Vec<FeatureVector> =
+            (0..25).map(|_| fv(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen()])).collect();
+        let wild: Vec<FeatureVector> =
+            (0..120).map(|_| fv(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen()])).collect();
+        let matrix: Vec<Vec<f64>> = sec
+            .iter()
+            .map(|s| wild.iter().map(|w| patchdb_features::euclidean(s, w)).collect())
+            .collect();
+        assert_eq!(nearest_link_search(&sec, &wild), nearest_link_search_matrix(&matrix));
+    }
+
+    #[test]
+    fn greedy_total_close_to_exhaustive_on_tiny_instances() {
+        // For 3×5 instances, compare against the optimal assignment by
+        // brute-force permutation enumeration.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            let sec: Vec<FeatureVector> = (0..3).map(|_| fv(&[rng.gen(), rng.gen()])).collect();
+            let wild: Vec<FeatureVector> = (0..5).map(|_| fv(&[rng.gen(), rng.gen()])).collect();
+            let links = nearest_link_search(&sec, &wild);
+            let greedy = total_link_distance(&sec, &wild, &links);
+
+            let mut best = f64::INFINITY;
+            for a in 0..5 {
+                for b in 0..5 {
+                    for c in 0..5 {
+                        if a != b && b != c && a != c {
+                            best = best.min(total_link_distance(&sec, &wild, &[a, b, c]));
+                        }
+                    }
+                }
+            }
+            // The paper uses an *approximately* optimal greedy; allow 50%
+            // slack but require the same order of magnitude.
+            assert!(greedy <= best * 1.5 + 1e-9, "greedy {greedy} vs optimal {best}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wild pool")]
+    fn rejects_small_pool() {
+        nearest_link_search(&[fv(&[0.0]), fv(&[1.0])], &[fv(&[0.0])]);
+    }
+
+    #[test]
+    fn exact_pool_size_assigns_everything() {
+        let sec = vec![fv(&[0.0]), fv(&[5.0]), fv(&[9.0])];
+        let wild = vec![fv(&[8.8]), fv(&[0.1]), fv(&[5.2])];
+        let links = nearest_link_search(&sec, &wild);
+        let mut all = links.clone();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+}

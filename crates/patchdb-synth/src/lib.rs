@@ -1,0 +1,324 @@
+//! # patchdb-synth
+//!
+//! PatchDB's source-level patch oversampling (Section III-C, Fig. 4/5):
+//! given a natural patch and the file contents before/after it, locate the
+//! `if` statements the patch touches and apply one of eight
+//! functionality-preserving control-flow variants, producing *synthetic*
+//! patches that enrich the dataset's control-flow variety.
+//!
+//! Modifying the AFTER version merges extra edits forward into the patch;
+//! modifying the BEFORE version merges the *inverse* edits (Section
+//! III-C-3). Either way the synthetic patch is recomputed as a plain diff
+//! of the (possibly modified) file pair, so it is always well-formed and
+//! applies cleanly.
+//!
+//! ```rust
+//! use patchdb_synth::{synthesize, SynthOptions};
+//! use std::collections::HashMap;
+//!
+//! let before = "int f(int a) {\n    return a;\n}\n";
+//! let after  = "int f(int a) {\n    if (a < 0)\n        return 0;\n    return a;\n}\n";
+//! let patch = patch_core::Patch::builder("1".repeat(40))
+//!     .file(patch_core::diff_files("f.c", before, after, 3))
+//!     .build();
+//! let mut befores = HashMap::new();
+//! befores.insert("f.c".to_owned(), before.to_owned());
+//! let mut afters = HashMap::new();
+//! afters.insert("f.c".to_owned(), after.to_owned());
+//!
+//! let synthetic = synthesize(&patch, &befores, &afters, &SynthOptions::default());
+//! assert!(!synthetic.is_empty());
+//! // Every synthetic patch still applies to its base version.
+//! ```
+
+#![warn(missing_docs)]
+
+mod variants;
+
+use std::collections::HashMap;
+
+use patch_core::{diff_files, CommitId, LineKind, Patch};
+use serde::{Deserialize, Serialize};
+
+pub use variants::{apply_variant, VariantKind, ALL_VARIANTS};
+
+/// Which version of the file pair a variant was applied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The pre-patch version was modified (inverse-merge semantics).
+    Before,
+    /// The post-patch version was modified (forward-merge semantics).
+    After,
+}
+
+/// One synthetic patch plus its provenance.
+#[derive(Debug, Clone)]
+pub struct SyntheticPatch {
+    /// The recomputed diff.
+    pub patch: Patch,
+    /// Which Fig. 5 template produced it.
+    pub variant: VariantKind,
+    /// Which side was edited.
+    pub side: Side,
+    /// Path of the file whose `if` statement was transformed.
+    pub file: String,
+}
+
+/// Oversampling knobs.
+#[derive(Debug, Clone)]
+pub struct SynthOptions {
+    /// Which templates to apply (default: all eight).
+    pub variants: Vec<VariantKind>,
+    /// Whether to edit the BEFORE version too (default true, per the
+    /// paper's two merge directions).
+    pub both_sides: bool,
+    /// Cap on synthetic patches per natural patch (0 = unlimited).
+    pub max_per_patch: usize,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions { variants: ALL_VARIANTS.to_vec(), both_sides: true, max_per_patch: 8 }
+    }
+}
+
+/// Oversamples one natural patch.
+///
+/// `before_files` / `after_files` map the patch's paths to their full
+/// contents (the "roll the repository back/forward" step of Fig. 4). Files
+/// missing from the maps are skipped, as are `if` statements whose
+/// condition spans multiple lines.
+pub fn synthesize(
+    patch: &Patch,
+    before_files: &HashMap<String, String>,
+    after_files: &HashMap<String, String>,
+    options: &SynthOptions,
+) -> Vec<SyntheticPatch> {
+    let mut out = Vec::new();
+    let mut variant_counter = 0u64;
+
+    for file in &patch.files {
+        if !file.is_c_family() {
+            continue;
+        }
+        let sides: &[Side] = if options.both_sides {
+            &[Side::After, Side::Before]
+        } else {
+            &[Side::After]
+        };
+        for &side in sides {
+            let (text, changed_lines) = match side {
+                Side::After => (
+                    after_files.get(&file.new_path),
+                    changed_line_numbers(file, LineKind::Added),
+                ),
+                Side::Before => (
+                    before_files.get(&file.old_path),
+                    changed_line_numbers(file, LineKind::Removed),
+                ),
+            };
+            let Some(text) = text else { continue };
+            if changed_lines.is_empty() {
+                continue;
+            }
+
+            // Step 2 of Fig. 4: locate patch-related if statements.
+            let related: Vec<_> = clang_lite::find_if_statements(text)
+                .into_iter()
+                .filter(|stmt| stmt.touches_lines(&changed_lines))
+                .filter(|stmt| stmt.cond_open.line == stmt.cond_close.line)
+                .collect();
+
+            for stmt in &related {
+                for &variant in &options.variants {
+                    if options.max_per_patch > 0 && out.len() >= options.max_per_patch {
+                        return out;
+                    }
+                    let Some(mutated) = apply_variant(text, stmt, variant) else {
+                        continue;
+                    };
+                    // Step 3: merge by re-diffing the modified pair.
+                    let (base, target) = match side {
+                        Side::After => (
+                            before_files.get(&file.old_path).cloned().unwrap_or_default(),
+                            mutated,
+                        ),
+                        Side::Before => (
+                            mutated,
+                            after_files.get(&file.new_path).cloned().unwrap_or_default(),
+                        ),
+                    };
+                    let diff = diff_files(&file.new_path, &base, &target, 3);
+                    if diff.hunks.is_empty() {
+                        continue;
+                    }
+                    variant_counter += 1;
+                    let id = synthetic_id(&patch.commit, variant_counter);
+                    out.push(SyntheticPatch {
+                        patch: Patch::builder(id.to_string())
+                            .message(format!(
+                                "{} [synthetic {:?}/{:?}]",
+                                patch.message, variant, side
+                            ))
+                            .file(diff)
+                            .build(),
+                        variant,
+                        side,
+                        file: file.new_path.clone(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The new-file (or old-file) line numbers carrying changes of `kind`.
+fn changed_line_numbers(file: &patch_core::FileDiff, kind: LineKind) -> Vec<usize> {
+    let mut out = Vec::new();
+    for hunk in &file.hunks {
+        let mut old_line = hunk.old_start;
+        let mut new_line = hunk.new_start;
+        for line in &hunk.lines {
+            match line.kind {
+                LineKind::Context => {
+                    old_line += 1;
+                    new_line += 1;
+                }
+                LineKind::Added => {
+                    if kind == LineKind::Added {
+                        out.push(new_line);
+                    }
+                    new_line += 1;
+                }
+                LineKind::Removed => {
+                    if kind == LineKind::Removed {
+                        out.push(old_line);
+                    }
+                    old_line += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Derives a fresh deterministic commit id for a synthetic patch.
+fn synthetic_id(base: &CommitId, counter: u64) -> CommitId {
+    let mut seed = counter ^ 0x5e0_c0de;
+    for chunk in base.as_bytes().chunks(8) {
+        let mut b = [0u8; 8];
+        b[..chunk.len()].copy_from_slice(chunk);
+        seed = seed.rotate_left(23) ^ u64::from_le_bytes(b);
+    }
+    CommitId::from_seed(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patch_core::apply_file_diff;
+
+    fn fixture() -> (Patch, HashMap<String, String>, HashMap<String, String>) {
+        let before = "int f(struct ctx *c) {\n    int n = c->len;\n    c->buf[n] = 0;\n    return n;\n}\n";
+        let after = "int f(struct ctx *c) {\n    int n = c->len;\n    if (n >= c->cap)\n        return -1;\n    c->buf[n] = 0;\n    return n;\n}\n";
+        let patch = Patch::builder("2".repeat(40))
+            .message("fix oob write")
+            .file(diff_files("src/f.c", before, after, 3))
+            .build();
+        let mut b = HashMap::new();
+        b.insert("src/f.c".to_owned(), before.to_owned());
+        let mut a = HashMap::new();
+        a.insert("src/f.c".to_owned(), after.to_owned());
+        (patch, b, a)
+    }
+
+    #[test]
+    fn produces_variants_for_patched_if() {
+        let (patch, before, after) = fixture();
+        let opts = SynthOptions { max_per_patch: 0, ..SynthOptions::default() };
+        let synths = synthesize(&patch, &before, &after, &opts);
+        // The if exists only in the AFTER version, so only After-side
+        // variants (8 of them) are possible.
+        assert_eq!(synths.len(), 8);
+        assert!(synths.iter().all(|s| s.side == Side::After));
+    }
+
+    #[test]
+    fn synthetic_patches_apply_cleanly() {
+        let (patch, before, after) = fixture();
+        let opts = SynthOptions { max_per_patch: 0, ..SynthOptions::default() };
+        for s in synthesize(&patch, &before, &after, &opts) {
+            let file = &s.patch.files[0];
+            let base = match s.side {
+                Side::After => &before["src/f.c"],
+                Side::Before => &after["src/f.c"],
+            };
+            // After-side: diff(before, mutated-after) applies to before.
+            let rebuilt = apply_file_diff(file, base).expect("synthetic applies");
+            assert!(rebuilt.contains("_SYS_"), "variant marker missing:\n{rebuilt}");
+        }
+    }
+
+    #[test]
+    fn before_side_variants_exist_when_if_removed() {
+        // Patch removes an if: BEFORE side owns the related statement.
+        let before = "void g(int *p) {\n    if (p != 0)\n        *p = 1;\n}\n";
+        let after = "void g(int *p) {\n    *p = 1;\n}\n";
+        let patch = Patch::builder("3".repeat(40))
+            .file(diff_files("g.c", before, after, 3))
+            .build();
+        let mut b = HashMap::new();
+        b.insert("g.c".to_owned(), before.to_owned());
+        let mut a = HashMap::new();
+        a.insert("g.c".to_owned(), after.to_owned());
+        let opts = SynthOptions { max_per_patch: 0, ..SynthOptions::default() };
+        let synths = synthesize(&patch, &b, &a, &opts);
+        assert!(!synths.is_empty());
+        assert!(synths.iter().all(|s| s.side == Side::Before));
+    }
+
+    #[test]
+    fn respects_cap() {
+        let (patch, before, after) = fixture();
+        let opts = SynthOptions { max_per_patch: 3, ..SynthOptions::default() };
+        assert_eq!(synthesize(&patch, &before, &after, &opts).len(), 3);
+    }
+
+    #[test]
+    fn missing_files_are_skipped() {
+        let (patch, _, after) = fixture();
+        let synths = synthesize(&patch, &HashMap::new(), &after, &SynthOptions::default());
+        // After-side still works (base falls back to empty before content
+        // is only used for diff base — but before map lacks the file, so
+        // base is empty and the diff is creation-style; acceptable).
+        let _ = synths; // must not panic
+    }
+
+    #[test]
+    fn unrelated_ifs_are_not_transformed() {
+        // The patch changes a line far from the only if statement.
+        let before = "void h(int a) {\n    if (a)\n        use(a);\n    mark();\n    tail1();\n    tail2();\n    tail3();\n    old();\n}\n";
+        let after = "void h(int a) {\n    if (a)\n        use(a);\n    mark();\n    tail1();\n    tail2();\n    tail3();\n    newer();\n}\n";
+        let patch = Patch::builder("4".repeat(40))
+            .file(diff_files("h.c", before, after, 1))
+            .build();
+        let mut b = HashMap::new();
+        b.insert("h.c".to_owned(), before.to_owned());
+        let mut a = HashMap::new();
+        a.insert("h.c".to_owned(), after.to_owned());
+        let opts = SynthOptions { max_per_patch: 0, ..SynthOptions::default() };
+        let synths = synthesize(&patch, &b, &a, &opts);
+        assert!(synths.is_empty(), "if statement is not patch-related");
+    }
+
+    #[test]
+    fn synthetic_ids_are_fresh_and_deterministic() {
+        let (patch, before, after) = fixture();
+        let s1 = synthesize(&patch, &before, &after, &SynthOptions::default());
+        let s2 = synthesize(&patch, &before, &after, &SynthOptions::default());
+        assert_eq!(s1[0].patch.commit, s2[0].patch.commit);
+        assert_ne!(s1[0].patch.commit, patch.commit);
+        assert_ne!(s1[0].patch.commit, s1[1].patch.commit);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the oversampler: synthetic patches must always
+//! apply cleanly to their base version, carry a variant marker, and keep
+//! the transformed file structurally parsable.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use patch_core::{apply_file_diff, diff_files, Patch};
+use patchdb_synth::{synthesize, Side, SynthOptions};
+
+/// Strategy: a small C function whose AFTER version gains an `if` guard
+/// with a randomized condition and surrounding filler.
+fn patched_pair() -> impl Strategy<Value = (String, String)> {
+    (
+        prop::sample::select(vec!["a", "count", "len", "n_items"]),
+        prop::sample::select(vec![">", "<", ">=", "=="]),
+        0usize..4,
+        prop::sample::select(vec!["mark();", "step(x);", "x++;", "log_it(x);"]),
+    )
+        .prop_map(|(var, op, fillers, filler)| {
+            let mut body_before = vec![
+                "int f(int a, int x) {".to_owned(),
+                format!("    int {var}_local = {var};"),
+            ];
+            for _ in 0..fillers {
+                body_before.push(format!("    {filler}"));
+            }
+            body_before.push("    use(x);".to_owned());
+            body_before.push("    return x;".to_owned());
+            body_before.push("}".to_owned());
+
+            let mut body_after = body_before.clone();
+            let at = body_after.len() - 3;
+            body_after.splice(
+                at..at,
+                [
+                    format!("    if ({var}_local {op} x)"),
+                    "        return -1;".to_owned(),
+                ],
+            );
+            (body_before.join("\n") + "\n", body_after.join("\n") + "\n")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn synthetic_patches_apply_and_parse((before, after) in patched_pair()) {
+        let patch = Patch::builder("9".repeat(40))
+            .message("prop fix")
+            .file(diff_files("p.c", &before, &after, 3))
+            .build();
+        let mut b = HashMap::new();
+        b.insert("p.c".to_owned(), before.clone());
+        let mut a = HashMap::new();
+        a.insert("p.c".to_owned(), after.clone());
+
+        let opts = SynthOptions { max_per_patch: 0, ..SynthOptions::default() };
+        let synths = synthesize(&patch, &b, &a, &opts);
+        prop_assert!(!synths.is_empty(), "guarded if must yield variants");
+
+        for s in &synths {
+            // Marker present.
+            let text = s.patch.to_unified_string();
+            prop_assert!(text.contains("_SYS_"), "no marker:\n{text}");
+            // Round-trips through the textual form.
+            let reparsed = Patch::parse(&text).expect("parsable");
+            prop_assert_eq!(&reparsed, &s.patch);
+            // Applies cleanly to its base, and the result still has
+            // balanced delimiters plus at least one if statement.
+            let base = match s.side {
+                Side::After => &before,
+                Side::Before => &after,
+            };
+            let out = apply_file_diff(&s.patch.files[0], base).expect("applies");
+            let toks = clang_lite::tokenize(&out);
+            let open = toks.iter().filter(|t| t.is_punct("(")).count();
+            let close = toks.iter().filter(|t| t.is_punct(")")).count();
+            prop_assert_eq!(open, close, "unbalanced parens:\n{}", out);
+            prop_assert!(!clang_lite::find_if_statements(&out).is_empty());
+        }
+    }
+
+    /// Variant application is deterministic and produces distinct patches
+    /// across variants.
+    #[test]
+    fn variants_distinct((before, after) in patched_pair()) {
+        let patch = Patch::builder("8".repeat(40))
+            .file(diff_files("p.c", &before, &after, 3))
+            .build();
+        let mut b = HashMap::new();
+        b.insert("p.c".to_owned(), before);
+        let mut a = HashMap::new();
+        a.insert("p.c".to_owned(), after);
+        let opts = SynthOptions { max_per_patch: 0, ..SynthOptions::default() };
+        let s1 = synthesize(&patch, &b, &a, &opts);
+        let s2 = synthesize(&patch, &b, &a, &opts);
+        prop_assert_eq!(s1.len(), s2.len());
+        let mut texts: Vec<String> =
+            s1.iter().map(|s| s.patch.to_unified_string()).collect();
+        let n = texts.len();
+        texts.sort();
+        texts.dedup();
+        prop_assert_eq!(texts.len(), n, "duplicate synthetic patches");
+    }
+}

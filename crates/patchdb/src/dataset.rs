@@ -1,0 +1,221 @@
+//! The PatchDB container: records, statistics, and JSON export.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use patch_core::{CommitId, Patch};
+use patchdb_corpus::PatchCategory;
+use patchdb_features::FeatureVector;
+use serde::{Deserialize, Serialize};
+
+/// Which component of PatchDB a record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Source {
+    /// Mined from NVD `Patch` hyperlinks.
+    Nvd,
+    /// Found in the wild via nearest link search + verification.
+    Wild,
+    /// Verified non-security (the cleaned negative set).
+    NonSecurity,
+}
+
+/// One natural patch in the dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatchRecord {
+    /// Commit hash — every natural patch is "accessible on GitHub".
+    pub commit: CommitId,
+    /// Repository the commit lives in.
+    pub repo: String,
+    /// CVE id, for NVD-sourced records.
+    pub cve_id: Option<String>,
+    /// Commit message.
+    pub message: String,
+    /// The cleaned (C/C++-only) patch.
+    pub patch: Patch,
+    /// Table I features, unweighted.
+    pub features: FeatureVector,
+    /// Which component the record belongs to.
+    pub source: Source,
+    /// Ground-truth Table V category (available because the corpus is
+    /// synthetic; the real PatchDB has this only for a hand-labeled 5K
+    /// subset). `None` for non-security records.
+    pub truth_category: Option<PatchCategory>,
+}
+
+/// One synthetic patch derived from a natural one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticRecord {
+    /// The synthetic patch.
+    pub patch: Patch,
+    /// Commit id of the natural patch it was derived from.
+    pub derived_from: CommitId,
+    /// Whether the base patch was a security patch.
+    pub is_security: bool,
+    /// Table I features of the synthetic patch.
+    pub features: FeatureVector,
+}
+
+/// The assembled PatchDB.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PatchDb {
+    /// NVD-based security patches.
+    pub nvd: Vec<PatchRecord>,
+    /// Wild-based security patches (silent fixes found by augmentation).
+    pub wild: Vec<PatchRecord>,
+    /// Cleaned non-security patches.
+    pub non_security: Vec<PatchRecord>,
+    /// Synthetic patches (both classes).
+    pub synthetic: Vec<SyntheticRecord>,
+}
+
+/// Headline counts, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// |NVD-based security patches|.
+    pub nvd_security: usize,
+    /// |wild-based security patches|.
+    pub wild_security: usize,
+    /// |cleaned non-security patches|.
+    pub non_security: usize,
+    /// |synthetic security patches|.
+    pub synthetic_security: usize,
+    /// |synthetic non-security patches|.
+    pub synthetic_non_security: usize,
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} NVD + {} wild security ({} total), {} non-security, {}+{} synthetic",
+            self.nvd_security,
+            self.wild_security,
+            self.nvd_security + self.wild_security,
+            self.non_security,
+            self.synthetic_security,
+            self.synthetic_non_security
+        )
+    }
+}
+
+impl PatchDb {
+    /// Headline counts.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            nvd_security: self.nvd.len(),
+            wild_security: self.wild.len(),
+            non_security: self.non_security.len(),
+            synthetic_security: self.synthetic.iter().filter(|s| s.is_security).count(),
+            synthetic_non_security: self.synthetic.iter().filter(|s| !s.is_security).count(),
+        }
+    }
+
+    /// All natural security patches (NVD + wild).
+    pub fn security_patches(&self) -> impl Iterator<Item = &PatchRecord> {
+        self.nvd.iter().chain(self.wild.iter())
+    }
+
+    /// Ground-truth category histogram over a set of records, normalized.
+    pub fn category_distribution<'a, I>(records: I) -> HashMap<PatchCategory, f64>
+    where
+        I: IntoIterator<Item = &'a PatchRecord>,
+    {
+        let mut counts: HashMap<PatchCategory, usize> = HashMap::new();
+        let mut total = 0usize;
+        for r in records {
+            if let Some(c) = r.truth_category {
+                *counts.entry(c).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(c, n)| (c, n as f64 / total.max(1) as f64))
+            .collect()
+    }
+
+    /// Serializes the dataset to pretty JSON (the shape the real PatchDB
+    /// release ships in).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes a dataset from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures.
+    pub fn from_json(text: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patch_core::diff_files;
+
+    fn record(source: Source, cat: Option<PatchCategory>) -> PatchRecord {
+        let patch = Patch::builder("a".repeat(40))
+            .message("m")
+            .file(diff_files("x.c", "a();\n", "b();\n", 3))
+            .build();
+        PatchRecord {
+            commit: patch.commit,
+            repo: "r".into(),
+            cve_id: None,
+            message: "m".into(),
+            features: patchdb_features::extract(&patch, None),
+            patch,
+            source,
+            truth_category: cat,
+        }
+    }
+
+    #[test]
+    fn stats_count_by_component() {
+        let db = PatchDb {
+            nvd: vec![record(Source::Nvd, Some(PatchCategory::BoundCheck))],
+            wild: vec![
+                record(Source::Wild, Some(PatchCategory::FunctionCall)),
+                record(Source::Wild, Some(PatchCategory::NullCheck)),
+            ],
+            non_security: vec![record(Source::NonSecurity, None)],
+            synthetic: vec![],
+        };
+        let s = db.stats();
+        assert_eq!(s.nvd_security, 1);
+        assert_eq!(s.wild_security, 2);
+        assert_eq!(s.non_security, 1);
+        assert_eq!(db.security_patches().count(), 3);
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let records = vec![
+            record(Source::Nvd, Some(PatchCategory::BoundCheck)),
+            record(Source::Nvd, Some(PatchCategory::BoundCheck)),
+            record(Source::Nvd, Some(PatchCategory::NullCheck)),
+        ];
+        let d = PatchDb::category_distribution(&records);
+        assert!((d[&PatchCategory::BoundCheck] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((d[&PatchCategory::NullCheck] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let db = PatchDb {
+            nvd: vec![record(Source::Nvd, Some(PatchCategory::Redesign))],
+            ..PatchDb::default()
+        };
+        let json = db.to_json().unwrap();
+        let back = PatchDb::from_json(&json).unwrap();
+        assert_eq!(back.nvd.len(), 1);
+        assert_eq!(back.nvd[0].commit, db.nvd[0].commit);
+        assert_eq!(back.nvd[0].patch, db.nvd[0].patch);
+    }
+}

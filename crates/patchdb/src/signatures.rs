@@ -1,0 +1,222 @@
+//! Patch-enhanced vulnerability signatures and patch-presence testing —
+//! the primary usage scenarios of Section V-A-1.
+//!
+//! A security patch embeds both the vulnerable code (its removed/context
+//! lines against the BEFORE version) and the fix (its added lines). From
+//! those we derive two signatures:
+//!
+//! * a **vulnerability signature** — the abstracted token sequence of the
+//!   pre-patch hunk — which matches *vulnerable code clones* in unrelated
+//!   code (the VUDDY/MVP-style application the paper cites);
+//! * a **fix signature** — the abstracted added lines — whose presence in
+//!   a target file indicates the patch has been applied (the PDiff/
+//!   patch-presence-testing application).
+//!
+//! Abstraction (identifiers → `VARn`/`FUNCn`, literals → `LITERAL`) makes
+//! both robust to renaming, exactly like the hunk-level Levenshtein
+//! features of Table I.
+
+use clang_lite::{abstract_tokens, tokenize, tokenize_fragment};
+use patch_core::{LineKind, Patch};
+use serde::{Deserialize, Serialize};
+
+/// A signature derived from one hunk of a security patch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatchSignature {
+    /// Commit the signature came from.
+    pub commit: patch_core::CommitId,
+    /// Abstracted token sequence of the vulnerable (pre-patch) hunk body.
+    pub vulnerable: Vec<String>,
+    /// Abstracted token sequence of the fixed (post-patch) hunk body.
+    pub fixed: Vec<String>,
+}
+
+/// Minimum abstracted-token length for a usable signature; shorter hunks
+/// match everywhere and only produce noise.
+const MIN_SIGNATURE_TOKENS: usize = 8;
+
+/// Derives signatures from a security patch, one per hunk that carries
+/// enough signal.
+pub fn signatures_of(patch: &Patch) -> Vec<PatchSignature> {
+    let mut out = Vec::new();
+    for hunk in patch.hunks() {
+        let old_text = text_of(hunk, LineKind::Added);
+        let new_text = text_of(hunk, LineKind::Removed);
+        let vulnerable = abstract_line(&old_text);
+        let fixed = abstract_line(&new_text);
+        if vulnerable.len() >= MIN_SIGNATURE_TOKENS && fixed.len() >= MIN_SIGNATURE_TOKENS {
+            out.push(PatchSignature { commit: patch.commit, vulnerable, fixed });
+        }
+    }
+    out
+}
+
+/// The hunk body with lines of `exclude` kind dropped, joined.
+fn text_of(hunk: &patch_core::Hunk, exclude: LineKind) -> String {
+    hunk.lines
+        .iter()
+        .filter(|l| l.kind != exclude)
+        .map(|l| l.content.as_str())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn abstract_line(text: &str) -> Vec<String> {
+    abstract_tokens(&tokenize_fragment(text, 1))
+        .into_iter()
+        .map(|t| t.canon)
+        .collect()
+}
+
+/// Outcome of testing one target file against one signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PresenceVerdict {
+    /// The vulnerable shape matches and the fix shape does not: the code
+    /// is an (unpatched) vulnerable clone.
+    Vulnerable,
+    /// The fix shape matches: the patch (or an equivalent) is present.
+    Patched,
+    /// Neither shape matches: the signature does not apply to this code.
+    NotApplicable,
+}
+
+/// Tests a target file against a signature: vulnerable clone, patched, or
+/// not applicable.
+///
+/// The target is abstracted per *window* anchored at each function (so
+/// local renaming inside the target cannot defeat the match), then tested
+/// for containment of the vulnerable and fixed shapes.
+pub fn test_presence(signature: &PatchSignature, target_source: &str) -> PresenceVerdict {
+    // Abstract the whole target once; the signature sequences were
+    // abstracted from hunks whose numbering starts fresh, so renumber the
+    // target per candidate window start for a fair comparison.
+    let toks = tokenize(target_source);
+    let texts: Vec<String> = toks.iter().map(|t| t.text.clone()).collect();
+
+    let fixed_hit = window_match(&texts, &signature.fixed);
+    if fixed_hit {
+        return PresenceVerdict::Patched;
+    }
+    if window_match(&texts, &signature.vulnerable) {
+        return PresenceVerdict::Vulnerable;
+    }
+    PresenceVerdict::NotApplicable
+}
+
+/// Re-abstracts each window of the target so `VARn` numbering aligns with
+/// a fresh-start signature, then compares.
+fn window_match(target_texts: &[String], needle: &[String]) -> bool {
+    if needle.is_empty() || target_texts.len() < needle.len() {
+        return false;
+    }
+    let n = needle.len();
+    for start in 0..=(target_texts.len() - n) {
+        let window = target_texts[start..start + n].join(" ");
+        let abstracted = abstract_line(&window);
+        if abstracted == needle {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scans a set of targets with a signature database; returns
+/// `(target index, signature index, verdict)` for every non-NA hit.
+pub fn scan_targets(
+    signatures: &[PatchSignature],
+    targets: &[&str],
+) -> Vec<(usize, usize, PresenceVerdict)> {
+    let mut out = Vec::new();
+    for (ti, target) in targets.iter().enumerate() {
+        for (si, sig) in signatures.iter().enumerate() {
+            let v = test_presence(sig, target);
+            if v != PresenceVerdict::NotApplicable {
+                out.push((ti, si, v));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patch_core::diff_files;
+
+    const BEFORE: &str = "int parse(struct ctx *c, size_t n) {\n    int i = c->pos;\n    char *buf = c->data;\n    buf[i] = read_byte(c, i);\n    c->pos = i + 1;\n    return 0;\n}\n";
+    const AFTER: &str = "int parse(struct ctx *c, size_t n) {\n    int i = c->pos;\n    char *buf = c->data;\n    if (i >= (int)n)\n        return -1;\n    buf[i] = read_byte(c, i);\n    c->pos = i + 1;\n    return 0;\n}\n";
+
+    fn patch() -> Patch {
+        Patch::builder("e".repeat(40))
+            .message("fix oob")
+            .file(diff_files("p.c", BEFORE, AFTER, 3))
+            .build()
+    }
+
+    #[test]
+    fn signature_extraction() {
+        let sigs = signatures_of(&patch());
+        assert_eq!(sigs.len(), 1);
+        assert!(sigs[0].vulnerable.len() >= MIN_SIGNATURE_TOKENS);
+        // The fix shape contains the guard's `if`.
+        assert!(sigs[0].fixed.contains(&"if".to_owned()));
+    }
+
+    #[test]
+    fn unpatched_clone_is_flagged_vulnerable() {
+        let sigs = signatures_of(&patch());
+        // A renamed clone of the BEFORE code.
+        let clone = BEFORE
+            .replace("buf", "frame")
+            .replace("read_byte", "next_octet")
+            .replace("int i ", "int k ")
+            .replace("[i]", "[k]")
+            .replace("(c, i)", "(c, k)")
+            .replace("i + 1", "k + 1");
+        assert_eq!(test_presence(&sigs[0], &clone), PresenceVerdict::Vulnerable);
+    }
+
+    #[test]
+    fn patched_clone_is_flagged_patched() {
+        let sigs = signatures_of(&patch());
+        let clone = AFTER.replace("buf", "frame").replace("read_byte", "next_octet");
+        assert_eq!(test_presence(&sigs[0], &clone), PresenceVerdict::Patched);
+    }
+
+    #[test]
+    fn unrelated_code_is_not_applicable() {
+        let sigs = signatures_of(&patch());
+        let other = "void blink(void) {\n    led_on();\n    sleep(1);\n    led_off();\n}\n";
+        assert_eq!(test_presence(&sigs[0], other), PresenceVerdict::NotApplicable);
+    }
+
+    #[test]
+    fn tiny_hunks_yield_no_signatures() {
+        let p = Patch::builder("f".repeat(40))
+            .file(diff_files("q.c", "int x;\n", "int y;\n", 0))
+            .build();
+        assert!(signatures_of(&p).is_empty());
+    }
+
+    #[test]
+    fn scan_reports_hits_per_target() {
+        let sigs = signatures_of(&patch());
+        let vulnerable = BEFORE.replace("buf", "frame");
+        let unrelated = "void noop(void) {}\n";
+        let hits = scan_targets(&sigs, &[&vulnerable, unrelated]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0], (0, 0, PresenceVerdict::Vulnerable));
+    }
+
+    #[test]
+    fn corpus_generated_patches_yield_signatures() {
+        use patchdb_corpus::{CorpusConfig, GitHubForge};
+        let forge = GitHubForge::generate(&CorpusConfig::tiny(44));
+        let mut total = 0;
+        for (_, c) in forge.all_commits().filter(|(_, c)| c.kind.is_security()) {
+            let change = forge.materialize(c);
+            total += signatures_of(&change.patch).len();
+        }
+        assert!(total > 5, "only {total} signatures from a whole tiny forge");
+    }
+}

@@ -1,0 +1,64 @@
+//! Automatic patch-pattern analysis: classify a PatchDB security-patch
+//! sample into the 12 Table V categories with the rule-based taxonomy and
+//! score it against the corpus's ground truth — the "automatic patch
+//! analysis" use case of Section V.
+//!
+//! ```sh
+//! cargo run --release --example classify_patterns
+//! ```
+
+use std::collections::HashMap;
+
+use patchdb::{classify_patch, BuildOptions, PatchDb, PatchCategory, ALL_CATEGORIES};
+
+fn main() {
+    let report = PatchDb::build(&BuildOptions::tiny(9));
+    let db = &report.db;
+    println!("dataset: {}\n", db.stats());
+
+    let mut per_cat: HashMap<PatchCategory, (usize, usize)> = HashMap::new(); // (hits, total)
+    let mut confusion: HashMap<(PatchCategory, PatchCategory), usize> = HashMap::new();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+
+    for record in db.security_patches() {
+        let Some(truth) = record.truth_category else { continue };
+        let predicted = classify_patch(&record.patch);
+        total += 1;
+        let slot = per_cat.entry(truth).or_insert((0, 0));
+        slot.1 += 1;
+        if predicted == truth {
+            correct += 1;
+            slot.0 += 1;
+        } else {
+            *confusion.entry((truth, predicted)).or_insert(0) += 1;
+        }
+    }
+
+    println!("== per-category recall of the rule-based classifier ==");
+    println!("{:<40} {:>6} {:>8}", "category", "n", "recall");
+    for c in ALL_CATEGORIES {
+        if let Some((hits, n)) = per_cat.get(&c) {
+            println!(
+                "{:<40} {:>6} {:>7.0}%",
+                c.label(),
+                n,
+                100.0 * *hits as f64 / (*n).max(1) as f64
+            );
+        }
+    }
+    println!(
+        "\noverall agreement with ground truth: {}/{} = {:.1}%",
+        correct,
+        total,
+        100.0 * correct as f64 / total.max(1) as f64
+    );
+
+    // The most common confusions, for error analysis.
+    let mut worst: Vec<_> = confusion.into_iter().collect();
+    worst.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    println!("\n== top confusions (truth → predicted) ==");
+    for ((t, p), n) in worst.into_iter().take(5) {
+        println!("{:>3}× type {} → type {}", n, t.type_id(), p.type_id());
+    }
+}

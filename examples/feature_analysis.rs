@@ -1,0 +1,63 @@
+//! Feature-space analysis: which of the 60 Table I dimensions actually
+//! separate security patches from the cleaned non-security set? Pairs the
+//! population statistics with a Random-Forest permutation-importance view
+//! of the same question.
+//!
+//! ```sh
+//! cargo run --release --example feature_analysis
+//! ```
+
+use patchdb::{BuildOptions, FeatureVector, PatchDb, FEATURE_NAMES};
+use patchdb_features::{rank_discriminative, FeatureSummary};
+use patchdb_ml::{permutation_importance, Classifier, Dataset, RandomForest};
+
+fn main() {
+    let report = PatchDb::build(&BuildOptions::tiny(71));
+    let db = &report.db;
+    println!("dataset: {}\n", db.stats());
+
+    let sec: Vec<FeatureVector> = db.security_patches().map(|r| r.features).collect();
+    let nonsec: Vec<FeatureVector> = db.non_security.iter().map(|r| r.features).collect();
+
+    // 1. Distribution view: effect sizes between the two populations.
+    let ranked = rank_discriminative(&FeatureSummary::of(&sec), &FeatureSummary::of(&nonsec));
+    println!("== top features by effect size (security vs non-security) ==");
+    println!("{:<38} {:>8} {:>10} {:>10}", "feature", "effect", "sec mean", "nonsec mean");
+    for d in ranked.iter().take(10) {
+        println!(
+            "{:<38} {:>8.2} {:>10.2} {:>10.2}",
+            d.name, d.effect_size, d.mean_a, d.mean_b
+        );
+    }
+
+    // 2. Model view: what does a trained forest actually rely on?
+    let rows: Vec<Vec<f64>> = sec
+        .iter()
+        .chain(&nonsec)
+        .map(|v| v.as_slice().to_vec())
+        .collect();
+    let labels: Vec<bool> = std::iter::repeat(true)
+        .take(sec.len())
+        .chain(std::iter::repeat(false).take(nonsec.len()))
+        .collect();
+    let data = Dataset::new(rows, labels).expect("valid features");
+    let (train, test) = data.split(0.8, 5);
+    let mut rf = RandomForest::new(24, 10, 7);
+    rf.fit(&train);
+
+    let importances = permutation_importance(&rf, &test, 11);
+    let mut by_importance: Vec<(usize, f64)> =
+        importances.into_iter().enumerate().collect();
+    by_importance.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    println!("\n== top features by random-forest permutation importance ==");
+    for (i, imp) in by_importance.iter().take(10) {
+        println!("{:<38} {:>8.3}", FEATURE_NAMES[*i], imp);
+    }
+
+    println!(
+        "\nnote: the two views need not agree — effect size measures marginal\n\
+         separation, permutation importance measures what the fitted model\n\
+         leans on after interactions (Sections III-B-1 and IV-E context)."
+    );
+}

@@ -1,0 +1,49 @@
+//! Source-level oversampling walkthrough: take one natural security patch
+//! and print every Fig. 5 control-flow variant the oversampler derives
+//! from it.
+//!
+//! ```sh
+//! cargo run --release --example synthesize_patches
+//! ```
+
+use patchdb_corpus::{ChangeKind, PatchCategory};
+use patchdb_synth::{synthesize, SynthOptions};
+
+fn main() {
+    // Materialize one bound-check security fix from the forge's generator
+    // (any patch + its file pair works the same way).
+    let forge = patchdb_corpus::GitHubForge::generate(
+        &patchdb_corpus::CorpusConfig::with_total_commits(600, 3),
+    );
+    let commit = forge
+        .all_commits()
+        .map(|(_, c)| c)
+        .find(|c| c.kind == ChangeKind::Security(PatchCategory::BoundCheck))
+        .or_else(|| {
+            forge.all_commits().map(|(_, c)| c).find(|c| c.kind.is_security())
+        })
+        .expect("forge contains a security fix");
+    let change = forge.materialize(commit);
+
+    println!("== natural patch ==");
+    println!("{}", change.patch.to_unified_string());
+
+    let opts = SynthOptions { max_per_patch: 0, ..SynthOptions::default() };
+    let synths = synthesize(&change.patch, &change.before_files, &change.after_files, &opts);
+    println!("oversampler produced {} synthetic variants\n", synths.len());
+
+    for s in &synths {
+        println!("== synthetic variant {:?} (edited {:?} side) ==", s.variant, s.side);
+        // Print only the hunks (skip the header) to keep output compact.
+        let text = s.patch.to_unified_string();
+        for line in text.lines().skip_while(|l| !l.starts_with("@@")) {
+            println!("{line}");
+        }
+        println!();
+    }
+
+    println!(
+        "each variant preserves the original fix semantics while enriching\n\
+         the control-flow representation of the patch (Section III-C)."
+    );
+}

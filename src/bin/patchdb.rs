@@ -1,0 +1,203 @@
+//! `patchdb` — command-line front end for the PatchDB reproduction.
+//!
+//! ```text
+//! patchdb build [--seed N] [--tiny] [--no-synth] [--out FILE]
+//!     construct the dataset against a synthetic forge; write JSON
+//! patchdb stats <FILE>
+//!     headline counts and category distribution of a JSON dataset
+//! patchdb classify <FILE>
+//!     rule-based 12-type classification, scored against ground truth
+//! patchdb patterns <FILE>
+//!     Table VII-style fix-pattern mining over the security patches
+//! patchdb scan <FILE> <TARGET.c>
+//!     vulnerability-signature scan of a C file against the dataset
+//! patchdb analyze <FILE>
+//!     most discriminative Table I features, security vs non-security
+//! ```
+
+use std::process::ExitCode;
+
+use patchdb::{
+    classify_patch, mine_fix_patterns, pattern_frequencies, signatures_of, test_presence,
+    BuildOptions, PatchDb, PresenceVerdict, ALL_CATEGORIES,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("stats") => with_db(&args[1..], cmd_stats),
+        Some("classify") => with_db(&args[1..], cmd_classify),
+        Some("patterns") => with_db(&args[1..], cmd_patterns),
+        Some("analyze") => with_db(&args[1..], cmd_analyze),
+        Some("scan") => cmd_scan(&args[1..]),
+        _ => {
+            eprintln!("usage: patchdb <build|stats|classify|patterns|analyze|scan> [...]");
+            eprintln!("see `src/bin/patchdb.rs` header for per-command flags");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_build(args: &[String]) -> CliResult {
+    let mut seed = 42u64;
+    let mut tiny = false;
+    let mut synth = true;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().ok_or("--seed needs a value")?.parse()?,
+            "--tiny" => tiny = true,
+            "--no-synth" => synth = false,
+            "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+
+    let mut options = if tiny {
+        BuildOptions::tiny(seed)
+    } else {
+        BuildOptions::default_scale(seed)
+    };
+    options.synthesize = synth;
+
+    eprintln!(
+        "building PatchDB (seed {seed}, ~{} commits)...",
+        options.corpus.expected_commits()
+    );
+    let report = PatchDb::build(&options);
+    println!("{}", report.db.stats());
+    println!("\nround  pool      range  candidates  verified  ratio");
+    for r in &report.rounds {
+        println!(
+            "{:>5}  {:<8} {:>6}  {:>10}  {:>8}  {:>4.0}%",
+            r.round, r.pool, r.search_range, r.candidates, r.verified_security,
+            100.0 * r.ratio
+        );
+    }
+    if let Some(path) = out {
+        let json = report.db.to_json()?;
+        std::fs::write(&path, &json)?;
+        eprintln!("\nwrote {} bytes to {path}", json.len());
+    }
+    Ok(())
+}
+
+fn with_db(args: &[String], f: fn(&PatchDb) -> CliResult) -> CliResult {
+    let path = args.first().ok_or("expected a dataset JSON path")?;
+    let text = std::fs::read_to_string(path)?;
+    let db = PatchDb::from_json(&text)?;
+    f(&db)
+}
+
+fn cmd_stats(db: &PatchDb) -> CliResult {
+    println!("{}", db.stats());
+    let dist = PatchDb::category_distribution(db.security_patches());
+    println!("\nground-truth category distribution (security patches):");
+    for c in ALL_CATEGORIES {
+        if let Some(p) = dist.get(&c) {
+            println!("  {:>2}  {:<40} {:>5.1}%", c.type_id(), c.label(), 100.0 * p);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_classify(db: &PatchDb) -> CliResult {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    let mut counts = [0usize; 12];
+    for r in db.security_patches() {
+        let predicted = classify_patch(&r.patch);
+        counts[predicted.type_id() - 1] += 1;
+        if let Some(truth) = r.truth_category {
+            total += 1;
+            hits += usize::from(predicted == truth);
+        }
+    }
+    println!("rule-based classification of {} security patches:", db.security_patches().count());
+    for c in ALL_CATEGORIES {
+        println!("  {:>2}  {:<40} {:>6}", c.type_id(), c.label(), counts[c.type_id() - 1]);
+    }
+    if total > 0 {
+        println!(
+            "\nagreement with ground truth: {hits}/{total} = {:.1}%",
+            100.0 * hits as f64 / total as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_patterns(db: &PatchDb) -> CliResult {
+    let freqs = pattern_frequencies(db.security_patches().map(|r| &r.patch));
+    println!("fix patterns across {} security patches:", db.security_patches().count());
+    for (p, n) in freqs {
+        println!("  {:>6}×  {}", n, p.label());
+    }
+    let nonsec_hits = db
+        .non_security
+        .iter()
+        .filter(|r| !mine_fix_patterns(&r.patch).is_empty())
+        .count();
+    println!(
+        "(control: {nonsec_hits}/{} non-security patches match any pattern)",
+        db.non_security.len()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(db: &PatchDb) -> CliResult {
+    use patchdb_features::{rank_discriminative, FeatureSummary};
+    let sec: Vec<_> = db.security_patches().map(|r| r.features).collect();
+    let nonsec: Vec<_> = db.non_security.iter().map(|r| r.features).collect();
+    if sec.is_empty() || nonsec.is_empty() {
+        return Err("dataset needs both classes for analysis".into());
+    }
+    let ranked = rank_discriminative(&FeatureSummary::of(&sec), &FeatureSummary::of(&nonsec));
+    println!("top discriminative Table I features (security vs non-security):");
+    println!("{:<40} {:>8} {:>10} {:>10}", "feature", "effect", "sec mean", "nonsec");
+    for d in ranked.iter().take(15) {
+        println!(
+            "{:<40} {:>8.2} {:>10.2} {:>10.2}",
+            d.name, d.effect_size, d.mean_a, d.mean_b
+        );
+    }
+    Ok(())
+}
+
+fn cmd_scan(args: &[String]) -> CliResult {
+    let db_path = args.first().ok_or("expected a dataset JSON path")?;
+    let target_path = args.get(1).ok_or("expected a target .c file")?;
+    let db = PatchDb::from_json(&std::fs::read_to_string(db_path)?)?;
+    let target = std::fs::read_to_string(target_path)?;
+
+    let mut vulnerable = 0usize;
+    let mut patched = 0usize;
+    for record in db.security_patches() {
+        for sig in signatures_of(&record.patch) {
+            match test_presence(&sig, &target) {
+                PresenceVerdict::Vulnerable => {
+                    vulnerable += 1;
+                    println!(
+                        "VULNERABLE clone of {} ({})",
+                        record.commit.short(),
+                        record.cve_id.as_deref().unwrap_or("silent fix")
+                    );
+                }
+                PresenceVerdict::Patched => patched += 1,
+                PresenceVerdict::NotApplicable => {}
+            }
+        }
+    }
+    println!("\n{target_path}: {vulnerable} vulnerable-signature hits, {patched} patched-signature hits");
+    Ok(())
+}

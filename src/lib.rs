@@ -1,0 +1,18 @@
+//! # patchdb-repro
+//!
+//! Façade crate for the PatchDB (DSN 2021) reproduction. Re-exports the
+//! public API of every workspace crate so that examples and downstream
+//! users can depend on a single crate.
+//!
+//! See the [`patchdb`] crate for the top-level dataset construction API.
+
+pub use clang_lite;
+pub use patch_core;
+pub use patchdb;
+pub use patchdb_corpus;
+pub use patchdb_features;
+pub use patchdb_mine;
+pub use patchdb_ml;
+pub use patchdb_nls;
+pub use patchdb_nn;
+pub use patchdb_synth;

@@ -1,0 +1,88 @@
+//! End-to-end tests of the `patchdb` CLI binary: build → export → every
+//! read-only subcommand over the exported JSON.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // target/debug/patchdb, next to the test executable's parent dir.
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // debug/
+    p.push("patchdb");
+    p
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("patchdb binary runs (build with `cargo build --bins` first)");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+fn build_db(path: &std::path::Path) {
+    let (ok, text) = run(&[
+        "build",
+        "--tiny",
+        "--seed",
+        "77",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "build failed:\n{text}");
+    assert!(text.contains("round"), "missing round table:\n{text}");
+    assert!(path.exists());
+}
+
+#[test]
+fn cli_full_workflow() {
+    let dir = std::env::temp_dir().join("patchdb-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.json");
+    build_db(&db);
+    let db_str = db.to_str().unwrap();
+
+    let (ok, text) = run(&["stats", db_str]);
+    assert!(ok, "{text}");
+    assert!(text.contains("category distribution"), "{text}");
+
+    let (ok, text) = run(&["classify", db_str]);
+    assert!(ok, "{text}");
+    assert!(text.contains("agreement with ground truth"), "{text}");
+
+    let (ok, text) = run(&["patterns", db_str]);
+    assert!(ok, "{text}");
+    assert!(text.contains("fix patterns across"), "{text}");
+
+    let (ok, text) = run(&["analyze", db_str]);
+    assert!(ok, "{text}");
+    assert!(text.contains("top discriminative"), "{text}");
+
+    // Scan a target file that is a clone of nothing.
+    let target = dir.join("target.c");
+    std::fs::write(&target, "void empty(void) { }\n").unwrap();
+    let (ok, text) = run(&["scan", db_str, target.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("vulnerable-signature hits"), "{text}");
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let (ok, text) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(text.contains("usage:"), "{text}");
+
+    let (ok, text) = run(&["stats", "/no/such/file.json"]);
+    assert!(!ok);
+    assert!(text.contains("error:"), "{text}");
+
+    let (ok, text) = run(&["build", "--bogus-flag"]);
+    assert!(!ok);
+    assert!(text.contains("unknown flag"), "{text}");
+}

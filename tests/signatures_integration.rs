@@ -1,0 +1,113 @@
+//! End-to-end test of the Section V-A usage scenario: build PatchDB,
+//! derive vulnerability signatures from its security patches, and use
+//! them to find (a) the original pre-patch code and (b) renamed clones,
+//! while staying quiet on patched and unrelated code.
+
+use patchdb::{signatures_of, test_presence, BuildOptions, PatchDb, PresenceVerdict};
+use patchdb_corpus::{CorpusConfig, GitHubForge};
+
+#[test]
+fn signatures_find_their_own_prepatch_code() {
+    let forge = GitHubForge::generate(&CorpusConfig::tiny(61));
+    let mut checked = 0usize;
+    let mut vulnerable_hits = 0usize;
+    let mut patched_hits = 0usize;
+    let mut pre_reads_patched = 0usize;
+    let mut post_reads_vulnerable = 0usize;
+
+    for (_, commit) in forge.all_commits().filter(|(_, c)| c.kind.is_security()).take(40) {
+        let change = forge.materialize(commit);
+        let sigs = signatures_of(&change.patch);
+        for sig in &sigs {
+            for (path, before) in &change.before_files {
+                let after = &change.after_files[path];
+                checked += 1;
+                let pre = test_presence(sig, before);
+                let post = test_presence(sig, after);
+                // Shape-based presence testing is inherently confused by
+                // move-style fixes (the "fixed" tokens already exist in
+                // the pre-patch file, just elsewhere), so cross-side
+                // misreads are allowed but must stay rare.
+                pre_reads_patched += usize::from(pre == PresenceVerdict::Patched);
+                post_reads_vulnerable += usize::from(post == PresenceVerdict::Vulnerable);
+                vulnerable_hits += usize::from(pre == PresenceVerdict::Vulnerable);
+                patched_hits += usize::from(post == PresenceVerdict::Patched);
+            }
+        }
+    }
+    assert!(
+        pre_reads_patched * 5 <= checked,
+        "pre-patch reads as patched too often: {pre_reads_patched}/{checked}"
+    );
+    assert!(
+        post_reads_vulnerable * 5 <= checked,
+        "post-patch reads as vulnerable too often: {post_reads_vulnerable}/{checked}"
+    );
+    assert!(checked > 10, "too few signature checks ({checked})");
+    // The hunk-derived shapes must actually re-find their own files most
+    // of the time (multi-hunk context windows can legitimately miss).
+    assert!(
+        vulnerable_hits * 2 > checked,
+        "vulnerable recall too low: {vulnerable_hits}/{checked}"
+    );
+    assert!(
+        patched_hits * 2 > checked,
+        "patched recall too low: {patched_hits}/{checked}"
+    );
+}
+
+#[test]
+fn signatures_ignore_unrelated_generated_code() {
+    let forge = GitHubForge::generate(&CorpusConfig::tiny(62));
+    // Signatures from one repo's first security patch...
+    let (_, sec_commit) = forge
+        .all_commits()
+        .find(|(_, c)| c.kind.is_security())
+        .expect("tiny forge has a security commit");
+    let change = forge.materialize(sec_commit);
+    let sigs = signatures_of(&change.patch);
+    if sigs.is_empty() {
+        return; // hunk too small; nothing to assert
+    }
+
+    // ...scanned against unrelated non-security files: identifiers differ
+    // per commit, so abstracted matches are possible only for genuinely
+    // identical shapes — which do occur (shape twins), so we only check
+    // that "patched" verdicts don't fire on code with no fix in it.
+    let mut scanned = 0usize;
+    for (_, other) in forge
+        .all_commits()
+        .filter(|(_, c)| !c.kind.is_security() && c.id != sec_commit.id)
+        .take(20)
+    {
+        let unrelated = forge.materialize(other);
+        for text in unrelated.before_files.values() {
+            scanned += 1;
+            for sig in &sigs {
+                let verdict = test_presence(sig, text);
+                assert_ne!(
+                    verdict,
+                    PresenceVerdict::Patched,
+                    "fix signature matched code that was never fixed"
+                );
+            }
+        }
+    }
+    assert!(scanned > 5);
+}
+
+#[test]
+fn whole_dataset_scan_is_mostly_self_consistent() {
+    let report = PatchDb::build(&BuildOptions::tiny(63));
+    let db = &report.db;
+    let mut sigs = 0usize;
+    for record in db.security_patches() {
+        sigs += signatures_of(&record.patch).len();
+    }
+    // Most generated security patches have a signature-bearing hunk.
+    assert!(
+        sigs as f64 >= 0.5 * db.security_patches().count() as f64,
+        "only {sigs} signatures from {} patches",
+        db.security_patches().count()
+    );
+}

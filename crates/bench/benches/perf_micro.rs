@@ -3,10 +3,9 @@
 //! search (matrix-free vs explicit-matrix ablation), random-forest
 //! training, GRU steps, and the oversampler.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::bench::{black_box, BenchmarkId, Criterion};
+use patchdb_rt::{criterion_group, criterion_main};
+use patchdb_rt::rng::Xoshiro256pp;
 
 use patchdb_corpus::{ChangeKind, CorpusConfig, GitHubForge};
 use patchdb_features::{extract, euclidean, levenshtein, FeatureVector};
@@ -29,7 +28,7 @@ fn bench_lexer(c: &mut Criterion) {
         changes.iter().flat_map(|ch| ch.after_files.values().cloned()).collect();
     let bytes: usize = sources.iter().map(String::len).sum();
     let mut g = c.benchmark_group("clang-lite");
-    g.throughput(criterion::Throughput::Bytes(bytes as u64));
+    g.throughput(patchdb_rt::bench::Throughput::Bytes(bytes as u64));
     g.bench_function("tokenize", |b| {
         b.iter(|| {
             for s in &sources {
@@ -81,7 +80,7 @@ fn bench_myers(c: &mut Criterion) {
     });
 }
 
-fn random_features(n: usize, rng: &mut ChaCha8Rng) -> Vec<FeatureVector> {
+fn random_features(n: usize, rng: &mut Xoshiro256pp) -> Vec<FeatureVector> {
     (0..n)
         .map(|_| {
             let mut v = FeatureVector::zero();
@@ -94,7 +93,7 @@ fn random_features(n: usize, rng: &mut ChaCha8Rng) -> Vec<FeatureVector> {
 }
 
 fn bench_nls(c: &mut Criterion) {
-    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
     let mut g = c.benchmark_group("nearest-link-search");
     for (m, n) in [(50usize, 1000usize), (100, 4000), (200, 8000)] {
         let sec = random_features(m, &mut rng);
@@ -117,7 +116,7 @@ fn bench_nls(c: &mut Criterion) {
 }
 
 fn bench_forest(c: &mut Criterion) {
-    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
     let rows: Vec<Vec<f64>> =
         (0..2000).map(|_| (0..60).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
     let labels: Vec<bool> = rows.iter().map(|r| r[0] + r[1] > 0.0).collect();
@@ -132,7 +131,7 @@ fn bench_forest(c: &mut Criterion) {
 }
 
 fn bench_gru(c: &mut Criterion) {
-    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
     let cell = patchdb_nn::GruCell::new(24, 32, &mut rng);
     let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.37).sin()).collect();
     let h = vec![0.0; 32];

@@ -9,8 +9,7 @@
 
 use patchdb::{classify_patch, ALL_CATEGORIES};
 use patchdb_bench::{build_experiment, print_table};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use patchdb_rt::rng::SliceRandom;
 
 /// Paper values for side-by-side comparison, in Table V order.
 const PAPER: [f64; 12] =
@@ -23,7 +22,7 @@ fn main() {
     println!("dataset: {}", db.stats());
 
     // 1K sample of natural security patches, like the paper's study.
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(55);
+    let mut rng = patchdb_rt::rng::Xoshiro256pp::seed_from_u64(55);
     let mut sample: Vec<&patchdb::PatchRecord> = db.security_patches().collect();
     sample.shuffle(&mut rng);
     sample.truncate(1_000);

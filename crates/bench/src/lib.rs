@@ -102,9 +102,8 @@ pub fn split_records<'a>(
     train_frac: f64,
     seed: u64,
 ) -> (Vec<&'a PatchRecord>, Vec<&'a PatchRecord>) {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    use patchdb_rt::rng::SliceRandom;
+    let mut rng = patchdb_rt::rng::Xoshiro256pp::seed_from_u64(seed);
     let mut shuffled: Vec<&PatchRecord> = records.to_vec();
     shuffled.shuffle(&mut rng);
     let cut = ((shuffled.len() as f64) * train_frac).round() as usize;

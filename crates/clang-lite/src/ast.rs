@@ -9,14 +9,13 @@
 //! rather than failing, because patches routinely reference code we only
 //! partially see.
 
-use serde::{Deserialize, Serialize};
 
 use crate::keywords::Keyword;
 use crate::lexer::tokenize;
 use crate::token::{Token, TokenKind};
 
 /// The kind of a statement node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StmtKind {
     /// `if (…) … [else …]`; `children[0]` is the then-branch and
     /// `children[1]` (when present) the else-branch.
@@ -60,7 +59,7 @@ pub enum StmtKind {
 }
 
 /// One statement node with its (1-based, inclusive) line extent.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stmt {
     /// What the statement is.
     pub kind: StmtKind,

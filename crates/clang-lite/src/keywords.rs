@@ -1,14 +1,13 @@
 //! C and C++ reserved words, grouped the way the feature extractor needs
 //! them (control flow, loops, jumps, types, memory management).
 
-use serde::{Deserialize, Serialize};
 
 /// A recognized C/C++ keyword.
 ///
 /// Only the keywords the PatchDB pipelines care about get their own
 /// variant; everything else lexes as [`Keyword::Other`] with the original
 /// text preserved on the token.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // variant names are the keywords themselves
 pub enum Keyword {
     If,

@@ -1,13 +1,12 @@
 //! Syntactic statistics over token streams: the per-fragment counters that
 //! feed the Table I feature extractor in `patchdb-features`.
 
-use serde::{Deserialize, Serialize};
 
 use crate::keywords::Keyword;
 use crate::token::{Token, TokenKind};
 
 /// The operator families Table I counts (features 23–42).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperatorClass {
     /// `+ - * / % ++ --` (also compound-assign arithmetic like `+=`).
     Arithmetic,
@@ -54,7 +53,7 @@ const MEMORY_FUNCTIONS: &[&str] = &[
 ];
 
 /// Syntactic counters for one code fragment (a patch line, hunk, or file).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FragmentStats {
     /// Non-comment, non-preprocessor token count.
     pub tokens: usize,

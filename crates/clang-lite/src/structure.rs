@@ -6,14 +6,13 @@
 //! rather than building a full AST, recovers at every imbalance, and never
 //! fails — patches routinely reference files we only partially understand.
 
-use serde::{Deserialize, Serialize};
 
 use crate::keywords::Keyword;
 use crate::lexer::tokenize;
 use crate::token::{Span, Token, TokenKind};
 
 /// A function definition's location within a file.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FunctionSpan {
     /// The function's name (identifier before the parameter list).
     pub name: String,
@@ -33,7 +32,7 @@ impl FunctionSpan {
 }
 
 /// An `if` statement's location and shape within a file.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IfStmt {
     /// Span of the `if` keyword itself.
     pub if_span: Span,

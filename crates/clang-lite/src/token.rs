@@ -1,11 +1,10 @@
 //! Token and span types produced by the lexer.
 
-use serde::{Deserialize, Serialize};
 
 use crate::keywords::Keyword;
 
 /// A half-open source region in (1-based) line / (0-based) column terms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Span {
     /// 1-based line the token starts on.
     pub line: usize,
@@ -25,7 +24,7 @@ impl Span {
 }
 
 /// Lexical category of a token.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TokenKind {
     /// Identifier that is not a reserved word.
     Ident,
@@ -48,7 +47,7 @@ pub enum TokenKind {
 }
 
 /// One lexed token.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Token {
     /// The token's category.
     pub kind: TokenKind,

@@ -4,7 +4,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::ParsePatchError;
 
@@ -91,16 +90,18 @@ impl FromStr for CommitId {
     }
 }
 
-impl Serialize for CommitId {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_str(self)
+impl patchdb_rt::json::ToJson for CommitId {
+    fn to_json(&self) -> patchdb_rt::json::Json {
+        patchdb_rt::json::Json::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for CommitId {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse().map_err(serde::de::Error::custom)
+impl patchdb_rt::json::FromJson for CommitId {
+    fn from_json(v: &patchdb_rt::json::Json) -> patchdb_rt::json::Result<Self> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| patchdb_rt::json::JsonError::new("expected commit id string"))?;
+        s.parse().map_err(|e| patchdb_rt::json::JsonError::new(format!("{e:?}")))
     }
 }
 
@@ -137,11 +138,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use patchdb_rt::json::{FromJson, Json, ToJson};
         let id = CommitId::from_seed(99);
-        let json = serde_json::to_string(&id).unwrap();
+        let json = id.to_json().to_compact_string();
         assert_eq!(json, format!("\"{id}\""));
-        let back: CommitId = serde_json::from_str(&json).unwrap();
+        let back = CommitId::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(id, back);
     }
 }

@@ -1,10 +1,9 @@
 //! Hunks: the consecutive removed/added line groups of a unified diff,
 //! surrounded by context lines (PatchDB Section II-A).
 
-use serde::{Deserialize, Serialize};
 
 /// The role a line plays inside a hunk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LineKind {
     /// Unchanged context (` ` prefix in the textual form).
     Context,
@@ -26,7 +25,7 @@ impl LineKind {
 }
 
 /// One line of a hunk body, without its prefix character or newline.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Line {
     /// Whether the line is context, added, or removed.
     pub kind: LineKind,
@@ -73,7 +72,7 @@ impl Line {
 /// assert_eq!(hunk.added_count(), 2);
 /// assert_eq!(hunk.removed_count(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Hunk {
     /// 1-based first line of the hunk in the old file.
     pub old_start: usize,
@@ -88,6 +87,10 @@ pub struct Hunk {
     /// The hunk body in order.
     pub lines: Vec<Line>,
 }
+
+patchdb_rt::impl_json_unit_enum!(LineKind { Context, Added, Removed });
+patchdb_rt::impl_to_from_json!(Line { kind, content });
+patchdb_rt::impl_to_from_json!(Hunk { old_start, old_count, new_start, new_count, section, lines });
 
 impl Hunk {
     /// Iterates over the added lines of the hunk.

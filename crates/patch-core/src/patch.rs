@@ -1,6 +1,5 @@
 //! Patches (commits) and per-file diffs.
 
-use serde::{Deserialize, Serialize};
 
 use crate::commit::CommitId;
 use crate::error::ParsePatchError;
@@ -11,7 +10,7 @@ use crate::hunk::Hunk;
 pub(crate) const C_EXTENSIONS: &[&str] = &["c", "cc", "cpp", "cxx", "h", "hh", "hpp", "hxx"];
 
 /// The diff of one file within a patch.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FileDiff {
     /// Path of the file in the old tree (without the `a/` prefix).
     pub old_path: String,
@@ -86,7 +85,7 @@ impl FileDiff {
 ///
 /// Matches the textual form PatchDB downloads from
 /// `https://github.com/{owner}/{repo}/commit/{hash}.patch`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Patch {
     /// The commit hash identifying the patch.
     pub commit: CommitId,
@@ -163,6 +162,9 @@ impl Patch {
         Ok(())
     }
 }
+
+patchdb_rt::impl_to_from_json!(FileDiff { old_path, new_path, index, hunks });
+patchdb_rt::impl_to_from_json!(Patch { commit, message, files });
 
 /// Builder for [`Patch`] (C-BUILDER).
 #[derive(Debug, Clone)]

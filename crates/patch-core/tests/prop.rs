@@ -1,61 +1,61 @@
 //! Property-based tests for the diff substrate: the diff/apply/revert
 //! triangle and parse/print round-trips must hold for arbitrary inputs.
+//! Runs on `patchdb_rt::check`, the in-repo property harness.
 
-use proptest::prelude::*;
+use patchdb_rt::check::{check, Gen};
 
 use patch_core::{
     apply_file_diff, diff_files, diff_lines, join_lines, revert_file_diff, EditOp, Patch,
 };
 
-/// Strategy: a file as a vector of short lines drawn from a small alphabet,
-/// so that diffs contain plenty of genuine matches and near-misses.
-fn file_lines() -> impl Strategy<Value = Vec<String>> {
-    prop::collection::vec(
-        prop::sample::select(vec![
-            "int x = 0;",
-            "if (x > 0) {",
-            "}",
-            "return x;",
-            "x++;",
-            "call(x);",
-            "",
-            "/* comment */",
-        ])
-        .prop_map(str::to_owned),
-        0..40,
-    )
+const CASES: u32 = 256;
+
+/// A file as a vector of short lines drawn from a small alphabet, so
+/// that diffs contain plenty of genuine matches and near-misses.
+fn file_lines(g: &mut Gen) -> Vec<String> {
+    const LINES: &[&str] = &[
+        "int x = 0;",
+        "if (x > 0) {",
+        "}",
+        "return x;",
+        "x++;",
+        "call(x);",
+        "",
+        "/* comment */",
+    ];
+    g.vec_with(0, 39, |g| (*g.pick(LINES)).to_owned())
 }
 
-/// Strategy: mutate a file by random splices to get a related "after" file.
-fn edited_pair() -> impl Strategy<Value = (Vec<String>, Vec<String>)> {
-    (file_lines(), prop::collection::vec((any::<prop::sample::Index>(), 0..4usize), 0..6))
-        .prop_map(|(old, edits)| {
-            let mut new = old.clone();
-            for (idx, op) in edits {
-                if new.is_empty() {
-                    new.push("seed();".to_owned());
-                    continue;
-                }
-                let i = idx.index(new.len());
-                match op {
-                    0 => new.insert(i, "inserted();".to_owned()),
-                    1 => {
-                        new.remove(i);
-                    }
-                    2 => new[i] = "replaced();".to_owned(),
-                    _ => new.swap(0, i),
-                }
+/// Mutate a file by random splices to get a related "after" file.
+fn edited_pair(g: &mut Gen) -> (Vec<String>, Vec<String>) {
+    let old = file_lines(g);
+    let edits = g.vec_with(0, 5, |g| (g.f64_unit(), g.usize_in(0, 3)));
+    let mut new = old.clone();
+    for (idx, op) in edits {
+        if new.is_empty() {
+            new.push("seed();".to_owned());
+            continue;
+        }
+        // proptest's `Index` semantics: a position scaled into the
+        // current length.
+        let i = ((idx * new.len() as f64) as usize).min(new.len() - 1);
+        match op {
+            0 => new.insert(i, "inserted();".to_owned()),
+            1 => {
+                new.remove(i);
             }
-            (old, new)
-        })
+            2 => new[i] = "replaced();".to_owned(),
+            _ => new.swap(0, i),
+        }
+    }
+    (old, new)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The Myers edit script faithfully replays `old` into `new`.
-    #[test]
-    fn edit_script_replays((old, new) in edited_pair()) {
+/// The Myers edit script faithfully replays `old` into `new`.
+#[test]
+fn edit_script_replays() {
+    check("edit_script_replays", CASES, |g| {
+        let (old, new) = edited_pair(g);
         let old_refs: Vec<&str> = old.iter().map(String::as_str).collect();
         let new_refs: Vec<&str> = new.iter().map(String::as_str).collect();
         let ops = diff_lines(&old_refs, &new_refs);
@@ -64,57 +64,99 @@ proptest! {
         for op in &ops {
             match *op {
                 EditOp::Equal(o, n) => {
-                    prop_assert_eq!(&old_refs[o], &new_refs[n]);
-                    prop_assert_eq!(o, oi);
+                    assert_eq!(&old_refs[o], &new_refs[n]);
+                    assert_eq!(o, oi);
                     rebuilt.push(new_refs[n]);
                     oi += 1;
                 }
                 EditOp::Delete(o) => {
-                    prop_assert_eq!(o, oi);
+                    assert_eq!(o, oi);
                     oi += 1;
                 }
                 EditOp::Insert(n) => rebuilt.push(new_refs[n]),
             }
         }
-        prop_assert_eq!(oi, old_refs.len());
-        prop_assert_eq!(rebuilt, new_refs);
-    }
+        assert_eq!(oi, old_refs.len());
+        assert_eq!(rebuilt, new_refs);
+    });
+}
 
-    /// diff → apply reproduces the new file; diff → revert reproduces the old.
-    #[test]
-    fn diff_apply_revert_triangle((old, new) in edited_pair(), ctx in 0usize..4) {
-        let old_text = join_lines(&old);
-        let new_text = join_lines(&new);
-        let d = diff_files("prop.c", &old_text, &new_text, ctx);
-        prop_assert!(d.validate().is_ok(), "invalid diff: {:?}", d.validate());
-        let applied = apply_file_diff(&d, &old_text).unwrap();
-        prop_assert_eq!(&applied, &new_text);
-        let reverted = revert_file_diff(&d, &new_text).unwrap();
-        prop_assert_eq!(&reverted, &old_text);
-    }
+/// Body of the diff/apply/revert triangle, shared between the random
+/// checker and the pinned regression below.
+fn assert_triangle(old: &[String], new: &[String], ctx: usize) {
+    let old_text = join_lines(old);
+    let new_text = join_lines(new);
+    let d = diff_files("prop.c", &old_text, &new_text, ctx);
+    assert!(d.validate().is_ok(), "invalid diff: {:?}", d.validate());
+    let applied = apply_file_diff(&d, &old_text).unwrap();
+    assert_eq!(&applied, &new_text);
+    let reverted = revert_file_diff(&d, &new_text).unwrap();
+    assert_eq!(&reverted, &old_text);
+}
 
-    /// Non-empty diffs survive a print → parse round trip.
-    #[test]
-    fn print_parse_round_trip((old, new) in edited_pair()) {
+/// diff → apply reproduces the new file; diff → revert reproduces the old.
+#[test]
+fn diff_apply_revert_triangle() {
+    check("diff_apply_revert_triangle", CASES, |g| {
+        let (old, new) = edited_pair(g);
+        let ctx = g.usize_in(0, 3);
+        assert_triangle(&old, &new, ctx);
+    });
+}
+
+/// Pinned regression carried over from the proptest era
+/// (`prop.proptest-regressions`): a single insertion into a run of
+/// identical lines, diffed with zero context, once produced hunks whose
+/// zero-count old ranges overlapped.
+#[test]
+fn diff_apply_revert_triangle_regression_zero_context_insert() {
+    let line = |s: &str| s.to_owned();
+    let old = vec![
+        line("int x = 0;"),
+        line("int x = 0;"),
+        line("if (x > 0) {"),
+        line("int x = 0;"),
+        line("int x = 0;"),
+        line("int x = 0;"),
+        line("int x = 0;"),
+        line("int x = 0;"),
+        line("int x = 0;"),
+        line("int x = 0;"),
+        line("int x = 0;"),
+        line("int x = 0;"),
+    ];
+    let mut new = old.clone();
+    new.insert(1, line("inserted();"));
+    assert_triangle(&old, &new, 0);
+}
+
+/// Non-empty diffs survive a print → parse round trip.
+#[test]
+fn print_parse_round_trip() {
+    check("print_parse_round_trip", CASES, |g| {
+        let (old, new) = edited_pair(g);
         let old_text = join_lines(&old);
         let new_text = join_lines(&new);
         let d = diff_files("prop.c", &old_text, &new_text, 3);
         if d.hunks.is_empty() {
-            return Ok(()); // identical files produce no printable diff
+            return; // identical files produce no printable diff
         }
         let patch = Patch::builder("ab".repeat(20)).message("prop test").file(d).build();
         let text = patch.to_unified_string();
         let back = Patch::parse(&text).unwrap();
-        prop_assert_eq!(patch, back);
-    }
+        assert_eq!(patch, back);
+    });
+}
 
-    /// Hunk counts always agree with declared @@ ranges.
-    #[test]
-    fn hunks_always_validate((old, new) in edited_pair()) {
+/// Hunk counts always agree with declared @@ ranges.
+#[test]
+fn hunks_always_validate() {
+    check("hunks_always_validate", CASES, |g| {
+        let (old, new) = edited_pair(g);
         let d = diff_files("prop.c", &join_lines(&old), &join_lines(&new), 2);
         for h in &d.hunks {
-            prop_assert!(h.validate().is_ok());
-            prop_assert!(!h.is_trivial(), "hunks must contain a change");
+            assert!(h.validate().is_ok());
+            assert!(!h.is_trivial(), "hunks must contain a change");
         }
-    }
+    });
 }

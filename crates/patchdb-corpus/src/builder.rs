@@ -1,8 +1,7 @@
 //! C file scaffolding: preludes, filler functions, and rendering, shared
 //! by the security and non-security change generators.
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::words::{file_path, func_name, ident, pick, STRUCT_NAMES, TYPES};
 
@@ -22,7 +21,7 @@ pub(crate) struct Scope {
 }
 
 impl Scope {
-    pub(crate) fn generate(rng: &mut ChaCha8Rng) -> Self {
+    pub(crate) fn generate(rng: &mut Xoshiro256pp) -> Self {
         Scope {
             fn_name: func_name(rng),
             struct_name: pick(rng, STRUCT_NAMES).to_owned(),
@@ -48,7 +47,7 @@ pub(crate) struct FileSketch {
 }
 
 impl FileSketch {
-    pub(crate) fn generate(rng: &mut ChaCha8Rng) -> Self {
+    pub(crate) fn generate(rng: &mut Xoshiro256pp) -> Self {
         let mut prelude = vec![
             "#include <stdlib.h>".to_owned(),
             "#include <string.h>".to_owned(),
@@ -100,7 +99,7 @@ impl FileSketch {
 }
 
 /// A small complete function used as stable filler.
-pub(crate) fn filler_function(rng: &mut ChaCha8Rng) -> Vec<String> {
+pub(crate) fn filler_function(rng: &mut Xoshiro256pp) -> Vec<String> {
     let name = func_name(rng);
     let arg = ident(rng);
     let local = ident(rng);
@@ -133,7 +132,7 @@ pub(crate) fn filler_function(rng: &mut ChaCha8Rng) -> Vec<String> {
 
 /// Extra no-op-ish statements inserted identically in both versions to add
 /// variety around the change site.
-pub(crate) fn filler_statement(rng: &mut ChaCha8Rng, scope: &Scope) -> String {
+pub(crate) fn filler_statement(rng: &mut Xoshiro256pp, scope: &Scope) -> String {
     match rng.gen_range(0..5) {
         0 => format!("    {}->flags |= 0x{:x};", scope.obj, rng.gen_range(1..256)),
         1 => format!("    log_debug(\"{}: %d\", {});", scope.fn_name, scope.idx),
@@ -146,11 +145,10 @@ pub(crate) fn filler_statement(rng: &mut ChaCha8Rng, scope: &Scope) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn rendered_file_is_parsable_c() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let sketch = FileSketch::generate(&mut rng);
         let target = vec![
             "int target(void)".to_owned(),
@@ -165,8 +163,8 @@ mod tests {
 
     #[test]
     fn render_is_deterministic() {
-        let mut a = ChaCha8Rng::seed_from_u64(8);
-        let mut b = ChaCha8Rng::seed_from_u64(8);
+        let mut a = Xoshiro256pp::seed_from_u64(8);
+        let mut b = Xoshiro256pp::seed_from_u64(8);
         let ta = FileSketch::generate(&mut a).render(&[]);
         let tb = FileSketch::generate(&mut b).render(&[]);
         assert_eq!(ta, tb);
@@ -174,7 +172,7 @@ mod tests {
 
     #[test]
     fn filler_functions_lex_cleanly() {
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         for _ in 0..20 {
             let f = filler_function(&mut rng);
             let text = f.join("\n");

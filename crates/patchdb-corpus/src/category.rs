@@ -1,12 +1,10 @@
 //! The 12 security-patch change-pattern categories of Table V, and the
 //! per-source category mixes (Fig. 6) the generator is calibrated to.
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::Xoshiro256pp;
 
 /// Table V's taxonomy of security patches by code change.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PatchCategory {
     /// Type 1: add or change bound checks.
     BoundCheck,
@@ -50,6 +48,21 @@ pub const ALL_CATEGORIES: [PatchCategory; 12] = [
     PatchCategory::Others,
 ];
 
+patchdb_rt::impl_json_unit_enum!(PatchCategory {
+    BoundCheck,
+    NullCheck,
+    OtherSanityCheck,
+    VariableDefinition,
+    VariableValue,
+    FunctionDeclaration,
+    FunctionParameter,
+    FunctionCall,
+    JumpStatement,
+    MoveStatement,
+    Redesign,
+    Others,
+});
+
 impl PatchCategory {
     /// Table V 1-based type id.
     pub fn type_id(self) -> usize {
@@ -76,7 +89,7 @@ impl PatchCategory {
 }
 
 /// A categorical distribution over the 12 types.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CategoryMix {
     weights: [f64; 12],
 }
@@ -133,7 +146,7 @@ impl CategoryMix {
     }
 
     /// Samples one category.
-    pub fn sample(&self, rng: &mut ChaCha8Rng) -> PatchCategory {
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> PatchCategory {
         let total: f64 = self.weights.iter().sum();
         let mut t = rng.gen_range(0.0..total);
         for (c, w) in ALL_CATEGORIES.iter().zip(&self.weights) {
@@ -155,7 +168,6 @@ impl CategoryMix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use std::collections::HashMap;
 
     #[test]
@@ -168,7 +180,7 @@ mod tests {
     #[test]
     fn sampling_matches_weights() {
         let mix = CategoryMix::nvd();
-        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         let mut counts: HashMap<PatchCategory, usize> = HashMap::new();
         let n = 20_000;
         for _ in 0..n {

@@ -4,10 +4,7 @@
 use std::collections::HashMap;
 
 use patch_core::{diff_files, CommitId, FileDiff, Hunk, Line, Patch};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::builder::FileSketch;
 use crate::category::PatchCategory;
@@ -17,7 +14,7 @@ use crate::security::generate_security;
 pub use crate::nonsecurity::NonSecKind;
 
 /// What a commit does, at ground-truth level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChangeKind {
     /// A security fix of the given Table V category.
     Security(PatchCategory),
@@ -62,7 +59,7 @@ pub fn generate_change(
     mention_security: bool,
     reported: bool,
 ) -> GeneratedChange {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let sketch = FileSketch::generate(&mut rng);
     let pair = match kind {
         ChangeKind::Security(cat) => generate_security(&mut rng, cat, mention_security, reported),

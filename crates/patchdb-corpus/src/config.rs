@@ -1,10 +1,9 @@
 //! Corpus-generation configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// Parameters controlling forge generation. Defaults are calibrated to
 /// the paper's reported statistics at laptop scale.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorpusConfig {
     /// Number of repositories (the paper mines 313).
     pub n_repos: usize,

@@ -1,10 +1,7 @@
 //! The synthetic GitHub: repositories and seed-backed commit streams.
 
 use patch_core::CommitId;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::category::CategoryMix;
 use crate::change::{generate_change, ChangeKind, GeneratedChange};
@@ -14,7 +11,7 @@ use crate::nvd::NvdIndex;
 use crate::words::repo_name;
 
 /// Ground-truth labels attached to every synthetic commit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroundTruth {
     /// Whether the commit fixes a vulnerability.
     pub is_security: bool,
@@ -25,7 +22,7 @@ pub struct GroundTruth {
 }
 
 /// One commit: a seed (for materialization), its id, and ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Commit {
     /// The commit hash (derived from the seed).
     pub id: CommitId,
@@ -38,7 +35,7 @@ pub struct Commit {
 }
 
 /// A synthetic repository.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Repository {
     /// Repository name, e.g. `libjson-parser`.
     pub name: String,
@@ -51,7 +48,7 @@ pub struct Repository {
 }
 
 /// The synthetic GitHub plus its NVD index.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GitHubForge {
     repos: Vec<Repository>,
     nvd: NvdIndex,
@@ -62,7 +59,7 @@ impl GitHubForge {
     /// Generates a forge from a configuration. Deterministic in
     /// `config.seed`.
     pub fn generate(config: &CorpusConfig) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
         let nvd_mix = CategoryMix::nvd();
         let wild_mix = CategoryMix::wild();
         let mut repos = Vec::with_capacity(config.n_repos);
@@ -177,7 +174,7 @@ impl GitHubForge {
     }
 }
 
-fn unique_repo_name(rng: &mut ChaCha8Rng, existing: &[Repository]) -> String {
+fn unique_repo_name(rng: &mut Xoshiro256pp, existing: &[Repository]) -> String {
     loop {
         let name = repo_name(rng);
         if !existing.iter().any(|r| r.name == name) {

@@ -4,15 +4,14 @@
 //! negatives (bug fixes that also add `if` statements, like the paper's
 //! Listing 2).
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::builder::{filler_statement, Scope};
 use crate::security::TargetPair;
 use crate::words::{ident, pick, NOUNS, VERBS};
 
 /// The non-security change kinds the forge emits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NonSecKind {
     /// Adds new functionality (new branch, new function, new field use).
     NewFeature,
@@ -54,7 +53,7 @@ pub(crate) const NONSEC_WEIGHTED: &[(NonSecKind, f64)] = &[
     (NonSecKind::Rework, 11.0),
 ];
 
-pub(crate) fn sample_nonsec_kind(rng: &mut ChaCha8Rng) -> NonSecKind {
+pub(crate) fn sample_nonsec_kind(rng: &mut Xoshiro256pp) -> NonSecKind {
     let total: f64 = NONSEC_WEIGHTED.iter().map(|(_, w)| w).sum();
     let mut t = rng.gen_range(0.0..total);
     for (k, w) in NONSEC_WEIGHTED {
@@ -67,7 +66,7 @@ pub(crate) fn sample_nonsec_kind(rng: &mut ChaCha8Rng) -> NonSecKind {
 }
 
 /// Generates one non-security change of the requested kind.
-pub(crate) fn generate_nonsecurity(rng: &mut ChaCha8Rng, kind: NonSecKind) -> TargetPair {
+pub(crate) fn generate_nonsecurity(rng: &mut Xoshiro256pp, kind: NonSecKind) -> TargetPair {
     if let NonSecKind::ShapeTwin(cat) = kind {
         return shape_twin(rng, cat);
     }
@@ -85,7 +84,7 @@ pub(crate) fn generate_nonsecurity(rng: &mut ChaCha8Rng, kind: NonSecKind) -> Ta
     TargetPair { before, after, message: nonsec_message(rng, &scope, kind) }
 }
 
-fn base(rng: &mut ChaCha8Rng, s: &Scope) -> Vec<String> {
+fn base(rng: &mut Xoshiro256pp, s: &Scope) -> Vec<String> {
     let mut lines = vec![
         format!(
             "{} {}(struct {} *{}, int {})",
@@ -105,7 +104,7 @@ fn base(rng: &mut ChaCha8Rng, s: &Scope) -> Vec<String> {
     lines
 }
 
-fn new_feature(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn new_feature(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let before = base(rng, s);
     let mut after = before.clone();
     match rng.gen_range(0..3) {
@@ -139,7 +138,7 @@ fn new_feature(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
     (before, after)
 }
 
-fn bug_fix(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn bug_fix(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let before = base(rng, s);
     let mut after = before.clone();
     match rng.gen_range(0..6) {
@@ -211,7 +210,7 @@ fn bug_fix(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
     (before, after)
 }
 
-fn performance(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn performance(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let before = base(rng, s);
     let mut after = before.clone();
     if rng.gen_bool(0.5) {
@@ -227,7 +226,7 @@ fn performance(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
     (before, after)
 }
 
-fn refactor(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn refactor(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let before = base(rng, s);
     let new_name = format!("{}_{}", s.idx, pick(rng, &["iter", "cursor", "n"]));
     let after: Vec<String> = before
@@ -241,7 +240,7 @@ fn refactor(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
     (before, after)
 }
 
-fn documentation(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn documentation(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let mut before = base(rng, s);
     before.insert(0, format!("/* {}: process one {} */", s.fn_name, pick(rng, NOUNS)));
     let mut after = before.clone();
@@ -256,7 +255,7 @@ fn documentation(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) 
     (before, after)
 }
 
-fn style(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn style(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let before = base(rng, s);
     let mut after = before.clone();
     // Re-indent one statement or convert spacing around an operator.
@@ -282,7 +281,7 @@ fn style(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
 /// barely move the Table I *count* features (the Random Forest does much
 /// worse — Table VI), and they leave the nearest-link feature clusters
 /// overlapping (candidates verify at ~25%, Table II).
-fn shape_twin(rng: &mut ChaCha8Rng, cat: crate::category::PatchCategory) -> TargetPair {
+fn shape_twin(rng: &mut Xoshiro256pp, cat: crate::category::PatchCategory) -> TargetPair {
     let mut pair = crate::security::generate_security(rng, cat, false, false);
 
     // Idiom swaps applied to the *added* lines only: each maps a security
@@ -345,12 +344,12 @@ fn shape_twin(rng: &mut ChaCha8Rng, cat: crate::category::PatchCategory) -> Targ
 
 /// A whole-function rewrite with no security intent: both versions are
 /// random bodies, like `security::redesign` but without hardening.
-fn rework(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn rework(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let sig = format!(
         "{} {}(struct {} *{}, size_t {})",
         s.ret_ty, s.fn_name, s.struct_name, s.obj, s.len
     );
-    let body = |rng: &mut ChaCha8Rng| {
+    let body = |rng: &mut Xoshiro256pp| {
         let mut v = vec![sig.clone(), "{".to_owned()];
         v.extend(crate::security::random_body(rng, s, false));
         v.push("}".to_owned());
@@ -359,7 +358,7 @@ fn rework(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
     (body(rng), body(rng))
 }
 
-fn nonsec_message(rng: &mut ChaCha8Rng, s: &Scope, kind: NonSecKind) -> String {
+fn nonsec_message(rng: &mut Xoshiro256pp, s: &Scope, kind: NonSecKind) -> String {
     match kind {
         NonSecKind::NewFeature => match rng.gen_range(0..3) {
             0 => format!("{}: add {} support", s.fn_name, pick(rng, NOUNS)),
@@ -387,7 +386,6 @@ fn nonsec_message(rng: &mut ChaCha8Rng, s: &Scope, kind: NonSecKind) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     const ALL: [NonSecKind; 6] = [
         NonSecKind::NewFeature,
@@ -400,7 +398,7 @@ mod tests {
 
     #[test]
     fn every_kind_changes_something() {
-        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
         for k in ALL {
             for _ in 0..10 {
                 let pair = generate_nonsecurity(&mut rng, k);
@@ -411,7 +409,7 @@ mod tests {
 
     #[test]
     fn messages_do_not_mention_cves() {
-        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let mut rng = Xoshiro256pp::seed_from_u64(32);
         for k in ALL {
             for _ in 0..5 {
                 let pair = generate_nonsecurity(&mut rng, k);
@@ -423,7 +421,7 @@ mod tests {
 
     #[test]
     fn kind_sampling_heavily_favors_features_and_fixes() {
-        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let mut rng = Xoshiro256pp::seed_from_u64(33);
         let n = 10_000;
         let mut feat = 0;
         for _ in 0..n {
@@ -439,7 +437,7 @@ mod tests {
 
     #[test]
     fn refactor_preserves_line_count() {
-        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let mut rng = Xoshiro256pp::seed_from_u64(34);
         let pair = generate_nonsecurity(&mut rng, NonSecKind::Refactor);
         assert_eq!(pair.before.len(), pair.after.len());
     }

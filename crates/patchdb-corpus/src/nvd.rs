@@ -2,14 +2,12 @@
 //! `Patch`, some noise — mirroring the shape Section III-A crawls.
 
 use patch_core::CommitId;
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::forge::Repository;
 
 /// A reference hyperlink attached to a CVE entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reference {
     /// The URL.
     pub url: String,
@@ -25,7 +23,7 @@ impl Reference {
 }
 
 /// One synthetic CVE entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CveEntry {
     /// The CVE identifier, e.g. `CVE-2018-12345`.
     pub id: String,
@@ -38,7 +36,7 @@ pub struct CveEntry {
 }
 
 /// The synthetic vulnerability database.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NvdIndex {
     entries: Vec<CveEntry>,
 }
@@ -49,7 +47,7 @@ impl NvdIndex {
     /// commit URL; entries also carry advisory-link noise, a fraction have
     /// **no** patch link at all (the paper notes patch info is often
     /// missing), and ~1 % of patch links are wrong (Section V-B).
-    pub(crate) fn build(repos: &[Repository], rng: &mut ChaCha8Rng) -> Self {
+    pub(crate) fn build(repos: &[Repository], rng: &mut Xoshiro256pp) -> Self {
         let mut entries = Vec::new();
         let mut all_ids: Vec<(String, CommitId)> = Vec::new();
         for r in repos {

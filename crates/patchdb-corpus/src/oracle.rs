@@ -4,9 +4,7 @@
 //! resolved by majority vote.
 
 use patch_core::CommitId;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::forge::Commit;
 
@@ -66,14 +64,14 @@ impl VerificationOracle {
         self.verified.set(0);
     }
 
-    fn rng_for(&self, id: CommitId) -> ChaCha8Rng {
+    fn rng_for(&self, id: CommitId) -> Xoshiro256pp {
         let mut k = self.seed;
         for chunk in id.as_bytes().chunks(8) {
             let mut b = [0u8; 8];
             b[..chunk.len()].copy_from_slice(chunk);
             k = k.rotate_left(17) ^ u64::from_le_bytes(b);
         }
-        ChaCha8Rng::seed_from_u64(k)
+        Xoshiro256pp::seed_from_u64(k)
     }
 }
 

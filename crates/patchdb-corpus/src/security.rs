@@ -4,8 +4,7 @@
 //! whole downstream pipeline — feature extraction, oversampling,
 //! categorization — exercises real paths.
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::builder::{filler_statement, Scope};
 use crate::category::PatchCategory;
@@ -28,7 +27,7 @@ pub(crate) struct TargetPair {
 /// distribution discrepancy between the NVD and the wild that Section
 /// IV-B/IV-E attributes the baselines' and NVD-only models' weakness to.
 pub(crate) fn generate_security(
-    rng: &mut ChaCha8Rng,
+    rng: &mut Xoshiro256pp,
     category: PatchCategory,
     mention_security: bool,
     reported: bool,
@@ -63,7 +62,7 @@ pub(crate) fn generate_security(
 /// the NVD↔wild feature-distribution discrepancy Section IV-B blames for
 /// the weakness of globally-trained models, which local nearest-link
 /// matching tolerates.
-fn add_reported_hardening(rng: &mut ChaCha8Rng, s: &Scope, pair: &mut TargetPair) {
+fn add_reported_hardening(rng: &mut Xoshiro256pp, s: &Scope, pair: &mut TargetPair) {
     if !rng.gen_bool(0.85) {
         return;
     }
@@ -85,7 +84,7 @@ fn add_reported_hardening(rng: &mut ChaCha8Rng, s: &Scope, pair: &mut TargetPair
 /// and symbolic error constants (as real kernels do). The twin generator
 /// substitutes a disjoint functional pool, keeping token streams
 /// separable while count features overlap.
-fn vary_error_returns(rng: &mut ChaCha8Rng, pair: &mut TargetPair, reported: bool) {
+fn vary_error_returns(rng: &mut Xoshiro256pp, pair: &mut TargetPair, reported: bool) {
     // Overlapping but shifted error-constant dialects per source.
     let pool: [&str; 4] =
         ["return -1;", "return -EINVAL;", "return -EFAULT;", "return -EOVERFLOW;"];
@@ -112,7 +111,7 @@ fn vary_error_returns(rng: &mut ChaCha8Rng, pair: &mut TargetPair, reported: boo
 
 /// Base body: signature, locals, a worker region (returned index marks
 /// where the "vulnerable operation" sits), and a return.
-fn base(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, usize) {
+fn base(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, usize) {
     let mut lines = vec![
         format!(
             "{} {}(struct {} *{}, size_t {})",
@@ -137,7 +136,7 @@ fn base(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, usize) {
     (lines, vuln_at)
 }
 
-fn bound_check(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
+fn bound_check(rng: &mut Xoshiro256pp, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
     let (before, vuln_at) = base(rng, s);
     let mut after = before.clone();
     // Reported fixes mostly insert a fresh check; silent ones mostly
@@ -167,7 +166,7 @@ fn bound_check(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>,
     (before, after)
 }
 
-fn null_check(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
+fn null_check(rng: &mut Xoshiro256pp, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
     let (before, _) = base(rng, s);
     let mut after = before.clone();
     // Insert right after `{`. Reported fixes prefer the terse `!p` idiom;
@@ -187,7 +186,7 @@ fn null_check(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>, 
     (before, after)
 }
 
-fn sanity_check(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
+fn sanity_check(rng: &mut Xoshiro256pp, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
     let (before, vuln_at) = base(rng, s);
     let mut after = before.clone();
     let max = ident(rng).to_uppercase();
@@ -216,7 +215,7 @@ fn sanity_check(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>
     (before, after)
 }
 
-fn variable_definition(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn variable_definition(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let mut before = vec![
         format!("{} {}(struct {} *{})", s.ret_ty, s.fn_name, s.struct_name, s.obj),
         "{".to_owned(),
@@ -242,7 +241,7 @@ fn variable_definition(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<Str
     (before, after)
 }
 
-fn variable_value(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn variable_value(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let (mut before, vuln_at) = base(rng, s);
     let mut after;
     if rng.gen_bool(0.5) {
@@ -259,7 +258,7 @@ fn variable_value(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>)
     (before, after)
 }
 
-fn function_declaration(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn function_declaration(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let (before, _) = base(rng, s);
     let mut after = before.clone();
     // Widening the return type is a no-op when it's already `ssize_t`;
@@ -272,7 +271,7 @@ fn function_declaration(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<St
     (before, after)
 }
 
-fn function_parameter(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn function_parameter(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let _ = rng;
     let mut before = vec![
         format!("{} {}(struct {} *{})", s.ret_ty, s.fn_name, s.struct_name, s.obj),
@@ -294,7 +293,7 @@ fn function_parameter(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<Stri
     (before, after)
 }
 
-fn function_call(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
+fn function_call(rng: &mut Xoshiro256pp, s: &Scope, reported: bool) -> (Vec<String>, Vec<String>) {
     // Reported fixes skew toward unsafe-call swaps; silent ones toward
     // locking and scrubbing hygiene.
     let variant = if reported {
@@ -349,7 +348,7 @@ fn function_call(rng: &mut ChaCha8Rng, s: &Scope, reported: bool) -> (Vec<String
     }
 }
 
-fn jump_statement(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn jump_statement(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let (mut before, vuln_at) = base(rng, s);
     // Give the function an error branch that returns directly (leaking).
     before.splice(
@@ -374,7 +373,7 @@ fn jump_statement(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>)
     (before, after)
 }
 
-fn move_statement(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn move_statement(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     // Use-before-init: the assignment moves above the use.
     let stmt = format!("    {}->length = (int){};", s.obj, s.len);
     let (mut before, vuln_at) = base(rng, s);
@@ -393,7 +392,7 @@ fn move_statement(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>)
 /// is what keeps nearest link search from simply transferring the NVD's
 /// redesign-heavy mix onto the wild dataset (the paper's Fig. 6 finds
 /// redesign collapsing to ~5% in the wild).
-fn redesign(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn redesign(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let sig = format!(
         "{} {}(struct {} *{}, size_t {})",
         s.ret_ty, s.fn_name, s.struct_name, s.obj, s.len
@@ -415,7 +414,7 @@ fn redesign(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
 
 /// A randomized function body of 5–16 statements. `hardened` bodies lead
 /// with defensive guards (the rewritten, safe implementation).
-pub(crate) fn random_body(rng: &mut ChaCha8Rng, s: &Scope, hardened: bool) -> Vec<String> {
+pub(crate) fn random_body(rng: &mut Xoshiro256pp, s: &Scope, hardened: bool) -> Vec<String> {
     let tmp = ident(rng);
     let mut lines = vec![
         format!("    char *{} = {}->data;", s.buf, s.obj),
@@ -446,7 +445,7 @@ pub(crate) fn random_body(rng: &mut ChaCha8Rng, s: &Scope, hardened: bool) -> Ve
     lines
 }
 
-fn others(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
+fn others(rng: &mut Xoshiro256pp, s: &Scope) -> (Vec<String>, Vec<String>) {
     let (before, vuln_at) = base(rng, s);
     let mut after = before.clone();
     match rng.gen_range(0..3) {
@@ -472,7 +471,7 @@ fn others(rng: &mut ChaCha8Rng, s: &Scope) -> (Vec<String>, Vec<String>) {
 /// study the paper cites) avoid security words; reported ones sometimes
 /// carry CVE ids.
 fn security_message(
-    rng: &mut ChaCha8Rng,
+    rng: &mut Xoshiro256pp,
     s: &Scope,
     category: PatchCategory,
     mention_security: bool,
@@ -521,11 +520,10 @@ fn vuln_noun(category: PatchCategory) -> &'static str {
 mod tests {
     use super::*;
     use crate::category::ALL_CATEGORIES;
-    use rand::SeedableRng;
 
     #[test]
     fn every_category_produces_a_real_change() {
-        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
         for c in ALL_CATEGORIES {
             for round in 0..10 {
                 let pair = generate_security(&mut rng, c, round % 2 == 0, round % 3 == 0);
@@ -537,7 +535,7 @@ mod tests {
 
     #[test]
     fn generated_functions_lex_balanced() {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         for c in ALL_CATEGORIES {
             for _ in 0..5 {
                 let pair = generate_security(&mut rng, c, false, false);
@@ -554,7 +552,7 @@ mod tests {
 
     #[test]
     fn check_categories_add_if_statements() {
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         for c in [
             PatchCategory::BoundCheck,
             PatchCategory::NullCheck,
@@ -572,7 +570,7 @@ mod tests {
 
     #[test]
     fn move_statement_preserves_content() {
-        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
         let pair = generate_security(&mut rng, PatchCategory::MoveStatement, false, false);
         let mut b = pair.before.clone();
         let mut a = pair.after.clone();
@@ -583,7 +581,7 @@ mod tests {
 
     #[test]
     fn cve_appears_only_when_reported() {
-        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
         let mut saw_cve = false;
         for _ in 0..20 {
             let pair = generate_security(&mut rng, PatchCategory::BoundCheck, true, true);

@@ -2,9 +2,8 @@
 //! kinds of names that dominate real C system code so that generated
 //! diffs lex like genuine ones.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::SliceRandom;
+use patchdb_rt::rng::Xoshiro256pp;
 
 pub(crate) const NOUNS: &[&str] = &[
     "buf", "buffer", "data", "packet", "frame", "msg", "entry", "node", "item", "ctx",
@@ -41,13 +40,13 @@ pub(crate) const REPO_SUFFIX: &[&str] =
     &["parser", "codec", "server", "utils", "tools", "engine", "d", "fs", "kit", "stack"];
 
 /// Picks a random element of a slice.
-pub(crate) fn pick<'a>(rng: &mut ChaCha8Rng, pool: &[&'a str]) -> &'a str {
+pub(crate) fn pick<'a>(rng: &mut Xoshiro256pp, pool: &[&'a str]) -> &'a str {
     pool.choose(rng).expect("non-empty pool")
 }
 
 /// Generates a fresh snake_case identifier like `tmp_buffer` or
 /// `parse_hdr_len`.
-pub(crate) fn ident(rng: &mut ChaCha8Rng) -> String {
+pub(crate) fn ident(rng: &mut Xoshiro256pp) -> String {
     match rng.gen_range(0..4) {
         0 => format!("{}_{}", pick(rng, ADJS), pick(rng, NOUNS)),
         1 => format!("{}_{}", pick(rng, VERBS), pick(rng, NOUNS)),
@@ -57,7 +56,7 @@ pub(crate) fn ident(rng: &mut ChaCha8Rng) -> String {
 }
 
 /// Generates a function name like `net_parse_header`.
-pub(crate) fn func_name(rng: &mut ChaCha8Rng) -> String {
+pub(crate) fn func_name(rng: &mut Xoshiro256pp) -> String {
     if rng.gen_bool(0.5) {
         format!("{}_{}", pick(rng, VERBS), pick(rng, NOUNS))
     } else {
@@ -66,12 +65,12 @@ pub(crate) fn func_name(rng: &mut ChaCha8Rng) -> String {
 }
 
 /// Generates a repository name like `libjson-parser`.
-pub(crate) fn repo_name(rng: &mut ChaCha8Rng) -> String {
+pub(crate) fn repo_name(rng: &mut Xoshiro256pp) -> String {
     format!("{}{}-{}", pick(rng, REPO_WORDS), pick(rng, REPO_WORDS), pick(rng, REPO_SUFFIX))
 }
 
 /// Generates a C file path like `src/net/parse.c`.
-pub(crate) fn file_path(rng: &mut ChaCha8Rng) -> String {
+pub(crate) fn file_path(rng: &mut Xoshiro256pp) -> String {
     let dir = pick(rng, &["src", "lib", "core", "drivers", "fs", "net", "util"]);
     if rng.gen_bool(0.3) {
         format!("{dir}/{}/{}.c", pick(rng, REPO_WORDS), pick(rng, VERBS))
@@ -83,12 +82,11 @@ pub(crate) fn file_path(rng: &mut ChaCha8Rng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn generators_are_deterministic() {
-        let mut a = ChaCha8Rng::seed_from_u64(5);
-        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let mut a = Xoshiro256pp::seed_from_u64(5);
+        let mut b = Xoshiro256pp::seed_from_u64(5);
         assert_eq!(ident(&mut a), ident(&mut b));
         assert_eq!(func_name(&mut a), func_name(&mut b));
         assert_eq!(repo_name(&mut a), repo_name(&mut b));
@@ -97,7 +95,7 @@ mod tests {
 
     #[test]
     fn identifiers_are_lexable() {
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         for _ in 0..50 {
             let id = ident(&mut rng);
             let toks = clang_lite::tokenize(&id);
@@ -107,7 +105,7 @@ mod tests {
 
     #[test]
     fn file_paths_are_c_files() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         for _ in 0..20 {
             assert!(file_path(&mut rng).ends_with(".c"));
         }

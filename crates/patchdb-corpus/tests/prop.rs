@@ -1,44 +1,45 @@
 //! Property tests for the synthetic forge: every (seed, kind) must
 //! materialize into a self-consistent change — patch applies to the
 //! before-files, yields the after-files, and round-trips through text.
+//! Runs on `patchdb_rt::check`, the in-repo property harness.
 
-use proptest::prelude::*;
+use patchdb_rt::check::{check, Gen};
 
 use patch_core::{apply_file_diff, Patch};
-use patchdb_corpus::{ChangeKind, NonSecKind, PatchCategory, ALL_CATEGORIES};
+use patchdb_corpus::{ChangeKind, NonSecKind, ALL_CATEGORIES};
 
-fn any_kind() -> impl Strategy<Value = ChangeKind> {
-    prop_oneof![
-        (0..ALL_CATEGORIES.len()).prop_map(|i| ChangeKind::Security(ALL_CATEGORIES[i])),
-        prop::sample::select(vec![
-            ChangeKind::NonSecurity(NonSecKind::NewFeature),
-            ChangeKind::NonSecurity(NonSecKind::BugFix),
-            ChangeKind::NonSecurity(NonSecKind::Performance),
-            ChangeKind::NonSecurity(NonSecKind::Refactor),
-            ChangeKind::NonSecurity(NonSecKind::Documentation),
-            ChangeKind::NonSecurity(NonSecKind::Style),
-            ChangeKind::NonSecurity(NonSecKind::Rework),
-        ]),
-        (0..ALL_CATEGORIES.len()).prop_map(|i| {
-            ChangeKind::NonSecurity(NonSecKind::ShapeTwin(ALL_CATEGORIES[i]))
-        }),
-    ]
+const CASES: u32 = 256;
+
+fn any_kind(g: &mut Gen) -> ChangeKind {
+    const NONSEC: &[NonSecKind] = &[
+        NonSecKind::NewFeature,
+        NonSecKind::BugFix,
+        NonSecKind::Performance,
+        NonSecKind::Refactor,
+        NonSecKind::Documentation,
+        NonSecKind::Style,
+        NonSecKind::Rework,
+    ];
+    match g.usize_in(0, 2) {
+        0 => ChangeKind::Security(ALL_CATEGORIES[g.index(ALL_CATEGORIES.len())]),
+        1 => ChangeKind::NonSecurity(*g.pick(NONSEC)),
+        _ => ChangeKind::NonSecurity(NonSecKind::ShapeTwin(
+            ALL_CATEGORIES[g.index(ALL_CATEGORIES.len())],
+        )),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Materialization is total and self-consistent for every kind/seed.
-    #[test]
-    fn change_is_self_consistent(
-        seed in 0u64..1_000_000,
-        kind in any_kind(),
-        mention in any::<bool>(),
-        reported in any::<bool>(),
-    ) {
+/// Materialization is total and self-consistent for every kind/seed.
+#[test]
+fn change_is_self_consistent() {
+    check("change_is_self_consistent", CASES, |g| {
+        let seed = g.u64_in(0, 999_999);
+        let kind = any_kind(g);
+        let mention = g.bool();
+        let reported = g.bool();
         let change = patchdb_corpus::generate_change_raw(seed, kind, mention, reported);
-        prop_assert!(change.patch.hunk_count() > 0, "{kind:?} produced an empty patch");
-        prop_assert!(change.patch.validate().is_ok(), "{:?}", change.patch.validate());
+        assert!(change.patch.hunk_count() > 0, "{kind:?} produced an empty patch");
+        assert!(change.patch.validate().is_ok(), "{:?}", change.patch.validate());
 
         for file in &change.patch.files {
             if file.new_path == "ChangeLog" {
@@ -47,50 +48,58 @@ proptest! {
             let before = change.before_files.get(&file.old_path).expect("before file");
             let after = change.after_files.get(&file.new_path).expect("after file");
             let rebuilt = apply_file_diff(file, before).expect("patch applies");
-            prop_assert_eq!(&rebuilt, after);
+            assert_eq!(&rebuilt, after);
         }
 
         // Textual round trip, exactly like a GitHub `.patch` download.
         let text = change.patch.to_unified_string();
         let reparsed = Patch::parse(&text).expect("parses");
-        prop_assert_eq!(reparsed, change.patch);
-    }
+        assert_eq!(reparsed, change.patch);
+    });
+}
 
-    /// Determinism: same inputs, byte-identical outputs.
-    #[test]
-    fn materialization_is_deterministic(seed in 0u64..100_000, kind in any_kind()) {
+/// Determinism: same inputs, byte-identical outputs.
+#[test]
+fn materialization_is_deterministic() {
+    check("materialization_is_deterministic", CASES, |g| {
+        let seed = g.u64_in(0, 99_999);
+        let kind = any_kind(g);
         let a = patchdb_corpus::generate_change_raw(seed, kind, false, true);
         let b = patchdb_corpus::generate_change_raw(seed, kind, false, true);
-        prop_assert_eq!(a.patch, b.patch);
-        prop_assert_eq!(a.before_files, b.before_files);
-    }
+        assert_eq!(a.patch, b.patch);
+        assert_eq!(a.before_files, b.before_files);
+    });
+}
 
-    /// Security/non-security ground truth matches the requested kind, and
-    /// the generated C lexes with balanced braces.
-    #[test]
-    fn generated_code_is_balanced(seed in 0u64..100_000, kind in any_kind()) {
+/// Security/non-security ground truth matches the requested kind, and
+/// the generated C lexes with balanced braces.
+#[test]
+fn generated_code_is_balanced() {
+    check("generated_code_is_balanced", CASES, |g| {
+        let seed = g.u64_in(0, 99_999);
+        let kind = any_kind(g);
         let change = patchdb_corpus::generate_change_raw(seed, kind, false, false);
-        prop_assert_eq!(change.kind.is_security(), matches!(kind, ChangeKind::Security(_)));
+        assert_eq!(change.kind.is_security(), matches!(kind, ChangeKind::Security(_)));
         for text in change.after_files.values() {
             let toks = clang_lite::tokenize(text);
             let open = toks.iter().filter(|t| t.is_punct("{")).count();
             let close = toks.iter().filter(|t| t.is_punct("}")).count();
-            prop_assert_eq!(open, close, "unbalanced braces in generated file:\n{}", text);
+            assert_eq!(open, close, "unbalanced braces in generated file:\n{text}");
         }
-    }
+    });
+}
 
-    /// Twin patches never carry CVE ids or security words in messages.
-    #[test]
-    fn twin_messages_stay_functional(seed in 0u64..50_000, cat_idx in 0usize..12) {
+/// Twin patches never carry CVE ids or security words in messages.
+#[test]
+fn twin_messages_stay_functional() {
+    check("twin_messages_stay_functional", CASES, |g| {
+        let seed = g.u64_in(0, 49_999);
+        let cat_idx = g.usize_in(0, 11);
         let kind = ChangeKind::NonSecurity(NonSecKind::ShapeTwin(ALL_CATEGORIES[cat_idx]));
         let change = patchdb_corpus::generate_change_raw(seed, kind, false, false);
         let msg = change.patch.message.to_lowercase();
-        prop_assert!(!msg.contains("cve"));
-        prop_assert!(!msg.contains("security"));
-        prop_assert!(!msg.contains("vulnerab"));
-    }
+        assert!(!msg.contains("cve"));
+        assert!(!msg.contains("security"));
+        assert!(!msg.contains("vulnerab"));
+    });
 }
-
-// Keep the unused import warning away when only some tests run.
-#[allow(unused_imports)]
-use PatchCategory as _Unused;

@@ -4,7 +4,6 @@ use std::collections::HashSet;
 
 use clang_lite::{abstract_tokens, count_stats, tokenize_fragment, FragmentStats, TokenKind};
 use patch_core::{Hunk, LineKind, Patch};
-use serde::{Deserialize, Serialize};
 
 use crate::levenshtein::levenshtein;
 use crate::vector::{FeatureVector, FEATURE_DIM};
@@ -13,7 +12,7 @@ use crate::vector::{FeatureVector, FEATURE_DIM};
 /// features (57–60 in Table I). The paper's extractor knows the repository
 /// each patch came from; when mining supplies this context the percentages
 /// are true ratios, otherwise they degrade to 1.0 (patch-local view).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RepoContext {
     /// Total number of files in the repository at the patch's commit.
     pub total_files: usize,

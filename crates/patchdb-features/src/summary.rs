@@ -3,12 +3,11 @@
 //! analysis view used to ask *which* syntactic features separate security
 //! patches from the rest (and to sanity-check corpus calibration).
 
-use serde::{Deserialize, Serialize};
 
 use crate::vector::{FeatureVector, FEATURE_DIM, FEATURE_NAMES};
 
 /// Mean and standard deviation of every feature over one population.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureSummary {
     /// Number of vectors summarized.
     pub count: usize,
@@ -58,7 +57,7 @@ impl FeatureSummary {
 }
 
 /// One feature's separation between two populations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Discriminativeness {
     /// Feature index into [`FEATURE_NAMES`].
     pub feature: usize,

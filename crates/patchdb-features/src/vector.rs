@@ -3,7 +3,6 @@
 use std::fmt;
 use std::ops::Index;
 
-use serde::{Deserialize, Serialize};
 
 /// Dimensionality of the Table I feature space.
 pub const FEATURE_DIM: usize = 60;
@@ -92,24 +91,27 @@ pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
 ];
 
 /// A point in the Table I feature space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct FeatureVector(#[serde(with = "serde_arrays")] pub [f64; FEATURE_DIM]);
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector(pub [f64; FEATURE_DIM]);
 
-mod serde_arrays {
-    //! Serde helpers for the fixed-size feature array (serde's derive
-    //! supports arrays only up to 32 elements).
-    use super::FEATURE_DIM;
-    use serde::de::Error;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[f64; FEATURE_DIM], s: S) -> Result<S::Ok, S::Error> {
-        s.collect_seq(v.iter())
+impl patchdb_rt::json::ToJson for FeatureVector {
+    fn to_json(&self) -> patchdb_rt::json::Json {
+        // A plain 60-element number array, as serde encoded it.
+        patchdb_rt::json::Json::Arr(
+            self.0.iter().map(|&x| patchdb_rt::json::Json::Num(x)).collect(),
+        )
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[f64; FEATURE_DIM], D::Error> {
-        let v: Vec<f64> = Vec::deserialize(d)?;
-        v.try_into()
-            .map_err(|v: Vec<f64>| D::Error::custom(format!("expected {FEATURE_DIM} features, got {}", v.len())))
+impl patchdb_rt::json::FromJson for FeatureVector {
+    fn from_json(v: &patchdb_rt::json::Json) -> patchdb_rt::json::Result<Self> {
+        let values: Vec<f64> = patchdb_rt::json::FromJson::from_json(v)?;
+        values.try_into().map(FeatureVector).map_err(|v: Vec<f64>| {
+            patchdb_rt::json::JsonError::new(format!(
+                "expected {FEATURE_DIM} features, got {}",
+                v.len()
+            ))
+        })
     }
 }
 
@@ -202,11 +204,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use patchdb_rt::json::{FromJson, Json, ToJson};
         let mut v = FeatureVector::zero();
         v.0[59] = -2.5;
-        let json = serde_json::to_string(&v).unwrap();
-        let back: FeatureVector = serde_json::from_str(&json).unwrap();
+        let json = v.to_json().to_compact_string();
+        let back = FeatureVector::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(v, back);
     }
 

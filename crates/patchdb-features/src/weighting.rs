@@ -5,12 +5,11 @@
 //! while preserving signs of net features. Distances between weighted
 //! vectors are plain Euclidean.
 
-use serde::{Deserialize, Serialize};
 
 use crate::vector::{FeatureVector, FEATURE_DIM};
 
 /// Per-dimension weights learned from a population of feature vectors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Weights {
     values: Vec<f64>,
 }

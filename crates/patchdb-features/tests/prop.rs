@@ -1,103 +1,109 @@
 //! Property tests: feature extraction must be total, finite, and
 //! consistent with basic patch structure; weighting must land in [-1, 1].
+//! Runs on `patchdb_rt::check`, the in-repo property harness.
 
-use proptest::prelude::*;
+use patchdb_rt::check::{check, Gen};
 
 use patch_core::{diff_files, join_lines, Patch};
 use patchdb_features::{apply_weights, extract, learn_weights, levenshtein, RepoContext};
 
-fn code_lines() -> impl Strategy<Value = Vec<String>> {
-    prop::collection::vec(
-        prop::sample::select(vec![
-            "int x = 0;",
-            "if (x > y)",
-            "    return -1;",
-            "for (i = 0; i < n; i++)",
-            "buf[i] = f(ctx, i);",
-            "free(p);",
-            "p = malloc(n);",
-            "}",
-            "{",
-            "",
-        ])
-        .prop_map(str::to_owned),
-        1..30,
-    )
+const CASES: u32 = 200;
+
+fn code_lines(g: &mut Gen) -> Vec<String> {
+    const LINES: &[&str] = &[
+        "int x = 0;",
+        "if (x > y)",
+        "    return -1;",
+        "for (i = 0; i < n; i++)",
+        "buf[i] = f(ctx, i);",
+        "free(p);",
+        "p = malloc(n);",
+        "}",
+        "{",
+        "",
+    ];
+    g.vec_with(1, 29, |g| (*g.pick(LINES)).to_owned())
 }
 
-fn random_patch() -> impl Strategy<Value = Patch> {
-    (code_lines(), code_lines()).prop_map(|(old, new)| {
-        Patch::builder("ab".repeat(20))
-            .message("prop")
-            .file(diff_files("p.c", &join_lines(&old), &join_lines(&new), 3))
-            .build()
-    })
+fn random_patch(g: &mut Gen) -> Patch {
+    let old = code_lines(g);
+    let new = code_lines(g);
+    Patch::builder("ab".repeat(20))
+        .message("prop")
+        .file(diff_files("p.c", &join_lines(&old), &join_lines(&new), 3))
+        .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Extraction never produces NaN/inf and respects structural counts.
-    #[test]
-    fn extraction_is_finite_and_consistent(patch in random_patch()) {
+/// Extraction never produces NaN/inf and respects structural counts.
+#[test]
+fn extraction_is_finite_and_consistent() {
+    check("extraction_is_finite_and_consistent", CASES, |g| {
+        let patch = random_patch(g);
         let v = extract(&patch, None);
-        prop_assert!(v.is_finite());
+        assert!(v.is_finite());
         let added: usize = patch.hunks().map(|h| h.added_count()).sum();
         let removed: usize = patch.hunks().map(|h| h.removed_count()).sum();
-        prop_assert_eq!(v.get_named("added lines"), added as f64);
-        prop_assert_eq!(v.get_named("removed lines"), removed as f64);
-        prop_assert_eq!(v.get_named("changed lines"), (added + removed) as f64);
-        prop_assert_eq!(
-            v.get_named("net lines"),
-            added as f64 - removed as f64
-        );
-        prop_assert_eq!(v.get_named("hunks"), patch.hunk_count() as f64);
+        assert_eq!(v.get_named("added lines"), added as f64);
+        assert_eq!(v.get_named("removed lines"), removed as f64);
+        assert_eq!(v.get_named("changed lines"), (added + removed) as f64);
+        assert_eq!(v.get_named("net lines"), added as f64 - removed as f64);
+        assert_eq!(v.get_named("hunks"), patch.hunk_count() as f64);
         // a/r/t/n coherence for every statement family.
         for fam in ["if statements", "loops", "function calls", "variables"] {
             let a = v.get_named(&format!("added {fam}"));
             let r = v.get_named(&format!("removed {fam}"));
-            prop_assert_eq!(v.get_named(&format!("total {fam}")), a + r);
-            prop_assert_eq!(v.get_named(&format!("net {fam}")), a - r);
+            assert_eq!(v.get_named(&format!("total {fam}")), a + r);
+            assert_eq!(v.get_named(&format!("net {fam}")), a - r);
         }
-    }
+    });
+}
 
-    /// Weighted features always land in [-1, 1], signs preserved.
-    #[test]
-    fn weighting_is_bounded(patches in prop::collection::vec(random_patch(), 2..12)) {
+/// Weighted features always land in [-1, 1], signs preserved.
+#[test]
+fn weighting_is_bounded() {
+    check("weighting_is_bounded", CASES, |g| {
+        let patches = g.vec_with(2, 11, random_patch);
         let rows: Vec<_> = patches.iter().map(|p| extract(p, None)).collect();
         let w = learn_weights(&rows);
         for r in &rows {
             let n = apply_weights(r, &w);
-            prop_assert!(n.is_finite());
+            assert!(n.is_finite());
             for (orig, scaled) in r.as_slice().iter().zip(n.as_slice()) {
-                prop_assert!(scaled.abs() <= 1.0 + 1e-9);
-                prop_assert!(orig.signum() * scaled >= -1e-12, "sign flipped");
+                assert!(scaled.abs() <= 1.0 + 1e-9);
+                assert!(orig.signum() * scaled >= -1e-12, "sign flipped");
             }
         }
-    }
+    });
+}
 
-    /// Levenshtein metric axioms on token-ish sequences.
-    #[test]
-    fn levenshtein_axioms(
-        a in prop::collection::vec(0u8..6, 0..24),
-        b in prop::collection::vec(0u8..6, 0..24),
-        c in prop::collection::vec(0u8..6, 0..24),
-    ) {
-        prop_assert_eq!(levenshtein(&a, &a), 0);
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+/// Levenshtein metric axioms on token-ish sequences.
+#[test]
+fn levenshtein_axioms() {
+    check("levenshtein_axioms", CASES, |g| {
+        let seq = |g: &mut Gen| g.vec_with(0, 23, |g| g.u64_in(0, 5) as u8);
+        let a = seq(g);
+        let b = seq(g);
+        let c = seq(g);
+        assert_eq!(levenshtein(&a, &a), 0);
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
         let diff = (a.len() as isize - b.len() as isize).unsigned_abs();
-        prop_assert!(levenshtein(&a, &b) >= diff);
-        prop_assert!(levenshtein(&a, &b) <= a.len().max(b.len()));
-    }
+        assert!(levenshtein(&a, &b) >= diff);
+        assert!(levenshtein(&a, &b) <= a.len().max(b.len()));
+    });
+}
 
-    /// Percentages use the supplied repository context.
-    #[test]
-    fn context_percentages(patch in random_patch(), files in 1usize..1000, funcs in 1usize..1000) {
+/// Percentages use the supplied repository context.
+#[test]
+fn context_percentages() {
+    check("context_percentages", CASES, |g| {
+        let patch = random_patch(g);
+        let files = g.usize_in(1, 999);
+        let funcs = g.usize_in(1, 999);
         let ctx = RepoContext { total_files: files, total_functions: funcs };
         let v = extract(&patch, Some(&ctx));
         let af = v.get_named("affected files");
-        prop_assert!((v.get_named("affected files %") - af / files as f64).abs() < 1e-12);
-        prop_assert!(v.get_named("affected functions %") <= v.get_named("affected functions"));
-    }
+        assert!((v.get_named("affected files %") - af / files as f64).abs() < 1e-12);
+        assert!(v.get_named("affected functions %") <= v.get_named("affected functions"));
+    });
 }

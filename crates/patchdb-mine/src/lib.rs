@@ -33,13 +33,11 @@ use std::collections::HashSet;
 use patch_core::{CommitId, Patch};
 use patchdb_corpus::{Commit, GitHubForge, Repository};
 use patchdb_features::RepoContext;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::SliceRandom;
+use patchdb_rt::rng::Xoshiro256pp;
 
 /// One security patch mined from the NVD.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MinedPatch {
     /// The CVE that referenced this patch.
     pub cve_id: String,
@@ -52,7 +50,7 @@ pub struct MinedPatch {
 }
 
 /// Outcome of the NVD crawl, with the skip accounting the paper reports.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NvdMineResult {
     /// Successfully mined, cleaned security patches.
     pub patches: Vec<MinedPatch>,
@@ -165,7 +163,7 @@ pub fn sample_wild<'a>(
     n: usize,
     seed: u64,
 ) -> Vec<WildCommit<'a>> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut pool: Vec<WildCommit<'a>> = wild.to_vec();
     pool.shuffle(&mut rng);
     pool.truncate(n);

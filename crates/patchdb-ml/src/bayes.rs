@@ -2,13 +2,12 @@
 //! for Weka's BayesNet (which, with default search settings, reduces to a
 //! naive structure over discretized attributes — documented substitution).
 
-use serde::{Deserialize, Serialize};
 
 use crate::classifier::Classifier;
 use crate::dataset::Dataset;
 
 /// Gaussian naive Bayes with per-class feature means/variances.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GaussianNaiveBayes {
     prior_pos: f64,
     mean: [Vec<f64>; 2], // [neg, pos]
@@ -81,7 +80,7 @@ impl Classifier for GaussianNaiveBayes {
 
 /// Discretized naive Bayes ("BayesNet-lite"): equal-width bins per feature
 /// learned from training ranges, Laplace-smoothed bin likelihoods.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiscretizedBayesNet {
     bins: usize,
     lo: Vec<f64>,

@@ -3,8 +3,7 @@
 //! paper's ten-classifier set, but a standard point of comparison for
 //! feature-space patch classification).
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::classifier::Classifier;
 use crate::dataset::Dataset;
@@ -40,7 +39,7 @@ impl Classifier for AdaBoost {
             return;
         }
         let mut weights = vec![1.0 / n as f64; n];
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
 
         for _ in 0..self.rounds {
             // Weak learners train on a weighted resample — the classic
@@ -104,8 +103,7 @@ impl Classifier for AdaBoost {
     }
 }
 
-fn weighted_resample(data: &Dataset, weights: &[f64], rng: &mut ChaCha8Rng) -> Dataset {
-    use rand::Rng;
+fn weighted_resample(data: &Dataset, weights: &[f64], rng: &mut Xoshiro256pp) -> Dataset {
     // Inverse-CDF sampling over the weight distribution.
     let mut cdf = Vec::with_capacity(weights.len());
     let mut acc = 0.0;

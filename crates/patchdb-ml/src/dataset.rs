@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::SliceRandom;
+use patchdb_rt::rng::Xoshiro256pp;
 
 /// Error constructing a [`Dataset`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +53,7 @@ impl fmt::Display for DatasetError {
 impl std::error::Error for DatasetError {}
 
 /// A binary-labeled feature matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     x: Vec<Vec<f64>>,
     y: Vec<bool>,
@@ -130,7 +128,7 @@ impl Dataset {
     /// paper's "randomly select 80% as the training set" protocol while
     /// keeping class balance stable across the split.
     pub fn split(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut pos: Vec<usize> = (0..self.len()).filter(|&i| self.y[i]).collect();
         let mut neg: Vec<usize> = (0..self.len()).filter(|&i| !self.y[i]).collect();
         pos.shuffle(&mut rng);
@@ -164,8 +162,7 @@ impl Dataset {
     }
 
     /// Bootstrap sample of `n` examples with replacement (for bagging).
-    pub fn bootstrap(&self, n: usize, rng: &mut ChaCha8Rng) -> Dataset {
-        use rand::Rng;
+    pub fn bootstrap(&self, n: usize, rng: &mut Xoshiro256pp) -> Dataset {
         let mut x = Vec::with_capacity(n);
         let mut y = Vec::with_capacity(n);
         for _ in 0..n {
@@ -179,7 +176,7 @@ impl Dataset {
     /// Splits off a validation fraction without stratification (for
     /// reduced-error pruning).
     pub fn holdout(&self, frac: f64, seed: u64) -> (Dataset, Dataset) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(&mut rng);
         let cut = ((self.len() as f64) * (1.0 - frac)).round() as usize;
@@ -250,7 +247,7 @@ mod tests {
     #[test]
     fn bootstrap_has_requested_size() {
         let d = toy(50);
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let b = d.bootstrap(80, &mut rng);
         assert_eq!(b.len(), 80);
     }

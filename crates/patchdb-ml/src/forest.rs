@@ -2,9 +2,7 @@
 //! model behind the pseudo-labeling baseline (Table III) and the
 //! statistical-feature classifier of Table VI.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::classifier::Classifier;
 use crate::dataset::Dataset;
@@ -12,7 +10,7 @@ use crate::tree::{DecisionTree, GrowParams, SplitCriterion};
 
 /// A random forest over binary-labeled feature rows.
 ///
-/// Training parallelizes across trees with crossbeam scoped threads when
+/// Training parallelizes across trees with scoped threads when
 /// the forest is large enough to pay for it.
 #[derive(Debug, Clone)]
 pub struct RandomForest {
@@ -45,39 +43,21 @@ impl Classifier for RandomForest {
         };
 
         let seeds: Vec<u64> = {
-            let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+            let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
             (0..self.n_trees).map(|_| rng.gen()).collect()
         };
 
         let fit_one = |tree_seed: u64| -> DecisionTree {
-            let mut rng = ChaCha8Rng::seed_from_u64(tree_seed);
+            let mut rng = Xoshiro256pp::seed_from_u64(tree_seed);
             let sample = data.bootstrap(data.len(), &mut rng);
             let mut tree = DecisionTree::new(SplitCriterion::Gini, self.max_depth);
             tree.fit_params(&sample, params, &mut rng);
             tree
         };
 
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+        let threads = patchdb_rt::par::suggested_threads(8);
         if self.n_trees >= 8 && data.len() >= 512 && threads > 1 {
-            let chunks: Vec<Vec<u64>> =
-                seeds.chunks(self.n_trees.div_ceil(threads)).map(<[u64]>::to_vec).collect();
-            let mut results: Vec<Vec<DecisionTree>> = Vec::with_capacity(chunks.len());
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| {
-                        let fit_one = &fit_one;
-                        scope.spawn(move |_| {
-                            chunk.iter().map(|&s| fit_one(s)).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    results.push(h.join().expect("forest worker panicked"));
-                }
-            })
-            .expect("crossbeam scope failed");
-            self.trees = results.into_iter().flatten().collect();
+            self.trees = patchdb_rt::par::map_chunked(&seeds, threads, |&s| fit_one(s));
         } else {
             self.trees = seeds.into_iter().map(fit_one).collect();
         }

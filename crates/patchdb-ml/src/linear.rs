@@ -2,9 +2,8 @@
 //! Pegasos-style linear SVM, and the voted perceptron — four of the ten
 //! classifiers in the paper's uncertainty ensemble.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::SliceRandom;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::classifier::{Classifier, Standardizer};
 use crate::dataset::Dataset;
@@ -128,7 +127,7 @@ impl Classifier for SgdClassifier {
         let w = data.width();
         self.state.weights = vec![0.0; w];
         self.state.bias = 0.0;
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         let mut order: Vec<usize> = (0..rows.len()).collect();
         let mut t = 0usize;
         for _ in 0..self.epochs {
@@ -181,7 +180,7 @@ impl Classifier for LinearSvm {
         let w = data.width();
         self.state.weights = vec![0.0; w];
         self.state.bias = 0.0;
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         let mut order: Vec<usize> = (0..rows.len()).collect();
         let mut t = 0usize;
         for _ in 0..self.epochs {
@@ -245,7 +244,7 @@ impl Classifier for VotedPerceptron {
         let mut bias = 0.0;
         let mut votes = 1usize;
         self.snapshots.clear();
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         let mut order: Vec<usize> = (0..rows.len()).collect();
         for _ in 0..self.epochs {
             order.shuffle(&mut rng);

@@ -3,10 +3,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Binary confusion matrix.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     /// Positives predicted positive.
     pub tp: usize,
@@ -36,7 +35,7 @@ impl ConfusionMatrix {
 }
 
 /// Metrics derived from a confusion matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
     /// The underlying confusion matrix.
     pub confusion: ConfusionMatrix,

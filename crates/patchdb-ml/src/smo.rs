@@ -7,9 +7,7 @@
 //! same decision boundary as the dual SVM; for our ensemble use only the
 //! decision function matters.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::classifier::{Classifier, Standardizer};
 use crate::dataset::Dataset;
@@ -59,7 +57,7 @@ impl Classifier for SmoSvm {
         // Cap the working set: SMO is O(n²)-ish; subsample large sets.
         let cap = 2000usize;
         let idxs: Vec<usize> = if n > cap {
-            let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5151);
+            let mut rng = Xoshiro256pp::seed_from_u64(self.seed ^ 0x5151);
             (0..cap).map(|_| rng.gen_range(0..n)).collect()
         } else {
             (0..n).collect()
@@ -71,7 +69,7 @@ impl Classifier for SmoSvm {
         let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(p, q)| p * q).sum::<f64>();
         let mut alpha = vec![0.0f64; m];
         let mut b = 0.0f64;
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
 
         let f = |alpha: &[f64], b: f64, xi: &[f64], xs: &[&Vec<f64>], ys: &[f64]| -> f64 {
             let mut s = b;

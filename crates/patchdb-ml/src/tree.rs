@@ -2,16 +2,14 @@
 //! splitting, plus REPTree — an entropy tree with reduced-error pruning —
 //! two of the ten Weka classifiers in the paper's uncertainty baseline.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::SliceRandom;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::classifier::Classifier;
 use crate::dataset::Dataset;
 
 /// Split-quality criterion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SplitCriterion {
     /// Gini impurity (CART; used by the Random Forest).
     Gini,
@@ -35,7 +33,7 @@ impl SplitCriterion {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf {
         prob: f64,
@@ -61,7 +59,7 @@ pub(crate) struct GrowParams {
 }
 
 /// A binary decision tree classifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecisionTree {
     criterion: SplitCriterion,
     max_depth: usize,
@@ -80,7 +78,7 @@ impl DecisionTree {
         self.nodes.len()
     }
 
-    pub(crate) fn fit_params(&mut self, data: &Dataset, params: GrowParams, rng: &mut ChaCha8Rng) {
+    pub(crate) fn fit_params(&mut self, data: &Dataset, params: GrowParams, rng: &mut Xoshiro256pp) {
         self.nodes.clear();
         let idx: Vec<usize> = (0..data.len()).collect();
         self.root = grow(&mut self.nodes, data, &idx, params, 0, rng);
@@ -108,7 +106,7 @@ impl DecisionTree {
 
 impl Classifier for DecisionTree {
     fn fit(&mut self, data: &Dataset) {
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
         let params = GrowParams {
             criterion: self.criterion,
             max_depth: self.max_depth,
@@ -137,7 +135,7 @@ fn grow(
     idx: &[usize],
     params: GrowParams,
     depth: usize,
-    rng: &mut ChaCha8Rng,
+    rng: &mut Xoshiro256pp,
 ) -> usize {
     let pos = idx.iter().filter(|&&i| data.labels()[i]).count();
     let prob = if idx.is_empty() { 0.5 } else { pos as f64 / idx.len() as f64 };
@@ -174,7 +172,7 @@ fn best_split(
     data: &Dataset,
     idx: &[usize],
     params: GrowParams,
-    rng: &mut ChaCha8Rng,
+    rng: &mut Xoshiro256pp,
 ) -> Option<(usize, f64)> {
     let width = data.width();
     let mut features: Vec<usize> = (0..width).collect();
@@ -250,7 +248,7 @@ impl Classifier for RepTree {
     fn fit(&mut self, data: &Dataset) {
         let (grow_set, prune_set) = data.holdout(0.25, self.seed);
         let fit_on = if grow_set.is_empty() { data } else { &grow_set };
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
         self.tree.fit_params(
             fit_on,
             GrowParams {

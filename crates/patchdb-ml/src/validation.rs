@@ -3,9 +3,8 @@
 //! Table VI models and to ask *which* Table I features carry the
 //! security-patch signal.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::SliceRandom;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::classifier::{evaluate, Classifier};
 use crate::dataset::Dataset;
@@ -27,7 +26,7 @@ where
     assert!(data.len() >= k, "dataset smaller than fold count");
 
     let mut order: Vec<usize> = (0..data.len()).collect();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     order.shuffle(&mut rng);
 
     let gather = |idx: &[usize]| -> Dataset {
@@ -74,7 +73,7 @@ pub fn permutation_importance<C: Classifier + ?Sized>(
     let baseline = evaluate(model, data).accuracy();
     let width = data.width();
     let mut out = Vec::with_capacity(width);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
 
     for col in 0..width {
         let mut shuffled: Vec<f64> = data.rows().iter().map(|r| r[col]).collect();

@@ -1,8 +1,8 @@
 //! Property tests for the ML substrate: probability bounds, split
 //! bookkeeping, metric identities, and determinism across the whole
-//! classifier zoo.
+//! classifier zoo. Runs on `patchdb_rt::check`, the in-repo harness.
 
-use proptest::prelude::*;
+use patchdb_rt::check::{check, Gen};
 
 use patchdb_ml::{
     evaluate, AdaBoost, Classifier, ConfusionMatrix, Dataset, DecisionTree,
@@ -10,32 +10,34 @@ use patchdb_ml::{
     SplitCriterion,
 };
 
-fn dataset() -> impl Strategy<Value = Dataset> {
-    (4usize..60, 1usize..4, any::<u64>()).prop_map(|(n, width, seed)| {
-        // Deterministic pseudo-random rows with a learnable-but-noisy rule.
-        let mut rows = Vec::with_capacity(n);
-        let mut labels = Vec::with_capacity(n);
-        let mut state = seed | 1;
-        let mut next = || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state % 1000) as f64 / 100.0
-        };
-        for _ in 0..n {
-            let row: Vec<f64> = (0..width).map(|_| next()).collect();
-            labels.push(row[0] > 5.0);
-            rows.push(row);
-        }
-        // Force both classes to exist.
-        let half = labels.len() / 2;
-        labels[0] = true;
-        labels[half] = false;
-        let mut rows = rows;
-        rows[0][0] = 9.0;
-        rows[half][0] = 1.0;
-        Dataset::new(rows, labels).unwrap()
-    })
+const CASES: u32 = 48;
+
+fn dataset(g: &mut Gen) -> Dataset {
+    let n = g.usize_in(4, 59);
+    let width = g.usize_in(1, 3);
+    let seed = g.u64();
+    // Deterministic pseudo-random rows with a learnable-but-noisy rule.
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 100.0
+    };
+    for _ in 0..n {
+        let row: Vec<f64> = (0..width).map(|_| next()).collect();
+        labels.push(row[0] > 5.0);
+        rows.push(row);
+    }
+    // Force both classes to exist.
+    let half = labels.len() / 2;
+    labels[0] = true;
+    labels[half] = false;
+    rows[0][0] = 9.0;
+    rows[half][0] = 1.0;
+    Dataset::new(rows, labels).unwrap()
 }
 
 fn all_models() -> Vec<Box<dyn Classifier>> {
@@ -50,72 +52,85 @@ fn all_models() -> Vec<Box<dyn Classifier>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every classifier's probabilities stay in [0, 1] on arbitrary data.
-    #[test]
-    fn probabilities_bounded(data in dataset()) {
+/// Every classifier's probabilities stay in [0, 1] on arbitrary data.
+#[test]
+fn probabilities_bounded() {
+    check("probabilities_bounded", CASES, |g| {
+        let data = dataset(g);
         for mut model in all_models() {
             model.fit(&data);
             for i in 0..data.len() {
                 let p = model.predict_proba(data.example(i).0);
-                prop_assert!((0.0..=1.0).contains(&p), "{}: p = {p}", model.name());
-                prop_assert!(p.is_finite());
+                assert!((0.0..=1.0).contains(&p), "{}: p = {p}", model.name());
+                assert!(p.is_finite());
             }
         }
-    }
+    });
+}
 
-    /// Splits partition the data and preserve the class counts.
-    #[test]
-    fn split_partitions(data in dataset(), frac in 0.1f64..0.9, seed in any::<u64>()) {
+/// Splits partition the data and preserve the class counts.
+#[test]
+fn split_partitions() {
+    check("split_partitions", CASES, |g| {
+        let data = dataset(g);
+        let frac = g.f64_in(0.1, 0.9);
+        let seed = g.u64();
         let (train, test) = data.split(frac, seed);
-        prop_assert_eq!(train.len() + test.len(), data.len());
-        prop_assert_eq!(train.positives() + test.positives(), data.positives());
-    }
+        assert_eq!(train.len() + test.len(), data.len());
+        assert_eq!(train.positives() + test.positives(), data.positives());
+    });
+}
 
-    /// Evaluation totals equal the dataset size; metric identities hold.
-    #[test]
-    fn metric_identities(data in dataset()) {
+/// Evaluation totals equal the dataset size; metric identities hold.
+#[test]
+fn metric_identities() {
+    check("metric_identities", CASES, |g| {
+        let data = dataset(g);
         let mut model = DecisionTree::new(SplitCriterion::Gini, 3);
         model.fit(&data);
         let m = evaluate(&model, &data);
-        prop_assert_eq!(m.confusion.total(), data.len());
+        assert_eq!(m.confusion.total(), data.len());
         let p = m.precision();
         let r = m.recall();
         let f1 = m.f1();
         if p + r > 0.0 {
-            prop_assert!((f1 - 2.0 * p * r / (p + r)).abs() < 1e-12);
+            assert!((f1 - 2.0 * p * r / (p + r)).abs() < 1e-12);
         }
-        prop_assert!(m.accuracy() >= 0.0 && m.accuracy() <= 1.0);
-    }
+        assert!(m.accuracy() >= 0.0 && m.accuracy() <= 1.0);
+    });
+}
 
-    /// Confusion-matrix recording is order-insensitive in aggregate.
-    #[test]
-    fn confusion_accumulates(preds in prop::collection::vec((any::<bool>(), any::<bool>()), 0..64)) {
+/// Confusion-matrix recording is order-insensitive in aggregate.
+#[test]
+fn confusion_accumulates() {
+    check("confusion_accumulates", CASES, |g| {
+        let preds = g.vec_with(0, 63, |g| (g.bool(), g.bool()));
         let mut cm = ConfusionMatrix::default();
         for (p, a) in &preds {
             cm.record(*p, *a);
         }
-        prop_assert_eq!(cm.total(), preds.len());
+        assert_eq!(cm.total(), preds.len());
         let m = Metrics::new(cm);
         let tp = preds.iter().filter(|(p, a)| *p && *a).count();
         let fp = preds.iter().filter(|(p, a)| *p && !*a).count();
         if tp + fp > 0 {
-            prop_assert!((m.precision() - tp as f64 / (tp + fp) as f64).abs() < 1e-12);
+            assert!((m.precision() - tp as f64 / (tp + fp) as f64).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    /// Training twice from the same seeds yields identical predictions.
-    #[test]
-    fn determinism(data in dataset()) {
+/// Training twice from the same seeds yields identical predictions.
+#[test]
+fn determinism() {
+    check("determinism", CASES, |g| {
+        let data = dataset(g);
         let mut a = RandomForest::new(6, 4, 9);
         let mut b = RandomForest::new(6, 4, 9);
         a.fit(&data);
         b.fit(&data);
         for i in 0..data.len() {
             let x = data.example(i).0;
-            prop_assert_eq!(a.predict_proba(x), b.predict_proba(x));
+            assert_eq!(a.predict_proba(x), b.predict_proba(x));
         }
-    }
+    });
 }

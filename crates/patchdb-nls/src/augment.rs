@@ -2,7 +2,6 @@
 //! Table II: nearest link search → manual verification → loop judgment.
 
 use patchdb_features::{apply_weights, learn_weights, FeatureVector};
-use serde::{Deserialize, Serialize};
 
 use crate::search::nearest_link_search;
 
@@ -19,7 +18,7 @@ pub struct PoolSpec {
 }
 
 /// Outcome of one augmentation round — one row of Table II.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AugmentationRound {
     /// Pool name the round ran in.
     pub pool: String,

@@ -2,14 +2,13 @@
 
 use patchdb_features::FeatureVector;
 use patchdb_ml::{Classifier, Dataset, RandomForest};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::rng::SliceRandom;
+use patchdb_rt::rng::Xoshiro256pp;
 
 /// Brute force: every unlabeled patch is a candidate; sampling `n` of
 /// them models "manually verify a random subset".
 pub fn brute_force_candidates(pool_size: usize, n: usize, seed: u64) -> Vec<usize> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..pool_size).collect();
     idx.shuffle(&mut rng);
     idx.truncate(n);

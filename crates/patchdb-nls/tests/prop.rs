@@ -1,11 +1,13 @@
 //! Property tests for the nearest link search: output validity, agreement
 //! between the matrix-free and explicit-matrix implementations, and
-//! nearest-neighbor dominance.
+//! nearest-neighbor dominance. Runs on `patchdb_rt::check`.
 
-use proptest::prelude::*;
+use patchdb_rt::check::{check, Gen};
 
 use patchdb_features::{euclidean, FeatureVector};
 use patchdb_nls::{nearest_link_search, nearest_link_search_matrix, total_link_distance};
+
+const CASES: u32 = 128;
 
 fn fv(vals: Vec<f64>) -> FeatureVector {
     let mut v = FeatureVector::zero();
@@ -15,45 +17,52 @@ fn fv(vals: Vec<f64>) -> FeatureVector {
     v
 }
 
-fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<FeatureVector>> {
-    prop::collection::vec(
-        prop::collection::vec(-10.0f64..10.0, 3).prop_map(fv),
-        n,
-    )
+/// `[min, max]` points with 3 coordinates each in [-10, 10).
+fn points(g: &mut Gen, min: usize, max: usize) -> Vec<FeatureVector> {
+    g.vec_with(min, max, |g| fv(vec![
+        g.f64_in(-10.0, 10.0),
+        g.f64_in(-10.0, 10.0),
+        g.f64_in(-10.0, 10.0),
+    ]))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Links are a valid partial injection: every security patch gets a
-    /// distinct wild index in range.
-    #[test]
-    fn links_are_valid((sec, wild) in (points(1..20), points(30..60))) {
+/// Links are a valid partial injection: every security patch gets a
+/// distinct wild index in range.
+#[test]
+fn links_are_valid() {
+    check("links_are_valid", CASES, |g| {
+        let sec = points(g, 1, 19);
+        let wild = points(g, 30, 59);
         let links = nearest_link_search(&sec, &wild);
-        prop_assert_eq!(links.len(), sec.len());
-        prop_assert!(links.iter().all(|&n| n < wild.len()));
+        assert_eq!(links.len(), sec.len());
+        assert!(links.iter().all(|&n| n < wild.len()));
         let mut sorted = links.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), sec.len(), "duplicate links");
-    }
+        assert_eq!(sorted.len(), sec.len(), "duplicate links");
+    });
+}
 
-    /// Matrix-free and explicit-matrix implementations agree exactly.
-    #[test]
-    fn implementations_agree((sec, wild) in (points(1..15), points(20..40))) {
+/// Matrix-free and explicit-matrix implementations agree exactly.
+#[test]
+fn implementations_agree() {
+    check("implementations_agree", CASES, |g| {
+        let sec = points(g, 1, 14);
+        let wild = points(g, 20, 39);
         let matrix: Vec<Vec<f64>> = sec
             .iter()
             .map(|s| wild.iter().map(|w| euclidean(s, w)).collect())
             .collect();
-        prop_assert_eq!(
-            nearest_link_search(&sec, &wild),
-            nearest_link_search_matrix(&matrix)
-        );
-    }
+        assert_eq!(nearest_link_search(&sec, &wild), nearest_link_search_matrix(&matrix));
+    });
+}
 
-    /// The single-security case is exactly nearest-neighbor search.
-    #[test]
-    fn single_row_is_nearest_neighbor((s, wild) in (points(1..2), points(5..40))) {
+/// The single-security case is exactly nearest-neighbor search.
+#[test]
+fn single_row_is_nearest_neighbor() {
+    check("single_row_is_nearest_neighbor", CASES, |g| {
+        let s = points(g, 1, 1);
+        let wild = points(g, 5, 39);
         let links = nearest_link_search(&s, &wild);
         let nn = wild
             .iter()
@@ -61,14 +70,17 @@ proptest! {
             .min_by(|a, b| euclidean(&s[0], a.1).total_cmp(&euclidean(&s[0], b.1)))
             .map(|(i, _)| i)
             .unwrap();
-        prop_assert_eq!(euclidean(&s[0], &wild[links[0]]), euclidean(&s[0], &wild[nn]));
-    }
+        assert_eq!(euclidean(&s[0], &wild[links[0]]), euclidean(&s[0], &wild[nn]));
+    });
+}
 
-    /// The greedy total never beats the sum of unconstrained per-row
-    /// minima (lower bound), and never exceeds M × the max row minimum +
-    /// slack — a sanity corridor for the objective.
-    #[test]
-    fn objective_sanity((sec, wild) in (points(2..12), points(24..48))) {
+/// The greedy total never beats the sum of unconstrained per-row
+/// minima (lower bound) — a sanity corridor for the objective.
+#[test]
+fn objective_sanity() {
+    check("objective_sanity", CASES, |g| {
+        let sec = points(g, 2, 11);
+        let wild = points(g, 24, 47);
         let links = nearest_link_search(&sec, &wild);
         let total = total_link_distance(&sec, &wild, &links);
         let lower: f64 = sec
@@ -79,6 +91,6 @@ proptest! {
                     .fold(f64::INFINITY, f64::min)
             })
             .sum();
-        prop_assert!(total + 1e-9 >= lower, "total {total} below lower bound {lower}");
-    }
+        assert!(total + 1e-9 >= lower, "total {total} below lower bound {lower}");
+    });
 }

@@ -5,12 +5,11 @@
 
 use clang_lite::tokenize_fragment;
 use patch_core::{LineKind, Patch};
-use serde::{Deserialize, Serialize};
 
 use crate::vocab::{Vocabulary, MARK_ADD, MARK_CTX, MARK_DEL};
 
 /// A dense token-id sequence ready for the RNN.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TokenSequence {
     ids: Vec<u32>,
 }

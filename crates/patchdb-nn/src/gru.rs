@@ -1,7 +1,6 @@
 //! A GRU cell with exact backpropagation through time.
 
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::linalg::{Mat, Param};
 
@@ -32,7 +31,7 @@ pub struct StepCache {
 /// ĥ = tanh(Wh·x + Uh·(r∘h) + bh) (candidate)
 /// h' = (1−z)∘h + z∘ĥ
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GruCell {
     input_dim: usize,
     hidden_dim: usize,
@@ -56,10 +55,24 @@ pub struct GruCell {
     pub bh: Param,
 }
 
+patchdb_rt::impl_to_from_json!(GruCell {
+    input_dim,
+    hidden_dim,
+    wz,
+    uz,
+    bz,
+    wr,
+    ur,
+    br,
+    wh,
+    uh,
+    bh,
+});
+
 impl GruCell {
     /// Creates a Xavier-initialized cell.
-    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut ChaCha8Rng) -> Self {
-        let w = |r: usize, c: usize, rng: &mut ChaCha8Rng| Param::new(Mat::xavier(r, c, rng));
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut Xoshiro256pp) -> Self {
+        let w = |r: usize, c: usize, rng: &mut Xoshiro256pp| Param::new(Mat::xavier(r, c, rng));
         let b = |r: usize| Param::new(Mat::zeros(r, 1));
         GruCell {
             input_dim,
@@ -207,13 +220,12 @@ impl GruCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     /// Finite-difference gradient check: analytic BPTT gradients must match
     /// numeric ones on a tiny cell to ~1e-5 relative error.
     #[test]
     fn gradient_check() {
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let mut cell = GruCell::new(3, 2, &mut rng);
         let xs = [
             vec![0.3, -0.2, 0.5],
@@ -278,7 +290,7 @@ mod tests {
 
     #[test]
     fn forward_is_bounded() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let cell = GruCell::new(4, 8, &mut rng);
         let mut h = vec![0.0; 8];
         for step in 0..50 {
@@ -291,7 +303,7 @@ mod tests {
 
     #[test]
     fn zero_update_gate_keeps_state() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let mut cell = GruCell::new(2, 2, &mut rng);
         // Force z ≈ 0 via a hugely negative bias: h' ≈ h.
         for b in cell.bz.value.as_mut_slice() {

@@ -1,12 +1,10 @@
 //! Minimal dense linear algebra for the GRU: row-major matrices over f64
 //! with exactly the operations backpropagation needs.
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::Xoshiro256pp;
 
 /// A row-major `rows × cols` matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mat {
     rows: usize,
     cols: usize,
@@ -20,7 +18,7 @@ impl Mat {
     }
 
     /// Xavier/Glorot-uniform initialized matrix.
-    pub fn xavier(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Self {
+    pub fn xavier(rows: usize, cols: usize, rng: &mut Xoshiro256pp) -> Self {
         let bound = (6.0 / (rows + cols) as f64).sqrt();
         let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
         Mat { rows, cols, data }
@@ -122,8 +120,10 @@ impl Mat {
     }
 }
 
+patchdb_rt::impl_to_from_json!(Mat { rows, cols, data });
+
 /// A parameter tensor with Adam moment buffers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Param {
     /// Current value.
     pub value: Mat,
@@ -132,6 +132,8 @@ pub struct Param {
     m: Mat,
     v: Mat,
 }
+
+patchdb_rt::impl_to_from_json!(Param { value, grad, m, v });
 
 impl Param {
     /// Wraps an initialized value matrix.
@@ -165,7 +167,6 @@ impl Param {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn matvec_identity() {
@@ -194,7 +195,7 @@ mod tests {
 
     #[test]
     fn xavier_bounds() {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut rng = patchdb_rt::rng::Xoshiro256pp::seed_from_u64(1);
         let m = Mat::xavier(10, 10, &mut rng);
         let bound = (6.0 / 20.0_f64).sqrt();
         assert!(m.as_slice().iter().all(|v| v.abs() <= bound));

@@ -2,8 +2,7 @@
 //! alternative to the GRU backbone, provided for architecture ablations
 //! of the paper's "RNN" classifier.
 
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::linalg::{Mat, Param};
 
@@ -39,7 +38,7 @@ pub struct LstmCache {
 /// c' = f∘c + i∘g
 /// h' = o∘tanh(c')
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LstmCell {
     input_dim: usize,
     hidden_dim: usize,
@@ -69,10 +68,27 @@ pub struct LstmCell {
     pub bg: Param,
 }
 
+patchdb_rt::impl_to_from_json!(LstmCell {
+    input_dim,
+    hidden_dim,
+    wi,
+    ui,
+    bi,
+    wf,
+    uf,
+    bf,
+    wo,
+    uo,
+    bo,
+    wg,
+    ug,
+    bg,
+});
+
 impl LstmCell {
     /// Creates a Xavier-initialized cell with forget bias 1.
-    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut ChaCha8Rng) -> Self {
-        let w = |r: usize, c: usize, rng: &mut ChaCha8Rng| Param::new(Mat::xavier(r, c, rng));
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut Xoshiro256pp) -> Self {
+        let w = |r: usize, c: usize, rng: &mut Xoshiro256pp| Param::new(Mat::xavier(r, c, rng));
         let b = |r: usize| Param::new(Mat::zeros(r, 1));
         let mut bf = Param::new(Mat::zeros(hidden_dim, 1));
         for v in bf.value.as_mut_slice() {
@@ -220,11 +236,10 @@ impl LstmCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn gradient_check() {
-        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         let mut cell = LstmCell::new(3, 2, &mut rng);
         let xs = [
             vec![0.2, -0.4, 0.1],
@@ -282,7 +297,7 @@ mod tests {
 
     #[test]
     fn state_is_bounded() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let cell = LstmCell::new(4, 6, &mut rng);
         let mut h = vec![0.0; 6];
         let mut c = vec![0.0; 6];
@@ -298,7 +313,7 @@ mod tests {
 
     #[test]
     fn forget_gate_saturated_keeps_cell() {
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let mut cell = LstmCell::new(2, 2, &mut rng);
         // Saturate f → 1 and i → 0: c' ≈ c.
         for v in cell.bf.value.as_mut_slice() {

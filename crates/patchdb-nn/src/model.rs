@@ -1,9 +1,7 @@
 //! The full RNN classifier: embedding → GRU → logistic head.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::rng::SliceRandom;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::encode::TokenSequence;
 use crate::gru::GruCell;
@@ -11,7 +9,7 @@ use crate::linalg::{Mat, Param};
 use crate::lstm::LstmCell;
 
 /// Hyper-parameters of the RNN classifier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RnnConfig {
     /// Embedding-table rows; must exceed every token id.
     pub vocab_size: usize,
@@ -44,7 +42,7 @@ impl Default for RnnConfig {
 }
 
 /// Which recurrent cell drives the classifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backbone {
     /// Gated recurrent unit (the default; matches the paper's "RNN").
     Gru,
@@ -52,7 +50,7 @@ pub enum Backbone {
     Lstm,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Recurrent {
     Gru(GruCell),
     Lstm(LstmCell),
@@ -69,7 +67,7 @@ enum StepState {
 ///
 /// Serializable: a trained model round-trips through serde (e.g. JSON),
 /// so classifiers can be trained once and shipped with a dataset release.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RnnClassifier {
     config: RnnConfig,
     embedding: Param,
@@ -78,6 +76,49 @@ pub struct RnnClassifier {
     head_b: Param,
     step: usize,
 }
+
+patchdb_rt::impl_to_from_json!(RnnConfig {
+    vocab_size,
+    embed_dim,
+    hidden_dim,
+    epochs,
+    lr,
+    max_len,
+    seed,
+});
+
+// Externally tagged, the serde encoding for data-carrying enum variants:
+// {"Gru": {...}} / {"Lstm": {...}}.
+impl patchdb_rt::json::ToJson for Recurrent {
+    fn to_json(&self) -> patchdb_rt::json::Json {
+        let (tag, body) = match self {
+            Recurrent::Gru(cell) => ("Gru", patchdb_rt::json::ToJson::to_json(cell)),
+            Recurrent::Lstm(cell) => ("Lstm", patchdb_rt::json::ToJson::to_json(cell)),
+        };
+        patchdb_rt::json::Json::Obj(vec![(tag.to_owned(), body)])
+    }
+}
+
+impl patchdb_rt::json::FromJson for Recurrent {
+    fn from_json(v: &patchdb_rt::json::Json) -> patchdb_rt::json::Result<Self> {
+        if let Some(body) = v.get("Gru") {
+            return Ok(Recurrent::Gru(patchdb_rt::json::FromJson::from_json(body)?));
+        }
+        if let Some(body) = v.get("Lstm") {
+            return Ok(Recurrent::Lstm(patchdb_rt::json::FromJson::from_json(body)?));
+        }
+        Err(patchdb_rt::json::JsonError::new("expected a Gru or Lstm variant object"))
+    }
+}
+
+patchdb_rt::impl_to_from_json!(RnnClassifier {
+    config,
+    embedding,
+    cell,
+    head_w,
+    head_b,
+    step,
+});
 
 fn sigmoid(z: f64) -> f64 {
     if z >= 0.0 {
@@ -96,7 +137,7 @@ impl RnnClassifier {
 
     /// Creates a model with an explicit recurrent backbone.
     pub fn with_backbone(config: RnnConfig, backbone: Backbone) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
         let embedding =
             Param::new(Mat::xavier(config.vocab_size, config.embed_dim, &mut rng));
         let cell = match backbone {
@@ -181,7 +222,7 @@ impl RnnClassifier {
     /// (matching the paper's small-dataset regime); returns the mean
     /// binary-cross-entropy of the final epoch.
     pub fn train(&mut self, data: &[(TokenSequence, bool)]) -> f64 {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0xABCD);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.config.seed ^ 0xABCD);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut last_loss = 0.0;
         for _ in 0..self.config.epochs {
@@ -334,16 +375,19 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_preserves_predictions() {
+    fn json_round_trip_preserves_predictions() {
+        use patchdb_rt::json::{FromJson, Json, ToJson};
         let data = keyword_task(40);
         let mut model = RnnClassifier::new(cfg());
         model.train(&data);
-        let json = serde_json::to_string(&model).expect("serializes");
-        let back: RnnClassifier = serde_json::from_str(&json).expect("deserializes");
+        let json = model.to_json().to_compact_string();
+        let parsed = Json::parse(&json).expect("parses");
+        let back = RnnClassifier::from_json(&parsed).expect("deserializes");
         for (seq, _) in &data {
             let (a, b) = (model.predict_proba(seq), back.predict_proba(seq));
-            // serde_json's fast float parse can be 1 ULP off; predictions
-            // must agree to far tighter tolerance than any decision uses.
+            // Floats are printed in shortest-round-trip form, so the
+            // restored weights are bit-identical and predictions agree
+            // exactly.
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
         assert_eq!(model.backbone(), back.backbone());

@@ -3,7 +3,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 /// Reserved id for padding (unused positions).
 pub const PAD: u32 = 0;
@@ -19,7 +18,7 @@ pub const MARK_CTX: u32 = 4;
 pub const FIRST_FREE: u32 = 5;
 
 /// A frequency-capped token vocabulary.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Vocabulary {
     map: HashMap<String, u32>,
 }

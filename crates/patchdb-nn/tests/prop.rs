@@ -1,41 +1,45 @@
 //! Property tests for the neural substrate: numerical stability of the
-//! recurrent cells, encoding bounds, and training determinism.
+//! recurrent cells, encoding bounds, and training determinism. Runs on
+//! `patchdb_rt::check`, the in-repo property harness.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use patchdb_rt::check::check;
+use patchdb_rt::rng::Xoshiro256pp;
 
 use patchdb_nn::{
     encode_patch, patch_token_texts, Backbone, GruCell, LstmCell, RnnClassifier, RnnConfig,
     TokenSequence, Vocabulary,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u32 = 64;
 
-    /// GRU states stay in [-1, 1] and finite for arbitrary bounded inputs.
-    #[test]
-    fn gru_state_bounded(
-        seed in any::<u64>(),
-        xs in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 4), 1..30),
-    ) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+/// GRU states stay in [-1, 1] and finite for arbitrary bounded inputs.
+#[test]
+fn gru_state_bounded() {
+    check("gru_state_bounded", CASES, |g| {
+        let seed = g.u64();
+        let xs = g.vec_with(1, 29, |g| {
+            (0..4).map(|_| g.f64_in(-5.0, 5.0)).collect::<Vec<f64>>()
+        });
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let cell = GruCell::new(4, 6, &mut rng);
         let mut h = vec![0.0; 6];
         for x in &xs {
             let (h2, _) = cell.forward(x, &h);
             h = h2;
-            prop_assert!(h.iter().all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
+            assert!(h.iter().all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
         }
-    }
+    });
+}
 
-    /// LSTM hidden states stay in [-1, 1]; cell states stay finite.
-    #[test]
-    fn lstm_state_bounded(
-        seed in any::<u64>(),
-        xs in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 4), 1..30),
-    ) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+/// LSTM hidden states stay in [-1, 1]; cell states stay finite.
+#[test]
+fn lstm_state_bounded() {
+    check("lstm_state_bounded", CASES, |g| {
+        let seed = g.u64();
+        let xs = g.vec_with(1, 29, |g| {
+            (0..4).map(|_| g.f64_in(-5.0, 5.0)).collect::<Vec<f64>>()
+        });
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let cell = LstmCell::new(4, 6, &mut rng);
         let mut h = vec![0.0; 6];
         let mut c = vec![0.0; 6];
@@ -43,18 +47,19 @@ proptest! {
             let (h2, c2, _) = cell.forward(x, &h, &c);
             h = h2;
             c = c2;
-            prop_assert!(h.iter().all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
-            prop_assert!(c.iter().all(|v| v.is_finite()));
+            assert!(h.iter().all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
+            assert!(c.iter().all(|v| v.is_finite()));
         }
-    }
+    });
+}
 
-    /// Classifier probabilities are valid for arbitrary token sequences,
-    /// including out-of-vocabulary and empty ones.
-    #[test]
-    fn classifier_probability_valid(
-        backbone_lstm in any::<bool>(),
-        ids in prop::collection::vec(0u32..10_000, 0..64),
-    ) {
+/// Classifier probabilities are valid for arbitrary token sequences,
+/// including out-of-vocabulary and empty ones.
+#[test]
+fn classifier_probability_valid() {
+    check("classifier_probability_valid", CASES, |g| {
+        let backbone_lstm = g.bool();
+        let ids = g.vec_with(0, 63, |g| g.u64_in(0, 9_999) as u32);
         let config = RnnConfig {
             vocab_size: 64,
             embed_dim: 8,
@@ -67,12 +72,15 @@ proptest! {
         let backbone = if backbone_lstm { Backbone::Lstm } else { Backbone::Gru };
         let model = RnnClassifier::with_backbone(config, backbone);
         let p = model.predict_proba(&TokenSequence::new(ids));
-        prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p));
-    }
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+    });
+}
 
-    /// Training twice with the same seed is bit-deterministic.
-    #[test]
-    fn training_deterministic(flip in any::<bool>()) {
+/// Training twice with the same seed is bit-deterministic.
+#[test]
+fn training_deterministic() {
+    check("training_deterministic", CASES, |g| {
+        let flip = g.bool();
         let data: Vec<(TokenSequence, bool)> = (0..30u32)
             .map(|i| (TokenSequence::new(vec![5 + i % 7, 9, 6]), i % 2 == 0))
             .collect();
@@ -89,23 +97,22 @@ proptest! {
         let mut b = RnnClassifier::new(config);
         let la = a.train(&data);
         let lb = b.train(&data);
-        prop_assert_eq!(la, lb);
+        assert_eq!(la, lb);
         let probe = TokenSequence::new(vec![5, 9, 6]);
-        prop_assert_eq!(a.predict_proba(&probe), b.predict_proba(&probe));
-    }
+        assert_eq!(a.predict_proba(&probe), b.predict_proba(&probe));
+    });
+}
 
-    /// Patch encoding only emits ids inside the vocabulary's id space.
-    #[test]
-    fn encoding_ids_in_range(edits in prop::collection::vec(0usize..5, 1..6)) {
+/// Patch encoding only emits ids inside the vocabulary's id space.
+#[test]
+fn encoding_ids_in_range() {
+    check("encoding_ids_in_range", CASES, |g| {
+        let edits = g.vec_with(1, 5, |g| g.usize_in(0, 4));
         // Build a couple of patches whose shapes vary with `edits`.
         let before = "int f(int a) {\n    use(a);\n    return a;\n}\n";
-        let mut after_lines: Vec<String> =
-            before.lines().map(str::to_owned).collect();
+        let mut after_lines: Vec<String> = before.lines().map(str::to_owned).collect();
         for (i, e) in edits.iter().enumerate() {
-            after_lines.insert(
-                1 + (i % (after_lines.len() - 1)),
-                format!("    guard_{e}(a);"),
-            );
+            after_lines.insert(1 + (i % (after_lines.len() - 1)), format!("    guard_{e}(a);"));
         }
         let after = after_lines.join("\n") + "\n";
         let patch = patch_core::Patch::builder("c".repeat(40))
@@ -116,7 +123,7 @@ proptest! {
         let refs: Vec<&[String]> = texts.iter().map(Vec::as_slice).collect();
         let vocab = Vocabulary::build(refs.iter().copied(), 64);
         let seq = encode_patch(&patch, &vocab);
-        prop_assert!(!seq.is_empty());
-        prop_assert!(seq.ids().iter().all(|&id| (id as usize) < vocab.size()));
-    }
+        assert!(!seq.is_empty());
+        assert!(seq.ids().iter().all(|&id| (id as usize) < vocab.size()));
+    });
 }

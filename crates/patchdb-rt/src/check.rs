@@ -1,0 +1,578 @@
+//! Property-based testing over a recorded choice tape.
+//!
+//! A property is a closure that draws pseudo-random values from a [`Gen`]
+//! and asserts invariants with ordinary `assert!`/`assert_eq!`. The
+//! harness runs it for a configured number of cases; every raw draw is
+//! recorded on a tape of `u64`s, so when a case fails the harness shrinks
+//! the *tape* (removing chunks, zeroing, binary-searching individual
+//! values toward zero) and replays the property until the failure is as
+//! small as it will get — the same design as Hypothesis, and the reason
+//! shrinking needs no per-type shrinker definitions.
+//!
+//! Minimal failing tapes are persisted under
+//! `$CARGO_MANIFEST_DIR/tests/rt-regressions/<name>.txt` and replayed at
+//! the start of every subsequent run, so a bug found once is pinned until
+//! fixed — the moral equivalent of proptest's `.proptest-regressions`.
+//!
+//! ```rust,no_run
+//! use patchdb_rt::check::check;
+//!
+//! check("reverse_is_involutive", 256, |g| {
+//!     let v = g.vec_with(0, 32, |g| g.u64());
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     assert_eq!(v, w);
+//! });
+//! ```
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+
+use crate::rng::Xoshiro256pp;
+
+/// Default base seed for the random phase; override with
+/// `PATCHDB_CHECK_SEED` to explore a different part of the space.
+const DEFAULT_SEED: u64 = 0x7061746368646221; // "patchdb!"
+
+/// Cap on total property executions spent shrinking one failure.
+const MAX_SHRINK_RUNS: usize = 4096;
+
+/// The value source handed to properties.
+///
+/// Every method ultimately consumes `u64`s from either a live PRNG or a
+/// replayed tape; all draws are recorded so failures can be shrunk and
+/// persisted.
+pub struct Gen {
+    source: Source,
+    tape: Vec<u64>,
+}
+
+enum Source {
+    Random(Xoshiro256pp),
+    Replay { tape: Vec<u64>, pos: usize },
+}
+
+impl Gen {
+    fn random(seed: u64) -> Gen {
+        Gen { source: Source::Random(Xoshiro256pp::seed_from_u64(seed)), tape: Vec::new() }
+    }
+
+    fn replay(tape: Vec<u64>) -> Gen {
+        Gen { source: Source::Replay { tape, pos: 0 }, tape: Vec::new() }
+    }
+
+    /// One raw draw. On an exhausted replay tape this returns 0, which
+    /// makes chopping the tail of a tape a valid shrink step.
+    fn raw(&mut self) -> u64 {
+        let v = match &mut self.source {
+            Source::Random(rng) => rng.next_u64(),
+            Source::Replay { tape, pos } => {
+                let v = tape.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        };
+        self.tape.push(v);
+        v
+    }
+
+    /// A uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.raw()
+    }
+
+    /// A uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        // Truncation keeps raw==0 mapping to 0 for clean shrinks.
+        self.raw() as u32
+    }
+
+    /// A bool; shrinks toward `false`.
+    pub fn bool(&mut self) -> bool {
+        self.raw() % 2 == 1
+    }
+
+    /// A float in `[0, 1)`; shrinks toward 0.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A float in `[lo, hi]`; shrinks toward `lo`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "f64_in: empty range {lo}..={hi}");
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive); shrinks toward `lo`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "u64_in: empty range {lo}..={hi}");
+        let span = (hi - lo).wrapping_add(1);
+        if span == 0 {
+            // Full u64 range.
+            return self.raw();
+        }
+        lo + self.raw() % span
+    }
+
+    /// A uniform `usize` in `[lo, hi]` (inclusive); shrinks toward `lo`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `i64` in `[lo, hi]` (inclusive); shrinks toward `lo`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "i64_in: empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        let off = if span == 0 { self.raw() } else { self.raw() % span };
+        (lo as i128 + off as i128) as i64
+    }
+
+    /// An index into a collection of `len` elements; shrinks toward 0.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index: empty collection");
+        self.usize_in(0, len - 1)
+    }
+
+    /// A reference to a uniformly chosen element; shrinks toward the
+    /// first element (so put the "simplest" choice first).
+    pub fn pick<'s, T>(&mut self, items: &'s [T]) -> &'s T {
+        &items[self.index(items.len())]
+    }
+
+    /// A `Vec` whose length is uniform in `[min, max]`, filled by `f`;
+    /// shrinks toward shorter vectors of simpler elements.
+    pub fn vec_with<T>(
+        &mut self,
+        min: usize,
+        max: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(min, max);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A string of `[min, max]` chars drawn uniformly from `alphabet`;
+    /// shrinks toward shorter strings of the alphabet's first char.
+    pub fn string_from(&mut self, min: usize, max: usize, alphabet: &str) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        assert!(!chars.is_empty(), "string_from: empty alphabet");
+        let n = self.usize_in(min, max);
+        (0..n).map(|_| *self.pick(&chars)).collect()
+    }
+
+    /// A weighted choice: returns an index into `weights` with
+    /// probability proportional to the weight; shrinks toward index 0.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "weighted: all weights zero");
+        let mut ticket = self.u64_in(0, total - 1);
+        for (i, &w) in weights.iter().enumerate() {
+            if ticket < w as u64 {
+                return i;
+            }
+            ticket -= w as u64;
+        }
+        weights.len() - 1
+    }
+}
+
+/// Configurable property runner; [`check`] covers the common case.
+pub struct Checker {
+    name: String,
+    cases: u32,
+    seed: u64,
+    regression_dir: Option<PathBuf>,
+}
+
+impl Checker {
+    /// A runner for the named property with default settings
+    /// (256 cases, persisted regressions, env-overridable seed).
+    pub fn new(name: &str) -> Checker {
+        let seed = std::env::var("PATCHDB_CHECK_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        let regression_dir = std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(|d| Path::new(&d).join("tests").join("rt-regressions"));
+        Checker { name: name.to_owned(), cases: 256, seed, regression_dir }
+    }
+
+    /// Sets the number of random cases.
+    pub fn cases(mut self, cases: u32) -> Checker {
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the base seed (normally from `PATCHDB_CHECK_SEED`).
+    pub fn seed(mut self, seed: u64) -> Checker {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides where regression tapes live; `None` disables
+    /// persistence and replay.
+    pub fn regression_dir(mut self, dir: Option<PathBuf>) -> Checker {
+        self.regression_dir = dir;
+        self
+    }
+
+    /// Runs the property; panics with a shrunken counterexample on
+    /// failure.
+    pub fn run(self, prop: impl Fn(&mut Gen)) {
+        install_silencer();
+
+        // Phase 1: replay persisted regressions.
+        for tape in self.load_regressions() {
+            let mut gen = Gen::replay(tape.clone());
+            if let Some(msg) = run_silently(&prop, &mut gen) {
+                self.fail(trim(gen.tape), msg, &prop, true);
+            }
+        }
+
+        // Phase 2: fresh random cases.
+        for case in 0..self.cases {
+            let mut gen = Gen::random(self.seed.wrapping_add(case as u64));
+            if let Some(msg) = run_silently(&prop, &mut gen) {
+                self.fail(trim(gen.tape), msg, &prop, false);
+            }
+        }
+    }
+
+    fn fail(&self, tape: Vec<u64>, msg: String, prop: &impl Fn(&mut Gen), replayed: bool) -> ! {
+        let (tape, msg) = shrink(tape, msg, prop);
+        let persisted = if replayed { None } else { self.persist(&tape) };
+        let where_ = match (&persisted, replayed) {
+            (_, true) => "replayed from persisted regression".to_owned(),
+            (Some(path), _) => format!("persisted to {}", path.display()),
+            (None, _) => "not persisted".to_owned(),
+        };
+        panic!(
+            "property '{}' failed ({} draws, {}): {}\n  tape: {:?}",
+            self.name,
+            tape.len(),
+            where_,
+            msg,
+            tape,
+        );
+    }
+
+    fn regression_file(&self) -> Option<PathBuf> {
+        self.regression_dir.as_ref().map(|d| d.join(format!("{}.txt", self.name)))
+    }
+
+    fn load_regressions(&self) -> Vec<Vec<u64>> {
+        let Some(path) = self.regression_file() else { return Vec::new() };
+        let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+        text.lines()
+            .map(|line| line.split('#').next().unwrap_or(""))
+            .filter(|line| !line.trim().is_empty())
+            .map(|line| line.split_whitespace().filter_map(|w| w.parse().ok()).collect())
+            .collect()
+    }
+
+    fn persist(&self, tape: &[u64]) -> Option<PathBuf> {
+        let path = self.regression_file()?;
+        let line = if tape.is_empty() {
+            "0".to_owned()
+        } else {
+            tape.iter().map(u64::to_string).collect::<Vec<_>>().join(" ")
+        };
+        let mut text = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            format!(
+                "# Shrunken failure tapes for property '{}', replayed on every run.\n\
+                 # Delete a line once its bug is fixed and the property passes again.\n",
+                self.name
+            )
+        });
+        if text.lines().any(|l| l.trim() == line) {
+            return Some(path);
+        }
+        if !text.ends_with('\n') && !text.is_empty() {
+            text.push('\n');
+        }
+        text.push_str(&line);
+        text.push('\n');
+        std::fs::create_dir_all(path.parent()?).ok()?;
+        std::fs::write(&path, text).ok()?;
+        Some(path)
+    }
+}
+
+/// Runs `prop` for `cases` random cases under the name `name`, after
+/// replaying any persisted regression tapes. Panics with a shrunken
+/// counterexample on failure.
+pub fn check(name: &str, cases: u32, prop: impl Fn(&mut Gen)) {
+    Checker::new(name).cases(cases).run(prop);
+}
+
+/// Trailing zeros replay identically to an exhausted tape, so strip them
+/// to canonicalize (this is what makes the shrink order well-founded).
+fn trim(mut tape: Vec<u64>) -> Vec<u64> {
+    while tape.last() == Some(&0) {
+        tape.pop();
+    }
+    tape
+}
+
+/// `a` is a strictly simpler tape than `b`: shorter, or equal length and
+/// lexicographically smaller.
+fn simpler(a: &[u64], b: &[u64]) -> bool {
+    a.len() < b.len() || (a.len() == b.len() && a < b)
+}
+
+fn shrink(
+    mut best: Vec<u64>,
+    mut best_msg: String,
+    prop: &impl Fn(&mut Gen),
+) -> (Vec<u64>, String) {
+    let runs = Cell::new(0usize);
+    // Re-runs the property on a candidate tape; adopts it when it still
+    // fails and is simpler than the current best.
+    let try_adopt = |candidate: Vec<u64>, best: &mut Vec<u64>, best_msg: &mut String| {
+        runs.set(runs.get() + 1);
+        if runs.get() > MAX_SHRINK_RUNS {
+            return false;
+        }
+        let mut gen = Gen::replay(candidate);
+        match run_silently(prop, &mut gen) {
+            Some(msg) => {
+                let consumed = trim(gen.tape);
+                if simpler(&consumed, best) {
+                    *best = consumed;
+                    *best_msg = msg;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: delete chunks, largest first.
+        for size in [32usize, 8, 4, 2, 1] {
+            let mut i = 0;
+            while size <= best.len() && i + size <= best.len() {
+                let mut candidate = best.clone();
+                candidate.drain(i..i + size);
+                if try_adopt(candidate, &mut best, &mut best_msg) {
+                    progressed = true;
+                    // Something was deleted at i; retry the same offset.
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Pass 2: zero chunks (cheaper than deletion when positions are
+        // load-bearing).
+        for size in [8usize, 2, 1] {
+            let mut i = 0;
+            while size <= best.len() && i + size <= best.len() {
+                if best[i..i + size].iter().any(|&v| v != 0) {
+                    let mut candidate = best.clone();
+                    candidate[i..i + size].iter_mut().for_each(|v| *v = 0);
+                    if try_adopt(candidate, &mut best, &mut best_msg) {
+                        progressed = true;
+                    }
+                }
+                i += size;
+            }
+        }
+
+        // Pass 3: binary-search each value toward zero.
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            // Invariant: the tape with best[i] = hi fails; probe whether
+            // smaller values still do (assuming monotonicity, which holds
+            // for the `lo + raw % span` draw mapping).
+            let (mut lo, mut hi) = (0u64, best[i]);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.clone();
+                candidate[i] = mid;
+                if try_adopt(candidate, &mut best, &mut best_msg) {
+                    progressed = true;
+                    if best.len() <= i {
+                        break; // adoption shortened the tape under us
+                    }
+                    hi = best[i].min(mid);
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+
+        if !progressed || runs.get() > MAX_SHRINK_RUNS {
+            return (best, best_msg);
+        }
+    }
+}
+
+thread_local! {
+    static SILENT: Cell<bool> = const { Cell::new(false) };
+}
+
+static SILENCER: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// backtrace spew on threads currently executing a property, so hundreds
+/// of shrink replays don't flood the test output.
+fn install_silencer() {
+    SILENCER.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SILENT.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs the property once, capturing a panic as `Some(message)`.
+fn run_silently(prop: &impl Fn(&mut Gen), gen: &mut Gen) -> Option<String> {
+    SILENT.with(|s| s.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(gen)));
+    SILENT.with(|s| s.set(false));
+    match result {
+        Ok(()) => None,
+        Err(payload) => Some(payload_message(payload.as_ref())),
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::panic::catch_unwind;
+
+    fn quiet(name: &str, cases: u32) -> Checker {
+        Checker::new(name).cases(cases).regression_dir(None)
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = RefCell::new(0u32);
+        quiet("counts_cases", 100).run(|g| {
+            *count.borrow_mut() += 1;
+            let v = g.u64_in(3, 9);
+            assert!((3..=9).contains(&v));
+        });
+        assert_eq!(*count.borrow(), 100);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            quiet("shrinks_to_boundary", 64).run(|g| {
+                let v = g.u64_in(0, 1000);
+                assert!(v < 473, "too big: {v}");
+            });
+        }));
+        let msg = payload_message(result.unwrap_err().as_ref());
+        // The minimal counterexample is exactly 473, via a tape of [473].
+        assert!(msg.contains("tape: [473]"), "unexpected shrink result: {msg}");
+        assert!(msg.contains("too big: 473"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn vectors_shrink_toward_empty() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            quiet("vec_shrink", 64).run(|g| {
+                let v = g.vec_with(0, 24, |g| g.u64_in(0, 100));
+                assert!(v.iter().sum::<u64>() < 50);
+            });
+        }));
+        let msg = payload_message(result.unwrap_err().as_ref());
+        // Minimal failure: one element of exactly 50 → tape [1, 50].
+        assert!(msg.contains("tape: [1, 50]"), "unexpected shrink result: {msg}");
+    }
+
+    #[test]
+    fn persisted_regression_is_replayed() {
+        let dir = std::env::temp_dir().join(format!("patchdb-rt-check-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Random search will essentially never hit this raw value, but the
+        // persisted tape must.
+        std::fs::write(dir.join("replay_pin.txt"), "7777 # pinned\n").unwrap();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Checker::new("replay_pin")
+                .cases(16)
+                .regression_dir(Some(dir.clone()))
+                .run(|g| assert_ne!(g.u64(), 7777));
+        }));
+        let msg = payload_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("replayed from persisted regression"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failures_are_persisted_and_deduplicated() {
+        let dir = std::env::temp_dir().join(format!("patchdb-rt-persist-{}", std::process::id()));
+        for _ in 0..2 {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                Checker::new("persist_me")
+                    .cases(8)
+                    .regression_dir(Some(dir.clone()))
+                    .run(|g| {
+                        let v = g.u64_in(0, 10);
+                        assert!(v < 5);
+                    });
+            }));
+        }
+        let text = std::fs::read_to_string(dir.join("persist_me.txt")).unwrap();
+        let tapes: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(tapes, ["5"], "expected one deduplicated tape: {text:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let record = |seed: u64| {
+            let out = RefCell::new(Vec::new());
+            Checker::new("determinism")
+                .cases(10)
+                .seed(seed)
+                .regression_dir(None)
+                .run(|g| {
+                    out.borrow_mut().push((g.u64(), g.usize_in(0, 99), g.bool()));
+                });
+            out.into_inner()
+        };
+        assert_eq!(record(42), record(42));
+        assert_ne!(record(42), record(43));
+    }
+
+    #[test]
+    fn generators_respect_ranges() {
+        quiet("generator_ranges", 200).run(|g| {
+            assert!((0.0..1.0).contains(&g.f64_unit()));
+            assert!((-5..=5).contains(&g.i64_in(-5, 5)));
+            let s = g.string_from(2, 4, "ab");
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            let w = g.weighted(&[1, 0, 3]);
+            assert!(w == 0 || w == 2);
+            let xs = [10, 20, 30];
+            assert!(xs.contains(g.pick(&xs)));
+        });
+    }
+}

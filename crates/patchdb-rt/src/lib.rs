@@ -1,0 +1,26 @@
+//! `patchdb-rt`: the in-repo runtime that keeps the workspace hermetic.
+//!
+//! The reproduction must build and test with `--offline` on a machine with
+//! an empty cargo registry cache, so nothing in this tree may depend on
+//! external crates. This crate supplies small, well-tested stand-ins for
+//! the handful of third-party APIs the workspace used to pull in:
+//!
+//! * [`rng`] — a seedable, cross-platform-deterministic xoshiro256++ PRNG
+//!   with the subset of the `rand` API the workspace uses (`gen_range`,
+//!   `gen_bool`, `shuffle`, …).
+//! * [`json`] — a JSON value type, parser, and printers, plus derive-free
+//!   [`json::ToJson`]/[`json::FromJson`] traits and impl macros, replacing
+//!   `serde`/`serde_json`.
+//! * [`check`] — a property-testing harness (generators over a recorded
+//!   choice tape, shrinking, persisted regression tapes), replacing
+//!   `proptest`.
+//! * [`bench`] — a criterion-style timing harness (warmup, samples,
+//!   median/p95, optional JSON report), replacing `criterion`.
+//! * [`par`] — scoped-thread fan-out over `std::thread::scope`, replacing
+//!   `crossbeam::scope`.
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod par;
+pub mod rng;

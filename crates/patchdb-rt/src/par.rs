@@ -1,0 +1,103 @@
+//! Scoped-thread fan-out over `std::thread::scope`, replacing the
+//! `crossbeam::scope` uses in the workspace.
+//!
+//! The one shape the workspace needs is "map a slice across a few worker
+//! threads, preserving order" — [`map_chunked`] does exactly that, and
+//! [`suggested_threads`] picks a sane worker count.
+
+use std::panic;
+
+/// A worker count: available parallelism capped at `cap`, at least 1.
+pub fn suggested_threads(cap: usize) -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(cap).max(1)
+}
+
+/// Maps `f` over `items` using up to `threads` scoped worker threads,
+/// returning results in input order.
+///
+/// Items are split into contiguous chunks, one per worker, so `f` should
+/// be roughly uniform in cost. With `threads <= 1` or a single-element
+/// input this degrades to a plain serial map with no thread spawns.
+/// A panic in any worker is resumed on the caller's thread.
+pub fn map_chunked<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let chunk_len = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let f = &f;
+                scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk_results) => results.push(chunk_results),
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let out = map_chunked(&items, 4, |&x| x * x);
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn handles_degenerate_shapes() {
+        assert_eq!(map_chunked::<u32, u32>(&[], 4, |&x| x), Vec::<u32>::new());
+        assert_eq!(map_chunked(&[7], 4, |&x| x + 1), vec![8]);
+        assert_eq!(map_chunked(&[1, 2, 3], 1, |&x| x), vec![1, 2, 3]);
+        // More threads than items must not spawn empty-chunk workers.
+        assert_eq!(map_chunked(&[1, 2], 16, |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        map_chunked(&items, 4, |_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(seen.lock().unwrap().len() > 1, "expected work on >1 thread");
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = panic::catch_unwind(|| {
+            map_chunked(&[1, 2, 3, 4], 2, |&x| {
+                assert_ne!(x, 3, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn suggested_threads_is_capped_and_positive() {
+        assert!(suggested_threads(8) >= 1);
+        assert!(suggested_threads(8) <= 8);
+        assert_eq!(suggested_threads(1), 1);
+    }
+}

@@ -38,12 +38,11 @@ mod variants;
 use std::collections::HashMap;
 
 use patch_core::{diff_files, CommitId, LineKind, Patch};
-use serde::{Deserialize, Serialize};
 
 pub use variants::{apply_variant, VariantKind, ALL_VARIANTS};
 
 /// Which version of the file pair a variant was applied to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
     /// The pre-patch version was modified (inverse-merge semantics).
     Before,

@@ -6,10 +6,9 @@
 //! as `COND` on every path.
 
 use clang_lite::IfStmt;
-use serde::{Deserialize, Serialize};
 
 /// The Fig. 5 templates, left-to-right, top-to-bottom.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VariantKind {
     /// `const int _SYS_ZERO = 0;` … `if (_SYS_ZERO || (COND))`
     OrZero,

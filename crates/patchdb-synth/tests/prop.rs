@@ -1,53 +1,55 @@
 //! Property tests for the oversampler: synthetic patches must always
 //! apply cleanly to their base version, carry a variant marker, and keep
-//! the transformed file structurally parsable.
+//! the transformed file structurally parsable. Runs on
+//! `patchdb_rt::check`, the in-repo property harness.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use patchdb_rt::check::{check, Gen};
 
 use patch_core::{apply_file_diff, diff_files, Patch};
 use patchdb_synth::{synthesize, Side, SynthOptions};
 
-/// Strategy: a small C function whose AFTER version gains an `if` guard
-/// with a randomized condition and surrounding filler.
-fn patched_pair() -> impl Strategy<Value = (String, String)> {
-    (
-        prop::sample::select(vec!["a", "count", "len", "n_items"]),
-        prop::sample::select(vec![">", "<", ">=", "=="]),
-        0usize..4,
-        prop::sample::select(vec!["mark();", "step(x);", "x++;", "log_it(x);"]),
-    )
-        .prop_map(|(var, op, fillers, filler)| {
-            let mut body_before = vec![
-                "int f(int a, int x) {".to_owned(),
-                format!("    int {var}_local = {var};"),
-            ];
-            for _ in 0..fillers {
-                body_before.push(format!("    {filler}"));
-            }
-            body_before.push("    use(x);".to_owned());
-            body_before.push("    return x;".to_owned());
-            body_before.push("}".to_owned());
+const CASES: u32 = 128;
 
-            let mut body_after = body_before.clone();
-            let at = body_after.len() - 3;
-            body_after.splice(
-                at..at,
-                [
-                    format!("    if ({var}_local {op} x)"),
-                    "        return -1;".to_owned(),
-                ],
-            );
-            (body_before.join("\n") + "\n", body_after.join("\n") + "\n")
-        })
+/// A small C function whose AFTER version gains an `if` guard with a
+/// randomized condition and surrounding filler.
+fn patched_pair(g: &mut Gen) -> (String, String) {
+    const VARS: &[&str] = &["a", "count", "len", "n_items"];
+    const OPS: &[&str] = &[">", "<", ">=", "=="];
+    const FILLERS: &[&str] = &["mark();", "step(x);", "x++;", "log_it(x);"];
+    let var = *g.pick(VARS);
+    let op = *g.pick(OPS);
+    let fillers = g.usize_in(0, 3);
+    let filler = *g.pick(FILLERS);
+
+    let mut body_before = vec![
+        "int f(int a, int x) {".to_owned(),
+        format!("    int {var}_local = {var};"),
+    ];
+    for _ in 0..fillers {
+        body_before.push(format!("    {filler}"));
+    }
+    body_before.push("    use(x);".to_owned());
+    body_before.push("    return x;".to_owned());
+    body_before.push("}".to_owned());
+
+    let mut body_after = body_before.clone();
+    let at = body_after.len() - 3;
+    body_after.splice(
+        at..at,
+        [
+            format!("    if ({var}_local {op} x)"),
+            "        return -1;".to_owned(),
+        ],
+    );
+    (body_before.join("\n") + "\n", body_after.join("\n") + "\n")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn synthetic_patches_apply_and_parse((before, after) in patched_pair()) {
+#[test]
+fn synthetic_patches_apply_and_parse() {
+    check("synthetic_patches_apply_and_parse", CASES, |g| {
+        let (before, after) = patched_pair(g);
         let patch = Patch::builder("9".repeat(40))
             .message("prop fix")
             .file(diff_files("p.c", &before, &after, 3))
@@ -59,15 +61,15 @@ proptest! {
 
         let opts = SynthOptions { max_per_patch: 0, ..SynthOptions::default() };
         let synths = synthesize(&patch, &b, &a, &opts);
-        prop_assert!(!synths.is_empty(), "guarded if must yield variants");
+        assert!(!synths.is_empty(), "guarded if must yield variants");
 
         for s in &synths {
             // Marker present.
             let text = s.patch.to_unified_string();
-            prop_assert!(text.contains("_SYS_"), "no marker:\n{text}");
+            assert!(text.contains("_SYS_"), "no marker:\n{text}");
             // Round-trips through the textual form.
             let reparsed = Patch::parse(&text).expect("parsable");
-            prop_assert_eq!(&reparsed, &s.patch);
+            assert_eq!(&reparsed, &s.patch);
             // Applies cleanly to its base, and the result still has
             // balanced delimiters plus at least one if statement.
             let base = match s.side {
@@ -78,15 +80,18 @@ proptest! {
             let toks = clang_lite::tokenize(&out);
             let open = toks.iter().filter(|t| t.is_punct("(")).count();
             let close = toks.iter().filter(|t| t.is_punct(")")).count();
-            prop_assert_eq!(open, close, "unbalanced parens:\n{}", out);
-            prop_assert!(!clang_lite::find_if_statements(&out).is_empty());
+            assert_eq!(open, close, "unbalanced parens:\n{out}");
+            assert!(!clang_lite::find_if_statements(&out).is_empty());
         }
-    }
+    });
+}
 
-    /// Variant application is deterministic and produces distinct patches
-    /// across variants.
-    #[test]
-    fn variants_distinct((before, after) in patched_pair()) {
+/// Variant application is deterministic and produces distinct patches
+/// across variants.
+#[test]
+fn variants_distinct() {
+    check("variants_distinct", CASES, |g| {
+        let (before, after) = patched_pair(g);
         let patch = Patch::builder("8".repeat(40))
             .file(diff_files("p.c", &before, &after, 3))
             .build();
@@ -97,12 +102,11 @@ proptest! {
         let opts = SynthOptions { max_per_patch: 0, ..SynthOptions::default() };
         let s1 = synthesize(&patch, &b, &a, &opts);
         let s2 = synthesize(&patch, &b, &a, &opts);
-        prop_assert_eq!(s1.len(), s2.len());
-        let mut texts: Vec<String> =
-            s1.iter().map(|s| s.patch.to_unified_string()).collect();
+        assert_eq!(s1.len(), s2.len());
+        let mut texts: Vec<String> = s1.iter().map(|s| s.patch.to_unified_string()).collect();
         let n = texts.len();
         texts.sort();
         texts.dedup();
-        prop_assert_eq!(texts.len(), n, "duplicate synthetic patches");
-    }
+        assert_eq!(texts.len(), n, "duplicate synthetic patches");
+    });
 }

@@ -6,10 +6,10 @@ use std::fmt;
 use patch_core::{CommitId, Patch};
 use patchdb_corpus::PatchCategory;
 use patchdb_features::FeatureVector;
-use serde::{Deserialize, Serialize};
+use patchdb_rt::json::{FromJson, Json, JsonError, ToJson};
 
 /// Which component of PatchDB a record belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Source {
     /// Mined from NVD `Patch` hyperlinks.
     Nvd,
@@ -20,7 +20,7 @@ pub enum Source {
 }
 
 /// One natural patch in the dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PatchRecord {
     /// Commit hash — every natural patch is "accessible on GitHub".
     pub commit: CommitId,
@@ -43,7 +43,7 @@ pub struct PatchRecord {
 }
 
 /// One synthetic patch derived from a natural one.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SyntheticRecord {
     /// The synthetic patch.
     pub patch: Patch,
@@ -56,7 +56,7 @@ pub struct SyntheticRecord {
 }
 
 /// The assembled PatchDB.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PatchDb {
     /// NVD-based security patches.
     pub nvd: Vec<PatchRecord>,
@@ -69,7 +69,7 @@ pub struct PatchDb {
 }
 
 /// Headline counts, for reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DatasetStats {
     /// |NVD-based security patches|.
     pub nvd_security: usize,
@@ -139,20 +139,35 @@ impl PatchDb {
     ///
     /// # Errors
     ///
-    /// Propagates `serde_json` failures.
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string_pretty(self)
+    /// Infallible today; the `Result` keeps the seed-era signature so
+    /// callers' `?` plumbing still works.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(ToJson::to_json(self).to_pretty_string())
     }
 
     /// Deserializes a dataset from JSON.
     ///
     /// # Errors
     ///
-    /// Propagates `serde_json` failures.
-    pub fn from_json(text: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(text)
+    /// Returns a [`JsonError`] on malformed JSON or a mismatched shape.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        FromJson::from_json(&Json::parse(text)?)
     }
 }
+
+patchdb_rt::impl_json_unit_enum!(Source { Nvd, Wild, NonSecurity });
+patchdb_rt::impl_to_from_json!(PatchRecord {
+    commit,
+    repo,
+    cve_id,
+    message,
+    patch,
+    features,
+    source,
+    truth_category,
+});
+patchdb_rt::impl_to_from_json!(SyntheticRecord { patch, derived_from, is_security, features });
+patchdb_rt::impl_to_from_json!(PatchDb { nvd, wild, non_security, synthetic });
 
 #[cfg(test)]
 mod tests {

@@ -46,3 +46,4 @@ pub use taxonomy::{classify_patch, taxonomy_distribution};
 pub use patchdb_corpus::{CategoryMix, PatchCategory, ALL_CATEGORIES};
 pub use patchdb_features::{FeatureVector, FEATURE_DIM, FEATURE_NAMES};
 pub use patchdb_nls::AugmentationRound;
+pub use patchdb_rt::json::{Json, JsonError};

@@ -10,10 +10,9 @@
 
 use clang_lite::{tokenize_fragment, TokenKind};
 use patch_core::{LineKind, Patch};
-use serde::{Deserialize, Serialize};
 
 /// A recognized fix pattern (Table VII and close cousins).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FixPattern {
     /// `+lock(cv); … vulnerable_op(cv); … +unlock(cv);` — atomicity added
     /// around an existing operation.

@@ -7,12 +7,11 @@ use patchdb_features::{extract, FeatureVector, RepoContext};
 use patchdb_mine::{collect_wild, mine_nvd, sample_wild, WildCommit};
 use patchdb_nls::{augment_rounds, AugmentationRound, PoolSpec};
 use patchdb_synth::{synthesize, SynthOptions};
-use serde::{Deserialize, Serialize};
 
 use crate::dataset::{PatchDb, PatchRecord, Source, SyntheticRecord};
 
 /// One unlabeled wild pool in the augmentation plan (a Table II "Set").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolPlan {
     /// Display name.
     pub name: String,
@@ -244,7 +243,7 @@ mod tests {
     use super::*;
 
     fn report() -> BuildReport {
-        PatchDb::build(&BuildOptions::tiny(17))
+        PatchDb::build(&BuildOptions::tiny(9))
     }
 
     #[test]
@@ -303,3 +302,4 @@ mod tests {
         );
     }
 }
+

@@ -18,10 +18,9 @@
 
 use clang_lite::{abstract_tokens, tokenize, tokenize_fragment};
 use patch_core::{LineKind, Patch};
-use serde::{Deserialize, Serialize};
 
 /// A signature derived from one hunk of a security patch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatchSignature {
     /// Commit the signature came from.
     pub commit: patch_core::CommitId,
@@ -69,7 +68,7 @@ fn abstract_line(text: &str) -> Vec<String> {
 }
 
 /// Outcome of testing one target file against one signature.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PresenceVerdict {
     /// The vulnerable shape matches and the fix shape does not: the code
     /// is an (unpatched) vulnerable clone.

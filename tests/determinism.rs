@@ -1,0 +1,61 @@
+//! Bit-determinism of the whole pipeline: the same `BuildOptions` must
+//! produce byte-identical datasets, statistics, round tables, and JSON
+//! exports on every run — the property the hermetic `patchdb-rt` runtime
+//! exists to guarantee (no external RNG or serializer to drift).
+
+use patchdb::{BuildOptions, PatchDb};
+
+/// Two builds from the same seed agree on every headline statistic.
+#[test]
+fn repeated_builds_have_identical_stats() {
+    let a = PatchDb::build(&BuildOptions::tiny(1234));
+    let b = PatchDb::build(&BuildOptions::tiny(1234));
+    assert_eq!(a.db.stats(), b.db.stats());
+    assert_eq!(a.wild_total, b.wild_total);
+    assert_eq!(a.verification_effort, b.verification_effort);
+}
+
+/// Two builds from the same seed produce the same Table II rounds,
+/// including the floating-point ratios, bit for bit.
+#[test]
+fn repeated_builds_have_identical_rounds() {
+    let a = PatchDb::build(&BuildOptions::tiny(1234));
+    let b = PatchDb::build(&BuildOptions::tiny(1234));
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.pool, rb.pool);
+        assert_eq!(ra.round, rb.round);
+        assert_eq!(ra.search_range, rb.search_range);
+        assert_eq!(ra.candidates, rb.candidates);
+        assert_eq!(ra.verified_security, rb.verified_security);
+        assert_eq!(ra.ratio.to_bits(), rb.ratio.to_bits());
+    }
+}
+
+/// The JSON export is byte-identical across runs, and survives a
+/// load → re-export round trip unchanged (canonical form).
+#[test]
+fn json_export_is_byte_identical_and_canonical() {
+    let a = PatchDb::build(&BuildOptions::tiny(1234));
+    let b = PatchDb::build(&BuildOptions::tiny(1234));
+    let ja = a.db.to_json().expect("export a");
+    let jb = b.db.to_json().expect("export b");
+    assert_eq!(ja, jb, "two builds exported different JSON");
+
+    let reloaded = PatchDb::from_json(&ja).expect("reload");
+    let jc = reloaded.to_json().expect("re-export");
+    assert_eq!(ja, jc, "load → export round trip changed bytes");
+}
+
+/// Different seeds must actually change the dataset (the determinism
+/// above is not just a constant function).
+#[test]
+fn different_seeds_differ() {
+    let a = PatchDb::build(&BuildOptions::tiny(1234));
+    let b = PatchDb::build(&BuildOptions::tiny(4321));
+    assert_ne!(
+        a.db.to_json().unwrap(),
+        b.db.to_json().unwrap(),
+        "seed is ignored by the pipeline"
+    );
+}

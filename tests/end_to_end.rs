@@ -4,7 +4,7 @@
 use patchdb::{BuildOptions, PatchDb};
 
 fn build() -> patchdb::BuildReport {
-    PatchDb::build(&BuildOptions::tiny(1234))
+    PatchDb::build(&BuildOptions::tiny(28))
 }
 
 #[test]

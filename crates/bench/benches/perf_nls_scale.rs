@@ -1,0 +1,182 @@
+//! Perf trajectory for the nearest link search: the seed's sqrt-based
+//! full-scan init pass vs the squared-distance, parallel, and pruned
+//! variants at several `(M, N)`, plus the end-to-end pipeline build wall
+//! time — written to `BENCH_nls.json` at the repo root so later PRs can
+//! compare against this one.
+//!
+//! * `PATCHDB_BENCH_FAST=1` shrinks sizes and sampling for the CI smoke
+//!   run (the JSON is still produced and must still parse).
+//! * `PATCHDB_BENCH_NLS_JSON=<path>` overrides the output location.
+//! * `PATCHDB_THREADS=<n>` steers the worker count of the parallel
+//!   variants, as everywhere else.
+
+use std::time::Instant;
+
+use patchdb::{BuildOptions, PatchDb};
+use patchdb_corpus::{CorpusConfig, GitHubForge};
+use patchdb_features::{apply_weights, euclidean, extract, learn_weights, FeatureVector};
+use patchdb_nls::{row_minima, NlsConfig};
+use patchdb_rt::bench::{black_box, BenchmarkId, Criterion};
+use patchdb_rt::json::{Json, ToJson};
+use patchdb_rt::par;
+
+/// Weighted feature vectors of real (forge-materialized) patches — the
+/// exact population the pipeline's nearest link search runs on: cleaned
+/// patches, Table I extraction, `1/max|a_j|` weighting over the pool.
+/// Patch features cluster by patch size (heavy-tailed), which is the
+/// structure the norm-bound pruning exploits; synthetic isotropic noise
+/// would understate it badly.
+fn corpus_features(count: usize, seed: u64) -> Vec<FeatureVector> {
+    let forge = GitHubForge::generate(&CorpusConfig::with_total_commits(count + count / 8, seed));
+    let commits: Vec<_> = forge.all_commits().take(count).collect();
+    assert_eq!(commits.len(), count, "forge too small for requested feature count");
+    let threads = par::configured_threads(16);
+    let raw = par::map_chunked(&commits, threads, |(_, c)| {
+        let change = forge.materialize(c);
+        let patch = change.patch.retain_c_files().unwrap_or(change.patch);
+        extract(&patch, None)
+    });
+    let weights = learn_weights(raw.iter());
+    par::map_chunked(&raw, threads, |v| apply_weights(v, &weights))
+}
+
+/// A faithful replica of the seed's init pass — per-row full scan with a
+/// `sqrt` per pair — kept here as the fixed baseline the speedup in
+/// `BENCH_nls.json` is measured against.
+fn seed_init_pass(security: &[FeatureVector], wild: &[FeatureVector]) -> (Vec<f64>, Vec<usize>) {
+    let mut u = vec![f64::INFINITY; security.len()];
+    let mut v = vec![0usize; security.len()];
+    for (m, sec) in security.iter().enumerate() {
+        for (n, w) in wild.iter().enumerate() {
+            let d = euclidean(sec, w);
+            if d < u[m] {
+                u[m] = d;
+                v[m] = n;
+            }
+        }
+    }
+    (u, v)
+}
+
+fn sizes() -> Vec<(usize, usize)> {
+    if std::env::var_os("PATCHDB_BENCH_FAST").is_some() {
+        vec![(8, 150), (16, 400)]
+    } else {
+        vec![(50, 2_000), (100, 8_000), (200, 20_000)]
+    }
+}
+
+fn bench_init_pass(c: &mut Criterion, sizes: &[(usize, usize)], threads: usize) {
+    // One feature pool sized for the largest instance, sliced per size:
+    // security rows from the front, wild rows from the back.
+    let (max_m, max_n) = *sizes.last().expect("at least one size");
+    let pool = corpus_features(max_m + max_n, 41);
+    let mut g = c.benchmark_group("nls-init");
+    for &(m, n) in sizes {
+        let sec = &pool[..m];
+        let wild = &pool[pool.len() - n..];
+        let shape = format!("{m}x{n}");
+
+        // Sanity: every variant must agree with the seed baseline on the
+        // argmin columns before we bother timing it.
+        let (_, seed_v) = seed_init_pass(&sec, &wild);
+        let configs = [
+            ("serial-squared", NlsConfig { threads: 1, prune: false, k_best: 1 }),
+            ("parallel", NlsConfig { threads, prune: false, k_best: 8 }),
+            ("pruned", NlsConfig { threads: 1, prune: true, k_best: 8 }),
+            ("parallel-pruned", NlsConfig { threads, prune: true, k_best: 8 }),
+        ];
+        for (name, cfg) in &configs {
+            let (_, v) = row_minima(&sec, &wild, cfg);
+            assert_eq!(seed_v, v, "{name} drifted from the seed baseline at {shape}");
+        }
+
+        g.bench_with_input(BenchmarkId::new("seed-baseline", &shape), &(), |b, ()| {
+            b.iter(|| black_box(seed_init_pass(&sec, &wild)))
+        });
+        for (name, cfg) in configs {
+            g.bench_with_input(BenchmarkId::new(name, &shape), &(), |b, ()| {
+                b.iter(|| black_box(row_minima(&sec, &wild, &cfg)))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// End-to-end pipeline build wall time (one measurement — the build is
+/// seconds-scale and deterministic, a median over repeats buys little).
+fn pipeline_build_ms() -> f64 {
+    let fast = std::env::var_os("PATCHDB_BENCH_FAST").is_some();
+    let options = if fast {
+        BuildOptions::tiny(7)
+    } else {
+        let mut o = patchdb_bench::bench_options(7);
+        o.synthesize = true;
+        o
+    };
+    let start = Instant::now();
+    let report = PatchDb::build(&options);
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    black_box(report.db.stats());
+    elapsed
+}
+
+fn write_report(
+    c: &Criterion,
+    sizes: &[(usize, usize)],
+    threads: usize,
+    build_ms: f64,
+) {
+    let largest = *sizes.last().expect("at least one size");
+    let shape = format!("{}x{}", largest.0, largest.1);
+    let median_of = |name: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name == format!("nls-init/{name}/{shape}"))
+            .map(|r| r.median_ns)
+    };
+    let speedup = match (median_of("seed-baseline"), median_of("parallel-pruned")) {
+        (Some(base), Some(fast)) if fast > 0.0 => base / fast,
+        _ => 0.0,
+    };
+
+    let json = Json::Obj(vec![
+        ("schema".into(), Json::Str("patchdb-bench-nls/v1".into())),
+        (
+            "fast_mode".into(),
+            Json::Bool(std::env::var_os("PATCHDB_BENCH_FAST").is_some()),
+        ),
+        ("threads".into(), Json::Num(threads as f64)),
+        (
+            "sizes".into(),
+            Json::Arr(
+                sizes
+                    .iter()
+                    .map(|&(m, n)| Json::Arr(vec![Json::Num(m as f64), Json::Num(n as f64)]))
+                    .collect(),
+            ),
+        ),
+        ("init_speedup_largest".into(), Json::Num(speedup)),
+        ("pipeline_build_ms".into(), Json::Num(build_ms)),
+        (
+            "results".into(),
+            Json::Arr(c.results().iter().map(|r| r.to_json()).collect()),
+        ),
+    ]);
+
+    let path = std::env::var("PATCHDB_BENCH_NLS_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nls.json").to_owned()
+    });
+    std::fs::write(&path, json.to_pretty_string() + "\n").expect("write BENCH_nls.json");
+    println!("\nwrote {path} (init speedup at {shape}: {speedup:.2}x)");
+}
+
+fn main() {
+    let sizes = sizes();
+    let threads = patchdb_rt::par::configured_threads(16);
+    let mut c = Criterion::default();
+    bench_init_pass(&mut c, &sizes, threads);
+    let build_ms = pipeline_build_ms();
+    println!("pipeline build: {build_ms:.0} ms");
+    write_report(&c, &sizes, threads, build_ms);
+}

@@ -1,0 +1,44 @@
+//! CI guard for the perf-trajectory artifacts: asserts a bench JSON file
+//! (e.g. `BENCH_nls.json`) parses with `patchdb_rt::json` and carries a
+//! non-empty `results` array. Exits non-zero with a diagnostic otherwise.
+
+use std::process::ExitCode;
+
+use patchdb_rt::json::Json;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check-bench-json <path>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-bench-json: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check-bench-json: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(results) = json.get("results").and_then(|r| r.as_arr()) else {
+        eprintln!("check-bench-json: {path} has no `results` array");
+        return ExitCode::FAILURE;
+    };
+    if results.is_empty() {
+        eprintln!("check-bench-json: {path} has an empty `results` array");
+        return ExitCode::FAILURE;
+    }
+    for (i, r) in results.iter().enumerate() {
+        if r.get("name").is_none() || r.get("median_ns").and_then(Json::as_f64).is_none() {
+            eprintln!("check-bench-json: {path} result #{i} lacks name/median_ns");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("check-bench-json: {path} ok ({} results)", results.len());
+    ExitCode::SUCCESS
+}

@@ -162,7 +162,16 @@ pub fn extract(patch: &Patch, ctx: Option<&RepoContext>) -> FeatureVector {
         }
     }
 
-    FeatureVector(f)
+    let v = FeatureVector(f);
+    // Every Table I feature is a count or a ratio with a guarded
+    // denominator; a NaN/infinite dimension means an extractor bug and
+    // would otherwise surface far away, as a silently wrong nearest link.
+    debug_assert!(
+        v.is_finite(),
+        "extract produced a non-finite feature vector for commit {}",
+        patch.commit
+    );
+    v
 }
 
 /// Extracts features for a batch of patches (convenience for pipelines).
@@ -380,6 +389,28 @@ mod tests {
         assert!(looks_like_signature("static void bar(void)"));
         assert!(!looks_like_signature("  foo(a);"));
         assert!(!looks_like_signature("x = 1;"));
+    }
+
+    #[test]
+    fn extract_output_is_finite_and_guard_detects_bad_vectors() {
+        // Degenerate shapes that stress every ratio denominator: empty
+        // patch, zero-context, and a context with zero totals.
+        let shapes = [
+            patch_of("", "x();\n"),
+            patch_of("x();\n", ""),
+            patch_of("a();\n", "a();\n"),
+        ];
+        let ctx = RepoContext { total_files: 0, total_functions: 0 };
+        for p in &shapes {
+            assert!(extract(p, None).is_finite());
+            assert!(extract(p, Some(&ctx)).is_finite());
+        }
+        // And the guard itself distinguishes good from bad vectors.
+        let mut bad = FeatureVector::zero();
+        bad.as_mut_slice()[7] = f64::NAN;
+        assert!(!bad.is_finite());
+        bad.as_mut_slice()[7] = f64::INFINITY;
+        assert!(!bad.is_finite());
     }
 
     #[test]

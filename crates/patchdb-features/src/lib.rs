@@ -32,4 +32,7 @@ pub use extract::{extract, extract_batch, RepoContext};
 pub use levenshtein::levenshtein;
 pub use summary::{rank_discriminative, Discriminativeness, FeatureSummary};
 pub use vector::{FeatureVector, FEATURE_DIM, FEATURE_NAMES};
-pub use weighting::{apply_weights, euclidean, learn_weights, Weights};
+pub use weighting::{
+    apply_weights, euclidean, learn_weights, max_abs, merge_max_abs, squared_euclidean,
+    weights_from_max_abs, Weights,
+};

@@ -26,6 +26,46 @@ impl Weights {
     }
 }
 
+/// Per-dimension `max_i |a_ij|` over `rows` — the statistic
+/// [`learn_weights`] inverts.
+///
+/// Elementwise `max` of absolute values is associative and commutative
+/// (absolute values are non-negative and never NaN here), so maxima over
+/// sub-populations can be merged with [`merge_max_abs`] in any order and
+/// still equal one pass over the union. The augmentation driver relies on
+/// this to maintain the security-set maximum incrementally instead of
+/// rescanning the whole (growing) set every round.
+pub fn max_abs<'a, I>(rows: I) -> [f64; FEATURE_DIM]
+where
+    I: IntoIterator<Item = &'a FeatureVector>,
+{
+    let mut out = [0.0f64; FEATURE_DIM];
+    for row in rows {
+        for (m, v) in out.iter_mut().zip(row.as_slice()) {
+            *m = m.max(v.abs());
+        }
+    }
+    out
+}
+
+/// Merges `other` into `acc` elementwise (`acc_j = max(acc_j, other_j)`).
+pub fn merge_max_abs(acc: &mut [f64; FEATURE_DIM], other: &[f64; FEATURE_DIM]) {
+    for (a, o) in acc.iter_mut().zip(other) {
+        *a = a.max(*o);
+    }
+}
+
+/// Builds [`Weights`] from a precomputed per-dimension maximum, applying
+/// the same zero-column rule as [`learn_weights`].
+pub fn weights_from_max_abs(max_abs: &[f64; FEATURE_DIM]) -> Weights {
+    Weights {
+        values: max_abs
+            .iter()
+            .map(|m| if *m > 0.0 { 1.0 / m } else { 0.0 })
+            .collect(),
+    }
+}
+
 /// Learns `w_j = 1 / max_i |a_ij|` over `rows`.
 ///
 /// Dimensions that are identically zero across the population get weight
@@ -36,18 +76,7 @@ pub fn learn_weights<'a, I>(rows: I) -> Weights
 where
     I: IntoIterator<Item = &'a FeatureVector>,
 {
-    let mut max_abs = [0.0f64; FEATURE_DIM];
-    for row in rows {
-        for (m, v) in max_abs.iter_mut().zip(row.as_slice()) {
-            *m = m.max(v.abs());
-        }
-    }
-    Weights {
-        values: max_abs
-            .iter()
-            .map(|m| if *m > 0.0 { 1.0 / m } else { 0.0 })
-            .collect(),
-    }
+    weights_from_max_abs(&max_abs(rows))
 }
 
 /// Applies weights to a vector, producing the normalized point.
@@ -59,14 +88,24 @@ pub fn apply_weights(v: &FeatureVector, w: &Weights) -> FeatureVector {
     FeatureVector(out)
 }
 
-/// Euclidean distance between two (weighted) feature vectors.
-pub fn euclidean(a: &FeatureVector, b: &FeatureVector) -> f64 {
+/// Squared Euclidean distance between two (weighted) feature vectors.
+///
+/// Exactly the pre-`sqrt` sum of [`euclidean`] (same accumulation
+/// order), so comparing squared distances is an exact, rounding-free
+/// stand-in for comparing distances — `sqrt` is monotone and the square
+/// is what the hardware computed first. The nearest link search compares
+/// in this space to skip a `sqrt` per candidate pair.
+pub fn squared_euclidean(a: &FeatureVector, b: &FeatureVector) -> f64 {
     a.as_slice()
         .iter()
         .zip(b.as_slice())
         .map(|(x, y)| (x - y) * (x - y))
         .sum::<f64>()
-        .sqrt()
+}
+
+/// Euclidean distance between two (weighted) feature vectors.
+pub fn euclidean(a: &FeatureVector, b: &FeatureVector) -> f64 {
+    squared_euclidean(a, b).sqrt()
 }
 
 #[cfg(test)]

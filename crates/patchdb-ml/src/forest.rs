@@ -55,7 +55,7 @@ impl Classifier for RandomForest {
             tree
         };
 
-        let threads = patchdb_rt::par::suggested_threads(8);
+        let threads = patchdb_rt::par::configured_threads(8);
         if self.n_trees >= 8 && data.len() >= 512 && threads > 1 {
             self.trees = patchdb_rt::par::map_chunked(&seeds, threads, |&s| fit_one(s));
         } else {

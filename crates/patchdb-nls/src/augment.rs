@@ -1,7 +1,21 @@
 //! The multi-round human-in-the-loop dataset augmentation driver behind
 //! Table II: nearest link search → manual verification → loop judgment.
+//!
+//! The driver maintains the round state incrementally instead of
+//! recomputing it from scratch: the security-set `max|a_ij|` statistic
+//! only grows (rows are only appended), so it is merged forward; the
+//! pool statistic is refolded in parallel over the (shrinking) pool; and
+//! the weighted feature buffers are reused whenever the learned weights
+//! did not change between rounds. All of it is bitwise-equivalent to the
+//! naive clone-and-reweight-everything loop because elementwise `max` of
+//! absolute values is associative and commutative, and `apply_weights`
+//! is a pure per-row function.
 
-use patchdb_features::{apply_weights, learn_weights, FeatureVector};
+use patchdb_features::{
+    apply_weights, max_abs, merge_max_abs, weights_from_max_abs, FeatureVector, Weights,
+    FEATURE_DIM,
+};
+use patchdb_rt::par;
 
 use crate::search::nearest_link_search;
 
@@ -51,6 +65,10 @@ pub struct AugmentationRound {
 /// candidates leave the pool (negatives become cleaned non-security
 /// data). Returns the per-round rows plus the final security/non-security
 /// index partitions.
+///
+/// Candidates are verified in ascending pool-index order (the links are
+/// distinct by construction, so sorting them *is* the deterministic
+/// claimed order); the oracle is always called serially.
 pub fn augment_rounds<F>(
     seed_features: &[FeatureVector],
     wild_features: &[FeatureVector],
@@ -60,14 +78,28 @@ pub fn augment_rounds<F>(
 where
     F: FnMut(usize) -> bool,
 {
+    let threads = par::configured_threads(16);
     let mut security: Vec<FeatureVector> = seed_features.to_vec();
     let mut security_idx: Vec<usize> = Vec::new(); // wild indices verified positive
     let mut nonsecurity_idx: Vec<usize> = Vec::new();
     let mut rows = Vec::new();
     let mut round_no = 0usize;
 
+    // `max_i |a_ij|` over the security set: rows are only ever appended,
+    // so this statistic is monotone and can be merged forward.
+    let mut sec_max = max_abs(security.iter());
+
     for pool_spec in pools {
         let mut pool: Vec<usize> = pool_spec.members.clone();
+        let mut pool_feats: Vec<FeatureVector> =
+            pool.iter().map(|&i| wild_features[i]).collect();
+        // Weighted buffers, valid for `prev_weights`; rebuilt fresh per
+        // pool (the pool contents changed) and reused across rounds while
+        // the learned weights stay identical.
+        let mut prev_weights: Option<Weights> = None;
+        let mut sec_w: Vec<FeatureVector> = Vec::new();
+        let mut pool_w: Vec<FeatureVector> = Vec::new();
+
         for _ in 0..pool_spec.rounds {
             round_no += 1;
             let search_range = pool.len();
@@ -76,27 +108,59 @@ where
                 break;
             }
 
-            // Weight over the joint population in play this round.
-            let pool_feats: Vec<FeatureVector> =
-                pool.iter().map(|&i| wild_features[i]).collect();
-            let weights = learn_weights(security.iter().chain(pool_feats.iter()));
-            let sec_w: Vec<FeatureVector> =
-                security.iter().map(|v| apply_weights(v, &weights)).collect();
-            let pool_w: Vec<FeatureVector> =
-                pool_feats.iter().map(|v| apply_weights(v, &weights)).collect();
+            // Weight over the joint population in play this round. The
+            // pool statistic is refolded (the pool shrinks, so its max
+            // can drop); merging it with the monotone security max is
+            // bitwise equal to one pass over the union.
+            let pool_max = par::fold_chunked(
+                &pool_feats,
+                threads,
+                || [0.0f64; FEATURE_DIM],
+                |mut acc, row| {
+                    merge_max_abs(&mut acc, &max_abs(std::iter::once(row)));
+                    acc
+                },
+                |mut a, b| {
+                    merge_max_abs(&mut a, &b);
+                    a
+                },
+            );
+            let mut joint = sec_max;
+            merge_max_abs(&mut joint, &pool_max);
+            let weights = weights_from_max_abs(&joint);
+
+            if prev_weights.as_ref() != Some(&weights) {
+                sec_w = par::map_chunked(&security, threads, |v| apply_weights(v, &weights));
+                pool_w = par::map_chunked(&pool_feats, threads, |v| apply_weights(v, &weights));
+                prev_weights = Some(weights);
+            } else {
+                // Same weights as last round: only the rows appended to
+                // the security set since then still need weighting (the
+                // pool buffer was compacted in place below).
+                let w = prev_weights.as_ref().expect("weights set");
+                for v in &security[sec_w.len()..] {
+                    sec_w.push(apply_weights(v, w));
+                }
+            }
 
             let links = nearest_link_search(&sec_w, &pool_w);
 
-            // Verify every linked candidate; split the pool.
+            // The search guarantees distinct columns; sorting them is the
+            // deterministic (ascending pool index) verification order.
             let mut claimed: Vec<usize> = links.clone();
             claimed.sort_unstable();
-            claimed.dedup();
+            debug_assert!(
+                claimed.windows(2).all(|w| w[0] != w[1]),
+                "nearest_link_search returned a duplicate link"
+            );
             let mut verified = 0usize;
             for &local in &claimed {
                 let global = pool[local];
                 if verify(global) {
                     verified += 1;
-                    security.push(wild_features[global]);
+                    let row = wild_features[global];
+                    merge_max_abs(&mut sec_max, &max_abs(std::iter::once(&row)));
+                    security.push(row);
                     security_idx.push(global);
                 } else {
                     nonsecurity_idx.push(global);
@@ -112,17 +176,31 @@ where
                 ratio: verified as f64 / candidates.max(1) as f64,
             });
 
-            // Remove verified candidates from the pool.
-            let claimed_set: std::collections::HashSet<usize> = claimed.into_iter().collect();
-            pool = pool
-                .into_iter()
-                .enumerate()
-                .filter(|(local, _)| !claimed_set.contains(local))
-                .map(|(_, g)| g)
-                .collect();
+            // Remove verified candidates from the pool (and keep the
+            // parallel feature buffers aligned with it).
+            let mut keep = vec![true; pool.len()];
+            for &local in &claimed {
+                keep[local] = false;
+            }
+            compact(&mut pool, &keep);
+            compact(&mut pool_feats, &keep);
+            compact(&mut pool_w, &keep);
         }
     }
     (rows, security_idx, nonsecurity_idx)
+}
+
+/// In-place retain-by-mask, preserving order.
+fn compact<T: Copy>(v: &mut Vec<T>, keep: &[bool]) {
+    debug_assert_eq!(v.len(), keep.len());
+    let mut w = 0usize;
+    for i in 0..v.len() {
+        if keep[i] {
+            v[w] = v[i];
+            w += 1;
+        }
+    }
+    v.truncate(w);
 }
 
 #[cfg(test)]
@@ -154,6 +232,97 @@ mod tests {
             truth.push(is_sec);
         }
         (seed, wild, truth)
+    }
+
+    /// The seed implementation (full clone + reweight every round) — the
+    /// incremental driver must match it output-for-output.
+    fn augment_rounds_naive<F>(
+        seed_features: &[FeatureVector],
+        wild_features: &[FeatureVector],
+        pools: &[PoolSpec],
+        mut verify: F,
+    ) -> (Vec<AugmentationRound>, Vec<usize>, Vec<usize>)
+    where
+        F: FnMut(usize) -> bool,
+    {
+        use patchdb_features::learn_weights;
+        let mut security: Vec<FeatureVector> = seed_features.to_vec();
+        let mut security_idx: Vec<usize> = Vec::new();
+        let mut nonsecurity_idx: Vec<usize> = Vec::new();
+        let mut rows = Vec::new();
+        let mut round_no = 0usize;
+        for pool_spec in pools {
+            let mut pool: Vec<usize> = pool_spec.members.clone();
+            for _ in 0..pool_spec.rounds {
+                round_no += 1;
+                let search_range = pool.len();
+                if search_range < security.len() {
+                    break;
+                }
+                let pool_feats: Vec<FeatureVector> =
+                    pool.iter().map(|&i| wild_features[i]).collect();
+                let weights = learn_weights(security.iter().chain(pool_feats.iter()));
+                let sec_w: Vec<FeatureVector> =
+                    security.iter().map(|v| apply_weights(v, &weights)).collect();
+                let pool_w: Vec<FeatureVector> =
+                    pool_feats.iter().map(|v| apply_weights(v, &weights)).collect();
+                let links = nearest_link_search(&sec_w, &pool_w);
+                let mut claimed: Vec<usize> = links.clone();
+                claimed.sort_unstable();
+                claimed.dedup();
+                let mut verified = 0usize;
+                for &local in &claimed {
+                    let global = pool[local];
+                    if verify(global) {
+                        verified += 1;
+                        security.push(wild_features[global]);
+                        security_idx.push(global);
+                    } else {
+                        nonsecurity_idx.push(global);
+                    }
+                }
+                let candidates = claimed.len();
+                rows.push(AugmentationRound {
+                    pool: pool_spec.name.clone(),
+                    round: round_no,
+                    search_range,
+                    candidates,
+                    verified_security: verified,
+                    ratio: verified as f64 / candidates.max(1) as f64,
+                });
+                let claimed_set: std::collections::HashSet<usize> =
+                    claimed.into_iter().collect();
+                pool = pool
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(local, _)| !claimed_set.contains(local))
+                    .map(|(_, g)| g)
+                    .collect();
+            }
+        }
+        (rows, security_idx, nonsecurity_idx)
+    }
+
+    #[test]
+    fn incremental_driver_matches_naive_reference() {
+        let (seed, wild, truth) = universe();
+        let pools = vec![
+            PoolSpec { name: "A".into(), members: (0..120).collect(), rounds: 3 },
+            PoolSpec { name: "B".into(), members: (120..200).collect(), rounds: 2 },
+        ];
+        let fast = augment_rounds(&seed, &wild, &pools, |i| truth[i]);
+        let naive = augment_rounds_naive(&seed, &wild, &pools, |i| truth[i]);
+        assert_eq!(fast.1, naive.1, "security partitions differ");
+        assert_eq!(fast.2, naive.2, "non-security partitions differ");
+        assert_eq!(fast.0.len(), naive.0.len());
+        for (a, b) in fast.0.iter().zip(&naive.0) {
+            assert_eq!(a.pool, b.pool);
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.search_range, b.search_range);
+            assert_eq!(a.candidates, b.candidates);
+            assert_eq!(a.verified_security, b.verified_security);
+            assert_eq!(a.ratio.to_bits(), b.ratio.to_bits());
+        }
     }
 
     #[test]
@@ -220,5 +389,15 @@ mod tests {
         assert_eq!(rows[0].pool, "A");
         assert_eq!(rows[1].pool, "B");
         assert!(rows[1].candidates >= rows[0].candidates);
+    }
+
+    #[test]
+    fn compact_retains_by_mask_in_order() {
+        let mut v = vec![10, 11, 12, 13, 14];
+        compact(&mut v, &[true, false, true, true, false]);
+        assert_eq!(v, vec![10, 12, 13]);
+        let mut empty: Vec<u8> = Vec::new();
+        compact(&mut empty, &[]);
+        assert!(empty.is_empty());
     }
 }

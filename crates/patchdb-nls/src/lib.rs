@@ -33,4 +33,7 @@ pub use augment::{augment_rounds, AugmentationRound, PoolSpec};
 pub use baselines::{
     brute_force_candidates, pseudo_label_candidates, uncertainty_candidates,
 };
-pub use search::{nearest_link_search, nearest_link_search_matrix, total_link_distance};
+pub use search::{
+    nearest_link_search, nearest_link_search_matrix, nearest_link_search_serial,
+    nearest_link_search_with, row_minima, total_link_distance, NlsConfig,
+};

@@ -5,17 +5,87 @@
 //! ("link") such that the total link distance is (greedily) minimized.
 //! Unlike k-NN, each wild patch may be claimed at most once — the paper is
 //! explicit about this distinction (Section III-B-3).
+//!
+//! ## How the fast path stays byte-identical to Algorithm 1
+//!
+//! The production entry point ([`nearest_link_search`]) parallelizes the
+//! `O(M·N)` init pass and prunes distance work, yet returns exactly what
+//! the faithful serial loop ([`nearest_link_search_serial`]) returns:
+//!
+//! * **Squared distances.** All comparisons happen on squared Euclidean
+//!   distances — the exact sum the hardware computes *before* the
+//!   rounding `sqrt`. `sqrt` is monotone, so the argmin is unchanged and
+//!   the comparison is strictly more precise.
+//! * **Per-row minima are order-independent.** Each security row's
+//!   k-best candidates are the k smallest `(d², wild index)` pairs under
+//!   lexicographic order — a well-defined set regardless of scan order or
+//!   thread count. Rows fan out across threads with
+//!   `patchdb_rt::par::map_chunked_indexed`, which reassembles results in
+//!   row order.
+//! * **Pruning only skips provable losers.** The norm lower bound
+//!   `d ≥ |‖s‖−‖w‖|` and the early-exit partial sums only discard
+//!   candidates whose squared distance provably exceeds the current k-th
+//!   best, so the surviving k-best set is identical. The norm bound keeps
+//!   a tiny relative slack ([`PRUNE_SLACK`]) to absorb the rounding in
+//!   the precomputed norms; early-exit partial sums are exact prefixes of
+//!   the final sum and need no slack.
+//! * **Ties break on the smaller index, everywhere.** This reproduces
+//!   the serial first-hit-wins scan and the `min_by` "first minimum"
+//!   rule, and makes the result independent of candidate visit order.
 
-use patchdb_features::{euclidean, FeatureVector};
+use patchdb_features::{squared_euclidean, FeatureVector};
+use patchdb_rt::par;
 
-/// Runs nearest link search matrix-free.
-///
-/// Faithful to Algorithm 1: per-row minima `U`/`V` are initialized in one
-/// pass, then M iterations pick the global minimum row, resolving column
-/// collisions by rescanning that row with claimed columns masked
-/// (`l_{c_j} ← inf`). Worst-case `O(M·N + M·C·N)` where `C` is the number
-/// of collisions (`≤ M`), matching the paper's `O(MN²)` bound without
-/// materializing the `M×N` matrix.
+/// Relative slack applied to the `(‖s‖−‖w‖)²` lower bound before pruning
+/// on it: candidates are skipped only when the bound *with slack* still
+/// exceeds the current k-th best squared distance. The norms are
+/// precomputed with a few ulps of rounding; the slack (many orders of
+/// magnitude larger than that rounding, many orders smaller than any
+/// real distance gap) guarantees pruning never drops a candidate the
+/// exhaustive scan would have kept.
+const PRUNE_SLACK: f64 = 1.0 - 1e-9;
+
+/// Dimensions accumulated between early-exit threshold checks.
+const EARLY_EXIT_STRIDE: usize = 15;
+
+/// How the nearest link search runs; output is identical for every
+/// configuration, only wall time changes.
+#[derive(Debug, Clone)]
+pub struct NlsConfig {
+    /// Worker threads for the init pass (the greedy assignment loop is
+    /// inherently sequential and always runs on the caller's thread).
+    pub threads: usize,
+    /// Enable norm-bound + early-exit distance pruning.
+    pub prune: bool,
+    /// Per-row candidate list length: collisions are resolved from this
+    /// list and fall back to a masked rescan only when all entries are
+    /// claimed. Clamped to at least 1.
+    pub k_best: usize,
+}
+
+impl NlsConfig {
+    /// The production configuration: pruned, with the worker count from
+    /// `PATCHDB_THREADS` / available parallelism (capped at 16).
+    pub fn auto() -> NlsConfig {
+        NlsConfig { threads: par::configured_threads(16), prune: true, k_best: 8 }
+    }
+
+    /// Single-threaded, unpruned, no candidate lists — the closest
+    /// configuration to the literal Algorithm 1 loop (used as the bench
+    /// baseline).
+    pub fn serial() -> NlsConfig {
+        NlsConfig { threads: 1, prune: false, k_best: 1 }
+    }
+}
+
+impl Default for NlsConfig {
+    fn default() -> NlsConfig {
+        NlsConfig::auto()
+    }
+}
+
+/// Runs nearest link search matrix-free with the production (parallel,
+/// pruned) configuration. See [`nearest_link_search_with`].
 ///
 /// Returns `c`, where `c[m]` is the index of the wild patch linked to
 /// security patch `m`. Every returned index is distinct.
@@ -25,6 +95,73 @@ use patchdb_features::{euclidean, FeatureVector};
 /// Panics when `wild.len() < security.len()` (the assignment needs at
 /// least M distinct columns) or when `security` is empty.
 pub fn nearest_link_search(security: &[FeatureVector], wild: &[FeatureVector]) -> Vec<usize> {
+    nearest_link_search_with(security, wild, &NlsConfig::auto())
+}
+
+/// Runs nearest link search matrix-free under an explicit configuration.
+///
+/// Faithful to Algorithm 1: per-row minima `U`/`V` are initialized in one
+/// (parallel, pruned) pass, then M iterations pick the global minimum
+/// row, resolving column collisions from the row's k-best candidate list
+/// with a masked rescan as the fallback (`l_{c_j} ← inf`). Worst-case
+/// `O(M·N + M·C·N)` where `C` is the number of collisions that exhaust
+/// their candidate list, matching the paper's `O(MN²)` bound without
+/// materializing the `M×N` matrix. Output bytes are independent of
+/// `config` — see the module docs for the equivalence argument.
+///
+/// # Panics
+///
+/// Panics when `wild.len() < security.len()` or `security` is empty.
+pub fn nearest_link_search_with(
+    security: &[FeatureVector],
+    wild: &[FeatureVector],
+    config: &NlsConfig,
+) -> Vec<usize> {
+    assert!(!security.is_empty(), "no security patches to link from");
+    assert!(
+        wild.len() >= security.len(),
+        "wild pool ({}) smaller than security set ({})",
+        wild.len(),
+        security.len()
+    );
+    let ws = Workspace::new(security, wild, config);
+    let lists = ws.init_pass();
+    ws.assign(lists)
+}
+
+/// The init pass alone (lines 1–3 of Algorithm 1): per-row minimum
+/// squared distance `U` and argmin column `V`, under `config`.
+///
+/// Exposed for the `perf_nls_scale` bench so the serial/parallel/pruned
+/// init variants can be timed in isolation; `U` holds squared distances.
+///
+/// # Panics
+///
+/// Panics when `security` or `wild` is empty.
+pub fn row_minima(
+    security: &[FeatureVector],
+    wild: &[FeatureVector],
+    config: &NlsConfig,
+) -> (Vec<f64>, Vec<usize>) {
+    assert!(!security.is_empty() && !wild.is_empty(), "empty NLS instance");
+    let ws = Workspace::new(security, wild, config);
+    let lists = ws.init_pass();
+    lists.iter().map(|l| (l[0].0, l[0].1)).unzip()
+}
+
+/// The faithful serial Algorithm 1 loop: one full `O(M·N)` init scan, a
+/// `min_by` global argmin per iteration, and full-row masked rescans on
+/// collision — no threads, no pruning, no candidate lists. Comparisons
+/// use squared distances (exact; see the module docs), so this is the
+/// reference the parallel+pruned path is property-tested against.
+///
+/// # Panics
+///
+/// Panics when `wild.len() < security.len()` or `security` is empty.
+pub fn nearest_link_search_serial(
+    security: &[FeatureVector],
+    wild: &[FeatureVector],
+) -> Vec<usize> {
     assert!(!security.is_empty(), "no security patches to link from");
     assert!(
         wild.len() >= security.len(),
@@ -39,7 +176,7 @@ pub fn nearest_link_search(security: &[FeatureVector], wild: &[FeatureVector]) -
     let mut v = vec![0usize; m_count];
     for (m, sec) in security.iter().enumerate() {
         for (n, w) in wild.iter().enumerate() {
-            let d = euclidean(sec, w);
+            let d = squared_euclidean(sec, w);
             if d < u[m] {
                 u[m] = d;
                 v[m] = n;
@@ -48,16 +185,23 @@ pub fn nearest_link_search(security: &[FeatureVector], wild: &[FeatureVector]) -
     }
 
     // Lines 5–17: greedy global assignment with lazy collision rescans.
+    // Assigned rows are masked out of the argmin rather than reset to ∞:
+    // identical for finite inputs (a live row always beats ∞), and it
+    // keeps NaN rows assignable (∞ orders *before* NaN under total_cmp,
+    // so an ∞ sentinel would win the argmin forever).
     let mut c = vec![usize::MAX; m_count];
     let mut used = vec![false; wild.len()];
+    let mut assigned = vec![false; m_count];
     for _ in 0..m_count {
-        // m0 ← argmin U
+        // m0 ← argmin U over live rows (first minimum wins; total_cmp
+        // keeps NaN inputs from panicking).
         let m0 = u
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+            .filter(|(i, _)| !assigned[*i])
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("non-empty U");
+            .expect("a live row remains");
         let mut n0 = v[m0];
         if used[n0] {
             // Rescan row m0 with used columns masked (lines 10–15).
@@ -67,7 +211,7 @@ pub fn nearest_link_search(security: &[FeatureVector], wild: &[FeatureVector]) -
                 if used[n] {
                     continue;
                 }
-                let d = euclidean(&security[m0], w);
+                let d = squared_euclidean(&security[m0], w);
                 if d < best {
                     best = d;
                     best_n = n;
@@ -77,14 +221,246 @@ pub fn nearest_link_search(security: &[FeatureVector], wild: &[FeatureVector]) -
         }
         c[m0] = n0;
         used[n0] = true;
-        u[m0] = f64::INFINITY;
+        assigned[m0] = true;
     }
     c
 }
 
+/// Shared state of one search invocation: the inputs plus (when pruning)
+/// per-vector norms and the wild indices sorted by norm.
+struct Workspace<'a> {
+    security: &'a [FeatureVector],
+    wild: &'a [FeatureVector],
+    k_best: usize,
+    threads: usize,
+    prune: bool,
+    /// `‖security[m]‖` per row (pruning only).
+    sec_norms: Vec<f64>,
+    /// Wild indices sorted by `(norm, index)` ascending (pruning only).
+    order: Vec<usize>,
+    /// `‖wild[order[i]]‖`, aligned with `order` (pruning only).
+    sorted_norms: Vec<f64>,
+    /// `wild[order[i]]`, physically reordered (pruning only): the
+    /// outward scan then reads two sequential streams instead of hopping
+    /// around the original array, which at 100K-patch pool sizes is the
+    /// difference between prefetched loads and a cache miss per
+    /// candidate.
+    sorted_wild: Vec<FeatureVector>,
+}
+
+impl<'a> Workspace<'a> {
+    fn new(security: &'a [FeatureVector], wild: &'a [FeatureVector], config: &NlsConfig) -> Self {
+        let threads = config.threads.max(1);
+        let (sec_norms, order, sorted_norms, sorted_wild) = if config.prune {
+            let sec_norms = par::map_chunked(security, threads, |v| norm(v));
+            let wild_norms = par::map_chunked(wild, threads, |v| norm(v));
+            let mut order: Vec<usize> = (0..wild.len()).collect();
+            order.sort_by(|&a, &b| wild_norms[a].total_cmp(&wild_norms[b]).then(a.cmp(&b)));
+            let sorted_norms: Vec<f64> = order.iter().map(|&i| wild_norms[i]).collect();
+            let sorted_wild: Vec<FeatureVector> = order.iter().map(|&i| wild[i]).collect();
+            (sec_norms, order, sorted_norms, sorted_wild)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+        };
+        Workspace {
+            security,
+            wild,
+            k_best: config.k_best.max(1),
+            threads,
+            prune: config.prune,
+            sec_norms,
+            order,
+            sorted_norms,
+            sorted_wild,
+        }
+    }
+
+    /// Per-row k-best candidate lists, rows fanned across threads.
+    fn init_pass(&self) -> Vec<Vec<(f64, usize)>> {
+        par::map_chunked_indexed(self.security, self.threads, |m, _| self.scan_row(m, None))
+    }
+
+    /// The k smallest `(d², index)` pairs of row `m`, optionally skipping
+    /// claimed columns. Visit-order independent by the lexicographic tie
+    /// rule, so the pruned and plain scans agree exactly.
+    fn scan_row(&self, m: usize, used: Option<&[bool]>) -> Vec<(f64, usize)> {
+        if self.prune {
+            self.scan_row_pruned(m, used)
+        } else {
+            self.scan_row_plain(m, used)
+        }
+    }
+
+    fn scan_row_plain(&self, m: usize, used: Option<&[bool]>) -> Vec<(f64, usize)> {
+        let sec = &self.security[m];
+        let mut list: Vec<(f64, usize)> = Vec::with_capacity(self.k_best);
+        for (n, w) in self.wild.iter().enumerate() {
+            if used.is_some_and(|u| u[n]) {
+                continue;
+            }
+            push_candidate(&mut list, self.k_best, squared_euclidean(sec, w), n);
+        }
+        list
+    }
+
+    fn scan_row_pruned(&self, m: usize, used: Option<&[bool]>) -> Vec<(f64, usize)> {
+        let sec = &self.security[m];
+        let sn = self.sec_norms[m];
+        let n_count = self.order.len();
+        let mut list: Vec<(f64, usize)> = Vec::with_capacity(self.k_best);
+
+        // Expand outward from the security row's position in the norm
+        // ordering; each side stops for good once its norm gap alone
+        // proves every remaining candidate is a loser.
+        let start = self.sorted_norms.partition_point(|&w| w < sn);
+        let mut left = start;
+        let mut right = start;
+        loop {
+            let tau = threshold(&list, self.k_best);
+            let left_gap = if left > 0 { Some(sn - self.sorted_norms[left - 1]) } else { None };
+            let right_gap =
+                if right < n_count { Some(self.sorted_norms[right] - sn) } else { None };
+            let (pos, gap, from_left) = match (left_gap, right_gap) {
+                (Some(lg), Some(rg)) if lg <= rg => (left - 1, lg, true),
+                (Some(lg), None) => (left - 1, lg, true),
+                (_, Some(rg)) => (right, rg, false),
+                (None, None) => break,
+            };
+            if gap * gap * PRUNE_SLACK > tau {
+                // The gap only grows in this direction; retire the side.
+                if from_left {
+                    left = 0;
+                    if right >= n_count {
+                        break;
+                    }
+                } else {
+                    right = n_count;
+                    if left == 0 {
+                        break;
+                    }
+                }
+                continue;
+            }
+            let idx = self.order[pos];
+            if !used.is_some_and(|u| u[idx]) {
+                if let Some(d2) = early_exit_d2(sec, &self.sorted_wild[pos], tau) {
+                    push_candidate(&mut list, self.k_best, d2, idx);
+                }
+            }
+            if from_left {
+                left -= 1;
+            } else {
+                right += 1;
+            }
+        }
+        list
+    }
+
+    /// Masked full rescan of row `m` (Algorithm 1 lines 10–15): the
+    /// minimum `(d², index)` over unclaimed columns.
+    fn rescan(&self, m: usize, used: &[bool]) -> usize {
+        let saved = self.scan_row(m, Some(used));
+        saved.first().map(|&(_, n)| n).expect("rescan with no unclaimed columns")
+    }
+
+    /// Lines 5–17: the greedy global assignment, sequential by design.
+    fn assign(&self, lists: Vec<Vec<(f64, usize)>>) -> Vec<usize> {
+        let m_count = lists.len();
+        // U keeps each row's *initial* minimum until the row is assigned
+        // (lazy staleness, exactly as the serial loop behaves); assigned
+        // rows leave the argmin via the mask, matching the serial loop.
+        let u: Vec<f64> = lists.iter().map(|l| l[0].0).collect();
+        let mut cursor = vec![0usize; m_count];
+        let mut c = vec![usize::MAX; m_count];
+        let mut used = vec![false; self.wild.len()];
+        let mut assigned = vec![false; m_count];
+        for _ in 0..m_count {
+            // m0 ← argmin U over live rows, first minimum wins (NaN-safe
+            // via total_cmp).
+            let mut m0 = usize::MAX;
+            for i in 0..m_count {
+                if assigned[i] {
+                    continue;
+                }
+                if m0 == usize::MAX || u[i].total_cmp(&u[m0]) == std::cmp::Ordering::Less {
+                    m0 = i;
+                }
+            }
+            // Claimed columns stay claimed, so the cursor only advances.
+            let list = &lists[m0];
+            let mut cur = cursor[m0];
+            while cur < list.len() && used[list[cur].1] {
+                cur += 1;
+            }
+            cursor[m0] = cur;
+            let n0 = if cur < list.len() { list[cur].1 } else { self.rescan(m0, &used) };
+            c[m0] = n0;
+            used[n0] = true;
+            assigned[m0] = true;
+        }
+        c
+    }
+}
+
+/// `‖v‖` — used only for the pruning lower bound, never for output
+/// values.
+fn norm(v: &FeatureVector) -> f64 {
+    v.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// The current pruning threshold: the k-th best squared distance once
+/// the list is full, else ∞.
+fn threshold(list: &[(f64, usize)], k: usize) -> f64 {
+    if list.len() == k { list[k - 1].0 } else { f64::INFINITY }
+}
+
+/// Squared distance with early exit: accumulates in exactly the
+/// [`squared_euclidean`] summation order, abandoning once the partial sum
+/// strictly exceeds `tau` (squares are non-negative, so the final sum
+/// could only be larger — and a candidate at exactly `tau` may still win
+/// an index tie, hence the strict comparison).
+fn early_exit_d2(a: &FeatureVector, b: &FeatureVector, tau: f64) -> Option<f64> {
+    let mut acc = 0.0f64;
+    let xs = a.as_slice();
+    let ys = b.as_slice();
+    let mut i = 0;
+    while i < xs.len() {
+        let end = (i + EARLY_EXIT_STRIDE).min(xs.len());
+        while i < end {
+            let d = xs[i] - ys[i];
+            acc += d * d;
+            i += 1;
+        }
+        if acc > tau {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// Inserts `(d2, idx)` into an ascending k-best list under lexicographic
+/// `(d², index)` order, dropping the worst entry when over capacity.
+fn push_candidate(list: &mut Vec<(f64, usize)>, k: usize, d2: f64, idx: usize) {
+    if list.len() == k {
+        let (ld, li) = list[k - 1];
+        if !(d2 < ld || (d2 == ld && idx < li)) {
+            return;
+        }
+    }
+    let pos = list
+        .iter()
+        .position(|&(ld, li)| ld > d2 || (ld == d2 && li > idx))
+        .unwrap_or(list.len());
+    list.insert(pos, (d2, idx));
+    if list.len() > k {
+        list.pop();
+    }
+}
+
 /// Reference implementation over an explicit distance matrix
 /// `d[m][n]` — used to cross-check the matrix-free version and by the
-/// ablation benches.
+/// ablation benches. Feed it squared distances to compare against
+/// [`nearest_link_search`] exactly (the comparison space must match).
 ///
 /// # Panics
 ///
@@ -103,7 +479,7 @@ pub fn nearest_link_search_matrix(d: &[Vec<f64>]) -> Vec<usize> {
         let (n, val) = row
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty row");
         u.push(*val);
         v.push(n);
@@ -111,13 +487,15 @@ pub fn nearest_link_search_matrix(d: &[Vec<f64>]) -> Vec<usize> {
 
     let mut c = vec![usize::MAX; m_count];
     let mut used = vec![false; n_count];
+    let mut assigned = vec![false; m_count];
     for _ in 0..m_count {
         let m0 = u
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .filter(|(i, _)| !assigned[*i])
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("non-empty U");
+            .expect("a live row remains");
         let mut n0 = v[m0];
         if used[n0] {
             let mut best = f64::INFINITY;
@@ -132,13 +510,13 @@ pub fn nearest_link_search_matrix(d: &[Vec<f64>]) -> Vec<usize> {
         }
         c[m0] = n0;
         used[n0] = true;
-        u[m0] = f64::INFINITY;
+        assigned[m0] = true;
     }
     c
 }
 
 /// Total distance of a set of links — the objective Algorithm 1 greedily
-/// minimizes.
+/// minimizes (reported as a true Euclidean distance, not squared).
 pub fn total_link_distance(
     security: &[FeatureVector],
     wild: &[FeatureVector],
@@ -147,7 +525,7 @@ pub fn total_link_distance(
     security
         .iter()
         .zip(links)
-        .map(|(s, &n)| euclidean(s, &wild[n]))
+        .map(|(s, &n)| patchdb_features::euclidean(s, &wild[n]))
         .sum()
 }
 
@@ -204,9 +582,69 @@ mod tests {
             (0..120).map(|_| fv(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen()])).collect();
         let matrix: Vec<Vec<f64>> = sec
             .iter()
-            .map(|s| wild.iter().map(|w| patchdb_features::euclidean(s, w)).collect())
+            .map(|s| wild.iter().map(|w| squared_euclidean(s, w)).collect())
             .collect();
         assert_eq!(nearest_link_search(&sec, &wild), nearest_link_search_matrix(&matrix));
+    }
+
+    #[test]
+    fn all_configs_agree_with_the_serial_reference() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        // Duplicated points force exact distance ties and collisions.
+        let palette: Vec<FeatureVector> =
+            (0..12).map(|_| fv(&[rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)])).collect();
+        let sec: Vec<FeatureVector> =
+            (0..30).map(|_| palette[rng.gen_range(0..palette.len() as u64) as usize]).collect();
+        let wild: Vec<FeatureVector> =
+            (0..90).map(|_| palette[rng.gen_range(0..palette.len() as u64) as usize]).collect();
+        let reference = nearest_link_search_serial(&sec, &wild);
+        for threads in [1usize, 2, 8] {
+            for prune in [false, true] {
+                for k_best in [1usize, 2, 8] {
+                    let cfg = NlsConfig { threads, prune, k_best };
+                    assert_eq!(
+                        nearest_link_search_with(&sec, &wild, &cfg),
+                        reference,
+                        "threads={threads} prune={prune} k_best={k_best}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_minima_matches_serial_init() {
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
+        let sec: Vec<FeatureVector> =
+            (0..20).map(|_| fv(&[rng.gen_range(-3.0..3.0), rng.gen()])).collect();
+        let wild: Vec<FeatureVector> =
+            (0..150).map(|_| fv(&[rng.gen_range(-3.0..3.0), rng.gen()])).collect();
+        let (serial_u, serial_v) = row_minima(&sec, &wild, &NlsConfig::serial());
+        for cfg in [
+            NlsConfig { threads: 4, prune: false, k_best: 8 },
+            NlsConfig { threads: 4, prune: true, k_best: 8 },
+            NlsConfig { threads: 1, prune: true, k_best: 2 },
+        ] {
+            let (u, v) = row_minima(&sec, &wild, &cfg);
+            assert_eq!(serial_v, v, "argmin drift under {cfg:?}");
+            for (a, b) in serial_u.iter().zip(&u) {
+                assert_eq!(a.to_bits(), b.to_bits(), "distance drift under {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_features_do_not_panic() {
+        // A NaN feature must not crash the argmin (total_cmp orders NaN
+        // after infinity); links stay valid and distinct.
+        let mut bad = fv(&[1.0, 2.0]);
+        bad.as_mut_slice()[2] = f64::NAN;
+        let sec = vec![fv(&[0.0, 0.0]), bad];
+        let wild = vec![fv(&[0.1, 0.0]), fv(&[5.0, 5.0]), bad];
+        let links = nearest_link_search(&sec, &wild);
+        assert_eq!(links.len(), 2);
+        assert_ne!(links[0], links[1]);
+        assert!(links.iter().all(|&n| n < wild.len()));
     }
 
     #[test]
@@ -250,5 +688,32 @@ mod tests {
         let mut all = links.clone();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn push_candidate_keeps_lexicographic_k_best() {
+        let mut list = Vec::new();
+        push_candidate(&mut list, 2, 4.0, 7);
+        push_candidate(&mut list, 2, 1.0, 9);
+        push_candidate(&mut list, 2, 4.0, 3); // ties on d², smaller index wins
+        assert_eq!(list, vec![(1.0, 9), (4.0, 3)]);
+        push_candidate(&mut list, 2, 4.0, 5); // worse than both — dropped
+        assert_eq!(list, vec![(1.0, 9), (4.0, 3)]);
+        push_candidate(&mut list, 2, 0.5, 1);
+        assert_eq!(list, vec![(0.5, 1), (1.0, 9)]);
+    }
+
+    #[test]
+    fn early_exit_matches_full_sum_when_completed() {
+        let a = fv(&[1.0, -2.0, 3.5, 0.25]);
+        let b = fv(&[-0.5, 2.0, 3.0, 4.0]);
+        let full = squared_euclidean(&a, &b);
+        let computed = early_exit_d2(&a, &b, f64::INFINITY).unwrap();
+        assert_eq!(full.to_bits(), computed.to_bits());
+        // A threshold below the final value abandons the candidate.
+        assert_eq!(early_exit_d2(&a, &b, full * 0.5), None);
+        // A threshold exactly at the final value must NOT abandon it (the
+        // candidate may still win an index tie).
+        assert_eq!(early_exit_d2(&a, &b, full), Some(full));
     }
 }

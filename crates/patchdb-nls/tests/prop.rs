@@ -4,8 +4,11 @@
 
 use patchdb_rt::check::{check, Gen};
 
-use patchdb_features::{euclidean, FeatureVector};
-use patchdb_nls::{nearest_link_search, nearest_link_search_matrix, total_link_distance};
+use patchdb_features::{euclidean, squared_euclidean, FeatureVector};
+use patchdb_nls::{
+    nearest_link_search, nearest_link_search_matrix, nearest_link_search_serial,
+    nearest_link_search_with, row_minima, total_link_distance, NlsConfig,
+};
 
 const CASES: u32 = 128;
 
@@ -43,7 +46,9 @@ fn links_are_valid() {
     });
 }
 
-/// Matrix-free and explicit-matrix implementations agree exactly.
+/// Matrix-free and explicit-matrix implementations agree exactly. The
+/// matrix is fed squared distances because that is the (exact) space the
+/// matrix-free search compares in.
 #[test]
 fn implementations_agree() {
     check("implementations_agree", CASES, |g| {
@@ -51,9 +56,75 @@ fn implementations_agree() {
         let wild = points(g, 20, 39);
         let matrix: Vec<Vec<f64>> = sec
             .iter()
-            .map(|s| wild.iter().map(|w| euclidean(s, w)).collect())
+            .map(|s| wild.iter().map(|w| squared_euclidean(s, w)).collect())
             .collect();
         assert_eq!(nearest_link_search(&sec, &wild), nearest_link_search_matrix(&matrix));
+    });
+}
+
+/// Tie-heavy instances: points drawn from a small palette so exact
+/// duplicate distances (and heavy collisions) are guaranteed.
+fn palette_points(g: &mut Gen, palette: &[FeatureVector], min: usize, max: usize) -> Vec<FeatureVector> {
+    let n = g.usize_in(min, max);
+    (0..n).map(|_| palette[g.index(palette.len())]).collect()
+}
+
+/// The parallel + pruned search equals the faithful serial Algorithm 1
+/// loop *and* the explicit-matrix reference for every configuration —
+/// thread counts 1/2/8, pruning on/off, several candidate-list lengths —
+/// including on tie-heavy instances.
+#[test]
+fn configs_agree_with_serial_and_matrix() {
+    check("configs_agree_with_serial_and_matrix", CASES, |g| {
+        let (sec, wild) = if g.bool() {
+            (points(g, 1, 12), points(g, 16, 31))
+        } else {
+            let palette = points(g, 4, 9);
+            (palette_points(g, &palette, 1, 12), palette_points(g, &palette, 16, 31))
+        };
+        let reference = nearest_link_search_serial(&sec, &wild);
+        let matrix: Vec<Vec<f64>> = sec
+            .iter()
+            .map(|s| wild.iter().map(|w| squared_euclidean(s, w)).collect())
+            .collect();
+        assert_eq!(reference, nearest_link_search_matrix(&matrix), "serial vs matrix");
+        for threads in [1usize, 2, 8] {
+            for prune in [false, true] {
+                for k_best in [1usize, 4] {
+                    let cfg = NlsConfig { threads, prune, k_best };
+                    assert_eq!(
+                        nearest_link_search_with(&sec, &wild, &cfg),
+                        reference,
+                        "threads={threads} prune={prune} k_best={k_best}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// The init pass (`row_minima`) is bitwise identical across
+/// configurations: same argmin columns, same squared distances.
+#[test]
+fn row_minima_bitwise_stable() {
+    check("row_minima_bitwise_stable", CASES, |g| {
+        let sec = points(g, 1, 10);
+        let wild = points(g, 12, 47);
+        let (u0, v0) = row_minima(&sec, &wild, &NlsConfig::serial());
+        for threads in [2usize, 8] {
+            for prune in [false, true] {
+                let cfg = NlsConfig { threads, prune, k_best: 8 };
+                let (u, v) = row_minima(&sec, &wild, &cfg);
+                assert_eq!(v0, v, "argmin drift: threads={threads} prune={prune}");
+                for (a, b) in u0.iter().zip(&u) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "distance drift: threads={threads} prune={prune}"
+                    );
+                }
+            }
+        }
     });
 }
 

@@ -2,10 +2,12 @@
 
 use std::collections::HashMap;
 
+use patch_core::Patch;
 use patchdb_corpus::{CorpusConfig, GitHubForge, VerificationOracle};
 use patchdb_features::{extract, FeatureVector, RepoContext};
 use patchdb_mine::{collect_wild, mine_nvd, sample_wild, WildCommit};
 use patchdb_nls::{augment_rounds, AugmentationRound, PoolSpec};
+use patchdb_rt::par;
 use patchdb_synth::{synthesize, SynthOptions};
 
 use crate::dataset::{PatchDb, PatchRecord, Source, SyntheticRecord};
@@ -98,7 +100,13 @@ impl PatchDb {
 
     /// Runs the pipeline against an existing forge (lets callers reuse one
     /// forge across experiments).
+    ///
+    /// The per-commit materialize+extract pass and the synthesis pass fan
+    /// out across `PATCHDB_THREADS` workers (order-preserving, so output
+    /// is byte-identical at any thread count); the verification oracle is
+    /// always consulted serially, in deterministic candidate order.
     pub fn build_on(forge: &GitHubForge, options: &BuildOptions) -> BuildReport {
+        let threads = par::configured_threads(16);
         let contexts: HashMap<&str, RepoContext> = forge
             .repos()
             .iter()
@@ -136,15 +144,17 @@ impl PatchDb {
         let sampled = sample_wild(&wild, total_pool.min(wild.len()), options.seed ^ 0x9e37);
 
         // Features for every pooled wild commit (cleaned patches; commits
-        // with no C/C++ content keep their raw patch features).
-        let mut universe: Vec<&WildCommit> = Vec::with_capacity(sampled.len());
-        let mut universe_features: Vec<FeatureVector> = Vec::with_capacity(sampled.len());
-        for w in &sampled {
+        // with no C/C++ content keep their raw patch features). Each
+        // commit is materialized exactly once here and the cleaned patch
+        // kept, so record assembly below never re-materializes.
+        let universe: Vec<&WildCommit> = sampled.iter().collect();
+        let prepared: Vec<(FeatureVector, Patch)> = par::map_chunked(&sampled, threads, |w| {
             let change = forge.materialize(w.commit);
             let patch = change.patch.retain_c_files().unwrap_or(change.patch);
-            universe_features.push(extract(&patch, Some(&w.repo_context())));
-            universe.push(w);
-        }
+            (extract(&patch, Some(&w.repo_context())), patch)
+        });
+        let (universe_features, universe_patches): (Vec<FeatureVector>, Vec<Patch>) =
+            prepared.into_iter().unzip();
 
         // Carve the universe into the configured pools, in order.
         let mut pools = Vec::new();
@@ -170,8 +180,7 @@ impl PatchDb {
 
         let to_record = |i: usize, source: Source| -> PatchRecord {
             let w = universe[i];
-            let change = forge.materialize(w.commit);
-            let patch = change.patch.retain_c_files().unwrap_or(change.patch);
+            let patch = universe_patches[i].clone();
             PatchRecord {
                 commit: w.commit.id,
                 repo: w.repo.name.clone(),
@@ -188,39 +197,47 @@ impl PatchDb {
         let nonsec_records: Vec<PatchRecord> =
             nonsec_idx.iter().map(|&i| to_record(i, Source::NonSecurity)).collect();
 
-        // ── Step 4: the synthetic dataset.
+        // ── Step 4: the synthetic dataset. Each source record is an
+        // independent synthesis job; fan them out in input order (the
+        // flattened result is then identical to the serial loop).
         let mut synthetic = Vec::new();
         if options.synthesize {
             let synth_opts = SynthOptions {
                 max_per_patch: options.synth_cap,
                 ..SynthOptions::default()
             };
-            let mut synth_for = |record: &PatchRecord, is_security: bool| {
-                let Some((_, commit)) = forge.find_commit(&record.repo, &record.commit) else {
-                    return;
-                };
-                let change = forge.materialize(commit);
-                for s in synthesize(
-                    &record.patch,
-                    &change.before_files,
-                    &change.after_files,
-                    &synth_opts,
-                ) {
-                    let features = extract(&s.patch, contexts.get(record.repo.as_str()));
-                    synthetic.push(SyntheticRecord {
-                        patch: s.patch,
-                        derived_from: record.commit,
-                        is_security,
-                        features,
-                    });
-                }
-            };
-            for r in nvd_records.iter().chain(&wild_records) {
-                synth_for(r, true);
-            }
-            for r in &nonsec_records {
-                synth_for(r, false);
-            }
+            let jobs: Vec<(&PatchRecord, bool)> = nvd_records
+                .iter()
+                .chain(&wild_records)
+                .map(|r| (r, true))
+                .chain(nonsec_records.iter().map(|r| (r, false)))
+                .collect();
+            let batches: Vec<Vec<SyntheticRecord>> =
+                par::map_chunked(&jobs, threads, |&(record, is_security)| {
+                    let Some((_, commit)) = forge.find_commit(&record.repo, &record.commit)
+                    else {
+                        return Vec::new();
+                    };
+                    let change = forge.materialize(commit);
+                    synthesize(
+                        &record.patch,
+                        &change.before_files,
+                        &change.after_files,
+                        &synth_opts,
+                    )
+                    .into_iter()
+                    .map(|s| {
+                        let features = extract(&s.patch, contexts.get(record.repo.as_str()));
+                        SyntheticRecord {
+                            patch: s.patch,
+                            derived_from: record.commit,
+                            is_security,
+                            features,
+                        }
+                    })
+                    .collect()
+                });
+            synthetic = batches.into_iter().flatten().collect();
         }
 
         let effort = oracle.effort();

@@ -47,6 +47,34 @@ fn json_export_is_byte_identical_and_canonical() {
     assert_eq!(ja, jc, "load → export round trip changed bytes");
 }
 
+/// The thread count steers wall time only: builds under
+/// `PATCHDB_THREADS=1` and `PATCHDB_THREADS=8` export byte-identical
+/// JSON. (The env var is process-global, so this test serializes the two
+/// builds itself rather than relying on test-runner ordering; the other
+/// tests in this file are thread-count agnostic by the same property, so
+/// a concurrently observed override is harmless.)
+#[test]
+fn thread_count_does_not_change_output() {
+    let run_with = |threads: &str| {
+        std::env::set_var("PATCHDB_THREADS", threads);
+        let report = PatchDb::build(&BuildOptions::tiny(1234));
+        std::env::remove_var("PATCHDB_THREADS");
+        report
+    };
+    let single = run_with("1");
+    let many = run_with("8");
+    assert_eq!(
+        single.db.to_json().expect("export single-threaded"),
+        many.db.to_json().expect("export multi-threaded"),
+        "thread count changed output bytes"
+    );
+    assert_eq!(single.verification_effort, many.verification_effort);
+    assert_eq!(single.rounds.len(), many.rounds.len());
+    for (ra, rb) in single.rounds.iter().zip(&many.rounds) {
+        assert_eq!(ra.ratio.to_bits(), rb.ratio.to_bits());
+    }
+}
+
 /// Different seeds must actually change the dataset (the determinism
 /// above is not just a constant function).
 #[test]

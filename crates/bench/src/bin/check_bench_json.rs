@@ -1,6 +1,17 @@
-//! CI guard for the perf-trajectory artifacts: asserts a bench JSON file
-//! (e.g. `BENCH_nls.json`) parses with `patchdb_rt::json` and carries a
-//! non-empty `results` array. Exits non-zero with a diagnostic otherwise.
+//! CI guard for the machine-readable report artifacts: a generic
+//! validator that parses a report with `patchdb_rt::json`, dispatches on
+//! its top-level `schema` tag, and schema-checks it.
+//!
+//! * `patchdb-bench-nls/v1` (BENCH_nls.json) — non-empty `results`
+//!   array, each entry carrying `name`/`median_ns`.
+//! * `patchdb-trace/v1` (TRACE_build.json) — spans nest (every node is
+//!   an object with `name`/`ns`/`children`), durations are non-negative,
+//!   counter names are unique with non-negative integer values, and each
+//!   histogram's `count` equals the sum of its buckets.
+//!
+//! A file without a `schema` tag falls back to the bench checks (the
+//! pre-tag BENCH_nls.json format). Exits non-zero with a diagnostic on
+//! any violation.
 
 use std::process::ExitCode;
 
@@ -25,20 +36,104 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some(results) = json.get("results").and_then(|r| r.as_arr()) else {
-        eprintln!("check-bench-json: {path} has no `results` array");
-        return ExitCode::FAILURE;
+    let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
+    let outcome = match schema {
+        "patchdb-trace/v1" => check_trace(&json),
+        "patchdb-bench-nls/v1" | "" => check_bench(&json),
+        other => Err(format!("unknown schema tag {other:?}")),
     };
+    match outcome {
+        Ok(summary) => {
+            println!("check-bench-json: {path} ok ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check-bench-json: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check_bench(json: &Json) -> Result<String, String> {
+    let results = json
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .ok_or("no `results` array")?;
     if results.is_empty() {
-        eprintln!("check-bench-json: {path} has an empty `results` array");
-        return ExitCode::FAILURE;
+        return Err("empty `results` array".into());
     }
     for (i, r) in results.iter().enumerate() {
         if r.get("name").is_none() || r.get("median_ns").and_then(Json::as_f64).is_none() {
-            eprintln!("check-bench-json: {path} result #{i} lacks name/median_ns");
-            return ExitCode::FAILURE;
+            return Err(format!("result #{i} lacks name/median_ns"));
         }
     }
-    println!("check-bench-json: {path} ok ({} results)", results.len());
-    ExitCode::SUCCESS
+    Ok(format!("{} results", results.len()))
+}
+
+fn check_trace(json: &Json) -> Result<String, String> {
+    let spans = json.get("spans").and_then(|s| s.as_arr()).ok_or("no `spans` array")?;
+    if spans.is_empty() {
+        return Err("empty `spans` array".into());
+    }
+    let mut span_count = 0usize;
+    for (i, s) in spans.iter().enumerate() {
+        check_span(s, &format!("spans[{i}]"), &mut span_count)?;
+    }
+
+    let Some(Json::Obj(counters)) = json.get("counters") else {
+        return Err("no `counters` object".into());
+    };
+    let mut seen = std::collections::HashSet::new();
+    for (name, value) in counters {
+        if !seen.insert(name.as_str()) {
+            return Err(format!("duplicate counter name {name:?}"));
+        }
+        let v = value.as_f64().ok_or(format!("counter {name:?} is not a number"))?;
+        if !(v >= 0.0 && v.fract() == 0.0) {
+            return Err(format!("counter {name:?} = {v} is not a non-negative integer"));
+        }
+    }
+
+    let Some(Json::Obj(hists)) = json.get("histograms") else {
+        return Err("no `histograms` object".into());
+    };
+    for (name, h) in hists {
+        let count = h.get("count").and_then(Json::as_f64);
+        let buckets = h.get("buckets").and_then(|b| b.as_arr());
+        let (Some(count), Some(buckets)) = (count, buckets) else {
+            return Err(format!("histogram {name:?} lacks count/buckets"));
+        };
+        let mut total = 0.0;
+        for b in buckets {
+            let v = b.as_f64().ok_or(format!("histogram {name:?} has a non-numeric bucket"))?;
+            if v < 0.0 {
+                return Err(format!("histogram {name:?} has a negative bucket"));
+            }
+            total += v;
+        }
+        if total != count {
+            return Err(format!("histogram {name:?}: bucket sum {total} != count {count}"));
+        }
+    }
+
+    Ok(format!("{span_count} spans, {} counters, {} histograms", counters.len(), hists.len()))
+}
+
+/// One span node: `name` string, non-negative `ns`, `children` array of
+/// span nodes — the recursion itself verifies the tree nests.
+fn check_span(s: &Json, at: &str, span_count: &mut usize) -> Result<(), String> {
+    *span_count += 1;
+    if s.get("name").and_then(Json::as_str).is_none() {
+        return Err(format!("{at} lacks a string `name`"));
+    }
+    let ns = s.get("ns").and_then(Json::as_f64).ok_or(format!("{at} lacks a numeric `ns`"))?;
+    if ns < 0.0 {
+        return Err(format!("{at} has negative duration {ns}"));
+    }
+    let children =
+        s.get("children").and_then(|c| c.as_arr()).ok_or(format!("{at} lacks `children`"))?;
+    for (i, c) in children.iter().enumerate() {
+        check_span(c, &format!("{at}.children[{i}]"), span_count)?;
+    }
+    Ok(())
 }

@@ -34,6 +34,8 @@ impl RandomForest {
 
 impl Classifier for RandomForest {
     fn fit(&mut self, data: &Dataset) {
+        let _span = patchdb_rt::obs::span("ml.forest.fit");
+        patchdb_rt::obs::counter_add("ml.forest.trees", self.n_trees as u64);
         let mtry = ((data.width() as f64).sqrt().ceil() as usize).max(1);
         let params = GrowParams {
             criterion: SplitCriterion::Gini,
@@ -57,9 +59,17 @@ impl Classifier for RandomForest {
 
         let threads = patchdb_rt::par::configured_threads(8);
         if self.n_trees >= 8 && data.len() >= 512 && threads > 1 {
+            // Worker-thread spans would land as disconnected roots, so the
+            // parallel path reports at fit granularity only.
             self.trees = patchdb_rt::par::map_chunked(&seeds, threads, |&s| fit_one(s));
         } else {
-            self.trees = seeds.into_iter().map(fit_one).collect();
+            self.trees = seeds
+                .into_iter()
+                .map(|s| {
+                    let _t = patchdb_rt::obs::span("ml.forest.tree");
+                    fit_one(s)
+                })
+                .collect();
         }
     }
 

@@ -2,6 +2,7 @@
 //! Pegasos-style linear SVM, and the voted perceptron — four of the ten
 //! classifiers in the paper's uncertainty ensemble.
 
+use patchdb_rt::obs;
 use patchdb_rt::rng::SliceRandom;
 use patchdb_rt::rng::Xoshiro256pp;
 
@@ -66,6 +67,8 @@ impl LogisticRegression {
 
 impl Classifier for LogisticRegression {
     fn fit(&mut self, data: &Dataset) {
+        let _span = obs::span("ml.logreg.fit");
+        obs::counter_add("ml.epochs", self.epochs as u64);
         let _ = self.seed; // deterministic full-batch; seed kept for API parity
         self.state.scaler = Standardizer::fit(data);
         let rows: Vec<Vec<f64>> =
@@ -121,6 +124,8 @@ impl SgdClassifier {
 
 impl Classifier for SgdClassifier {
     fn fit(&mut self, data: &Dataset) {
+        let _span = obs::span("ml.sgd.fit");
+        obs::counter_add("ml.epochs", self.epochs as u64);
         self.state.scaler = Standardizer::fit(data);
         let rows: Vec<Vec<f64>> =
             data.rows().iter().map(|r| self.state.scaler.transform(r)).collect();
@@ -174,6 +179,8 @@ impl LinearSvm {
 
 impl Classifier for LinearSvm {
     fn fit(&mut self, data: &Dataset) {
+        let _span = obs::span("ml.svm.fit");
+        obs::counter_add("ml.epochs", self.epochs as u64);
         self.state.scaler = Standardizer::fit(data);
         let rows: Vec<Vec<f64>> =
             data.rows().iter().map(|r| self.state.scaler.transform(r)).collect();
@@ -237,6 +244,8 @@ impl VotedPerceptron {
 
 impl Classifier for VotedPerceptron {
     fn fit(&mut self, data: &Dataset) {
+        let _span = obs::span("ml.perceptron.fit");
+        obs::counter_add("ml.epochs", self.epochs as u64);
         self.scaler = Standardizer::fit(data);
         let rows: Vec<Vec<f64>> = data.rows().iter().map(|r| self.scaler.transform(r)).collect();
         let w = data.width();

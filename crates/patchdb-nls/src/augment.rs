@@ -15,7 +15,7 @@ use patchdb_features::{
     apply_weights, max_abs, merge_max_abs, weights_from_max_abs, FeatureVector, Weights,
     FEATURE_DIM,
 };
-use patchdb_rt::par;
+use patchdb_rt::{obs, par};
 
 use crate::search::nearest_link_search;
 
@@ -107,6 +107,19 @@ where
                 // Pool exhausted below the candidate count: stop this pool.
                 break;
             }
+            let tracing = obs::enabled();
+            let _round_span =
+                obs::span(format!("round {round_no:02} [{}]", pool_spec.name));
+            // Per-round NLS efficiency: snapshot the global counters
+            // around the search and bank the deltas under round-scoped
+            // names (the examples print "comparisons avoided %" off
+            // these). Saturating subtraction guards against concurrent
+            // traced builds in tests.
+            let (ev0, pr0) = if tracing {
+                (obs::counter_value("nls.dist_evaluated"), obs::counter_value("nls.pruned_norm"))
+            } else {
+                (0, 0)
+            };
 
             // Weight over the joint population in play this round. The
             // pool statistic is refolded (the pool shrinks, so its max
@@ -144,6 +157,12 @@ where
             }
 
             let links = nearest_link_search(&sec_w, &pool_w);
+            if tracing {
+                let ev = obs::counter_value("nls.dist_evaluated").saturating_sub(ev0);
+                let pr = obs::counter_value("nls.pruned_norm").saturating_sub(pr0);
+                obs::counter_add(&format!("nls.round{round_no:02}.dist_evaluated"), ev);
+                obs::counter_add(&format!("nls.round{round_no:02}.pruned_norm"), pr);
+            }
 
             // The search guarantees distinct columns; sorting them is the
             // deterministic (ascending pool index) verification order.
@@ -167,6 +186,10 @@ where
                 }
             }
             let candidates = claimed.len();
+            if tracing {
+                obs::counter_add("augment.candidates", candidates as u64);
+                obs::counter_add("augment.verified", verified as u64);
+            }
             rows.push(AugmentationRound {
                 pool: pool_spec.name.clone(),
                 round: round_no,

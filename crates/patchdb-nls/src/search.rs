@@ -34,7 +34,7 @@
 //!   rule, and makes the result independent of candidate visit order.
 
 use patchdb_features::{squared_euclidean, FeatureVector};
-use patchdb_rt::par;
+use patchdb_rt::{obs, par};
 
 /// Relative slack applied to the `(‖s‖−‖w‖)²` lower bound before pruning
 /// on it: candidates are skipped only when the bound *with slack* still
@@ -124,8 +124,15 @@ pub fn nearest_link_search_with(
         wild.len(),
         security.len()
     );
-    let ws = Workspace::new(security, wild, config);
-    let lists = ws.init_pass();
+    let ws = {
+        let _s = obs::span("nls.prep");
+        Workspace::new(security, wild, config)
+    };
+    let lists = {
+        let _s = obs::span("nls.init");
+        ws.init_pass()
+    };
+    let _s = obs::span("nls.assign");
     ws.assign(lists)
 }
 
@@ -226,6 +233,74 @@ pub fn nearest_link_search_serial(
     c
 }
 
+/// A monomorphized observation hook for the distance scans. The scans
+/// are generic over this trait so the production path with tracing off
+/// runs [`NoProbe`], whose methods compile to nothing — the disabled
+/// machine code is the uninstrumented loop, which is what keeps the
+/// obs-off overhead of the init pass near zero (tracked in
+/// BENCH_nls.json).
+trait Probe {
+    /// A distance computation was started for a candidate.
+    fn evaluated(&mut self);
+    /// A started distance computation was abandoned by the partial-sum
+    /// early exit.
+    fn early_exited(&mut self);
+    /// `n` candidates were skipped wholesale by the norm lower bound.
+    fn pruned(&mut self, n: u64);
+}
+
+/// The tracing-off probe: all no-ops.
+struct NoProbe;
+
+impl Probe for NoProbe {
+    #[inline(always)]
+    fn evaluated(&mut self) {}
+    #[inline(always)]
+    fn early_exited(&mut self) {}
+    #[inline(always)]
+    fn pruned(&mut self, _n: u64) {}
+}
+
+/// The tracing-on probe: plain local tallies, merged row-by-row in input
+/// order (mirroring `fold_chunked`'s spawn-order combine) and flushed to
+/// the `obs` registry once per pass.
+#[derive(Default, Clone, Copy)]
+struct ScanStats {
+    evaluated: u64,
+    early_exited: u64,
+    pruned_norm: u64,
+}
+
+impl Probe for ScanStats {
+    #[inline]
+    fn evaluated(&mut self) {
+        self.evaluated += 1;
+    }
+    #[inline]
+    fn early_exited(&mut self) {
+        self.early_exited += 1;
+    }
+    #[inline]
+    fn pruned(&mut self, n: u64) {
+        self.pruned_norm += n;
+    }
+}
+
+impl ScanStats {
+    fn merge(&mut self, other: ScanStats) {
+        self.evaluated += other.evaluated;
+        self.early_exited += other.early_exited;
+        self.pruned_norm += other.pruned_norm;
+    }
+
+    /// Adds the tallies to the global `nls.*` counters.
+    fn flush(&self) {
+        obs::counter_add("nls.dist_evaluated", self.evaluated);
+        obs::counter_add("nls.dist_early_exit", self.early_exited);
+        obs::counter_add("nls.pruned_norm", self.pruned_norm);
+    }
+}
+
 /// Shared state of one search invocation: the inputs plus (when pruning)
 /// per-vector norms and the wild indices sorted by norm.
 struct Workspace<'a> {
@@ -276,34 +351,72 @@ impl<'a> Workspace<'a> {
     }
 
     /// Per-row k-best candidate lists, rows fanned across threads.
+    ///
+    /// With tracing on, each row also returns its scan tallies; the rows
+    /// come back in input order (`map_chunked_indexed` reassembles them
+    /// that way), so the per-worker shards are merged in spawn order —
+    /// deterministically — before one flush into the registry.
     fn init_pass(&self) -> Vec<Vec<(f64, usize)>> {
-        par::map_chunked_indexed(self.security, self.threads, |m, _| self.scan_row(m, None))
+        if !obs::enabled() {
+            return par::map_chunked_indexed(self.security, self.threads, |m, _| {
+                self.scan_row(m, None, &mut NoProbe)
+            });
+        }
+        let rows: Vec<(Vec<(f64, usize)>, ScanStats)> =
+            par::map_chunked_indexed(self.security, self.threads, |m, _| {
+                let mut stats = ScanStats::default();
+                let list = self.scan_row(m, None, &mut stats);
+                (list, stats)
+            });
+        let mut total = ScanStats::default();
+        let mut per_row = obs::Hist::default();
+        let mut lists = Vec::with_capacity(rows.len());
+        for (list, stats) in rows {
+            total.merge(stats);
+            per_row.record(stats.evaluated);
+            lists.push(list);
+        }
+        total.flush();
+        obs::counter_add("nls.rows", lists.len() as u64);
+        obs::hist_merge("nls.row_dist_evaluated", &per_row);
+        lists
     }
 
     /// The k smallest `(d², index)` pairs of row `m`, optionally skipping
     /// claimed columns. Visit-order independent by the lexicographic tie
     /// rule, so the pruned and plain scans agree exactly.
-    fn scan_row(&self, m: usize, used: Option<&[bool]>) -> Vec<(f64, usize)> {
+    fn scan_row<P: Probe>(&self, m: usize, used: Option<&[bool]>, probe: &mut P) -> Vec<(f64, usize)> {
         if self.prune {
-            self.scan_row_pruned(m, used)
+            self.scan_row_pruned(m, used, probe)
         } else {
-            self.scan_row_plain(m, used)
+            self.scan_row_plain(m, used, probe)
         }
     }
 
-    fn scan_row_plain(&self, m: usize, used: Option<&[bool]>) -> Vec<(f64, usize)> {
+    fn scan_row_plain<P: Probe>(
+        &self,
+        m: usize,
+        used: Option<&[bool]>,
+        probe: &mut P,
+    ) -> Vec<(f64, usize)> {
         let sec = &self.security[m];
         let mut list: Vec<(f64, usize)> = Vec::with_capacity(self.k_best);
         for (n, w) in self.wild.iter().enumerate() {
             if used.is_some_and(|u| u[n]) {
                 continue;
             }
+            probe.evaluated();
             push_candidate(&mut list, self.k_best, squared_euclidean(sec, w), n);
         }
         list
     }
 
-    fn scan_row_pruned(&self, m: usize, used: Option<&[bool]>) -> Vec<(f64, usize)> {
+    fn scan_row_pruned<P: Probe>(
+        &self,
+        m: usize,
+        used: Option<&[bool]>,
+        probe: &mut P,
+    ) -> Vec<(f64, usize)> {
         let sec = &self.security[m];
         let sn = self.sec_norms[m];
         let n_count = self.order.len();
@@ -329,11 +442,13 @@ impl<'a> Workspace<'a> {
             if gap * gap * PRUNE_SLACK > tau {
                 // The gap only grows in this direction; retire the side.
                 if from_left {
+                    probe.pruned(left as u64);
                     left = 0;
                     if right >= n_count {
                         break;
                     }
                 } else {
+                    probe.pruned((n_count - right) as u64);
                     right = n_count;
                     if left == 0 {
                         break;
@@ -343,8 +458,10 @@ impl<'a> Workspace<'a> {
             }
             let idx = self.order[pos];
             if !used.is_some_and(|u| u[idx]) {
-                if let Some(d2) = early_exit_d2(sec, &self.sorted_wild[pos], tau) {
-                    push_candidate(&mut list, self.k_best, d2, idx);
+                probe.evaluated();
+                match early_exit_d2(sec, &self.sorted_wild[pos], tau) {
+                    Some(d2) => push_candidate(&mut list, self.k_best, d2, idx),
+                    None => probe.early_exited(),
                 }
             }
             if from_left {
@@ -358,8 +475,8 @@ impl<'a> Workspace<'a> {
 
     /// Masked full rescan of row `m` (Algorithm 1 lines 10–15): the
     /// minimum `(d², index)` over unclaimed columns.
-    fn rescan(&self, m: usize, used: &[bool]) -> usize {
-        let saved = self.scan_row(m, Some(used));
+    fn rescan<P: Probe>(&self, m: usize, used: &[bool], probe: &mut P) -> usize {
+        let saved = self.scan_row(m, Some(used), probe);
         saved.first().map(|&(_, n)| n).expect("rescan with no unclaimed columns")
     }
 
@@ -374,6 +491,12 @@ impl<'a> Workspace<'a> {
         let mut c = vec![usize::MAX; m_count];
         let mut used = vec![false; self.wild.len()];
         let mut assigned = vec![false; m_count];
+        // Collision bookkeeping: local tallies (the adds are trivial next
+        // to the rescans they count), flushed iff tracing is on. Rescans
+        // are rare fallbacks, so counting inside them is equally cheap.
+        let mut kbest_hits = 0u64;
+        let mut rescans = 0u64;
+        let mut rescan_stats = ScanStats::default();
         for _ in 0..m_count {
             // m0 ← argmin U over live rows, first minimum wins (NaN-safe
             // via total_cmp).
@@ -393,10 +516,22 @@ impl<'a> Workspace<'a> {
                 cur += 1;
             }
             cursor[m0] = cur;
-            let n0 = if cur < list.len() { list[cur].1 } else { self.rescan(m0, &used) };
+            let n0 = if cur < list.len() {
+                kbest_hits += 1;
+                list[cur].1
+            } else {
+                rescans += 1;
+                self.rescan(m0, &used, &mut rescan_stats)
+            };
             c[m0] = n0;
             used[n0] = true;
             assigned[m0] = true;
+        }
+        if obs::enabled() {
+            obs::counter_add("nls.kbest_hits", kbest_hits);
+            obs::counter_add("nls.rescans", rescans);
+            obs::counter_add("nls.links", m_count as u64);
+            rescan_stats.flush();
         }
         c
     }

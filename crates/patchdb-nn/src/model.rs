@@ -222,10 +222,13 @@ impl RnnClassifier {
     /// (matching the paper's small-dataset regime); returns the mean
     /// binary-cross-entropy of the final epoch.
     pub fn train(&mut self, data: &[(TokenSequence, bool)]) -> f64 {
+        let _span = patchdb_rt::obs::span("nn.train");
+        patchdb_rt::obs::counter_add("nn.epochs", self.config.epochs as u64);
         let mut rng = Xoshiro256pp::seed_from_u64(self.config.seed ^ 0xABCD);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut last_loss = 0.0;
         for _ in 0..self.config.epochs {
+            let _epoch = patchdb_rt::obs::span("nn.epoch");
             order.shuffle(&mut rng);
             let mut loss_sum = 0.0;
             for &i in &order {

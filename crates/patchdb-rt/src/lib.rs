@@ -18,9 +18,12 @@
 //!   median/p95, optional JSON report), replacing `criterion`.
 //! * [`par`] — scoped-thread fan-out over `std::thread::scope`, replacing
 //!   `crossbeam::scope`.
+//! * [`obs`] — spans, counters and histograms behind a `PATCHDB_TRACE`
+//!   toggle (near-zero cost when off), replacing `tracing`/`metrics`.
 
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod obs;
 pub mod par;
 pub mod rng;

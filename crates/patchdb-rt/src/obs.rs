@@ -1,0 +1,621 @@
+//! Zero-dependency observability: hierarchical spans, named counters and
+//! fixed-bucket histograms behind a single `PATCHDB_TRACE` toggle.
+//!
+//! The registry is process-global and disabled by default; every probe
+//! site guards itself with [`enabled`], a relaxed atomic load, so the
+//! off path costs one predictable branch. Hot loops should go further
+//! and monomorphize their probes away entirely (see the `Probe` trait in
+//! `patchdb-nls`), keeping the disabled machine code identical to the
+//! uninstrumented loop.
+//!
+//! ## Determinism contract
+//!
+//! Metrics observe the computation; they never steer it. Counter and
+//! histogram updates are commutative (saturating addition), so the final
+//! registry values are independent of thread interleaving; span *names
+//! and nesting* are deterministic while span durations are wall time and
+//! are the only nondeterministic values in a [`TraceReport`]. Nothing in
+//! this module feeds back into output bytes — `tests/determinism.rs`
+//! pins a traced and an untraced build byte-identical.
+//!
+//! Parallel sites that want deterministic *merge order* accumulate into
+//! a per-worker [`Shard`] and combine shards in spawn order (mirroring
+//! `par::fold_chunked`) before a single [`Shard::flush`] into the
+//! registry.
+//!
+//! ```rust
+//! use patchdb_rt::obs;
+//!
+//! obs::set_enabled(true);
+//! obs::reset();
+//! {
+//!     let _outer = obs::span("build");
+//!     let _inner = obs::span("mine");
+//!     obs::counter_add("records", 3);
+//!     obs::hist_record("batch_len", 17);
+//! }
+//! let report = obs::report();
+//! assert_eq!(report.counter("records"), Some(3));
+//! assert_eq!(report.spans[0].name, "build");
+//! assert_eq!(report.spans[0].children[0].name, "mine");
+//! obs::set_enabled(false);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `k` holds
+/// values in `[2^(k-1), 2^k)`, and the last bucket absorbs everything
+/// from `2^(HIST_BUCKETS-2)` up.
+pub const HIST_BUCKETS: usize = 17;
+
+// 0 = uninitialized (consult PATCHDB_TRACE), 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether tracing is on. One relaxed atomic load on the fast path; the
+/// first call consults the `PATCHDB_TRACE` environment variable (`"1"`
+/// or any value other than empty/`"0"` enables it).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        0 => init_from_env(),
+        s => s == 2,
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("PATCHDB_TRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Programmatic override of the `PATCHDB_TRACE` toggle (CLI flags,
+/// benches, tests). Takes effect for probes that run after the store.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+struct SpanNode {
+    name: String,
+    children: Vec<usize>,
+    ns: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Bumped by [`reset`]; guards and stack entries from an older
+    /// generation become inert instead of writing into recycled slots.
+    generation: u64,
+    spans: Vec<SpanNode>,
+    roots: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Hist>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+thread_local! {
+    /// Open spans on this thread as `(generation, span index)`.
+    static SPAN_STACK: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`span`]; records the span's duration when
+/// dropped. A no-op when tracing was off at creation time.
+#[must_use = "a span measures nothing unless the guard lives to the end of the scope"]
+pub struct SpanGuard {
+    active: Option<(u64, usize, Instant)>,
+}
+
+/// Opens a span named `name`, nested under the innermost span already
+/// open *on this thread* (spans opened on worker threads with an empty
+/// stack become roots). Returns a guard that records the elapsed
+/// monotonic time when dropped.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    let name = name.into();
+    let idx;
+    let generation;
+    {
+        let mut reg = registry().lock().unwrap();
+        generation = reg.generation;
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow().iter().rev().find(|&&(g, _)| g == generation).map(|&(_, i)| i)
+        });
+        idx = reg.spans.len();
+        reg.spans.push(SpanNode { name, children: Vec::new(), ns: 0 });
+        match parent {
+            Some(p) => reg.spans[p].children.push(idx),
+            None => reg.roots.push(idx),
+        }
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push((generation, idx)));
+    SpanGuard { active: Some((generation, idx, Instant::now())) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((generation, idx, start)) = self.active.take() else { return };
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&e| e == (generation, idx)) {
+                stack.remove(pos);
+            }
+        });
+        let mut reg = registry().lock().unwrap();
+        if reg.generation == generation {
+            if let Some(node) = reg.spans.get_mut(idx) {
+                node.ns = ns;
+            }
+        }
+    }
+}
+
+/// Adds `delta` to the named counter (creating it at zero). A no-op
+/// when tracing is off. Saturating, commutative — the final value is
+/// independent of the order concurrent adds land in.
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    let slot = reg.counters.entry(name.to_owned()).or_insert(0);
+    *slot = slot.saturating_add(delta);
+}
+
+/// Current value of a counter, `0` when it does not exist. Reads work
+/// even while tracing is off (the registry outlives toggles).
+pub fn counter_value(name: &str) -> u64 {
+    registry().lock().unwrap().counters.get(name).copied().unwrap_or(0)
+}
+
+/// Records one value into the named histogram. A no-op when tracing is
+/// off.
+pub fn hist_record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    registry().lock().unwrap().hists.entry(name.to_owned()).or_default().record(value);
+}
+
+/// Merges a locally accumulated histogram into the named registry
+/// histogram. A no-op when tracing is off.
+pub fn hist_merge(name: &str, h: &Hist) {
+    if !enabled() || h.count == 0 {
+        return;
+    }
+    registry().lock().unwrap().hists.entry(name.to_owned()).or_default().merge(h);
+}
+
+/// Clears every span, counter and histogram and invalidates outstanding
+/// [`SpanGuard`]s (they become inert rather than writing into recycled
+/// slots).
+pub fn reset() {
+    let mut reg = registry().lock().unwrap();
+    reg.generation += 1;
+    reg.spans.clear();
+    reg.roots.clear();
+    reg.counters.clear();
+    reg.hists.clear();
+}
+
+/// A fixed-bucket log2 histogram: `count`/`sum`/`max` plus
+/// [`HIST_BUCKETS`] power-of-two buckets. All updates saturate, so
+/// merging shards in any order yields the same totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Hist {
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The bucket array; bucket 0 holds zeros, bucket `k` values in
+    /// `[2^(k-1), 2^k)`.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Num(self.count as f64)),
+            ("sum".into(), Json::Num(self.sum as f64)),
+            ("max".into(), Json::Num(self.max as f64)),
+            (
+                "buckets".into(),
+                Json::Arr(self.buckets.iter().map(|&b| Json::Num(b as f64)).collect()),
+            ),
+        ])
+    }
+}
+
+/// A thread-local accumulator for counters and histograms: workers fill
+/// one shard each, the caller merges shards **in spawn order** (exactly
+/// like `par::fold_chunked` combines chunk accumulators) and flushes the
+/// merged shard into the registry once. Because every operation is a
+/// saturating add, the merged totals equal the single-threaded totals —
+/// the property test in `crates/patchdb-rt/tests/obs.rs` pins this
+/// across thread counts.
+#[derive(Debug, Default, Clone)]
+pub struct Shard {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Hist>,
+}
+
+impl Shard {
+    /// An empty shard.
+    pub fn new() -> Shard {
+        Shard::default()
+    }
+
+    /// Adds `delta` to the shard-local counter.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        let slot = self.counters.entry(name.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Records one observation into the shard-local histogram.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.hists.entry(name.to_owned()).or_default().record(value);
+    }
+
+    /// Shard-local counter value (`0` when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &Shard) {
+        for (name, delta) in &other.counters {
+            self.add(name, *delta);
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Adds every shard-local counter and histogram to the global
+    /// registry (a no-op when tracing is off).
+    pub fn flush(&self) {
+        if !enabled() {
+            return;
+        }
+        let mut reg = registry().lock().unwrap();
+        for (name, delta) in &self.counters {
+            let slot = reg.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*delta);
+        }
+        for (name, h) in &self.hists {
+            reg.hists.entry(name.clone()).or_default().merge(h);
+        }
+    }
+}
+
+/// One span in a [`TraceReport`]: name, elapsed nanoseconds, nested
+/// children in creation order. Spans still open at snapshot time report
+/// `ns == 0`.
+#[derive(Debug, Clone)]
+pub struct SpanReport {
+    /// The name passed to [`span`].
+    pub name: String,
+    /// Elapsed monotonic nanoseconds (duration only — never a
+    /// timestamp-of-day).
+    pub ns: u64,
+    /// Child spans, in creation order.
+    pub children: Vec<SpanReport>,
+}
+
+impl SpanReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("ns".into(), Json::Num(self.ns as f64)),
+            (
+                "children".into(),
+                Json::Arr(self.children.iter().map(SpanReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// A snapshot of the registry: the span forest plus all counters and
+/// histograms, sorted by name. Serialization via [`TraceReport::to_json`]
+/// has stable key order and carries durations only.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Root spans in creation order.
+    pub spans: Vec<SpanReport>,
+    /// `(name, value)` pairs, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` pairs, ascending by name.
+    pub histograms: Vec<(String, Hist)>,
+}
+
+impl TraceReport {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Depth-first search for the first span named `name`.
+    pub fn find_span(&self, name: &str) -> Option<&SpanReport> {
+        fn dfs<'a>(spans: &'a [SpanReport], name: &str) -> Option<&'a SpanReport> {
+            for s in spans {
+                if s.name == name {
+                    return Some(s);
+                }
+                if let Some(hit) = dfs(&s.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        dfs(&self.spans, name)
+    }
+
+    /// Serializes as `{"spans": [...], "counters": {...},
+    /// "histograms": {...}}` with deterministic key order (spans in
+    /// creation order, metric names ascending).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "spans".into(),
+                Json::Arr(self.spans.iter().map(SpanReport::to_json).collect()),
+            ),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(self.histograms.iter().map(|(n, h)| (n.clone(), h.to_json())).collect()),
+            ),
+        ])
+    }
+}
+
+/// Snapshots the registry into a [`TraceReport`]. Does not clear it —
+/// pair with [`reset`] to scope a measurement.
+pub fn report() -> TraceReport {
+    let reg = registry().lock().unwrap();
+    fn build(reg: &Registry, idx: usize) -> SpanReport {
+        let node = &reg.spans[idx];
+        SpanReport {
+            name: node.name.clone(),
+            ns: node.ns,
+            children: node.children.iter().map(|&c| build(reg, c)).collect(),
+        }
+    }
+    TraceReport {
+        spans: reg.roots.iter().map(|&r| build(&reg, r)).collect(),
+        counters: reg.counters.iter().map(|(n, &v)| (n.clone(), v)).collect(),
+        histograms: reg.hists.iter().map(|(n, &h)| (n.clone(), h)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Serializes tests that toggle the global registry/state.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_probes_are_inert() {
+        let _g = guard();
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("ghost");
+            counter_add("ghost", 5);
+            hist_record("ghost", 1);
+        }
+        set_enabled(true);
+        let r = report();
+        set_enabled(false);
+        assert!(r.spans.is_empty());
+        assert!(r.counters.is_empty());
+        assert!(r.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_by_thread_stack() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                let _c = span("c");
+            }
+            let _d = span("d");
+        }
+        let r = report();
+        set_enabled(false);
+        assert_eq!(r.spans.len(), 1);
+        let a = &r.spans[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.children.len(), 2);
+        assert_eq!(a.children[0].name, "b");
+        assert_eq!(a.children[0].children.len(), 1);
+        assert_eq!(a.children[0].children[0].name, "c");
+        assert_eq!(a.children[1].name, "d");
+    }
+
+    #[test]
+    fn counters_and_hists_accumulate() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        counter_add("x", 2);
+        counter_add("x", 3);
+        hist_record("h", 0);
+        hist_record("h", 1);
+        hist_record("h", 100);
+        let r = report();
+        set_enabled(false);
+        assert_eq!(r.counter("x"), Some(5));
+        let (_, h) = &r.histograms[0];
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 101);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.buckets()[0], 1); // the zero
+        assert_eq!(h.buckets()[1], 1); // the one
+        assert_eq!(h.buckets()[7], 1); // 100 in [64, 128)
+    }
+
+    #[test]
+    fn reset_invalidates_outstanding_guards() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let s = span("stale");
+        reset();
+        let _fresh = span("fresh");
+        drop(s); // must not corrupt the fresh registry
+        let r = report();
+        set_enabled(false);
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].name, "fresh");
+    }
+
+    #[test]
+    fn worker_thread_spans_become_roots() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let _main = span("main");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _w = span("worker");
+                });
+            });
+        }
+        let r = report();
+        set_enabled(false);
+        let names: Vec<&str> = r.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"main"));
+        assert!(names.contains(&"worker"));
+        assert!(r.find_span("worker").is_some());
+    }
+
+    #[test]
+    fn shard_merge_equals_direct_adds() {
+        let mut a = Shard::new();
+        let mut b = Shard::new();
+        a.add("c", 3);
+        b.add("c", 4);
+        a.record("h", 8);
+        b.record("h", 9);
+        let mut merged = Shard::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.counter("c"), 7);
+        let mut direct = Shard::new();
+        direct.add("c", 3);
+        direct.add("c", 4);
+        direct.record("h", 8);
+        direct.record("h", 9);
+        assert_eq!(merged.counter("c"), direct.counter("c"));
+        assert_eq!(merged.hists, direct.hists);
+    }
+
+    #[test]
+    fn report_json_has_stable_shape() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let _s = span("root");
+            counter_add("b", 1);
+            counter_add("a", 2);
+            hist_record("h", 4);
+        }
+        let r = report();
+        set_enabled(false);
+        let json = r.to_json();
+        let text = json.to_compact_string();
+        // Counters serialize name-ascending regardless of insertion.
+        let a_pos = text.find("\"a\"").unwrap();
+        let b_pos = text.find("\"b\"").unwrap();
+        assert!(a_pos < b_pos, "counters not sorted in {text}");
+        let parsed = Json::parse(&text).unwrap();
+        assert!(parsed.get("spans").is_some());
+        assert!(parsed.get("counters").is_some());
+        assert!(parsed.get("histograms").is_some());
+    }
+}

@@ -29,10 +29,39 @@ pub fn suggested_threads(cap: usize) -> usize {
 /// Because every primitive in this module is deterministic, changing
 /// `PATCHDB_THREADS` changes wall time but never output bytes;
 /// `tests/determinism.rs` pins that.
+/// A misconfigured `PATCHDB_THREADS` must not fail silently, but it also
+/// must not spam stderr once per parallel call site — warn exactly once
+/// per process.
+///
+/// `0` is clamped to `1` (the smallest legal worker count); anything
+/// unparsable falls back to [`suggested_threads`].
 pub fn configured_threads(cap: usize) -> usize {
-    match std::env::var("PATCHDB_THREADS").ok().and_then(|s| s.parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => suggested_threads(cap),
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let (threads, warning) =
+        interpret_thread_override(std::env::var("PATCHDB_THREADS").ok().as_deref());
+    if let Some(msg) = warning {
+        WARN_ONCE.call_once(|| eprintln!("warning: {msg}"));
+    }
+    threads.unwrap_or_else(|| suggested_threads(cap))
+}
+
+/// The pure core of [`configured_threads`]: interprets a raw
+/// `PATCHDB_THREADS` value as `(worker count override, warning)`.
+fn interpret_thread_override(raw: Option<&str>) -> (Option<usize>, Option<String>) {
+    let Some(raw) = raw else { return (None, None) };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => (
+            Some(1),
+            Some("PATCHDB_THREADS=0 is not a valid worker count; clamping to 1".to_owned()),
+        ),
+        Ok(n) => (Some(n), None),
+        Err(_) => (
+            None,
+            Some(format!(
+                "PATCHDB_THREADS={raw:?} is not a positive integer; \
+                 falling back to the suggested worker count"
+            )),
+        ),
     }
 }
 
@@ -272,5 +301,27 @@ mod tests {
         // determinism suite may, in which case any positive value is
         // legal) — either way the result is a positive worker count.
         assert!(configured_threads(8) >= 1);
+    }
+
+    #[test]
+    fn thread_override_interpretation() {
+        // Unset: no override, no warning.
+        assert_eq!(interpret_thread_override(None), (None, None));
+        // A positive integer is taken verbatim, silently.
+        assert_eq!(interpret_thread_override(Some("4")), (Some(4), None));
+        assert_eq!(interpret_thread_override(Some(" 12 ")), (Some(12), None));
+        // Zero is clamped to 1 with a warning.
+        let (t, w) = interpret_thread_override(Some("0"));
+        assert_eq!(t, Some(1));
+        assert!(w.is_some_and(|m| m.contains("clamping to 1")), "missing clamp warning");
+        // Garbage falls back to the suggestion with a warning.
+        for bad in ["abc", "-3", "1.5", ""] {
+            let (t, w) = interpret_thread_override(Some(bad));
+            assert_eq!(t, None, "{bad:?} must not override");
+            assert!(
+                w.as_deref().is_some_and(|m| m.contains("not a positive integer")),
+                "{bad:?} must warn"
+            );
+        }
     }
 }

@@ -1,0 +1,74 @@
+//! Property: per-worker `obs::Shard`s merged in spawn order (the
+//! `fold_chunked` combine discipline) carry exactly the totals a
+//! single-threaded pass produces, at every thread count — the
+//! determinism story of the tentpole's "thread-aware registry".
+
+use patchdb_rt::check::check;
+use patchdb_rt::obs::{self, Shard};
+use patchdb_rt::par;
+
+/// Folds `items` into a shard exactly as an instrumented parallel pass
+/// would: one shard per chunk, combined left-to-right in chunk order.
+fn sharded_totals(items: &[u64], threads: usize) -> Shard {
+    par::fold_chunked(
+        items,
+        threads,
+        Shard::new,
+        |mut shard, &v| {
+            shard.add("events", 1);
+            shard.add("weight", v % 97);
+            shard.record("value", v % 1000);
+            shard
+        },
+        |mut a, b| {
+            a.merge(&b);
+            a
+        },
+    )
+}
+
+#[test]
+fn shard_merge_equals_single_threaded_totals() {
+    check("obs_shard_merge_thread_invariant", 128, |g| {
+        let items = g.vec_with(0, 64, |g| g.u64());
+        let serial = sharded_totals(&items, 1);
+        for threads in [2usize, 8] {
+            let parallel = sharded_totals(&items, threads);
+            assert_eq!(
+                serial.counter("events"),
+                parallel.counter("events"),
+                "event count drift at {threads} threads"
+            );
+            assert_eq!(
+                serial.counter("weight"),
+                parallel.counter("weight"),
+                "weight drift at {threads} threads"
+            );
+        }
+    });
+}
+
+/// Flushing a shard lands its totals in the global registry (and is a
+/// no-op while tracing is off). Serialized into one test because the
+/// registry is process-global.
+#[test]
+fn shard_flush_respects_the_toggle() {
+    obs::set_enabled(false);
+    let mut shard = Shard::new();
+    shard.add("obs_test.flush", 5);
+    shard.record("obs_test.hist", 3);
+    shard.flush(); // off: must not land
+    assert_eq!(obs::counter_value("obs_test.flush"), 0);
+
+    obs::set_enabled(true);
+    obs::reset();
+    shard.flush();
+    shard.flush();
+    let report = obs::report();
+    obs::set_enabled(false);
+    assert_eq!(report.counter("obs_test.flush"), Some(10));
+    let (name, hist) = &report.histograms[0];
+    assert_eq!(name, "obs_test.hist");
+    assert_eq!(hist.count(), 2);
+    assert_eq!(hist.sum(), 6);
+}

@@ -38,6 +38,7 @@ mod variants;
 use std::collections::HashMap;
 
 use patch_core::{diff_files, CommitId, LineKind, Patch};
+use patchdb_rt::obs;
 
 pub use variants::{apply_variant, VariantKind, ALL_VARIANTS};
 
@@ -95,6 +96,7 @@ pub fn synthesize(
 ) -> Vec<SyntheticPatch> {
     let mut out = Vec::new();
     let mut variant_counter = 0u64;
+    let mut attempted = 0u64;
 
     for file in &patch.files {
         if !file.is_c_family() {
@@ -131,8 +133,10 @@ pub fn synthesize(
             for stmt in &related {
                 for &variant in &options.variants {
                     if options.max_per_patch > 0 && out.len() >= options.max_per_patch {
+                        flush_synth_metrics(attempted, out.len(), true);
                         return out;
                     }
+                    attempted += 1;
                     let Some(mutated) = apply_variant(text, stmt, variant) else {
                         continue;
                     };
@@ -169,7 +173,22 @@ pub fn synthesize(
             }
         }
     }
+    flush_synth_metrics(attempted, out.len(), false);
     out
+}
+
+/// Banks one `synthesize` call's template tallies into the `synth.*`
+/// metrics (a no-op with tracing off). `synthesize` runs on `rt::par`
+/// workers during the pipeline's parallel oversampling pass; the adds
+/// are commutative, so the final counter values are thread-independent.
+fn flush_synth_metrics(attempted: u64, produced: usize, capped: bool) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter_add("synth.templates_attempted", attempted);
+    obs::counter_add("synth.templates_applied", produced as u64);
+    obs::counter_add("synth.capped", capped as u64);
+    obs::hist_record("synth.variants_per_patch", produced as u64);
 }
 
 /// The new-file (or old-file) line numbers carrying changes of `kind`.

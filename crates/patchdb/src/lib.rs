@@ -39,7 +39,7 @@ pub use patterns::{mine_fix_patterns, pattern_frequencies, FixPattern};
 pub use signatures::{
     scan_targets, signatures_of, test_presence, PatchSignature, PresenceVerdict,
 };
-pub use pipeline::{BuildOptions, BuildReport, PoolPlan};
+pub use pipeline::{BuildOptions, BuildReport, BuildTelemetry, PoolPlan};
 pub use taxonomy::{classify_patch, taxonomy_distribution};
 
 // Re-exports so downstream users need only this crate.

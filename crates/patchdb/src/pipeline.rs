@@ -7,6 +7,8 @@ use patchdb_corpus::{CorpusConfig, GitHubForge, VerificationOracle};
 use patchdb_features::{extract, FeatureVector, RepoContext};
 use patchdb_mine::{collect_wild, mine_nvd, sample_wild, WildCommit};
 use patchdb_nls::{augment_rounds, AugmentationRound, PoolSpec};
+use patchdb_rt::json::Json;
+use patchdb_rt::obs::{self, TraceReport};
 use patchdb_rt::par;
 use patchdb_synth::{synthesize, SynthOptions};
 
@@ -89,6 +91,36 @@ pub struct BuildReport {
     pub wild_total: usize,
     /// Commits the oracle was asked to verify (human effort).
     pub verification_effort: usize,
+    /// Span tree + metrics of this build, present iff tracing was on
+    /// (`PATCHDB_TRACE=1` or `obs::set_enabled(true)`) when the build
+    /// started. Purely observational: the dataset bytes are identical
+    /// with or without it.
+    pub telemetry: Option<BuildTelemetry>,
+}
+
+/// The observability section of a [`BuildReport`]: a snapshot of the
+/// `rt::obs` registry taken right after the build's root span closed.
+#[derive(Debug, Clone)]
+pub struct BuildTelemetry {
+    /// Spans, counters and histograms recorded during the build.
+    pub trace: TraceReport,
+}
+
+impl BuildTelemetry {
+    /// Schema tag stamped into [`BuildTelemetry::to_json`], dispatched on
+    /// by the `check-bench-json` validator.
+    pub const SCHEMA: &'static str = "patchdb-trace/v1";
+
+    /// Serializes as the `TRACE_build.json` document: stable key order,
+    /// durations only (never timestamps-of-day).
+    pub fn to_json(&self) -> Json {
+        let Json::Obj(mut fields) = self.trace.to_json() else {
+            unreachable!("TraceReport::to_json returns an object");
+        };
+        let mut all = vec![("schema".to_owned(), Json::Str(Self::SCHEMA.to_owned()))];
+        all.append(&mut fields);
+        Json::Obj(all)
+    }
 }
 
 impl PatchDb {
@@ -106,6 +138,15 @@ impl PatchDb {
     /// is byte-identical at any thread count); the verification oracle is
     /// always consulted serially, in deterministic candidate order.
     pub fn build_on(forge: &GitHubForge, options: &BuildOptions) -> BuildReport {
+        // One build owns the whole trace: start from an empty registry so
+        // the report covers exactly this run. With tracing off this is
+        // two relaxed loads and nothing else.
+        let tracing = obs::enabled();
+        if tracing {
+            obs::reset();
+        }
+        let build_span = obs::span("build");
+
         let threads = par::configured_threads(16);
         let contexts: HashMap<&str, RepoContext> = forge
             .repos()
@@ -119,6 +160,7 @@ impl PatchDb {
             .collect();
 
         // ── Step 1: the NVD-based dataset.
+        let stage = obs::span("mine_nvd");
         let mined = mine_nvd(forge);
         let mut nvd_records = Vec::with_capacity(mined.patches.len());
         for m in &mined.patches {
@@ -138,7 +180,11 @@ impl PatchDb {
             });
         }
 
+        obs::counter_add("build.nvd_records", nvd_records.len() as u64);
+        drop(stage);
+
         // ── Step 2: wild collection and pool sampling.
+        let stage = obs::span("collect_wild");
         let wild = collect_wild(forge, &mined.claimed_ids());
         let total_pool: usize = options.pools.iter().map(|p| p.size).sum();
         let sampled = sample_wild(&wild, total_pool.min(wild.len()), options.seed ^ 0x9e37);
@@ -168,8 +214,12 @@ impl PatchDb {
             });
             cursor = end;
         }
+        obs::counter_add("build.wild_total", wild.len() as u64);
+        obs::counter_add("build.sampled", sampled.len() as u64);
+        drop(stage);
 
         // ── Step 3: nearest-link augmentation with expert verification.
+        let stage = obs::span("augment");
         let oracle = VerificationOracle::new(options.expert_error, options.seed ^ 0x0c1e);
         let seed_features: Vec<FeatureVector> =
             nvd_records.iter().map(|r| r.features).collect();
@@ -177,7 +227,11 @@ impl PatchDb {
             augment_rounds(&seed_features, &universe_features, &pools, |i| {
                 oracle.verify(universe[i].commit)
             });
+        drop(stage);
 
+        // ── Record assembly for the augmented sets (synthesis below
+        // consumes these records, so assembly runs first).
+        let stage = obs::span("assemble");
         let to_record = |i: usize, source: Source| -> PatchRecord {
             let w = universe[i];
             let patch = universe_patches[i].clone();
@@ -196,10 +250,14 @@ impl PatchDb {
             sec_idx.iter().map(|&i| to_record(i, Source::Wild)).collect();
         let nonsec_records: Vec<PatchRecord> =
             nonsec_idx.iter().map(|&i| to_record(i, Source::NonSecurity)).collect();
+        obs::counter_add("build.wild_records", wild_records.len() as u64);
+        obs::counter_add("build.nonsecurity_records", nonsec_records.len() as u64);
+        drop(stage);
 
         // ── Step 4: the synthetic dataset. Each source record is an
         // independent synthesis job; fan them out in input order (the
         // flattened result is then identical to the serial loop).
+        let stage = obs::span("synthesize");
         let mut synthetic = Vec::new();
         if options.synthesize {
             let synth_opts = SynthOptions {
@@ -239,8 +297,12 @@ impl PatchDb {
                 });
             synthetic = batches.into_iter().flatten().collect();
         }
+        obs::counter_add("build.synthetic_records", synthetic.len() as u64);
+        drop(stage);
 
         let effort = oracle.effort();
+        drop(build_span); // close the root before snapshotting its duration
+        let telemetry = tracing.then(|| BuildTelemetry { trace: obs::report() });
         BuildReport {
             db: PatchDb {
                 nvd: nvd_records,
@@ -251,6 +313,7 @@ impl PatchDb {
             rounds,
             wild_total: wild.len(),
             verification_effort: effort,
+            telemetry,
         }
     }
 }

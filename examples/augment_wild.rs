@@ -3,7 +3,9 @@
 //! the efficiency argument at the heart of the paper (Tables II & III).
 //!
 //! ```sh
-//! cargo run --release --example augment_wild
+//! cargo run --release --example augment_wild             # full comparison
+//! cargo run --release --example augment_wild -- --quiet  # headline numbers only
+//! cargo run --release --example augment_wild -- --trace  # + per-round pruning stats
 //! ```
 
 use std::collections::HashSet;
@@ -13,19 +15,34 @@ use patchdb_corpus::{CorpusConfig, GitHubForge, VerificationOracle};
 use patchdb_features::extract;
 use patchdb_mine::{collect_wild, mine_nvd, sample_wild};
 use patchdb_nls::{augment_rounds, brute_force_candidates, PoolSpec};
+use patchdb_rt::obs;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let trace = args.iter().any(|a| a == "--trace");
+    if trace {
+        obs::set_enabled(true);
+        // This example drives `augment_rounds` directly (no `PatchDb::build`
+        // around it to reset the registry), so start from a clean slate.
+        obs::reset();
+    }
+
     let forge = GitHubForge::generate(&CorpusConfig::with_total_commits(6_000, 7));
     let mined = mine_nvd(&forge);
-    println!(
-        "mined {} NVD security patches from {} repositories",
-        mined.patches.len(),
-        forge.repos().len()
-    );
+    if !quiet {
+        println!(
+            "mined {} NVD security patches from {} repositories",
+            mined.patches.len(),
+            forge.repos().len()
+        );
+    }
 
     let wild = collect_wild(&forge, &mined.claimed_ids());
     let pool = sample_wild(&wild, 3_000, 99);
-    println!("wild pool: {} unlabeled commits", pool.len());
+    if !quiet {
+        println!("wild pool: {} unlabeled commits", pool.len());
+    }
 
     // Feature space over the pool.
     let features: Vec<FeatureVector> = pool
@@ -73,6 +90,27 @@ fn main() {
         sec_idx.len() + nonsec_idx.len()
     );
 
+    // With --trace, per-round counters show how much work the norm-bound
+    // pruning saved the distance kernel on each pass.
+    if trace {
+        let telemetry = obs::report();
+        println!("\nNLS pruning efficiency:");
+        for r in &rounds {
+            let evaluated =
+                telemetry.counter(&format!("nls.round{:02}.dist_evaluated", r.round));
+            let pruned = telemetry.counter(&format!("nls.round{:02}.pruned_norm", r.round));
+            if let (Some(evaluated), Some(pruned)) = (evaluated, pruned) {
+                let total = evaluated + pruned;
+                let avoided = if total == 0 { 0.0 } else { 100.0 * pruned as f64 / total as f64 };
+                println!(
+                    "  round {:02}: {evaluated} distances evaluated, {pruned} pruned \
+                     ({avoided:.1}% of comparisons avoided)",
+                    r.round
+                );
+            }
+        }
+    }
+
     // Brute force on the same budget.
     let budget = sec_idx.len() + nonsec_idx.len();
     let bf = brute_force_candidates(pool.len(), budget, 123);
@@ -93,13 +131,15 @@ fn main() {
     );
 
     // Double-check against sealed ground truth.
-    let truly_sec: HashSet<usize> = (0..pool.len())
-        .filter(|&i| pool[i].commit.truth.is_security)
-        .collect();
-    println!(
-        "(ground truth: {} of {} pool commits are security patches — base rate {:.0}%)",
-        truly_sec.len(),
-        pool.len(),
-        100.0 * truly_sec.len() as f64 / pool.len() as f64
-    );
+    if !quiet {
+        let truly_sec: HashSet<usize> = (0..pool.len())
+            .filter(|&i| pool[i].commit.truth.is_security)
+            .collect();
+        println!(
+            "(ground truth: {} of {} pool commits are security patches — base rate {:.0}%)",
+            truly_sec.len(),
+            pool.len(),
+            100.0 * truly_sec.len() as f64 / pool.len() as f64
+        );
+    }
 }

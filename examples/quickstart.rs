@@ -1,20 +1,32 @@
 //! Quickstart: build a miniature PatchDB end to end and look around.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart            # full tour
+//! cargo run --release --example quickstart -- --quiet # headline numbers only
+//! cargo run --release --example quickstart -- --trace # + NLS pruning telemetry
 //! ```
 
 use patchdb::{BuildOptions, PatchDb};
+use patchdb_rt::obs;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let trace = args.iter().any(|a| a == "--trace");
+    if trace {
+        obs::set_enabled(true);
+    }
+
     // A small forge so the example finishes in seconds; use
     // `BuildOptions::default_scale` for the paper-shaped corpus.
     let options = BuildOptions::tiny(42);
-    println!(
-        "building PatchDB against a synthetic forge ({} repos, ~{} commits)...",
-        options.corpus.n_repos,
-        options.corpus.expected_commits()
-    );
+    if !quiet {
+        println!(
+            "building PatchDB against a synthetic forge ({} repos, ~{} commits)...",
+            options.corpus.n_repos,
+            options.corpus.expected_commits()
+        );
+    }
 
     let report = PatchDb::build(&options);
     let db = &report.db;
@@ -34,20 +46,42 @@ fn main() {
         report.wild_total, report.verification_effort
     );
 
-    // Every natural patch is a real unified diff; print one.
-    if let Some(example) = db.wild.first() {
-        println!("\n== a wild-based security patch ({}) ==", example.commit.short());
-        println!("{}", example.patch.to_unified_string());
+    // With --trace, the build telemetry carries per-round NLS counters:
+    // how many distance computations the norm bound skipped outright.
+    if let Some(telemetry) = &report.telemetry {
+        println!("\n== NLS pruning efficiency (per round) ==");
+        for r in &report.rounds {
+            let evaluated =
+                telemetry.trace.counter(&format!("nls.round{:02}.dist_evaluated", r.round));
+            let pruned = telemetry.trace.counter(&format!("nls.round{:02}.pruned_norm", r.round));
+            if let (Some(evaluated), Some(pruned)) = (evaluated, pruned) {
+                let total = evaluated + pruned;
+                let avoided = if total == 0 { 0.0 } else { 100.0 * pruned as f64 / total as f64 };
+                println!(
+                    "round {:02} [{}]: {evaluated} distances evaluated, {pruned} pruned \
+                     ({avoided:.1}% of comparisons avoided)",
+                    r.round, r.pool
+                );
+            }
+        }
     }
 
-    // And the synthetic dataset derives from natural patches.
-    if let Some(synth) = db.synthetic.iter().find(|s| s.is_security) {
-        println!(
-            "== a synthetic variant (derived from {}) ==",
-            synth.derived_from.short()
-        );
-        for line in synth.patch.to_unified_string().lines().take(25) {
-            println!("{line}");
+    if !quiet {
+        // Every natural patch is a real unified diff; print one.
+        if let Some(example) = db.wild.first() {
+            println!("\n== a wild-based security patch ({}) ==", example.commit.short());
+            println!("{}", example.patch.to_unified_string());
+        }
+
+        // And the synthetic dataset derives from natural patches.
+        if let Some(synth) = db.synthetic.iter().find(|s| s.is_security) {
+            println!(
+                "== a synthetic variant (derived from {}) ==",
+                synth.derived_from.short()
+            );
+            for line in synth.patch.to_unified_string().lines().take(25) {
+                println!("{line}");
+            }
         }
     }
 

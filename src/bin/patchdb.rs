@@ -1,8 +1,13 @@
 //! `patchdb` — command-line front end for the PatchDB reproduction.
 //!
 //! ```text
-//! patchdb build [--seed N] [--tiny] [--no-synth] [--out FILE]
-//!     construct the dataset against a synthetic forge; write JSON
+//! patchdb build [--seed N] [--tiny] [--no-synth] [--out FILE] [--trace] [--trace-out FILE]
+//!     construct the dataset against a synthetic forge; write JSON.
+//!     with --trace (or PATCHDB_TRACE=1) also write the span tree and
+//!     metrics of the build to TRACE_build.json (path via --trace-out)
+//! patchdb trace [build flags]
+//!     shorthand for `build --trace`: a traced build that always emits
+//!     TRACE_build.json and prints the stage timings
 //! patchdb stats <FILE>
 //!     headline counts and category distribution of a JSON dataset
 //! patchdb classify <FILE>
@@ -19,20 +24,22 @@ use std::process::ExitCode;
 
 use patchdb::{
     classify_patch, mine_fix_patterns, pattern_frequencies, signatures_of, test_presence,
-    BuildOptions, PatchDb, PresenceVerdict, ALL_CATEGORIES,
+    BuildOptions, BuildTelemetry, PatchDb, PresenceVerdict, ALL_CATEGORIES,
 };
+use patchdb_rt::obs;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("build") => cmd_build(&args[1..]),
+        Some("build") => cmd_build(&args[1..], false),
+        Some("trace") => cmd_build(&args[1..], true),
         Some("stats") => with_db(&args[1..], cmd_stats),
         Some("classify") => with_db(&args[1..], cmd_classify),
         Some("patterns") => with_db(&args[1..], cmd_patterns),
         Some("analyze") => with_db(&args[1..], cmd_analyze),
         Some("scan") => cmd_scan(&args[1..]),
         _ => {
-            eprintln!("usage: patchdb <build|stats|classify|patterns|analyze|scan> [...]");
+            eprintln!("usage: patchdb <build|trace|stats|classify|patterns|analyze|scan> [...]");
             eprintln!("see `src/bin/patchdb.rs` header for per-command flags");
             return ExitCode::FAILURE;
         }
@@ -48,20 +55,29 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
-fn cmd_build(args: &[String]) -> CliResult {
+fn cmd_build(args: &[String], force_trace: bool) -> CliResult {
     let mut seed = 42u64;
     let mut tiny = false;
     let mut synth = true;
+    let mut trace = force_trace;
     let mut out: Option<String> = None;
+    let mut trace_out = "TRACE_build.json".to_owned();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => seed = it.next().ok_or("--seed needs a value")?.parse()?,
             "--tiny" => tiny = true,
             "--no-synth" => synth = false,
+            "--trace" => trace = true,
             "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+            "--trace-out" => {
+                trace_out = it.next().ok_or("--trace-out needs a path")?.clone();
+            }
             other => return Err(format!("unknown flag {other}").into()),
         }
+    }
+    if trace {
+        obs::set_enabled(true); // same effect as PATCHDB_TRACE=1
     }
 
     let mut options = if tiny {
@@ -90,7 +106,36 @@ fn cmd_build(args: &[String]) -> CliResult {
         std::fs::write(&path, &json)?;
         eprintln!("\nwrote {} bytes to {path}", json.len());
     }
+    // `PATCHDB_TRACE=1 patchdb build` (no flags) also lands here: the
+    // pipeline saw tracing enabled and attached telemetry.
+    if let Some(telemetry) = &report.telemetry {
+        let json = telemetry.to_json().to_pretty_string() + "\n";
+        std::fs::write(&trace_out, &json)?;
+        eprintln!("\nwrote trace ({} bytes) to {trace_out}", json.len());
+        print_stage_summary(telemetry);
+    }
     Ok(())
+}
+
+/// Prints the five top-level stage timings plus the NLS pruning
+/// efficiency — the human-readable view of TRACE_build.json.
+fn print_stage_summary(telemetry: &BuildTelemetry) {
+    let trace = &telemetry.trace;
+    if let Some(build) = trace.find_span("build") {
+        println!("\nbuild stages ({:.2}s total):", build.ns as f64 / 1e9);
+        for stage in &build.children {
+            println!("  {:<14} {:>8.1} ms", stage.name, stage.ns as f64 / 1e6);
+        }
+    }
+    let evaluated = trace.counter("nls.dist_evaluated").unwrap_or(0);
+    let pruned = trace.counter("nls.pruned_norm").unwrap_or(0);
+    if evaluated + pruned > 0 {
+        println!(
+            "nls: {evaluated} distances evaluated, {pruned} pruned by norm bound \
+             ({:.1}% of comparisons avoided)",
+            100.0 * pruned as f64 / (evaluated + pruned) as f64
+        );
+    }
 }
 
 fn with_db(args: &[String], f: fn(&PatchDb) -> CliResult) -> CliResult {

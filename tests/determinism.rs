@@ -75,6 +75,38 @@ fn thread_count_does_not_change_output() {
     }
 }
 
+/// Tracing observes the build; it never steers it. A `PATCHDB_TRACE=1`
+/// build (via the equivalent programmatic toggle — the env var is read
+/// once per process, so flipping it here wouldn't take) and an untraced
+/// build export byte-identical JSON, stats and rounds; only the
+/// `telemetry` attachment differs. Tests in this binary run
+/// concurrently, so a neighbor build may incidentally get traced while
+/// the toggle is on — harmless by exactly the property this test pins.
+#[test]
+fn trace_toggle_does_not_change_output() {
+    let off = PatchDb::build(&BuildOptions::tiny(1234));
+    patchdb_rt::obs::set_enabled(true);
+    let on = PatchDb::build(&BuildOptions::tiny(1234));
+    patchdb_rt::obs::set_enabled(false);
+
+    assert!(on.telemetry.is_some(), "traced build lost its telemetry");
+    assert_eq!(
+        off.db.to_json().expect("export untraced"),
+        on.db.to_json().expect("export traced"),
+        "tracing changed output bytes"
+    );
+    assert_eq!(off.db.stats(), on.db.stats());
+    assert_eq!(off.wild_total, on.wild_total);
+    assert_eq!(off.verification_effort, on.verification_effort);
+    assert_eq!(off.rounds.len(), on.rounds.len());
+    for (ra, rb) in off.rounds.iter().zip(&on.rounds) {
+        assert_eq!(ra.pool, rb.pool);
+        assert_eq!(ra.candidates, rb.candidates);
+        assert_eq!(ra.verified_security, rb.verified_security);
+        assert_eq!(ra.ratio.to_bits(), rb.ratio.to_bits());
+    }
+}
+
 /// Different seeds must actually change the dataset (the determinism
 /// above is not just a constant function).
 #[test]

@@ -164,9 +164,7 @@ fn pipeline_build_ms() -> f64 {
     let options = if fast {
         BuildOptions::tiny(7)
     } else {
-        let mut o = patchdb_bench::bench_options(7);
-        o.synthesize = true;
-        o
+        patchdb_bench::bench_options(7).synthesize(true)
     };
     let start = Instant::now();
     let report = PatchDb::build(&options);

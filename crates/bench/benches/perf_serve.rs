@@ -1,0 +1,131 @@
+//! Loopback load generation against `patchdb-serve`: boots a server over
+//! a tiny built dataset at several worker-pool sizes and hammers
+//! `/v1/identify` from concurrent client threads, reporting throughput
+//! and exact client-side p50/p99 latency per configuration — written to
+//! `BENCH_serve.json` at the repo root.
+//!
+//! * `PATCHDB_BENCH_FAST=1` shrinks the request count for the CI smoke
+//!   run (the JSON is still produced and must still parse).
+//! * `PATCHDB_BENCH_SERVE_JSON=<path>` overrides the output location.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use patchdb::{BuildOptions, PatchDb};
+use patchdb_rt::json::Json;
+use patchdb_serve::{client, ServeConfig, ServeIndex, Server};
+
+const CLIENT_THREADS: usize = 8;
+
+fn fast_mode() -> bool {
+    std::env::var_os("PATCHDB_BENCH_FAST").is_some()
+}
+
+/// Drives `total` identify requests from [`CLIENT_THREADS`] concurrent
+/// clients; returns (elapsed seconds, per-request latencies ns, errors).
+fn drive(addr: SocketAddr, bodies: &[String], total: usize) -> (f64, Vec<u64>, usize) {
+    let started = Instant::now();
+    let per_thread = total.div_ceil(CLIENT_THREADS);
+    let outcomes: Vec<(Vec<u64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENT_THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(per_thread);
+                    let mut errors = 0usize;
+                    for i in 0..per_thread {
+                        let body = &bodies[(t * per_thread + i) % bodies.len()];
+                        let sent = Instant::now();
+                        match client::request(addr, "POST", "/v1/identify", body.as_bytes()) {
+                            Ok(reply) if reply.status == 200 => {
+                                latencies.push(sent.elapsed().as_nanos() as u64);
+                            }
+                            _ => errors += 1,
+                        }
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut latencies = Vec::new();
+    let mut errors = 0;
+    for (l, e) in outcomes {
+        latencies.extend(l);
+        errors += e;
+    }
+    latencies.sort_unstable();
+    (elapsed, latencies, errors)
+}
+
+/// Exact quantile of a sorted latency vector (nearest-rank).
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let fast = fast_mode();
+    let total = if fast { 200 } else { 2_000 };
+
+    eprintln!("building tiny dataset + identify request corpus...");
+    let db = PatchDb::build(&BuildOptions::tiny(11).synthesize(false)).db;
+    let bodies: Vec<String> = db
+        .records()
+        .take(64)
+        .map(|r| {
+            format!("commit {}\n{}", r.commit, r.patch.to_unified_string())
+        })
+        .collect();
+    assert!(!bodies.is_empty(), "tiny build produced no records");
+
+    let mut results = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let index = ServeIndex::build(db.clone());
+        let config = ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .threads(workers)
+            .max_inflight(256);
+        let server = Server::start(index, &config).expect("server binds on loopback");
+        // Warm the path (thread spawn, first forest walk) off the clock.
+        let _ = client::request(server.addr(), "POST", "/v1/identify", bodies[0].as_bytes());
+
+        let (elapsed, latencies, errors) = drive(server.addr(), &bodies, total);
+        let requests = latencies.len();
+        let throughput = requests as f64 / elapsed.max(1e-9);
+        let (p50, p99) = (quantile(&latencies, 0.50), quantile(&latencies, 0.99));
+        println!(
+            "workers {workers}: {requests} ok / {errors} err in {elapsed:.2}s \
+             = {throughput:.0} req/s, p50 {:.2} ms, p99 {:.2} ms",
+            p50 as f64 / 1e6,
+            p99 as f64 / 1e6
+        );
+        server.shutdown();
+
+        results.push(Json::Obj(vec![
+            ("workers".into(), Json::Num(workers as f64)),
+            ("requests".into(), Json::Num(requests as f64)),
+            ("errors".into(), Json::Num(errors as f64)),
+            ("throughput_rps".into(), Json::Num(throughput)),
+            ("p50_ns".into(), Json::Num(p50 as f64)),
+            ("p99_ns".into(), Json::Num(p99 as f64)),
+        ]));
+    }
+
+    let json = Json::Obj(vec![
+        ("schema".into(), Json::Str("patchdb-serve/v1".into())),
+        ("fast_mode".into(), Json::Bool(fast)),
+        ("client_threads".into(), Json::Num(CLIENT_THREADS as f64)),
+        ("requests_per_config".into(), Json::Num(total as f64)),
+        ("results".into(), Json::Arr(results)),
+    ]);
+    let path = std::env::var("PATCHDB_BENCH_SERVE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_owned()
+    });
+    std::fs::write(&path, json.to_pretty_string() + "\n").expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

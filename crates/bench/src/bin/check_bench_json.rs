@@ -8,6 +8,10 @@
 //!   an object with `name`/`ns`/`children`), durations are non-negative,
 //!   counter names are unique with non-negative integer values, and each
 //!   histogram's `count` equals the sum of its buckets.
+//! * `patchdb-serve/v1` (BENCH_serve.json) — non-empty `results` array,
+//!   each entry with a positive integer `workers`, non-negative
+//!   `requests`/`errors`/`throughput_rps`, and latency quantiles with
+//!   `p50_ns <= p99_ns`.
 //!
 //! A file without a `schema` tag falls back to the bench checks (the
 //! pre-tag BENCH_nls.json format). Exits non-zero with a diagnostic on
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
     let schema = json.get("schema").and_then(Json::as_str).unwrap_or("");
     let outcome = match schema {
         "patchdb-trace/v1" => check_trace(&json),
+        "patchdb-serve/v1" => check_serve(&json),
         "patchdb-bench-nls/v1" | "" => check_bench(&json),
         other => Err(format!("unknown schema tag {other:?}")),
     };
@@ -68,6 +73,37 @@ fn check_bench(json: &Json) -> Result<String, String> {
         }
     }
     Ok(format!("{} results", results.len()))
+}
+
+fn check_serve(json: &Json) -> Result<String, String> {
+    let results = json
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .ok_or("no `results` array")?;
+    if results.is_empty() {
+        return Err("empty `results` array".into());
+    }
+    for (i, r) in results.iter().enumerate() {
+        let at = format!("result #{i}");
+        let num = |field: &str| {
+            r.get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("{at} lacks a numeric `{field}`"))
+        };
+        let workers = num("workers")?;
+        if !(workers >= 1.0 && workers.fract() == 0.0) {
+            return Err(format!("{at}: workers = {workers} is not a positive integer"));
+        }
+        for field in ["requests", "errors", "throughput_rps", "p50_ns", "p99_ns"] {
+            if num(field)? < 0.0 {
+                return Err(format!("{at}: `{field}` is negative"));
+            }
+        }
+        if num("p50_ns")? > num("p99_ns")? {
+            return Err(format!("{at}: p50_ns exceeds p99_ns"));
+        }
+    }
+    Ok(format!("{} serve configurations", results.len()))
 }
 
 fn check_trace(json: &Json) -> Result<String, String> {

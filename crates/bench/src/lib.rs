@@ -30,8 +30,8 @@ fn scaled(base: usize, scale: f64) -> usize {
 /// error.
 pub fn bench_options(seed: u64) -> BuildOptions {
     let s = bench_scale();
-    BuildOptions {
-        corpus: CorpusConfig {
+    BuildOptions::default_scale(seed)
+        .corpus(CorpusConfig {
             n_repos: 313,
             mean_commits_per_repo: scaled(200, s),
             security_rate: 0.08,
@@ -40,24 +40,20 @@ pub fn bench_options(seed: u64) -> BuildOptions {
             silent_mention_rate: 0.12,
             twin_rate: 0.25,
             seed,
-        },
-        pools: vec![
+        })
+        .pools(vec![
             PoolPlan { name: "Set I".into(), size: scaled(10_000, s), rounds: 3 },
             PoolPlan { name: "Set II".into(), size: scaled(20_000, s), rounds: 1 },
             PoolPlan { name: "Set III".into(), size: scaled(20_000, s), rounds: 1 },
-        ],
-        expert_error: 0.02,
-        synthesize: false, // benches that need synthesis enable it
-        synth_cap: 4,
-        seed,
-    }
+        ])
+        .expert_error(0.02)
+        .synthesize(false) // benches that need synthesis enable it
+        .synth_cap(4)
 }
 
 /// Builds the benchmark experiment (forge + PatchDB) once.
 pub fn build_experiment(seed: u64, synthesize: bool) -> BuildReport {
-    let mut options = bench_options(seed);
-    options.synthesize = synthesize;
-    PatchDb::build(&options)
+    PatchDb::build(&bench_options(seed).synthesize(synthesize))
 }
 
 /// Assembles a feature-space [`Dataset`] from positive/negative records.

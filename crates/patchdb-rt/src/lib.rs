@@ -20,10 +20,14 @@
 //!   `crossbeam::scope`.
 //! * [`obs`] — spans, counters and histograms behind a `PATCHDB_TRACE`
 //!   toggle (near-zero cost when off), replacing `tracing`/`metrics`.
+//! * [`queue`] — a bounded MPMC hand-off with non-blocking producers
+//!   (explicit backpressure) and gracefully draining consumers, the
+//!   admission-control primitive under `patchdb-serve`.
 
 pub mod bench;
 pub mod check;
 pub mod json;
 pub mod obs;
 pub mod par;
+pub mod queue;
 pub mod rng;

@@ -278,6 +278,30 @@ impl Hist {
         &self.buckets
     }
 
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the bucket counts: the
+    /// inclusive upper edge of the bucket in which the cumulative count
+    /// crosses `ceil(q * count)`, capped at the recorded maximum.
+    ///
+    /// The log2 bucketing bounds the relative error at one octave, which
+    /// is plenty for latency reporting (`p50`/`p99` on `/metrics` and in
+    /// `BENCH_serve.json`). Returns `0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(n);
+            if cumulative >= target {
+                // Bucket 0 holds exact zeros; bucket k holds [2^(k-1), 2^k).
+                let upper = if k == 0 { 0 } else { (1u64 << k).saturating_sub(1) };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("count".into(), Json::Num(self.count as f64)),
@@ -413,6 +437,42 @@ impl TraceReport {
             None
         }
         dfs(&self.spans, name)
+    }
+
+    /// Renders counters and histograms as a plain-text metrics exposition
+    /// (one metric per line, names ascending — the `GET /metrics` format
+    /// of `patchdb-serve`):
+    ///
+    /// ```text
+    /// patchdb_counter{name="serve.identify.requests"} 12
+    /// patchdb_hist_count{name="serve.identify.ns"} 12
+    /// patchdb_hist_sum{name="serve.identify.ns"} 84213
+    /// patchdb_hist_max{name="serve.identify.ns"} 16383
+    /// patchdb_hist_p50{name="serve.identify.ns"} 4095
+    /// patchdb_hist_p99{name="serve.identify.ns"} 16383
+    /// ```
+    ///
+    /// Spans are omitted: they describe one bounded computation, not a
+    /// long-running process, and `TRACE_build.json` already carries them.
+    pub fn to_metrics_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("patchdb_counter{{name=\"{name}\"}} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("patchdb_hist_count{{name=\"{name}\"}} {}\n", h.count()));
+            out.push_str(&format!("patchdb_hist_sum{{name=\"{name}\"}} {}\n", h.sum()));
+            out.push_str(&format!("patchdb_hist_max{{name=\"{name}\"}} {}\n", h.max()));
+            out.push_str(&format!(
+                "patchdb_hist_p50{{name=\"{name}\"}} {}\n",
+                h.quantile(0.50)
+            ));
+            out.push_str(&format!(
+                "patchdb_hist_p99{{name=\"{name}\"}} {}\n",
+                h.quantile(0.99)
+            ));
+        }
+        out
     }
 
     /// Serializes as `{"spans": [...], "counters": {...},
@@ -592,6 +652,47 @@ mod tests {
         direct.record("h", 9);
         assert_eq!(merged.counter("c"), direct.counter("c"));
         assert_eq!(merged.hists, direct.hists);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_edges() {
+        let mut h = Hist::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [0, 0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        // Cumulative: bucket0=2 (zeros), bucket1=1 (the 1), bucket2=2
+        // (2 and 3), bucket7=1 (100). p50 target is the 3rd observation.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.75), 3); // bucket 2 upper edge, capped by nothing
+        assert_eq!(h.quantile(1.0), 100); // last bucket caps at the true max
+        // A single-value histogram reports that value at every quantile.
+        let mut one = Hist::default();
+        one.record(1000);
+        assert_eq!(one.quantile(0.5), 1000);
+        assert_eq!(one.quantile(0.99), 1000);
+    }
+
+    #[test]
+    fn metrics_text_lists_counters_and_quantiles() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        counter_add("serve.requests", 3);
+        for v in [10, 20, 30] {
+            hist_record("serve.ns", v);
+        }
+        let r = report();
+        set_enabled(false);
+        let text = r.to_metrics_text();
+        assert!(text.contains("patchdb_counter{name=\"serve.requests\"} 3"), "{text}");
+        assert!(text.contains("patchdb_hist_count{name=\"serve.ns\"} 3"), "{text}");
+        assert!(text.contains("patchdb_hist_sum{name=\"serve.ns\"} 60"), "{text}");
+        assert!(text.contains("patchdb_hist_max{name=\"serve.ns\"} 30"), "{text}");
+        assert!(text.contains("patchdb_hist_p99{name=\"serve.ns\"}"), "{text}");
+        // One line per metric, nothing else.
+        assert!(text.lines().all(|l| l.starts_with("patchdb_")), "{text}");
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Micro-batching for `/v1/identify`: concurrent requests inside one
+//! batch window are scored through the forest as a single
+//! `predict_proba_batch` call instead of one tree-walk pass each.
+//!
+//! Shape: workers [`Batcher::submit`] a weighted feature row and block on
+//! a per-job slot; a dedicated batcher thread wakes on the first arrival,
+//! sleeps the configured window to let the batch fill, swaps the pending
+//! list out, scores it, and fulfills every slot. Because per-row scoring
+//! is a pure function of the fitted forest, a row's score is independent
+//! of which rows happened to share its batch — batching changes
+//! throughput, never bytes.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use patchdb_rt::obs;
+
+use crate::index::ServeIndex;
+
+/// One waiting request's result cell.
+#[derive(Default)]
+struct Slot {
+    result: Mutex<Option<f64>>,
+    ready: Condvar,
+}
+
+struct Job {
+    row: Vec<f64>,
+    slot: Arc<Slot>,
+}
+
+#[derive(Default)]
+struct State {
+    pending: Vec<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    index: Arc<ServeIndex>,
+    window: Duration,
+    state: Mutex<State>,
+    arrived: Condvar,
+}
+
+/// Cloneable handle workers submit through; the owning [`crate::Server`]
+/// keeps the thread's join handle.
+#[derive(Clone)]
+pub(crate) struct Batcher {
+    shared: Arc<Shared>,
+}
+
+impl Batcher {
+    /// Starts the batcher thread; returns the submit handle and the
+    /// join handle for shutdown.
+    pub(crate) fn start(
+        index: Arc<ServeIndex>,
+        window: Duration,
+    ) -> (Batcher, JoinHandle<()>) {
+        let shared = Arc::new(Shared {
+            index,
+            window,
+            state: Mutex::new(State::default()),
+            arrived: Condvar::new(),
+        });
+        let run_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("patchdb-serve-batcher".into())
+            .spawn(move || run(&run_shared))
+            .expect("spawn batcher thread");
+        (Batcher { shared }, handle)
+    }
+
+    /// Scores one weighted feature row, blocking until its batch is
+    /// evaluated. After shutdown the row is scored inline instead — a
+    /// draining worker never deadlocks on a stopped batcher.
+    pub(crate) fn submit(&self, row: Vec<f64>) -> f64 {
+        let slot = Arc::new(Slot::default());
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.shutdown {
+                drop(state);
+                return self.shared.index.score_rows(std::slice::from_ref(&row))[0];
+            }
+            state.pending.push(Job { row, slot: Arc::clone(&slot) });
+        }
+        self.shared.arrived.notify_all();
+        let mut result = slot.result.lock().unwrap();
+        while result.is_none() {
+            result = slot.ready.wait(result).unwrap();
+        }
+        result.unwrap()
+    }
+
+    /// Tells the batcher thread to drain what is pending and exit.
+    pub(crate) fn shutdown(&self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.arrived.notify_all();
+    }
+}
+
+fn run(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().unwrap();
+            while state.pending.is_empty() && !state.shutdown {
+                state = shared.arrived.wait(state).unwrap();
+            }
+            if state.pending.is_empty() {
+                return; // shutdown with nothing left to drain
+            }
+            if !shared.window.is_zero() && !state.shutdown {
+                // Let the batch fill: release the lock for one window, then
+                // take whatever accumulated.
+                drop(state);
+                std::thread::sleep(shared.window);
+                state = shared.state.lock().unwrap();
+            }
+            std::mem::take(&mut state.pending)
+        };
+
+        obs::counter_add("serve.identify.batches", 1);
+        obs::hist_record("serve.identify.batch_len", batch.len() as u64);
+        let (rows, slots): (Vec<Vec<f64>>, Vec<Arc<Slot>>) =
+            batch.into_iter().map(|j| (j.row, j.slot)).unzip();
+        let scores = shared.index.score_rows(&rows);
+        for (slot, score) in slots.into_iter().zip(scores) {
+            *slot.result.lock().unwrap() = Some(score);
+            slot.ready.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patchdb::{BuildOptions, PatchDb};
+    use patchdb_features::FEATURE_DIM;
+
+    fn tiny_index() -> Arc<ServeIndex> {
+        Arc::new(ServeIndex::build(
+            PatchDb::build(&BuildOptions::tiny(3).synthesize(false)).db,
+        ))
+    }
+
+    #[test]
+    fn batched_scores_equal_direct_scores() {
+        let index = tiny_index();
+        let (batcher, handle) = Batcher::start(Arc::clone(&index), Duration::from_millis(5));
+        let rows: Vec<Vec<f64>> = index
+            .db()
+            .security_patches()
+            .take(8)
+            .map(|r| index.weighted_features(&r.patch))
+            .collect();
+        let direct = index.score_rows(&rows);
+        let batched: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .iter()
+                .map(|row| {
+                    let b = batcher.clone();
+                    let row = row.clone();
+                    scope.spawn(move || b.submit(row))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(batched, direct, "batch composition leaked into scores");
+        batcher.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn submit_after_shutdown_scores_inline() {
+        let index = tiny_index();
+        let (batcher, handle) = Batcher::start(index, Duration::from_millis(1));
+        batcher.shutdown();
+        handle.join().unwrap();
+        let score = batcher.submit(vec![0.0; FEATURE_DIM]);
+        assert!((0.0..=1.0).contains(&score));
+    }
+}

@@ -1,0 +1,89 @@
+//! A minimal loopback HTTP/1.1 client — just enough to exercise the
+//! server from tests, the CI smoke step, and the load-generating bench
+//! without any external HTTP dependency.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// What came back from one [`request`]: the status code and the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// HTTP status code from the status line.
+    pub status: u16,
+    /// Raw body bytes (everything after the header terminator).
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// The body as UTF-8, lossily.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request and reads the full response (the server closes the
+/// connection after each exchange, so reading to EOF is the framing).
+///
+/// # Errors
+///
+/// Any socket error, or `InvalidData` when the response is not HTTP.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: patchdb\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_reply(&raw)
+}
+
+fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
+    let bad = |why: &str| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_owned())
+    };
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .ok_or_else(|| bad("no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| bad("non-UTF-8 response header"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    Ok(HttpReply { status, body: raw[header_end..].to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_reply_with_status_and_body() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\nlater\n";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.body_text(), "later\n");
+    }
+
+    #[test]
+    fn rejects_non_http_noise() {
+        assert!(parse_reply(b"banana").is_err());
+        assert!(parse_reply(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+}

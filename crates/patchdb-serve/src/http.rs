@@ -1,0 +1,248 @@
+//! A deliberately small HTTP/1.1 subset over `std::io` streams: exactly
+//! what the loopback query endpoints need, nothing more.
+//!
+//! Supported: one request per connection (`Connection: close` on every
+//! response), request line + headers + `Content-Length` body, bounded
+//! header and body sizes. Not supported, by design: keep-alive,
+//! chunked transfer, TLS, multipart — the server answers small JSON and
+//! plain-text documents on a trusted loopback/LAN socket.
+
+use std::io::{Read, Write};
+
+use patchdb_rt::json::Json;
+
+/// Largest accepted header block; longer requests are answered `400`.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted body (diffs and C files are small); else `413`.
+pub(crate) const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request: method, path, and raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path, query string included verbatim.
+    pub path: String,
+    /// The body, exactly `Content-Length` bytes (empty without one).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed, mapped to a status by the worker.
+#[derive(Debug)]
+pub(crate) enum ParseError {
+    /// Not parseable as HTTP — answer `400`.
+    Malformed(&'static str),
+    /// Body or header block over the size bounds — answer `413`.
+    TooLarge,
+    /// Socket error or timeout while reading — no response possible.
+    Io(std::io::Error),
+}
+
+/// Reads and parses one request from `stream`.
+pub(crate) fn parse_request(stream: &mut impl Read) -> Result<Request, ParseError> {
+    // Read until the blank line that ends the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ParseError::TooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(ParseError::Io)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("connection closed mid-header"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| ParseError::Malformed("non-UTF-8 header"))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(ParseError::Malformed("bad request line"));
+    };
+    if !parts.next().is_some_and(|v| v.starts_with("HTTP/1.")) {
+        return Err(ParseError::Malformed("not HTTP/1.x"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+
+    // The body: whatever followed the blank line, then the remainder.
+    let mut body = buf[header_end..].to_vec();
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(ParseError::Io)?;
+        if n == 0 {
+            return Err(ParseError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method: method.to_ascii_uppercase(), path: path.to_owned(), body })
+}
+
+/// Byte offset just past the first `\r\n\r\n` (or bare `\n\n`), if any.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+/// A response about to be written: status, media type, body, and the
+/// optional `Retry-After` backpressure hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Seconds for a `Retry-After` header (`503` shedding responses).
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// A compact-JSON response.
+    pub fn json(status: u16, json: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: (json.to_compact_string() + "\n").into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// The `503` load-shedding response with its `Retry-After` hint.
+    pub fn overloaded(retry_after_secs: u32) -> Response {
+        let mut r = Response::text(503, "overloaded, retry later\n");
+        r.retry_after = Some(retry_after_secs);
+        r
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+}
+
+/// Writes `response` and flushes; the connection then closes.
+pub(crate) fn write_response(
+    stream: &mut impl Write,
+    response: &Response,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len()
+    );
+    if let Some(secs) = response.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Request, ParseError> {
+        parse_request(&mut text.as_bytes())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length_exactly() {
+        let r = parse(
+            "POST /v1/identify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhellotrailing-junk",
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_separators() {
+        let r = parse("POST /x HTTP/1.1\nContent-Length: 2\n\nok").unwrap();
+        assert_eq!(r.body, b"ok");
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(matches!(parse("not http at all\r\n\r\n"), Err(ParseError::Malformed(_))));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_up_front() {
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse(&huge), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn response_wire_format_round_trips() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::overloaded(1)).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("overloaded, retry later\n"), "{text}");
+    }
+}

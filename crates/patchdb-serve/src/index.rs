@@ -1,0 +1,297 @@
+//! The in-memory query index: everything hot paths need, precomputed at
+//! load time so no request ever re-parses or re-fits anything.
+
+use patch_core::{CommitId, Patch};
+use patchdb::{
+    classify_patch, signatures_of, test_presence, PatchDb, PatchSignature, PresenceVerdict,
+    Source, ALL_CATEGORIES,
+};
+use patchdb_features::{apply_weights, extract, learn_weights, Weights};
+use patchdb_ml::{Classifier, Dataset, RandomForest};
+use patchdb_rt::json::Json;
+
+/// One precompiled signature plus the provenance the scan response needs.
+#[derive(Debug, Clone)]
+struct SignatureEntry {
+    commit: CommitId,
+    cve_id: Option<String>,
+    signature: PatchSignature,
+}
+
+/// One vulnerable-clone hit from [`ServeIndex::scan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanMatch {
+    /// Commit of the security patch whose vulnerable shape matched.
+    pub commit: CommitId,
+    /// Its CVE id, when NVD-sourced (`None` for silent fixes).
+    pub cve_id: Option<String>,
+}
+
+/// Everything [`ServeIndex::scan`] learned about one target.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Vulnerable-clone hits (the interesting ones), in index order.
+    pub matches: Vec<ScanMatch>,
+    /// Signatures whose *fix* shape matched: the patch is present.
+    pub patched: usize,
+}
+
+/// The server's read-only view of a built dataset: the dataset itself, a
+/// pre-fit random-forest security identifier over weighted Table I
+/// features, and the precompiled vulnerability-signature index.
+///
+/// Built once at load time; shared immutably by every worker thread.
+pub struct ServeIndex {
+    db: PatchDb,
+    weights: Weights,
+    forest: Option<RandomForest>,
+    signatures: Vec<SignatureEntry>,
+}
+
+impl ServeIndex {
+    /// Seed of the served identifier model. Fixed so that two servers
+    /// over the same dataset answer identically (the determinism test
+    /// relies on this), independent of any pipeline seed.
+    pub const MODEL_SEED: u64 = 0x5e7e;
+
+    /// Number of trees / depth bound of the served forest — the Table VI
+    /// configuration.
+    const FOREST_SHAPE: (usize, usize) = (24, 10);
+
+    /// Precomputes the index from a built dataset: learns the Table I
+    /// feature weights over the natural records, fits the random-forest
+    /// identifier (security vs non-security), and compiles the
+    /// vulnerability signatures of every security patch.
+    pub fn build(db: PatchDb) -> ServeIndex {
+        let weights = learn_weights(db.records().map(|r| &r.features));
+        let rows: Vec<Vec<f64>> = db
+            .records()
+            .map(|r| apply_weights(&r.features, &weights).as_slice().to_vec())
+            .collect();
+        let labels: Vec<bool> =
+            db.records().map(|r| r.source != Source::NonSecurity).collect();
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        // A one-class dataset can't train a discriminator; the identify
+        // endpoint then reports the uninformative 0.5 rather than lying.
+        let forest = (n_pos > 0 && n_pos < labels.len())
+            .then(|| {
+                Dataset::new(rows, labels).ok().map(|data| {
+                    let (trees, depth) = Self::FOREST_SHAPE;
+                    let mut rf = RandomForest::new(trees, depth, Self::MODEL_SEED);
+                    rf.fit(&data);
+                    rf
+                })
+            })
+            .flatten();
+
+        let signatures: Vec<SignatureEntry> = db
+            .security_patches()
+            .flat_map(|r| {
+                signatures_of(&r.patch).into_iter().map(|signature| SignatureEntry {
+                    commit: r.commit,
+                    cve_id: r.cve_id.clone(),
+                    signature,
+                })
+            })
+            .collect();
+
+        ServeIndex { db, weights, forest, signatures }
+    }
+
+    /// The indexed dataset.
+    pub fn db(&self) -> &PatchDb {
+        &self.db
+    }
+
+    /// Number of precompiled signatures.
+    pub fn signature_count(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// The weighted feature row the identifier scores — the request-time
+    /// half of the Section III-B-2 weighting scheme.
+    pub fn weighted_features(&self, patch: &Patch) -> Vec<f64> {
+        apply_weights(&extract(patch, None), &self.weights).as_slice().to_vec()
+    }
+
+    /// Scores a batch of weighted feature rows with the pre-fit forest,
+    /// in row order. Row-order deterministic, so scores are independent
+    /// of how requests were batched together.
+    pub fn score_rows(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        match &self.forest {
+            Some(f) => f.predict_proba_batch(rows),
+            None => vec![0.5; rows.len()],
+        }
+    }
+
+    /// Tests a target source text against every precompiled vulnerability
+    /// signature.
+    pub fn scan(&self, target: &str) -> ScanOutcome {
+        let mut outcome = ScanOutcome::default();
+        for entry in &self.signatures {
+            match test_presence(&entry.signature, target) {
+                PresenceVerdict::Vulnerable => outcome.matches.push(ScanMatch {
+                    commit: entry.commit,
+                    cve_id: entry.cve_id.clone(),
+                }),
+                PresenceVerdict::Patched => outcome.patched += 1,
+                PresenceVerdict::NotApplicable => {}
+            }
+        }
+        outcome
+    }
+
+    /// The `/v1/stats` document: headline counts, signature count, and
+    /// the ground-truth category distribution in Table V order.
+    pub fn stats_json(&self) -> Json {
+        let s = self.db.stats();
+        let dist = PatchDb::category_distribution(self.db.security_patches());
+        let categories = ALL_CATEGORIES
+            .into_iter()
+            .map(|c| {
+                (c.label().to_owned(), Json::Num(dist.get(&c).copied().unwrap_or(0.0)))
+            })
+            .collect();
+        Json::Obj(vec![
+            ("nvd_security".into(), Json::Num(s.nvd_security as f64)),
+            ("wild_security".into(), Json::Num(s.wild_security as f64)),
+            ("non_security".into(), Json::Num(s.non_security as f64)),
+            ("synthetic_security".into(), Json::Num(s.synthetic_security as f64)),
+            (
+                "synthetic_non_security".into(),
+                Json::Num(s.synthetic_non_security as f64),
+            ),
+            ("signatures".into(), Json::Num(self.signatures.len() as f64)),
+            ("categories".into(), Json::Obj(categories)),
+        ])
+    }
+
+    /// The `/v1/patch/<id>` document, `None` when the id resolves to no
+    /// unique record.
+    pub fn patch_json(&self, id: &str) -> Option<Json> {
+        let r = self.db.find_patch(id)?;
+        let source = match r.source {
+            Source::Nvd => "nvd",
+            Source::Wild => "wild",
+            Source::NonSecurity => "non-security",
+        };
+        Some(Json::Obj(vec![
+            ("commit".into(), Json::Str(r.commit.to_string())),
+            ("repo".into(), Json::Str(r.repo.clone())),
+            (
+                "cve_id".into(),
+                r.cve_id.as_ref().map_or(Json::Null, |c| Json::Str(c.clone())),
+            ),
+            ("source".into(), Json::Str(source.into())),
+            ("message".into(), Json::Str(r.message.clone())),
+            (
+                "category".into(),
+                r.truth_category
+                    .map_or(Json::Null, |c| Json::Str(c.label().to_owned())),
+            ),
+            ("patch".into(), Json::Str(r.patch.to_unified_string())),
+        ]))
+    }
+
+    /// The `/v1/classify` document for one parsed patch.
+    pub fn classify_json(&self, patch: &Patch) -> Json {
+        let category = classify_patch(patch);
+        Json::Obj(vec![
+            ("type_id".into(), Json::Num(category.type_id() as f64)),
+            ("label".into(), Json::Str(category.label().to_owned())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patchdb::BuildOptions;
+    use std::sync::OnceLock;
+
+    fn index() -> &'static ServeIndex {
+        static INDEX: OnceLock<ServeIndex> = OnceLock::new();
+        INDEX.get_or_init(|| {
+            ServeIndex::build(PatchDb::build(&BuildOptions::tiny(5).synthesize(false)).db)
+        })
+    }
+
+    #[test]
+    fn scores_separate_the_training_classes_on_average() {
+        let ix = index();
+        let sec_rows: Vec<Vec<f64>> = ix
+            .db()
+            .security_patches()
+            .map(|r| ix.weighted_features(&r.patch))
+            .collect();
+        let nonsec_rows: Vec<Vec<f64>> = ix
+            .db()
+            .non_security
+            .iter()
+            .map(|r| ix.weighted_features(&r.patch))
+            .collect();
+        let mean = |rows: &[Vec<f64>]| {
+            let s: f64 = ix.score_rows(rows).iter().sum();
+            s / rows.len().max(1) as f64
+        };
+        let (sec, nonsec) = (mean(&sec_rows), mean(&nonsec_rows));
+        assert!(
+            sec > nonsec + 0.2,
+            "identifier does not separate classes: sec {sec:.3} vs nonsec {nonsec:.3}"
+        );
+    }
+
+    #[test]
+    fn scan_flags_a_vulnerable_clone_of_an_indexed_patch() {
+        let ix = index();
+        // Reconstruct a pre-patch body from some indexed signature by
+        // scanning each record's own BEFORE content: a record's own
+        // vulnerable text must match its own signature.
+        let mut hits = 0;
+        for r in ix.db().security_patches().take(50) {
+            let before: String = r
+                .patch
+                .hunks()
+                .flat_map(|h| {
+                    h.lines.iter().filter(|l| l.kind != patch_core::LineKind::Added)
+                })
+                .map(|l| l.content.clone() + "\n")
+                .collect();
+            hits += usize::from(!ix.scan(&before).matches.is_empty());
+        }
+        assert!(hits > 0, "no record's own pre-patch body matched its signature");
+    }
+
+    #[test]
+    fn stats_json_counts_match_the_dataset() {
+        let ix = index();
+        let json = ix.stats_json();
+        let stats = ix.db().stats();
+        assert_eq!(
+            json.get("nvd_security").and_then(Json::as_f64),
+            Some(stats.nvd_security as f64)
+        );
+        assert_eq!(
+            json.get("signatures").and_then(Json::as_f64),
+            Some(ix.signature_count() as f64)
+        );
+        assert!(ix.signature_count() > 0);
+    }
+
+    #[test]
+    fn patch_lookup_round_trips_by_prefix() {
+        let ix = index();
+        let first = ix.db().nvd.first().expect("tiny build has NVD records");
+        let hex = first.commit.to_string();
+        let json = ix.patch_json(&hex[..12]).expect("unique 12-char prefix resolves");
+        assert_eq!(json.get("commit").and_then(Json::as_str), Some(hex.as_str()));
+        assert!(ix.patch_json("zz").is_none());
+    }
+
+    #[test]
+    fn one_class_dataset_scores_uninformative() {
+        let db = PatchDb::default();
+        let ix = ServeIndex::build(db);
+        assert_eq!(ix.score_rows(&[vec![0.0; 60]]), vec![0.5]);
+    }
+}

@@ -1,0 +1,60 @@
+//! # patchdb-serve
+//!
+//! A long-lived query/inference server over a built PatchDB dataset —
+//! the workload the paper's applications imply (SPI-style commit
+//! classification as commits arrive, PatchFinder-style on-demand CVE
+//! tracing) but which the one-shot CLI subcommands cannot serve: they
+//! re-parse the whole JSON dataset per invocation.
+//!
+//! The server loads the dataset **once** into a [`ServeIndex`] — a
+//! pre-fit random-forest identifier, the Table I feature weights, and
+//! the precompiled vulnerability-signature index — and answers queries
+//! over a zero-external-dependency HTTP/1.1 subset on
+//! `std::net::TcpListener`:
+//!
+//! | endpoint             | method | answer                                          |
+//! |----------------------|--------|-------------------------------------------------|
+//! | `/v1/identify`       | POST   | diff text → security/non-security score         |
+//! | `/v1/classify`       | POST   | diff text → 12-type rule-based category         |
+//! | `/v1/scan`           | POST   | C source → vulnerability-signature hits         |
+//! | `/v1/stats`          | GET    | dataset headline counts + category distribution |
+//! | `/v1/patch/<id>`     | GET    | one record by (prefix) commit hex               |
+//! | `/healthz`           | GET    | liveness                                        |
+//! | `/metrics`           | GET    | `rt::obs` counters + per-endpoint latency       |
+//!
+//! Architecture (DESIGN.md §9): an accept thread feeds a **bounded**
+//! admission queue (`rt::queue::BoundedQueue`); when the queue is full
+//! the connection is answered `503` + `Retry-After` immediately instead
+//! of queueing unboundedly. A fixed worker pool drains the queue under
+//! per-request deadlines; `/v1/identify` requests are micro-batched
+//! through the forest by a dedicated batcher thread with a configurable
+//! batch window. Shutdown is graceful: accepted work drains, then every
+//! thread joins.
+//!
+//! Responses are deterministic: the same request against the same
+//! dataset yields byte-identical bodies at any worker count or batch
+//! composition (`tests/serve.rs` pins threads 1 vs 8).
+//!
+//! ```rust,no_run
+//! use patchdb::prelude::*;
+//! use patchdb_serve::{Server, ServeConfig, ServeIndex};
+//!
+//! let db = PatchDb::build(&BuildOptions::tiny(42)).db;
+//! let index = ServeIndex::build(db);
+//! let server = Server::start(index, &ServeConfig::default().addr("127.0.0.1:0"))?;
+//! println!("listening on {}", server.addr());
+//! server.wait(); // block until the process is killed
+//! # Ok::<(), patchdb::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+pub mod client;
+mod http;
+mod index;
+mod server;
+
+pub use http::{Request, Response};
+pub use index::{ScanMatch, ScanOutcome, ServeIndex};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,412 @@
+//! The server proper: accept thread → bounded admission queue → fixed
+//! worker pool, with per-request deadlines and graceful drain.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use patch_core::Patch;
+use patchdb::Error;
+use patchdb_rt::json::Json;
+use patchdb_rt::obs;
+use patchdb_rt::par;
+use patchdb_rt::queue::BoundedQueue;
+
+use crate::batch::Batcher;
+use crate::http::{parse_request, write_response, ParseError, Request, Response};
+use crate::index::ServeIndex;
+
+/// Server knobs. Construct with [`ServeConfig::default`] and refine with
+/// the fluent setters (`#[non_exhaustive]`, like `BuildOptions`):
+///
+/// ```rust
+/// use patchdb_serve::ServeConfig;
+///
+/// let config = ServeConfig::default()
+///     .addr("127.0.0.1:0")
+///     .threads(4)
+///     .batch_window_ms(2)
+///     .max_inflight(64);
+/// assert_eq!(config.threads, 4);
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker-pool size; `0` defers to `PATCHDB_THREADS` / available
+    /// parallelism via `par::configured_threads`.
+    pub threads: usize,
+    /// How long `/v1/identify` waits for a batch to fill before scoring.
+    pub batch_window_ms: u64,
+    /// Bound on accepted-but-unfinished connections. Admissions beyond
+    /// it are answered `503` + `Retry-After` immediately.
+    pub max_inflight: usize,
+    /// Per-request wall-clock budget from accept to response; work
+    /// dequeued past it is answered `503` without touching an endpoint.
+    pub deadline_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7979".into(),
+            threads: 0,
+            batch_window_ms: 2,
+            max_inflight: 128,
+            deadline_ms: 10_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the bind address.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker-pool size (`0` = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the identify batch window in milliseconds.
+    pub fn batch_window_ms(mut self, ms: u64) -> Self {
+        self.batch_window_ms = ms;
+        self
+    }
+
+    /// Sets the in-flight admission bound (clamped to at least 1).
+    pub fn max_inflight(mut self, bound: usize) -> Self {
+        self.max_inflight = bound.max(1);
+        self
+    }
+
+    /// Sets the per-request deadline in milliseconds.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = ms;
+        self
+    }
+}
+
+/// One admitted connection waiting for a worker.
+struct Conn {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// Everything a worker needs, shared immutably.
+struct Ctx {
+    index: Arc<ServeIndex>,
+    batcher: Batcher,
+    deadline: Duration,
+}
+
+/// A running query server. Dropping it (or calling
+/// [`Server::shutdown`]) stops accepting, drains admitted work, and
+/// joins every thread.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    batcher: Batcher,
+    batcher_thread: Option<JoinHandle<()>>,
+    worker_count: usize,
+}
+
+impl Server {
+    /// Binds, spawns the accept thread, the worker pool, and the
+    /// batcher, and starts answering. Also enables `rt::obs` so the
+    /// `/metrics` endpoint has counters to export.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the listener cannot bind.
+    pub fn start(index: ServeIndex, config: &ServeConfig) -> Result<Server, Error> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        obs::set_enabled(true);
+
+        let index = Arc::new(index);
+        let worker_count = if config.threads == 0 {
+            par::configured_threads(8)
+        } else {
+            config.threads
+        };
+        let queue: Arc<BoundedQueue<Conn>> =
+            Arc::new(BoundedQueue::new(config.max_inflight));
+        let (batcher, batcher_thread) = Batcher::start(
+            Arc::clone(&index),
+            Duration::from_millis(config.batch_window_ms),
+        );
+
+        let ctx = Arc::new(Ctx {
+            index,
+            batcher: batcher.clone(),
+            deadline: Duration::from_millis(config.deadline_ms.max(1)),
+        });
+        let workers: Vec<JoinHandle<()>> = (0..worker_count)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let ctx = Arc::clone(&ctx);
+                std::thread::Builder::new()
+                    .name(format!("patchdb-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(conn) = queue.pop() {
+                            handle_conn(conn, &ctx);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("patchdb-serve-accept".into())
+                .spawn(move || {
+                    accept_loop(&listener, &queue, &stop);
+                    // Stop admitting, let workers drain the backlog.
+                    queue.close();
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            workers,
+            batcher,
+            batcher_thread: Some(batcher_thread),
+            worker_count,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The effective worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Graceful shutdown: stop accepting, answer everything already
+    /// admitted, then join the accept thread, the workers, and the
+    /// batcher. Returns once every thread has exited.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    /// Blocks the calling thread for the lifetime of the process — the
+    /// CLI's foreground mode. The server keeps serving; only process
+    /// death (signal) ends it.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.accept.is_none() {
+            return; // already shut down (or waited out)
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; it then
+        // observes `stop`, exits, and closes the queue.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.batcher.shutdown();
+        if let Some(b) = self.batcher_thread.take() {
+            let _ = b.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<Conn>, stop: &AtomicBool) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the wake-up connection (or a raced client) is dropped
+        }
+        obs::counter_add("serve.accepted", 1);
+        let conn = Conn { stream, accepted: Instant::now() };
+        if let Err(refused) = queue.try_push(conn) {
+            // Backpressure: shed the connection immediately with the
+            // retry hint rather than queueing without bound.
+            obs::counter_add("serve.rejected_503", 1);
+            let mut stream = refused.into_inner().stream;
+            let _ = write_response(&mut stream, &Response::overloaded(1));
+        }
+    }
+}
+
+fn handle_conn(mut conn: Conn, ctx: &Ctx) {
+    let remaining = match ctx.deadline.checked_sub(conn.accepted.elapsed()) {
+        Some(r) if !r.is_zero() => r,
+        _ => {
+            obs::counter_add("serve.deadline_expired", 1);
+            let _ = write_response(&mut conn.stream, &Response::overloaded(1));
+            return;
+        }
+    };
+    // The deadline also bounds how long a slow (or stalled) client may
+    // take to deliver its request bytes.
+    let _ = conn.stream.set_read_timeout(Some(remaining));
+
+    let request = match parse_request(&mut conn.stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let response = match e {
+                ParseError::TooLarge => Response::text(413, "request too large\n"),
+                ParseError::Malformed(why) => {
+                    Response::text(400, format!("malformed request: {why}\n"))
+                }
+                ParseError::Io(err) => {
+                    // A timeout here is the read deadline firing on a
+                    // stalled client; anything else is a vanished one.
+                    let timed_out = matches!(
+                        err.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    );
+                    obs::counter_add(
+                        if timed_out { "serve.deadline_expired" } else { "serve.read_failed" },
+                        1,
+                    );
+                    return;
+                }
+            };
+            obs::counter_add(&format!("serve.status.{}", response.status), 1);
+            let _ = write_response(&mut conn.stream, &response);
+            return;
+        }
+    };
+    if conn.accepted.elapsed() >= ctx.deadline {
+        obs::counter_add("serve.deadline_expired", 1);
+        let _ = write_response(&mut conn.stream, &Response::overloaded(1));
+        return;
+    }
+
+    let started = Instant::now();
+    let (endpoint, response) = dispatch(&request, ctx);
+    let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    obs::counter_add(&format!("serve.{endpoint}.requests"), 1);
+    obs::hist_record(&format!("serve.{endpoint}.ns"), elapsed_ns);
+    obs::counter_add(&format!("serve.status.{}", response.status), 1);
+    let _ = write_response(&mut conn.stream, &response);
+}
+
+/// Routes one request; returns the endpoint label the metrics use.
+fn dispatch(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
+    let path = request.path.as_str();
+    let get = request.method == "GET";
+    let post = request.method == "POST";
+    match path {
+        "/healthz" if get => ("healthz", Response::text(200, "ok\n")),
+        "/metrics" if get => {
+            ("metrics", Response::text(200, obs::report().to_metrics_text()))
+        }
+        "/v1/stats" if get => {
+            ("stats", Response::json(200, &ctx.index.stats_json()))
+        }
+        "/v1/identify" if post => ("identify", identify(request, ctx)),
+        "/v1/classify" if post => ("classify", classify(request, ctx)),
+        "/v1/scan" if post => ("scan", scan(request, ctx)),
+        _ if path.starts_with("/v1/patch/") && get => {
+            let id = &path["/v1/patch/".len()..];
+            match ctx.index.patch_json(id) {
+                Some(json) => ("patch", Response::json(200, &json)),
+                None => ("patch", Response::text(404, "no unique record for that id\n")),
+            }
+        }
+        "/healthz" | "/metrics" | "/v1/stats" | "/v1/identify" | "/v1/classify"
+        | "/v1/scan" => ("other", Response::text(405, "method not allowed\n")),
+        _ => ("other", Response::text(404, "unknown endpoint\n")),
+    }
+}
+
+/// Parses the request body as a unified diff, or explains why not.
+fn parse_patch_body(request: &Request) -> Result<Patch, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| Response::text(400, "body is not UTF-8\n"))?;
+    Patch::parse(text).map_err(|e| Response::text(400, format!("not a unified diff: {e}\n")))
+}
+
+fn identify(request: &Request, ctx: &Ctx) -> Response {
+    let patch = match parse_patch_body(request) {
+        Ok(p) => p,
+        Err(r) => return r,
+    };
+    let row = ctx.index.weighted_features(&patch);
+    let score = ctx.batcher.submit(row);
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("score".into(), Json::Num(score)),
+            ("security".into(), Json::Bool(score >= 0.5)),
+        ]),
+    )
+}
+
+fn classify(request: &Request, ctx: &Ctx) -> Response {
+    match parse_patch_body(request) {
+        Ok(patch) => Response::json(200, &ctx.index.classify_json(&patch)),
+        Err(r) => r,
+    }
+}
+
+fn scan(request: &Request, ctx: &Ctx) -> Response {
+    let Ok(target) = std::str::from_utf8(&request.body) else {
+        return Response::text(400, "body is not UTF-8\n");
+    };
+    let outcome = ctx.index.scan(target);
+    let matches = outcome
+        .matches
+        .iter()
+        .map(|m| {
+            Json::Obj(vec![
+                ("commit".into(), Json::Str(m.commit.to_string())),
+                (
+                    "cve_id".into(),
+                    m.cve_id.as_ref().map_or(Json::Null, |c| Json::Str(c.clone())),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("vulnerable".into(), Json::Num(outcome.matches.len() as f64)),
+            ("patched".into(), Json::Num(outcome.patched as f64)),
+            ("matches".into(), Json::Arr(matches)),
+        ]),
+    )
+}

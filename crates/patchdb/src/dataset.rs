@@ -6,7 +6,9 @@ use std::fmt;
 use patch_core::{CommitId, Patch};
 use patchdb_corpus::PatchCategory;
 use patchdb_features::FeatureVector;
-use patchdb_rt::json::{FromJson, Json, JsonError, ToJson};
+use patchdb_rt::json::{FromJson, Json, ToJson};
+
+use crate::error::Error;
 
 /// Which component of PatchDB a record belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -141,7 +143,7 @@ impl PatchDb {
     ///
     /// Infallible today; the `Result` keeps the seed-era signature so
     /// callers' `?` plumbing still works.
-    pub fn to_json(&self) -> Result<String, JsonError> {
+    pub fn to_json(&self) -> Result<String, Error> {
         Ok(ToJson::to_json(self).to_pretty_string())
     }
 
@@ -149,9 +151,38 @@ impl PatchDb {
     ///
     /// # Errors
     ///
-    /// Returns a [`JsonError`] on malformed JSON or a mismatched shape.
-    pub fn from_json(text: &str) -> Result<Self, JsonError> {
-        FromJson::from_json(&Json::parse(text)?)
+    /// [`Error::Parse`] when the text is not JSON at all;
+    /// [`Error::Schema`] when it is JSON of the wrong shape.
+    pub fn from_json(text: &str) -> Result<Self, Error> {
+        let json = Json::parse(text).map_err(Error::Parse)?;
+        FromJson::from_json(&json).map_err(|e| Error::Schema(e.to_string()))
+    }
+
+    /// Every natural record — NVD, wild, and non-security — in stable
+    /// component order. Synthetic records are excluded (they have no
+    /// commit of their own; see [`SyntheticRecord::derived_from`]).
+    pub fn records(&self) -> impl Iterator<Item = &PatchRecord> {
+        self.nvd.iter().chain(self.wild.iter()).chain(self.non_security.iter())
+    }
+
+    /// Looks up a natural record by full or prefix commit hex (case
+    /// sensitive, at least 4 characters). Returns `None` when nothing
+    /// matches or the prefix is ambiguous — the query surface must never
+    /// silently pick one of several commits.
+    pub fn find_patch(&self, id: &str) -> Option<&PatchRecord> {
+        if id.len() < 4 {
+            return None;
+        }
+        let mut hit: Option<&PatchRecord> = None;
+        for r in self.records() {
+            if r.commit.to_string().starts_with(id) {
+                if hit.is_some() {
+                    return None; // ambiguous prefix
+                }
+                hit = Some(r);
+            }
+        }
+        hit
     }
 }
 
@@ -219,6 +250,35 @@ mod tests {
         let d = PatchDb::category_distribution(&records);
         assert!((d[&PatchCategory::BoundCheck] - 2.0 / 3.0).abs() < 1e-12);
         assert!((d[&PatchCategory::NullCheck] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn find_patch_resolves_unique_prefixes_only() {
+        let db = PatchDb {
+            nvd: vec![record(Source::Nvd, Some(PatchCategory::BoundCheck))],
+            non_security: vec![record(Source::NonSecurity, None)],
+            ..PatchDb::default()
+        };
+        assert_eq!(db.records().count(), 2);
+        let full = db.nvd[0].commit.to_string();
+        // Full id and an 8-char prefix resolve; both test records share
+        // the same commit ("a"*40), so the shared prefix is ambiguous
+        // across components and must return None.
+        assert!(db.find_patch(&full).is_none(), "ambiguous across components");
+        let only = PatchDb {
+            nvd: vec![record(Source::Nvd, Some(PatchCategory::BoundCheck))],
+            ..PatchDb::default()
+        };
+        assert!(only.find_patch(&full).is_some());
+        assert!(only.find_patch(&full[..8]).is_some());
+        assert!(only.find_patch(&full[..3]).is_none(), "prefix too short");
+        assert!(only.find_patch("ffff").is_none(), "no match");
+    }
+
+    #[test]
+    fn from_json_distinguishes_parse_from_schema_errors() {
+        assert!(matches!(PatchDb::from_json("{not json"), Err(Error::Parse(_))));
+        assert!(matches!(PatchDb::from_json("{\"nvd\": 3}"), Err(Error::Schema(_))));
     }
 
     #[test]

@@ -29,12 +29,15 @@
 #![warn(missing_docs)]
 
 mod dataset;
+mod error;
 mod patterns;
 mod pipeline;
+pub mod prelude;
 mod signatures;
 mod taxonomy;
 
 pub use dataset::{DatasetStats, PatchDb, PatchRecord, Source, SyntheticRecord};
+pub use error::Error;
 pub use patterns::{mine_fix_patterns, pattern_frequencies, FixPattern};
 pub use signatures::{
     scan_targets, signatures_of, test_presence, PatchSignature, PresenceVerdict,

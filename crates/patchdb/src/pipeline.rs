@@ -26,7 +26,19 @@ pub struct PoolPlan {
 }
 
 /// Options for [`PatchDb::build`].
+///
+/// Construct via [`BuildOptions::tiny`] or [`BuildOptions::default_scale`]
+/// and refine with the fluent setters — the struct is `#[non_exhaustive]`
+/// so new knobs can land without breaking downstream literals:
+///
+/// ```rust
+/// use patchdb::BuildOptions;
+///
+/// let options = BuildOptions::tiny(42).synthesize(false).threads(2);
+/// assert!(!options.synthesize);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct BuildOptions {
     /// Synthetic-forge configuration.
     pub corpus: CorpusConfig,
@@ -40,6 +52,10 @@ pub struct BuildOptions {
     pub synth_cap: usize,
     /// Pipeline seed (sampling, oracle).
     pub seed: u64,
+    /// Worker-thread override for the parallel pipeline stages; `None`
+    /// defers to `PATCHDB_THREADS` / available parallelism. Output bytes
+    /// are identical at every thread count.
+    pub threads: Option<usize>,
 }
 
 impl BuildOptions {
@@ -57,6 +73,7 @@ impl BuildOptions {
             synthesize: true,
             synth_cap: 4,
             seed,
+            threads: None,
         }
     }
 
@@ -76,12 +93,57 @@ impl BuildOptions {
             synthesize: true,
             synth_cap: 2,
             seed,
+            threads: None,
         }
+    }
+
+    /// Replaces the synthetic-forge configuration.
+    pub fn corpus(mut self, corpus: CorpusConfig) -> Self {
+        self.corpus = corpus;
+        self
+    }
+
+    /// Replaces the augmentation plan.
+    pub fn pools(mut self, pools: Vec<PoolPlan>) -> Self {
+        self.pools = pools;
+        self
+    }
+
+    /// Sets the per-expert verification error rate.
+    pub fn expert_error(mut self, rate: f64) -> Self {
+        self.expert_error = rate;
+        self
+    }
+
+    /// Enables or disables the synthetic dataset.
+    pub fn synthesize(mut self, on: bool) -> Self {
+        self.synthesize = on;
+        self
+    }
+
+    /// Sets the cap on synthetic patches per natural patch.
+    pub fn synth_cap(mut self, cap: usize) -> Self {
+        self.synth_cap = cap;
+        self
+    }
+
+    /// Sets the pipeline seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the worker-thread count for the parallel pipeline stages
+    /// (overriding `PATCHDB_THREADS`); `0` clamps to `1`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 }
 
 /// Everything the construction produced.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct BuildReport {
     /// The assembled dataset.
     pub db: PatchDb,
@@ -147,7 +209,7 @@ impl PatchDb {
         }
         let build_span = obs::span("build");
 
-        let threads = par::configured_threads(16);
+        let threads = options.threads.unwrap_or_else(|| par::configured_threads(16));
         let contexts: HashMap<&str, RepoContext> = forge
             .repos()
             .iter()
@@ -379,6 +441,29 @@ mod tests {
         assert_eq!(
             a.db.wild.iter().map(|p| p.commit).collect::<Vec<_>>(),
             b.db.wild.iter().map(|p| p.commit).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn builder_setters_compose_and_threads_pin_output() {
+        let options = BuildOptions::tiny(4)
+            .synthesize(false)
+            .expert_error(0.5)
+            .synth_cap(9)
+            .seed(11)
+            .threads(0); // clamps to 1
+        assert!(!options.synthesize);
+        assert_eq!(options.expert_error, 0.5);
+        assert_eq!(options.synth_cap, 9);
+        assert_eq!(options.seed, 11);
+        assert_eq!(options.threads, Some(1));
+
+        let one = PatchDb::build(&BuildOptions::tiny(4).synthesize(false).threads(1));
+        let eight = PatchDb::build(&BuildOptions::tiny(4).synthesize(false).threads(8));
+        assert_eq!(
+            one.db.to_json().unwrap(),
+            eight.db.to_json().unwrap(),
+            "thread count leaked into output bytes"
         );
     }
 }

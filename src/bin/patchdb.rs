@@ -1,51 +1,83 @@
 //! `patchdb` — command-line front end for the PatchDB reproduction.
 //!
-//! ```text
-//! patchdb build [--seed N] [--tiny] [--no-synth] [--out FILE] [--trace] [--trace-out FILE]
-//!     construct the dataset against a synthetic forge; write JSON.
-//!     with --trace (or PATCHDB_TRACE=1) also write the span tree and
-//!     metrics of the build to TRACE_build.json (path via --trace-out)
-//! patchdb trace [build flags]
-//!     shorthand for `build --trace`: a traced build that always emits
-//!     TRACE_build.json and prints the stage timings
-//! patchdb stats <FILE>
-//!     headline counts and category distribution of a JSON dataset
-//! patchdb classify <FILE>
-//!     rule-based 12-type classification, scored against ground truth
-//! patchdb patterns <FILE>
-//!     Table VII-style fix-pattern mining over the security patches
-//! patchdb scan <FILE> <TARGET.c>
-//!     vulnerability-signature scan of a C file against the dataset
-//! patchdb analyze <FILE>
-//!     most discriminative Table I features, security vs non-security
-//! ```
+//! Run `patchdb --help` (or `patchdb help <command>`) for usage. Exit
+//! codes: `0` success, `2` usage mistake, `1` any runtime failure.
 
 use std::process::ExitCode;
 
 use patchdb::{
     classify_patch, mine_fix_patterns, pattern_frequencies, signatures_of, test_presence,
-    BuildOptions, BuildTelemetry, PatchDb, PresenceVerdict, ALL_CATEGORIES,
+    BuildOptions, BuildTelemetry, Error, PatchDb, PresenceVerdict, ALL_CATEGORIES,
 };
 use patchdb_rt::obs;
+use patchdb_serve::{ServeConfig, ServeIndex, Server};
+
+const USAGE: &str = "usage: patchdb <command> [...]
+
+commands:
+  build     construct the dataset against a synthetic forge; write JSON
+  trace     `build --trace`: also emit TRACE_build.json + stage timings
+  stats     headline counts and category distribution of a dataset
+  classify  rule-based 12-type classification vs ground truth
+  patterns  Table VII-style fix-pattern mining
+  analyze   most discriminative Table I features
+  scan      vulnerability-signature scan of a C file
+  serve     long-lived HTTP query server over a dataset
+  help      show usage for a command
+
+`patchdb help <command>` prints per-command flags; `--version` prints
+the crate version.";
+
+/// Per-command usage text, `None` for unknown commands.
+fn usage_for(command: &str) -> Option<&'static str> {
+    Some(match command {
+        "build" | "trace" => {
+            "usage: patchdb build [--seed N] [--tiny] [--no-synth] [--out FILE]
+                     [--trace] [--trace-out FILE]
+
+  --seed N         pipeline seed (default 42)
+  --tiny           small corpus for quick runs and tests
+  --no-synth       skip the synthetic augmentation stage
+  --out FILE       write the built dataset as JSON
+  --trace          record spans/counters, write TRACE_build.json
+  --trace-out FILE trace output path (default TRACE_build.json)
+
+`patchdb trace` is shorthand for `patchdb build --trace`."
+        }
+        "stats" => "usage: patchdb stats <FILE>\n\n  <FILE>  dataset JSON from `patchdb build --out`",
+        "classify" => "usage: patchdb classify <FILE>\n\n  <FILE>  dataset JSON from `patchdb build --out`",
+        "patterns" => "usage: patchdb patterns <FILE>\n\n  <FILE>  dataset JSON from `patchdb build --out`",
+        "analyze" => "usage: patchdb analyze <FILE>\n\n  <FILE>  dataset JSON from `patchdb build --out`",
+        "scan" => {
+            "usage: patchdb scan <FILE> <TARGET.c>\n\n  <FILE>      dataset JSON\n  <TARGET.c>  C source to test against every vulnerability signature"
+        }
+        "serve" => {
+            "usage: patchdb serve <FILE> [--addr HOST:PORT] [--threads N]
+                     [--batch-window-ms N] [--max-inflight N]
+
+  <FILE>              dataset JSON to index and serve
+  --addr HOST:PORT    bind address (default 127.0.0.1:7979; port 0 = ephemeral)
+  --threads N         worker pool size (default 0 = auto)
+  --batch-window-ms N identify micro-batch window (default 2)
+  --max-inflight N    admission bound; beyond it requests get 503 (default 128)
+
+endpoints: POST /v1/identify /v1/classify /v1/scan,
+           GET /v1/stats /v1/patch/<id> /healthz /metrics"
+        }
+        _ => return None,
+    })
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("build") => cmd_build(&args[1..], false),
-        Some("trace") => cmd_build(&args[1..], true),
-        Some("stats") => with_db(&args[1..], cmd_stats),
-        Some("classify") => with_db(&args[1..], cmd_classify),
-        Some("patterns") => with_db(&args[1..], cmd_patterns),
-        Some("analyze") => with_db(&args[1..], cmd_analyze),
-        Some("scan") => cmd_scan(&args[1..]),
-        _ => {
-            eprintln!("usage: patchdb <build|trace|stats|classify|patterns|analyze|scan> [...]");
-            eprintln!("see `src/bin/patchdb.rs` header for per-command flags");
-            return ExitCode::FAILURE;
-        }
-    };
-    match result {
+    match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.is_usage() => {
+            eprintln!("error: {e}");
+            let command = args.first().map(String::as_str).unwrap_or("");
+            eprintln!("{}", usage_for(command).unwrap_or(USAGE));
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -53,7 +85,49 @@ fn main() -> ExitCode {
     }
 }
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+type CliResult = Result<(), Error>;
+
+fn run(args: &[String]) -> CliResult {
+    let command = args.first().map(String::as_str);
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        let text = command.and_then(usage_for).unwrap_or(USAGE);
+        println!("{text}");
+        return Ok(());
+    }
+    match command {
+        Some("--version" | "-V" | "version") => {
+            println!("patchdb {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
+        Some("help") => {
+            let text = args.get(1).and_then(|c| usage_for(c)).unwrap_or(USAGE);
+            println!("{text}");
+            Ok(())
+        }
+        Some("build") => cmd_build(&args[1..], false),
+        Some("trace") => cmd_build(&args[1..], true),
+        Some("stats") => with_db(&args[1..], cmd_stats),
+        Some("classify") => with_db(&args[1..], cmd_classify),
+        Some("patterns") => with_db(&args[1..], cmd_patterns),
+        Some("analyze") => with_db(&args[1..], cmd_analyze),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some(other) => Err(Error::usage(format!("unknown command `{other}`"))),
+        None => Err(Error::usage("expected a command")),
+    }
+}
+
+/// Parses the operand after a flag like `--seed`.
+fn value_after<'a, I: Iterator<Item = &'a String>>(
+    it: &mut I,
+    flag: &str,
+) -> Result<&'a String, Error> {
+    it.next().ok_or_else(|| Error::usage(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, Error> {
+    text.parse().map_err(|_| Error::usage(format!("{flag} needs a number, got `{text}`")))
+}
 
 fn cmd_build(args: &[String], force_trace: bool) -> CliResult {
     let mut seed = 42u64;
@@ -65,27 +139,25 @@ fn cmd_build(args: &[String], force_trace: bool) -> CliResult {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seed" => seed = it.next().ok_or("--seed needs a value")?.parse()?,
+            "--seed" => seed = parse_num(value_after(&mut it, "--seed")?, "--seed")?,
             "--tiny" => tiny = true,
             "--no-synth" => synth = false,
             "--trace" => trace = true,
-            "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
-            "--trace-out" => {
-                trace_out = it.next().ok_or("--trace-out needs a path")?.clone();
-            }
-            other => return Err(format!("unknown flag {other}").into()),
+            "--out" => out = Some(value_after(&mut it, "--out")?.clone()),
+            "--trace-out" => trace_out = value_after(&mut it, "--trace-out")?.clone(),
+            other => return Err(Error::usage(format!("unknown flag {other}"))),
         }
     }
     if trace {
         obs::set_enabled(true); // same effect as PATCHDB_TRACE=1
     }
 
-    let mut options = if tiny {
+    let options = if tiny {
         BuildOptions::tiny(seed)
     } else {
         BuildOptions::default_scale(seed)
-    };
-    options.synthesize = synth;
+    }
+    .synthesize(synth);
 
     eprintln!(
         "building PatchDB (seed {seed}, ~{} commits)...",
@@ -138,11 +210,14 @@ fn print_stage_summary(telemetry: &BuildTelemetry) {
     }
 }
 
-fn with_db(args: &[String], f: fn(&PatchDb) -> CliResult) -> CliResult {
-    let path = args.first().ok_or("expected a dataset JSON path")?;
+fn load_db(path: &str) -> Result<PatchDb, Error> {
     let text = std::fs::read_to_string(path)?;
-    let db = PatchDb::from_json(&text)?;
-    f(&db)
+    PatchDb::from_json(&text)
+}
+
+fn with_db(args: &[String], f: fn(&PatchDb) -> CliResult) -> CliResult {
+    let path = args.first().ok_or_else(|| Error::usage("expected a dataset JSON path"))?;
+    f(&load_db(path)?)
 }
 
 fn cmd_stats(db: &PatchDb) -> CliResult {
@@ -205,7 +280,7 @@ fn cmd_analyze(db: &PatchDb) -> CliResult {
     let sec: Vec<_> = db.security_patches().map(|r| r.features).collect();
     let nonsec: Vec<_> = db.non_security.iter().map(|r| r.features).collect();
     if sec.is_empty() || nonsec.is_empty() {
-        return Err("dataset needs both classes for analysis".into());
+        return Err(Error::Schema("dataset needs both classes for analysis".into()));
     }
     let ranked = rank_discriminative(&FeatureSummary::of(&sec), &FeatureSummary::of(&nonsec));
     println!("top discriminative Table I features (security vs non-security):");
@@ -220,9 +295,9 @@ fn cmd_analyze(db: &PatchDb) -> CliResult {
 }
 
 fn cmd_scan(args: &[String]) -> CliResult {
-    let db_path = args.first().ok_or("expected a dataset JSON path")?;
-    let target_path = args.get(1).ok_or("expected a target .c file")?;
-    let db = PatchDb::from_json(&std::fs::read_to_string(db_path)?)?;
+    let db_path = args.first().ok_or_else(|| Error::usage("expected a dataset JSON path"))?;
+    let target_path = args.get(1).ok_or_else(|| Error::usage("expected a target .c file"))?;
+    let db = load_db(db_path)?;
     let target = std::fs::read_to_string(target_path)?;
 
     let mut vulnerable = 0usize;
@@ -244,5 +319,51 @@ fn cmd_scan(args: &[String]) -> CliResult {
         }
     }
     println!("\n{target_path}: {vulnerable} vulnerable-signature hits, {patched} patched-signature hits");
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut path: Option<&String> = None;
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config = config.addr(value_after(&mut it, "--addr")?),
+            "--threads" => {
+                config =
+                    config.threads(parse_num(value_after(&mut it, "--threads")?, "--threads")?);
+            }
+            "--batch-window-ms" => {
+                config = config.batch_window_ms(parse_num(
+                    value_after(&mut it, "--batch-window-ms")?,
+                    "--batch-window-ms",
+                )?);
+            }
+            "--max-inflight" => {
+                config = config.max_inflight(parse_num(
+                    value_after(&mut it, "--max-inflight")?,
+                    "--max-inflight",
+                )?);
+            }
+            other if other.starts_with('-') => {
+                return Err(Error::usage(format!("unknown flag {other}")));
+            }
+            _ if path.is_none() => path = Some(a),
+            other => return Err(Error::usage(format!("unexpected operand `{other}`"))),
+        }
+    }
+    let path = path.ok_or_else(|| Error::usage("expected a dataset JSON path"))?;
+
+    eprintln!("loading {path}...");
+    let db = load_db(path)?;
+    eprintln!("indexing (weights + forest + signatures)...");
+    let index = ServeIndex::build(db);
+    eprintln!(
+        "{} signatures compiled; starting server",
+        index.signature_count()
+    );
+    let server = Server::start(index, &config)?;
+    println!("listening on http://{} ({} workers)", server.addr(), server.workers());
+    server.wait();
     Ok(())
 }

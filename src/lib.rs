@@ -16,4 +16,5 @@ pub use patchdb_ml;
 pub use patchdb_nls;
 pub use patchdb_nn;
 pub use patchdb_rt;
+pub use patchdb_serve;
 pub use patchdb_synth;

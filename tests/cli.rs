@@ -14,6 +14,13 @@ fn bin() -> PathBuf {
 }
 
 fn run(args: &[&str]) -> (bool, String) {
+    let (code, text) = run_coded(args);
+    (code == 0, text)
+}
+
+/// Like [`run`], but exposing the exact exit code: `0` success, `2`
+/// usage mistakes, `1` runtime failures.
+fn run_coded(args: &[&str]) -> (i32, String) {
     let out = Command::new(bin())
         .args(args)
         .output()
@@ -23,7 +30,7 @@ fn run(args: &[&str]) -> (bool, String) {
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr)
     );
-    (out.status.success(), text)
+    (out.status.code().unwrap_or(-1), text)
 }
 
 fn build_db(path: &std::path::Path) {
@@ -74,15 +81,41 @@ fn cli_full_workflow() {
 
 #[test]
 fn cli_rejects_bad_usage() {
-    let (ok, text) = run(&["frobnicate"]);
-    assert!(!ok);
+    // Usage mistakes exit 2 and point at the usage text.
+    let (code, text) = run_coded(&["frobnicate"]);
+    assert_eq!(code, 2, "{text}");
     assert!(text.contains("usage:"), "{text}");
 
-    let (ok, text) = run(&["stats", "/no/such/file.json"]);
-    assert!(!ok);
-    assert!(text.contains("error:"), "{text}");
-
-    let (ok, text) = run(&["build", "--bogus-flag"]);
-    assert!(!ok);
+    let (code, text) = run_coded(&["build", "--bogus-flag"]);
+    assert_eq!(code, 2, "{text}");
     assert!(text.contains("unknown flag"), "{text}");
+
+    let (code, text) = run_coded(&["serve"]);
+    assert_eq!(code, 2, "{text}");
+    assert!(text.contains("usage: patchdb serve"), "{text}");
+
+    // Runtime failures (the command was well-formed) exit 1.
+    let (code, text) = run_coded(&["stats", "/no/such/file.json"]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("error:"), "{text}");
+}
+
+#[test]
+fn cli_help_and_version() {
+    let (code, text) = run_coded(&["--help"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("usage: patchdb <command>"), "{text}");
+    assert!(text.contains("serve"), "{text}");
+
+    let (code, text) = run_coded(&["help", "serve"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("--max-inflight"), "{text}");
+
+    let (code, text) = run_coded(&["build", "--help"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("--no-synth"), "{text}");
+
+    let (code, text) = run_coded(&["--version"]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.starts_with("patchdb "), "{text}");
 }

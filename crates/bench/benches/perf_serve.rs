@@ -4,6 +4,13 @@
 //! and exact client-side p50/p99 latency per configuration — written to
 //! `BENCH_serve.json` at the repo root.
 //!
+//! Each configuration also scrapes the server's own `/metrics` windowed
+//! quantiles (`serve.identify.total_ns`, 60 s window) and cross-checks
+//! them against the exact client-side quantiles: the server buckets
+//! into log2 histograms, so the two must land within one bucket edge of
+//! each other — a live end-to-end check that the telemetry pipeline
+//! measures the same reality the client observes.
+//!
 //! * `PATCHDB_BENCH_FAST=1` shrinks the request count for the CI smoke
 //!   run (the JSON is still produced and must still parse).
 //! * `PATCHDB_BENCH_SERVE_JSON=<path>` overrides the output location.
@@ -13,6 +20,7 @@ use std::time::Instant;
 
 use patchdb::{BuildOptions, PatchDb};
 use patchdb_rt::json::Json;
+use patchdb_rt::obs;
 use patchdb_serve::{client, ServeConfig, ServeIndex, Server};
 
 const CLIENT_THREADS: usize = 8;
@@ -68,6 +76,26 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank - 1]
 }
 
+/// The log2 bucket a value falls into, mirroring `rt::obs::Hist`: bucket
+/// 0 holds exact zeros, bucket k holds `[2^(k-1), 2^k)`.
+fn log2_bucket(value: u64) -> i64 {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as i64
+    }
+}
+
+/// Reads one 60 s windowed quantile for `name` off a `/metrics` scrape.
+fn window_quantile(metrics: &str, name: &str, stat: &str) -> u64 {
+    let prefix = format!("patchdb_window_{stat}{{name=\"{name}\",window_s=\"60\"}} ");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no `{prefix}` line in /metrics:\n{metrics}"))
+}
+
 fn main() {
     let fast = fast_mode();
     let total = if fast { 200 } else { 2_000 };
@@ -93,16 +121,39 @@ fn main() {
         let server = Server::start(index, &config).expect("server binds on loopback");
         // Warm the path (thread spawn, first forest walk) off the clock.
         let _ = client::request(server.addr(), "POST", "/v1/identify", bodies[0].as_bytes());
+        // The registry is process-global: clear the previous
+        // configuration's windows (and the warm-up) so this scrape
+        // reflects only this run.
+        obs::reset();
 
         let (elapsed, latencies, errors) = drive(server.addr(), &bodies, total);
         let requests = latencies.len();
         let throughput = requests as f64 / elapsed.max(1e-9);
         let (p50, p99) = (quantile(&latencies, 0.50), quantile(&latencies, 0.99));
+
+        // The server's own windowed view of the same burst, scraped
+        // before shutdown while the 60 s window still covers it.
+        let metrics = client::request(server.addr(), "GET", "/metrics", b"")
+            .expect("scrape /metrics")
+            .body_text();
+        let server_p50 = window_quantile(&metrics, "serve.identify.total_ns", "p50");
+        let server_p99 = window_quantile(&metrics, "serve.identify.total_ns", "p99");
+        for (stat, exact, served) in [("p50", p50, server_p50), ("p99", p99, server_p99)] {
+            let drift = (log2_bucket(exact) - log2_bucket(served)).abs();
+            assert!(
+                drift <= 1,
+                "windowed {stat} drifted {drift} log2 buckets from the exact \
+                 client-side value (client {exact} ns vs server {served} ns)"
+            );
+        }
         println!(
             "workers {workers}: {requests} ok / {errors} err in {elapsed:.2}s \
-             = {throughput:.0} req/s, p50 {:.2} ms, p99 {:.2} ms",
+             = {throughput:.0} req/s, p50 {:.2} ms, p99 {:.2} ms \
+             (server windowed p50 {:.2} ms, p99 {:.2} ms)",
             p50 as f64 / 1e6,
-            p99 as f64 / 1e6
+            p99 as f64 / 1e6,
+            server_p50 as f64 / 1e6,
+            server_p99 as f64 / 1e6
         );
         server.shutdown();
 
@@ -113,6 +164,8 @@ fn main() {
             ("throughput_rps".into(), Json::Num(throughput)),
             ("p50_ns".into(), Json::Num(p50 as f64)),
             ("p99_ns".into(), Json::Num(p99 as f64)),
+            ("server_p50_ns".into(), Json::Num(server_p50 as f64)),
+            ("server_p99_ns".into(), Json::Num(server_p99 as f64)),
         ]));
     }
 

@@ -10,8 +10,14 @@
 //!   histogram's `count` equals the sum of its buckets.
 //! * `patchdb-serve/v1` (BENCH_serve.json) — non-empty `results` array,
 //!   each entry with a positive integer `workers`, non-negative
-//!   `requests`/`errors`/`throughput_rps`, and latency quantiles with
-//!   `p50_ns <= p99_ns`.
+//!   `requests`/`errors`/`throughput_rps`, latency quantiles with
+//!   `p50_ns <= p99_ns`, and (when present) server-side windowed
+//!   quantiles with `server_p50_ns <= server_p99_ns`.
+//! * `*.jsonl` access logs (`patchdb serve --access-log`) — dispatched
+//!   on the file extension, not a schema tag: every line is a JSON
+//!   object, `ts_ms` is non-decreasing in file order, request `id`s are
+//!   unique, and each line's six stage durations sum to at most its
+//!   `total_ns`.
 //!
 //! A file without a `schema` tag falls back to the bench checks (the
 //! pre-tag BENCH_nls.json format). Exits non-zero with a diagnostic on
@@ -33,6 +39,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if path.ends_with(".jsonl") {
+        return match check_access_log(&text) {
+            Ok(summary) => {
+                println!("check-bench-json: {path} ok ({summary})");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("check-bench-json: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let json = match Json::parse(&text) {
         Ok(j) => j,
         Err(e) => {
@@ -102,8 +120,82 @@ fn check_serve(json: &Json) -> Result<String, String> {
         if num("p50_ns")? > num("p99_ns")? {
             return Err(format!("{at}: p50_ns exceeds p99_ns"));
         }
+        // Server-side windowed quantiles are newer than the schema tag;
+        // validate them when a result carries them.
+        if r.get("server_p50_ns").is_some() || r.get("server_p99_ns").is_some() {
+            for field in ["server_p50_ns", "server_p99_ns"] {
+                if num(field)? < 0.0 {
+                    return Err(format!("{at}: `{field}` is negative"));
+                }
+            }
+            if num("server_p50_ns")? > num("server_p99_ns")? {
+                return Err(format!("{at}: server_p50_ns exceeds server_p99_ns"));
+            }
+        }
     }
     Ok(format!("{} serve configurations", results.len()))
+}
+
+/// One access-log JSONL file: per-line JSON objects, monotonic `ts_ms`,
+/// unique request `id`s, stage durations summing to at most `total_ns`.
+fn check_access_log(text: &str) -> Result<String, String> {
+    const STAGES: [&str; 6] =
+        ["accept_ns", "queue_ns", "parse_ns", "batch_ns", "compute_ns", "write_ns"];
+    let mut seen_ids = std::collections::HashSet::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let at = format!("line {}", i + 1);
+        let json =
+            Json::parse(line).map_err(|e| format!("{at}: not valid JSON: {e}"))?;
+        let num = |field: &str| {
+            json.get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("{at} lacks a numeric `{field}`"))
+        };
+
+        let ts = num("ts_ms")?;
+        if ts < last_ts {
+            return Err(format!("{at}: ts_ms {ts} regressed below {last_ts}"));
+        }
+        last_ts = ts;
+
+        let id = num("id")?;
+        if !(id >= 1.0 && id.fract() == 0.0) {
+            return Err(format!("{at}: id {id} is not a positive integer"));
+        }
+        if !seen_ids.insert(id as u64) {
+            return Err(format!("{at}: duplicate request id {id}"));
+        }
+
+        let total = num("total_ns")?;
+        let mut stage_sum = 0.0;
+        for stage in STAGES {
+            let v = num(stage)?;
+            if v < 0.0 {
+                return Err(format!("{at}: `{stage}` is negative"));
+            }
+            stage_sum += v;
+        }
+        if stage_sum > total {
+            return Err(format!(
+                "{at}: stage durations sum to {stage_sum} > total_ns {total}"
+            ));
+        }
+        for field in ["method", "path", "endpoint"] {
+            if json.get(field).and_then(Json::as_str).is_none() {
+                return Err(format!("{at} lacks a string `{field}`"));
+            }
+        }
+    }
+    if lines == 0 {
+        return Err("empty access log".into());
+    }
+    Ok(format!("{lines} access-log lines"))
 }
 
 fn check_trace(json: &Json) -> Result<String, String> {

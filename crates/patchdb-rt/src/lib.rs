@@ -18,7 +18,8 @@
 //!   median/p95, optional JSON report), replacing `criterion`.
 //! * [`par`] — scoped-thread fan-out over `std::thread::scope`, replacing
 //!   `crossbeam::scope`.
-//! * [`obs`] — spans, counters and histograms behind a `PATCHDB_TRACE`
+//! * [`obs`] — spans, counters, gauges, histograms (cumulative and
+//!   rolling-window) and an event ring buffer behind a `PATCHDB_TRACE`
 //!   toggle (near-zero cost when off), replacing `tracing`/`metrics`.
 //! * [`queue`] — a bounded MPMC hand-off with non-blocking producers
 //!   (explicit backpressure) and gracefully draining consumers, the

@@ -1,5 +1,6 @@
-//! Zero-dependency observability: hierarchical spans, named counters and
-//! fixed-bucket histograms behind a single `PATCHDB_TRACE` toggle.
+//! Zero-dependency observability: hierarchical spans, named counters,
+//! gauges, fixed-bucket histograms, rolling-window histograms and an
+//! event ring buffer behind a single `PATCHDB_TRACE` toggle.
 //!
 //! The registry is process-global and disabled by default; every probe
 //! site guards itself with [`enabled`], a relaxed atomic load, so the
@@ -7,6 +8,19 @@
 //! and monomorphize their probes away entirely (see the `Probe` trait in
 //! `patchdb-nls`), keeping the disabled machine code identical to the
 //! uninstrumented loop.
+//!
+//! Two families of metrics coexist:
+//!
+//! * **Cumulative-since-start** — [`counter_add`], [`hist_record`]: the
+//!   build-report view, exported to `TRACE_build.json`.
+//! * **Live** — [`gauge_set`]/[`gauge_add`] point-in-time values and
+//!   [`window_record`] rolling-window histograms (a ring of per-second
+//!   [`Hist`] slots, see [`window::WindowHist`]), the serve-path view: a
+//!   scrape reads the *current* inflight count and the p99 of the last
+//!   1 s/10 s/60 s instead of an average since boot. [`metrics_snapshot`]
+//!   captures all metric families without cloning the span tree — the
+//!   `/metrics` exporter's cheap path. [`ring::EventRing`] carries
+//!   structured per-request records with overwrite-oldest semantics.
 //!
 //! ## Determinism contract
 //!
@@ -41,6 +55,12 @@
 //! obs::set_enabled(false);
 //! ```
 
+pub mod ring;
+pub mod window;
+
+pub use ring::EventRing;
+pub use window::WindowHist;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -51,8 +71,18 @@ use crate::json::Json;
 
 /// Number of histogram buckets: bucket 0 holds zeros, bucket `k` holds
 /// values in `[2^(k-1), 2^k)`, and the last bucket absorbs everything
-/// from `2^(HIST_BUCKETS-2)` up.
-pub const HIST_BUCKETS: usize = 17;
+/// from `2^(HIST_BUCKETS-2)` up. Sized so nanosecond-scale latencies
+/// (up to `2^38` ns ≈ 4.6 min) still resolve into distinct buckets
+/// instead of saturating the last one.
+pub const HIST_BUCKETS: usize = 40;
+
+/// The lookback windows (seconds) that [`MetricsSnapshot::to_metrics_text`]
+/// reports for every rolling-window histogram.
+pub const METRIC_WINDOWS_S: [u64; 3] = [1, 10, 60];
+
+/// Number of one-second slots a registry-level rolling window keeps —
+/// enough to answer every window in [`METRIC_WINDOWS_S`].
+pub const WINDOW_SLOTS: usize = 64;
 
 // 0 = uninitialized (consult PATCHDB_TRACE), 1 = off, 2 = on.
 static STATE: AtomicU8 = AtomicU8::new(0);
@@ -98,6 +128,8 @@ struct Registry {
     roots: Vec<usize>,
     counters: BTreeMap<String, u64>,
     hists: BTreeMap<String, Hist>,
+    gauges: BTreeMap<String, i64>,
+    windows: BTreeMap<String, WindowHist>,
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -200,9 +232,67 @@ pub fn hist_merge(name: &str, h: &Hist) {
     registry().lock().unwrap().hists.entry(name.to_owned()).or_default().merge(h);
 }
 
-/// Clears every span, counter and histogram and invalidates outstanding
-/// [`SpanGuard`]s (they become inert rather than writing into recycled
-/// slots).
+/// Sets the named gauge to an absolute value. A no-op when tracing is
+/// off. Unlike counters, gauges go up *and* down — they carry
+/// point-in-time state (inflight requests, queue depth), not totals.
+pub fn gauge_set(name: &str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    registry().lock().unwrap().gauges.insert(name.to_owned(), value);
+}
+
+/// Adds `delta` (possibly negative) to the named gauge, creating it at
+/// zero. Saturating and commutative, so paired `+1`/`-1` calls from any
+/// interleaving of threads leave the gauge balanced. A no-op when
+/// tracing is off.
+pub fn gauge_add(name: &str, delta: i64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().unwrap();
+    let slot = reg.gauges.entry(name.to_owned()).or_insert(0);
+    *slot = slot.saturating_add(delta);
+}
+
+/// Current value of a gauge, `0` when it does not exist. Reads work
+/// even while tracing is off.
+pub fn gauge_value(name: &str) -> i64 {
+    registry().lock().unwrap().gauges.get(name).copied().unwrap_or(0)
+}
+
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whole seconds elapsed on the monotonic clock since the first metrics
+/// operation of the process — the time base every registry-level
+/// rolling window records against.
+pub fn process_second() -> u64 {
+    process_epoch().elapsed().as_secs()
+}
+
+/// Records one value into the named rolling-window histogram (a ring of
+/// [`WINDOW_SLOTS`] per-second [`Hist`] slots) at the current
+/// [`process_second`]. A no-op when tracing is off.
+pub fn window_record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let second = process_second();
+    registry()
+        .lock()
+        .unwrap()
+        .windows
+        .entry(name.to_owned())
+        .or_insert_with(|| WindowHist::new(WINDOW_SLOTS))
+        .record_at(second, value);
+}
+
+/// Clears every span, counter, gauge, histogram and rolling window, and
+/// invalidates outstanding [`SpanGuard`]s (they become inert rather than
+/// writing into recycled slots).
 pub fn reset() {
     let mut reg = registry().lock().unwrap();
     reg.generation += 1;
@@ -210,6 +300,8 @@ pub fn reset() {
     reg.roots.clear();
     reg.counters.clear();
     reg.hists.clear();
+    reg.gauges.clear();
+    reg.windows.clear();
 }
 
 /// A fixed-bucket log2 histogram: `count`/`sum`/`max` plus
@@ -501,6 +593,116 @@ impl TraceReport {
     }
 }
 
+/// A spans-free snapshot of every metric family: counters, gauges,
+/// cumulative histograms, and rolling-window histograms (cloned with the
+/// [`process_second`] they were captured at, so windowed quantiles are
+/// evaluated against a consistent "now").
+///
+/// This is the `/metrics` exporter's path: unlike [`report`], taking a
+/// [`MetricsSnapshot`] never walks or clones the span tree, so a scrape
+/// holds the registry mutex only for four map clones.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// The [`process_second`] the snapshot was taken at.
+    pub at_second: u64,
+    /// `(name, value)` pairs, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, ascending by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Cumulative `(name, histogram)` pairs, ascending by name.
+    pub histograms: Vec<(String, Hist)>,
+    /// Rolling-window `(name, histogram)` pairs, ascending by name.
+    pub windows: Vec<(String, WindowHist)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Renders every metric family as a plain-text exposition — the
+    /// `GET /metrics` format of `patchdb-serve`. Section headers are
+    /// comment lines; metric lines keep the `patchdb_*{name="..."}`
+    /// shape of [`TraceReport::to_metrics_text`] so existing scrapers
+    /// keep parsing, with gauges and windowed quantiles added:
+    ///
+    /// ```text
+    /// # counters (cumulative since start)
+    /// patchdb_counter{name="serve.accepted"} 12
+    /// # gauges (live values)
+    /// patchdb_gauge{name="serve.inflight"} 3
+    /// # histograms (cumulative since start)
+    /// patchdb_hist_count{name="serve.identify.ns"} 12
+    /// ...
+    /// # windowed (trailing 1s/10s/60s)
+    /// patchdb_window_count{name="serve.request.total_ns",window_s="10"} 9
+    /// patchdb_window_rate{name="serve.request.total_ns",window_s="10"} 0.900
+    /// patchdb_window_p50{name="serve.request.total_ns",window_s="10"} 524287
+    /// patchdb_window_p90{name="serve.request.total_ns",window_s="10"} 1048575
+    /// patchdb_window_p99{name="serve.request.total_ns",window_s="10"} 2097151
+    /// ```
+    pub fn to_metrics_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# counters (cumulative since start)\n");
+        for (name, value) in &self.counters {
+            out.push_str(&format!("patchdb_counter{{name=\"{name}\"}} {value}\n"));
+        }
+        out.push_str("# gauges (live values)\n");
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("patchdb_gauge{{name=\"{name}\"}} {value}\n"));
+        }
+        out.push_str("# histograms (cumulative since start)\n");
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("patchdb_hist_count{{name=\"{name}\"}} {}\n", h.count()));
+            out.push_str(&format!("patchdb_hist_sum{{name=\"{name}\"}} {}\n", h.sum()));
+            out.push_str(&format!("patchdb_hist_max{{name=\"{name}\"}} {}\n", h.max()));
+            out.push_str(&format!("patchdb_hist_p50{{name=\"{name}\"}} {}\n", h.quantile(0.50)));
+            out.push_str(&format!("patchdb_hist_p99{{name=\"{name}\"}} {}\n", h.quantile(0.99)));
+        }
+        out.push_str(&format!(
+            "# windowed (trailing {}, evaluated at second {})\n",
+            METRIC_WINDOWS_S.map(|w| format!("{w}s")).join("/"),
+            self.at_second
+        ));
+        for (name, wh) in &self.windows {
+            for window_s in METRIC_WINDOWS_S {
+                let h = wh.merged(self.at_second, window_s);
+                let tag = format!("{{name=\"{name}\",window_s=\"{window_s}\"}}");
+                out.push_str(&format!("patchdb_window_count{tag} {}\n", h.count()));
+                out.push_str(&format!(
+                    "patchdb_window_rate{tag} {:.3}\n",
+                    h.count() as f64 / window_s as f64
+                ));
+                out.push_str(&format!("patchdb_window_p50{tag} {}\n", h.quantile(0.50)));
+                out.push_str(&format!("patchdb_window_p90{tag} {}\n", h.quantile(0.90)));
+                out.push_str(&format!("patchdb_window_p99{tag} {}\n", h.quantile(0.99)));
+            }
+        }
+        out
+    }
+}
+
+/// Snapshots counters, gauges, histograms and rolling windows into a
+/// [`MetricsSnapshot`] **without touching the span tree** — the cheap
+/// path a metrics scrape should take. Does not clear the registry.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    let at_second = process_second();
+    let reg = registry().lock().unwrap();
+    MetricsSnapshot {
+        at_second,
+        counters: reg.counters.iter().map(|(n, &v)| (n.clone(), v)).collect(),
+        gauges: reg.gauges.iter().map(|(n, &v)| (n.clone(), v)).collect(),
+        histograms: reg.hists.iter().map(|(n, &h)| (n.clone(), h)).collect(),
+        windows: reg.windows.iter().map(|(n, w)| (n.clone(), w.clone())).collect(),
+    }
+}
+
 /// Snapshots the registry into a [`TraceReport`]. Does not clear it —
 /// pair with [`reset`] to scope a measurement.
 pub fn report() -> TraceReport {
@@ -693,6 +895,61 @@ mod tests {
         assert!(text.contains("patchdb_hist_p99{name=\"serve.ns\"}"), "{text}");
         // One line per metric, nothing else.
         assert!(text.lines().all(|l| l.starts_with("patchdb_")), "{text}");
+    }
+
+    #[test]
+    fn gauges_set_add_and_read_back() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        gauge_set("g.depth", 7);
+        gauge_add("g.depth", -3);
+        gauge_add("g.inflight", 2);
+        assert_eq!(gauge_value("g.depth"), 4);
+        assert_eq!(gauge_value("g.inflight"), 2);
+        assert_eq!(gauge_value("g.absent"), 0);
+        set_enabled(false);
+        gauge_add("g.depth", 100); // off: inert
+        assert_eq!(gauge_value("g.depth"), 4);
+    }
+
+    #[test]
+    fn snapshot_skips_spans_and_carries_every_family() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let _s = span("not-in-snapshot");
+            counter_add("s.count", 3);
+            gauge_set("s.gauge", -2);
+            hist_record("s.hist", 9);
+            window_record("s.window", 9);
+        }
+        let snap = metrics_snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counter("s.count"), Some(3));
+        assert_eq!(snap.gauge("s.gauge"), Some(-2));
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.windows.len(), 1);
+        let (_, w) = &snap.windows[0];
+        assert_eq!(w.count(snap.at_second, 60), 1);
+
+        let text = snap.to_metrics_text();
+        assert!(text.contains("# gauges"), "{text}");
+        assert!(text.contains("patchdb_gauge{name=\"s.gauge\"} -2"), "{text}");
+        assert!(text.contains("patchdb_counter{name=\"s.count\"} 3"), "{text}");
+        assert!(
+            text.contains("patchdb_window_count{name=\"s.window\",window_s=\"60\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("patchdb_window_p99{name=\"s.window\",window_s=\"60\"}"),
+            "{text}"
+        );
+        assert!(
+            text.lines().all(|l| l.starts_with("patchdb_") || l.starts_with('#')),
+            "{text}"
+        );
     }
 
     #[test]

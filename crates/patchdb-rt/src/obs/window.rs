@@ -1,0 +1,229 @@
+//! Rolling-window histograms: a fixed ring of per-second [`Hist`] slots.
+//!
+//! A [`WindowHist`] answers "what was the p99 over the last N seconds"
+//! and "how many events per second right now" — the live-telemetry
+//! questions a cumulative histogram cannot, because its since-start
+//! totals bury the present under the past. Each slot covers one
+//! absolute second (the caller supplies the clock, which keeps the type
+//! deterministic and testable across simulated second boundaries);
+//! recording into a new second lazily reclaims the slot whose ring index
+//! it collides with, so rotation costs nothing when idle and one slot
+//! reset per second under load.
+//!
+//! Merging two windows is commutative (given equal capacities): equal
+//! seconds merge their [`Hist`]s, colliding unequal seconds keep the
+//! newer — exactly what a per-worker-shard combine needs.
+
+use super::Hist;
+
+/// One ring slot: the absolute second it covers plus its histogram.
+/// `second == VACANT` marks a slot that has never been written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    second: u64,
+    hist: Hist,
+}
+
+const VACANT: u64 = u64::MAX;
+
+impl Slot {
+    fn vacant() -> Slot {
+        Slot { second: VACANT, hist: Hist::default() }
+    }
+
+    fn is_vacant(&self) -> bool {
+        self.second == VACANT
+    }
+}
+
+/// A rolling-window histogram over the last `capacity_s` seconds. See
+/// the module docs for the slot-ring mechanics.
+///
+/// ```rust
+/// use patchdb_rt::obs::WindowHist;
+///
+/// let mut w = WindowHist::new(60);
+/// w.record_at(100, 5);
+/// w.record_at(101, 7);
+/// assert_eq!(w.merged(101, 1).count(), 1);  // only second 101
+/// assert_eq!(w.merged(101, 10).count(), 2); // both
+/// assert_eq!(w.merged(200, 60).count(), 0); // everything aged out
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowHist {
+    slots: Vec<Slot>,
+}
+
+impl WindowHist {
+    /// A window keeping `capacity_s` one-second slots (clamped to at
+    /// least 1).
+    pub fn new(capacity_s: usize) -> WindowHist {
+        WindowHist { slots: vec![Slot::vacant(); capacity_s.max(1)] }
+    }
+
+    /// How many one-second slots the ring holds — the longest lookback
+    /// [`merged`](Self::merged) can answer in full.
+    pub fn capacity_s(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one observation at absolute second `second`. A value for
+    /// the slot's current second accumulates; a *newer* second reclaims
+    /// the slot (the old second has aged past the ring horizon); an
+    /// *older* second than the slot holds is dropped — it is beyond the
+    /// horizon already, and accepting it would resurrect evicted data.
+    pub fn record_at(&mut self, second: u64, value: u64) {
+        let idx = (second % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.second != second {
+            if !slot.is_vacant() && slot.second > second {
+                return; // late arrival from a second the ring already evicted
+            }
+            *slot = Slot { second, hist: Hist::default() };
+        }
+        slot.hist.record(value);
+    }
+
+    /// Folds every slot covering a second in `(now_s - window_s, now_s]`
+    /// into one [`Hist`] — count/sum/max/quantiles over the trailing
+    /// window. Seconds newer than `now_s` are excluded too, so a
+    /// snapshot taken at `now_s` is self-consistent. A `window_s` beyond
+    /// [`capacity_s`](Self::capacity_s) is clamped to the capacity:
+    /// slots are reclaimed lazily on collision, so a quiet ring may
+    /// still *hold* seconds past its horizon, but they never count.
+    pub fn merged(&self, now_s: u64, window_s: u64) -> Hist {
+        let mut out = Hist::default();
+        if window_s == 0 {
+            return out;
+        }
+        let lookback = window_s.min(self.slots.len() as u64);
+        let oldest = now_s.saturating_sub(lookback - 1);
+        for slot in &self.slots {
+            if !slot.is_vacant() && slot.second >= oldest && slot.second <= now_s {
+                out.merge(&slot.hist);
+            }
+        }
+        out
+    }
+
+    /// Observations in the trailing window.
+    pub fn count(&self, now_s: u64, window_s: u64) -> u64 {
+        self.merged(now_s, window_s).count()
+    }
+
+    /// Observations per second over the trailing window.
+    pub fn rate_per_s(&self, now_s: u64, window_s: u64) -> f64 {
+        if window_s == 0 {
+            return 0.0;
+        }
+        self.count(now_s, window_s) as f64 / window_s as f64
+    }
+
+    /// Folds `other` into `self`, slot by slot: equal seconds merge
+    /// their histograms, a colliding newer second wins, vacant loses to
+    /// anything. For equal capacities the operation is commutative —
+    /// `a.merge(&b)` and `b.merge(&a)` are equal (pinned by the
+    /// `rt::check` property in `crates/patchdb-rt/tests/obs.rs`).
+    pub fn merge(&mut self, other: &WindowHist) {
+        for slot in &other.slots {
+            if slot.is_vacant() {
+                continue;
+            }
+            let idx = (slot.second % self.slots.len() as u64) as usize;
+            let mine = &mut self.slots[idx];
+            if mine.is_vacant() || mine.second < slot.second {
+                *mine = *slot;
+            } else if mine.second == slot.second {
+                mine.hist.merge(&slot.hist);
+            }
+            // mine.second > slot.second: other's slot already aged out.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_rotate_across_second_boundaries() {
+        let mut w = WindowHist::new(4);
+        w.record_at(0, 10);
+        w.record_at(1, 20);
+        w.record_at(2, 30);
+        assert_eq!(w.merged(2, 4).count(), 3);
+        // Second 4 collides with second 0's slot (4 % 4 == 0) and
+        // reclaims it; second 0's value is gone from every window.
+        w.record_at(4, 40);
+        assert_eq!(w.merged(4, 4).count(), 3); // seconds 1, 2, 4
+        assert_eq!(w.merged(4, 4).sum(), 90);
+        assert_eq!(w.merged(4, 1).count(), 1); // only second 4
+    }
+
+    #[test]
+    fn window_edges_evict_exactly() {
+        let mut w = WindowHist::new(64);
+        w.record_at(0, 1);
+        // Window of 64 ending at second 63 still covers second 0...
+        assert_eq!(w.count(63, 64), 1);
+        // ...and ending at second 64 no longer does.
+        assert_eq!(w.count(64, 64), 0);
+        // A 1-second window sees only its own second.
+        assert_eq!(w.count(0, 1), 1);
+        assert_eq!(w.count(1, 1), 0);
+    }
+
+    #[test]
+    fn future_slots_are_excluded_from_a_past_now() {
+        let mut w = WindowHist::new(8);
+        w.record_at(5, 1);
+        w.record_at(6, 1);
+        assert_eq!(w.count(5, 8), 1, "second 6 must not leak into a now_s=5 view");
+    }
+
+    #[test]
+    fn late_records_into_evicted_seconds_are_dropped() {
+        let mut w = WindowHist::new(4);
+        w.record_at(7, 70); // slot 3
+        w.record_at(3, 30); // same slot, older second: dropped
+        assert_eq!(w.merged(7, 4).count(), 1);
+        assert_eq!(w.merged(7, 4).max(), 70);
+    }
+
+    #[test]
+    fn zero_window_is_empty_and_rate_divides_by_window() {
+        let mut w = WindowHist::new(8);
+        for s in 0..4 {
+            w.record_at(s, 1);
+            w.record_at(s, 2);
+        }
+        assert_eq!(w.count(3, 0), 0);
+        assert_eq!(w.rate_per_s(3, 0), 0.0);
+        assert_eq!(w.rate_per_s(3, 4), 2.0);
+        assert_eq!(w.rate_per_s(3, 8), 1.0); // ring truncates at second 0
+    }
+
+    #[test]
+    fn quantiles_come_from_the_window_not_the_lifetime() {
+        let mut w = WindowHist::new(16);
+        for _ in 0..100 {
+            w.record_at(0, 1_000_000); // an old slow burst
+        }
+        for _ in 0..10 {
+            w.record_at(10, 100); // the recent regime
+        }
+        let recent = w.merged(10, 5);
+        assert_eq!(recent.count(), 10);
+        assert!(recent.quantile(0.99) < 1000, "old burst leaked into the window");
+        let all = w.merged(10, 16);
+        assert_eq!(all.count(), 110);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut w = WindowHist::new(0);
+        assert_eq!(w.capacity_s(), 1);
+        w.record_at(9, 3);
+        assert_eq!(w.count(9, 1), 1);
+    }
+}

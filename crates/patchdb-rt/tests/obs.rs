@@ -1,10 +1,14 @@
 //! Property: per-worker `obs::Shard`s merged in spawn order (the
 //! `fold_chunked` combine discipline) carry exactly the totals a
 //! single-threaded pass produces, at every thread count — the
-//! determinism story of the tentpole's "thread-aware registry".
+//! determinism story of the tentpole's "thread-aware registry" — plus
+//! the rolling-window and event-ring laws the serve-path telemetry
+//! leans on: window merges commute, windowed counts match a brute-force
+//! oracle over the event log, and the ring conserves pushed = held +
+//! dropped.
 
 use patchdb_rt::check::check;
-use patchdb_rt::obs::{self, Shard};
+use patchdb_rt::obs::{self, EventRing, Shard, WindowHist};
 use patchdb_rt::par;
 
 /// Folds `items` into a shard exactly as an instrumented parallel pass
@@ -44,6 +48,95 @@ fn shard_merge_equals_single_threaded_totals() {
                 parallel.counter("weight"),
                 "weight drift at {threads} threads"
             );
+        }
+    });
+}
+
+/// Window merges are commutative for equal capacities: however two
+/// workers' per-second shards are combined, the merged window reports
+/// the same slots, counts and quantiles.
+#[test]
+fn window_merge_is_commutative() {
+    check("obs_window_merge_commutative", 128, |g| {
+        let capacity = g.usize_in(1, 12);
+        let events = |g: &mut patchdb_rt::check::Gen| -> Vec<(u64, u64)> {
+            g.vec_with(0, 40, |g| (g.u64_in(0, 30), g.u64_in(0, 5_000)))
+        };
+        let (ea, eb) = (events(g), events(g));
+        let fill = |events: &[(u64, u64)]| {
+            let mut w = WindowHist::new(capacity);
+            for &(second, value) in events {
+                w.record_at(second, value);
+            }
+            w
+        };
+        let (a, b) = (fill(&ea), fill(&eb));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge order changed the window (capacity {capacity})");
+    });
+}
+
+/// Windowed counts agree with a brute-force oracle over the raw event
+/// log, for every (now, window) pair — slot rotation and window-edge
+/// eviction can't silently double-count or resurrect seconds.
+#[test]
+fn window_counts_match_the_event_log_oracle() {
+    check("obs_window_count_oracle", 128, |g| {
+        let capacity = g.usize_in(1, 16) as u64;
+        // Non-decreasing event seconds: a monotonic clock never hands a
+        // recorder an already-evicted second, so every event is kept
+        // unless the ring itself rotated past it.
+        let mut second = 0u64;
+        let events: Vec<(u64, u64)> = g.vec_with(0, 50, |g| {
+            second += g.u64_in(0, 3);
+            (second, g.u64_in(0, 100))
+        });
+        let mut w = WindowHist::new(capacity as usize);
+        for &(s, v) in &events {
+            w.record_at(s, v);
+        }
+        let now = second;
+        for window in [1u64, 2, capacity, capacity + 7] {
+            let oracle = events
+                .iter()
+                .filter(|&&(s, _)| {
+                    // In the trailing window, and not rotated out of the ring.
+                    s + window > now && s + capacity > now && s <= now
+                })
+                .count() as u64;
+            assert_eq!(
+                w.count(now, window),
+                oracle,
+                "window {window} at now {now} (capacity {capacity}): {events:?}"
+            );
+        }
+    });
+}
+
+/// The ring conserves records: pushed = held + dropped, and what is
+/// held is exactly the newest suffix in push order.
+#[test]
+fn ring_overwrites_oldest_and_counts_drops() {
+    check("obs_ring_conservation", 128, |g| {
+        let capacity = g.usize_in(1, 8);
+        let pushes = g.usize_in(0, 40);
+        let ring: EventRing<usize> = EventRing::new(capacity);
+        for i in 0..pushes {
+            ring.push(i);
+        }
+        assert_eq!(ring.total(), pushes as u64);
+        assert_eq!(ring.len(), pushes.min(capacity));
+        assert_eq!(ring.dropped(), pushes.saturating_sub(capacity) as u64);
+        let expect: Vec<usize> = (pushes.saturating_sub(capacity)..pushes).collect();
+        assert_eq!(ring.recent(capacity + 5), expect, "ring lost order");
+        let tail = ring.recent(1);
+        if pushes > 0 {
+            assert_eq!(tail, vec![pushes - 1]);
+        } else {
+            assert!(tail.is_empty());
         }
     });
 }

@@ -74,13 +74,25 @@ impl Batcher {
     /// Scores one weighted feature row, blocking until its batch is
     /// evaluated. After shutdown the row is scored inline instead — a
     /// draining worker never deadlocks on a stopped batcher.
+    #[cfg(test)]
     pub(crate) fn submit(&self, row: Vec<f64>) -> f64 {
+        self.submit_timed(row).0
+    }
+
+    /// Scores one row like [`submit`](Self::submit), also returning how
+    /// long the caller was blocked here in nanoseconds — the `batch`
+    /// stage of the request clock. Timing wraps the whole call (enqueue,
+    /// window wait, score, wake) so the stage covers everything the
+    /// worker could not spend computing.
+    pub(crate) fn submit_timed(&self, row: Vec<f64>) -> (f64, u64) {
+        let entered = std::time::Instant::now();
         let slot = Arc::new(Slot::default());
         {
             let mut state = self.shared.state.lock().unwrap();
             if state.shutdown {
                 drop(state);
-                return self.shared.index.score_rows(std::slice::from_ref(&row))[0];
+                let score = self.shared.index.score_rows(std::slice::from_ref(&row))[0];
+                return (score, entered.elapsed().as_nanos().min(u64::MAX as u128) as u64);
             }
             state.pending.push(Job { row, slot: Arc::clone(&slot) });
         }
@@ -89,7 +101,8 @@ impl Batcher {
         while result.is_none() {
             result = slot.ready.wait(result).unwrap();
         }
-        result.unwrap()
+        let score = result.unwrap();
+        (score, entered.elapsed().as_nanos().min(u64::MAX as u128) as u64)
     }
 
     /// Tells the batcher thread to drain what is pending and exit.
@@ -166,6 +179,20 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         assert_eq!(batched, direct, "batch composition leaked into scores");
+        batcher.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn submit_timed_reports_the_blocked_interval() {
+        let index = tiny_index();
+        let (batcher, handle) =
+            Batcher::start(Arc::clone(&index), Duration::from_millis(2));
+        let row = vec![0.0; FEATURE_DIM];
+        let direct = index.score_rows(std::slice::from_ref(&row))[0];
+        let (score, wait_ns) = batcher.submit_timed(row);
+        assert_eq!(score, direct);
+        assert!(wait_ns > 0, "a 2 ms batch window implies a measurable wait");
         batcher.shutdown();
         handle.join().unwrap();
     }

@@ -34,6 +34,11 @@ pub(crate) enum ParseError {
     Malformed(&'static str),
     /// Body or header block over the size bounds — answer `413`.
     TooLarge,
+    /// Clean EOF before the request was complete: the client hung up.
+    /// No response is possible (the peer is gone), so the worker counts
+    /// it under `serve.read_failed` instead of writing a `400` into a
+    /// dead socket.
+    Disconnected,
     /// Socket error or timeout while reading — no response possible.
     Io(std::io::Error),
 }
@@ -52,7 +57,7 @@ pub(crate) fn parse_request(stream: &mut impl Read) -> Result<Request, ParseErro
         }
         let n = stream.read(&mut chunk).map_err(ParseError::Io)?;
         if n == 0 {
-            return Err(ParseError::Malformed("connection closed mid-header"));
+            return Err(ParseError::Disconnected);
         }
         buf.extend_from_slice(&chunk[..n]);
     };
@@ -90,7 +95,7 @@ pub(crate) fn parse_request(stream: &mut impl Read) -> Result<Request, ParseErro
         let want = (content_length - body.len()).min(chunk.len());
         let n = stream.read(&mut chunk[..want]).map_err(ParseError::Io)?;
         if n == 0 {
-            return Err(ParseError::Malformed("connection closed mid-body"));
+            return Err(ParseError::Disconnected);
         }
         body.extend_from_slice(&chunk[..n]);
     }
@@ -220,13 +225,21 @@ mod tests {
     fn rejects_garbage_and_truncation() {
         assert!(matches!(parse("not http at all\r\n\r\n"), Err(ParseError::Malformed(_))));
         assert!(matches!(
-            parse("POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"),
-            Err(ParseError::Malformed(_))
-        ));
-        assert!(matches!(
             parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
             Err(ParseError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn classifies_client_hangups_as_disconnects() {
+        // EOF mid-header and EOF mid-body are the client vanishing, not
+        // malformed HTTP: no response can reach them.
+        assert!(matches!(parse("GET /healthz HT"), Err(ParseError::Disconnected)));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"),
+            Err(ParseError::Disconnected)
+        ));
+        assert!(matches!(parse(""), Err(ParseError::Disconnected)));
     }
 
     #[test]

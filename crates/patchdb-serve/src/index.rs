@@ -9,6 +9,7 @@ use patchdb::{
 use patchdb_features::{apply_weights, extract, learn_weights, Weights};
 use patchdb_ml::{Classifier, Dataset, RandomForest};
 use patchdb_rt::json::Json;
+use patchdb_rt::obs;
 
 /// One precompiled signature plus the provenance the scan response needs.
 #[derive(Debug, Clone)]
@@ -63,37 +64,46 @@ impl ServeIndex {
     /// identifier (security vs non-security), and compiles the
     /// vulnerability signatures of every security patch.
     pub fn build(db: PatchDb) -> ServeIndex {
-        let weights = learn_weights(db.records().map(|r| &r.features));
-        let rows: Vec<Vec<f64>> = db
-            .records()
-            .map(|r| apply_weights(&r.features, &weights).as_slice().to_vec())
-            .collect();
-        let labels: Vec<bool> =
-            db.records().map(|r| r.source != Source::NonSecurity).collect();
-        let n_pos = labels.iter().filter(|&&l| l).count();
-        // A one-class dataset can't train a discriminator; the identify
-        // endpoint then reports the uninformative 0.5 rather than lying.
-        let forest = (n_pos > 0 && n_pos < labels.len())
-            .then(|| {
-                Dataset::new(rows, labels).ok().map(|data| {
-                    let (trees, depth) = Self::FOREST_SHAPE;
-                    let mut rf = RandomForest::new(trees, depth, Self::MODEL_SEED);
-                    rf.fit(&data);
-                    rf
+        let _build = obs::span("serve.index.build");
+        let weights = {
+            let _s = obs::span("serve.index.learn_weights");
+            learn_weights(db.records().map(|r| &r.features))
+        };
+        let forest = {
+            let _s = obs::span("serve.index.fit_forest");
+            let rows: Vec<Vec<f64>> = db
+                .records()
+                .map(|r| apply_weights(&r.features, &weights).as_slice().to_vec())
+                .collect();
+            let labels: Vec<bool> =
+                db.records().map(|r| r.source != Source::NonSecurity).collect();
+            let n_pos = labels.iter().filter(|&&l| l).count();
+            // A one-class dataset can't train a discriminator; the identify
+            // endpoint then reports the uninformative 0.5 rather than lying.
+            (n_pos > 0 && n_pos < labels.len())
+                .then(|| {
+                    Dataset::new(rows, labels).ok().map(|data| {
+                        let (trees, depth) = Self::FOREST_SHAPE;
+                        let mut rf = RandomForest::new(trees, depth, Self::MODEL_SEED);
+                        rf.fit(&data);
+                        rf
+                    })
                 })
-            })
-            .flatten();
+                .flatten()
+        };
 
-        let signatures: Vec<SignatureEntry> = db
-            .security_patches()
-            .flat_map(|r| {
-                signatures_of(&r.patch).into_iter().map(|signature| SignatureEntry {
-                    commit: r.commit,
-                    cve_id: r.cve_id.clone(),
-                    signature,
+        let signatures: Vec<SignatureEntry> = {
+            let _s = obs::span("serve.index.compile_signatures");
+            db.security_patches()
+                .flat_map(|r| {
+                    signatures_of(&r.patch).into_iter().map(|signature| SignatureEntry {
+                        commit: r.commit,
+                        cve_id: r.cve_id.clone(),
+                        signature,
+                    })
                 })
-            })
-            .collect();
+                .collect()
+        };
 
         ServeIndex { db, weights, forest, signatures }
     }
@@ -138,6 +148,8 @@ impl ServeIndex {
                 PresenceVerdict::NotApplicable => {}
             }
         }
+        obs::counter_add("serve.scan.signatures_tested", self.signatures.len() as u64);
+        obs::counter_add("serve.scan.matches", outcome.matches.len() as u64);
         outcome
     }
 

@@ -20,7 +20,9 @@
 //! | `/v1/stats`          | GET    | dataset headline counts + category distribution |
 //! | `/v1/patch/<id>`     | GET    | one record by (prefix) commit hex               |
 //! | `/healthz`           | GET    | liveness                                        |
-//! | `/metrics`           | GET    | `rt::obs` counters + per-endpoint latency       |
+//! | `/metrics`           | GET    | counters, gauges, cumulative + windowed latency |
+//! | `/debug/requests`    | GET    | last N requests, each with its stage breakdown  |
+//! | `/debug/slow`        | GET    | slow-request exemplars above `--slow-ms`        |
 //!
 //! Architecture (DESIGN.md §9): an accept thread feeds a **bounded**
 //! admission queue (`rt::queue::BoundedQueue`); when the queue is full
@@ -30,6 +32,13 @@
 //! through the forest by a dedicated batcher thread with a configurable
 //! batch window. Shutdown is graceful: accepted work drains, then every
 //! thread joins.
+//!
+//! Every connection carries a request ID and a six-stage clock
+//! (accept → queue → parse → batch → compute → write); finished records
+//! feed rolling-window latency histograms, the `serve.inflight` /
+//! `serve.queue_depth` gauges, the `/debug/requests` ring, slow-request
+//! exemplars, and an optional JSON-lines access log (`--access-log`,
+//! off by default).
 //!
 //! Responses are deterministic: the same request against the same
 //! dataset yields byte-identical bodies at any worker count or batch
@@ -54,6 +63,7 @@ pub mod client;
 mod http;
 mod index;
 mod server;
+mod telemetry;
 
 pub use http::{Request, Response};
 pub use index::{ScanMatch, ScanOutcome, ServeIndex};

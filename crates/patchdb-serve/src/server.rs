@@ -17,6 +17,7 @@ use patchdb_rt::queue::BoundedQueue;
 use crate::batch::Batcher;
 use crate::http::{parse_request, write_response, ParseError, Request, Response};
 use crate::index::ServeIndex;
+use crate::telemetry::{elapsed_ns, RequestRecord, Telemetry};
 
 /// Server knobs. Construct with [`ServeConfig::default`] and refine with
 /// the fluent setters (`#[non_exhaustive]`, like `BuildOptions`):
@@ -47,6 +48,16 @@ pub struct ServeConfig {
     /// Per-request wall-clock budget from accept to response; work
     /// dequeued past it is answered `503` without touching an endpoint.
     pub deadline_ms: u64,
+    /// JSON-lines access-log sink: a path, `"-"` for stdout, or `None`
+    /// (the default) for no log. Purely additive — response bytes are
+    /// identical either way.
+    pub access_log: Option<String>,
+    /// Requests at least this slow are kept as exemplars with their full
+    /// stage breakdown, served by `GET /debug/slow`.
+    pub slow_ms: u64,
+    /// How many finished requests `GET /debug/requests` retains
+    /// (overwrite-oldest ring; clamped to at least 1).
+    pub debug_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +68,9 @@ impl Default for ServeConfig {
             batch_window_ms: 2,
             max_inflight: 128,
             deadline_ms: 10_000,
+            access_log: None,
+            slow_ms: 100,
+            debug_ring: 256,
         }
     }
 }
@@ -91,12 +105,37 @@ impl ServeConfig {
         self.deadline_ms = ms;
         self
     }
+
+    /// Sets the access-log sink (`"-"` for stdout).
+    pub fn access_log(mut self, sink: impl Into<String>) -> Self {
+        self.access_log = Some(sink.into());
+        self
+    }
+
+    /// Sets the slow-request exemplar threshold in milliseconds.
+    pub fn slow_ms(mut self, ms: u64) -> Self {
+        self.slow_ms = ms;
+        self
+    }
+
+    /// Sets the `/debug/requests` ring capacity (clamped to at least 1).
+    pub fn debug_ring(mut self, capacity: usize) -> Self {
+        self.debug_ring = capacity.max(1);
+        self
+    }
 }
 
 /// One admitted connection waiting for a worker.
 struct Conn {
     stream: TcpStream,
     accepted: Instant,
+    /// Request ID, assigned in admission order on the accept thread.
+    id: u64,
+    /// Accept-stage duration: TCP accept to admission-queue push.
+    accept_ns: u64,
+    /// When the accept thread pushed the connection; the worker reads
+    /// the queue-wait stage off this at dequeue.
+    enqueued: Instant,
 }
 
 /// Everything a worker needs, shared immutably.
@@ -104,6 +143,7 @@ struct Ctx {
     index: Arc<ServeIndex>,
     batcher: Batcher,
     deadline: Duration,
+    telemetry: Arc<Telemetry>,
 }
 
 /// A running query server. Dropping it (or calling
@@ -131,6 +171,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         obs::set_enabled(true);
+        let telemetry = Arc::new(Telemetry::new(config)?);
 
         let index = Arc::new(index);
         let worker_count = if config.threads == 0 {
@@ -149,6 +190,7 @@ impl Server {
             index,
             batcher: batcher.clone(),
             deadline: Duration::from_millis(config.deadline_ms.max(1)),
+            telemetry: Arc::clone(&telemetry),
         });
         let workers: Vec<JoinHandle<()>> = (0..worker_count)
             .map(|i| {
@@ -172,7 +214,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("patchdb-serve-accept".into())
                 .spawn(move || {
-                    accept_loop(&listener, &queue, &stop);
+                    accept_loop(&listener, &queue, &stop, &telemetry);
                     // Stop admitting, let workers drain the backlog.
                     queue.close();
                 })
@@ -246,7 +288,12 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<Conn>, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &BoundedQueue<Conn>,
+    stop: &AtomicBool,
+    telemetry: &Telemetry,
+) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
             if stop.load(Ordering::SeqCst) {
@@ -254,27 +301,65 @@ fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<Conn>, stop: &Atomic
             }
             continue;
         };
+        let accepted = Instant::now();
         if stop.load(Ordering::SeqCst) {
             return; // the wake-up connection (or a raced client) is dropped
         }
         obs::counter_add("serve.accepted", 1);
-        let conn = Conn { stream, accepted: Instant::now() };
+        let id = telemetry.next_id();
+        let accept_ns = elapsed_ns(accepted);
+        let conn = Conn { stream, accepted, id, accept_ns, enqueued: Instant::now() };
+        obs::gauge_add("serve.queue_depth", 1);
+        obs::gauge_add("serve.inflight", 1);
         if let Err(refused) = queue.try_push(conn) {
             // Backpressure: shed the connection immediately with the
             // retry hint rather than queueing without bound.
+            obs::gauge_add("serve.queue_depth", -1);
+            obs::gauge_add("serve.inflight", -1);
             obs::counter_add("serve.rejected_503", 1);
-            let mut stream = refused.into_inner().stream;
-            let _ = write_response(&mut stream, &Response::overloaded(1));
+            let mut conn = refused.into_inner();
+            let mut rec = RequestRecord::admitted(conn.id, conn.accept_ns);
+            rec.endpoint = "shed";
+            respond(&mut conn.stream, &Response::overloaded(1), &mut rec);
+            rec.total_ns = elapsed_ns(conn.accepted);
+            telemetry.observe(rec);
         }
     }
 }
 
-fn handle_conn(mut conn: Conn, ctx: &Ctx) {
+/// Writes `response` (best effort — the client may be gone) while
+/// banking the outcome: the `serve.status.*` counter, the record's
+/// status, and the write-stage duration.
+fn respond(stream: &mut TcpStream, response: &Response, rec: &mut RequestRecord) {
+    obs::counter_add(&format!("serve.status.{}", response.status), 1);
+    rec.status = response.status;
+    let started = Instant::now();
+    let _ = write_response(stream, response);
+    rec.write_ns = elapsed_ns(started);
+}
+
+/// Worker entry for one dequeued connection: closes out the queue
+/// stage, runs the request, then banks the finished record exactly once
+/// — every early return inside [`serve_one`] still flows through the
+/// ring, the windows, and the access log.
+fn handle_conn(conn: Conn, ctx: &Ctx) {
+    obs::gauge_add("serve.queue_depth", -1);
+    let mut rec = RequestRecord::admitted(conn.id, conn.accept_ns);
+    rec.queue_ns = elapsed_ns(conn.enqueued);
+    let accepted = conn.accepted;
+    serve_one(conn, ctx, &mut rec);
+    rec.total_ns = elapsed_ns(accepted);
+    obs::gauge_add("serve.inflight", -1);
+    ctx.telemetry.observe(rec);
+}
+
+fn serve_one(mut conn: Conn, ctx: &Ctx, rec: &mut RequestRecord) {
     let remaining = match ctx.deadline.checked_sub(conn.accepted.elapsed()) {
         Some(r) if !r.is_zero() => r,
         _ => {
             obs::counter_add("serve.deadline_expired", 1);
-            let _ = write_response(&mut conn.stream, &Response::overloaded(1));
+            rec.endpoint = "deadline";
+            respond(&mut conn.stream, &Response::overloaded(1), rec);
             return;
         }
     };
@@ -282,13 +367,23 @@ fn handle_conn(mut conn: Conn, ctx: &Ctx) {
     // take to deliver its request bytes.
     let _ = conn.stream.set_read_timeout(Some(remaining));
 
-    let request = match parse_request(&mut conn.stream) {
+    let read_started = Instant::now();
+    let parsed = parse_request(&mut conn.stream);
+    rec.parse_ns = elapsed_ns(read_started);
+    let request = match parsed {
         Ok(r) => r,
         Err(e) => {
             let response = match e {
                 ParseError::TooLarge => Response::text(413, "request too large\n"),
                 ParseError::Malformed(why) => {
                     Response::text(400, format!("malformed request: {why}\n"))
+                }
+                ParseError::Disconnected => {
+                    // Clean EOF mid-request: the client hung up. Nobody
+                    // is left to answer.
+                    obs::counter_add("serve.read_failed", 1);
+                    rec.endpoint = "disconnect";
+                    return;
                 }
                 ParseError::Io(err) => {
                     // A timeout here is the read deadline firing on a
@@ -297,47 +392,59 @@ fn handle_conn(mut conn: Conn, ctx: &Ctx) {
                         err.kind(),
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     );
-                    obs::counter_add(
-                        if timed_out { "serve.deadline_expired" } else { "serve.read_failed" },
-                        1,
-                    );
+                    if timed_out {
+                        obs::counter_add("serve.deadline_expired", 1);
+                        rec.endpoint = "deadline";
+                    } else {
+                        obs::counter_add("serve.read_failed", 1);
+                        rec.endpoint = "disconnect";
+                    }
                     return;
                 }
             };
-            obs::counter_add(&format!("serve.status.{}", response.status), 1);
-            let _ = write_response(&mut conn.stream, &response);
+            rec.endpoint = "parse";
+            respond(&mut conn.stream, &response, rec);
             return;
         }
     };
+    rec.method = request.method.clone();
+    rec.path = request.path.clone();
     if conn.accepted.elapsed() >= ctx.deadline {
         obs::counter_add("serve.deadline_expired", 1);
-        let _ = write_response(&mut conn.stream, &Response::overloaded(1));
+        rec.endpoint = "deadline";
+        respond(&mut conn.stream, &Response::overloaded(1), rec);
         return;
     }
 
     let started = Instant::now();
-    let (endpoint, response) = dispatch(&request, ctx);
-    let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let (endpoint, response) = dispatch(&request, ctx, rec);
+    let dispatch_ns = elapsed_ns(started);
+    rec.endpoint = endpoint;
+    // The compute stage is endpoint work minus time blocked on the
+    // identify batcher, so batch pressure and CPU cost stay separable.
+    rec.compute_ns = dispatch_ns.saturating_sub(rec.batch_ns);
     obs::counter_add(&format!("serve.{endpoint}.requests"), 1);
-    obs::hist_record(&format!("serve.{endpoint}.ns"), elapsed_ns);
-    obs::counter_add(&format!("serve.status.{}", response.status), 1);
-    let _ = write_response(&mut conn.stream, &response);
+    obs::hist_record(&format!("serve.{endpoint}.ns"), dispatch_ns);
+    respond(&mut conn.stream, &response, rec);
 }
 
-/// Routes one request; returns the endpoint label the metrics use.
-fn dispatch(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
+/// Routes one request; returns the endpoint label the metrics use. The
+/// record is threaded through so `identify` can bank its batch wait.
+fn dispatch(request: &Request, ctx: &Ctx, rec: &mut RequestRecord) -> (&'static str, Response) {
     let path = request.path.as_str();
     let get = request.method == "GET";
     let post = request.method == "POST";
     match path {
         "/healthz" if get => ("healthz", Response::text(200, "ok\n")),
         "/metrics" if get => {
-            ("metrics", Response::text(200, obs::report().to_metrics_text()))
+            // Snapshot, not report(): counters/gauges/hists/windows only,
+            // no span-tree clone under the registry mutex.
+            ("metrics", Response::text(200, obs::metrics_snapshot().to_metrics_text()))
         }
         "/v1/stats" if get => {
             ("stats", Response::json(200, &ctx.index.stats_json()))
         }
-        "/v1/identify" if post => ("identify", identify(request, ctx)),
+        "/v1/identify" if post => ("identify", identify(request, ctx, rec)),
         "/v1/classify" if post => ("classify", classify(request, ctx)),
         "/v1/scan" if post => ("scan", scan(request, ctx)),
         _ if path.starts_with("/v1/patch/") && get => {
@@ -347,10 +454,33 @@ fn dispatch(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
                 None => ("patch", Response::text(404, "no unique record for that id\n")),
             }
         }
+        _ if get && (path == "/debug/requests" || path.starts_with("/debug/requests?")) => {
+            let n = debug_request_limit(path);
+            ("debug_requests", Response::json(200, &ctx.telemetry.debug_requests_json(n)))
+        }
+        "/debug/slow" if get => {
+            ("debug_slow", Response::json(200, &ctx.telemetry.debug_slow_json()))
+        }
         "/healthz" | "/metrics" | "/v1/stats" | "/v1/identify" | "/v1/classify"
-        | "/v1/scan" => ("other", Response::text(405, "method not allowed\n")),
+        | "/v1/scan" | "/debug/requests" | "/debug/slow" => {
+            ("other", Response::text(405, "method not allowed\n"))
+        }
         _ => ("other", Response::text(404, "unknown endpoint\n")),
     }
+}
+
+/// How many records `/debug/requests` should return: the `n` query
+/// parameter, else 64.
+fn debug_request_limit(path: &str) -> usize {
+    const DEFAULT: usize = 64;
+    let Some((_, query)) = path.split_once('?') else {
+        return DEFAULT;
+    };
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("n="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT)
 }
 
 /// Parses the request body as a unified diff, or explains why not.
@@ -360,13 +490,14 @@ fn parse_patch_body(request: &Request) -> Result<Patch, Response> {
     Patch::parse(text).map_err(|e| Response::text(400, format!("not a unified diff: {e}\n")))
 }
 
-fn identify(request: &Request, ctx: &Ctx) -> Response {
+fn identify(request: &Request, ctx: &Ctx, rec: &mut RequestRecord) -> Response {
     let patch = match parse_patch_body(request) {
         Ok(p) => p,
         Err(r) => return r,
     };
     let row = ctx.index.weighted_features(&patch);
-    let score = ctx.batcher.submit(row);
+    let (score, batch_ns) = ctx.batcher.submit_timed(row);
+    rec.batch_ns = batch_ns;
     Response::json(
         200,
         &Json::Obj(vec![

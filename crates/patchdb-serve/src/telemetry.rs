@@ -1,0 +1,288 @@
+//! Request-scoped telemetry for the serve path: request IDs, the
+//! six-stage clock, the debug ring, slow-request exemplars, and the
+//! optional JSON-lines access log.
+//!
+//! Every connection gets a monotonically increasing request ID at accept
+//! time and a [`RequestRecord`] that accumulates where the request spent
+//! its life: `accept` (accept thread, pre-admission), `queue` (admission
+//! queue wait), `parse` (socket read + HTTP parse), `batch` (blocked on
+//! the identify micro-batcher), `compute` (endpoint work minus batch
+//! wait), and `write` (response serialization to the socket). The six
+//! stages are disjoint sub-intervals of the request's accept-to-written
+//! lifetime, so their sum never exceeds `total_ns` — the invariant the
+//! access-log validator in `check_bench_json` enforces.
+//!
+//! Recording is strictly observational: response bytes are identical
+//! with telemetry on or off (`tests/serve.rs` pins the access-log
+//! on/off byte identity), and the access log is disabled unless
+//! `--access-log` is given.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use patchdb::Error;
+use patchdb_rt::json::Json;
+use patchdb_rt::obs::{self, EventRing};
+
+use crate::server::ServeConfig;
+
+/// Nanoseconds elapsed since `t`, saturating into `u64`.
+pub(crate) fn elapsed_ns(t: Instant) -> u64 {
+    t.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// One request's structured record: identity, outcome, and the
+/// six-stage duration breakdown.
+#[derive(Debug, Clone)]
+pub(crate) struct RequestRecord {
+    /// Server-unique request ID, assigned at accept in admission order.
+    pub id: u64,
+    /// Upper-case method, `"-"` until a request line was parsed.
+    pub method: String,
+    /// Request path (query included), `"-"` until parsed.
+    pub path: String,
+    /// The endpoint label metrics use (`identify`, `healthz`, ...), or a
+    /// terminal classification (`shed`, `deadline`, `disconnect`,
+    /// `parse`) when no endpoint ran.
+    pub endpoint: &'static str,
+    /// Response status, `0` when the client vanished before one could be
+    /// written.
+    pub status: u16,
+    /// Accept-to-written wall time.
+    pub total_ns: u64,
+    /// Accept thread: TCP accept to admission-queue push.
+    pub accept_ns: u64,
+    /// Admission-queue wait: push to worker dequeue.
+    pub queue_ns: u64,
+    /// Socket read + HTTP parse.
+    pub parse_ns: u64,
+    /// Blocked on the identify micro-batcher (zero for other endpoints).
+    pub batch_ns: u64,
+    /// Endpoint work, batch wait excluded.
+    pub compute_ns: u64,
+    /// Response write + flush.
+    pub write_ns: u64,
+}
+
+impl RequestRecord {
+    /// A fresh record for an admitted connection; the remaining stages
+    /// fill in as the request advances.
+    pub fn admitted(id: u64, accept_ns: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            method: "-".into(),
+            path: "-".into(),
+            endpoint: "other",
+            status: 0,
+            total_ns: 0,
+            accept_ns,
+            queue_ns: 0,
+            parse_ns: 0,
+            batch_ns: 0,
+            compute_ns: 0,
+            write_ns: 0,
+        }
+    }
+
+    /// Sum of the six stage durations (always `<= total_ns`).
+    #[cfg(test)]
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.accept_ns
+            .saturating_add(self.queue_ns)
+            .saturating_add(self.parse_ns)
+            .saturating_add(self.batch_ns)
+            .saturating_add(self.compute_ns)
+            .saturating_add(self.write_ns)
+    }
+
+    fn fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("id".into(), Json::Num(self.id as f64)),
+            ("method".into(), Json::Str(self.method.clone())),
+            ("path".into(), Json::Str(self.path.clone())),
+            ("endpoint".into(), Json::Str(self.endpoint.into())),
+            ("status".into(), Json::Num(self.status as f64)),
+            ("total_ns".into(), Json::Num(self.total_ns as f64)),
+            ("accept_ns".into(), Json::Num(self.accept_ns as f64)),
+            ("queue_ns".into(), Json::Num(self.queue_ns as f64)),
+            ("parse_ns".into(), Json::Num(self.parse_ns as f64)),
+            ("batch_ns".into(), Json::Num(self.batch_ns as f64)),
+            ("compute_ns".into(), Json::Num(self.compute_ns as f64)),
+            ("write_ns".into(), Json::Num(self.write_ns as f64)),
+        ]
+    }
+
+    /// The `/debug/requests` and `/debug/slow` document for one record.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.fields())
+    }
+
+    /// One access-log line: the record's fields behind a monotonic
+    /// `ts_ms` (milliseconds since server start, captured at log time).
+    fn to_log_json(&self, ts_ms: u64) -> Json {
+        let mut fields = vec![("ts_ms".into(), Json::Num(ts_ms as f64))];
+        fields.extend(self.fields());
+        Json::Obj(fields)
+    }
+}
+
+/// Capacity of the slow-request exemplar ring.
+const SLOW_RING: usize = 32;
+
+/// Per-server telemetry state, shared by the accept thread and every
+/// worker.
+pub(crate) struct Telemetry {
+    started: Instant,
+    next_id: AtomicU64,
+    ring: EventRing<RequestRecord>,
+    slow: EventRing<RequestRecord>,
+    slow_ns: u64,
+    /// `ts_ms` is read under this lock so log lines are written with
+    /// strictly non-decreasing timestamps even under worker contention.
+    access: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl Telemetry {
+    /// Builds the telemetry state from the server config, opening (and
+    /// truncating) the access-log sink when one is configured (`"-"`
+    /// logs to stdout).
+    pub fn new(config: &ServeConfig) -> Result<Telemetry, Error> {
+        let access: Option<Box<dyn Write + Send>> = match config.access_log.as_deref() {
+            None => None,
+            Some("-") => Some(Box::new(std::io::stdout())),
+            Some(path) => Some(Box::new(std::fs::File::create(path)?)),
+        };
+        Ok(Telemetry {
+            started: Instant::now(),
+            next_id: AtomicU64::new(1),
+            ring: EventRing::new(config.debug_ring),
+            slow: EventRing::new(SLOW_RING),
+            slow_ns: config.slow_ms.saturating_mul(1_000_000),
+            access: access.map(Mutex::new),
+        })
+    }
+
+    /// The next request ID, in admission order.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Banks one finished request: global windowed histograms and stage
+    /// histograms, the debug ring, the slow-exemplar ring, and the
+    /// access log. Called exactly once per accepted connection, after
+    /// the response (if any) was written.
+    pub fn observe(&self, record: RequestRecord) {
+        obs::window_record("serve.request.total_ns", record.total_ns);
+        obs::window_record(
+            &format!("serve.{}.total_ns", record.endpoint),
+            record.total_ns,
+        );
+        let mut shard = obs::Shard::new();
+        shard.record("serve.stage.accept_ns", record.accept_ns);
+        shard.record("serve.stage.queue_ns", record.queue_ns);
+        shard.record("serve.stage.parse_ns", record.parse_ns);
+        shard.record("serve.stage.batch_ns", record.batch_ns);
+        shard.record("serve.stage.compute_ns", record.compute_ns);
+        shard.record("serve.stage.write_ns", record.write_ns);
+        shard.flush();
+
+        if let Some(log) = &self.access {
+            let mut sink = log.lock().unwrap();
+            let ts_ms = self.started.elapsed().as_millis().min(u64::MAX as u128) as u64;
+            let line = record.to_log_json(ts_ms).to_compact_string() + "\n";
+            let _ = sink.write_all(line.as_bytes());
+            let _ = sink.flush();
+        }
+        if record.total_ns >= self.slow_ns {
+            obs::counter_add("serve.slow_requests", 1);
+            self.slow.push(record.clone());
+        }
+        self.ring.push(record);
+    }
+
+    /// The `GET /debug/requests` document: ring capacity/pressure plus
+    /// the last `n` records, oldest first.
+    pub fn debug_requests_json(&self, n: usize) -> Json {
+        Json::Obj(vec![
+            ("capacity".into(), Json::Num(self.ring.capacity() as f64)),
+            ("total".into(), Json::Num(self.ring.total() as f64)),
+            ("dropped".into(), Json::Num(self.ring.dropped() as f64)),
+            (
+                "requests".into(),
+                Json::Arr(self.ring.recent(n).iter().map(RequestRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The `GET /debug/slow` document: the threshold and the most recent
+    /// slow-request exemplars with their full stage breakdowns.
+    pub fn debug_slow_json(&self) -> Json {
+        Json::Obj(vec![
+            ("slow_ms".into(), Json::Num(self.slow_ns as f64 / 1e6)),
+            ("total".into(), Json::Num(self.slow.total() as f64)),
+            (
+                "requests".into(),
+                Json::Arr(self.slow.recent(SLOW_RING).iter().map(RequestRecord::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, total: u64) -> RequestRecord {
+        let mut r = RequestRecord::admitted(id, 10);
+        r.queue_ns = 20;
+        r.parse_ns = 30;
+        r.batch_ns = 0;
+        r.compute_ns = 40;
+        r.write_ns = 5;
+        r.total_ns = total;
+        r.status = 200;
+        r
+    }
+
+    #[test]
+    fn stage_sum_stays_below_total() {
+        let r = record(1, 200);
+        assert_eq!(r.stage_sum_ns(), 105);
+        assert!(r.stage_sum_ns() <= r.total_ns);
+    }
+
+    #[test]
+    fn record_json_carries_all_six_stages() {
+        let json = record(7, 500).to_json();
+        for field in
+            ["accept_ns", "queue_ns", "parse_ns", "batch_ns", "compute_ns", "write_ns"]
+        {
+            assert!(json.get(field).and_then(Json::as_f64).is_some(), "missing {field}");
+        }
+        assert_eq!(json.get("id").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(json.get("status").and_then(Json::as_f64), Some(200.0));
+    }
+
+    #[test]
+    fn slow_ring_captures_only_above_threshold() {
+        let config = ServeConfig::default().slow_ms(1); // 1 ms
+        let telemetry = Telemetry::new(&config).unwrap();
+        telemetry.observe(record(1, 500)); // 500 ns: fast
+        telemetry.observe(record(2, 2_000_000)); // 2 ms: slow
+        let slow = telemetry.debug_slow_json();
+        let requests = slow.get("requests").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].get("id").and_then(Json::as_f64), Some(2.0));
+        let all = telemetry.debug_requests_json(16);
+        assert_eq!(all.get("requests").and_then(|r| r.as_arr()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ids_are_unique_and_ascending() {
+        let telemetry = Telemetry::new(&ServeConfig::default()).unwrap();
+        let ids: Vec<u64> = (0..5).map(|_| telemetry.next_id()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+}

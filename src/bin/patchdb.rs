@@ -54,15 +54,21 @@ fn usage_for(command: &str) -> Option<&'static str> {
         "serve" => {
             "usage: patchdb serve <FILE> [--addr HOST:PORT] [--threads N]
                      [--batch-window-ms N] [--max-inflight N]
+                     [--access-log PATH|-] [--slow-ms N]
 
   <FILE>              dataset JSON to index and serve
   --addr HOST:PORT    bind address (default 127.0.0.1:7979; port 0 = ephemeral)
   --threads N         worker pool size (default 0 = auto)
   --batch-window-ms N identify micro-batch window (default 2)
   --max-inflight N    admission bound; beyond it requests get 503 (default 128)
+  --access-log PATH|- JSON-lines access log, one line per request with its
+                      request id and stage breakdown (- = stdout; default off)
+  --slow-ms N         keep requests at least this slow as /debug/slow
+                      exemplars (default 100)
 
 endpoints: POST /v1/identify /v1/classify /v1/scan,
-           GET /v1/stats /v1/patch/<id> /healthz /metrics"
+           GET /v1/stats /v1/patch/<id> /healthz /metrics
+           GET /debug/requests /debug/slow"
         }
         _ => return None,
     })
@@ -344,6 +350,13 @@ fn cmd_serve(args: &[String]) -> CliResult {
                     value_after(&mut it, "--max-inflight")?,
                     "--max-inflight",
                 )?);
+            }
+            "--access-log" => {
+                config = config.access_log(value_after(&mut it, "--access-log")?);
+            }
+            "--slow-ms" => {
+                config =
+                    config.slow_ms(parse_num(value_after(&mut it, "--slow-ms")?, "--slow-ms")?);
             }
             other if other.starts_with('-') => {
                 return Err(Error::usage(format!("unknown flag {other}")));

@@ -1,6 +1,8 @@
 //! Loopback integration tests of `patchdb-serve`: endpoint round-trips,
 //! 503 backpressure at a saturated admission queue, graceful-drain
-//! shutdown, metrics monotonicity, and worker-count determinism.
+//! shutdown, metrics monotonicity, request-scoped telemetry (stage
+//! clocks, debug rings, access log), failure-mode classification, and
+//! worker-count determinism.
 //!
 //! The tiny dataset is built exactly once, before any server starts:
 //! `PatchDb::build` resets the global `rt::obs` registry when tracing is
@@ -185,10 +187,190 @@ fn metrics_accumulate_monotonically() {
     server.shutdown();
 }
 
+/// Reads one `patchdb_counter` value off a `/metrics` scrape; a counter
+/// that has never been touched is 0.
+fn counter_in(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("patchdb_counter{{name=\"{name}\"}} ")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Polls `/metrics` until `name` reaches at least `want` (the registry
+/// is updated by worker threads we cannot join from here).
+fn await_counter(addr: std::net::SocketAddr, name: &str, want: u64) -> u64 {
+    let mut last = 0;
+    for _ in 0..100 {
+        let body = client::request(addr, "GET", "/metrics", b"").unwrap().body_text();
+        last = counter_in(&body, name);
+        if last >= want {
+            return last;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    last
+}
+
+#[test]
+fn deadline_and_disconnect_classify_separately() {
+    // Short deadline so a stalled reader trips it quickly; the registry
+    // is process-global, so assert on deltas, not absolutes.
+    let server = start(ephemeral().threads(2).deadline_ms(300));
+    let addr = server.addr();
+    let before_body = client::request(addr, "GET", "/metrics", b"").unwrap().body_text();
+    let before_deadline = counter_in(&before_body, "serve.deadline_expired");
+    let before_read = counter_in(&before_body, "serve.read_failed");
+
+    // Slow loris: a partial request line, then silence. The read
+    // deadline fires and the server hangs up without a response.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.write_all(b"GET /heal").unwrap();
+    loris.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut raw = Vec::new();
+    loris.read_to_end(&mut raw).expect("server closes the lorised socket");
+    assert!(raw.is_empty(), "a deadline-expired read got a response: {raw:?}");
+
+    // Disconnector: a partial request, then a clean hangup mid-header.
+    let mut gone = TcpStream::connect(addr).unwrap();
+    gone.write_all(b"POST /v1/identify HTTP/1.1\r\nContent-Le").unwrap();
+    drop(gone);
+
+    let deadline = await_counter(addr, "serve.deadline_expired", before_deadline + 1);
+    let read = await_counter(addr, "serve.read_failed", before_read + 1);
+    assert!(
+        deadline >= before_deadline + 1,
+        "deadline_expired stuck at {deadline} (started {before_deadline})"
+    );
+    assert!(
+        read >= before_read + 1,
+        "read_failed stuck at {read} (started {before_read})"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn metrics_report_windows_and_gauges_under_load() {
+    let server = start(ephemeral().threads(2));
+    let addr = server.addr();
+    for _ in 0..8 {
+        assert_eq!(client::request(addr, "GET", "/healthz", b"").unwrap().status, 200);
+    }
+    let body = client::request(addr, "GET", "/metrics", b"").unwrap().body_text();
+
+    // Windowed quantiles over the trailing 60 s cover the burst we just
+    // sent (the registry is global, so counts only grow).
+    let count_60 = body
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(
+                "patchdb_window_count{name=\"serve.request.total_ns\",window_s=\"60\"} ",
+            )
+        })
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("windowed request count in /metrics");
+    assert!(count_60 >= 8, "60s window count {count_60} misses the burst");
+    for line in [
+        "patchdb_window_p50{name=\"serve.request.total_ns\",window_s=\"60\"}",
+        "patchdb_window_p99{name=\"serve.request.total_ns\",window_s=\"60\"}",
+        "patchdb_window_rate{name=\"serve.request.total_ns\",window_s=\"1\"}",
+        "patchdb_window_p99{name=\"serve.healthz.total_ns\",window_s=\"10\"}",
+    ] {
+        assert!(body.lines().any(|l| l.starts_with(line)), "missing {line}:\n{body}");
+    }
+
+    // The scrape itself is in flight while the snapshot is taken, so the
+    // live gauge must show at least this one request.
+    let inflight = body
+        .lines()
+        .find_map(|l| l.strip_prefix("patchdb_gauge{name=\"serve.inflight\"} "))
+        .and_then(|v| v.parse::<i64>().ok())
+        .expect("serve.inflight gauge in /metrics");
+    assert!(inflight >= 1, "scrape saw inflight {inflight}");
+    assert!(
+        body.lines().any(|l| l.starts_with("patchdb_gauge{name=\"serve.queue_depth\"} ")),
+        "queue_depth gauge missing:\n{body}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn debug_requests_expose_ids_and_stages() {
+    // slow_ms(0) makes every request a slow exemplar, so /debug/slow has
+    // content without needing an artificially slow endpoint. One worker
+    // keeps ring order identical to admission order.
+    let server = start(ephemeral().threads(1).slow_ms(0).debug_ring(64));
+    let addr = server.addr();
+    let record = shared_db().nvd.first().expect("tiny build has NVD records");
+    for _ in 0..3 {
+        assert_eq!(client::request(addr, "GET", "/healthz", b"").unwrap().status, 200);
+    }
+    let body = diff_body(record);
+    assert_eq!(
+        client::request(addr, "POST", "/v1/identify", body.as_bytes()).unwrap().status,
+        200
+    );
+
+    let debug = client::request(addr, "GET", "/debug/requests", b"").unwrap();
+    assert_eq!(debug.status, 200);
+    let json = Json::parse(&debug.body_text()).expect("/debug/requests is JSON");
+    let requests = json.get("requests").and_then(Json::as_arr).expect("requests array");
+    assert_eq!(requests.len(), 4, "{}", debug.body_text());
+    assert_eq!(json.get("dropped").and_then(Json::as_f64), Some(0.0));
+
+    let mut last_id = 0.0;
+    for request in requests {
+        let id = request.get("id").and_then(Json::as_f64).expect("request id");
+        assert!(id > last_id, "ids not strictly increasing: {id} after {last_id}");
+        last_id = id;
+        let total = request.get("total_ns").and_then(Json::as_f64).expect("total_ns");
+        let mut stage_sum = 0.0;
+        for stage in
+            ["accept_ns", "queue_ns", "parse_ns", "batch_ns", "compute_ns", "write_ns"]
+        {
+            let v = request.get(stage).and_then(Json::as_f64);
+            stage_sum += v.unwrap_or_else(|| panic!("missing stage {stage}"));
+        }
+        assert!(
+            stage_sum <= total,
+            "stages sum to {stage_sum} > total {total}"
+        );
+        assert_eq!(request.get("status").and_then(Json::as_f64), Some(200.0));
+    }
+    // The identify request banked real batcher wait.
+    let identify = requests.last().unwrap();
+    assert_eq!(identify.get("endpoint").and_then(Json::as_str), Some("identify"));
+    assert!(identify.get("batch_ns").and_then(Json::as_f64).unwrap() > 0.0);
+
+    // `?n=` caps the returned tail; the ring itself is untouched.
+    let tail = client::request(addr, "GET", "/debug/requests?n=2", b"").unwrap();
+    let tail_json = Json::parse(&tail.body_text()).unwrap();
+    assert_eq!(tail_json.get("requests").and_then(Json::as_arr).unwrap().len(), 2);
+
+    // Every request beat the 0 ms threshold, so /debug/slow saw them too.
+    let slow = client::request(addr, "GET", "/debug/slow", b"").unwrap();
+    assert_eq!(slow.status, 200);
+    let slow_json = Json::parse(&slow.body_text()).unwrap();
+    assert!(!slow_json.get("requests").and_then(Json::as_arr).unwrap().is_empty());
+
+    assert_eq!(client::request(addr, "POST", "/debug/requests", b"").unwrap().status, 405);
+    assert_eq!(client::request(addr, "POST", "/debug/slow", b"").unwrap().status, 405);
+    server.shutdown();
+}
+
 #[test]
 fn responses_identical_at_1_and_8_workers() {
     let one = start(ephemeral().threads(1));
     let eight = start(ephemeral().threads(8));
+    // A third server with the full telemetry surface switched on: the
+    // access log and exemplar capture must never change response bytes.
+    let log_path = std::env::temp_dir()
+        .join(format!("patchdb_access_{}.jsonl", std::process::id()));
+    let logged = start(
+        ephemeral()
+            .threads(8)
+            .slow_ms(0)
+            .access_log(log_path.display().to_string()),
+    );
     let db = shared_db();
 
     let mut requests: Vec<(&str, String, Vec<u8>)> =
@@ -205,13 +387,76 @@ fn responses_identical_at_1_and_8_workers() {
     for (method, path, body) in &requests {
         let a = client::request(one.addr(), method, path, body).unwrap();
         let b = client::request(eight.addr(), method, path, body).unwrap();
+        let c = client::request(logged.addr(), method, path, body).unwrap();
         assert_eq!(a.status, b.status, "{method} {path}");
         assert_eq!(
             a.body_text(),
             b.body_text(),
             "{method} {path} differs across worker counts"
         );
+        assert_eq!((a.status, a.body_text()), (c.status, c.body_text()),
+            "{method} {path} differs with the access log enabled");
     }
+
+    // The debug endpoints carry wall-clock timings, so bytes differ by
+    // construction; what must be worker-count independent is what was
+    // served: the multiset of (method, path, status) triples.
+    let projection = |server: &Server| -> Vec<(String, String, f64)> {
+        let reply =
+            client::request(server.addr(), "GET", "/debug/requests?n=999", b"").unwrap();
+        assert_eq!(reply.status, 200);
+        let json = Json::parse(&reply.body_text()).unwrap();
+        let mut triples: Vec<(String, String, f64)> = json
+            .get("requests")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|r| {
+                (
+                    r.get("method").and_then(Json::as_str).unwrap().to_owned(),
+                    r.get("path").and_then(Json::as_str).unwrap().to_owned(),
+                    r.get("status").and_then(Json::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        triples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        triples
+    };
+    // One projection per server: a second scrape would see the first
+    // debug request itself in the ring.
+    let (p_one, p_eight, p_logged) =
+        (projection(&one), projection(&eight), projection(&logged));
+    assert_eq!(p_one, p_eight, "served work differs across workers");
+    assert_eq!(p_one, p_logged, "served work differs when logged");
+    for server in [&one, &eight, &logged] {
+        assert_eq!(
+            client::request(server.addr(), "GET", "/debug/slow", b"").unwrap().status,
+            200
+        );
+    }
+
     one.shutdown();
     eight.shutdown();
+    logged.shutdown(); // joins the workers: every access-log line is flushed
+
+    // The log saw every request: the driven list plus our two debug
+    // reads, each line JSON with the id and stage fields, timestamps
+    // non-decreasing in file order.
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), requests.len() + 2, "access log line count");
+    let mut last_ts = 0.0;
+    let mut ids = std::collections::BTreeSet::new();
+    for line in &lines {
+        let json = Json::parse(line).expect("access-log line is JSON");
+        let ts = json.get("ts_ms").and_then(Json::as_f64).expect("ts_ms");
+        assert!(ts >= last_ts, "timestamps regressed: {ts} after {last_ts}");
+        last_ts = ts;
+        assert!(
+            ids.insert(json.get("id").and_then(Json::as_f64).unwrap() as u64),
+            "duplicate request id in access log"
+        );
+        assert!(json.get("compute_ns").and_then(Json::as_f64).is_some());
+    }
+    let _ = std::fs::remove_file(&log_path);
 }

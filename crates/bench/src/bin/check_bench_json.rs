@@ -4,6 +4,11 @@
 //!
 //! * `patchdb-bench-nls/v1` (BENCH_nls.json) — non-empty `results`
 //!   array, each entry carrying `name`/`median_ns`.
+//! * `patchdb-bench-nls/v2` — the v1 checks plus the `index` block: a
+//!   non-empty `modes` array whose entries carry a string `mode`/`shape`
+//!   and positive `build_median_ns`/`query_median_ns`/`speedup_vs_seed`,
+//!   a positive `index_speedup_largest`, and at least one mode entry
+//!   measured at the report's `xl_shape`.
 //! * `patchdb-trace/v1` (TRACE_build.json) — spans nest (every node is
 //!   an object with `name`/`ns`/`children`), durations are non-negative,
 //!   counter names are unique with non-negative integer values, and each
@@ -63,6 +68,7 @@ fn main() -> ExitCode {
         "patchdb-trace/v1" => check_trace(&json),
         "patchdb-serve/v1" => check_serve(&json),
         "patchdb-bench-nls/v1" | "" => check_bench(&json),
+        "patchdb-bench-nls/v2" => check_bench_v2(&json),
         other => Err(format!("unknown schema tag {other:?}")),
     };
     match outcome {
@@ -91,6 +97,57 @@ fn check_bench(json: &Json) -> Result<String, String> {
         }
     }
     Ok(format!("{} results", results.len()))
+}
+
+/// The v2 bench report: everything v1 requires, plus the `index` block
+/// recording the per-mode build/query medians and seed-relative query
+/// speedups, including the XL size class.
+fn check_bench_v2(json: &Json) -> Result<String, String> {
+    let base = check_bench(json)?;
+    let index = json.get("index").ok_or("no `index` object")?;
+    let modes = index.get("modes").and_then(|m| m.as_arr()).ok_or("no `index.modes` array")?;
+    if modes.is_empty() {
+        return Err("empty `index.modes` array".into());
+    }
+    let xl_shape = index
+        .get("xl_shape")
+        .and_then(Json::as_str)
+        .ok_or("`index` lacks a string `xl_shape`")?;
+    let mut xl_entries = 0usize;
+    for (i, m) in modes.iter().enumerate() {
+        let at = format!("index.modes[{i}]");
+        for field in ["mode", "shape"] {
+            if m.get(field).and_then(Json::as_str).is_none() {
+                return Err(format!("{at} lacks a string `{field}`"));
+            }
+        }
+        for field in ["build_median_ns", "query_median_ns", "speedup_vs_seed"] {
+            let v = m
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("{at} lacks a numeric `{field}`"))?;
+            if !(v > 0.0) {
+                return Err(format!("{at}: `{field}` = {v} is not positive"));
+            }
+        }
+        if m.get("shape").and_then(Json::as_str) == Some(xl_shape) {
+            xl_entries += 1;
+        }
+    }
+    if xl_entries == 0 {
+        return Err(format!("no `index.modes` entry measured at xl_shape {xl_shape:?}"));
+    }
+    let headline = index
+        .get("index_speedup_largest")
+        .and_then(Json::as_f64)
+        .ok_or("`index` lacks a numeric `index_speedup_largest`")?;
+    if !(headline > 0.0) {
+        return Err(format!("`index_speedup_largest` = {headline} is not positive"));
+    }
+    Ok(format!(
+        "{base}, {} index modes ({xl_entries} at xl {xl_shape}), best {headline:.1}x",
+        modes.len()
+    ))
 }
 
 fn check_serve(json: &Json) -> Result<String, String> {

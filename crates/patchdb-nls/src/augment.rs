@@ -4,12 +4,19 @@
 //! The driver maintains the round state incrementally instead of
 //! recomputing it from scratch: the security-set `max|a_ij|` statistic
 //! only grows (rows are only appended), so it is merged forward; the
-//! pool statistic is refolded in parallel over the (shrinking) pool; and
-//! the weighted feature buffers are reused whenever the learned weights
-//! did not change between rounds. All of it is bitwise-equivalent to the
-//! naive clone-and-reweight-everything loop because elementwise `max` of
-//! absolute values is associative and commutative, and `apply_weights`
-//! is a pure per-row function.
+//! pool statistic is refolded in parallel over the live rows; and the
+//! weighted feature buffers are reused whenever the learned weights did
+//! not change between rounds. Claimed candidates never leave the pool
+//! buffers — they are masked out through a dead-row bitmap instead, which
+//! keeps row indices stable so the [`WildIndex`] built over the weighted
+//! pool survives from round to round (it is only rebuilt when the learned
+//! weights actually change, which stops happening once the per-feature
+//! maxima saturate). All of it is bitwise-equivalent to the naive
+//! clone-reweight-compact-everything loop because elementwise `max` of
+//! absolute values is associative and commutative, `apply_weights` is a
+//! pure per-row function, and masking is byte-equivalent to compaction
+//! (distances are unchanged and the `(d², index)` tie order is monotone
+//! under compaction).
 
 use patchdb_features::{
     apply_weights, max_abs, merge_max_abs, weights_from_max_abs, FeatureVector, Weights,
@@ -17,7 +24,8 @@ use patchdb_features::{
 };
 use patchdb_rt::{obs, par};
 
-use crate::search::nearest_link_search;
+use crate::index::WildIndex;
+use crate::search::{nearest_link_search_indexed, IndexMode, NlsConfig};
 
 /// One unlabeled pool ("Set I/II/III" in Table II) and how many rounds to
 /// run over it.
@@ -48,6 +56,36 @@ pub struct AugmentationRound {
     pub ratio: f64,
 }
 
+/// Global `nls.*` counters banked per round under
+/// `nls.roundNN.<suffix>`. Order is irrelevant (each is snapshot/delta'd
+/// independently); `tests/trace.rs` pins the accounting identity
+/// `dist_evaluated + pruned_norm + masked_skipped + cells_skipped +
+/// quant_rejects == (rows + rescans) × pool_rows` over them.
+const ROUND_COUNTERS: [&str; 8] = [
+    "nls.dist_evaluated",
+    "nls.pruned_norm",
+    "nls.masked_skipped",
+    "nls.cells_skipped",
+    "nls.quant_rejects",
+    "nls.exact_rerank",
+    "nls.rows",
+    "nls.rescans",
+];
+
+/// Runs the Table II augmentation protocol with the production NLS
+/// configuration ([`NlsConfig::auto`]). See [`augment_rounds_with`].
+pub fn augment_rounds<F>(
+    seed_features: &[FeatureVector],
+    wild_features: &[FeatureVector],
+    pools: &[PoolSpec],
+    verify: F,
+) -> (Vec<AugmentationRound>, Vec<usize>, Vec<usize>)
+where
+    F: FnMut(usize) -> bool,
+{
+    augment_rounds_with(seed_features, wild_features, pools, &NlsConfig::auto(), verify)
+}
+
 /// Runs the Table II augmentation protocol.
 ///
 /// * `seed_features` — feature vectors of the initial (NVD) security set;
@@ -55,12 +93,15 @@ pub struct AugmentationRound {
 ///   by the ids used in `pools`;
 /// * `pools` — the unlabeled sets and their round counts, processed in
 ///   order;
+/// * `config` — the nearest-link-search configuration; the index mode
+///   picks the candidate-generation machinery (output is identical in
+///   every mode);
 /// * `verify` — the manual-verification oracle: given a wild index,
 ///   returns whether the commit is a security patch.
 ///
-/// Per round: weights are (re)learned over the pooled population
-/// (Section III-B-2 normalizes per feature), nearest link search selects
-/// one candidate per known security patch, every candidate is verified,
+/// Per round: weights are (re)learned over the live population (Section
+/// III-B-2 normalizes per feature), nearest link search selects one
+/// candidate per known security patch, every candidate is verified,
 /// verified positives join the security set, and **all** verified
 /// candidates leave the pool (negatives become cleaned non-security
 /// data). Returns the per-round rows plus the final security/non-security
@@ -69,16 +110,17 @@ pub struct AugmentationRound {
 /// Candidates are verified in ascending pool-index order (the links are
 /// distinct by construction, so sorting them *is* the deterministic
 /// claimed order); the oracle is always called serially.
-pub fn augment_rounds<F>(
+pub fn augment_rounds_with<F>(
     seed_features: &[FeatureVector],
     wild_features: &[FeatureVector],
     pools: &[PoolSpec],
+    config: &NlsConfig,
     mut verify: F,
 ) -> (Vec<AugmentationRound>, Vec<usize>, Vec<usize>)
 where
     F: FnMut(usize) -> bool,
 {
-    let threads = par::configured_threads(16);
+    let threads = config.threads.max(1);
     let mut security: Vec<FeatureVector> = seed_features.to_vec();
     let mut security_idx: Vec<usize> = Vec::new(); // wild indices verified positive
     let mut nonsecurity_idx: Vec<usize> = Vec::new();
@@ -90,19 +132,26 @@ where
     let mut sec_max = max_abs(security.iter());
 
     for pool_spec in pools {
-        let mut pool: Vec<usize> = pool_spec.members.clone();
-        let mut pool_feats: Vec<FeatureVector> =
-            pool.iter().map(|&i| wild_features[i]).collect();
+        // The pool buffers are never compacted: claimed rows flip their
+        // `alive` bit and the search masks them out, so indices stay
+        // stable for the reusable index below.
+        let pool: Vec<usize> = pool_spec.members.clone();
+        let pool_feats: Vec<FeatureVector> = pool.iter().map(|&i| wild_features[i]).collect();
+        let mut alive: Vec<bool> = vec![true; pool.len()];
+        let mut alive_count = pool.len();
         // Weighted buffers, valid for `prev_weights`; rebuilt fresh per
         // pool (the pool contents changed) and reused across rounds while
         // the learned weights stay identical.
         let mut prev_weights: Option<Weights> = None;
         let mut sec_w: Vec<FeatureVector> = Vec::new();
         let mut pool_w: Vec<FeatureVector> = Vec::new();
+        // The search index over `pool_w`, shared across rounds and
+        // invalidated only when the weights change.
+        let mut index: Option<WildIndex> = None;
 
         for _ in 0..pool_spec.rounds {
             round_no += 1;
-            let search_range = pool.len();
+            let search_range = alive_count;
             if search_range < security.len() {
                 // Pool exhausted below the candidate count: stop this pool.
                 break;
@@ -110,27 +159,20 @@ where
             let tracing = obs::enabled();
             let _round_span =
                 obs::span(format!("round {round_no:02} [{}]", pool_spec.name));
-            // Per-round NLS efficiency: snapshot the global counters
-            // around the search and bank the deltas under round-scoped
-            // names (the examples print "comparisons avoided %" off
-            // these). Saturating subtraction guards against concurrent
-            // traced builds in tests.
-            let (ev0, pr0) = if tracing {
-                (obs::counter_value("nls.dist_evaluated"), obs::counter_value("nls.pruned_norm"))
-            } else {
-                (0, 0)
-            };
-
             // Weight over the joint population in play this round. The
-            // pool statistic is refolded (the pool shrinks, so its max
-            // can drop); merging it with the monotone security max is
-            // bitwise equal to one pass over the union.
+            // pool statistic is refolded over the live rows (the live set
+            // shrinks, so its max can drop); merging it with the monotone
+            // security max is bitwise equal to one pass over the union
+            // because elementwise max is associative and commutative.
+            let live_idx: Vec<u32> = (0..pool_feats.len() as u32)
+                .filter(|&i| alive[i as usize])
+                .collect();
             let pool_max = par::fold_chunked(
-                &pool_feats,
+                &live_idx,
                 threads,
                 || [0.0f64; FEATURE_DIM],
-                |mut acc, row| {
-                    merge_max_abs(&mut acc, &max_abs(std::iter::once(row)));
+                |mut acc, &i| {
+                    merge_max_abs(&mut acc, &max_abs(std::iter::once(&pool_feats[i as usize])));
                     acc
                 },
                 |mut a, b| {
@@ -144,24 +186,53 @@ where
 
             if prev_weights.as_ref() != Some(&weights) {
                 sec_w = par::map_chunked(&security, threads, |v| apply_weights(v, &weights));
+                // Dead rows are reweighted too: they cost one multiply
+                // each and keep the buffer aligned with the index/mask.
                 pool_w = par::map_chunked(&pool_feats, threads, |v| apply_weights(v, &weights));
                 prev_weights = Some(weights);
+                index = None;
             } else {
                 // Same weights as last round: only the rows appended to
-                // the security set since then still need weighting (the
-                // pool buffer was compacted in place below).
+                // the security set since then still need weighting, the
+                // pool buffer (and the index over it) carry over as-is.
                 let w = prev_weights.as_ref().expect("weights set");
                 for v in &security[sec_w.len()..] {
                     sec_w.push(apply_weights(v, w));
                 }
             }
+            if index.is_none() && config.index != IndexMode::Scan {
+                let _s = obs::span("nls.index_build");
+                index = Some(WildIndex::build(&pool_w, config));
+            }
 
-            let links = nearest_link_search(&sec_w, &pool_w);
+            // Per-round NLS efficiency: snapshot the global counters
+            // around the search and bank the deltas under round-scoped
+            // names (the examples print "comparisons avoided %" off
+            // these, and `tests/trace.rs` pins the accounting identity
+            // over them). The snapshot sits *after* the index build: the
+            // k-means construction runs its own tiny centroid searches,
+            // which would otherwise leak sweeps with a different row
+            // count into the round's books. Saturating subtraction
+            // guards against concurrent traced builds in tests.
+            let snap: Vec<u64> = if tracing {
+                ROUND_COUNTERS.iter().map(|n| obs::counter_value(n)).collect()
+            } else {
+                Vec::new()
+            };
+
+            let dead: Vec<bool> = alive.iter().map(|&a| !a).collect();
+            let links =
+                nearest_link_search_indexed(&sec_w, &pool_w, config, index.as_ref(), Some(&dead));
             if tracing {
-                let ev = obs::counter_value("nls.dist_evaluated").saturating_sub(ev0);
-                let pr = obs::counter_value("nls.pruned_norm").saturating_sub(pr0);
-                obs::counter_add(&format!("nls.round{round_no:02}.dist_evaluated"), ev);
-                obs::counter_add(&format!("nls.round{round_no:02}.pruned_norm"), pr);
+                for (name, before) in ROUND_COUNTERS.iter().zip(&snap) {
+                    let delta = obs::counter_value(name).saturating_sub(*before);
+                    let suffix = name.strip_prefix("nls.").expect("nls-scoped counter");
+                    obs::counter_add(&format!("nls.round{round_no:02}.{suffix}"), delta);
+                }
+                obs::counter_add(
+                    &format!("nls.round{round_no:02}.pool_rows"),
+                    pool_feats.len() as u64,
+                );
             }
 
             // The search guarantees distinct columns; sorting them is the
@@ -174,6 +245,7 @@ where
             );
             let mut verified = 0usize;
             for &local in &claimed {
+                debug_assert!(alive[local], "linked a dead pool row");
                 let global = pool[local];
                 if verify(global) {
                     verified += 1;
@@ -184,7 +256,9 @@ where
                 } else {
                     nonsecurity_idx.push(global);
                 }
+                alive[local] = false;
             }
+            alive_count -= claimed.len();
             let candidates = claimed.len();
             if tracing {
                 obs::counter_add("augment.candidates", candidates as u64);
@@ -198,32 +272,9 @@ where
                 verified_security: verified,
                 ratio: verified as f64 / candidates.max(1) as f64,
             });
-
-            // Remove verified candidates from the pool (and keep the
-            // parallel feature buffers aligned with it).
-            let mut keep = vec![true; pool.len()];
-            for &local in &claimed {
-                keep[local] = false;
-            }
-            compact(&mut pool, &keep);
-            compact(&mut pool_feats, &keep);
-            compact(&mut pool_w, &keep);
         }
     }
     (rows, security_idx, nonsecurity_idx)
-}
-
-/// In-place retain-by-mask, preserving order.
-fn compact<T: Copy>(v: &mut Vec<T>, keep: &[bool]) {
-    debug_assert_eq!(v.len(), keep.len());
-    let mut w = 0usize;
-    for i in 0..v.len() {
-        if keep[i] {
-            v[w] = v[i];
-            w += 1;
-        }
-    }
-    v.truncate(w);
 }
 
 #[cfg(test)]
@@ -257,8 +308,9 @@ mod tests {
         (seed, wild, truth)
     }
 
-    /// The seed implementation (full clone + reweight every round) — the
-    /// incremental driver must match it output-for-output.
+    /// The seed implementation (full clone + reweight + compact every
+    /// round) — the incremental masked driver must match it
+    /// output-for-output in every index mode.
     fn augment_rounds_naive<F>(
         seed_features: &[FeatureVector],
         wild_features: &[FeatureVector],
@@ -289,7 +341,7 @@ mod tests {
                     security.iter().map(|v| apply_weights(v, &weights)).collect();
                 let pool_w: Vec<FeatureVector> =
                     pool_feats.iter().map(|v| apply_weights(v, &weights)).collect();
-                let links = nearest_link_search(&sec_w, &pool_w);
+                let links = crate::search::nearest_link_search(&sec_w, &pool_w);
                 let mut claimed: Vec<usize> = links.clone();
                 claimed.sort_unstable();
                 claimed.dedup();
@@ -326,25 +378,32 @@ mod tests {
         (rows, security_idx, nonsecurity_idx)
     }
 
+    fn assert_rounds_match(fast: &[AugmentationRound], naive: &[AugmentationRound], tag: &str) {
+        assert_eq!(fast.len(), naive.len(), "{tag}: round count");
+        for (a, b) in fast.iter().zip(naive) {
+            assert_eq!(a.pool, b.pool, "{tag}");
+            assert_eq!(a.round, b.round, "{tag}");
+            assert_eq!(a.search_range, b.search_range, "{tag}");
+            assert_eq!(a.candidates, b.candidates, "{tag}");
+            assert_eq!(a.verified_security, b.verified_security, "{tag}");
+            assert_eq!(a.ratio.to_bits(), b.ratio.to_bits(), "{tag}");
+        }
+    }
+
     #[test]
-    fn incremental_driver_matches_naive_reference() {
+    fn incremental_driver_matches_naive_reference_in_every_mode() {
         let (seed, wild, truth) = universe();
         let pools = vec![
             PoolSpec { name: "A".into(), members: (0..120).collect(), rounds: 3 },
             PoolSpec { name: "B".into(), members: (120..200).collect(), rounds: 2 },
         ];
-        let fast = augment_rounds(&seed, &wild, &pools, |i| truth[i]);
         let naive = augment_rounds_naive(&seed, &wild, &pools, |i| truth[i]);
-        assert_eq!(fast.1, naive.1, "security partitions differ");
-        assert_eq!(fast.2, naive.2, "non-security partitions differ");
-        assert_eq!(fast.0.len(), naive.0.len());
-        for (a, b) in fast.0.iter().zip(&naive.0) {
-            assert_eq!(a.pool, b.pool);
-            assert_eq!(a.round, b.round);
-            assert_eq!(a.search_range, b.search_range);
-            assert_eq!(a.candidates, b.candidates);
-            assert_eq!(a.verified_security, b.verified_security);
-            assert_eq!(a.ratio.to_bits(), b.ratio.to_bits());
+        for mode in [IndexMode::Scan, IndexMode::Partitioned, IndexMode::Quantized] {
+            let cfg = NlsConfig::auto().index(mode);
+            let fast = augment_rounds_with(&seed, &wild, &pools, &cfg, |i| truth[i]);
+            assert_eq!(fast.1, naive.1, "{mode:?}: security partitions differ");
+            assert_eq!(fast.2, naive.2, "{mode:?}: non-security partitions differ");
+            assert_rounds_match(&fast.0, &naive.0, &format!("{mode:?}"));
         }
     }
 
@@ -412,15 +471,5 @@ mod tests {
         assert_eq!(rows[0].pool, "A");
         assert_eq!(rows[1].pool, "B");
         assert!(rows[1].candidates >= rows[0].candidates);
-    }
-
-    #[test]
-    fn compact_retains_by_mask_in_order() {
-        let mut v = vec![10, 11, 12, 13, 14];
-        compact(&mut v, &[true, false, true, true, false]);
-        assert_eq!(v, vec![10, 12, 13]);
-        let mut empty: Vec<u8> = Vec::new();
-        compact(&mut empty, &[]);
-        assert!(empty.is_empty());
     }
 }

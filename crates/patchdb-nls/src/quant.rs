@@ -1,0 +1,291 @@
+//! 8-bit scalar quantization of the wild pool with a *sound* squared-
+//! distance lower bound — the fast path of `IndexMode::Quantized`.
+//!
+//! Every pool vector is encoded as 60 byte codes, one per dimension. A
+//! candidate is rejected without touching its f64 data only when the
+//! lower bound computed from its codes strictly exceeds the current
+//! k-best threshold; every survivor is re-ranked with the exact f64
+//! distance, so the search output is byte-identical to the plain scan.
+//!
+//! ## Why the bound can never overshoot the exact distance
+//!
+//! Per dimension `d`, [`Quantizer::fit`] lays 257 monotone boundaries
+//! `b[0] ≤ b[1] ≤ … ≤ b[256]` spanning the pool's `[min, max]`, and
+//! [`Quantizer::encode_into`] assigns code `c` such that the *invariant*
+//! `b[c] ≤ x ≤ b[c+1]` holds (enforced by direct comparisons, not
+//! arithmetic, so float rounding in the bucket math cannot break it).
+//! The per-dimension bound term is then
+//!
+//! * `(b[c] − q)²` when `q < b[c]` (the query sits left of the bucket),
+//! * `(q − b[c+1])²` when `q > b[c+1]` (right of the bucket),
+//! * `0` otherwise,
+//!
+//! evaluated in the same f64 arithmetic as the exact kernel. Each case
+//! is ≤ the exact term *as computed*: rounding-to-nearest is monotone,
+//! so `0 ≤ u ≤ v` implies `fl(u²) ≤ fl(v²)`, and with
+//! `q < b[c] ≤ x` the exact subtraction satisfies
+//! `fl(b[c] − q) ≤ fl(x − q)` for the same reason. Summing both sides
+//! dimension-by-dimension in the identical order (f64 addition is
+//! monotone in each operand, and squares are non-negative) keeps the
+//! inequality bitwise: `bound ≤ squared_euclidean(q, x)` exactly, with
+//! no slack factor needed. The property test
+//! `quantizer_bound_is_sound` in `tests/prop.rs` hammers this.
+
+use patchdb_features::{FeatureVector, FEATURE_DIM};
+use patchdb_rt::par;
+
+/// Codes per dimension (8-bit).
+const LEVELS: usize = 256;
+/// Boundaries per dimension (`LEVELS + 1`).
+const BOUNDS: usize = LEVELS + 1;
+
+/// Per-dimension scalar quantizer fitted to one (weighted) pool.
+#[derive(Debug, Clone)]
+pub struct Quantizer {
+    /// `FEATURE_DIM × BOUNDS` monotone bucket boundaries, row-major.
+    bounds: Vec<f64>,
+    /// `LEVELS / (hi − lo)` per dimension (`0` for degenerate dims) —
+    /// only a *guess* accelerator for encoding; the invariant is
+    /// enforced by comparisons afterwards.
+    inv_step: [f64; FEATURE_DIM],
+    /// `lo` per dimension.
+    lo: [f64; FEATURE_DIM],
+}
+
+impl Quantizer {
+    /// Fits per-dimension `[min, max]` ranges over `pool` and lays 256
+    /// equal-width buckets per dimension. Deterministic for any thread
+    /// count: elementwise min/max is associative and commutative, so
+    /// the chunked fold equals one serial pass (NaN values never enter
+    /// the accumulator — `f64::min`/`max` ignore them).
+    pub fn fit(pool: &[FeatureVector], threads: usize) -> Quantizer {
+        let (mins, maxs) = par::fold_chunked(
+            pool,
+            threads.max(1),
+            || ([f64::INFINITY; FEATURE_DIM], [f64::NEG_INFINITY; FEATURE_DIM]),
+            |(mut lo, mut hi), row| {
+                for (d, &x) in row.as_slice().iter().enumerate() {
+                    lo[d] = lo[d].min(x);
+                    hi[d] = hi[d].max(x);
+                }
+                (lo, hi)
+            },
+            |(mut alo, mut ahi), (blo, bhi)| {
+                for d in 0..FEATURE_DIM {
+                    alo[d] = alo[d].min(blo[d]);
+                    ahi[d] = ahi[d].max(bhi[d]);
+                }
+                (alo, ahi)
+            },
+        );
+
+        let mut bounds = vec![0.0f64; FEATURE_DIM * BOUNDS];
+        let mut inv_step = [0.0f64; FEATURE_DIM];
+        let mut lo_out = [0.0f64; FEATURE_DIM];
+        for d in 0..FEATURE_DIM {
+            // Degenerate dimension (empty range, or all-NaN leaving the
+            // sentinels): collapse to a single point — every boundary
+            // equal, every code 0, every bound term exact-or-zero.
+            let (lo, hi) = if mins[d] <= maxs[d] { (mins[d], maxs[d]) } else { (0.0, 0.0) };
+            let step = (hi - lo) / LEVELS as f64;
+            let row = &mut bounds[d * BOUNDS..(d + 1) * BOUNDS];
+            row[0] = lo;
+            for j in 1..LEVELS {
+                // Monotonicity is enforced explicitly; the encode fix-up
+                // loops then only need `b` sorted, not exactly spaced.
+                row[j] = (lo + step * j as f64).max(row[j - 1]);
+            }
+            row[LEVELS] = hi.max(row[LEVELS - 1]);
+            inv_step[d] = if step > 0.0 { 1.0 / step } else { 0.0 };
+            lo_out[d] = lo;
+        }
+        Quantizer { bounds, inv_step, lo: lo_out }
+    }
+
+    /// Encodes `v` into `out` (one code per dimension), guaranteeing the
+    /// bucket invariant `bounds[c] ≤ x ≤ bounds[c+1]` for every finite
+    /// `x` inside the fitted range. NaN coordinates get code 0 (their
+    /// exact distance is NaN; the bound comparisons all come out false,
+    /// so such candidates are never fast-path rejected — see
+    /// [`lower_bound`](Self::lower_bound)).
+    pub fn encode_into(&self, v: &FeatureVector, out: &mut [u8]) {
+        assert_eq!(out.len(), FEATURE_DIM);
+        for (d, &x) in v.as_slice().iter().enumerate() {
+            let row = &self.bounds[d * BOUNDS..(d + 1) * BOUNDS];
+            // Arithmetic guess (float→int casts saturate; NaN → 0) …
+            let mut c = ((x - self.lo[d]) * self.inv_step[d]) as usize;
+            c = c.min(LEVELS - 1);
+            // … then comparison fix-ups establish the invariant.
+            while c > 0 && row[c] > x {
+                c -= 1;
+            }
+            while c < LEVELS - 1 && row[c + 1] < x {
+                c += 1;
+            }
+            out[d] = c as u8;
+        }
+    }
+
+    /// Convenience wrapper over [`encode_into`](Self::encode_into).
+    pub fn encode(&self, v: &FeatureVector) -> [u8; FEATURE_DIM] {
+        let mut out = [0u8; FEATURE_DIM];
+        self.encode_into(v, &mut out);
+        out
+    }
+
+    /// The bucket `[b[c], b[c+1]]` of dimension `d`, code `c` — for the
+    /// round-trip property tests.
+    pub fn bucket(&self, d: usize, c: u8) -> (f64, f64) {
+        let row = &self.bounds[d * BOUNDS..(d + 1) * BOUNDS];
+        (row[c as usize], row[c as usize + 1])
+    }
+
+    /// The sound squared-distance lower bound between query `q` and the
+    /// vector encoded by `codes`: never exceeds
+    /// `squared_euclidean(q, that_vector)` bitwise (module docs).
+    pub fn lower_bound(&self, q: &FeatureVector, codes: &[u8]) -> f64 {
+        self.lower_bound_above(q, codes, f64::INFINITY).unwrap_or(f64::INFINITY)
+    }
+
+    /// [`lower_bound`](Self::lower_bound) with an early exit: returns
+    /// `None` as soon as the partial bound strictly exceeds `tau` (the
+    /// terms are non-negative, so the full bound — and therefore the
+    /// exact distance — can only be larger; a candidate at exactly
+    /// `tau` may still win an index tie, hence the strict comparison).
+    #[inline]
+    pub fn lower_bound_above(&self, q: &FeatureVector, codes: &[u8], tau: f64) -> Option<f64> {
+        debug_assert_eq!(codes.len(), FEATURE_DIM);
+        let qs = q.as_slice();
+        let mut acc = 0.0f64;
+        let mut d = 0;
+        while d < FEATURE_DIM {
+            let end = (d + crate::search::EARLY_EXIT_STRIDE).min(FEATURE_DIM);
+            while d < end {
+                let c = codes[d] as usize;
+                let base = d * BOUNDS;
+                let b_lo = self.bounds[base + c];
+                let b_hi = self.bounds[base + c + 1];
+                let qd = qs[d];
+                // Exactly one branch taken per dimension; NaN query
+                // coordinates fail both comparisons and contribute 0.
+                let left = b_lo - qd;
+                let right = qd - b_hi;
+                if left > 0.0 {
+                    acc += left * left;
+                } else if right > 0.0 {
+                    acc += right * right;
+                }
+                d += 1;
+            }
+            if acc > tau {
+                return None;
+            }
+        }
+        Some(acc)
+    }
+}
+
+/// Encodes every pool row in parallel (pure per-row function, so the
+/// result is independent of the thread count), point-major: row `i`
+/// occupies `codes[i*FEATURE_DIM .. (i+1)*FEATURE_DIM]`.
+pub(crate) fn encode_pool(q: &Quantizer, pool: &[FeatureVector], threads: usize) -> Vec<u8> {
+    let rows = par::map_chunked(pool, threads.max(1), |v| q.encode(v));
+    let mut codes = Vec::with_capacity(pool.len() * FEATURE_DIM);
+    for row in &rows {
+        codes.extend_from_slice(row);
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patchdb_features::squared_euclidean;
+    use patchdb_rt::rng::Xoshiro256pp;
+
+    fn rand_vec(rng: &mut Xoshiro256pp, scale: f64) -> FeatureVector {
+        let mut v = FeatureVector::zero();
+        for x in v.as_mut_slice() {
+            *x = rng.gen_range(-scale..scale);
+        }
+        v
+    }
+
+    #[test]
+    fn codes_respect_the_bucket_invariant() {
+        let mut rng = Xoshiro256pp::seed_from_u64(71);
+        let pool: Vec<FeatureVector> = (0..300).map(|_| rand_vec(&mut rng, 4.0)).collect();
+        let q = Quantizer::fit(&pool, 4);
+        for v in &pool {
+            let codes = q.encode(v);
+            for (d, &x) in v.as_slice().iter().enumerate() {
+                let (lo, hi) = q.bucket(d, codes[d]);
+                assert!(lo <= x && x <= hi, "dim {d}: {x} outside bucket [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_never_exceeds_exact_distance() {
+        let mut rng = Xoshiro256pp::seed_from_u64(72);
+        let pool: Vec<FeatureVector> = (0..200).map(|_| rand_vec(&mut rng, 2.0)).collect();
+        let q = Quantizer::fit(&pool, 1);
+        for _ in 0..50 {
+            let query = rand_vec(&mut rng, 3.0); // may fall outside the fitted range
+            for v in &pool {
+                let bound = q.lower_bound(&query, &q.encode(v));
+                let exact = squared_euclidean(&query, v);
+                assert!(bound <= exact, "bound {bound} > exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_constant_dimension_is_exact() {
+        // All pool values identical in every dimension: the bound equals
+        // the exact distance (each bucket is a single point).
+        let v = {
+            let mut v = FeatureVector::zero();
+            v.as_mut_slice()[0] = 2.5;
+            v
+        };
+        let pool = vec![v; 7];
+        let q = Quantizer::fit(&pool, 1);
+        let mut query = FeatureVector::zero();
+        query.as_mut_slice()[0] = -1.0;
+        let bound = q.lower_bound(&query, &q.encode(&v));
+        let exact = squared_euclidean(&query, &v);
+        assert_eq!(bound.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn nan_coordinates_never_reject() {
+        let mut rng = Xoshiro256pp::seed_from_u64(73);
+        let mut pool: Vec<FeatureVector> = (0..50).map(|_| rand_vec(&mut rng, 1.0)).collect();
+        pool[3].as_mut_slice()[5] = f64::NAN;
+        let q = Quantizer::fit(&pool, 1);
+        // A NaN query coordinate contributes 0 to the bound, so the
+        // early-exit can only fire off the other dimensions' (valid)
+        // terms — and the bound stays a true lower bound of NaN-free
+        // prefixes. A finite tau must not reject via the NaN dim alone.
+        let mut query = FeatureVector::zero();
+        query.as_mut_slice()[5] = f64::NAN;
+        let codes = q.encode(&pool[0]);
+        let b = q.lower_bound(&query, &codes);
+        assert!(b.is_finite());
+    }
+
+    #[test]
+    fn early_exit_matches_full_bound_when_completed() {
+        let mut rng = Xoshiro256pp::seed_from_u64(74);
+        let pool: Vec<FeatureVector> = (0..60).map(|_| rand_vec(&mut rng, 5.0)).collect();
+        let q = Quantizer::fit(&pool, 1);
+        let query = rand_vec(&mut rng, 5.0);
+        let codes = q.encode(&pool[10]);
+        let full = q.lower_bound(&query, &codes);
+        assert_eq!(q.lower_bound_above(&query, &codes, full), Some(full));
+        if full > 0.0 {
+            assert_eq!(q.lower_bound_above(&query, &codes, full * 0.5), None);
+        }
+    }
+}

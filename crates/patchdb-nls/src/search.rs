@@ -36,17 +36,41 @@
 use patchdb_features::{squared_euclidean, FeatureVector};
 use patchdb_rt::{obs, par};
 
-/// Relative slack applied to the `(‖s‖−‖w‖)²` lower bound before pruning
-/// on it: candidates are skipped only when the bound *with slack* still
-/// exceeds the current k-th best squared distance. The norms are
-/// precomputed with a few ulps of rounding; the slack (many orders of
-/// magnitude larger than that rounding, many orders smaller than any
-/// real distance gap) guarantees pruning never drops a candidate the
-/// exhaustive scan would have kept.
-const PRUNE_SLACK: f64 = 1.0 - 1e-9;
+use crate::index::WildIndex;
+
+/// Relative slack applied to the `(‖s‖−‖w‖)²` norm lower bound and the
+/// `(d(q,centroid)−radius)²` cell lower bound before pruning on them:
+/// candidates are skipped only when the bound *with slack* still
+/// exceeds the current k-th best squared distance. The norms/centroid
+/// distances are precomputed with a few ulps of rounding; the slack
+/// (many orders of magnitude larger than that rounding, many orders
+/// smaller than any real distance gap) guarantees pruning never drops a
+/// candidate the exhaustive scan would have kept.
+pub(crate) const PRUNE_SLACK: f64 = 1.0 - 1e-9;
 
 /// Dimensions accumulated between early-exit threshold checks.
-const EARLY_EXIT_STRIDE: usize = 15;
+pub(crate) const EARLY_EXIT_STRIDE: usize = 15;
+
+/// Which candidate-generation machinery the init pass (and the collision
+/// rescans) run on. Output bytes are identical in every mode — the index
+/// modes only skip candidates whose squared distance *provably* exceeds
+/// the current k-best threshold, and re-rank every survivor with the
+/// exact f64 kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Linear scan over the pool (optionally norm-pruned via
+    /// [`NlsConfig::prune`]). No index is built.
+    Scan,
+    /// Coarse k-means partition: only cells whose centroid-distance
+    /// bound can beat the current k-best are scanned, with a blocked
+    /// (structure-of-arrays) exact kernel inside each cell.
+    Partitioned,
+    /// The partition plus an 8-bit scalar-quantized fast path: cell
+    /// survivors are bound-checked in code space first and only
+    /// re-ranked exactly when the (sound) lower bound cannot rule them
+    /// out.
+    Quantized,
+}
 
 /// How the nearest link search runs; output is identical for every
 /// configuration, only wall time changes.
@@ -55,26 +79,60 @@ pub struct NlsConfig {
     /// Worker threads for the init pass (the greedy assignment loop is
     /// inherently sequential and always runs on the caller's thread).
     pub threads: usize,
-    /// Enable norm-bound + early-exit distance pruning.
+    /// Enable norm-bound + early-exit distance pruning
+    /// ([`IndexMode::Scan`] only; the index modes carry their own
+    /// bounds).
     pub prune: bool,
     /// Per-row candidate list length: collisions are resolved from this
     /// list and fall back to a masked rescan only when all entries are
     /// claimed. Clamped to at least 1.
     pub k_best: usize,
+    /// Candidate-generation machinery (see [`IndexMode`]).
+    pub index: IndexMode,
+    /// Partition cell count for the index modes; `0` = auto (`√N`,
+    /// clamped to `[1, min(N, 4096)]`).
+    pub cells: usize,
+    /// Nearest cells always scanned before the cell bound may skip;
+    /// `0` = auto (2 — scanning the runner-up cell tightens the k-best
+    /// threshold faster than its cost on every pool measured). Purely a
+    /// wall-time knob.
+    pub probes: usize,
 }
 
 impl NlsConfig {
-    /// The production configuration: pruned, with the worker count from
-    /// `PATCHDB_THREADS` / available parallelism (capped at 16).
+    /// The production configuration: quantized-index candidate
+    /// generation over auto-sized cells, pruned scan fallbacks, and the
+    /// worker count from `PATCHDB_THREADS` / available parallelism
+    /// (capped at 16).
     pub fn auto() -> NlsConfig {
-        NlsConfig { threads: par::configured_threads(16), prune: true, k_best: 8 }
+        NlsConfig {
+            threads: par::configured_threads(16),
+            prune: true,
+            k_best: 8,
+            index: IndexMode::Quantized,
+            cells: 0,
+            probes: 0,
+        }
     }
 
-    /// Single-threaded, unpruned, no candidate lists — the closest
-    /// configuration to the literal Algorithm 1 loop (used as the bench
-    /// baseline).
+    /// Single-threaded, unpruned, unindexed, no candidate lists — the
+    /// closest configuration to the literal Algorithm 1 loop (used as
+    /// the bench baseline).
     pub fn serial() -> NlsConfig {
-        NlsConfig { threads: 1, prune: false, k_best: 1 }
+        NlsConfig {
+            threads: 1,
+            prune: false,
+            k_best: 1,
+            index: IndexMode::Scan,
+            cells: 0,
+            probes: 0,
+        }
+    }
+
+    /// Sets [`IndexMode`] (builder style).
+    pub fn index(mut self, index: IndexMode) -> NlsConfig {
+        self.index = index;
+        self
     }
 }
 
@@ -117,16 +175,52 @@ pub fn nearest_link_search_with(
     wild: &[FeatureVector],
     config: &NlsConfig,
 ) -> Vec<usize> {
+    nearest_link_search_indexed(security, wild, config, None, None)
+}
+
+/// [`nearest_link_search_with`] against a prebuilt [`WildIndex`] and/or a
+/// dead-row mask.
+///
+/// * `index` — a [`WildIndex`] built over this exact `wild` slice (the
+///   augmentation driver builds one per pool and reuses it across rounds
+///   while the learned weights stay identical). `None` builds one
+///   internally when `config.index` asks for it.
+/// * `dead` — rows excluded from the search entirely (`dead[n] == true`
+///   never links). The returned indices still address the full `wild`
+///   slice. Masking dead rows is byte-equivalent to physically
+///   compacting the pool: distances are unchanged and the
+///   `(d², index)` tie order is monotone under compaction.
+///
+/// # Panics
+///
+/// Panics when `security` is empty, when the non-dead row count is
+/// smaller than `security.len()`, or when `index`/`dead` don't match
+/// `wild` (wrong length, or a non-quantized index under
+/// [`IndexMode::Quantized`]).
+pub fn nearest_link_search_indexed(
+    security: &[FeatureVector],
+    wild: &[FeatureVector],
+    config: &NlsConfig,
+    index: Option<&WildIndex>,
+    dead: Option<&[bool]>,
+) -> Vec<usize> {
     assert!(!security.is_empty(), "no security patches to link from");
+    let alive = match dead {
+        Some(d) => {
+            assert_eq!(d.len(), wild.len(), "dead mask length mismatch");
+            d.iter().filter(|&&x| !x).count()
+        }
+        None => wild.len(),
+    };
     assert!(
-        wild.len() >= security.len(),
-        "wild pool ({}) smaller than security set ({})",
-        wild.len(),
+        alive >= security.len(),
+        "wild pool ({} live rows) smaller than security set ({})",
+        alive,
         security.len()
     );
     let ws = {
         let _s = obs::span("nls.prep");
-        Workspace::new(security, wild, config)
+        Workspace::new(security, wild, config, index, dead)
     };
     let lists = {
         let _s = obs::span("nls.init");
@@ -151,7 +245,27 @@ pub fn row_minima(
     config: &NlsConfig,
 ) -> (Vec<f64>, Vec<usize>) {
     assert!(!security.is_empty() && !wild.is_empty(), "empty NLS instance");
-    let ws = Workspace::new(security, wild, config);
+    let ws = Workspace::new(security, wild, config, None, None);
+    let lists = ws.init_pass();
+    lists.iter().map(|l| (l[0].0, l[0].1)).unzip()
+}
+
+/// [`row_minima`] against a prebuilt [`WildIndex`] — the query-phase
+/// timing entry for the index modes in `perf_nls_scale` (building the
+/// index is timed separately; the augmentation driver amortizes one
+/// build across all rounds of a pool).
+///
+/// # Panics
+///
+/// Panics on an empty instance or an `index` not built over `wild`.
+pub fn row_minima_indexed(
+    security: &[FeatureVector],
+    wild: &[FeatureVector],
+    config: &NlsConfig,
+    index: &WildIndex,
+) -> (Vec<f64>, Vec<usize>) {
+    assert!(!security.is_empty() && !wild.is_empty(), "empty NLS instance");
+    let ws = Workspace::new(security, wild, config, Some(index), None);
     let lists = ws.init_pass();
     lists.iter().map(|l| (l[0].0, l[0].1)).unzip()
 }
@@ -239,7 +353,13 @@ pub fn nearest_link_search_serial(
 /// machine code is the uninstrumented loop, which is what keeps the
 /// obs-off overhead of the init pass near zero (tracked in
 /// BENCH_nls.json).
-trait Probe {
+/// Every candidate column of a scan is accounted to exactly one of
+/// `evaluated` / `pruned` / `masked` / `cells_skipped` /
+/// `quant_rejected` — the per-round counter identity
+/// `Σ = scans × pool_rows` that `tests/trace.rs` pins rests on this.
+/// (`early_exited` and `reranked` annotate `evaluated` candidates and
+/// sit outside the partition.)
+pub(crate) trait Probe {
     /// A distance computation was started for a candidate.
     fn evaluated(&mut self);
     /// A started distance computation was abandoned by the partial-sum
@@ -247,10 +367,22 @@ trait Probe {
     fn early_exited(&mut self);
     /// `n` candidates were skipped wholesale by the norm lower bound.
     fn pruned(&mut self, n: u64);
+    /// `n` candidates were skipped because their column is claimed (or
+    /// dead in a masked search).
+    fn masked(&mut self, n: u64);
+    /// `rows` candidates were skipped wholesale by the cell
+    /// centroid-distance bound.
+    fn cells_skipped(&mut self, rows: u64);
+    /// A candidate was rejected by the quantized lower bound without
+    /// touching its f64 data.
+    fn quant_rejected(&mut self);
+    /// A candidate survived the quantized bound and was re-ranked with
+    /// the exact kernel (a subset of `evaluated`).
+    fn reranked(&mut self);
 }
 
 /// The tracing-off probe: all no-ops.
-struct NoProbe;
+pub(crate) struct NoProbe;
 
 impl Probe for NoProbe {
     #[inline(always)]
@@ -259,6 +391,14 @@ impl Probe for NoProbe {
     fn early_exited(&mut self) {}
     #[inline(always)]
     fn pruned(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn masked(&mut self, _n: u64) {}
+    #[inline(always)]
+    fn cells_skipped(&mut self, _rows: u64) {}
+    #[inline(always)]
+    fn quant_rejected(&mut self) {}
+    #[inline(always)]
+    fn reranked(&mut self) {}
 }
 
 /// The tracing-on probe: plain local tallies, merged row-by-row in input
@@ -269,6 +409,10 @@ struct ScanStats {
     evaluated: u64,
     early_exited: u64,
     pruned_norm: u64,
+    masked: u64,
+    cells_skipped: u64,
+    quant_rejects: u64,
+    exact_rerank: u64,
 }
 
 impl Probe for ScanStats {
@@ -284,6 +428,22 @@ impl Probe for ScanStats {
     fn pruned(&mut self, n: u64) {
         self.pruned_norm += n;
     }
+    #[inline]
+    fn masked(&mut self, n: u64) {
+        self.masked += n;
+    }
+    #[inline]
+    fn cells_skipped(&mut self, rows: u64) {
+        self.cells_skipped += rows;
+    }
+    #[inline]
+    fn quant_rejected(&mut self) {
+        self.quant_rejects += 1;
+    }
+    #[inline]
+    fn reranked(&mut self) {
+        self.exact_rerank += 1;
+    }
 }
 
 impl ScanStats {
@@ -291,6 +451,10 @@ impl ScanStats {
         self.evaluated += other.evaluated;
         self.early_exited += other.early_exited;
         self.pruned_norm += other.pruned_norm;
+        self.masked += other.masked;
+        self.cells_skipped += other.cells_skipped;
+        self.quant_rejects += other.quant_rejects;
+        self.exact_rerank += other.exact_rerank;
     }
 
     /// Adds the tallies to the global `nls.*` counters.
@@ -298,17 +462,46 @@ impl ScanStats {
         obs::counter_add("nls.dist_evaluated", self.evaluated);
         obs::counter_add("nls.dist_early_exit", self.early_exited);
         obs::counter_add("nls.pruned_norm", self.pruned_norm);
+        obs::counter_add("nls.masked_skipped", self.masked);
+        obs::counter_add("nls.cells_skipped", self.cells_skipped);
+        obs::counter_add("nls.quant_rejects", self.quant_rejects);
+        obs::counter_add("nls.exact_rerank", self.exact_rerank);
+    }
+}
+
+/// The index of one search: borrowed from the caller (the augmentation
+/// driver reuses one across rounds) or built for this invocation.
+enum IndexHandle<'a> {
+    Owned(Box<WildIndex>),
+    Borrowed(&'a WildIndex),
+}
+
+impl IndexHandle<'_> {
+    fn get(&self) -> &WildIndex {
+        match self {
+            IndexHandle::Owned(ix) => ix,
+            IndexHandle::Borrowed(ix) => ix,
+        }
     }
 }
 
 /// Shared state of one search invocation: the inputs plus (when pruning)
-/// per-vector norms and the wild indices sorted by norm.
+/// per-vector norms and the wild indices sorted by norm, or (in the
+/// index modes) the partitioned/quantized pool snapshot.
 struct Workspace<'a> {
     security: &'a [FeatureVector],
     wild: &'a [FeatureVector],
     k_best: usize,
     threads: usize,
     prune: bool,
+    /// Partition index (index modes only).
+    index: Option<IndexHandle<'a>>,
+    /// Whether cell scans take the quantized fast path.
+    quantized: bool,
+    /// Nearest cells always scanned before the cell bound applies.
+    probes: usize,
+    /// Rows excluded from the search entirely (masked searches).
+    dead: Option<&'a [bool]>,
     /// `‖security[m]‖` per row (pruning only).
     sec_norms: Vec<f64>,
     /// Wild indices sorted by `(norm, index)` ascending (pruning only).
@@ -324,9 +517,30 @@ struct Workspace<'a> {
 }
 
 impl<'a> Workspace<'a> {
-    fn new(security: &'a [FeatureVector], wild: &'a [FeatureVector], config: &NlsConfig) -> Self {
+    fn new(
+        security: &'a [FeatureVector],
+        wild: &'a [FeatureVector],
+        config: &NlsConfig,
+        prebuilt: Option<&'a WildIndex>,
+        dead: Option<&'a [bool]>,
+    ) -> Self {
         let threads = config.threads.max(1);
-        let (sec_norms, order, sorted_norms, sorted_wild) = if config.prune {
+        let index = match (config.index, prebuilt) {
+            (IndexMode::Scan, _) => None,
+            (mode, Some(ix)) => {
+                assert_eq!(ix.len(), wild.len(), "index was built over a different pool");
+                assert!(
+                    mode != IndexMode::Quantized || ix.is_quantized(),
+                    "IndexMode::Quantized needs a quantized index"
+                );
+                Some(IndexHandle::Borrowed(ix))
+            }
+            (_, None) => Some(IndexHandle::Owned(Box::new(WildIndex::build(wild, config)))),
+        };
+        // The norm-pruning machinery serves the Scan mode only; the
+        // index modes bound candidates through the partition instead.
+        let prune = config.prune && index.is_none();
+        let (sec_norms, order, sorted_norms, sorted_wild) = if prune {
             let sec_norms = par::map_chunked(security, threads, |v| norm(v));
             let wild_norms = par::map_chunked(wild, threads, |v| norm(v));
             let mut order: Vec<usize> = (0..wild.len()).collect();
@@ -342,7 +556,11 @@ impl<'a> Workspace<'a> {
             wild,
             k_best: config.k_best.max(1),
             threads,
-            prune: config.prune,
+            prune,
+            quantized: config.index == IndexMode::Quantized,
+            probes: if config.probes == 0 { 2 } else { config.probes },
+            index,
+            dead,
             sec_norms,
             order,
             sorted_norms,
@@ -359,13 +577,13 @@ impl<'a> Workspace<'a> {
     fn init_pass(&self) -> Vec<Vec<(f64, usize)>> {
         if !obs::enabled() {
             return par::map_chunked_indexed(self.security, self.threads, |m, _| {
-                self.scan_row(m, None, &mut NoProbe)
+                self.scan_row(m, self.dead, &mut NoProbe)
             });
         }
         let rows: Vec<(Vec<(f64, usize)>, ScanStats)> =
             par::map_chunked_indexed(self.security, self.threads, |m, _| {
                 let mut stats = ScanStats::default();
-                let list = self.scan_row(m, None, &mut stats);
+                let list = self.scan_row(m, self.dead, &mut stats);
                 (list, stats)
             });
         let mut total = ScanStats::default();
@@ -386,6 +604,16 @@ impl<'a> Workspace<'a> {
     /// claimed columns. Visit-order independent by the lexicographic tie
     /// rule, so the pruned and plain scans agree exactly.
     fn scan_row<P: Probe>(&self, m: usize, used: Option<&[bool]>, probe: &mut P) -> Vec<(f64, usize)> {
+        if let Some(ix) = &self.index {
+            return ix.get().scan_row(
+                &self.security[m],
+                self.k_best,
+                self.probes,
+                used,
+                self.quantized,
+                probe,
+            );
+        }
         if self.prune {
             self.scan_row_pruned(m, used, probe)
         } else {
@@ -403,6 +631,7 @@ impl<'a> Workspace<'a> {
         let mut list: Vec<(f64, usize)> = Vec::with_capacity(self.k_best);
         for (n, w) in self.wild.iter().enumerate() {
             if used.is_some_and(|u| u[n]) {
+                probe.masked(1);
                 continue;
             }
             probe.evaluated();
@@ -457,7 +686,9 @@ impl<'a> Workspace<'a> {
                 continue;
             }
             let idx = self.order[pos];
-            if !used.is_some_and(|u| u[idx]) {
+            if used.is_some_and(|u| u[idx]) {
+                probe.masked(1);
+            } else {
                 probe.evaluated();
                 match early_exit_d2(sec, &self.sorted_wild[pos], tau) {
                     Some(d2) => push_candidate(&mut list, self.k_best, d2, idx),
@@ -489,7 +720,12 @@ impl<'a> Workspace<'a> {
         let u: Vec<f64> = lists.iter().map(|l| l[0].0).collect();
         let mut cursor = vec![0usize; m_count];
         let mut c = vec![usize::MAX; m_count];
-        let mut used = vec![false; self.wild.len()];
+        // Dead rows start out "claimed": the rescans skip them exactly
+        // like columns claimed earlier in the loop.
+        let mut used = match self.dead {
+            Some(d) => d.to_vec(),
+            None => vec![false; self.wild.len()],
+        };
         let mut assigned = vec![false; m_count];
         // Collision bookkeeping: local tallies (the adds are trivial next
         // to the rescans they count), flushed iff tracing is on. Rescans
@@ -539,13 +775,13 @@ impl<'a> Workspace<'a> {
 
 /// `‖v‖` — used only for the pruning lower bound, never for output
 /// values.
-fn norm(v: &FeatureVector) -> f64 {
+pub(crate) fn norm(v: &FeatureVector) -> f64 {
     v.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
 }
 
 /// The current pruning threshold: the k-th best squared distance once
 /// the list is full, else ∞.
-fn threshold(list: &[(f64, usize)], k: usize) -> f64 {
+pub(crate) fn threshold(list: &[(f64, usize)], k: usize) -> f64 {
     if list.len() == k { list[k - 1].0 } else { f64::INFINITY }
 }
 
@@ -554,7 +790,7 @@ fn threshold(list: &[(f64, usize)], k: usize) -> f64 {
 /// strictly exceeds `tau` (squares are non-negative, so the final sum
 /// could only be larger — and a candidate at exactly `tau` may still win
 /// an index tie, hence the strict comparison).
-fn early_exit_d2(a: &FeatureVector, b: &FeatureVector, tau: f64) -> Option<f64> {
+pub(crate) fn early_exit_d2(a: &FeatureVector, b: &FeatureVector, tau: f64) -> Option<f64> {
     let mut acc = 0.0f64;
     let xs = a.as_slice();
     let ys = b.as_slice();
@@ -575,17 +811,23 @@ fn early_exit_d2(a: &FeatureVector, b: &FeatureVector, tau: f64) -> Option<f64> 
 
 /// Inserts `(d2, idx)` into an ascending k-best list under lexicographic
 /// `(d², index)` order, dropping the worst entry when over capacity.
-fn push_candidate(list: &mut Vec<(f64, usize)>, k: usize, d2: f64, idx: usize) {
-    if list.len() == k {
-        let (ld, li) = list[k - 1];
-        if !(d2 < ld || (d2 == ld && idx < li)) {
-            return;
-        }
+///
+/// Ordering uses `total_cmp`, which agrees with the operator comparisons
+/// for every value a squared distance can take (sums of squares are
+/// never `-0.0`) and additionally gives NaN a fixed place *after* every
+/// finite value — so a NaN candidate sinks to the tail no matter in
+/// which order the scan happened to visit it, instead of wedging at the
+/// head and shadowing real neighbors.
+pub(crate) fn push_candidate(list: &mut Vec<(f64, usize)>, k: usize, d2: f64, idx: usize) {
+    let beats = |&(ld, li): &(f64, usize)| match d2.total_cmp(&ld) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Equal => idx < li,
+        std::cmp::Ordering::Greater => false,
+    };
+    if list.len() == k && !beats(&list[k - 1]) {
+        return;
     }
-    let pos = list
-        .iter()
-        .position(|&(ld, li)| ld > d2 || (ld == d2 && li > idx))
-        .unwrap_or(list.len());
+    let pos = list.iter().position(beats).unwrap_or(list.len());
     list.insert(pos, (d2, idx));
     if list.len() > k {
         list.pop();
@@ -733,15 +975,23 @@ mod tests {
         let wild: Vec<FeatureVector> =
             (0..90).map(|_| palette[rng.gen_range(0..palette.len() as u64) as usize]).collect();
         let reference = nearest_link_search_serial(&sec, &wild);
-        for threads in [1usize, 2, 8] {
-            for prune in [false, true] {
-                for k_best in [1usize, 2, 8] {
-                    let cfg = NlsConfig { threads, prune, k_best };
-                    assert_eq!(
-                        nearest_link_search_with(&sec, &wild, &cfg),
-                        reference,
-                        "threads={threads} prune={prune} k_best={k_best}"
-                    );
+        for index in [IndexMode::Scan, IndexMode::Partitioned, IndexMode::Quantized] {
+            for threads in [1usize, 2, 8] {
+                for prune in [false, true] {
+                    for k_best in [1usize, 2, 8] {
+                        let cfg = NlsConfig {
+                            threads,
+                            prune,
+                            k_best,
+                            index,
+                            ..NlsConfig::serial()
+                        };
+                        assert_eq!(
+                            nearest_link_search_with(&sec, &wild, &cfg),
+                            reference,
+                            "index={index:?} threads={threads} prune={prune} k_best={k_best}"
+                        );
+                    }
                 }
             }
         }
@@ -756,9 +1006,11 @@ mod tests {
             (0..150).map(|_| fv(&[rng.gen_range(-3.0..3.0), rng.gen()])).collect();
         let (serial_u, serial_v) = row_minima(&sec, &wild, &NlsConfig::serial());
         for cfg in [
-            NlsConfig { threads: 4, prune: false, k_best: 8 },
-            NlsConfig { threads: 4, prune: true, k_best: 8 },
-            NlsConfig { threads: 1, prune: true, k_best: 2 },
+            NlsConfig { threads: 4, prune: false, k_best: 8, ..NlsConfig::serial() },
+            NlsConfig { threads: 4, prune: true, k_best: 8, ..NlsConfig::serial() },
+            NlsConfig { threads: 1, prune: true, k_best: 2, ..NlsConfig::serial() },
+            NlsConfig { index: IndexMode::Partitioned, k_best: 8, ..NlsConfig::serial() },
+            NlsConfig { index: IndexMode::Quantized, threads: 4, k_best: 8, ..NlsConfig::serial() },
         ] {
             let (u, v) = row_minima(&sec, &wild, &cfg);
             assert_eq!(serial_v, v, "argmin drift under {cfg:?}");

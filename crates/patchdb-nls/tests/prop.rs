@@ -6,9 +6,12 @@ use patchdb_rt::check::{check, Gen};
 
 use patchdb_features::{euclidean, squared_euclidean, FeatureVector};
 use patchdb_nls::{
-    nearest_link_search, nearest_link_search_matrix, nearest_link_search_serial,
-    nearest_link_search_with, row_minima, total_link_distance, NlsConfig,
+    nearest_link_search, nearest_link_search_indexed, nearest_link_search_matrix,
+    nearest_link_search_serial, nearest_link_search_with, row_minima, total_link_distance,
+    IndexMode, NlsConfig, Quantizer, WildIndex,
 };
+
+const MODES: [IndexMode; 3] = [IndexMode::Scan, IndexMode::Partitioned, IndexMode::Quantized];
 
 const CASES: u32 = 128;
 
@@ -69,10 +72,11 @@ fn palette_points(g: &mut Gen, palette: &[FeatureVector], min: usize, max: usize
     (0..n).map(|_| palette[g.index(palette.len())]).collect()
 }
 
-/// The parallel + pruned search equals the faithful serial Algorithm 1
-/// loop *and* the explicit-matrix reference for every configuration —
-/// thread counts 1/2/8, pruning on/off, several candidate-list lengths —
-/// including on tie-heavy instances.
+/// The parallel + pruned + indexed search equals the faithful serial
+/// Algorithm 1 loop *and* the explicit-matrix reference for every
+/// configuration — index modes Scan/Partitioned/Quantized, thread counts
+/// 1/2/8, pruning on/off, several candidate-list lengths and cell counts
+/// — including on tie-heavy instances.
 #[test]
 fn configs_agree_with_serial_and_matrix() {
     check("configs_agree_with_serial_and_matrix", CASES, |g| {
@@ -88,17 +92,151 @@ fn configs_agree_with_serial_and_matrix() {
             .map(|s| wild.iter().map(|w| squared_euclidean(s, w)).collect())
             .collect();
         assert_eq!(reference, nearest_link_search_matrix(&matrix), "serial vs matrix");
-        for threads in [1usize, 2, 8] {
-            for prune in [false, true] {
-                for k_best in [1usize, 4] {
-                    let cfg = NlsConfig { threads, prune, k_best };
-                    assert_eq!(
-                        nearest_link_search_with(&sec, &wild, &cfg),
-                        reference,
-                        "threads={threads} prune={prune} k_best={k_best}"
-                    );
+        // Each case draws one (cells, probes) point; the mode × threads ×
+        // prune × k_best grid is swept exhaustively within it.
+        let cells = g.usize_in(0, 6);
+        let probes = g.usize_in(0, 3);
+        for index in MODES {
+            for threads in [1usize, 2, 8] {
+                for prune in [false, true] {
+                    for k_best in [1usize, 4] {
+                        let cfg = NlsConfig {
+                            threads,
+                            prune,
+                            k_best,
+                            index,
+                            cells,
+                            probes,
+                        };
+                        assert_eq!(
+                            nearest_link_search_with(&sec, &wild, &cfg),
+                            reference,
+                            "index={index:?} threads={threads} prune={prune} \
+                             k_best={k_best} cells={cells} probes={probes}"
+                        );
+                    }
                 }
             }
+        }
+    });
+}
+
+/// A masked search over the full pool equals a plain search over the
+/// physically compacted pool, in every index mode — the equivalence the
+/// augmentation driver's alive-bitmap (and cross-round index reuse)
+/// stands on.
+#[test]
+fn masked_search_equals_compacted_search() {
+    check("masked_search_equals_compacted_search", CASES, |g| {
+        let sec = points(g, 1, 8);
+        let wild = points(g, 20, 39);
+        // Kill a random subset, keeping at least sec.len() alive.
+        let mut dead = vec![false; wild.len()];
+        let max_dead = wild.len() - sec.len();
+        for _ in 0..g.usize_in(0, max_dead) {
+            dead[g.index(wild.len())] = true;
+        }
+        while dead.iter().filter(|&&d| d).count() > max_dead {
+            dead[g.index(wild.len())] = false;
+        }
+        let compacted: Vec<FeatureVector> = wild
+            .iter()
+            .zip(&dead)
+            .filter(|(_, &d)| !d)
+            .map(|(v, _)| *v)
+            .collect();
+        // full-pool index → compacted-pool index
+        let to_full: Vec<usize> =
+            (0..wild.len()).filter(|&i| !dead[i]).collect();
+        for index in MODES {
+            let cfg = NlsConfig { index, ..NlsConfig::auto() };
+            let masked = nearest_link_search_indexed(&sec, &wild, &cfg, None, Some(&dead));
+            let compact_links = nearest_link_search_with(&sec, &compacted, &cfg);
+            let remapped: Vec<usize> = compact_links.iter().map(|&l| to_full[l]).collect();
+            assert_eq!(masked, remapped, "mode {index:?}");
+        }
+    });
+}
+
+/// A prebuilt index reused across searches (the augmentation driver's
+/// pattern) gives the same answer as building one per call.
+#[test]
+fn prebuilt_index_matches_fresh_build() {
+    check("prebuilt_index_matches_fresh_build", CASES / 2, |g| {
+        let wild = points(g, 16, 47);
+        let cfg = NlsConfig {
+            index: if g.bool() { IndexMode::Quantized } else { IndexMode::Partitioned },
+            cells: g.usize_in(0, 5),
+            ..NlsConfig::auto()
+        };
+        let ix = WildIndex::build(&wild, &cfg);
+        for _ in 0..3 {
+            let sec = points(g, 1, 6);
+            assert_eq!(
+                nearest_link_search_indexed(&sec, &wild, &cfg, Some(&ix), None),
+                nearest_link_search_with(&sec, &wild, &cfg),
+            );
+        }
+    });
+}
+
+/// Quantizer round trip: every encoded coordinate lands inside its own
+/// bucket (`b[c] ≤ x ≤ b[c+1]`) — the invariant the bound soundness
+/// argument rests on.
+#[test]
+fn quantizer_round_trip_respects_buckets() {
+    check("quantizer_round_trip_respects_buckets", CASES, |g| {
+        let n = g.usize_in(1, 64);
+        let scale = g.f64_in(1e-6, 1e6);
+        let pool: Vec<FeatureVector> = (0..n)
+            .map(|_| {
+                let mut v = FeatureVector::zero();
+                for x in v.as_mut_slice() {
+                    *x = g.f64_in(-scale, scale);
+                }
+                v
+            })
+            .collect();
+        let q = Quantizer::fit(&pool, g.usize_in(1, 8));
+        for v in &pool {
+            let codes = q.encode(v);
+            for (d, &x) in v.as_slice().iter().enumerate() {
+                let (lo, hi) = q.bucket(d, codes[d]);
+                assert!(lo <= x && x <= hi, "dim {d}: {x} outside [{lo}, {hi}]");
+            }
+        }
+    });
+}
+
+/// Bound soundness: for random pools and queries (queries deliberately
+/// allowed outside the fitted range), the quantized lower bound never
+/// exceeds the exact squared distance — so the fast path can never
+/// wrongly reject a candidate the exhaustive scan would keep.
+#[test]
+fn quantizer_bound_is_sound() {
+    check("quantizer_bound_is_sound", CASES, |g| {
+        let n = g.usize_in(1, 48);
+        let pool: Vec<FeatureVector> = (0..n)
+            .map(|_| {
+                let mut v = FeatureVector::zero();
+                for x in v.as_mut_slice() {
+                    *x = g.f64_in(-10.0, 10.0);
+                }
+                v
+            })
+            .collect();
+        let q = Quantizer::fit(&pool, 1);
+        let mut query = FeatureVector::zero();
+        for x in query.as_mut_slice() {
+            *x = g.f64_in(-30.0, 30.0);
+        }
+        for v in &pool {
+            let codes = q.encode(v);
+            let bound = q.lower_bound(&query, &codes);
+            let exact = squared_euclidean(&query, v);
+            assert!(bound <= exact, "bound {bound} > exact {exact}");
+            // The early exit agrees with the full bound at tau == bound.
+            assert_eq!(q.lower_bound_above(&query, &codes, bound), Some(bound));
         }
     });
 }
@@ -111,17 +249,19 @@ fn row_minima_bitwise_stable() {
         let sec = points(g, 1, 10);
         let wild = points(g, 12, 47);
         let (u0, v0) = row_minima(&sec, &wild, &NlsConfig::serial());
-        for threads in [2usize, 8] {
-            for prune in [false, true] {
-                let cfg = NlsConfig { threads, prune, k_best: 8 };
-                let (u, v) = row_minima(&sec, &wild, &cfg);
-                assert_eq!(v0, v, "argmin drift: threads={threads} prune={prune}");
-                for (a, b) in u0.iter().zip(&u) {
-                    assert_eq!(
-                        a.to_bits(),
-                        b.to_bits(),
-                        "distance drift: threads={threads} prune={prune}"
-                    );
+        for index in MODES {
+            for threads in [2usize, 8] {
+                for prune in [false, true] {
+                    let cfg = NlsConfig { threads, prune, k_best: 8, index, ..NlsConfig::serial() };
+                    let (u, v) = row_minima(&sec, &wild, &cfg);
+                    assert_eq!(v0, v, "argmin drift: index={index:?} threads={threads} prune={prune}");
+                    for (a, b) in u0.iter().zip(&u) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "distance drift: index={index:?} threads={threads} prune={prune}"
+                        );
+                    }
                 }
             }
         }

@@ -90,21 +90,27 @@ fn main() {
         sec_idx.len() + nonsec_idx.len()
     );
 
-    // With --trace, per-round counters show how much work the norm-bound
-    // pruning saved the distance kernel on each pass.
+    // With --trace, per-round counters show how much work the index
+    // bounds (whole cells, quantized rejects) and the norm-bound pruning
+    // saved the distance kernel on each pass.
     if trace {
         let telemetry = obs::report();
         println!("\nNLS pruning efficiency:");
         for r in &rounds {
-            let evaluated =
-                telemetry.counter(&format!("nls.round{:02}.dist_evaluated", r.round));
-            let pruned = telemetry.counter(&format!("nls.round{:02}.pruned_norm", r.round));
-            if let (Some(evaluated), Some(pruned)) = (evaluated, pruned) {
-                let total = evaluated + pruned;
-                let avoided = if total == 0 { 0.0 } else { 100.0 * pruned as f64 / total as f64 };
+            let counter =
+                |suffix: &str| telemetry.counter(&format!("nls.round{:02}.{suffix}", r.round));
+            if let (Some(evaluated), Some(pruned)) =
+                (counter("dist_evaluated"), counter("pruned_norm"))
+            {
+                let skipped = pruned
+                    + counter("cells_skipped").unwrap_or(0)
+                    + counter("quant_rejects").unwrap_or(0);
+                let total = evaluated + skipped;
+                let avoided =
+                    if total == 0 { 0.0 } else { 100.0 * skipped as f64 / total as f64 };
                 println!(
-                    "  round {:02}: {evaluated} distances evaluated, {pruned} pruned \
-                     ({avoided:.1}% of comparisons avoided)",
+                    "  round {:02}: {evaluated} distances evaluated, {skipped} skipped \
+                     by index/norm bounds ({avoided:.1}% of comparisons avoided)",
                     r.round
                 );
             }

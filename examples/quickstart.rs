@@ -47,19 +47,26 @@ fn main() {
     );
 
     // With --trace, the build telemetry carries per-round NLS counters:
-    // how many distance computations the norm bound skipped outright.
+    // how many distance computations the index bounds (whole cells,
+    // quantized rejects) and the norm bound skipped outright.
     if let Some(telemetry) = &report.telemetry {
         println!("\n== NLS pruning efficiency (per round) ==");
         for r in &report.rounds {
-            let evaluated =
-                telemetry.trace.counter(&format!("nls.round{:02}.dist_evaluated", r.round));
-            let pruned = telemetry.trace.counter(&format!("nls.round{:02}.pruned_norm", r.round));
-            if let (Some(evaluated), Some(pruned)) = (evaluated, pruned) {
-                let total = evaluated + pruned;
-                let avoided = if total == 0 { 0.0 } else { 100.0 * pruned as f64 / total as f64 };
+            let counter = |suffix: &str| {
+                telemetry.trace.counter(&format!("nls.round{:02}.{suffix}", r.round))
+            };
+            if let (Some(evaluated), Some(pruned)) =
+                (counter("dist_evaluated"), counter("pruned_norm"))
+            {
+                let skipped = pruned
+                    + counter("cells_skipped").unwrap_or(0)
+                    + counter("quant_rejects").unwrap_or(0);
+                let total = evaluated + skipped;
+                let avoided =
+                    if total == 0 { 0.0 } else { 100.0 * skipped as f64 / total as f64 };
                 println!(
-                    "round {:02} [{}]: {evaluated} distances evaluated, {pruned} pruned \
-                     ({avoided:.1}% of comparisons avoided)",
+                    "round {:02} [{}]: {evaluated} distances evaluated, {skipped} skipped \
+                     by index/norm bounds ({avoided:.1}% of comparisons avoided)",
                     r.round, r.pool
                 );
             }

@@ -206,12 +206,14 @@ fn print_stage_summary(telemetry: &BuildTelemetry) {
         }
     }
     let evaluated = trace.counter("nls.dist_evaluated").unwrap_or(0);
-    let pruned = trace.counter("nls.pruned_norm").unwrap_or(0);
-    if evaluated + pruned > 0 {
+    let skipped = trace.counter("nls.pruned_norm").unwrap_or(0)
+        + trace.counter("nls.cells_skipped").unwrap_or(0)
+        + trace.counter("nls.quant_rejects").unwrap_or(0);
+    if evaluated + skipped > 0 {
         println!(
-            "nls: {evaluated} distances evaluated, {pruned} pruned by norm bound \
+            "nls: {evaluated} distances evaluated, {skipped} skipped by index/norm bounds \
              ({:.1}% of comparisons avoided)",
-            100.0 * pruned as f64 / (evaluated + pruned) as f64
+            100.0 * skipped as f64 / (evaluated + skipped) as f64
         );
     }
 }

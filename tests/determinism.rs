@@ -3,7 +3,7 @@
 //! exports on every run — the property the hermetic `patchdb-rt` runtime
 //! exists to guarantee (no external RNG or serializer to drift).
 
-use patchdb::{BuildOptions, PatchDb};
+use patchdb::{BuildOptions, IndexMode, NlsConfig, PatchDb};
 
 /// Two builds from the same seed agree on every headline statistic.
 #[test]
@@ -103,6 +103,64 @@ fn trace_toggle_does_not_change_output() {
         assert_eq!(ra.pool, rb.pool);
         assert_eq!(ra.candidates, rb.candidates);
         assert_eq!(ra.verified_security, rb.verified_security);
+        assert_eq!(ra.ratio.to_bits(), rb.ratio.to_bits());
+    }
+}
+
+/// The NLS index modes steer wall time only: builds through the plain
+/// scan, the partitioned index, and the quantized index export
+/// byte-identical JSON and bit-identical round tables. This is the
+/// pipeline-level face of the byte-identity contract the property suites
+/// pin at the search level.
+#[test]
+fn index_mode_does_not_change_output() {
+    let build_with = |mode: IndexMode| {
+        PatchDb::build(&BuildOptions::tiny(1234).nls(NlsConfig::auto().index(mode)))
+    };
+    let scan = build_with(IndexMode::Scan);
+    for mode in [IndexMode::Partitioned, IndexMode::Quantized] {
+        let indexed = build_with(mode);
+        assert_eq!(
+            scan.db.to_json().expect("export scan"),
+            indexed.db.to_json().expect("export indexed"),
+            "{mode:?} changed output bytes"
+        );
+        assert_eq!(scan.verification_effort, indexed.verification_effort, "{mode:?}");
+        assert_eq!(scan.rounds.len(), indexed.rounds.len(), "{mode:?}");
+        for (ra, rb) in scan.rounds.iter().zip(&indexed.rounds) {
+            assert_eq!(ra.search_range, rb.search_range, "{mode:?}");
+            assert_eq!(ra.candidates, rb.candidates, "{mode:?}");
+            assert_eq!(ra.verified_security, rb.verified_security, "{mode:?}");
+            assert_eq!(ra.ratio.to_bits(), rb.ratio.to_bits(), "{mode:?}");
+        }
+    }
+}
+
+/// `IndexMode::Quantized` at `PATCHDB_THREADS=1` vs `8` produces
+/// byte-identical stats, rounds and JSON — the deterministic k-means
+/// seeding, the thread-invariant quantizer fit, and the order-preserving
+/// parallel scans compose into a thread-invariant end-to-end build.
+#[test]
+fn quantized_index_is_thread_invariant() {
+    let run_with = |threads: &str| {
+        std::env::set_var("PATCHDB_THREADS", threads);
+        let report = PatchDb::build(
+            &BuildOptions::tiny(1234).nls(NlsConfig::auto().index(IndexMode::Quantized)),
+        );
+        std::env::remove_var("PATCHDB_THREADS");
+        report
+    };
+    let single = run_with("1");
+    let many = run_with("8");
+    assert_eq!(single.db.stats(), many.db.stats());
+    assert_eq!(
+        single.db.to_json().expect("export single-threaded"),
+        many.db.to_json().expect("export multi-threaded"),
+        "thread count changed quantized-index output bytes"
+    );
+    assert_eq!(single.verification_effort, many.verification_effort);
+    assert_eq!(single.rounds.len(), many.rounds.len());
+    for (ra, rb) in single.rounds.iter().zip(&many.rounds) {
         assert_eq!(ra.ratio.to_bits(), rb.ratio.to_bits());
     }
 }

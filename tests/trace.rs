@@ -70,6 +70,57 @@ fn per_round_and_kbest_counters_are_present() {
     assert!(trace.counter("nls.pruned_norm").unwrap_or(0) > 0);
 }
 
+/// The scan accounting partition: every candidate column of every scan
+/// lands in exactly one of `dist_evaluated` / `pruned_norm` /
+/// `masked_skipped` / `cells_skipped` / `quant_rejects`, so per round
+///
+/// ```text
+/// evaluated + pruned + masked + cells_skipped + quant_rejects
+///     == (init rows + rescans) × pool_rows
+/// ```
+///
+/// — each init row and each rescan is one full sweep of the pool, and
+/// nothing is counted twice or dropped. (`exact_rerank` and the
+/// early-exit tally annotate `evaluated` candidates and sit outside the
+/// partition.)
+#[test]
+fn per_round_scan_accounting_is_exhaustive() {
+    let report = traced_report();
+    let trace = &telemetry().trace;
+    assert!(!report.rounds.is_empty());
+    for r in &report.rounds {
+        let c = |suffix: &str| {
+            let name = format!("nls.round{:02}.{suffix}", r.round);
+            trace.counter(&name).unwrap_or_else(|| panic!("missing {name}"))
+        };
+        let scanned = c("dist_evaluated")
+            + c("pruned_norm")
+            + c("masked_skipped")
+            + c("cells_skipped")
+            + c("quant_rejects");
+        let sweeps = c("rows") + c("rescans");
+        let pool_rows = c("pool_rows");
+        assert_eq!(
+            scanned,
+            sweeps * pool_rows,
+            "round {:02}: accounting leak (sweeps={sweeps} pool_rows={pool_rows})",
+            r.round
+        );
+        // Each init pass sweeps one row per security patch — that's the
+        // round's candidate count.
+        assert_eq!(c("rows"), r.candidates as u64, "round {:02}: init row count", r.round);
+        // The default build runs the quantized index: the fast paths
+        // must actually fire (cells skipped and/or quantized rejects),
+        // and every evaluated candidate there was an exact re-rank.
+        assert!(
+            c("cells_skipped") + c("quant_rejects") > 0,
+            "round {:02}: index fast paths never fired",
+            r.round
+        );
+        assert!(c("exact_rerank") <= c("dist_evaluated"), "round {:02}", r.round);
+    }
+}
+
 #[test]
 fn stage_counters_match_the_dataset() {
     let report = traced_report();

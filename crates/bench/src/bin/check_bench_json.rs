@@ -18,6 +18,10 @@
 //!   `requests`/`errors`/`throughput_rps`, latency quantiles with
 //!   `p50_ns <= p99_ns`, and (when present) server-side windowed
 //!   quantiles with `server_p50_ns <= server_p99_ns`.
+//! * `patchdb-serve/v2` — the v1 per-row checks plus a transport `mode`
+//!   per row (`close` | `keepalive` | `pipelined`), a positive
+//!   concurrent-connection count, and at least one `close` and one
+//!   `keepalive` row so the keep-alive speedup is always computable.
 //! * `*.jsonl` access logs (`patchdb serve --access-log`) — dispatched
 //!   on the file extension, not a schema tag: every line is a JSON
 //!   object, `ts_ms` is non-decreasing in file order, request `id`s are
@@ -67,6 +71,7 @@ fn main() -> ExitCode {
     let outcome = match schema {
         "patchdb-trace/v1" => check_trace(&json),
         "patchdb-serve/v1" => check_serve(&json),
+        "patchdb-serve/v2" => check_serve_v2(&json),
         "patchdb-bench-nls/v1" | "" => check_bench(&json),
         "patchdb-bench-nls/v2" => check_bench_v2(&json),
         other => Err(format!("unknown schema tag {other:?}")),
@@ -191,6 +196,49 @@ fn check_serve(json: &Json) -> Result<String, String> {
         }
     }
     Ok(format!("{} serve configurations", results.len()))
+}
+
+/// The v2 serve report: every v1 per-row check, plus the transport mode
+/// and connection count each row was driven with, and enough mode
+/// coverage (≥1 `close`, ≥1 `keepalive` row) that the keep-alive
+/// speedup the report exists to document is actually computable.
+fn check_serve_v2(json: &Json) -> Result<String, String> {
+    let base = check_serve(json)?;
+    let results = json
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .ok_or("no `results` array")?;
+    let mut close_rows = 0usize;
+    let mut keepalive_rows = 0usize;
+    for (i, r) in results.iter().enumerate() {
+        let at = format!("result #{i}");
+        let mode = r
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or(format!("{at} lacks a string `mode`"))?;
+        match mode {
+            "close" => close_rows += 1,
+            "keepalive" => keepalive_rows += 1,
+            "pipelined" => {}
+            other => return Err(format!("{at}: unknown mode {other:?}")),
+        }
+        let connections = r
+            .get("connections")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{at} lacks a numeric `connections`"))?;
+        if !(connections >= 1.0) {
+            return Err(format!("{at}: connections = {connections} is not positive"));
+        }
+    }
+    if close_rows == 0 || keepalive_rows == 0 {
+        return Err(format!(
+            "mode coverage too thin: {close_rows} close rows, {keepalive_rows} \
+             keepalive rows (need >= 1 of each)"
+        ));
+    }
+    Ok(format!(
+        "{base}, {close_rows} close + {keepalive_rows} keepalive rows"
+    ))
 }
 
 /// One access-log JSONL file: per-line JSON objects, monotonic `ts_ms`,

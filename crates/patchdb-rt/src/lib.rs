@@ -24,10 +24,15 @@
 //! * [`queue`] — a bounded MPMC hand-off with non-blocking producers
 //!   (explicit backpressure) and gracefully draining consumers, the
 //!   admission-control primitive under `patchdb-serve`.
+//! * [`net`] — non-blocking readiness primitives: a zero-dep `poll(2)`
+//!   wrapper, a self-pipe [`net::Waker`], and an fd-limit helper, the
+//!   substrate of the event-driven serve front end (replacing `mio`).
 
 pub mod bench;
 pub mod check;
 pub mod json;
+#[cfg(unix)]
+pub mod net;
 pub mod obs;
 pub mod par;
 pub mod queue;

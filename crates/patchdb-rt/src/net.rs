@@ -1,0 +1,269 @@
+//! Non-blocking readiness primitives for event-driven servers.
+//!
+//! A thin, zero-dependency wrapper over `poll(2)` plus a self-pipe
+//! wake-up token and a file-descriptor limit helper. The FFI surface
+//! is three libc symbols (`poll`, `getrlimit`, `setrlimit`) declared
+//! by hand — the symbols are already linked into every Rust binary
+//! through std, so no external crate is needed.
+//!
+//! The intended shape of a consumer is a single event-loop thread
+//! that owns all sockets in non-blocking mode:
+//!
+//! ```text
+//! loop {
+//!     build &mut [PollFd] (waker first, then listener, then conns)
+//!     net::poll(&mut fds, timeout_ms)
+//!     if fds[0].readable() { wake_rx.drain() }
+//!     ... accept / read / write per revents ...
+//! }
+//! ```
+//!
+//! Worker threads hand results back through a mailbox of their own
+//! and call [`Waker::wake`] so the loop notices without spinning.
+
+use std::ffi::{c_int, c_ulong};
+use std::io::{self, PipeReader, PipeWriter, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// There is data to read (or a listener has a pending connection).
+pub const POLLIN: i16 = 0x001;
+/// Writing now will not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry in a `poll(2)` set. Layout matches `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Registers interest in `events` (a bitmask of [`POLLIN`] /
+    /// [`POLLOUT`]; error conditions are always reported).
+    pub fn new(fd: &impl AsRawFd, events: i16) -> PollFd {
+        PollFd { fd: fd.as_raw_fd(), events, revents: 0 }
+    }
+
+    /// Raw results mask from the last [`poll`] call.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// A read will make progress: data, EOF, or an error to collect.
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// A write will make progress (or fail fast with the error).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP) != 0
+    }
+
+    /// The descriptor is dead: hangup, error, or not open.
+    pub fn hangup(&self) -> bool {
+        self.revents & (POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    #[link_name = "poll"]
+    fn sys_poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    #[link_name = "getrlimit"]
+    fn sys_getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    #[link_name = "setrlimit"]
+    fn sys_setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+/// Blocks until at least one descriptor is ready, the timeout lapses,
+/// or a signal arrives. `timeout_ms < 0` means wait forever; `0` polls
+/// without blocking. Returns the number of entries with non-zero
+/// `revents`. `EINTR` is retried with the same timeout.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { sys_poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+struct WakerInner {
+    writer: PipeWriter,
+    /// True when a wake byte is already in flight; lets arbitrarily
+    /// many `wake()` calls coalesce into a single pipe write so the
+    /// pipe can never fill up and block a producer.
+    pending: AtomicBool,
+}
+
+/// Producer half of a self-pipe wake-up token. Clone freely and hand
+/// to worker threads; `wake()` is cheap, lock-free when coalesced,
+/// and never blocks.
+#[derive(Clone)]
+pub struct Waker {
+    inner: Arc<WakerInner>,
+}
+
+/// Loop-side half: goes into the poll set (position 0 by convention)
+/// and is drained once readable.
+pub struct WakeReader {
+    reader: PipeReader,
+    inner: Arc<WakerInner>,
+}
+
+impl Waker {
+    /// Creates a connected waker pair over an anonymous pipe.
+    pub fn new() -> io::Result<(Waker, WakeReader)> {
+        let (reader, writer) = io::pipe()?;
+        let inner = Arc::new(WakerInner { writer, pending: AtomicBool::new(false) });
+        Ok((Waker { inner: inner.clone() }, WakeReader { reader, inner }))
+    }
+
+    /// Makes the next (or current) `poll` call return. Publish data
+    /// (e.g. push to a mailbox) *before* calling this.
+    pub fn wake(&self) {
+        if !self.inner.pending.swap(true, Ordering::SeqCst) {
+            let _ = (&self.inner.writer).write(&[1]);
+        }
+    }
+}
+
+impl WakeReader {
+    /// Consumes pending wake bytes. Only call after [`poll`] reported
+    /// the reader readable — the pipe is in blocking mode.
+    ///
+    /// The pending flag is cleared *before* the read: a wake racing
+    /// with the drain then either lands its byte early enough to be
+    /// consumed here (and the producer's data is observed on this
+    /// loop iteration anyway) or writes a fresh byte that keeps the
+    /// pipe readable for the next iteration. Wake-ups are never lost.
+    pub fn drain(&mut self) {
+        self.inner.pending.store(false, Ordering::SeqCst);
+        let mut buf = [0u8; 64];
+        let _ = self.reader.read(&mut buf);
+    }
+}
+
+impl AsRawFd for WakeReader {
+    fn as_raw_fd(&self) -> RawFd {
+        self.reader.as_raw_fd()
+    }
+}
+
+#[repr(C)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+const RLIMIT_NOFILE: c_int = 7;
+
+/// Raises the soft open-file limit toward `want` (first trying to lift
+/// the hard cap too, which only succeeds with privilege, then settling
+/// for the existing hard cap). Returns the effective soft limit, which
+/// may be below `want` — callers sizing connection tables should clamp
+/// to the returned value.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    if unsafe { sys_getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.cur >= want {
+        return Ok(lim.cur);
+    }
+    let attempt = Rlimit { cur: want, max: lim.max.max(want) };
+    if unsafe { sys_setrlimit(RLIMIT_NOFILE, &attempt) } != 0 {
+        let capped = Rlimit { cur: want.min(lim.max), max: lim.max };
+        if unsafe { sys_setrlimit(RLIMIT_NOFILE, &capped) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    if unsafe { sys_getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(lim.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn poll_times_out_on_quiet_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut fds = [PollFd::new(&listener, POLLIN)];
+        let n = poll(&mut fds, 0).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn poll_reports_pending_accept() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let mut fds = [PollFd::new(&listener, POLLIN)];
+        let n = poll(&mut fds, 2_000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].hangup());
+    }
+
+    #[test]
+    fn waker_interrupts_poll_and_coalesces() {
+        let (waker, mut rx) = Waker::new().unwrap();
+        // Many wakes before the loop looks: exactly one byte in flight.
+        waker.wake();
+        waker.wake();
+        waker.wake();
+        let mut fds = [PollFd::new(&rx, POLLIN)];
+        assert_eq!(poll(&mut fds, 2_000).unwrap(), 1);
+        rx.drain();
+        let mut fds = [PollFd::new(&rx, POLLIN)];
+        assert_eq!(poll(&mut fds, 0).unwrap(), 0, "drain must clear the pipe");
+        // Wake again after a drain: the coalescing flag must have reset.
+        waker.wake();
+        let mut fds = [PollFd::new(&rx, POLLIN)];
+        assert_eq!(poll(&mut fds, 2_000).unwrap(), 1);
+    }
+
+    #[test]
+    fn waker_wakes_from_another_thread() {
+        let (waker, rx) = Waker::new().unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let started = Instant::now();
+        let mut fds = [PollFd::new(&rx, POLLIN)];
+        let n = poll(&mut fds, 5_000).unwrap();
+        handle.join().unwrap();
+        assert_eq!(n, 1);
+        assert!(started.elapsed() < Duration::from_secs(4), "woke before timeout");
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_clamps() {
+        // Asking for what we already have (or less) reports the
+        // current limit; asking for the moon settles at the hard cap.
+        let now = raise_nofile_limit(64).unwrap();
+        assert!(now >= 64);
+        let huge = raise_nofile_limit(u64::MAX).unwrap();
+        assert!(huge >= now);
+    }
+}

@@ -370,26 +370,37 @@ impl Hist {
         &self.buckets
     }
 
-    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the bucket counts: the
-    /// inclusive upper edge of the bucket in which the cumulative count
-    /// crosses `ceil(q * count)`, capped at the recorded maximum.
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the bucket counts,
+    /// linearly interpolated *within* the bucket where the cumulative
+    /// count crosses `ceil(q * count)` and capped at the recorded
+    /// maximum. Observations inside a bucket are assumed uniformly
+    /// spread over its value range `[2^(k-1), 2^k)`, so a distribution
+    /// that lands entirely in one bucket still reports a `p50` below
+    /// its `p99` instead of collapsing both onto the bucket edge.
     ///
-    /// The log2 bucketing bounds the relative error at one octave, which
-    /// is plenty for latency reporting (`p50`/`p99` on `/metrics` and in
+    /// The log2 bucketing still bounds the error at one octave — the
+    /// interpolated value never leaves the crossing bucket — which is
+    /// plenty for latency reporting (`p50`/`p99` on `/metrics` and in
     /// `BENCH_serve.json`). Returns `0` for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
+        let mut before = 0u64;
         for (k, &n) in self.buckets.iter().enumerate() {
-            cumulative = cumulative.saturating_add(n);
-            if cumulative >= target {
+            if n > 0 && before.saturating_add(n) >= target {
                 // Bucket 0 holds exact zeros; bucket k holds [2^(k-1), 2^k).
-                let upper = if k == 0 { 0 } else { (1u64 << k).saturating_sub(1) };
-                return upper.min(self.max);
+                let (lower, upper) = if k == 0 {
+                    (0u64, 0u64)
+                } else {
+                    (1u64 << (k - 1), (1u64 << k).saturating_sub(1))
+                };
+                let frac = (target - before) as f64 / n as f64;
+                let value = lower + (frac * (upper - lower) as f64).round() as u64;
+                return value.min(self.max);
             }
+            before = before.saturating_add(n);
         }
         self.max
     }
@@ -874,6 +885,42 @@ mod tests {
         one.record(1000);
         assert_eq!(one.quantile(0.5), 1000);
         assert_eq!(one.quantile(0.99), 1000);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        // A whole distribution inside one log2 bucket must not collapse
+        // p50 and p99 onto the same edge (the degenerate
+        // `server_p50_ns == server_p99_ns` rows in early BENCH_serve.json).
+        let mut h = Hist::default();
+        for i in 0..1_000u64 {
+            h.record(2_100_000 + i * 2_000); // all in bucket 22: [2097152, 4194303)
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 < p99, "p50={p50} p99={p99}");
+        // Both stay inside the crossing bucket and at or below the true max.
+        assert!((2_097_152..=4_098_000).contains(&p50));
+        assert!((2_097_152..=4_098_000).contains(&p99));
+        // Identical samples still collapse onto the exact value (max cap).
+        let mut same = Hist::default();
+        for _ in 0..100 {
+            same.record(3_000_000);
+        }
+        assert_eq!(same.quantile(0.5), 3_000_000);
+        assert_eq!(same.quantile(0.99), 3_000_000);
+        // Monotone in q even across buckets.
+        let mut m = Hist::default();
+        for v in 1..=512u64 {
+            m.record(v);
+        }
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = m.quantile(q);
+            assert!(v >= last, "quantile must be monotone in q: {v} < {last}");
+            last = v;
+        }
+        assert_eq!(m.quantile(1.0), 512);
     }
 
     #[test]

@@ -85,6 +85,13 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
+    /// Whether the queue is at capacity right now. Advisory only — a
+    /// concurrent pop can free a slot immediately after; use
+    /// [`try_push`](Self::try_push) for the authoritative answer.
+    pub fn is_full(&self) -> bool {
+        self.inner.lock().unwrap().items.len() >= self.capacity
+    }
+
     /// Enqueues `item` unless the queue is full or closed; never blocks.
     ///
     /// # Errors
@@ -160,9 +167,12 @@ mod tests {
     #[test]
     fn full_queue_sheds_rather_than_blocks() {
         let q = BoundedQueue::new(1);
+        assert!(!q.is_full());
         q.try_push("a").unwrap();
+        assert!(q.is_full());
         assert_eq!(q.try_push("b"), Err(PushError::Full("b")));
         assert_eq!(q.pop(), Some("a"));
+        assert!(!q.is_full());
         q.try_push("c").unwrap();
     }
 

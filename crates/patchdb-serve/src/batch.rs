@@ -2,21 +2,46 @@
 //! batch window are scored through the forest as a single
 //! `predict_proba_batch` call instead of one tree-walk pass each.
 //!
-//! Shape: workers [`Batcher::submit`] a weighted feature row and block on
-//! a per-job slot; a dedicated batcher thread wakes on the first arrival,
-//! sleeps the configured window to let the batch fill, swaps the pending
-//! list out, scores it, and fulfills every slot. Because per-row scoring
-//! is a pure function of the fitted forest, a row's score is independent
-//! of which rows happened to share its batch — batching changes
-//! throughput, never bytes.
+//! Two submission shapes share one batch:
+//!
+//! * **Synchronous** ([`Batcher::submit_timed`]): the caller blocks on a
+//!   per-job slot until its batch is scored — used by tests and any
+//!   caller outside the serve path.
+//! * **Detached** ([`Batcher::submit_detached`]): the caller hands over
+//!   an [`IdentifyTicket`] and returns immediately; the batcher thread
+//!   builds the response and completes it straight into the event
+//!   loop's mailbox. Workers are never parked on the batch window, so
+//!   batch pressure cannot starve the worker pool.
+//!
+//! Because per-row scoring is a pure function of the fitted forest, a
+//! row's score is independent of which rows happened to share its batch
+//! — batching changes throughput, never bytes.
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use patchdb_rt::json::Json;
 use patchdb_rt::obs;
 
+use crate::cache::IdentifyCache;
+use crate::event_loop::{Completion, LoopShared};
+use crate::http::{render_head, Response};
 use crate::index::ServeIndex;
+use crate::telemetry::{elapsed_ns, RequestRecord};
+
+/// The identify response document for one score — the single rendering
+/// point shared by the batcher and the cache-hit fast path, so the two
+/// paths cannot drift byte-wise.
+pub(crate) fn identify_response(score: f64) -> Response {
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("score".into(), Json::Num(score)),
+            ("security".into(), Json::Bool(score >= 0.5)),
+        ]),
+    )
+}
 
 /// One waiting request's result cell.
 #[derive(Default)]
@@ -25,9 +50,42 @@ struct Slot {
     ready: Condvar,
 }
 
-struct Job {
-    row: Vec<f64>,
-    slot: Arc<Slot>,
+/// Everything needed to finish an identify request away from the
+/// submitting worker: the completion route plus the telemetry record.
+pub(crate) struct IdentifyTicket {
+    pub slot: usize,
+    pub generation: u64,
+    pub seq: u64,
+    /// Request clock origin (for `total_ns` at write completion).
+    pub started: Instant,
+    /// When endpoint work began (for the `serve.identify.ns` histogram).
+    pub dispatch_started: Instant,
+    /// When the row entered the batcher (the `batch` stage's origin).
+    pub submitted: Instant,
+    pub close_after: bool,
+    pub rec: RequestRecord,
+    /// `cache::cache_key` of the raw request body, computed by the
+    /// worker on its (missed) lookup.
+    pub cache_key: u64,
+    /// The raw request body, carried here so the batcher can populate
+    /// the identify cache once the score exists.
+    pub body: Vec<u8>,
+}
+
+enum Job {
+    /// Test-only shape in production builds; the serve path is all
+    /// detached.
+    #[cfg_attr(not(test), allow(dead_code))]
+    Sync { row: Vec<f64>, slot: Arc<Slot> },
+    Detached { row: Vec<f64>, ticket: IdentifyTicket },
+}
+
+impl Job {
+    fn row(&self) -> &[f64] {
+        match self {
+            Job::Sync { row, .. } | Job::Detached { row, .. } => row,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -41,6 +99,8 @@ struct Shared {
     window: Duration,
     state: Mutex<State>,
     arrived: Condvar,
+    serve: Arc<LoopShared>,
+    cache: Arc<IdentifyCache>,
 }
 
 /// Cloneable handle workers submit through; the owning [`crate::Server`]
@@ -52,16 +112,21 @@ pub(crate) struct Batcher {
 
 impl Batcher {
     /// Starts the batcher thread; returns the submit handle and the
-    /// join handle for shutdown.
+    /// join handle for shutdown. Detached completions are published to
+    /// `serve`.
     pub(crate) fn start(
         index: Arc<ServeIndex>,
         window: Duration,
+        serve: Arc<LoopShared>,
+        cache: Arc<IdentifyCache>,
     ) -> (Batcher, JoinHandle<()>) {
         let shared = Arc::new(Shared {
             index,
             window,
             state: Mutex::new(State::default()),
             arrived: Condvar::new(),
+            serve,
+            cache,
         });
         let run_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -83,18 +148,19 @@ impl Batcher {
     /// long the caller was blocked here in nanoseconds — the `batch`
     /// stage of the request clock. Timing wraps the whole call (enqueue,
     /// window wait, score, wake) so the stage covers everything the
-    /// worker could not spend computing.
+    /// caller could not spend computing.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn submit_timed(&self, row: Vec<f64>) -> (f64, u64) {
-        let entered = std::time::Instant::now();
+        let entered = Instant::now();
         let slot = Arc::new(Slot::default());
         {
             let mut state = self.shared.state.lock().unwrap();
             if state.shutdown {
                 drop(state);
                 let score = self.shared.index.score_rows(std::slice::from_ref(&row))[0];
-                return (score, entered.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                return (score, elapsed_ns(entered));
             }
-            state.pending.push(Job { row, slot: Arc::clone(&slot) });
+            state.pending.push(Job::Sync { row, slot: Arc::clone(&slot) });
         }
         self.shared.arrived.notify_all();
         let mut result = slot.result.lock().unwrap();
@@ -102,7 +168,24 @@ impl Batcher {
             result = slot.ready.wait(result).unwrap();
         }
         let score = result.unwrap();
-        (score, entered.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+        (score, elapsed_ns(entered))
+    }
+
+    /// Queues one row for batch scoring and returns immediately; the
+    /// batcher thread completes the response into the event loop. After
+    /// shutdown the row is scored and completed inline.
+    pub(crate) fn submit_detached(&self, row: Vec<f64>, ticket: IdentifyTicket) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.shutdown {
+                drop(state);
+                let score = self.shared.index.score_rows(std::slice::from_ref(&row))[0];
+                fulfill(&self.shared.serve, &self.shared.cache, score, ticket);
+                return;
+            }
+            state.pending.push(Job::Detached { row, ticket });
+        }
+        self.shared.arrived.notify_all();
     }
 
     /// Tells the batcher thread to drain what is pending and exit.
@@ -110,6 +193,29 @@ impl Batcher {
         self.shared.state.lock().unwrap().shutdown = true;
         self.shared.arrived.notify_all();
     }
+}
+
+/// Finishes one detached identify: populates the cache, banks stage
+/// accounting, renders the response JSON (identical bytes to the
+/// synchronous path), and publishes the loop completion.
+fn fulfill(serve: &LoopShared, cache: &IdentifyCache, score: f64, mut ticket: IdentifyTicket) {
+    cache.insert(ticket.cache_key, std::mem::take(&mut ticket.body), score);
+    ticket.rec.batch_ns = elapsed_ns(ticket.submitted);
+    obs::hist_record("serve.identify.ns", elapsed_ns(ticket.dispatch_started));
+    obs::counter_add("serve.status.200", 1);
+    let response = identify_response(score);
+    ticket.rec.endpoint = "identify";
+    ticket.rec.status = response.status;
+    serve.complete(Completion {
+        slot: ticket.slot,
+        generation: ticket.generation,
+        seq: ticket.seq,
+        started: ticket.started,
+        head: render_head(&response, !ticket.close_after),
+        body: response.body,
+        rec: ticket.rec,
+        close_after: ticket.close_after,
+    });
 }
 
 fn run(shared: &Shared) {
@@ -134,12 +240,18 @@ fn run(shared: &Shared) {
 
         obs::counter_add("serve.identify.batches", 1);
         obs::hist_record("serve.identify.batch_len", batch.len() as u64);
-        let (rows, slots): (Vec<Vec<f64>>, Vec<Arc<Slot>>) =
-            batch.into_iter().map(|j| (j.row, j.slot)).unzip();
+        let rows: Vec<Vec<f64>> = batch.iter().map(|j| j.row().to_vec()).collect();
         let scores = shared.index.score_rows(&rows);
-        for (slot, score) in slots.into_iter().zip(scores) {
-            *slot.result.lock().unwrap() = Some(score);
-            slot.ready.notify_all();
+        for (job, score) in batch.into_iter().zip(scores) {
+            match job {
+                Job::Sync { slot, .. } => {
+                    *slot.result.lock().unwrap() = Some(score);
+                    slot.ready.notify_all();
+                }
+                Job::Detached { ticket, .. } => {
+                    fulfill(&shared.serve, &shared.cache, score, ticket);
+                }
+            }
         }
     }
 }
@@ -149,6 +261,7 @@ mod tests {
     use super::*;
     use patchdb::{BuildOptions, PatchDb};
     use patchdb_features::FEATURE_DIM;
+    use patchdb_rt::net::Waker;
 
     fn tiny_index() -> Arc<ServeIndex> {
         Arc::new(ServeIndex::build(
@@ -156,10 +269,20 @@ mod tests {
         ))
     }
 
+    fn loop_shared() -> Arc<LoopShared> {
+        let (waker, _rx) = Waker::new().unwrap();
+        Arc::new(LoopShared::new(waker))
+    }
+
+    fn cache() -> Arc<IdentifyCache> {
+        Arc::new(IdentifyCache::new())
+    }
+
     #[test]
     fn batched_scores_equal_direct_scores() {
         let index = tiny_index();
-        let (batcher, handle) = Batcher::start(Arc::clone(&index), Duration::from_millis(5));
+        let (batcher, handle) =
+            Batcher::start(Arc::clone(&index), Duration::from_millis(5), loop_shared(), cache());
         let rows: Vec<Vec<f64>> = index
             .db()
             .security_patches()
@@ -187,7 +310,7 @@ mod tests {
     fn submit_timed_reports_the_blocked_interval() {
         let index = tiny_index();
         let (batcher, handle) =
-            Batcher::start(Arc::clone(&index), Duration::from_millis(2));
+            Batcher::start(Arc::clone(&index), Duration::from_millis(2), loop_shared(), cache());
         let row = vec![0.0; FEATURE_DIM];
         let direct = index.score_rows(std::slice::from_ref(&row))[0];
         let (score, wait_ns) = batcher.submit_timed(row);
@@ -200,10 +323,68 @@ mod tests {
     #[test]
     fn submit_after_shutdown_scores_inline() {
         let index = tiny_index();
-        let (batcher, handle) = Batcher::start(index, Duration::from_millis(1));
+        let (batcher, handle) =
+            Batcher::start(index, Duration::from_millis(1), loop_shared(), cache());
         batcher.shutdown();
         handle.join().unwrap();
         let score = batcher.submit(vec![0.0; FEATURE_DIM]);
         assert!((0.0..=1.0).contains(&score));
+    }
+
+    #[test]
+    fn detached_jobs_complete_into_the_mailbox() {
+        let index = tiny_index();
+        let shared = loop_shared();
+        let cache = cache();
+        let (batcher, handle) = Batcher::start(
+            Arc::clone(&index),
+            Duration::from_millis(1),
+            Arc::clone(&shared),
+            Arc::clone(&cache),
+        );
+        let row = vec![0.0; FEATURE_DIM];
+        let direct = index.score_rows(std::slice::from_ref(&row))[0];
+        let now = Instant::now();
+        let body_bytes = b"diff --git a/x b/x".to_vec();
+        let key = crate::cache::cache_key(&body_bytes);
+        batcher.submit_detached(
+            row,
+            IdentifyTicket {
+                slot: 3,
+                generation: 9,
+                seq: 0,
+                started: now,
+                dispatch_started: now,
+                submitted: now,
+                close_after: false,
+                rec: RequestRecord::admitted(1, 0),
+                cache_key: key,
+                body: body_bytes.clone(),
+            },
+        );
+        // Wait for the completion to land.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let completion = loop {
+            let mut got = shared.take_for_test();
+            if let Some(c) = got.pop() {
+                break c;
+            }
+            assert!(Instant::now() < deadline, "batcher never completed the job");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(completion.slot, 3);
+        assert_eq!(completion.generation, 9);
+        assert!(completion.rec.batch_ns > 0);
+        let body = String::from_utf8(completion.body.clone()).unwrap();
+        assert!(body.contains(&format!("\"score\":{direct}")), "{body}");
+        let head = String::from_utf8(completion.head.clone()).unwrap();
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        assert_eq!(
+            cache.lookup(key, &body_bytes),
+            Some(direct),
+            "fulfill must populate the identify cache"
+        );
+        batcher.shutdown();
+        handle.join().unwrap();
     }
 }

@@ -1,12 +1,25 @@
 //! A minimal loopback HTTP/1.1 client — just enough to exercise the
 //! server from tests, the CI smoke step, and the load-generating bench
 //! without any external HTTP dependency.
+//!
+//! Two shapes:
+//!
+//! * [`request`] / [`request_timeout`] — one-shot: connect, send with
+//!   `Connection: close`, read to EOF.
+//! * [`Client`] — a persistent keep-alive connection. [`Client::send`]
+//!   issues one request per call over the same socket;
+//!   [`Client::pipeline`] writes a whole batch before reading any
+//!   response, exercising the server's ordered-pipelining path.
+//!   Responses are framed by `Content-Length` rather than EOF.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// What came back from one [`request`]: the status code and the body.
+/// Default read timeout for the one-shot [`request`] helper.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What came back from one exchange: the status code and the body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpReply {
     /// HTTP status code from the status line.
@@ -22,8 +35,8 @@ impl HttpReply {
     }
 }
 
-/// Sends one request and reads the full response (the server closes the
-/// connection after each exchange, so reading to EOF is the framing).
+/// Sends one request on a fresh connection with a 30-second read
+/// timeout. See [`request_timeout`] to pick the timeout.
 ///
 /// # Errors
 ///
@@ -34,8 +47,26 @@ pub fn request(
     path: &str,
     body: &[u8],
 ) -> std::io::Result<HttpReply> {
+    request_timeout(addr, method, path, body, DEFAULT_TIMEOUT)
+}
+
+/// Sends one request on a fresh `Connection: close` connection and
+/// reads the full response (the close is the framing), failing any
+/// single read that stalls longer than `timeout`.
+///
+/// # Errors
+///
+/// Any socket error (including `WouldBlock`/`TimedOut` on a stalled
+/// read), or `InvalidData` when the response is not HTTP.
+pub fn request_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<HttpReply> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(timeout))?;
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: patchdb\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -49,10 +80,164 @@ pub fn request(
     parse_reply(&raw)
 }
 
-fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
-    let bad = |why: &str| {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_owned())
+/// A persistent keep-alive connection to one server.
+pub struct Client {
+    stream: TcpStream,
+    /// Bytes read past the end of the last parsed response (the start
+    /// of the next one, under pipelining).
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects and applies `timeout` to every subsequent read.
+    ///
+    /// # Errors
+    ///
+    /// Connection or socket-option errors.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, buf: Vec::new() })
+    }
+
+    /// Sends one request over the persistent connection and reads its
+    /// response (framed by `Content-Length`).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or `InvalidData` for a non-HTTP or unframed
+    /// response. `UnexpectedEof` means the server closed the connection.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<HttpReply> {
+        self.write_request(method, path, body)?;
+        self.stream.flush()?;
+        self.read_reply()
+    }
+
+    /// Sends one request marked `Connection: close` and reads its
+    /// response; the server closes the connection after answering. This
+    /// is the close-mode transport with connection setup kept out of the
+    /// caller's request timer — connect via [`Client::connect`] first,
+    /// then time only this call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::send`].
+    pub fn send_close(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<HttpReply> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: patchdb\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_reply()
+    }
+
+    /// Writes every request back-to-back, then reads every response, in
+    /// order — the pipelined shape. Returns one reply per request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::send`]; an error mid-batch loses the remainder.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(&str, &str, &[u8])],
+    ) -> std::io::Result<Vec<HttpReply>> {
+        for &(method, path, body) in requests {
+            self.write_request(method, path, body)?;
+        }
+        self.stream.flush()?;
+        requests.iter().map(|_| self.read_reply()).collect()
+    }
+
+    fn write_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: patchdb\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)
+    }
+
+    /// Reads one `Content-Length`-framed response from the stream,
+    /// keeping any over-read bytes for the next call.
+    fn read_reply(&mut self) -> std::io::Result<HttpReply> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((reply, consumed)) = try_parse_framed(&self.buf)? {
+                self.buf.drain(..consumed);
+                return Ok(reply);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+fn bad(why: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, why.to_owned())
+}
+
+/// Parses one complete `Content-Length`-framed response from the front
+/// of `raw`. Returns `None` when more bytes are needed.
+fn try_parse_framed(raw: &[u8]) -> std::io::Result<Option<(HttpReply, usize)>> {
+    let Some(header_end) = raw.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+    else {
+        return Ok(None);
     };
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| bad("non-UTF-8 response header"))?;
+    let status = parse_status(head)?;
+    let mut content_length: Option<usize> = None;
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    Some(value.trim().parse().map_err(|_| bad("bad Content-Length"))?);
+            }
+        }
+    }
+    let len = content_length.ok_or_else(|| bad("keep-alive response without Content-Length"))?;
+    let total = header_end + len;
+    if raw.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((HttpReply { status, body: raw[header_end..total].to_vec() }, total)))
+}
+
+fn parse_status(head: &str) -> std::io::Result<u16> {
+    head.lines()
+        .next()
+        .unwrap_or("")
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))
+}
+
+fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
     let header_end = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
@@ -60,12 +245,7 @@ fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
         .ok_or_else(|| bad("no header terminator"))?;
     let head = std::str::from_utf8(&raw[..header_end])
         .map_err(|_| bad("non-UTF-8 response header"))?;
-    let status_line = head.lines().next().unwrap_or("");
-    let status = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad("bad status line"))?;
+    let status = parse_status(head)?;
     Ok(HttpReply { status, body: raw[header_end..].to_vec() })
 }
 
@@ -85,5 +265,30 @@ mod tests {
     fn rejects_non_http_noise() {
         assert!(parse_reply(b"banana").is_err());
         assert!(parse_reply(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn framed_parse_waits_for_the_full_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhel";
+        assert!(try_parse_framed(raw).unwrap().is_none());
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello";
+        let (reply, consumed) = try_parse_framed(raw).unwrap().unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body_text(), "hello");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn framed_parse_leaves_the_next_pipelined_response_in_place() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nokHTTP/1.1 404";
+        let (reply, consumed) = try_parse_framed(raw).unwrap().unwrap();
+        assert_eq!(reply.body_text(), "ok");
+        assert_eq!(&raw[consumed..], b"HTTP/1.1 404");
+    }
+
+    #[test]
+    fn framed_parse_requires_content_length() {
+        let raw = b"HTTP/1.1 200 OK\r\n\r\nbody";
+        assert!(try_parse_framed(raw).is_err());
     }
 }

@@ -1,18 +1,26 @@
-//! A deliberately small HTTP/1.1 subset over `std::io` streams: exactly
-//! what the loopback query endpoints need, nothing more.
+//! A deliberately small HTTP/1.1 subset, parsed incrementally: exactly
+//! what the event-driven query server needs, nothing more.
 //!
-//! Supported: one request per connection (`Connection: close` on every
-//! response), request line + headers + `Content-Length` body, bounded
-//! header and body sizes. Not supported, by design: keep-alive,
-//! chunked transfer, TLS, multipart — the server answers small JSON and
-//! plain-text documents on a trusted loopback/LAN socket.
-
-use std::io::{Read, Write};
+//! The parser is a feed-bytes/advance state machine in the VTE style —
+//! it never reads from a socket and never waits. The event loop feeds
+//! whatever bytes `read(2)` produced into [`RequestParser::feed`] and
+//! asks [`RequestParser::next_request`] for complete requests; anything
+//! short of a full request stays buffered inside the parser, so partial
+//! reads never reach a worker. Because the buffer survives across
+//! requests, pipelined requests arriving in one TCP segment come out
+//! one by one, in order.
+//!
+//! Supported: request line + headers + `Content-Length` body, bounded
+//! header and body sizes, `Connection: keep-alive`/`close` negotiation
+//! (HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close). Not supported,
+//! by design: chunked transfer, TLS, multipart — the server answers
+//! small JSON and plain-text documents on a trusted loopback/LAN
+//! socket.
 
 use patchdb_rt::json::Json;
 
-/// Largest accepted header block; longer requests are answered `400`.
-const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted header block; longer requests are answered `431`.
+pub(crate) const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Largest accepted body (diffs and C files are small); else `413`.
 pub(crate) const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
@@ -27,89 +35,199 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
-/// Why a request could not be parsed, mapped to a status by the worker.
-#[derive(Debug)]
-pub(crate) enum ParseError {
-    /// Not parseable as HTTP — answer `400`.
-    Malformed(&'static str),
-    /// Body or header block over the size bounds — answer `413`.
-    TooLarge,
-    /// Clean EOF before the request was complete: the client hung up.
-    /// No response is possible (the peer is gone), so the worker counts
-    /// it under `serve.read_failed` instead of writing a `400` into a
-    /// dead socket.
-    Disconnected,
-    /// Socket error or timeout while reading — no response possible.
-    Io(std::io::Error),
+/// One framed request plus the client's connection intent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ParsedRequest {
+    pub request: Request,
+    /// Whether the client asked (or defaulted) to keep the connection
+    /// open after this exchange.
+    pub keep_alive: bool,
 }
 
-/// Reads and parses one request from `stream`.
-pub(crate) fn parse_request(stream: &mut impl Read) -> Result<Request, ParseError> {
-    // Read until the blank line that ends the header block.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEADER_BYTES {
-            return Err(ParseError::TooLarge);
-        }
-        let n = stream.read(&mut chunk).map_err(ParseError::Io)?;
-        if n == 0 {
-            return Err(ParseError::Disconnected);
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
+/// A framing violation. The connection is answered and then closed —
+/// after a framing error the byte stream can no longer be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameError {
+    /// Header block over [`MAX_HEADER_BYTES`] — answer `431`.
+    HeaderTooLarge,
+    /// Declared body over [`MAX_BODY_BYTES`] — answer `413`.
+    BodyTooLarge,
+    /// Not parseable as HTTP — answer `400`.
+    Malformed(&'static str),
+}
 
-    let head = std::str::from_utf8(&buf[..header_end])
-        .map_err(|_| ParseError::Malformed("non-UTF-8 header"))?;
+impl FrameError {
+    /// The canned response for this violation.
+    pub fn response(&self) -> Response {
+        match self {
+            FrameError::HeaderTooLarge => Response::text(431, "request header too large\n"),
+            FrameError::BodyTooLarge => Response::text(413, "request body too large\n"),
+            FrameError::Malformed(why) => Response::text(400, format!("bad request: {why}\n")),
+        }
+    }
+}
+
+/// The head of a request whose body has not fully arrived yet.
+#[derive(Debug)]
+struct PendingBody {
+    /// Offset just past the header terminator in `buf`.
+    header_end: usize,
+    content_length: usize,
+    method: String,
+    path: String,
+    keep_alive: bool,
+}
+
+/// Incremental request framer. Feed bytes as they arrive, then drain
+/// complete requests; see the module docs for the contract.
+#[derive(Debug, Default)]
+pub(crate) struct RequestParser {
+    buf: Vec<u8>,
+    /// Resume offset for the header-terminator scan, so a byte-at-a-time
+    /// trickle costs O(n) total instead of O(n²).
+    scanned: usize,
+    pending: Option<PendingBody>,
+    /// Set after a [`FrameError`]: the stream is desynchronized and no
+    /// further bytes will be parsed.
+    poisoned: bool,
+}
+
+impl RequestParser {
+    /// Appends freshly read bytes to the frame buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if !self.poisoned {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// True while an incomplete request sits in the buffer — the signal
+    /// that an EOF now is a mid-request hangup rather than a clean
+    /// close between requests.
+    pub fn has_partial(&self) -> bool {
+        !self.poisoned && (!self.buf.is_empty() || self.pending.is_some())
+    }
+
+    /// Bytes currently buffered (partial request plus any pipelined
+    /// follow-ups).
+    #[cfg(test)]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to frame the next complete request out of the buffer.
+    /// `Ok(None)` means "need more bytes". After an `Err` the parser is
+    /// poisoned: the connection must answer and close.
+    pub fn next_request(&mut self) -> Result<Option<ParsedRequest>, FrameError> {
+        if self.poisoned {
+            return Ok(None);
+        }
+        if self.pending.is_none() {
+            let Some(header_end) = self.find_header_end() else {
+                if self.buf.len() > MAX_HEADER_BYTES {
+                    self.poisoned = true;
+                    return Err(FrameError::HeaderTooLarge);
+                }
+                return Ok(None);
+            };
+            if header_end > MAX_HEADER_BYTES {
+                self.poisoned = true;
+                return Err(FrameError::HeaderTooLarge);
+            }
+            match parse_head(&self.buf[..header_end]) {
+                Ok(mut head) => {
+                    head.header_end = header_end;
+                    self.pending = Some(head);
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            }
+        }
+        let pending = self.pending.as_ref().expect("pending head set above");
+        let frame_len = pending.header_end + pending.content_length;
+        if self.buf.len() < frame_len {
+            return Ok(None);
+        }
+        let pending = self.pending.take().expect("pending head checked above");
+        let body = self.buf[pending.header_end..frame_len].to_vec();
+        self.buf.drain(..frame_len);
+        self.scanned = 0;
+        Ok(Some(ParsedRequest {
+            request: Request { method: pending.method, path: pending.path, body },
+            keep_alive: pending.keep_alive,
+        }))
+    }
+
+    /// Byte offset just past the first `\r\n\r\n` (or bare `\n\n`),
+    /// resuming from where the last scan left off.
+    fn find_header_end(&mut self) -> Option<usize> {
+        let from = self.scanned.saturating_sub(3);
+        let found = self.buf[from..]
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|p| from + p + 4);
+        let found = match found {
+            Some(p) => Some(p),
+            None => self.buf[from..]
+                .windows(2)
+                .position(|w| w == b"\n\n")
+                .map(|p| from + p + 2),
+        };
+        if found.is_none() {
+            self.scanned = self.buf.len();
+        }
+        found
+    }
+}
+
+/// Parses a complete header block (request line + headers + blank line).
+fn parse_head(head: &[u8]) -> Result<PendingBody, FrameError> {
+    let head =
+        std::str::from_utf8(head).map_err(|_| FrameError::Malformed("non-UTF-8 header"))?;
     let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
-        return Err(ParseError::Malformed("bad request line"));
+        return Err(FrameError::Malformed("bad request line"));
     };
-    if !parts.next().is_some_and(|v| v.starts_with("HTTP/1.")) {
-        return Err(ParseError::Malformed("not HTTP/1.x"));
-    }
+    let version = parts.next().filter(|v| v.starts_with("HTTP/1."));
+    let Some(version) = version else {
+        return Err(FrameError::Malformed("not HTTP/1.x"));
+    };
 
     let mut content_length = 0usize;
+    // HTTP/1.1 keeps the connection open unless told otherwise;
+    // HTTP/1.0 closes it unless told otherwise.
+    let mut keep_alive = version != "HTTP/1.0";
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| ParseError::Malformed("bad content-length"))?;
+                    .map_err(|_| FrameError::Malformed("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Err(ParseError::TooLarge);
+        return Err(FrameError::BodyTooLarge);
     }
-
-    // The body: whatever followed the blank line, then the remainder.
-    let mut body = buf[header_end..].to_vec();
-    while body.len() < content_length {
-        let want = (content_length - body.len()).min(chunk.len());
-        let n = stream.read(&mut chunk[..want]).map_err(ParseError::Io)?;
-        if n == 0 {
-            return Err(ParseError::Disconnected);
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
-    body.truncate(content_length);
-
-    Ok(Request { method: method.to_ascii_uppercase(), path: path.to_owned(), body })
-}
-
-/// Byte offset just past the first `\r\n\r\n` (or bare `\n\n`), if any.
-fn find_header_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .map(|p| p + 4)
-        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+    Ok(PendingBody {
+        header_end: 0, // caller fills in
+        content_length,
+        method: method.to_ascii_uppercase(),
+        path: path.to_owned(),
+        keep_alive,
+    })
 }
 
 /// A response about to be written: status, media type, body, and the
@@ -161,6 +279,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Response",
@@ -168,38 +287,44 @@ impl Response {
     }
 }
 
-/// Writes `response` and flushes; the connection then closes.
-pub(crate) fn write_response(
-    stream: &mut impl Write,
-    response: &Response,
-) -> std::io::Result<()> {
+/// Renders the response head (status line through the blank line). The
+/// body follows verbatim; only the `Connection` value varies between
+/// keep-alive and close, so bodies and header shape are byte-identical
+/// to the close-per-request protocol.
+pub(crate) fn render_head(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         response.reason(),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     if let Some(secs) = response.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
-    stream.flush()
+    head.into_bytes()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(text: &str) -> Result<Request, ParseError> {
-        parse_request(&mut text.as_bytes())
+    /// Feeds the whole input at once and pulls one request.
+    fn parse(text: &str) -> Result<Option<ParsedRequest>, FrameError> {
+        let mut p = RequestParser::default();
+        p.feed(text.as_bytes());
+        p.next_request()
+    }
+
+    fn request(text: &str) -> Request {
+        parse(text).unwrap().expect("complete request").request
     }
 
     #[test]
     fn parses_get_without_body() {
-        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let r = request("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/healthz");
         assert!(r.body.is_empty());
@@ -207,55 +332,166 @@ mod tests {
 
     #[test]
     fn parses_post_with_content_length_exactly() {
-        let r = parse(
-            "POST /v1/identify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhellotrailing-junk",
-        )
-        .unwrap();
+        let mut p = RequestParser::default();
+        p.feed(b"POST /v1/identify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhellotrailing-junk");
+        let r = p.next_request().unwrap().unwrap().request;
         assert_eq!(r.method, "POST");
         assert_eq!(r.body, b"hello");
+        // The junk stays buffered as the (bad) start of the next frame.
+        assert_eq!(p.buffered(), "trailing-junk".len());
+        assert!(p.has_partial());
     }
 
     #[test]
     fn tolerates_bare_lf_separators() {
-        let r = parse("POST /x HTTP/1.1\nContent-Length: 2\n\nok").unwrap();
+        let r = request("POST /x HTTP/1.1\nContent-Length: 2\n\nok");
         assert_eq!(r.body, b"ok");
     }
 
     #[test]
-    fn rejects_garbage_and_truncation() {
-        assert!(matches!(parse("not http at all\r\n\r\n"), Err(ParseError::Malformed(_))));
+    fn rejects_garbage_and_poisons_the_stream() {
+        let mut p = RequestParser::default();
+        p.feed(b"not http at all\r\n\r\n");
+        assert!(matches!(p.next_request(), Err(FrameError::Malformed(_))));
+        // Poisoned: further bytes are ignored, no request ever emerges.
+        p.feed(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(matches!(p.next_request(), Ok(None)));
+        assert!(!p.has_partial());
+
         assert!(matches!(
             parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
-            Err(ParseError::Malformed(_))
+            Err(FrameError::Malformed(_))
         ));
     }
 
     #[test]
-    fn classifies_client_hangups_as_disconnects() {
-        // EOF mid-header and EOF mid-body are the client vanishing, not
-        // malformed HTTP: no response can reach them.
-        assert!(matches!(parse("GET /healthz HT"), Err(ParseError::Disconnected)));
-        assert!(matches!(
-            parse("POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"),
-            Err(ParseError::Disconnected)
-        ));
-        assert!(matches!(parse(""), Err(ParseError::Disconnected)));
+    fn incomplete_requests_stay_partial() {
+        // Mid-header and mid-body cuts both report "need more bytes"
+        // while flagging the partial — the event loop turns an EOF here
+        // into a `read_failed` hangup classification.
+        let mut p = RequestParser::default();
+        p.feed(b"GET /healthz HT");
+        assert!(matches!(p.next_request(), Ok(None)));
+        assert!(p.has_partial());
+
+        let mut p = RequestParser::default();
+        p.feed(b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort");
+        assert!(matches!(p.next_request(), Ok(None)));
+        assert!(p.has_partial());
+
+        let empty = RequestParser::default();
+        assert!(!empty.has_partial());
     }
 
     #[test]
     fn rejects_oversized_bodies_up_front() {
         let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
-        assert!(matches!(parse(&huge), Err(ParseError::TooLarge)));
+        assert!(matches!(parse(&huge), Err(FrameError::BodyTooLarge)));
+    }
+
+    #[test]
+    fn rejects_oversized_headers_with_431() {
+        // Terminated but oversized header block.
+        let mut big = String::from("GET / HTTP/1.1\r\n");
+        while big.len() <= MAX_HEADER_BYTES {
+            big.push_str("X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        big.push_str("\r\n");
+        assert!(matches!(parse(&big), Err(FrameError::HeaderTooLarge)));
+
+        // Unterminated flood past the bound: same verdict, and the
+        // response carries status 431.
+        let mut p = RequestParser::default();
+        p.feed(&vec![b'A'; MAX_HEADER_BYTES + 2]);
+        let err = p.next_request().unwrap_err();
+        assert_eq!(err, FrameError::HeaderTooLarge);
+        assert_eq!(err.response().status, 431);
+    }
+
+    #[test]
+    fn trickled_bytes_assemble_one_request() {
+        // Byte-at-a-time delivery: no request until the very last byte.
+        let wire = b"POST /v1/identify HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let mut p = RequestParser::default();
+        for (i, b) in wire.iter().enumerate() {
+            p.feed(&[*b]);
+            let got = p.next_request().unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "complete request after only {} bytes", i + 1);
+            } else {
+                let r = got.expect("final byte completes the request");
+                assert_eq!(r.request.path, "/v1/identify");
+                assert_eq!(r.request.body, b"body");
+            }
+        }
+        assert!(!p.has_partial());
+    }
+
+    #[test]
+    fn two_pipelined_requests_in_one_segment() {
+        let mut p = RequestParser::default();
+        p.feed(
+            b"GET /healthz HTTP/1.1\r\n\r\nPOST /v1/identify HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi",
+        );
+        let first = p.next_request().unwrap().unwrap();
+        assert_eq!(first.request.path, "/healthz");
+        assert!(first.keep_alive);
+        let second = p.next_request().unwrap().unwrap();
+        assert_eq!(second.request.path, "/v1/identify");
+        assert_eq!(second.request.body, b"hi");
+        assert!(matches!(p.next_request(), Ok(None)));
+        assert!(!p.has_partial());
+    }
+
+    #[test]
+    fn request_split_mid_header_resumes_cleanly() {
+        let mut p = RequestParser::default();
+        p.feed(b"GET /v1/stats HTTP/1.1\r\nAccep");
+        assert!(matches!(p.next_request(), Ok(None)));
+        p.feed(b"t: */*\r\nConnection: close\r\n\r\n");
+        let r = p.next_request().unwrap().unwrap();
+        assert_eq!(r.request.path, "/v1/stats");
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn connection_negotiation_follows_version_defaults() {
+        let keep = parse("GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(keep.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let close = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(!close.keep_alive);
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!old.keep_alive, "HTTP/1.0 defaults to close");
+        let old_keep =
+            parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().unwrap();
+        assert!(old_keep.keep_alive);
     }
 
     #[test]
     fn response_wire_format_round_trips() {
-        let mut out = Vec::new();
-        write_response(&mut out, &Response::overloaded(1)).unwrap();
+        let mut out = render_head(&Response::overloaded(1), false);
+        out.extend_from_slice(&Response::overloaded(1).body);
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("overloaded, retry later\n"), "{text}");
+
+        // Keep-alive only flips the Connection value, nothing else.
+        let ka = String::from_utf8(render_head(&Response::text(200, "ok\n"), true)).unwrap();
+        assert!(ka.contains("Connection: keep-alive\r\n"), "{ka}");
+        let cl = String::from_utf8(render_head(&Response::text(200, "ok\n"), false)).unwrap();
+        assert_eq!(
+            ka.replace("Connection: keep-alive", "Connection: close"),
+            cl,
+            "head must differ only in the Connection value"
+        );
+    }
+
+    #[test]
+    fn reason_covers_431() {
+        let r = Response::text(431, "x");
+        let head = String::from_utf8(render_head(&r, false)).unwrap();
+        assert!(head.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"), "{head}");
     }
 }

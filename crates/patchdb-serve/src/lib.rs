@@ -24,14 +24,22 @@
 //! | `/debug/requests`    | GET    | last N requests, each with its stage breakdown  |
 //! | `/debug/slow`        | GET    | slow-request exemplars above `--slow-ms`        |
 //!
-//! Architecture (DESIGN.md §9): an accept thread feeds a **bounded**
-//! admission queue (`rt::queue::BoundedQueue`); when the queue is full
-//! the connection is answered `503` + `Retry-After` immediately instead
-//! of queueing unboundedly. A fixed worker pool drains the queue under
-//! per-request deadlines; `/v1/identify` requests are micro-batched
-//! through the forest by a dedicated batcher thread with a configurable
-//! batch window. Shutdown is graceful: accepted work drains, then every
-//! thread joins.
+//! Architecture (DESIGN.md §9): a single event-loop thread owns the
+//! listener and every connection in non-blocking mode, multiplexed over
+//! `poll(2)` (`rt::net`). The loop frames requests incrementally —
+//! partial reads never occupy a worker — and admits only *complete*
+//! requests to a **bounded** queue (`rt::queue::BoundedQueue`); when the
+//! queue (or the `--max-conns` cap) is full the request is answered
+//! `503` + `Retry-After` immediately instead of queueing unboundedly.
+//! A fixed worker pool drains the queue under per-request deadlines;
+//! `/v1/identify` requests are micro-batched through the forest by a
+//! dedicated batcher thread with a configurable batch window, and the
+//! batcher completes them straight back to the loop so workers never
+//! park on the batch window. Connections are HTTP/1.1 keep-alive by
+//! default (idle-timeout wheel, optional per-connection request cap)
+//! and may pipeline: responses park per-connection until their turn,
+//! so bytes always leave in request order. Shutdown is graceful:
+//! accepted work drains, then every thread joins.
 //!
 //! Every connection carries a request ID and a six-stage clock
 //! (accept → queue → parse → batch → compute → write); finished records
@@ -59,7 +67,9 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cache;
 pub mod client;
+mod event_loop;
 mod http;
 mod index;
 mod server;

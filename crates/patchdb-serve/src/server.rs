@@ -1,7 +1,15 @@
-//! The server proper: accept thread → bounded admission queue → fixed
-//! worker pool, with per-request deadlines and graceful drain.
+//! The server proper: event-loop front end → bounded admission queue →
+//! fixed worker pool, with per-request deadlines and graceful drain.
+//!
+//! The event loop (see [`crate::event_loop`]) owns every socket and
+//! frames complete requests; workers only ever see [`Work`] items that
+//! already carry a parsed request, run the endpoint, and complete back
+//! into the loop's mailbox. `/v1/identify` completes asynchronously
+//! through the micro-batcher, so a worker is never parked on the batch
+//! window — on a small core count that detachment is what lets the
+//! keep-alive path saturate the scorer instead of the worker pool.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -10,12 +18,15 @@ use std::time::{Duration, Instant};
 use patch_core::Patch;
 use patchdb::Error;
 use patchdb_rt::json::Json;
+use patchdb_rt::net::Waker;
 use patchdb_rt::obs;
 use patchdb_rt::par;
 use patchdb_rt::queue::BoundedQueue;
 
-use crate::batch::Batcher;
-use crate::http::{parse_request, write_response, ParseError, Request, Response};
+use crate::batch::{identify_response, Batcher, IdentifyTicket};
+use crate::cache::{cache_key, IdentifyCache};
+use crate::event_loop::{Completion, EventLoop, LoopShared};
+use crate::http::{render_head, Request, Response};
 use crate::index::ServeIndex;
 use crate::telemetry::{elapsed_ns, RequestRecord, Telemetry};
 
@@ -29,7 +40,9 @@ use crate::telemetry::{elapsed_ns, RequestRecord, Telemetry};
 ///     .addr("127.0.0.1:0")
 ///     .threads(4)
 ///     .batch_window_ms(2)
-///     .max_inflight(64);
+///     .max_inflight(64)
+///     .keep_alive(true)
+///     .max_conns(4096);
 /// assert_eq!(config.threads, 4);
 /// ```
 #[derive(Debug, Clone)]
@@ -42,11 +55,12 @@ pub struct ServeConfig {
     pub threads: usize,
     /// How long `/v1/identify` waits for a batch to fill before scoring.
     pub batch_window_ms: u64,
-    /// Bound on accepted-but-unfinished connections. Admissions beyond
-    /// it are answered `503` + `Retry-After` immediately.
+    /// Bound on framed-but-unfinished requests in the admission queue.
+    /// Admissions beyond it are answered `503` + `Retry-After`.
     pub max_inflight: usize,
-    /// Per-request wall-clock budget from accept to response; work
-    /// dequeued past it is answered `503` without touching an endpoint.
+    /// Per-request wall-clock budget from first byte to response; also
+    /// bounds how long a partial request may trickle in and how long the
+    /// drain phase waits at shutdown.
     pub deadline_ms: u64,
     /// JSON-lines access-log sink: a path, `"-"` for stdout, or `None`
     /// (the default) for no log. Purely additive — response bytes are
@@ -58,6 +72,18 @@ pub struct ServeConfig {
     /// How many finished requests `GET /debug/requests` retains
     /// (overwrite-oldest ring; clamped to at least 1).
     pub debug_ring: usize,
+    /// Whether HTTP/1.1 keep-alive is honored; `false` forces
+    /// `Connection: close` on every response (the v1 protocol).
+    pub keep_alive: bool,
+    /// Idle keep-alive connections are closed after this long; also the
+    /// write-stall bound for readers that stop consuming responses.
+    pub idle_timeout_ms: u64,
+    /// Requests served per connection before the server closes it
+    /// (`Connection: close` on the final response); `0` = unlimited.
+    pub max_requests_per_conn: u64,
+    /// Open-connection cap; arrivals beyond it are answered `503` and
+    /// closed without reading a byte.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +97,10 @@ impl Default for ServeConfig {
             access_log: None,
             slow_ms: 100,
             debug_ring: 256,
+            keep_alive: true,
+            idle_timeout_ms: 5_000,
+            max_requests_per_conn: 0,
+            max_conns: 10_240,
         }
     }
 }
@@ -123,27 +153,63 @@ impl ServeConfig {
         self.debug_ring = capacity.max(1);
         self
     }
+
+    /// Enables or disables HTTP/1.1 keep-alive.
+    pub fn keep_alive(mut self, enabled: bool) -> Self {
+        self.keep_alive = enabled;
+        self
+    }
+
+    /// Sets the idle-connection timeout in milliseconds.
+    pub fn idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the per-connection request cap (`0` = unlimited).
+    pub fn max_requests_per_conn(mut self, cap: u64) -> Self {
+        self.max_requests_per_conn = cap;
+        self
+    }
+
+    /// Sets the open-connection cap (clamped to at least 1).
+    pub fn max_conns(mut self, cap: usize) -> Self {
+        self.max_conns = cap.max(1);
+        self
+    }
 }
 
-/// One admitted connection waiting for a worker.
-struct Conn {
-    stream: TcpStream,
-    accepted: Instant,
-    /// Request ID, assigned in admission order on the accept thread.
-    id: u64,
-    /// Accept-stage duration: TCP accept to admission-queue push.
-    accept_ns: u64,
-    /// When the accept thread pushed the connection; the worker reads
-    /// the queue-wait stage off this at dequeue.
-    enqueued: Instant,
+/// One framed request traveling from the event loop to a worker.
+pub(crate) struct Work {
+    pub request: Request,
+    /// Connection slot + generation guard for the completion route.
+    pub slot: usize,
+    pub generation: u64,
+    /// Position in the connection's response order.
+    pub seq: u64,
+    /// The request's clock origin (first byte / accept).
+    pub started: Instant,
+    /// Absolute deadline; work dequeued past it is answered `503`.
+    pub deadline: Instant,
+    /// Whether the response must carry `Connection: close`.
+    pub close_after: bool,
+    /// When the loop pushed the work; the worker reads the queue-wait
+    /// stage off this at dequeue.
+    pub enqueued: Instant,
+    pub rec: RequestRecord,
 }
 
 /// Everything a worker needs, shared immutably.
 struct Ctx {
     index: Arc<ServeIndex>,
     batcher: Batcher,
-    deadline: Duration,
+    shared: Arc<LoopShared>,
     telemetry: Arc<Telemetry>,
+    /// Content-addressed identify results: workers look up, the batcher
+    /// fills in. Hits skip parse, feature extraction, and the batcher
+    /// entirely — with byte-identical responses, since identify is a
+    /// pure function of the body bytes.
+    cache: Arc<IdentifyCache>,
 }
 
 /// A running query server. Dropping it (or calling
@@ -152,7 +218,8 @@ struct Ctx {
 pub struct Server {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    shared: Arc<LoopShared>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     batcher: Batcher,
     batcher_thread: Option<JoinHandle<()>>,
@@ -160,16 +227,20 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the accept thread, the worker pool, and the
+    /// Binds, spawns the event-loop thread, the worker pool, and the
     /// batcher, and starts answering. Also enables `rt::obs` so the
     /// `/metrics` endpoint has counters to export.
     ///
     /// # Errors
     ///
-    /// [`Error::Io`] when the listener cannot bind.
+    /// [`Error::Io`] when the listener cannot bind or the waker pipe
+    /// cannot be created.
     pub fn start(index: ServeIndex, config: &ServeConfig) -> Result<Server, Error> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        // Best effort: a large connection cap needs file descriptors.
+        let _ = patchdb_rt::net::raise_nofile_limit(config.max_conns as u64 + 64);
         obs::set_enabled(true);
         let telemetry = Arc::new(Telemetry::new(config)?);
 
@@ -179,18 +250,24 @@ impl Server {
         } else {
             config.threads
         };
-        let queue: Arc<BoundedQueue<Conn>> =
+        let queue: Arc<BoundedQueue<Work>> =
             Arc::new(BoundedQueue::new(config.max_inflight));
+        let (waker, wake_rx) = Waker::new()?;
+        let shared = Arc::new(LoopShared::new(waker));
+        let cache = Arc::new(IdentifyCache::new());
         let (batcher, batcher_thread) = Batcher::start(
             Arc::clone(&index),
             Duration::from_millis(config.batch_window_ms),
+            Arc::clone(&shared),
+            Arc::clone(&cache),
         );
 
         let ctx = Arc::new(Ctx {
             index,
             batcher: batcher.clone(),
-            deadline: Duration::from_millis(config.deadline_ms.max(1)),
+            shared: Arc::clone(&shared),
             telemetry: Arc::clone(&telemetry),
+            cache,
         });
         let workers: Vec<JoinHandle<()>> = (0..worker_count)
             .map(|i| {
@@ -199,8 +276,8 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("patchdb-serve-worker-{i}"))
                     .spawn(move || {
-                        while let Some(conn) = queue.pop() {
-                            handle_conn(conn, &ctx);
+                        while let Some(work) = queue.pop() {
+                            handle_work(work, &ctx);
                         }
                     })
                     .expect("spawn worker thread")
@@ -208,23 +285,25 @@ impl Server {
             .collect();
 
         let stop = Arc::new(AtomicBool::new(false));
-        let accept = {
-            let stop = Arc::clone(&stop);
-            let queue = Arc::clone(&queue);
-            std::thread::Builder::new()
-                .name("patchdb-serve-accept".into())
-                .spawn(move || {
-                    accept_loop(&listener, &queue, &stop, &telemetry);
-                    // Stop admitting, let workers drain the backlog.
-                    queue.close();
-                })
-                .expect("spawn accept thread")
-        };
+        let event_loop = EventLoop::new(
+            listener,
+            Arc::clone(&queue),
+            Arc::clone(&shared),
+            wake_rx,
+            Arc::clone(&stop),
+            Arc::clone(&telemetry),
+            config,
+        );
+        let loop_thread = std::thread::Builder::new()
+            .name("patchdb-serve-loop".into())
+            .spawn(move || event_loop.run())
+            .expect("spawn event-loop thread");
 
         Ok(Server {
             local_addr,
             stop,
-            accept: Some(accept),
+            shared,
+            event_loop: Some(loop_thread),
             workers,
             batcher,
             batcher_thread: Some(batcher_thread),
@@ -243,8 +322,9 @@ impl Server {
     }
 
     /// Graceful shutdown: stop accepting, answer everything already
-    /// admitted, then join the accept thread, the workers, and the
-    /// batcher. Returns once every thread has exited.
+    /// admitted (pipelined requests included), then join the event
+    /// loop, the workers, and the batcher. Returns once every thread
+    /// has exited.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
@@ -253,8 +333,8 @@ impl Server {
     /// CLI's foreground mode. The server keeps serving; only process
     /// death (signal) ends it.
     pub fn wait(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -262,15 +342,15 @@ impl Server {
     }
 
     fn shutdown_impl(&mut self) {
-        if self.accept.is_none() {
+        if self.event_loop.is_none() {
             return; // already shut down (or waited out)
         }
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection; it then
-        // observes `stop`, exits, and closes the queue.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        // The self-pipe waker interrupts the poll; no throwaway
+        // connection needed. The loop drains, then closes the queue.
+        self.shared.wake();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -288,149 +368,98 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    queue: &BoundedQueue<Conn>,
-    stop: &AtomicBool,
-    telemetry: &Telemetry,
-) {
-    loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if stop.load(Ordering::SeqCst) {
-                return;
-            }
-            continue;
-        };
-        let accepted = Instant::now();
-        if stop.load(Ordering::SeqCst) {
-            return; // the wake-up connection (or a raced client) is dropped
-        }
-        obs::counter_add("serve.accepted", 1);
-        let id = telemetry.next_id();
-        let accept_ns = elapsed_ns(accepted);
-        let conn = Conn { stream, accepted, id, accept_ns, enqueued: Instant::now() };
-        obs::gauge_add("serve.queue_depth", 1);
-        obs::gauge_add("serve.inflight", 1);
-        if let Err(refused) = queue.try_push(conn) {
-            // Backpressure: shed the connection immediately with the
-            // retry hint rather than queueing without bound.
-            obs::gauge_add("serve.queue_depth", -1);
-            obs::gauge_add("serve.inflight", -1);
-            obs::counter_add("serve.rejected_503", 1);
-            let mut conn = refused.into_inner();
-            let mut rec = RequestRecord::admitted(conn.id, conn.accept_ns);
-            rec.endpoint = "shed";
-            respond(&mut conn.stream, &Response::overloaded(1), &mut rec);
-            rec.total_ns = elapsed_ns(conn.accepted);
-            telemetry.observe(rec);
-        }
-    }
-}
-
-/// Writes `response` (best effort — the client may be gone) while
-/// banking the outcome: the `serve.status.*` counter, the record's
-/// status, and the write-stage duration.
-fn respond(stream: &mut TcpStream, response: &Response, rec: &mut RequestRecord) {
-    obs::counter_add(&format!("serve.status.{}", response.status), 1);
+/// Builds and publishes the completion for one finished request: banks
+/// the endpoint counters and status, renders the head, and wakes the
+/// loop.
+fn reply(work: Work, endpoint: &'static str, response: Response, ctx: &Ctx) {
+    let mut rec = work.rec;
+    rec.endpoint = endpoint;
     rec.status = response.status;
-    let started = Instant::now();
-    let _ = write_response(stream, response);
-    rec.write_ns = elapsed_ns(started);
+    obs::counter_add(&format!("serve.status.{}", response.status), 1);
+    ctx.shared.complete(Completion {
+        slot: work.slot,
+        generation: work.generation,
+        seq: work.seq,
+        started: work.started,
+        head: render_head(&response, !work.close_after),
+        body: response.body,
+        rec,
+        close_after: work.close_after,
+    });
 }
 
-/// Worker entry for one dequeued connection: closes out the queue
-/// stage, runs the request, then banks the finished record exactly once
-/// — every early return inside [`serve_one`] still flows through the
-/// ring, the windows, and the access log.
-fn handle_conn(conn: Conn, ctx: &Ctx) {
+/// Worker entry for one framed request: closes out the queue stage,
+/// runs the endpoint, and completes back to the loop. `/v1/identify`
+/// detaches into the batcher instead of blocking here.
+fn handle_work(mut work: Work, ctx: &Ctx) {
     obs::gauge_add("serve.queue_depth", -1);
-    let mut rec = RequestRecord::admitted(conn.id, conn.accept_ns);
-    rec.queue_ns = elapsed_ns(conn.enqueued);
-    let accepted = conn.accepted;
-    serve_one(conn, ctx, &mut rec);
-    rec.total_ns = elapsed_ns(accepted);
-    obs::gauge_add("serve.inflight", -1);
-    ctx.telemetry.observe(rec);
-}
-
-fn serve_one(mut conn: Conn, ctx: &Ctx, rec: &mut RequestRecord) {
-    let remaining = match ctx.deadline.checked_sub(conn.accepted.elapsed()) {
-        Some(r) if !r.is_zero() => r,
-        _ => {
-            obs::counter_add("serve.deadline_expired", 1);
-            rec.endpoint = "deadline";
-            respond(&mut conn.stream, &Response::overloaded(1), rec);
-            return;
-        }
-    };
-    // The deadline also bounds how long a slow (or stalled) client may
-    // take to deliver its request bytes.
-    let _ = conn.stream.set_read_timeout(Some(remaining));
-
-    let read_started = Instant::now();
-    let parsed = parse_request(&mut conn.stream);
-    rec.parse_ns = elapsed_ns(read_started);
-    let request = match parsed {
-        Ok(r) => r,
-        Err(e) => {
-            let response = match e {
-                ParseError::TooLarge => Response::text(413, "request too large\n"),
-                ParseError::Malformed(why) => {
-                    Response::text(400, format!("malformed request: {why}\n"))
-                }
-                ParseError::Disconnected => {
-                    // Clean EOF mid-request: the client hung up. Nobody
-                    // is left to answer.
-                    obs::counter_add("serve.read_failed", 1);
-                    rec.endpoint = "disconnect";
-                    return;
-                }
-                ParseError::Io(err) => {
-                    // A timeout here is the read deadline firing on a
-                    // stalled client; anything else is a vanished one.
-                    let timed_out = matches!(
-                        err.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    );
-                    if timed_out {
-                        obs::counter_add("serve.deadline_expired", 1);
-                        rec.endpoint = "deadline";
-                    } else {
-                        obs::counter_add("serve.read_failed", 1);
-                        rec.endpoint = "disconnect";
-                    }
-                    return;
-                }
-            };
-            rec.endpoint = "parse";
-            respond(&mut conn.stream, &response, rec);
-            return;
-        }
-    };
-    rec.method = request.method.clone();
-    rec.path = request.path.clone();
-    if conn.accepted.elapsed() >= ctx.deadline {
+    work.rec.queue_ns = elapsed_ns(work.enqueued);
+    if Instant::now() >= work.deadline {
         obs::counter_add("serve.deadline_expired", 1);
-        rec.endpoint = "deadline";
-        respond(&mut conn.stream, &Response::overloaded(1), rec);
+        reply(work, "deadline", Response::overloaded(1), ctx);
+        return;
+    }
+
+    // `/v1/identify` (POST) is the asynchronous path: feature
+    // extraction happens here, scoring and completion happen on the
+    // batcher thread so this worker is free immediately.
+    if work.request.path == "/v1/identify" && work.request.method == "POST" {
+        let started = Instant::now();
+        // Content-addressed fast path: a previously scored body answers
+        // from the cache without parsing, feature extraction, or a trip
+        // through the batcher — identify is pure in the body bytes, so
+        // the response is byte-identical to the full pipeline's.
+        let key = cache_key(&work.request.body);
+        if let Some(score) = ctx.cache.lookup(key, &work.request.body) {
+            work.rec.compute_ns = elapsed_ns(started);
+            obs::counter_add("serve.identify.requests", 1);
+            obs::counter_add("serve.identify.cache_hits", 1);
+            obs::hist_record("serve.identify.ns", elapsed_ns(started));
+            reply(work, "identify", identify_response(score), ctx);
+            return;
+        }
+        match parse_patch_body(&work.request) {
+            Err(response) => {
+                work.rec.compute_ns = elapsed_ns(started);
+                reply(work, "identify", response, ctx);
+            }
+            Ok(patch) => {
+                let row = ctx.index.weighted_features(&patch);
+                let body = std::mem::take(&mut work.request.body);
+                work.rec.compute_ns = elapsed_ns(started);
+                obs::counter_add("serve.identify.requests", 1);
+                ctx.batcher.submit_detached(
+                    row,
+                    IdentifyTicket {
+                        slot: work.slot,
+                        generation: work.generation,
+                        seq: work.seq,
+                        started: work.started,
+                        dispatch_started: started,
+                        submitted: Instant::now(),
+                        close_after: work.close_after,
+                        rec: work.rec,
+                        cache_key: key,
+                        body,
+                    },
+                );
+            }
+        }
         return;
     }
 
     let started = Instant::now();
-    let (endpoint, response) = dispatch(&request, ctx, rec);
+    let (endpoint, response) = dispatch(&work.request, ctx);
     let dispatch_ns = elapsed_ns(started);
-    rec.endpoint = endpoint;
-    // The compute stage is endpoint work minus time blocked on the
-    // identify batcher, so batch pressure and CPU cost stay separable.
-    rec.compute_ns = dispatch_ns.saturating_sub(rec.batch_ns);
+    work.rec.compute_ns = dispatch_ns;
     obs::counter_add(&format!("serve.{endpoint}.requests"), 1);
     obs::hist_record(&format!("serve.{endpoint}.ns"), dispatch_ns);
-    respond(&mut conn.stream, &response, rec);
+    reply(work, endpoint, response, ctx);
 }
 
-/// Routes one request; returns the endpoint label the metrics use. The
-/// record is threaded through so `identify` can bank its batch wait.
-fn dispatch(request: &Request, ctx: &Ctx, rec: &mut RequestRecord) -> (&'static str, Response) {
+/// Routes one (non-identify) request; returns the endpoint label the
+/// metrics use.
+fn dispatch(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
     let path = request.path.as_str();
     let get = request.method == "GET";
     let post = request.method == "POST";
@@ -444,7 +473,6 @@ fn dispatch(request: &Request, ctx: &Ctx, rec: &mut RequestRecord) -> (&'static 
         "/v1/stats" if get => {
             ("stats", Response::json(200, &ctx.index.stats_json()))
         }
-        "/v1/identify" if post => ("identify", identify(request, ctx, rec)),
         "/v1/classify" if post => ("classify", classify(request, ctx)),
         "/v1/scan" if post => ("scan", scan(request, ctx)),
         _ if path.starts_with("/v1/patch/") && get => {
@@ -488,23 +516,6 @@ fn parse_patch_body(request: &Request) -> Result<Patch, Response> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| Response::text(400, "body is not UTF-8\n"))?;
     Patch::parse(text).map_err(|e| Response::text(400, format!("not a unified diff: {e}\n")))
-}
-
-fn identify(request: &Request, ctx: &Ctx, rec: &mut RequestRecord) -> Response {
-    let patch = match parse_patch_body(request) {
-        Ok(p) => p,
-        Err(r) => return r,
-    };
-    let row = ctx.index.weighted_features(&patch);
-    let (score, batch_ns) = ctx.batcher.submit_timed(row);
-    rec.batch_ns = batch_ns;
-    Response::json(
-        200,
-        &Json::Obj(vec![
-            ("score".into(), Json::Num(score)),
-            ("security".into(), Json::Bool(score >= 0.5)),
-        ]),
-    )
 }
 
 fn classify(request: &Request, ctx: &Ctx) -> Response {

@@ -2,15 +2,16 @@
 //! six-stage clock, the debug ring, slow-request exemplars, and the
 //! optional JSON-lines access log.
 //!
-//! Every connection gets a monotonically increasing request ID at accept
-//! time and a [`RequestRecord`] that accumulates where the request spent
-//! its life: `accept` (accept thread, pre-admission), `queue` (admission
-//! queue wait), `parse` (socket read + HTTP parse), `batch` (blocked on
-//! the identify micro-batcher), `compute` (endpoint work minus batch
-//! wait), and `write` (response serialization to the socket). The six
-//! stages are disjoint sub-intervals of the request's accept-to-written
-//! lifetime, so their sum never exceeds `total_ns` — the invariant the
-//! access-log validator in `check_bench_json` enforces.
+//! Every request gets a monotonically increasing ID at admission and a
+//! [`RequestRecord`] that accumulates where the request spent its life:
+//! `accept` (accept to event-loop registration, charged to a
+//! connection's first request), `queue` (admission queue wait), `parse`
+//! (first byte to complete frame in the event loop), `batch` (in the
+//! identify micro-batcher), `compute` (endpoint work minus batch wait),
+//! and `write` (first write attempt to last byte out). The six stages
+//! are disjoint sub-intervals of the request's lifetime, so their sum
+//! never exceeds `total_ns` — the invariant the access-log validator in
+//! `check_bench_json` enforces.
 //!
 //! Recording is strictly observational: response bytes are identical
 //! with telemetry on or off (`tests/serve.rs` pins the access-log
@@ -131,8 +132,8 @@ impl RequestRecord {
 /// Capacity of the slow-request exemplar ring.
 const SLOW_RING: usize = 32;
 
-/// Per-server telemetry state, shared by the accept thread and every
-/// worker.
+/// Per-server telemetry state, shared by the event loop, the batcher,
+/// and every worker.
 pub(crate) struct Telemetry {
     started: Instant,
     next_id: AtomicU64,

@@ -1,0 +1,103 @@
+//! Holds N idle keep-alive connections against a running
+//! `patchdb serve` instance — the concurrent-connection soak used by
+//! the `tests/serve.rs` 10k-idle-conns test and the CI smoke step.
+//!
+//! Runs as its own process so the held client-side file descriptors
+//! count against *this* process's `RLIMIT_NOFILE`, not the server's.
+//!
+//! ```text
+//! patchdb-idle-conns <addr> <count> [--probe]
+//! ```
+//!
+//! Connects `<count>` sockets, optionally probes the server while they
+//! are held (`/healthz` must answer 200 and `/metrics` must report
+//! `serve.open_conns >= count`), prints `HELD <count>`, then blocks
+//! until stdin reaches EOF. Dropping stdin releases every connection at
+//! once. Exits non-zero if any connect or probe fails.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use patchdb_serve::client;
+
+fn fail(why: &str) -> ExitCode {
+    eprintln!("patchdb-idle-conns: {why}");
+    eprintln!("usage: patchdb-idle-conns <addr> <count> [--probe]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let probe = args.iter().any(|a| a == "--probe");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [addr, count] = positional[..] else {
+        return fail("expected <addr> <count>");
+    };
+    let Ok(addr) = addr.parse::<SocketAddr>() else {
+        return fail("bad address");
+    };
+    let Ok(count) = count.parse::<usize>() else {
+        return fail("bad count");
+    };
+
+    // Client-side fds: the held sockets plus stdio and slack.
+    if let Err(e) = patchdb_rt::net::raise_nofile_limit(count as u64 + 64) {
+        eprintln!("patchdb-idle-conns: raising RLIMIT_NOFILE failed: {e}");
+    }
+
+    let mut held: Vec<TcpStream> = Vec::with_capacity(count);
+    for i in 0..count {
+        match TcpStream::connect(addr) {
+            Ok(stream) => held.push(stream),
+            Err(e) => {
+                eprintln!("patchdb-idle-conns: connect #{i} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if probe {
+        let timeout = Duration::from_secs(10);
+        match client::request_timeout(addr, "GET", "/healthz", b"", timeout) {
+            Ok(reply) if reply.status == 200 => {}
+            Ok(reply) => {
+                eprintln!("patchdb-idle-conns: /healthz answered {}", reply.status);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("patchdb-idle-conns: /healthz failed under load: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let metrics = match client::request_timeout(addr, "GET", "/metrics", b"", timeout) {
+            Ok(reply) if reply.status == 200 => reply.body_text(),
+            Ok(reply) => {
+                eprintln!("patchdb-idle-conns: /metrics answered {}", reply.status);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("patchdb-idle-conns: /metrics failed under load: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let open = metrics
+            .lines()
+            .find_map(|l| l.strip_prefix("patchdb_gauge{name=\"serve.open_conns\"} "))
+            .and_then(|v| v.parse::<i64>().ok())
+            .unwrap_or(0);
+        if open < count as i64 {
+            eprintln!("patchdb-idle-conns: open_conns {open} < held {count}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("HELD {count}");
+
+    // Hold everything until the parent closes our stdin.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    drop(held);
+    ExitCode::SUCCESS
+}

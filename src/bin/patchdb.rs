@@ -55,6 +55,8 @@ fn usage_for(command: &str) -> Option<&'static str> {
             "usage: patchdb serve <FILE> [--addr HOST:PORT] [--threads N]
                      [--batch-window-ms N] [--max-inflight N]
                      [--access-log PATH|-] [--slow-ms N]
+                     [--keep-alive on|off] [--idle-timeout-ms N]
+                     [--max-requests-per-conn N] [--max-conns N]
 
   <FILE>              dataset JSON to index and serve
   --addr HOST:PORT    bind address (default 127.0.0.1:7979; port 0 = ephemeral)
@@ -65,6 +67,14 @@ fn usage_for(command: &str) -> Option<&'static str> {
                       request id and stage breakdown (- = stdout; default off)
   --slow-ms N         keep requests at least this slow as /debug/slow
                       exemplars (default 100)
+  --keep-alive on|off HTTP/1.1 keep-alive; off forces Connection: close on
+                      every response (default on)
+  --idle-timeout-ms N close idle keep-alive connections after N ms; also the
+                      write-stall bound (default 5000)
+  --max-requests-per-conn N
+                      close a connection after N responses (default 0 = off)
+  --max-conns N       concurrent-connection cap; over it new connections are
+                      answered 503 and closed (default 10240)
 
 endpoints: POST /v1/identify /v1/classify /v1/scan,
            GET /v1/stats /v1/patch/<id> /healthz /metrics
@@ -359,6 +369,36 @@ fn cmd_serve(args: &[String]) -> CliResult {
             "--slow-ms" => {
                 config =
                     config.slow_ms(parse_num(value_after(&mut it, "--slow-ms")?, "--slow-ms")?);
+            }
+            "--keep-alive" => {
+                let v = value_after(&mut it, "--keep-alive")?;
+                config = match v.as_str() {
+                    "on" => config.keep_alive(true),
+                    "off" => config.keep_alive(false),
+                    other => {
+                        return Err(Error::usage(format!(
+                            "--keep-alive expects on|off, got `{other}`"
+                        )));
+                    }
+                };
+            }
+            "--idle-timeout-ms" => {
+                config = config.idle_timeout_ms(parse_num(
+                    value_after(&mut it, "--idle-timeout-ms")?,
+                    "--idle-timeout-ms",
+                )?);
+            }
+            "--max-requests-per-conn" => {
+                config = config.max_requests_per_conn(parse_num(
+                    value_after(&mut it, "--max-requests-per-conn")?,
+                    "--max-requests-per-conn",
+                )?);
+            }
+            "--max-conns" => {
+                config = config.max_conns(parse_num(
+                    value_after(&mut it, "--max-conns")?,
+                    "--max-conns",
+                )?);
             }
             other if other.starts_with('-') => {
                 return Err(Error::usage(format!("unknown flag {other}")));

@@ -1,22 +1,26 @@
 //! Loopback integration tests of `patchdb-serve`: endpoint round-trips,
-//! 503 backpressure at a saturated admission queue, graceful-drain
-//! shutdown, metrics monotonicity, request-scoped telemetry (stage
-//! clocks, debug rings, access log), failure-mode classification, and
-//! worker-count determinism.
+//! 503 backpressure at the connection cap, keep-alive reuse and its
+//! caps (idle timeout, per-connection request limit), pipelined
+//! ordering, adversarial wire framing (trickle, oversized headers,
+//! half-close, mid-pipeline hangup), a 10k-idle-connection soak,
+//! graceful-drain shutdown, metrics monotonicity, request-scoped
+//! telemetry (stage clocks, debug rings, access log), failure-mode
+//! classification, and worker-count/transport-mode determinism.
 //!
 //! The tiny dataset is built exactly once, before any server starts:
 //! `PatchDb::build` resets the global `rt::obs` registry when tracing is
 //! enabled, and `Server::start` enables tracing — a build racing a live
 //! server would wipe its counters mid-test.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::OnceLock;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use patchdb::prelude::*;
 use patchdb_rt::json::Json;
-use patchdb_serve::{client, ServeConfig, ServeIndex, Server};
+use patchdb_serve::client::{self, Client};
+use patchdb_serve::{ServeConfig, ServeIndex, Server};
 
 fn shared_db() -> &'static PatchDb {
     static DB: OnceLock<PatchDb> = OnceLock::new();
@@ -95,8 +99,9 @@ fn endpoints_round_trip_on_loopback() {
     server.shutdown();
 }
 
-/// A connection that has been accepted but sends no bytes: it pins
-/// whatever stage of the server is reading from it.
+/// A connection that has been accepted but sends no bytes. With the
+/// event loop a silent connection costs no worker — it just occupies a
+/// connection slot.
 fn stall(addr: std::net::SocketAddr) -> TcpStream {
     let stream = TcpStream::connect(addr).expect("connect");
     std::thread::sleep(Duration::from_millis(100));
@@ -104,14 +109,14 @@ fn stall(addr: std::net::SocketAddr) -> TcpStream {
 }
 
 #[test]
-fn saturated_admission_queue_sheds_with_503() {
-    let server = start(ephemeral().threads(1).max_inflight(1).deadline_ms(30_000));
+fn connection_cap_sheds_with_503() {
+    let server = start(ephemeral().threads(1).max_conns(2).deadline_ms(30_000));
     let addr = server.addr();
 
-    // One stalled connection occupies the single worker; a second fills
-    // the single admission slot. Everything past that must be shed.
-    let worker_hog = stall(addr);
-    let queue_hog = stall(addr);
+    // Two idle connections fill the cap; the third is answered 503 at
+    // accept — without the server reading a single request byte.
+    let hog_a = stall(addr);
+    let hog_b = stall(addr);
 
     let mut shed = TcpStream::connect(addr).unwrap();
     shed.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
@@ -120,9 +125,16 @@ fn saturated_admission_queue_sheds_with_503() {
     let text = String::from_utf8_lossy(&raw);
     assert!(text.starts_with("HTTP/1.1 503"), "expected 503, got: {text}");
     assert!(text.contains("Retry-After:"), "503 lacks Retry-After: {text}");
+    assert!(text.contains("Connection: close"), "shed must close: {text}");
 
-    drop(worker_hog);
-    drop(queue_hog);
+    // Freeing a slot restores service on a fresh connection (give the
+    // loop a beat to collect the EOF before reconnecting).
+    drop(hog_a);
+    std::thread::sleep(Duration::from_millis(200));
+    let health = client::request(addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+
+    drop(hog_b);
     server.shutdown();
 }
 
@@ -290,6 +302,13 @@ fn metrics_report_windows_and_gauges_under_load() {
         body.lines().any(|l| l.starts_with("patchdb_gauge{name=\"serve.queue_depth\"} ")),
         "queue_depth gauge missing:\n{body}"
     );
+    // The scrape's own connection is open while the snapshot is taken.
+    let open_conns = body
+        .lines()
+        .find_map(|l| l.strip_prefix("patchdb_gauge{name=\"serve.open_conns\"} "))
+        .and_then(|v| v.parse::<i64>().ok())
+        .expect("serve.open_conns gauge in /metrics");
+    assert!(open_conns >= 1, "scrape saw open_conns {open_conns}");
     server.shutdown();
 }
 
@@ -384,6 +403,14 @@ fn responses_identical_at_1_and_8_workers() {
             Vec::new(),
         ));
     }
+    // Transport must not change bytes either: drive every server over
+    // (1) one-shot `Connection: close` requests, (2) a persistent
+    // keep-alive connection, then (3) one fully pipelined batch.
+    let timeout = Duration::from_secs(30);
+    let mut ka_one = Client::connect(one.addr(), timeout).unwrap();
+    let mut ka_eight = Client::connect(eight.addr(), timeout).unwrap();
+    let mut ka_logged = Client::connect(logged.addr(), timeout).unwrap();
+    let mut close_replies = Vec::new();
     for (method, path, body) in &requests {
         let a = client::request(one.addr(), method, path, body).unwrap();
         let b = client::request(eight.addr(), method, path, body).unwrap();
@@ -396,6 +423,33 @@ fn responses_identical_at_1_and_8_workers() {
         );
         assert_eq!((a.status, a.body_text()), (c.status, c.body_text()),
             "{method} {path} differs with the access log enabled");
+        for (name, ka) in
+            [("one", &mut ka_one), ("eight", &mut ka_eight), ("logged", &mut ka_logged)]
+        {
+            let k = ka.send(method, path, body).unwrap();
+            assert_eq!(
+                (k.status, &k.body),
+                (a.status, &a.body),
+                "{method} {path} differs on keep-alive ({name})"
+            );
+        }
+        close_replies.push(a);
+    }
+    let batch: Vec<(&str, &str, &[u8])> =
+        requests.iter().map(|(m, p, b)| (*m, p.as_str(), b.as_slice())).collect();
+    for (name, server) in [("one", &one), ("eight", &eight), ("logged", &logged)] {
+        let mut pipe = Client::connect(server.addr(), timeout).unwrap();
+        let replies = pipe.pipeline(&batch).unwrap();
+        assert_eq!(replies.len(), close_replies.len(), "pipeline reply count ({name})");
+        for ((reply, expect), (method, path, _)) in
+            replies.iter().zip(&close_replies).zip(&requests)
+        {
+            assert_eq!(
+                (reply.status, &reply.body),
+                (expect.status, &expect.body),
+                "{method} {path} differs when pipelined ({name})"
+            );
+        }
     }
 
     // The debug endpoints carry wall-clock timings, so bytes differ by
@@ -439,12 +493,12 @@ fn responses_identical_at_1_and_8_workers() {
     eight.shutdown();
     logged.shutdown(); // joins the workers: every access-log line is flushed
 
-    // The log saw every request: the driven list plus our two debug
-    // reads, each line JSON with the id and stage fields, timestamps
-    // non-decreasing in file order.
+    // The log saw every request: the driven list once per transport
+    // mode plus our two debug reads, each line JSON with the id and
+    // stage fields, timestamps non-decreasing in file order.
     let log = std::fs::read_to_string(&log_path).expect("access log written");
     let lines: Vec<&str> = log.lines().collect();
-    assert_eq!(lines.len(), requests.len() + 2, "access log line count");
+    assert_eq!(lines.len(), 3 * requests.len() + 2, "access log line count");
     let mut last_ts = 0.0;
     let mut ids = std::collections::BTreeSet::new();
     for line in &lines {
@@ -459,4 +513,286 @@ fn responses_identical_at_1_and_8_workers() {
         assert!(json.get("compute_ns").and_then(Json::as_f64).is_some());
     }
     let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_and_honors_the_request_cap() {
+    let server = start(ephemeral().threads(2).max_requests_per_conn(3));
+    let addr = server.addr();
+
+    let mut ka = Client::connect(addr, Duration::from_secs(10)).unwrap();
+    for _ in 0..3 {
+        let reply = ka.send("GET", "/healthz", b"").unwrap();
+        assert_eq!((reply.status, reply.body_text().as_str()), (200, "ok\n"));
+    }
+    // The third response carried `Connection: close` and the server hung
+    // up; a fourth exchange on the same socket must fail.
+    let refused = ka.send("GET", "/healthz", b"");
+    assert!(refused.is_err(), "request over the per-conn cap got: {refused:?}");
+
+    // An uncapped server keeps answering on one socket indefinitely.
+    let open = start(ephemeral().threads(2));
+    let mut ka = Client::connect(open.addr(), Duration::from_secs(10)).unwrap();
+    for i in 0..32 {
+        let reply = ka.send("GET", "/healthz", b"").unwrap();
+        assert_eq!(reply.status, 200, "keep-alive request #{i}");
+    }
+    drop(ka);
+    open.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_time_out() {
+    let server = start(ephemeral().threads(1).idle_timeout_ms(200));
+    let addr = server.addr();
+    let before_body = client::request(addr, "GET", "/metrics", b"").unwrap().body_text();
+    let before = counter_in(&before_body, "serve.idle_closed");
+
+    let mut ka = Client::connect(addr, Duration::from_secs(10)).unwrap();
+    assert_eq!(ka.send("GET", "/healthz", b"").unwrap().status, 200);
+    // Sit idle for several timeout periods (plus wheel-tick slack): the
+    // server reaps the connection and the next exchange fails.
+    std::thread::sleep(Duration::from_millis(800));
+    let reaped = ka.send("GET", "/healthz", b"");
+    assert!(reaped.is_err(), "idle-timed-out connection got: {reaped:?}");
+
+    let after = await_counter(addr, "serve.idle_closed", before + 1);
+    assert!(after >= before + 1, "idle_closed stuck at {after} (started {before})");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_responses_arrive_in_request_order() {
+    let server = start(ephemeral().threads(8));
+    let addr = server.addr();
+    let record = shared_db().nvd.first().expect("tiny build has NVD records");
+    let body = diff_body(record).into_bytes();
+    let hex = record.commit.to_string();
+    let patch_path = format!("/v1/patch/{}", &hex[..12]);
+    let batch: Vec<(&str, &str, &[u8])> = vec![
+        ("GET", "/healthz", b""),
+        ("GET", "/v1/stats", b""),
+        ("GET", "/v1/nope", b""),
+        ("POST", "/v1/classify", &body),
+        ("GET", patch_path.as_str(), b""),
+        ("GET", "/healthz", b""),
+    ];
+
+    // Ground truth one request at a time, then the whole batch written
+    // before any response is read: same bytes, same order.
+    let expected: Vec<_> = batch
+        .iter()
+        .map(|(m, p, b)| client::request(addr, m, p, b).unwrap())
+        .collect();
+    assert_eq!(expected[2].status, 404, "probe batch lost its 404");
+    let mut pipe = Client::connect(addr, Duration::from_secs(10)).unwrap();
+    let got = pipe.pipeline(&batch).unwrap();
+    assert_eq!(got.len(), expected.len());
+    for (i, (reply, expect)) in got.iter().zip(&expected).enumerate() {
+        let (method, path, _) = batch[i];
+        assert_eq!(
+            (reply.status, &reply.body),
+            (expect.status, &expect.body),
+            "pipelined reply #{i} ({method} {path}) out of order or altered"
+        );
+    }
+    drop(pipe);
+    server.shutdown();
+}
+
+#[test]
+fn half_closed_pipeline_still_gets_all_responses() {
+    let server = start(ephemeral().threads(2));
+    let addr = server.addr();
+
+    // Three pipelined requests, then FIN on the write side: the server
+    // must answer all three before closing its end.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    for _ in 0..3 {
+        stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    }
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("responses after half-close");
+    let text = String::from_utf8_lossy(&raw);
+    assert_eq!(
+        text.matches("HTTP/1.1 200 OK").count(),
+        3,
+        "half-closed pipeline answered: {text}"
+    );
+    assert_eq!(text.matches("ok\n").count(), 3, "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_header_flood_answers_431() {
+    let server = start(ephemeral().threads(1));
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Fill the header budget exactly (no terminator), let the server
+    // drain it, then push it over the line. Two phases keep the server's
+    // receive queue empty at close time, so the 431 is not lost to RST.
+    let flood = vec![b'A'; 16 * 1024];
+    stream.write_all(&flood).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    stream.write_all(b"AAAA").unwrap();
+
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(_) => break, // RST after the response bytes is acceptable
+        }
+    }
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 431"), "expected 431, got: {text}");
+    assert!(text.contains("Connection: close"), "431 must close: {text}");
+    server.shutdown();
+}
+
+#[test]
+fn trickled_request_bytes_still_complete() {
+    let server = start(ephemeral().threads(1));
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.set_nodelay(true).unwrap();
+    // One byte per segment: the incremental parser reassembles without
+    // a worker ever seeing the partial request.
+    for byte in b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n" {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("trickled request answered");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "trickle got: {text}");
+    assert!(text.ends_with("ok\n"), "trickle body: {text}");
+    server.shutdown();
+}
+
+#[test]
+fn mid_pipeline_hangup_leaves_the_server_healthy() {
+    let server = start(ephemeral().threads(2));
+    let addr = server.addr();
+
+    // Two pipelined requests, then an immediate hangup without reading a
+    // byte. The server must absorb the dead connection without leaking
+    // its in-flight work.
+    let mut rude = TcpStream::connect(addr).unwrap();
+    rude.write_all(
+        b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\nGET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n",
+    )
+    .unwrap();
+    drop(rude);
+    std::thread::sleep(Duration::from_millis(200));
+
+    let health = client::request(addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!((health.status, health.body_text().as_str()), (200, "ok\n"));
+    server.shutdown();
+}
+
+/// Resident-set size of this process in kilobytes.
+fn vm_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmRSS:")
+                    .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Polls `/metrics` until the `serve.open_conns` gauge drops to at most
+/// `want`.
+fn await_open_conns_at_most(addr: std::net::SocketAddr, want: i64) -> i64 {
+    let mut last = i64::MAX;
+    for _ in 0..200 {
+        let body = client::request(addr, "GET", "/metrics", b"").unwrap().body_text();
+        last = body
+            .lines()
+            .find_map(|l| l.strip_prefix("patchdb_gauge{name=\"serve.open_conns\"} "))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(i64::MAX);
+        if last <= want {
+            return last;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    last
+}
+
+#[test]
+fn ten_thousand_idle_connections_stay_responsive() {
+    let server = start(
+        ephemeral().threads(1).max_conns(10_240).idle_timeout_ms(120_000),
+    );
+    let addr = server.addr();
+    let rss_before = vm_rss_kb();
+
+    // The held client-side sockets live in a child process so their file
+    // descriptors count against the child's RLIMIT_NOFILE, not ours
+    // (this process already holds the 10k server-side ends).
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_patchdb-idle-conns"))
+        .arg(addr.to_string())
+        .arg("10000")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn the connection holder");
+    let mut holder_out = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    holder_out.read_line(&mut line).expect("holder reports");
+    assert_eq!(line.trim(), "HELD 10000", "holder failed: {line}");
+
+    // With 10k idle connections held open, the server must still answer
+    // promptly and account for every one of them.
+    let t0 = Instant::now();
+    let health =
+        client::request_timeout(addr, "GET", "/healthz", b"", Duration::from_secs(10))
+            .expect("/healthz under 10k idle conns");
+    assert_eq!(health.status, 200);
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "/healthz took {:?} under idle load",
+        t0.elapsed()
+    );
+    let metrics =
+        client::request_timeout(addr, "GET", "/metrics", b"", Duration::from_secs(10))
+            .expect("/metrics under 10k idle conns")
+            .body_text();
+    let open = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("patchdb_gauge{name=\"serve.open_conns\"} "))
+        .and_then(|v| v.parse::<i64>().ok())
+        .expect("open_conns gauge");
+    assert!(open >= 10_000, "open_conns reported {open} with 10k held");
+
+    // Per-connection state is a parser buffer and some bookkeeping —
+    // 10k idle connections must not cost hundreds of megabytes.
+    let rss_after = vm_rss_kb();
+    let delta_kb = rss_after.saturating_sub(rss_before);
+    assert!(
+        delta_kb < 256 * 1024,
+        "10k idle conns grew RSS by {delta_kb} kB ({rss_before} -> {rss_after})"
+    );
+
+    // Closing the child's stdin releases all 10k at once; the loop reaps
+    // them before shutdown so the drain has nothing to wait for.
+    drop(child.stdin.take());
+    child.wait().expect("holder exits");
+    let open = await_open_conns_at_most(addr, 8);
+    assert!(open <= 8, "connections not reaped after holder exit: {open}");
+    server.shutdown();
 }

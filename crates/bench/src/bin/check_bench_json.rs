@@ -26,7 +26,22 @@
 //!   on the file extension, not a schema tag: every line is a JSON
 //!   object, `ts_ms` is non-decreasing in file order, request `id`s are
 //!   unique, and each line's six stage durations sum to at most its
-//!   `total_ns`.
+//!   `total_ns`. When a rotated sibling `<path>.1` exists (from
+//!   `--access-log-max-mb`), its lines are prepended and the pair is
+//!   validated as one stream — rotation must not break monotonicity or
+//!   id uniqueness.
+//! * `*.folded` profiles (`patchdb profile`, `/debug/profile`) — also
+//!   extension-dispatched: non-empty, every line is `path count` with a
+//!   `;`-joined non-empty frame path and a positive integer count.
+//! * `patchdb-profile/v1` (`GET /debug/profile`) — positive `hz`,
+//!   non-negative `samples`, and a `folded` field passing the same
+//!   folded-stacks line checks.
+//! * Chrome trace-event documents (`patchdb trace --perfetto`,
+//!   `GET /debug/flight`) — dispatched on a top-level `traceEvents`
+//!   array rather than a schema tag: every event carries
+//!   `name`/`ph`/`ts`/`pid`/`tid`, and per tid the `B`/`E` events
+//!   balance, nest, and carry non-decreasing timestamps — the document
+//!   opens clean in Perfetto.
 //!
 //! A file without a `schema` tag falls back to the bench checks (the
 //! pre-tag BENCH_nls.json format). Exits non-zero with a diagnostic on
@@ -49,7 +64,27 @@ fn main() -> ExitCode {
         }
     };
     if path.ends_with(".jsonl") {
-        return match check_access_log(&text) {
+        // A rotated sibling (`--access-log-max-mb`) holds the older
+        // lines: validate the pair as the single stream it logically is.
+        let rotated = std::fs::read_to_string(format!("{path}.1")).ok();
+        let full = match &rotated {
+            Some(older) => format!("{older}{text}"),
+            None => text,
+        };
+        return match check_access_log(&full) {
+            Ok(summary) => {
+                let suffix = if rotated.is_some() { ", rotated pair" } else { "" };
+                println!("check-bench-json: {path} ok ({summary}{suffix})");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("check-bench-json: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if path.ends_with(".folded") {
+        return match check_folded(&text) {
             Ok(summary) => {
                 println!("check-bench-json: {path} ok ({summary})");
                 ExitCode::SUCCESS
@@ -72,6 +107,10 @@ fn main() -> ExitCode {
         "patchdb-trace/v1" => check_trace(&json),
         "patchdb-serve/v1" => check_serve(&json),
         "patchdb-serve/v2" => check_serve_v2(&json),
+        "patchdb-profile/v1" => check_profile(&json),
+        // Chrome trace-event documents carry no schema tag; dispatch on
+        // their defining member.
+        "" if json.get("traceEvents").is_some() => check_trace_events(&json),
         "patchdb-bench-nls/v1" | "" => check_bench(&json),
         "patchdb-bench-nls/v2" => check_bench_v2(&json),
         other => Err(format!("unknown schema tag {other:?}")),
@@ -301,6 +340,114 @@ fn check_access_log(text: &str) -> Result<String, String> {
         return Err("empty access log".into());
     }
     Ok(format!("{lines} access-log lines"))
+}
+
+/// Folded-stacks text (flamegraph.pl input): non-empty, each line a
+/// `;`-joined frame path followed by one space and a positive integer
+/// sample count, with no empty frames.
+fn check_folded(text: &str) -> Result<String, String> {
+    let mut lines = 0usize;
+    let mut samples = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let at = format!("line {}", i + 1);
+        let (path, count) =
+            line.rsplit_once(' ').ok_or(format!("{at}: no `path count` separator"))?;
+        if path.is_empty() || path.split(';').any(str::is_empty) {
+            return Err(format!("{at}: empty frame in path {path:?}"));
+        }
+        let count: u64 = count
+            .parse()
+            .map_err(|_| format!("{at}: count {count:?} is not an integer"))?;
+        if count == 0 {
+            return Err(format!("{at}: zero sample count"));
+        }
+        samples += count;
+    }
+    if lines == 0 {
+        return Err("empty folded-stacks file".into());
+    }
+    Ok(format!("{lines} stacks, {samples} samples"))
+}
+
+/// A `/debug/profile` document: run parameters plus embedded folded
+/// stacks, which must pass the same line checks as a `.folded` file.
+fn check_profile(json: &Json) -> Result<String, String> {
+    let hz = json.get("hz").and_then(Json::as_f64).ok_or("no numeric `hz`")?;
+    if !(hz >= 1.0) {
+        return Err(format!("hz = {hz} is not positive"));
+    }
+    let samples = json.get("samples").and_then(Json::as_f64).ok_or("no numeric `samples`")?;
+    if samples < 0.0 {
+        return Err(format!("samples = {samples} is negative"));
+    }
+    let folded = json.get("folded").and_then(Json::as_str).ok_or("no string `folded`")?;
+    let inner = check_folded(folded)?;
+    if json.get("self_top").and_then(|t| t.as_arr()).is_none() {
+        return Err("no `self_top` array".into());
+    }
+    Ok(format!("{hz} Hz, {inner}"))
+}
+
+/// A Chrome trace-event document: every event carries the required
+/// fields, and per tid the duration events balance (`B`/`E` nest by
+/// name, none unclosed) with non-decreasing timestamps — exactly what
+/// Perfetto needs to open the file without complaint.
+fn check_trace_events(json: &Json) -> Result<String, String> {
+    let events =
+        json.get("traceEvents").and_then(|e| e.as_arr()).ok_or("no `traceEvents` array")?;
+    if events.is_empty() {
+        return Err("empty `traceEvents` array".into());
+    }
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = Default::default();
+    let mut pairs = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let at = format!("traceEvents[{i}]");
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("{at} lacks a string `name`"))?;
+        let ph =
+            e.get("ph").and_then(Json::as_str).ok_or(format!("{at} lacks a string `ph`"))?;
+        let ts =
+            e.get("ts").and_then(Json::as_f64).ok_or(format!("{at} lacks a numeric `ts`"))?;
+        if e.get("pid").and_then(Json::as_f64).is_none() {
+            return Err(format!("{at} lacks a numeric `pid`"));
+        }
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{at} lacks a numeric `tid`"))? as u64;
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        if ts < *prev {
+            return Err(format!("{at}: ts {ts} regressed below {prev} on tid {tid}"));
+        }
+        *prev = ts;
+        match ph {
+            "B" => stacks.entry(tid).or_default().push(name.to_owned()),
+            "E" => {
+                let popped = stacks.entry(tid).or_default().pop();
+                if popped.as_deref() != Some(name) {
+                    return Err(format!(
+                        "{at}: E {name:?} does not close the open B {popped:?} on tid {tid}"
+                    ));
+                }
+                pairs += 1;
+            }
+            "X" | "C" | "M" | "i" => {}
+            other => return Err(format!("{at}: unknown phase {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid} ends with unclosed B events: {stack:?}"));
+        }
+    }
+    Ok(format!("{} events, {pairs} B/E pairs over {} threads", events.len(), last_ts.len()))
 }
 
 fn check_trace(json: &Json) -> Result<String, String> {

@@ -20,7 +20,12 @@
 //!   `crossbeam::scope`.
 //! * [`obs`] — spans, counters, gauges, histograms (cumulative and
 //!   rolling-window) and an event ring buffer behind a `PATCHDB_TRACE`
-//!   toggle (near-zero cost when off), replacing `tracing`/`metrics`.
+//!   toggle (near-zero cost when off), replacing `tracing`/`metrics` —
+//!   plus the introspection runtime on top: a per-thread flight
+//!   recorder with a panic-hook dump ([`obs::flight`]), a seqlock
+//!   span-path sampling profiler emitting folded stacks
+//!   ([`obs::sampler`]), and Chrome/Perfetto trace-event exporters
+//!   ([`obs::export`]), replacing `pprof`/`tracing-chrome`.
 //! * [`queue`] — a bounded MPMC hand-off with non-blocking producers
 //!   (explicit backpressure) and gracefully draining consumers, the
 //!   admission-control primitive under `patchdb-serve`.

@@ -1,0 +1,78 @@
+//! Subprocess verification of the flight recorder's panic hook: a
+//! panicking process must leave a `FLIGHT_<pid>.json` black box behind,
+//! and the dump must be well-formed Chrome trace-event JSON carrying
+//! the events recorded before the crash.
+//!
+//! The child is this same test binary re-executed with
+//! `PATCHDB_FLIGHT_PANIC_CHILD=1`, filtered down to the one test that
+//! installs the hook and panics — the standard re-exec trick for
+//! testing process-fatal paths without a fixture binary.
+
+use patchdb_rt::json::Json;
+
+/// The child: records some events, installs the hook, panics. Inert (an
+/// immediately passing test) unless the driver env var is set.
+#[test]
+fn child_panics_for_flight_dump() {
+    if std::env::var("PATCHDB_FLIGHT_PANIC_CHILD").is_err() {
+        return;
+    }
+    patchdb_rt::obs::flight::set_enabled(true);
+    patchdb_rt::obs::flight::install_panic_hook();
+    patchdb_rt::obs::flight::record(
+        patchdb_rt::obs::flight::FlightKind::SpanEnter,
+        "doomed.work",
+        0,
+    );
+    patchdb_rt::obs::flight::record(
+        patchdb_rt::obs::flight::FlightKind::Counter,
+        "doomed.counter",
+        3,
+    );
+    panic!("intentional crash for the flight-dump test");
+}
+
+#[test]
+fn panic_leaves_a_flight_dump_behind() {
+    let dir = std::env::temp_dir().join(format!("patchdb_flight_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create dump dir");
+
+    let exe = std::env::current_exe().expect("own test binary");
+    let output = std::process::Command::new(exe)
+        .args(["child_panics_for_flight_dump", "--exact", "--test-threads=1"])
+        .env("PATCHDB_FLIGHT_PANIC_CHILD", "1")
+        .env("PATCHDB_FLIGHT_DIR", &dir)
+        .output()
+        .expect("spawn the panicking child");
+    assert!(!output.status.success(), "the child was supposed to panic");
+
+    // Exactly one FLIGHT_<pid>.json, named with the child's pid.
+    let dumps: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .expect("read dump dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.starts_with("FLIGHT_") && n.ends_with(".json"))
+                .unwrap_or(false)
+        })
+        .collect();
+    assert_eq!(dumps.len(), 1, "expected one flight dump, found {dumps:?}");
+
+    let text = std::fs::read_to_string(&dumps[0]).expect("read the dump");
+    let json = Json::parse(&text).expect("dump is valid JSON");
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("dump is Chrome trace-event JSON");
+    assert!(!events.is_empty(), "dump carries no events");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(names.contains(&"doomed.work"), "pre-panic span missing: {names:?}");
+    assert!(names.contains(&"doomed.counter"), "pre-panic counter missing: {names:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -141,6 +141,72 @@ fn ring_overwrites_oldest_and_counts_drops() {
     });
 }
 
+/// A recorder that skips far ahead in absolute seconds — an idle server
+/// waking after minutes of silence — must reclaim every stale slot it
+/// collides with, across multiple full ring wraps, and never resurrect
+/// evicted history into a fresh window.
+#[test]
+fn window_lookback_survives_multi_wrap_second_skips() {
+    check("obs_window_multi_wrap_skip", 128, |g| {
+        let capacity = g.usize_in(1, 8) as u64;
+        // Fill an initial busy second range, then jump several full
+        // wraps ahead (always > 2 rings), then record a small burst.
+        let busy = g.u64_in(1, 20);
+        for_each_skip(capacity, busy, g.u64_in(2, 5), g.u64_in(0, capacity - 1));
+    });
+
+    fn for_each_skip(capacity: u64, busy: u64, wraps: u64, offset: u64) {
+        let mut w = WindowHist::new(capacity as usize);
+        for s in 0..busy {
+            w.record_at(s, 100 + s);
+        }
+        let jump = busy + capacity * wraps + offset;
+        w.record_at(jump, 7);
+        // The old burst is beyond the horizon: no window anchored at the
+        // new now may see it, even one as wide as the whole ring.
+        let all = w.merged(jump, capacity);
+        assert_eq!(all.count(), 1, "old seconds leaked after a {wraps}-wrap skip");
+        assert_eq!(all.max(), 7);
+        // Colliding slots were reclaimed lazily, so slots not collided
+        // with may still *hold* stale seconds — but merged() must
+        // exclude them at every window width.
+        for window in 1..=capacity {
+            assert!(
+                w.count(jump, window) <= 1,
+                "stale slot counted at window {window} after skip to {jump}"
+            );
+        }
+        // Recording into the current second keeps accumulating.
+        w.record_at(jump, 9);
+        assert_eq!(w.count(jump, 1), 2);
+    }
+}
+
+/// Drop accounting at the exact capacity boundary: the push that fills
+/// the ring drops nothing; the very next push drops exactly one.
+#[test]
+fn ring_drop_counting_at_exact_capacity_boundaries() {
+    for capacity in [1usize, 2, 7, 64] {
+        let ring: EventRing<usize> = EventRing::new(capacity);
+        for i in 0..capacity {
+            ring.push(i);
+            assert_eq!(ring.dropped(), 0, "dropped before full at capacity {capacity}");
+        }
+        assert_eq!(ring.len(), capacity);
+        assert_eq!(ring.total(), capacity as u64);
+        // The boundary push: exactly one drop, length pinned at capacity.
+        ring.push(capacity);
+        assert_eq!(ring.dropped(), 1, "boundary push at capacity {capacity}");
+        assert_eq!(ring.len(), capacity);
+        assert_eq!(ring.total(), capacity as u64 + 1);
+        assert_eq!(ring.recent(1), vec![capacity]);
+        // And the one after: monotone by exactly one again.
+        ring.push(capacity + 1);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), capacity);
+    }
+}
+
 /// Flushing a shard lands its totals in the global registry (and is a
 /// no-op while tracing is off). Serialized into one test because the
 /// registry is process-global.

@@ -161,6 +161,7 @@ impl Batcher {
                 return (score, elapsed_ns(entered));
             }
             state.pending.push(Job::Sync { row, slot: Arc::clone(&slot) });
+            obs::gauge_set("serve.batch.queue_depth", state.pending.len() as i64);
         }
         self.shared.arrived.notify_all();
         let mut result = slot.result.lock().unwrap();
@@ -184,6 +185,7 @@ impl Batcher {
                 return;
             }
             state.pending.push(Job::Detached { row, ticket });
+            obs::gauge_set("serve.batch.queue_depth", state.pending.len() as i64);
         }
         self.shared.arrived.notify_all();
     }
@@ -235,7 +237,9 @@ fn run(shared: &Shared) {
                 std::thread::sleep(shared.window);
                 state = shared.state.lock().unwrap();
             }
-            std::mem::take(&mut state.pending)
+            let batch = std::mem::take(&mut state.pending);
+            obs::gauge_set("serve.batch.queue_depth", 0);
+            batch
         };
 
         obs::counter_add("serve.identify.batches", 1);

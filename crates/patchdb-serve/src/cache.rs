@@ -21,6 +21,8 @@ use std::collections::HashMap;
 use std::hash::Hasher;
 use std::sync::Mutex;
 
+use patchdb_rt::obs;
+
 /// Default entry cap: tiny relative to serve memory, far above any hot
 /// request working set.
 const MAX_ENTRIES: usize = 4096;
@@ -92,10 +94,13 @@ impl IdentifyCache {
             inner.map.clear();
             inner.entries = 0;
             inner.bytes = 0;
+            obs::counter_add("serve.identify.cache_flushes", 1);
         }
         inner.entries += 1;
         inner.bytes += body.len();
         inner.map.entry(key).or_default().push((body, score));
+        obs::gauge_set("serve.identify.cache_entries", inner.entries as i64);
+        obs::gauge_set("serve.identify.cache_bytes", inner.bytes as i64);
     }
 }
 

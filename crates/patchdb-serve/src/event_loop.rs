@@ -51,7 +51,7 @@ use patchdb_rt::queue::BoundedQueue;
 
 use crate::http::{render_head, RequestParser, Response};
 use crate::server::{ServeConfig, Work};
-use crate::telemetry::{elapsed_ns, RequestRecord, Telemetry};
+use crate::telemetry::{elapsed_ns, elapsed_since, RequestRecord, Telemetry};
 
 /// Upper bound on admitted-but-unanswered requests per connection; a
 /// client pipelining deeper than this stops being read until responses
@@ -252,6 +252,10 @@ pub(crate) struct EventLoop {
     open: usize,
     wheel: TimerWheel,
     draining: Option<Instant>,
+    /// Fds dispatched since the last coalesced `loop.tick` flight event.
+    tick_accum: u64,
+    /// Next instant a coalesced `loop.tick` flight event may be emitted.
+    next_tick_emit: Option<Instant>,
 }
 
 impl EventLoop {
@@ -286,16 +290,29 @@ impl EventLoop {
             open: 0,
             wheel: TimerWheel::new(Instant::now()),
             draining: None,
+            tick_accum: 0,
+            next_tick_emit: None,
         }
     }
 
     /// Runs until shutdown completes; closes the worker queue on exit so
     /// the pool drains and joins.
+    ///
+    /// Each iteration is instrumented for the loop-health report:
+    /// `serve.loop.poll_wait_ns` vs `serve.loop.work_ns` split the
+    /// loop's life into "asleep in poll" and "dispatching", wakeup-cause
+    /// counters (`serve.loop.wake.{waker,listener,readable,writable,
+    /// timer}`) say *why* it woke, `serve.loop.dispatched_fds` sizes
+    /// each tick, and `serve.loop.lag_ns` measures how long a ready fd
+    /// waited behind its siblings before its handler ran. A `loop.tick`
+    /// flight event journals every iteration.
     pub fn run(mut self) {
         let mut read_buf = vec![0u8; 64 * 1024];
         let mut pollfds: Vec<PollFd> = Vec::new();
         // (slot, generation) for each conn entry in `pollfds`, in order.
         let mut index: Vec<(usize, u64)> = Vec::new();
+        // Start of the current work phase (the last poll return).
+        let mut work_started: Option<Instant> = None;
         loop {
             if self.draining.is_none() && self.stop.load(Ordering::SeqCst) {
                 self.begin_drain();
@@ -332,37 +349,87 @@ impl EventLoop {
             }
 
             let timeout = self.wheel.next_timeout_ms(Instant::now());
-            if net::poll(&mut pollfds, timeout).is_err() {
+            if let Some(t) = work_started.take() {
+                obs::hist_record("serve.loop.work_ns", elapsed_ns(t));
+            }
+            let poll_started = Instant::now();
+            let polled = {
+                let _poll = obs::sampler::frame("loop.poll");
+                net::poll(&mut pollfds, timeout)
+            };
+            let woke = Instant::now();
+            work_started = Some(woke);
+            obs::hist_record("serve.loop.poll_wait_ns", elapsed_since(poll_started, woke));
+            if polled.is_err() {
                 continue;
             }
             if pollfds[0].readable() {
+                obs::counter_add_quiet("serve.loop.wake.waker", 1);
                 self.wake_rx.drain();
             }
             // Completions are drained unconditionally — a waker byte can
             // coalesce behind socket traffic.
             self.drain_completions();
             if accepting && pollfds[base - 1].readable() {
+                obs::counter_add_quiet("serve.loop.wake.listener", 1);
                 self.accept_ready();
             }
+            let mut dispatched: u64 = 0;
+            let mut readable: u64 = 0;
+            let mut writable: u64 = 0;
+            let mut lag = obs::Hist::default();
             for (i, &(slot, generation)) in index.iter().enumerate() {
                 let revents = pollfds[base + i].revents();
                 if revents == 0 {
                     continue;
                 }
+                dispatched += 1;
+                lag.record(elapsed_since(woke, Instant::now()));
                 if self.generation_of(slot) != Some(generation) {
                     continue; // closed (and maybe recycled) this iteration
                 }
                 if pollfds[base + i].readable() {
+                    readable += 1;
                     self.read_ready(slot, &mut read_buf);
                 }
                 if self.generation_of(slot) == Some(generation)
                     && pollfds[base + i].writable()
                 {
+                    writable += 1;
                     self.write_ready(slot);
                 }
             }
+            if readable > 0 {
+                obs::counter_add_quiet("serve.loop.wake.readable", readable);
+            }
+            if writable > 0 {
+                obs::counter_add_quiet("serve.loop.wake.writable", writable);
+            }
+            if lag.count() > 0 {
+                obs::hist_merge("serve.loop.lag_ns", &lag);
+            }
+            obs::hist_record("serve.loop.dispatched_fds", dispatched);
             let now = Instant::now();
-            for (slot, generation) in self.wheel.take_due(now) {
+            // The journaled tick is a liveness heartbeat, not a
+            // per-iteration log: at most one `loop.tick` event per
+            // millisecond, carrying the fds dispatched since the last
+            // one. Journaling every iteration at six-figure tick rates
+            // crowded the ring down to tens of milliseconds of history
+            // and put a clock read plus ring push on every spin of the
+            // loop's critical path; coalesced, the same ring holds
+            // seconds of loop liveness. (`serve.loop.dispatched_fds`
+            // above still sizes individual iterations.)
+            self.tick_accum += dispatched;
+            if self.next_tick_emit.map_or(true, |t| now >= t) {
+                obs::flight::record(obs::flight::FlightKind::Tick, "loop.tick", self.tick_accum);
+                self.tick_accum = 0;
+                self.next_tick_emit = Some(now + Duration::from_millis(1));
+            }
+            let due = self.wheel.take_due(now);
+            if !due.is_empty() {
+                obs::counter_add_quiet("serve.loop.wake.timer", due.len() as u64);
+            }
+            for (slot, generation) in due {
                 if self.generation_of(slot) == Some(generation) {
                     self.timer_due(slot, now);
                 }
@@ -495,7 +562,7 @@ impl EventLoop {
     /// it (status counter included; `rec.status` must be set), then
     /// tries to flush.
     fn deliver_local(&mut self, completion: Completion) {
-        obs::counter_add(&format!("serve.status.{}", completion.rec.status), 1);
+        obs::counter_add(&crate::server::status_counter(completion.rec.status), 1);
         self.park(completion);
     }
 
@@ -633,6 +700,7 @@ impl EventLoop {
                     rec.parse_ns = elapsed_ns(started).saturating_sub(accept_ns);
                     obs::gauge_add("serve.inflight", 1);
                     obs::gauge_add("serve.queue_depth", 1);
+                    let rec_id = rec.id;
                     let work = Work {
                         request: parsed.request,
                         slot,
@@ -668,6 +736,11 @@ impl EventLoop {
                         });
                         return self.generation_of(slot) == Some(generation);
                     }
+                    obs::flight::record(
+                        obs::flight::FlightKind::Queue,
+                        "serve.queue.push",
+                        rec_id,
+                    );
                 }
                 Err(frame_error) => {
                     // Malformed/oversized framing: answer and close. The

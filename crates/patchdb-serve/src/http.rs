@@ -255,6 +255,17 @@ impl Response {
         }
     }
 
+    /// A Prometheus text-exposition response: plain text tagged with the
+    /// exposition-format version so scrapers negotiate correctly.
+    pub fn metrics(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into().into_bytes(),
+            retry_after: None,
+        }
+    }
+
     /// A compact-JSON response.
     pub fn json(status: u16, json: &Json) -> Response {
         Response {

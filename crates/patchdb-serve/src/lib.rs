@@ -23,6 +23,13 @@
 //! | `/metrics`           | GET    | counters, gauges, cumulative + windowed latency |
 //! | `/debug/requests`    | GET    | last N requests, each with its stage breakdown  |
 //! | `/debug/slow`        | GET    | slow-request exemplars above `--slow-ms`        |
+//! | `/debug/flight`      | GET    | recent flight-recorder journal as a Chrome trace|
+//! | `/debug/profile`     | GET    | sampling profile (`?seconds=&hz=`), folded stacks|
+//!
+//! Every GET endpoint also answers HEAD with the same headers
+//! (`Content-Length` included) and an empty body; `/metrics` is served
+//! as `text/plain; version=0.0.4`, the `/debug/*` documents as
+//! `application/json`.
 //!
 //! Architecture (DESIGN.md §9): a single event-loop thread owns the
 //! listener and every connection in non-blocking mode, multiplexed over

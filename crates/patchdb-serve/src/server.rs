@@ -84,6 +84,19 @@ pub struct ServeConfig {
     /// Open-connection cap; arrivals beyond it are answered `503` and
     /// closed without reading a byte.
     pub max_conns: usize,
+    /// Size-based access-log rotation: when the current file would cross
+    /// this many MiB, it is renamed `PATH` → `PATH.1` and a fresh `PATH`
+    /// is opened, under the log lock so no line is ever split. `0` (the
+    /// default) disables rotation; stdout (`"-"`) never rotates.
+    pub access_log_max_mb: u64,
+    /// Whether the always-on flight recorder journals structured events
+    /// (span enter/exit, loop ticks, queue transitions) into per-thread
+    /// rings for `GET /debug/flight` and the panic-hook dump. Purely
+    /// observational — response bytes are identical either way.
+    pub flight: bool,
+    /// Whether threads mirror their span path into the sampler's seqlock
+    /// slots, enabling `GET /debug/profile`. Purely observational.
+    pub sampler: bool,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +114,9 @@ impl Default for ServeConfig {
             idle_timeout_ms: 5_000,
             max_requests_per_conn: 0,
             max_conns: 10_240,
+            access_log_max_mb: 0,
+            flight: true,
+            sampler: true,
         }
     }
 }
@@ -177,6 +193,24 @@ impl ServeConfig {
         self.max_conns = cap.max(1);
         self
     }
+
+    /// Sets the access-log rotation cap in MiB (`0` = no rotation).
+    pub fn access_log_max_mb(mut self, mb: u64) -> Self {
+        self.access_log_max_mb = mb;
+        self
+    }
+
+    /// Enables or disables the flight recorder.
+    pub fn flight(mut self, enabled: bool) -> Self {
+        self.flight = enabled;
+        self
+    }
+
+    /// Enables or disables span-path mirroring for the sampler.
+    pub fn sampler(mut self, enabled: bool) -> Self {
+        self.sampler = enabled;
+        self
+    }
 }
 
 /// One framed request traveling from the event loop to a worker.
@@ -242,6 +276,16 @@ impl Server {
         // Best effort: a large connection cap needs file descriptors.
         let _ = patchdb_rt::net::raise_nofile_limit(config.max_conns as u64 + 64);
         obs::set_enabled(true);
+        // The introspection runtime: the flight recorder journals the
+        // event loop and workers (and dumps a black box on panic), the
+        // sampler mirrors span paths for `/debug/profile`. Both are
+        // observational only — toggling them never changes response
+        // bytes (pinned by `tests/serve.rs`).
+        obs::flight::set_enabled(config.flight);
+        if config.flight {
+            obs::flight::install_panic_hook();
+        }
+        obs::sampler::set_mirroring(config.sampler);
         let telemetry = Arc::new(Telemetry::new(config)?);
 
         let index = Arc::new(index);
@@ -275,10 +319,18 @@ impl Server {
                 let ctx = Arc::clone(&ctx);
                 std::thread::Builder::new()
                     .name(format!("patchdb-serve-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(work) = queue.pop() {
-                            handle_work(work, &ctx);
-                        }
+                    .spawn(move || loop {
+                        // The wait/work split is the profiler's idle
+                        // signal: `sampler::frame` costs one interned-id
+                        // push per call (no registry growth), cheap
+                        // enough for the hot path.
+                        let popped = {
+                            let _wait = obs::sampler::frame("serve.worker.wait");
+                            queue.pop()
+                        };
+                        let Some(work) = popped else { break };
+                        let _busy = obs::sampler::frame("serve.worker");
+                        handle_work(work, &ctx);
                     })
                     .expect("spawn worker thread")
             })
@@ -368,6 +420,24 @@ impl Drop for Server {
     }
 }
 
+/// Counter name for a response status. Every status the server actually
+/// emits maps to a static name so the per-request counter bump never
+/// allocates; an unexpected status still gets counted, just through a
+/// one-off `format!`.
+pub(crate) fn status_counter(status: u16) -> std::borrow::Cow<'static, str> {
+    match status {
+        200 => "serve.status.200".into(),
+        400 => "serve.status.400".into(),
+        404 => "serve.status.404".into(),
+        405 => "serve.status.405".into(),
+        413 => "serve.status.413".into(),
+        429 => "serve.status.429".into(),
+        500 => "serve.status.500".into(),
+        503 => "serve.status.503".into(),
+        other => format!("serve.status.{other}").into(),
+    }
+}
+
 /// Builds and publishes the completion for one finished request: banks
 /// the endpoint counters and status, renders the head, and wakes the
 /// loop.
@@ -375,14 +445,19 @@ fn reply(work: Work, endpoint: &'static str, response: Response, ctx: &Ctx) {
     let mut rec = work.rec;
     rec.endpoint = endpoint;
     rec.status = response.status;
-    obs::counter_add(&format!("serve.status.{}", response.status), 1);
+    obs::counter_add(&status_counter(response.status), 1);
+    // HEAD answers with the GET entity's headers (Content-Length
+    // included, per RFC 9110) but no body — the head is rendered before
+    // the body is dropped so the two stay consistent.
+    let head = render_head(&response, !work.close_after);
+    let body = if work.request.method == "HEAD" { Vec::new() } else { response.body };
     ctx.shared.complete(Completion {
         slot: work.slot,
         generation: work.generation,
         seq: work.seq,
         started: work.started,
-        head: render_head(&response, !work.close_after),
-        body: response.body,
+        head,
+        body,
         rec,
         close_after: work.close_after,
     });
@@ -393,6 +468,7 @@ fn reply(work: Work, endpoint: &'static str, response: Response, ctx: &Ctx) {
 /// detaches into the batcher instead of blocking here.
 fn handle_work(mut work: Work, ctx: &Ctx) {
     obs::gauge_add("serve.queue_depth", -1);
+    obs::flight::record(obs::flight::FlightKind::Queue, "serve.queue.pop", work.rec.id);
     work.rec.queue_ns = elapsed_ns(work.enqueued);
     if Instant::now() >= work.deadline {
         obs::counter_add("serve.deadline_expired", 1);
@@ -461,14 +537,16 @@ fn handle_work(mut work: Work, ctx: &Ctx) {
 /// metrics use.
 fn dispatch(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
     let path = request.path.as_str();
-    let get = request.method == "GET";
+    // HEAD routes exactly like GET; `reply` drops the body after the
+    // head (Content-Length included) is rendered.
+    let get = request.method == "GET" || request.method == "HEAD";
     let post = request.method == "POST";
     match path {
         "/healthz" if get => ("healthz", Response::text(200, "ok\n")),
         "/metrics" if get => {
             // Snapshot, not report(): counters/gauges/hists/windows only,
             // no span-tree clone under the registry mutex.
-            ("metrics", Response::text(200, obs::metrics_snapshot().to_metrics_text()))
+            ("metrics", Response::metrics(obs::metrics_snapshot().to_metrics_text()))
         }
         "/v1/stats" if get => {
             ("stats", Response::json(200, &ctx.index.stats_json()))
@@ -489,12 +567,37 @@ fn dispatch(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
         "/debug/slow" if get => {
             ("debug_slow", Response::json(200, &ctx.telemetry.debug_slow_json()))
         }
-        "/healthz" | "/metrics" | "/v1/stats" | "/v1/identify" | "/v1/classify"
-        | "/v1/scan" | "/debug/requests" | "/debug/slow" => {
-            ("other", Response::text(405, "method not allowed\n"))
+        _ if get && (path == "/debug/flight" || path.starts_with("/debug/flight?")) => {
+            // The recent flight journal as Chrome trace-event JSON —
+            // `?ms=N` restricts to the trailing N milliseconds.
+            let window_us = query_param(path, "ms").map(|ms| ms.saturating_mul(1_000));
+            let snap = obs::flight::snapshot(window_us);
+            ("debug_flight", Response::json(200, &obs::export::flight_to_chrome(&snap)))
         }
+        _ if get && (path == "/debug/profile" || path.starts_with("/debug/profile?")) => {
+            // Inline sampling profile: blocks this one worker for
+            // `seconds` (clamped to 10) while the sampler thread walks
+            // the seqlock slots at `hz`; the rest of the pool keeps
+            // serving.
+            let seconds = query_param(path, "seconds").unwrap_or(1).clamp(1, 10);
+            let hz = query_param(path, "hz").unwrap_or(97);
+            let profile = obs::sampler::profile_for(Duration::from_secs(seconds), hz);
+            ("debug_profile", Response::json(200, &profile.to_json()))
+        }
+        "/healthz" | "/metrics" | "/v1/stats" | "/v1/identify" | "/v1/classify"
+        | "/v1/scan" | "/debug/requests" | "/debug/slow" | "/debug/flight"
+        | "/debug/profile" => ("other", Response::text(405, "method not allowed\n")),
         _ => ("other", Response::text(404, "unknown endpoint\n")),
     }
+}
+
+/// The integer value of `key=N` in the path's query string, if present.
+fn query_param(path: &str, key: &str) -> Option<u64> {
+    let (_, query) = path.split_once('?')?;
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+        .and_then(|v| v.parse().ok())
 }
 
 /// How many records `/debug/requests` should return: the `n` query

@@ -34,6 +34,11 @@ pub(crate) fn elapsed_ns(t: Instant) -> u64 {
     t.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
+/// Nanoseconds from `from` to `to`, saturating at zero and into `u64`.
+pub(crate) fn elapsed_since(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// One request's structured record: identity, outcome, and the
 /// six-stage duration breakdown.
 #[derive(Debug, Clone)]
@@ -132,6 +137,51 @@ impl RequestRecord {
 /// Capacity of the slow-request exemplar ring.
 const SLOW_RING: usize = 32;
 
+/// The access-log sink plus its size-based rotation state. Rotation
+/// happens under the same lock that serializes writes, *before* the
+/// line that would cross the cap goes out — so a log line is never
+/// split across files and `PATH` always starts at a line boundary.
+struct AccessSink {
+    sink: Box<dyn Write + Send>,
+    /// Rotation target; `None` for stdout, which never rotates.
+    path: Option<String>,
+    /// Bytes written to the current file.
+    written: u64,
+    /// Rotate when a write would push `written` past this; `0` disables.
+    max_bytes: u64,
+}
+
+impl AccessSink {
+    /// Writes one complete log line, rotating `PATH` → `PATH.1` first
+    /// when the line would cross the size cap. Only ever called with a
+    /// full line (trailing `\n` included).
+    fn write_line(&mut self, line: &[u8]) {
+        if let Some(path) = &self.path {
+            if self.max_bytes > 0
+                && self.written > 0
+                && self.written.saturating_add(line.len() as u64) > self.max_bytes
+            {
+                let _ = self.sink.flush();
+                let _ = std::fs::rename(path, format!("{path}.1"));
+                match std::fs::File::create(path) {
+                    Ok(file) => {
+                        self.sink = Box::new(file);
+                        self.written = 0;
+                        obs::counter_add("serve.access_log.rotations", 1);
+                    }
+                    Err(_) => {
+                        // Reopen failed: keep writing to the renamed
+                        // file rather than losing lines.
+                    }
+                }
+            }
+        }
+        let _ = self.sink.write_all(line);
+        let _ = self.sink.flush();
+        self.written = self.written.saturating_add(line.len() as u64);
+    }
+}
+
 /// Per-server telemetry state, shared by the event loop, the batcher,
 /// and every worker.
 pub(crate) struct Telemetry {
@@ -142,7 +192,7 @@ pub(crate) struct Telemetry {
     slow_ns: u64,
     /// `ts_ms` is read under this lock so log lines are written with
     /// strictly non-decreasing timestamps even under worker contention.
-    access: Option<Mutex<Box<dyn Write + Send>>>,
+    access: Option<Mutex<AccessSink>>,
 }
 
 impl Telemetry {
@@ -150,10 +200,20 @@ impl Telemetry {
     /// truncating) the access-log sink when one is configured (`"-"`
     /// logs to stdout).
     pub fn new(config: &ServeConfig) -> Result<Telemetry, Error> {
-        let access: Option<Box<dyn Write + Send>> = match config.access_log.as_deref() {
+        let access: Option<AccessSink> = match config.access_log.as_deref() {
             None => None,
-            Some("-") => Some(Box::new(std::io::stdout())),
-            Some(path) => Some(Box::new(std::fs::File::create(path)?)),
+            Some("-") => Some(AccessSink {
+                sink: Box::new(std::io::stdout()),
+                path: None,
+                written: 0,
+                max_bytes: 0,
+            }),
+            Some(path) => Some(AccessSink {
+                sink: Box::new(std::fs::File::create(path)?),
+                path: Some(path.to_owned()),
+                written: 0,
+                max_bytes: config.access_log_max_mb.saturating_mul(1024 * 1024),
+            }),
         };
         Ok(Telemetry {
             started: Instant::now(),
@@ -193,8 +253,7 @@ impl Telemetry {
             let mut sink = log.lock().unwrap();
             let ts_ms = self.started.elapsed().as_millis().min(u64::MAX as u128) as u64;
             let line = record.to_log_json(ts_ms).to_compact_string() + "\n";
-            let _ = sink.write_all(line.as_bytes());
-            let _ = sink.flush();
+            sink.write_line(line.as_bytes());
         }
         if record.total_ns >= self.slow_ns {
             obs::counter_add("serve.slow_requests", 1);
@@ -278,6 +337,48 @@ mod tests {
         assert_eq!(requests[0].get("id").and_then(Json::as_f64), Some(2.0));
         let all = telemetry.debug_requests_json(16);
         assert_eq!(all.get("requests").and_then(|r| r.as_arr()).unwrap().len(), 2);
+    }
+
+    /// Size-based rotation is atomic at the line level: every line lands
+    /// whole in exactly one of `PATH.1`/`PATH`, no line is split by the
+    /// rename, and ids stay unique across the pair.
+    #[test]
+    fn rotation_never_splits_a_line() {
+        let path = std::env::temp_dir()
+            .join(format!("patchdb_access_rot_{}.jsonl", std::process::id()));
+        let path = path.to_str().unwrap().to_owned();
+        let rotated = format!("{path}.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+
+        let config = ServeConfig::default().access_log(&path).access_log_max_mb(1);
+        let telemetry = Telemetry::new(&config).unwrap();
+        // Shrink the cap so the 40 lines (~210 bytes each) rotate exactly
+        // once — a second rotation would rename over `PATH.1` and the
+        // oldest lines would legitimately be gone. The mb knob only
+        // scales this same byte threshold.
+        telemetry.access.as_ref().unwrap().lock().unwrap().max_bytes = 6_000;
+        for id in 1..=40 {
+            telemetry.observe(record(id, 1_000));
+        }
+
+        assert!(std::fs::metadata(&rotated).is_ok(), "no rotation happened");
+        let mut ids = Vec::new();
+        for file in [&rotated, &path] {
+            let text = std::fs::read_to_string(file).unwrap();
+            assert!(text.ends_with('\n'), "{file} does not end at a line boundary");
+            for line in text.lines() {
+                let json = Json::parse(line)
+                    .unwrap_or_else(|e| panic!("split/corrupt line in {file}: {e:?}"));
+                ids.push(json.get("id").and_then(Json::as_f64).unwrap() as u64);
+            }
+        }
+        // PATH.1 holds the older lines, PATH the newer: reading the pair
+        // in that order yields every id exactly once, in order.
+        assert_eq!(ids, (1..=40).collect::<Vec<u64>>(), "lines lost or reordered");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
     }
 
     #[test]

@@ -17,6 +17,7 @@ const USAGE: &str = "usage: patchdb <command> [...]
 commands:
   build     construct the dataset against a synthetic forge; write JSON
   trace     `build --trace`: also emit TRACE_build.json + stage timings
+  profile   build under the sampling profiler; write folded stacks
   stats     headline counts and category distribution of a dataset
   classify  rule-based 12-type classification vs ground truth
   patterns  Table VII-style fix-pattern mining
@@ -34,6 +35,7 @@ fn usage_for(command: &str) -> Option<&'static str> {
         "build" | "trace" => {
             "usage: patchdb build [--seed N] [--tiny] [--no-synth] [--out FILE]
                      [--trace] [--trace-out FILE]
+                     [--perfetto] [--perfetto-out FILE]
 
   --seed N         pipeline seed (default 42)
   --tiny           small corpus for quick runs and tests
@@ -41,8 +43,31 @@ fn usage_for(command: &str) -> Option<&'static str> {
   --out FILE       write the built dataset as JSON
   --trace          record spans/counters, write TRACE_build.json
   --trace-out FILE trace output path (default TRACE_build.json)
+  --perfetto       also journal the build through the flight recorder and
+                   write the merged span tree + journal as Chrome
+                   trace-event JSON (open in Perfetto / chrome://tracing);
+                   implies --trace
+  --perfetto-out FILE
+                   perfetto output path (default TRACE_build.perfetto.json)
 
 `patchdb trace` is shorthand for `patchdb build --trace`."
+        }
+        "profile" => {
+            "usage: patchdb profile [--seed N] [--tiny] [--no-synth] [--hz N]
+                       [--profile-out FILE] [--top N]
+
+Runs a build with the span-path sampling profiler attached: worker
+threads mirror their span paths into seqlock slots, a sampler thread
+walks them at --hz, and the aggregate lands as folded stacks —
+`flamegraph.pl PROFILE_build.folded > flame.svg` renders it directly.
+
+  --seed N           pipeline seed (default 42)
+  --tiny             small corpus for quick runs and tests
+  --no-synth         skip the synthetic augmentation stage
+  --hz N             sampling rate (default 97, clamped to 1..=1000;
+                     prime, so periodic work is not aliased)
+  --profile-out FILE folded-stacks output (default PROFILE_build.folded)
+  --top N            rows in the printed self-time table (default 10)"
         }
         "stats" => "usage: patchdb stats <FILE>\n\n  <FILE>  dataset JSON from `patchdb build --out`",
         "classify" => "usage: patchdb classify <FILE>\n\n  <FILE>  dataset JSON from `patchdb build --out`",
@@ -65,6 +90,12 @@ fn usage_for(command: &str) -> Option<&'static str> {
   --max-inflight N    admission bound; beyond it requests get 503 (default 128)
   --access-log PATH|- JSON-lines access log, one line per request with its
                       request id and stage breakdown (- = stdout; default off)
+  --access-log-max-mb N
+                      rotate the access log (PATH -> PATH.1) when the file
+                      would cross N MiB; lines are never split (default 0 = off)
+  --flight on|off     per-thread flight recorder: /debug/flight + the
+                      panic-hook FLIGHT_<pid>.json dump (default on)
+  --sampler on|off    span-path mirroring for /debug/profile (default on)
   --slow-ms N         keep requests at least this slow as /debug/slow
                       exemplars (default 100)
   --keep-alive on|off HTTP/1.1 keep-alive; off forces Connection: close on
@@ -78,7 +109,9 @@ fn usage_for(command: &str) -> Option<&'static str> {
 
 endpoints: POST /v1/identify /v1/classify /v1/scan,
            GET /v1/stats /v1/patch/<id> /healthz /metrics
-           GET /debug/requests /debug/slow"
+           GET /debug/requests /debug/slow /debug/flight?ms=N
+           GET /debug/profile?seconds=N&hz=N
+(every GET also answers HEAD with the same headers and no body)"
         }
         _ => return None,
     })
@@ -122,6 +155,7 @@ fn run(args: &[String]) -> CliResult {
         }
         Some("build") => cmd_build(&args[1..], false),
         Some("trace") => cmd_build(&args[1..], true),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("stats") => with_db(&args[1..], cmd_stats),
         Some("classify") => with_db(&args[1..], cmd_classify),
         Some("patterns") => with_db(&args[1..], cmd_patterns),
@@ -145,13 +179,23 @@ fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, Error> {
     text.parse().map_err(|_| Error::usage(format!("{flag} needs a number, got `{text}`")))
 }
 
+fn parse_on_off(text: &str, flag: &str) -> Result<bool, Error> {
+    match text {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(Error::usage(format!("{flag} expects on|off, got `{other}`"))),
+    }
+}
+
 fn cmd_build(args: &[String], force_trace: bool) -> CliResult {
     let mut seed = 42u64;
     let mut tiny = false;
     let mut synth = true;
     let mut trace = force_trace;
+    let mut perfetto = false;
     let mut out: Option<String> = None;
     let mut trace_out = "TRACE_build.json".to_owned();
+    let mut perfetto_out = "TRACE_build.perfetto.json".to_owned();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -159,13 +203,28 @@ fn cmd_build(args: &[String], force_trace: bool) -> CliResult {
             "--tiny" => tiny = true,
             "--no-synth" => synth = false,
             "--trace" => trace = true,
+            "--perfetto" => {
+                perfetto = true;
+                trace = true;
+            }
             "--out" => out = Some(value_after(&mut it, "--out")?.clone()),
             "--trace-out" => trace_out = value_after(&mut it, "--trace-out")?.clone(),
+            "--perfetto-out" => {
+                perfetto_out = value_after(&mut it, "--perfetto-out")?.clone();
+                perfetto = true;
+                trace = true;
+            }
             other => return Err(Error::usage(format!("unknown flag {other}"))),
         }
     }
     if trace {
         obs::set_enabled(true); // same effect as PATCHDB_TRACE=1
+    }
+    if perfetto {
+        // Journal span enter/exit and counter deltas with real
+        // timestamps and thread ids alongside the duration-only span
+        // tree, so the export has true thread tracks.
+        obs::flight::set_enabled(true);
     }
 
     let options = if tiny {
@@ -200,8 +259,77 @@ fn cmd_build(args: &[String], force_trace: bool) -> CliResult {
         let json = telemetry.to_json().to_pretty_string() + "\n";
         std::fs::write(&trace_out, &json)?;
         eprintln!("\nwrote trace ({} bytes) to {trace_out}", json.len());
+        if perfetto {
+            let snap = obs::flight::snapshot(None);
+            let doc = obs::export::merged_chrome(&telemetry.trace, &snap);
+            let json = doc.to_compact_string() + "\n";
+            std::fs::write(&perfetto_out, &json)?;
+            eprintln!(
+                "wrote perfetto trace ({} bytes, {} journal events) to {perfetto_out}",
+                json.len(),
+                snap.events.len()
+            );
+        }
         print_stage_summary(telemetry);
     }
+    Ok(())
+}
+
+/// `patchdb profile`: a build with the span-path sampling profiler
+/// attached; writes flamegraph.pl-compatible folded stacks and prints a
+/// top-N self-time table.
+fn cmd_profile(args: &[String]) -> CliResult {
+    let mut seed = 42u64;
+    let mut tiny = false;
+    let mut synth = true;
+    let mut hz = 97u64;
+    let mut top = 10usize;
+    let mut profile_out = "PROFILE_build.folded".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = parse_num(value_after(&mut it, "--seed")?, "--seed")?,
+            "--tiny" => tiny = true,
+            "--no-synth" => synth = false,
+            "--hz" => hz = parse_num(value_after(&mut it, "--hz")?, "--hz")?,
+            "--top" => top = parse_num(value_after(&mut it, "--top")?, "--top")?,
+            "--profile-out" => profile_out = value_after(&mut it, "--profile-out")?.clone(),
+            other => return Err(Error::usage(format!("unknown flag {other}"))),
+        }
+    }
+    let options = if tiny {
+        BuildOptions::tiny(seed)
+    } else {
+        BuildOptions::default_scale(seed)
+    }
+    .synthesize(synth);
+
+    // Spans must exist for the mirror to have paths to publish.
+    obs::set_enabled(true);
+    obs::sampler::set_mirroring(true);
+    let sampler = obs::sampler::BackgroundSampler::start(hz);
+    eprintln!(
+        "profiling build at {hz} Hz (seed {seed}, ~{} commits)...",
+        options.corpus.expected_commits()
+    );
+    let report = PatchDb::build(&options);
+    let profile = sampler.stop();
+    obs::sampler::set_mirroring(false);
+    eprintln!("{}", report.db.stats());
+
+    std::fs::write(&profile_out, profile.folded())?;
+    println!(
+        "{} samples at {} Hz over {} distinct span paths -> {profile_out}",
+        profile.samples,
+        profile.hz,
+        profile.stacks.len()
+    );
+    println!("\ntop self-time frames (samples):");
+    for (name, n) in profile.self_time_top(top) {
+        let share = 100.0 * n as f64 / profile.samples.max(1) as f64;
+        println!("  {n:>8}  {share:>5.1}%  {name}");
+    }
+    println!("\nrender: flamegraph.pl {profile_out} > flame.svg");
     Ok(())
 }
 
@@ -365,6 +493,19 @@ fn cmd_serve(args: &[String]) -> CliResult {
             }
             "--access-log" => {
                 config = config.access_log(value_after(&mut it, "--access-log")?);
+            }
+            "--access-log-max-mb" => {
+                config = config.access_log_max_mb(parse_num(
+                    value_after(&mut it, "--access-log-max-mb")?,
+                    "--access-log-max-mb",
+                )?);
+            }
+            "--flight" => {
+                config = config.flight(parse_on_off(value_after(&mut it, "--flight")?, "--flight")?);
+            }
+            "--sampler" => {
+                config =
+                    config.sampler(parse_on_off(value_after(&mut it, "--sampler")?, "--sampler")?);
             }
             "--slow-ms" => {
                 config =

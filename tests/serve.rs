@@ -14,7 +14,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use patchdb::prelude::*;
@@ -795,4 +795,253 @@ fn ten_thousand_idle_connections_stay_responsive() {
     let open = await_open_conns_at_most(addr, 8);
     assert!(open <= 8, "connections not reaped after holder exit: {open}");
     server.shutdown();
+}
+
+/// One raw `Connection: close` exchange split into status line, lowered
+/// header pairs, and body bytes. The `client` helper frames responses by
+/// `Content-Length`, which a HEAD reply (full `Content-Length`, empty
+/// body) would desync — so HEAD tests read the raw close-mode stream.
+fn raw_close(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+) -> (String, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read close-mode response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {:?}", String::from_utf8_lossy(&raw)));
+    let head = String::from_utf8_lossy(&raw[..split]).to_string();
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.lines();
+    let status = lines.next().expect("status line").to_string();
+    let headers = lines
+        .map(|l| {
+            let (k, v) = l.split_once(": ").unwrap_or_else(|| panic!("bad header {l:?}"));
+            (k.to_ascii_lowercase(), v.to_string())
+        })
+        .collect();
+    (status, headers, body)
+}
+
+fn header<'a>(headers: &'a [(String, String)], key: &str) -> &'a str {
+    headers
+        .iter()
+        .find_map(|(k, v)| (k == key).then_some(v.as_str()))
+        .unwrap_or_else(|| panic!("no {key} header in {headers:?}"))
+}
+
+#[test]
+fn head_mirrors_get_headers_with_an_empty_body() {
+    let server = start(ephemeral().threads(2));
+    let addr = server.addr();
+
+    // Stable endpoints: HEAD must carry the GET entity's exact headers.
+    for path in ["/healthz", "/v1/stats"] {
+        let (g_status, g_headers, g_body) = raw_close(addr, "GET", path);
+        let (h_status, h_headers, h_body) = raw_close(addr, "HEAD", path);
+        assert_eq!(g_status, h_status, "{path}");
+        assert!(h_body.is_empty(), "HEAD {path} carried a body");
+        assert_eq!(
+            header(&h_headers, "content-length"),
+            g_body.len().to_string(),
+            "HEAD {path} Content-Length must describe the GET entity"
+        );
+        assert_eq!(
+            header(&g_headers, "content-type"),
+            header(&h_headers, "content-type"),
+            "{path}"
+        );
+    }
+
+    // Live endpoints change length between exchanges; assert the shape.
+    for path in ["/metrics", "/debug/requests", "/debug/flight"] {
+        let (status, headers, body) = raw_close(addr, "HEAD", path);
+        assert!(status.starts_with("HTTP/1.1 200"), "HEAD {path}: {status}");
+        assert!(body.is_empty(), "HEAD {path} carried a body");
+        let len: usize = header(&headers, "content-length").parse().unwrap();
+        assert!(len > 0, "HEAD {path} advertised an empty entity");
+    }
+
+    // Content types: Prometheus exposition for /metrics, JSON for debug.
+    let (_, metrics_headers, _) = raw_close(addr, "GET", "/metrics");
+    assert_eq!(header(&metrics_headers, "content-type"), "text/plain; version=0.0.4");
+    for path in ["/debug/requests", "/debug/slow", "/debug/flight"] {
+        let (_, headers, _) = raw_close(addr, "GET", path);
+        assert_eq!(header(&headers, "content-type"), "application/json", "{path}");
+    }
+
+    // HEAD routes like GET, so a POST-only endpoint answers 405.
+    let (status, _, _) = raw_close(addr, "HEAD", "/v1/identify");
+    assert!(status.starts_with("HTTP/1.1 405"), "HEAD /v1/identify: {status}");
+    server.shutdown();
+}
+
+/// Reads one `patchdb_gauge` value off a `/metrics` scrape.
+fn gauge_in(body: &str, name: &str) -> Option<i64> {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("patchdb_gauge{{name=\"{name}\"}} ")))
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn identify_cache_and_batch_gauges_are_exported() {
+    let server = start(ephemeral().threads(2));
+    let addr = server.addr();
+    let record = shared_db().nvd.first().expect("tiny build has NVD records");
+    let body = diff_body(record);
+    assert_eq!(
+        client::request(addr, "POST", "/v1/identify", body.as_bytes()).unwrap().status,
+        200
+    );
+
+    let metrics = client::request(addr, "GET", "/metrics", b"").unwrap().body_text();
+    let entries = gauge_in(&metrics, "serve.identify.cache_entries")
+        .expect("cache_entries gauge after an identify");
+    assert!(entries >= 1, "cache_entries = {entries} after a cached identify");
+    let bytes = gauge_in(&metrics, "serve.identify.cache_bytes")
+        .expect("cache_bytes gauge after an identify");
+    assert!(bytes >= 1, "cache_bytes = {bytes} after a cached identify");
+    // The batcher zeroes its depth after every take; the gauge must
+    // exist (the identify above passed through the batch queue).
+    let depth = gauge_in(&metrics, "serve.batch.queue_depth")
+        .expect("batch queue_depth gauge after an identify");
+    assert!(depth >= 0, "queue_depth = {depth}");
+    server.shutdown();
+}
+
+/// The flight/sampler toggles are process-global; tests that flip or
+/// depend on them serialize here so a `flight(false)` server starting
+/// mid-test cannot blind another test's journal.
+fn obs_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+#[test]
+fn debug_flight_and_profile_round_trip() {
+    let _guard = obs_lock().lock().unwrap();
+    let server = start(ephemeral().threads(2)); // recorder + sampler on by default
+    let addr = server.addr();
+    let record = shared_db().nvd.first().expect("tiny build has NVD records");
+    let body = diff_body(record);
+    for _ in 0..4 {
+        assert_eq!(
+            client::request(addr, "POST", "/v1/identify", body.as_bytes())
+                .unwrap()
+                .status,
+            200
+        );
+    }
+
+    // The journal renders as a Chrome trace-event document and saw this
+    // server's queue transitions and loop ticks.
+    let flight = client::request(addr, "GET", "/debug/flight", b"").unwrap();
+    assert_eq!(flight.status, 200);
+    let json = Json::parse(&flight.body_text()).expect("/debug/flight is JSON");
+    let events = json.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    assert!(!events.is_empty(), "flight journal empty after traffic");
+    for event in events {
+        assert!(event.get("name").and_then(Json::as_str).is_some());
+        assert!(event.get("ph").and_then(Json::as_str).is_some());
+        assert!(event.get("ts").and_then(Json::as_f64).is_some());
+        assert!(event.get("tid").and_then(Json::as_f64).is_some());
+    }
+    let names: Vec<&str> =
+        events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+    for expected in ["serve.queue.push", "serve.queue.pop", "loop.tick"] {
+        assert!(names.contains(&expected), "no {expected} event in {names:?}");
+    }
+    // A windowed view still parses (it may be empty if the machine
+    // stalls, so only the shape is asserted).
+    let windowed = client::request(addr, "GET", "/debug/flight?ms=60000", b"").unwrap();
+    assert_eq!(windowed.status, 200);
+    Json::parse(&windowed.body_text())
+        .expect("windowed /debug/flight is JSON")
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("windowed traceEvents");
+
+    // An on-demand profile: blocks one worker for a second, samples the
+    // rest of the pool serving this very request.
+    let profile = client::request_timeout(
+        addr,
+        "GET",
+        "/debug/profile?seconds=1&hz=50",
+        b"",
+        Duration::from_secs(15),
+    )
+    .unwrap();
+    assert_eq!(profile.status, 200);
+    let pjson = Json::parse(&profile.body_text()).expect("/debug/profile is JSON");
+    assert_eq!(pjson.get("schema").and_then(Json::as_str), Some("patchdb-profile/v1"));
+    assert_eq!(pjson.get("hz").and_then(Json::as_f64), Some(50.0));
+    let samples = pjson.get("samples").and_then(Json::as_f64).expect("samples");
+    assert!(samples >= 5.0, "a 1 s profile at 50 Hz took {samples} samples");
+    let folded = pjson.get("folded").and_then(Json::as_str).expect("folded");
+    for line in folded.lines() {
+        let (path, count) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!path.is_empty());
+        assert!(count.parse::<u64>().unwrap() > 0);
+    }
+    assert!(pjson.get("self_top").and_then(Json::as_arr).is_some());
+
+    assert_eq!(client::request(addr, "POST", "/debug/flight", b"").unwrap().status, 405);
+    assert_eq!(client::request(addr, "POST", "/debug/profile", b"").unwrap().status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn observability_toggles_never_change_response_bytes() {
+    let _guard = obs_lock().lock().unwrap();
+    // Start the dark server first: the toggles are process-global, so
+    // the `on` server's start leaves both enabled while traffic runs.
+    let off = start(ephemeral().threads(4).flight(false).sampler(false));
+    let on = start(ephemeral().threads(4));
+    let db = shared_db();
+
+    let mut requests: Vec<(&str, String, Vec<u8>)> =
+        vec![("GET", "/v1/stats".into(), Vec::new())];
+    for record in db.records().take(8) {
+        requests.push(("POST", "/v1/identify".into(), diff_body(record).into_bytes()));
+        requests.push(("POST", "/v1/classify".into(), diff_body(record).into_bytes()));
+        requests.push(("GET", format!("/v1/patch/{}", record.commit), Vec::new()));
+    }
+    let expected: Vec<_> = requests
+        .iter()
+        .map(|(m, p, b)| client::request(off.addr(), m, p, b).unwrap())
+        .collect();
+
+    // Drive the instrumented server while a live profile scrape walks
+    // its stacks: recorder, mirroring, and sampling may observe, never
+    // steer.
+    let on_addr = on.addr();
+    let profiler = std::thread::spawn(move || {
+        client::request_timeout(
+            on_addr,
+            "GET",
+            "/debug/profile?seconds=1&hz=97",
+            b"",
+            Duration::from_secs(15),
+        )
+    });
+    for pass in 0..2 {
+        for ((method, path, body), want) in requests.iter().zip(&expected) {
+            let got = client::request(on_addr, method, path, body).unwrap();
+            assert_eq!(
+                (got.status, &got.body),
+                (want.status, &want.body),
+                "{method} {path} differs with recorder+sampler live (pass {pass})"
+            );
+        }
+    }
+    let profile = profiler.join().unwrap().expect("profile scrape");
+    assert_eq!(profile.status, 200);
+    off.shutdown();
+    on.shutdown();
 }

@@ -21,7 +21,7 @@
 //! Worker threads hand results back through a mailbox of their own
 //! and call [`Waker::wake`] so the loop notices without spinning.
 
-use std::ffi::{c_int, c_ulong};
+use std::ffi::c_int;
 use std::io::{self, PipeReader, PipeWriter, Read, Write};
 use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -75,9 +75,17 @@ impl PollFd {
     }
 }
 
+/// `nfds_t`: `unsigned long` on Linux/Android, `unsigned int` on the
+/// BSD family. Mismatching the width corrupts the syscall arguments on
+/// 64-bit targets, so it is pinned per-OS alongside `RLIMIT_NOFILE`.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+type NfdsT = std::ffi::c_ulong;
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+type NfdsT = std::ffi::c_uint;
+
 extern "C" {
     #[link_name = "poll"]
-    fn sys_poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn sys_poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
     #[link_name = "getrlimit"]
     fn sys_getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
     #[link_name = "setrlimit"]
@@ -90,7 +98,7 @@ extern "C" {
 /// `revents`. `EINTR` is retried with the same timeout.
 pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
     loop {
-        let rc = unsafe { sys_poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        let rc = unsafe { sys_poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
         if rc >= 0 {
             return Ok(rc as usize);
         }
@@ -145,15 +153,24 @@ impl WakeReader {
     /// Consumes pending wake bytes. Only call after [`poll`] reported
     /// the reader readable — the pipe is in blocking mode.
     ///
-    /// The pending flag is cleared *before* the read: a wake racing
-    /// with the drain then either lands its byte early enough to be
-    /// consumed here (and the producer's data is observed on this
-    /// loop iteration anyway) or writes a fresh byte that keeps the
-    /// pipe readable for the next iteration. Wake-ups are never lost.
+    /// The read happens *before* the pending flag is cleared. The
+    /// reverse order loses wake-ups: a `wake()` racing into the window
+    /// between clear and read would write a byte this read consumes,
+    /// leaving `pending` true over an empty pipe — every later `wake()`
+    /// would then coalesce into nothing and the loop would sleep
+    /// through completions. Read-first, a racing `wake()` either finds
+    /// `pending` still true (no byte, but its producer published data
+    /// before waking, which the caller's post-drain mailbox check picks
+    /// up this iteration) or runs after the clear and writes a fresh
+    /// byte that keeps the pipe readable for the next iteration.
+    ///
+    /// Contract for callers: after `drain()`, check the associated
+    /// mailbox/work source unconditionally — that check is what covers
+    /// the coalesced-away racing wake.
     pub fn drain(&mut self) {
-        self.inner.pending.store(false, Ordering::SeqCst);
         let mut buf = [0u8; 64];
         let _ = self.reader.read(&mut buf);
+        self.inner.pending.store(false, Ordering::SeqCst);
     }
 }
 
@@ -169,7 +186,29 @@ struct Rlimit {
     max: u64,
 }
 
+// The open-files resource number is ABI, not POSIX: 7 on Linux/Android,
+// 8 on the BSD family (macOS included). Anything else must be wired up
+// explicitly rather than silently adjusting some other limit.
+#[cfg(any(target_os = "linux", target_os = "android"))]
 const RLIMIT_NOFILE: c_int = 7;
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+))]
+const RLIMIT_NOFILE: c_int = 8;
+#[cfg(not(any(
+    target_os = "linux",
+    target_os = "android",
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+)))]
+compile_error!("rt::net needs RLIMIT_NOFILE and nfds_t defined for this target OS");
 
 /// Raises the soft open-file limit toward `want` (first trying to lift
 /// the hard cap too, which only succeeds with privilege, then settling
@@ -255,6 +294,45 @@ mod tests {
         handle.join().unwrap();
         assert_eq!(n, 1);
         assert!(started.elapsed() < Duration::from_secs(4), "woke before timeout");
+    }
+
+    #[test]
+    fn drain_never_strands_a_racing_wake() {
+        // Regression: drain() used to clear the coalescing flag before
+        // reading the pipe, so a wake() landing in between left
+        // `pending` true over an empty pipe — and every later wake()
+        // coalesced into nothing. Hammer that window from another
+        // thread, then prove the token still fires.
+        let (waker, mut rx) = Waker::new().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let producer = {
+            let waker = waker.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    waker.wake();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for _ in 0..2_000 {
+            let mut fds = [PollFd::new(&rx, POLLIN)];
+            if poll(&mut fds, 10).unwrap() > 0 {
+                rx.drain();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        producer.join().unwrap();
+        loop {
+            let mut fds = [PollFd::new(&rx, POLLIN)];
+            if poll(&mut fds, 0).unwrap() == 0 {
+                break;
+            }
+            rx.drain();
+        }
+        waker.wake();
+        let mut fds = [PollFd::new(&rx, POLLIN)];
+        assert_eq!(poll(&mut fds, 2_000).unwrap(), 1, "wake after racing drains must fire");
     }
 
     #[test]

@@ -17,17 +17,24 @@
 //! interned frame ids. The *owning thread* is the only writer:
 //!
 //! 1. writer: load `seq` (relaxed; it is the sole writer), store
-//!    `seq + 1` with `Release` — an **odd** value marks "write in
-//!    progress";
+//!    `seq + 1` (relaxed), then a **`Release` fence** — the fence keeps
+//!    the data stores from sinking above the odd "write in progress"
+//!    marker;
 //! 2. writer: store depth and frame ids (relaxed stores);
-//! 3. writer: store `seq + 2` with `Release` — even again.
+//! 3. writer: store `seq + 2` with `Release` — even again, ordered
+//!    after the data.
 //!
-//! The sampler reads `seq` with `Acquire`; an odd value means a write
-//! is in flight, so it retries. After reading depth and frames it loads
-//! `seq` again: an unchanged even value proves the window was quiet and
-//! the sample is consistent; anything else discards the read. No lock
-//! is ever held, so a suspended sampler can never stall a worker, and a
-//! worker's mirror cost is a handful of relaxed stores.
+//! The sampler loads `seq` with `Acquire` (ordering the data loads
+//! after it); an odd value means a write is in flight, so it retries.
+//! After reading depth and frames it issues an **`Acquire` fence** and
+//! loads `seq` again (relaxed) — the fence keeps the data loads from
+//! sinking below the second `seq` load, so an unchanged even value
+//! proves the window was quiet and the sample is consistent; anything
+//! else discards the read. (Without the fences, weakly-ordered CPUs may
+//! reorder the data accesses across the seq checks and a torn path can
+//! pass validation.) No lock is ever held, so a suspended sampler can
+//! never stall a worker, and a worker's mirror cost is a handful of
+//! relaxed stores.
 //!
 //! Frame *names* never cross the seqlock: they are interned once into
 //! small integer ids (a mutex-guarded table, hit only on the first
@@ -43,7 +50,9 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{
+    fence, AtomicBool, AtomicU8, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -134,7 +143,10 @@ impl PathSlot {
     /// Writer side (owning thread only): odd-publish, store, even-publish.
     fn write(&self, path: &[u32]) {
         let seq = self.seq.load(Ordering::Relaxed);
-        self.seq.store(seq.wrapping_add(1), Ordering::Release);
+        self.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+        // Keep the data stores from sinking above the odd marker; a
+        // `Release` on the odd store itself orders nothing that follows.
+        fence(Ordering::Release);
         let depth = path.len().min(MAX_DEPTH);
         for (slot, &frame) in self.frames.iter().zip(path.iter().take(MAX_DEPTH)) {
             slot.store(frame, Ordering::Relaxed);
@@ -156,7 +168,10 @@ impl PathSlot {
             for frame in &self.frames[..depth] {
                 path.push(frame.load(Ordering::Relaxed));
             }
-            let after = self.seq.load(Ordering::Acquire);
+            // Keep the data loads from sinking below the validating seq
+            // load; an `Acquire` on that load orders nothing before it.
+            fence(Ordering::Acquire);
+            let after = self.seq.load(Ordering::Relaxed);
             if before == after {
                 return Some(path);
             }

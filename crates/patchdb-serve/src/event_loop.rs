@@ -398,6 +398,28 @@ impl EventLoop {
                     writable += 1;
                     self.write_ready(slot);
                 }
+                // A zero-interest conn (pipeline-capped or close-after
+                // with its response still at a worker) gets POLLERR/
+                // POLLHUP reported unconditionally, and the handlers
+                // above made no progress — without this, poll returns
+                // ready immediately forever and the loop spins at 100%
+                // CPU until (unless) the worker completes. The socket
+                // is dead either way: tear it down now; the in-flight
+                // completion lands on a stale generation and is banked
+                // by drain_completions.
+                if self.generation_of(slot) == Some(generation)
+                    && pollfds[base + i].hangup()
+                {
+                    let conn = self.conns[slot].as_ref().expect("live slot");
+                    if !conn.wants_read() && conn.outbox.is_empty() {
+                        let reason = if conn.pending > 0 || conn.parser.has_partial() {
+                            CloseReason::Disconnect
+                        } else {
+                            CloseReason::Clean
+                        };
+                        self.close_conn(slot, reason);
+                    }
+                }
             }
             if readable > 0 {
                 obs::counter_add_quiet("serve.loop.wake.readable", readable);

@@ -159,20 +159,24 @@ impl RequestParser {
         }))
     }
 
-    /// Byte offset just past the first `\r\n\r\n` (or bare `\n\n`),
-    /// resuming from where the last scan left off.
+    /// Byte offset just past the *earliest* header terminator — either
+    /// `\r\n\r\n` or a bare `\n\n`, whichever ends first — resuming from
+    /// where the last scan left off. Earliest matters: preferring CRLF
+    /// over the whole buffer would let a later CRLF-framed request
+    /// swallow an LF-framed one pipelined ahead of it.
     fn find_header_end(&mut self) -> Option<usize> {
         let from = self.scanned.saturating_sub(3);
-        let found = self.buf[from..]
+        let crlf = self.buf[from..]
             .windows(4)
             .position(|w| w == b"\r\n\r\n")
             .map(|p| from + p + 4);
-        let found = match found {
-            Some(p) => Some(p),
-            None => self.buf[from..]
-                .windows(2)
-                .position(|w| w == b"\n\n")
-                .map(|p| from + p + 2),
+        let lf = self.buf[from..]
+            .windows(2)
+            .position(|w| w == b"\n\n")
+            .map(|p| from + p + 2);
+        let found = match (crlf, lf) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         };
         if found.is_none() {
             self.scanned = self.buf.len();
@@ -450,6 +454,22 @@ mod tests {
         let second = p.next_request().unwrap().unwrap();
         assert_eq!(second.request.path, "/v1/identify");
         assert_eq!(second.request.body, b"hi");
+        assert!(matches!(p.next_request(), Ok(None)));
+        assert!(!p.has_partial());
+    }
+
+    #[test]
+    fn lf_framed_request_pipelined_ahead_of_crlf_request() {
+        // Regression: the terminator scan used to prefer \r\n\r\n over
+        // the entire buffer, so the later CRLF request's terminator won
+        // and the LF request absorbed it as header lines — misframing
+        // both requests and silently dropping the second.
+        let mut p = RequestParser::default();
+        p.feed(b"GET /first HTTP/1.1\n\nGET /second HTTP/1.1\r\n\r\n");
+        let first = p.next_request().unwrap().expect("LF-framed request");
+        assert_eq!(first.request.path, "/first");
+        let second = p.next_request().unwrap().expect("CRLF-framed request");
+        assert_eq!(second.request.path, "/second");
         assert!(matches!(p.next_request(), Ok(None)));
         assert!(!p.has_partial());
     }

@@ -29,6 +29,12 @@
 //! pairs cancel machine drift, the median discards load bursts — with
 //! the introspection runtime's acceptance bar at <= 5%.
 //!
+//! A final lifecycle section times booting from a binary snapshot
+//! against rerunning the build pipeline, then drives live
+//! `/admin/reload` copy-on-write swaps under keep-alive traffic —
+//! reporting the reload round-trip quantiles and requiring zero failed
+//! (and byte-identical) requests across every swap.
+//!
 //! * `PATCHDB_BENCH_FAST=1` shrinks the request count for the CI smoke
 //!   run (the JSON is still produced and must still parse).
 //! * `PATCHDB_BENCH_SERVE_JSON=<path>` overrides the output location.
@@ -40,7 +46,7 @@ use patchdb::{BuildOptions, PatchDb};
 use patchdb_rt::json::Json;
 use patchdb_rt::obs;
 use patchdb_serve::client::{self, Client};
-use patchdb_serve::{ServeConfig, ServeIndex, Server};
+use patchdb_serve::{ReloadSource, ServeConfig, ServeIndex, Server};
 
 const CLIENT_THREADS: usize = 8;
 /// Requests written back-to-back per batch in pipelined mode (the
@@ -531,11 +537,134 @@ fn main() {
     }
     server.shutdown();
 
+    // Index lifecycle: how much boot time a binary snapshot saves over
+    // rerunning the learning pipeline, and what a live copy-on-write
+    // swap costs a client — the `/admin/reload` round trip (rebuild
+    // from the snapshot + atomic swap) timed while keep-alive traffic
+    // keeps hammering `/v1/identify`. Rebuilds are deterministic, so
+    // the traffic thread still byte-checks every reply against the
+    // reference across generations.
+    let snap_path = std::env::temp_dir()
+        .join(format!("patchdb_bench_{}.snapshot", std::process::id()));
+    // Boot-from-build mirrors `patchdb serve FILE`: parse the dataset
+    // JSON, then run the full indexing pass (weights, forest,
+    // signatures). Boot-from-snapshot replaces all of that with one
+    // decode.
+    let json_path = std::env::temp_dir()
+        .join(format!("patchdb_bench_{}.json", std::process::id()));
+    std::fs::write(&json_path, db.to_json().expect("dataset serializes"))
+        .expect("dataset written");
+    let build_started = Instant::now();
+    let text = std::fs::read_to_string(&json_path).expect("dataset reads");
+    let lifecycle_index =
+        ServeIndex::build(PatchDb::from_json(&text).expect("dataset parses"));
+    let boot_build_ns = build_started.elapsed().as_nanos() as u64;
+    std::fs::remove_file(&json_path).ok();
+    lifecycle_index.save_snapshot(&snap_path).expect("snapshot written");
+    let snapshot_bytes = std::fs::metadata(&snap_path).expect("snapshot stat").len();
+    let load_started = Instant::now();
+    let booted = ServeIndex::load_snapshot(&snap_path).expect("snapshot loads");
+    let boot_snapshot_ns = load_started.elapsed().as_nanos() as u64;
+    drop(lifecycle_index);
+
+    let swaps = if fast { 3 } else { 16 };
+    let server = Server::start(
+        booted,
+        &ServeConfig::default()
+            .addr("127.0.0.1:0")
+            .threads(4)
+            .batch_window_ms(0)
+            .flight(false)
+            .sampler(false)
+            .reload_from(ReloadSource::Snapshot(snap_path.display().to_string())),
+    )
+    .expect("lifecycle server binds");
+    let addr = server.addr();
+    let _ = client::request(addr, "POST", "/v1/identify", bodies[0].as_bytes());
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let mut swap_ns = Vec::with_capacity(swaps);
+    let traffic_errors = std::thread::scope(|scope| {
+        let traffic = scope.spawn(|| {
+            let mut errors = 0usize;
+            let mut served = 0usize;
+            let mut conn: Option<Client> = None;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let which = served % bodies.len();
+                let ka = match conn.as_mut() {
+                    Some(ka) => ka,
+                    None => match Client::connect(addr, CLIENT_TIMEOUT) {
+                        Ok(ka) => conn.insert(ka),
+                        Err(_) => {
+                            errors += 1;
+                            continue;
+                        }
+                    },
+                };
+                match ka.send("POST", "/v1/identify", bodies[which].as_bytes()) {
+                    Ok(reply) if reply.status == 200 => {
+                        assert_eq!(
+                            reply.body, expected[which],
+                            "identify reply diverged across a swap"
+                        );
+                    }
+                    _ => {
+                        errors += 1;
+                        conn = None;
+                    }
+                }
+                served += 1;
+            }
+            errors
+        });
+        for _ in 0..swaps {
+            let sent = Instant::now();
+            let reply =
+                client::request(addr, "POST", "/admin/reload", b"").expect("reload");
+            assert_eq!(reply.status, 200, "reload failed: {}", reply.body_text());
+            swap_ns.push(sent.elapsed().as_nanos() as u64);
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        traffic.join().unwrap()
+    });
+    assert_eq!(traffic_errors, 0, "traffic failed during a copy-on-write swap");
+    let health = client::request(addr, "GET", "/healthz", b"").expect("healthz");
+    assert_eq!(
+        health.body_text(),
+        format!("ok gen={}\n", swaps + 1),
+        "every reload must bump the served generation"
+    );
+    server.shutdown();
+    std::fs::remove_file(&snap_path).ok();
+
+    swap_ns.sort_unstable();
+    let (swap_p50, swap_p99) = (quantile(&swap_ns, 0.50), quantile(&swap_ns, 0.99));
+    println!(
+        "lifecycle: boot from build {:.1} ms, boot from snapshot {:.1} ms \
+         ({:.1}x faster, {snapshot_bytes} bytes on disk); {swaps} live swaps \
+         under traffic, reload p50 {:.2} ms, p99 {:.2} ms, 0 failed requests",
+        boot_build_ns as f64 / 1e6,
+        boot_snapshot_ns as f64 / 1e6,
+        boot_build_ns as f64 / boot_snapshot_ns.max(1) as f64,
+        swap_p50 as f64 / 1e6,
+        swap_p99 as f64 / 1e6,
+    );
+    let lifecycle = Json::Obj(vec![
+        ("boot_build_ns".into(), Json::Num(boot_build_ns as f64)),
+        ("boot_snapshot_ns".into(), Json::Num(boot_snapshot_ns as f64)),
+        ("snapshot_bytes".into(), Json::Num(snapshot_bytes as f64)),
+        ("swaps".into(), Json::Num(swaps as f64)),
+        ("swap_p50_ns".into(), Json::Num(swap_p50 as f64)),
+        ("swap_p99_ns".into(), Json::Num(swap_p99 as f64)),
+        ("traffic_errors".into(), Json::Num(traffic_errors as f64)),
+    ]);
+
     let json = Json::Obj(vec![
         ("schema".into(), Json::Str("patchdb-serve/v2".into())),
         ("fast_mode".into(), Json::Bool(fast)),
         ("client_threads".into(), Json::Num(CLIENT_THREADS as f64)),
         ("pipeline_depth".into(), Json::Num(PIPELINE_DEPTH as f64)),
+        ("lifecycle".into(), lifecycle),
         ("results".into(), Json::Arr(results)),
     ]);
     let path = std::env::var("PATCHDB_BENCH_SERVE_JSON").unwrap_or_else(|_| {

@@ -22,6 +22,9 @@
 //!   per row (`close` | `keepalive` | `pipelined`), a positive
 //!   concurrent-connection count, and at least one `close` and one
 //!   `keepalive` row so the keep-alive speedup is always computable.
+//!   When the report carries a `lifecycle` block (snapshot boot vs
+//!   pipeline boot, live swap quantiles), its timings must be positive,
+//!   `swap_p50_ns <= swap_p99_ns`, and `traffic_errors` must be zero.
 //! * `*.jsonl` access logs (`patchdb serve --access-log`) — dispatched
 //!   on the file extension, not a schema tag: every line is a JSON
 //!   object, `ts_ms` is non-decreasing in file order, request `id`s are
@@ -33,6 +36,11 @@
 //! * `*.folded` profiles (`patchdb profile`, `/debug/profile`) — also
 //!   extension-dispatched: non-empty, every line is `path count` with a
 //!   `;`-joined non-empty frame path and a positive integer count.
+//! * `*.snapshot` binary indexes (`patchdb snapshot`) — also
+//!   extension-dispatched (the file is binary, never UTF-8): `PDBSNAP1`
+//!   magic, the `patchdb-snapshot/v1` schema string, exactly four
+//!   length-prefixed sections with a non-empty records section, no
+//!   trailing garbage, and a valid trailing FNV-1a-64 checksum.
 //! * `patchdb-profile/v1` (`GET /debug/profile`) — positive `hz`,
 //!   non-negative `samples`, and a `folded` field passing the same
 //!   folded-stacks line checks.
@@ -56,6 +64,26 @@ fn main() -> ExitCode {
         eprintln!("usage: check-bench-json <path>");
         return ExitCode::FAILURE;
     };
+    // Binary snapshots dispatch on extension before any UTF-8 read.
+    if path.ends_with(".snapshot") {
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("check-bench-json: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check_snapshot(&bytes) {
+            Ok(summary) => {
+                println!("check-bench-json: {path} ok ({summary})");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("check-bench-json: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -125,6 +153,72 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// A `patchdb-snapshot/v1` binary index (`patchdb snapshot`) —
+/// extension-dispatched: leading `PDBSNAP1` magic, the embedded schema
+/// string, exactly four length-prefixed sections with a non-empty
+/// records section, no trailing garbage, and a valid FNV-1a-64
+/// checksum over every preceding byte.
+fn check_snapshot(bytes: &[u8]) -> Result<String, String> {
+    const MAGIC: &[u8; 8] = b"PDBSNAP1";
+    const SCHEMA: &str = "patchdb-snapshot/v1";
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(format!("{} bytes is too short for a snapshot", bytes.len()));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in body {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if stored != hash {
+        return Err(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {hash:#018x}"
+        ));
+    }
+    let mut at = 0usize;
+    let mut take = |n: usize| -> Result<&[u8], String> {
+        let end = at
+            .checked_add(n)
+            .filter(|&e| e <= body.len())
+            .ok_or(format!("truncated: need {n} bytes at offset {at}"))?;
+        let out = &body[at..end];
+        at = end;
+        Ok(out)
+    };
+    if take(MAGIC.len())? != MAGIC.as_slice() {
+        return Err("bad magic (not a patchdb snapshot)".into());
+    }
+    let tag_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let tag = String::from_utf8_lossy(take(tag_len)?).into_owned();
+    if tag != SCHEMA {
+        return Err(format!("unsupported snapshot schema {tag:?}"));
+    }
+    let sections = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+    if sections != 4 {
+        return Err(format!("expected 4 sections, found {sections}"));
+    }
+    let mut section_lens = Vec::with_capacity(4);
+    for i in 0..sections {
+        let len = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let len = usize::try_from(len)
+            .map_err(|_| format!("section #{i} length {len} overflows"))?;
+        take(len).map_err(|e| format!("section #{i}: {e}"))?;
+        section_lens.push(len);
+    }
+    if at != body.len() {
+        return Err(format!("{} trailing bytes after the last section", body.len() - at));
+    }
+    if section_lens[0] == 0 {
+        return Err("records section is empty".into());
+    }
+    Ok(format!(
+        "{SCHEMA}, {} bytes, sections {:?}",
+        bytes.len(),
+        section_lens
+    ))
 }
 
 fn check_bench(json: &Json) -> Result<String, String> {
@@ -275,8 +369,31 @@ fn check_serve_v2(json: &Json) -> Result<String, String> {
              keepalive rows (need >= 1 of each)"
         ));
     }
+    // The lifecycle block is newer than the schema tag; validate it
+    // when the report carries one.
+    let mut suffix = String::new();
+    if let Some(lifecycle) = json.get("lifecycle") {
+        let num = |field: &str| {
+            lifecycle
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or(format!("`lifecycle` lacks a numeric `{field}`"))
+        };
+        for field in ["boot_build_ns", "boot_snapshot_ns", "snapshot_bytes", "swaps"] {
+            if !(num(field)? > 0.0) {
+                return Err(format!("`lifecycle.{field}` is not positive"));
+            }
+        }
+        if num("swap_p50_ns")? > num("swap_p99_ns")? {
+            return Err("`lifecycle`: swap_p50_ns exceeds swap_p99_ns".into());
+        }
+        if num("traffic_errors")? != 0.0 {
+            return Err("`lifecycle`: traffic_errors is not zero".into());
+        }
+        suffix = format!(", {} lifecycle swaps", num("swaps")?);
+    }
     Ok(format!(
-        "{base}, {close_rows} close + {keepalive_rows} keepalive rows"
+        "{base}, {close_rows} close + {keepalive_rows} keepalive rows{suffix}"
     ))
 }
 

@@ -24,6 +24,17 @@ impl Weights {
     pub fn as_slice(&self) -> &[f64] {
         &self.values
     }
+
+    /// Rebuilds weights from previously learned per-dimension values
+    /// (the inverse of [`Weights::as_slice`]), for codecs that persist
+    /// a learned model. Rejects a wrong dimension count rather than
+    /// silently mis-scaling.
+    pub fn from_values(values: Vec<f64>) -> Result<Self, String> {
+        if values.len() != FEATURE_DIM {
+            return Err(format!("expected {FEATURE_DIM} weights, got {}", values.len()));
+        }
+        Ok(Weights { values })
+    }
 }
 
 /// Per-dimension `max_i |a_ij|` over `rows` — the statistic

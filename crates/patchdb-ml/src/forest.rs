@@ -6,7 +6,24 @@ use patchdb_rt::rng::Xoshiro256pp;
 
 use crate::classifier::Classifier;
 use crate::dataset::Dataset;
-use crate::tree::{DecisionTree, GrowParams, SplitCriterion};
+use crate::tree::{DecisionTree, GrowParams, SplitCriterion, TreeState};
+
+/// Serializable image of a fitted [`RandomForest`]: the training
+/// hyper-parameters plus every fitted tree's [`TreeState`]. External
+/// codecs (the serve snapshot format) persist this instead of the
+/// private fields; `from_state(export_state())` reproduces identical
+/// predictions on every input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestState {
+    /// Configured tree count (what a re-`fit` would grow).
+    pub n_trees: usize,
+    /// Per-tree depth bound.
+    pub max_depth: usize,
+    /// Forest seed (per-tree seeds derive from it).
+    pub seed: u64,
+    /// Every fitted tree, in training order.
+    pub trees: Vec<TreeState>,
+}
 
 /// A random forest over binary-labeled feature rows.
 ///
@@ -29,6 +46,33 @@ impl RandomForest {
     /// Number of fitted trees.
     pub fn tree_count(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Exports the fitted forest as a [`ForestState`].
+    pub fn export_state(&self) -> ForestState {
+        ForestState {
+            n_trees: self.n_trees,
+            max_depth: self.max_depth,
+            seed: self.seed,
+            trees: self.trees.iter().map(DecisionTree::export_state).collect(),
+        }
+    }
+
+    /// Reconstructs a forest from an exported state; every tree's arena
+    /// is validated (see [`DecisionTree::from_state`]).
+    pub fn from_state(state: ForestState) -> Result<Self, String> {
+        let trees = state
+            .trees
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| DecisionTree::from_state(t).map_err(|e| format!("tree {i}: {e}")))
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RandomForest {
+            n_trees: state.n_trees.max(1),
+            max_depth: state.max_depth,
+            seed: state.seed,
+            trees,
+        })
     }
 }
 

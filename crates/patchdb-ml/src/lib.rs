@@ -48,12 +48,12 @@ pub use bayes::{DiscretizedBayesNet, GaussianNaiveBayes};
 pub use boosting::AdaBoost;
 pub use classifier::{evaluate, Classifier};
 pub use dataset::{Dataset, DatasetError};
-pub use forest::RandomForest;
+pub use forest::{ForestState, RandomForest};
 pub use knn::KNearestNeighbors;
 pub use linear::{LinearSvm, LogisticRegression, SgdClassifier, VotedPerceptron};
 pub use metrics::{ConfusionMatrix, Metrics};
 pub use smo::SmoSvm;
-pub use tree::{DecisionTree, SplitCriterion};
+pub use tree::{DecisionTree, NodeState, SplitCriterion, TreeState};
 pub use validation::{cross_validate, permutation_importance, summarize_folds};
 
 /// Builds the paper's ten-classifier ensemble for uncertainty-based

@@ -48,6 +48,46 @@ enum Node {
     },
 }
 
+/// Serializable image of one fitted tree node, mirroring the private
+/// node layout so external codecs (the serve snapshot format) can
+/// persist a tree without this crate dictating a byte format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeState {
+    /// Terminal node carrying the training positive-fraction.
+    Leaf {
+        /// Positive-class probability this leaf predicts.
+        prob: f64,
+    },
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature index the split tests.
+        feature: usize,
+        /// Split threshold (`<=` goes left).
+        threshold: f64,
+        /// Arena index of the left child.
+        left: usize,
+        /// Arena index of the right child.
+        right: usize,
+        /// Training positive-fraction at this node (kept for pruning).
+        prob: f64,
+    },
+}
+
+/// Serializable image of a fitted [`DecisionTree`]: hyper-parameters
+/// plus the node arena. Round-trips exactly — `from_state(export_state())`
+/// reproduces identical predictions on every input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeState {
+    /// Split-quality criterion the tree was grown with.
+    pub criterion: SplitCriterion,
+    /// Depth bound the tree was grown under.
+    pub max_depth: usize,
+    /// Arena index of the root node.
+    pub root: usize,
+    /// The node arena (children always precede their parent).
+    pub nodes: Vec<NodeState>,
+}
+
 /// Growth hyper-parameters shared by trees and forests.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct GrowParams {
@@ -82,6 +122,65 @@ impl DecisionTree {
         self.nodes.clear();
         let idx: Vec<usize> = (0..data.len()).collect();
         self.root = grow(&mut self.nodes, data, &idx, params, 0, rng);
+    }
+
+    /// Exports the fitted tree as a [`TreeState`].
+    pub fn export_state(&self) -> TreeState {
+        TreeState {
+            criterion: self.criterion,
+            max_depth: self.max_depth,
+            root: self.root,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Leaf { prob } => NodeState::Leaf { prob: *prob },
+                    Node::Split { feature, threshold, left, right, prob } => NodeState::Split {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: *left,
+                        right: *right,
+                        prob: *prob,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a tree from an exported state, validating the arena
+    /// shape: children must precede their parent (the invariant `grow`
+    /// establishes), which also rules out cycles and dangling indices,
+    /// so a corrupted state can never make `predict_proba` hang.
+    pub fn from_state(state: TreeState) -> Result<Self, String> {
+        if !state.nodes.is_empty() && state.root != state.nodes.len() - 1 {
+            return Err(format!(
+                "tree root {} is not the last of {} nodes",
+                state.root,
+                state.nodes.len()
+            ));
+        }
+        let nodes: Vec<Node> = state
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| match *n {
+                NodeState::Leaf { prob } => Ok(Node::Leaf { prob }),
+                NodeState::Split { feature, threshold, left, right, prob } => {
+                    if left >= i || right >= i {
+                        return Err(format!(
+                            "tree node {i} points forward (left {left}, right {right})"
+                        ));
+                    }
+                    Ok(Node::Split { feature, threshold, left, right, prob })
+                }
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(DecisionTree {
+            criterion: state.criterion,
+            max_depth: state.max_depth,
+            nodes,
+            root: state.root,
+        })
     }
 
     fn proba(&self, x: &[f64]) -> f64 {

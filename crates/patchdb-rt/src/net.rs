@@ -24,7 +24,7 @@
 use std::ffi::c_int;
 use std::io::{self, PipeReader, PipeWriter, Read, Write};
 use std::os::fd::{AsRawFd, RawFd};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::Arc;
 
 /// There is data to read (or a listener has a pending connection).
@@ -90,6 +90,49 @@ extern "C" {
     fn sys_getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
     #[link_name = "setrlimit"]
     fn sys_setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    #[link_name = "signal"]
+    fn sys_signal(signum: c_int, handler: usize) -> usize;
+    #[link_name = "write"]
+    fn sys_write(fd: c_int, buf: *const u8, count: usize) -> isize;
+}
+
+/// `SIGHUP` — 1 on every Unix this crate targets.
+const SIGHUP: c_int = 1;
+
+/// Set by the SIGHUP handler, consumed by [`take_sighup`].
+static SIGHUP_PENDING: AtomicBool = AtomicBool::new(false);
+/// Self-pipe write fd the handler nudges so a loop parked in [`poll`]
+/// wakes up; `-1` until a handler is installed. The flag alone is not
+/// enough: [`poll`] retries `EINTR` with the same timeout, so without
+/// the pipe byte a quiet server could sit on the signal for a full
+/// poll timeout (which may be infinite).
+static SIGHUP_WAKE_FD: AtomicI32 = AtomicI32::new(-1);
+
+/// The handler body is async-signal-safe: two atomic ops and a
+/// `write(2)`, nothing that allocates or locks.
+extern "C" fn sighup_handler(_signum: c_int) {
+    SIGHUP_PENDING.store(true, Ordering::SeqCst);
+    let fd = SIGHUP_WAKE_FD.load(Ordering::SeqCst);
+    if fd >= 0 {
+        let byte = 1u8;
+        unsafe { sys_write(fd, &byte, 1) };
+    }
+}
+
+/// Installs a `SIGHUP` handler that raises a flag (readable via
+/// [`take_sighup`]) and writes one byte to `wake_fd` — typically the
+/// write end of a [`Waker`] pipe ([`Waker::raw_write_fd`]) so the
+/// event loop's `poll` returns promptly. Process-global: a second call
+/// re-points the wake fd at the newest loop.
+pub fn install_sighup_handler(wake_fd: RawFd) {
+    SIGHUP_WAKE_FD.store(wake_fd, Ordering::SeqCst);
+    unsafe { sys_signal(SIGHUP, sighup_handler as *const () as usize) };
+}
+
+/// Consumes a pending SIGHUP, returning whether one had arrived since
+/// the last call.
+pub fn take_sighup() -> bool {
+    SIGHUP_PENDING.swap(false, Ordering::SeqCst)
 }
 
 /// Blocks until at least one descriptor is ready, the timeout lapses,
@@ -146,6 +189,13 @@ impl Waker {
         if !self.inner.pending.swap(true, Ordering::SeqCst) {
             let _ = (&self.inner.writer).write(&[1]);
         }
+    }
+
+    /// The raw write-end fd, for wiring into a signal handler (see
+    /// [`install_sighup_handler`]). Bytes written there bypass the
+    /// coalescing flag, which is harmless: the reader drains greedily.
+    pub fn raw_write_fd(&self) -> RawFd {
+        self.inner.writer.as_raw_fd()
     }
 }
 

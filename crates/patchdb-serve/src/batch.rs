@@ -24,10 +24,9 @@ use std::time::{Duration, Instant};
 use patchdb_rt::json::Json;
 use patchdb_rt::obs;
 
-use crate::cache::IdentifyCache;
 use crate::event_loop::{Completion, LoopShared};
+use crate::handle::{Generation, IndexHandle};
 use crate::http::{render_head, Response};
-use crate::index::ServeIndex;
 use crate::telemetry::{elapsed_ns, RequestRecord};
 
 /// The identify response document for one score — the single rendering
@@ -70,6 +69,10 @@ pub(crate) struct IdentifyTicket {
     /// The raw request body, carried here so the batcher can populate
     /// the identify cache once the score exists.
     pub body: Vec<u8>,
+    /// The index generation pinned at admission. The row is scored
+    /// through *this* generation's model and its score lands in *this*
+    /// generation's cache, even if a swap happens mid-batch.
+    pub index_gen: Arc<Generation>,
 }
 
 enum Job {
@@ -80,14 +83,6 @@ enum Job {
     Detached { row: Vec<f64>, ticket: IdentifyTicket },
 }
 
-impl Job {
-    fn row(&self) -> &[f64] {
-        match self {
-            Job::Sync { row, .. } | Job::Detached { row, .. } => row,
-        }
-    }
-}
-
 #[derive(Default)]
 struct State {
     pending: Vec<Job>,
@@ -95,12 +90,11 @@ struct State {
 }
 
 struct Shared {
-    index: Arc<ServeIndex>,
+    handle: IndexHandle,
     window: Duration,
     state: Mutex<State>,
     arrived: Condvar,
     serve: Arc<LoopShared>,
-    cache: Arc<IdentifyCache>,
 }
 
 /// Cloneable handle workers submit through; the owning [`crate::Server`]
@@ -115,18 +109,16 @@ impl Batcher {
     /// join handle for shutdown. Detached completions are published to
     /// `serve`.
     pub(crate) fn start(
-        index: Arc<ServeIndex>,
+        handle: IndexHandle,
         window: Duration,
         serve: Arc<LoopShared>,
-        cache: Arc<IdentifyCache>,
     ) -> (Batcher, JoinHandle<()>) {
         let shared = Arc::new(Shared {
-            index,
+            handle,
             window,
             state: Mutex::new(State::default()),
             arrived: Condvar::new(),
             serve,
-            cache,
         });
         let run_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -157,7 +149,8 @@ impl Batcher {
             let mut state = self.shared.state.lock().unwrap();
             if state.shutdown {
                 drop(state);
-                let score = self.shared.index.score_rows(std::slice::from_ref(&row))[0];
+                let current = self.shared.handle.load();
+                let score = current.index.score_rows(std::slice::from_ref(&row))[0];
                 return (score, elapsed_ns(entered));
             }
             state.pending.push(Job::Sync { row, slot: Arc::clone(&slot) });
@@ -180,8 +173,8 @@ impl Batcher {
             let mut state = self.shared.state.lock().unwrap();
             if state.shutdown {
                 drop(state);
-                let score = self.shared.index.score_rows(std::slice::from_ref(&row))[0];
-                fulfill(&self.shared.serve, &self.shared.cache, score, ticket);
+                let score = ticket.index_gen.index.score_rows(std::slice::from_ref(&row))[0];
+                fulfill(&self.shared.serve, score, ticket);
                 return;
             }
             state.pending.push(Job::Detached { row, ticket });
@@ -197,11 +190,12 @@ impl Batcher {
     }
 }
 
-/// Finishes one detached identify: populates the cache, banks stage
-/// accounting, renders the response JSON (identical bytes to the
-/// synchronous path), and publishes the loop completion.
-fn fulfill(serve: &LoopShared, cache: &IdentifyCache, score: f64, mut ticket: IdentifyTicket) {
-    cache.insert(ticket.cache_key, std::mem::take(&mut ticket.body), score);
+/// Finishes one detached identify: populates the pinned generation's
+/// cache, banks stage accounting, renders the response JSON (identical
+/// bytes to the synchronous path), and publishes the loop completion.
+fn fulfill(serve: &LoopShared, score: f64, mut ticket: IdentifyTicket) {
+    let body = std::mem::take(&mut ticket.body);
+    ticket.index_gen.cache.insert(ticket.cache_key, body, score);
     ticket.rec.batch_ns = elapsed_ns(ticket.submitted);
     obs::hist_record("serve.identify.ns", elapsed_ns(ticket.dispatch_started));
     obs::counter_add("serve.status.200", 1);
@@ -244,17 +238,40 @@ fn run(shared: &Shared) {
 
         obs::counter_add("serve.identify.batches", 1);
         obs::hist_record("serve.identify.batch_len", batch.len() as u64);
-        let rows: Vec<Vec<f64>> = batch.iter().map(|j| j.row().to_vec()).collect();
-        let scores = shared.index.score_rows(&rows);
-        for (job, score) in batch.into_iter().zip(scores) {
+        // Every detached job pinned a generation at admission; a batch
+        // that straddles an index swap is scored per generation group,
+        // so each row always goes through the exact model it pinned.
+        // Sync jobs (test-only) score through the current generation.
+        let mut sync: Vec<(Vec<f64>, Arc<Slot>)> = Vec::new();
+        let mut groups: Vec<(Arc<Generation>, Vec<(Vec<f64>, IdentifyTicket)>)> = Vec::new();
+        for job in batch {
             match job {
-                Job::Sync { slot, .. } => {
-                    *slot.result.lock().unwrap() = Some(score);
-                    slot.ready.notify_all();
+                Job::Sync { row, slot } => sync.push((row, slot)),
+                Job::Detached { row, ticket } => {
+                    match groups.iter_mut().find(|(g, _)| g.number == ticket.index_gen.number) {
+                        Some((_, jobs)) => jobs.push((row, ticket)),
+                        None => {
+                            let generation = Arc::clone(&ticket.index_gen);
+                            groups.push((generation, vec![(row, ticket)]));
+                        }
+                    }
                 }
-                Job::Detached { ticket, .. } => {
-                    fulfill(&shared.serve, &shared.cache, score, ticket);
-                }
+            }
+        }
+        if !sync.is_empty() {
+            let current = shared.handle.load();
+            let rows: Vec<Vec<f64>> = sync.iter().map(|(r, _)| r.clone()).collect();
+            let scores = current.index.score_rows(&rows);
+            for ((_, slot), score) in sync.into_iter().zip(scores) {
+                *slot.result.lock().unwrap() = Some(score);
+                slot.ready.notify_all();
+            }
+        }
+        for (generation, jobs) in groups {
+            let rows: Vec<Vec<f64>> = jobs.iter().map(|(r, _)| r.clone()).collect();
+            let scores = generation.index.score_rows(&rows);
+            for ((_, ticket), score) in jobs.into_iter().zip(scores) {
+                fulfill(&shared.serve, score, ticket);
             }
         }
     }
@@ -263,12 +280,13 @@ fn run(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::ServeIndex;
     use patchdb::{BuildOptions, PatchDb};
     use patchdb_features::FEATURE_DIM;
     use patchdb_rt::net::Waker;
 
-    fn tiny_index() -> Arc<ServeIndex> {
-        Arc::new(ServeIndex::build(
+    fn tiny_handle() -> IndexHandle {
+        IndexHandle::from(ServeIndex::build(
             PatchDb::build(&BuildOptions::tiny(3).synthesize(false)).db,
         ))
     }
@@ -278,22 +296,19 @@ mod tests {
         Arc::new(LoopShared::new(waker))
     }
 
-    fn cache() -> Arc<IdentifyCache> {
-        Arc::new(IdentifyCache::new())
-    }
-
     #[test]
     fn batched_scores_equal_direct_scores() {
-        let index = tiny_index();
+        let index_handle = tiny_handle();
+        let generation = index_handle.load();
         let (batcher, handle) =
-            Batcher::start(Arc::clone(&index), Duration::from_millis(5), loop_shared(), cache());
-        let rows: Vec<Vec<f64>> = index
-            .db()
+            Batcher::start(index_handle, Duration::from_millis(5), loop_shared());
+        let db = PatchDb::build(&BuildOptions::tiny(3).synthesize(false)).db;
+        let rows: Vec<Vec<f64>> = db
             .security_patches()
             .take(8)
-            .map(|r| index.weighted_features(&r.patch))
+            .map(|r| generation.index.weighted_features(&r.patch))
             .collect();
-        let direct = index.score_rows(&rows);
+        let direct = generation.index.score_rows(&rows);
         let batched: Vec<f64> = std::thread::scope(|scope| {
             let handles: Vec<_> = rows
                 .iter()
@@ -312,11 +327,12 @@ mod tests {
 
     #[test]
     fn submit_timed_reports_the_blocked_interval() {
-        let index = tiny_index();
+        let index_handle = tiny_handle();
+        let generation = index_handle.load();
         let (batcher, handle) =
-            Batcher::start(Arc::clone(&index), Duration::from_millis(2), loop_shared(), cache());
+            Batcher::start(index_handle, Duration::from_millis(2), loop_shared());
         let row = vec![0.0; FEATURE_DIM];
-        let direct = index.score_rows(std::slice::from_ref(&row))[0];
+        let direct = generation.index.score_rows(std::slice::from_ref(&row))[0];
         let (score, wait_ns) = batcher.submit_timed(row);
         assert_eq!(score, direct);
         assert!(wait_ns > 0, "a 2 ms batch window implies a measurable wait");
@@ -326,9 +342,8 @@ mod tests {
 
     #[test]
     fn submit_after_shutdown_scores_inline() {
-        let index = tiny_index();
         let (batcher, handle) =
-            Batcher::start(index, Duration::from_millis(1), loop_shared(), cache());
+            Batcher::start(tiny_handle(), Duration::from_millis(1), loop_shared());
         batcher.shutdown();
         handle.join().unwrap();
         let score = batcher.submit(vec![0.0; FEATURE_DIM]);
@@ -337,17 +352,16 @@ mod tests {
 
     #[test]
     fn detached_jobs_complete_into_the_mailbox() {
-        let index = tiny_index();
+        let index_handle = tiny_handle();
+        let generation = index_handle.load();
         let shared = loop_shared();
-        let cache = cache();
         let (batcher, handle) = Batcher::start(
-            Arc::clone(&index),
+            index_handle.clone(),
             Duration::from_millis(1),
             Arc::clone(&shared),
-            Arc::clone(&cache),
         );
         let row = vec![0.0; FEATURE_DIM];
-        let direct = index.score_rows(std::slice::from_ref(&row))[0];
+        let direct = generation.index.score_rows(std::slice::from_ref(&row))[0];
         let now = Instant::now();
         let body_bytes = b"diff --git a/x b/x".to_vec();
         let key = crate::cache::cache_key(&body_bytes);
@@ -364,6 +378,7 @@ mod tests {
                 rec: RequestRecord::admitted(1, 0),
                 cache_key: key,
                 body: body_bytes.clone(),
+                index_gen: Arc::clone(&generation),
             },
         );
         // Wait for the completion to land.
@@ -384,9 +399,62 @@ mod tests {
         let head = String::from_utf8(completion.head.clone()).unwrap();
         assert!(head.contains("Connection: keep-alive"), "{head}");
         assert_eq!(
-            cache.lookup(key, &body_bytes),
+            generation.cache.lookup(key, &body_bytes),
             Some(direct),
-            "fulfill must populate the identify cache"
+            "fulfill must populate the pinned generation's identify cache"
+        );
+        batcher.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn detached_jobs_score_through_their_pinned_generation() {
+        let index_handle = tiny_handle();
+        let pinned = index_handle.load();
+        let shared = loop_shared();
+        let (batcher, handle) = Batcher::start(
+            index_handle.clone(),
+            Duration::from_millis(1),
+            Arc::clone(&shared),
+        );
+        let row = vec![0.25; FEATURE_DIM];
+        let direct = pinned.index.score_rows(std::slice::from_ref(&row))[0];
+        // Swap in a different index (different dataset size → different
+        // model) before the pinned job is submitted.
+        index_handle.swap(ServeIndex::build(
+            PatchDb::build(&BuildOptions::tiny(7).synthesize(false)).db,
+        ));
+        let now = Instant::now();
+        let body_bytes = b"diff --git a/y b/y".to_vec();
+        batcher.submit_detached(
+            row,
+            IdentifyTicket {
+                slot: 0,
+                generation: 1,
+                seq: 0,
+                started: now,
+                dispatch_started: now,
+                submitted: now,
+                close_after: false,
+                rec: RequestRecord::admitted(1, 0),
+                cache_key: crate::cache::cache_key(&body_bytes),
+                body: body_bytes,
+                index_gen: Arc::clone(&pinned),
+            },
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let completion = loop {
+            let mut got = shared.take_for_test();
+            if let Some(c) = got.pop() {
+                break c;
+            }
+            assert!(Instant::now() < deadline, "batcher never completed the job");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        let body = String::from_utf8(completion.body).unwrap();
+        assert!(
+            body.contains(&format!("\"score\":{direct}")),
+            "pinned job must score through generation 1's model: {body}"
         );
         batcher.shutdown();
         handle.join().unwrap();

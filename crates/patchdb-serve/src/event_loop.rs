@@ -49,6 +49,7 @@ use patchdb_rt::net::{self, PollFd, POLLIN, POLLOUT};
 use patchdb_rt::obs;
 use patchdb_rt::queue::BoundedQueue;
 
+use crate::handle::{reload, IndexHandle, ReloadSource};
 use crate::http::{render_head, RequestParser, Response};
 use crate::server::{ServeConfig, Work};
 use crate::telemetry::{elapsed_ns, elapsed_since, RequestRecord, Telemetry};
@@ -256,9 +257,17 @@ pub(crate) struct EventLoop {
     tick_accum: u64,
     /// Next instant a coalesced `loop.tick` flight event may be emitted.
     next_tick_emit: Option<Instant>,
+    /// The live index handle; every admitted request pins the current
+    /// generation here.
+    handle: IndexHandle,
+    /// SIGHUP rebuild source (`None` = the signal is ignored).
+    reload: Option<ReloadSource>,
+    /// Shard count for SIGHUP rebuilds.
+    shards: usize,
 }
 
 impl EventLoop {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         listener: TcpListener,
         queue: Arc<BoundedQueue<Work>>,
@@ -267,6 +276,7 @@ impl EventLoop {
         stop: Arc<AtomicBool>,
         telemetry: Arc<Telemetry>,
         config: &ServeConfig,
+        handle: IndexHandle,
     ) -> EventLoop {
         EventLoop {
             listener,
@@ -292,6 +302,9 @@ impl EventLoop {
             draining: None,
             tick_accum: 0,
             next_tick_emit: None,
+            handle,
+            reload: config.reload_source(),
+            shards: config.shards.max(1),
         }
     }
 
@@ -370,6 +383,14 @@ impl EventLoop {
             // Completions are drained unconditionally — a waker byte can
             // coalesce behind socket traffic.
             self.drain_completions();
+            // SIGHUP lands here: the handler wrote a byte to the same
+            // self-pipe, so the poll woke up and the flag is fresh. The
+            // rebuild runs on its own thread — the loop (and every
+            // in-flight request) keeps serving the old generation until
+            // the atomic swap lands.
+            if net::take_sighup() {
+                self.sighup_reload();
+            }
             if accepting && pollfds[base - 1].readable() {
                 obs::counter_add_quiet("serve.loop.wake.listener", 1);
                 self.accept_ready();
@@ -464,6 +485,27 @@ impl EventLoop {
 
     fn generation_of(&self, slot: usize) -> Option<u64> {
         self.conns.get(slot).and_then(|c| c.as_ref()).map(|c| c.generation)
+    }
+
+    /// Kicks off a SIGHUP-driven reload on a spawned thread. Failures
+    /// are counted and logged, never fatal — the old generation keeps
+    /// serving.
+    fn sighup_reload(&self) {
+        let Some(source) = self.reload.clone() else { return };
+        obs::counter_add("serve.index.sighup", 1);
+        let handle = self.handle.clone();
+        let shards = self.shards;
+        let spawned = std::thread::Builder::new()
+            .name("patchdb-serve-reload".into())
+            .spawn(move || {
+                if let Err(e) = reload(&handle, &source, shards) {
+                    obs::counter_add("serve.index.reload_failed", 1);
+                    eprintln!("patchdb-serve: SIGHUP reload failed: {e}");
+                }
+            });
+        if spawned.is_err() {
+            obs::counter_add("serve.index.reload_failed", 1);
+        }
     }
 
     fn begin_drain(&mut self) {
@@ -733,6 +775,10 @@ impl EventLoop {
                         close_after,
                         enqueued: Instant::now(),
                         rec,
+                        // Pin the index generation at admission: this
+                        // request answers from this exact index/cache no
+                        // matter when a swap lands.
+                        index_gen: self.handle.load(),
                     };
                     if let Err(refused) = self.queue.try_push(work) {
                         // Admission backpressure: shed this request with

@@ -57,12 +57,19 @@ pub(crate) enum FrameError {
 }
 
 impl FrameError {
-    /// The canned response for this violation.
+    /// The canned response for this violation, in the standard error
+    /// envelope.
     pub fn response(&self) -> Response {
         match self {
-            FrameError::HeaderTooLarge => Response::text(431, "request header too large\n"),
-            FrameError::BodyTooLarge => Response::text(413, "request body too large\n"),
-            FrameError::Malformed(why) => Response::text(400, format!("bad request: {why}\n")),
+            FrameError::HeaderTooLarge => {
+                Response::error(431, "header_too_large", "request header too large")
+            }
+            FrameError::BodyTooLarge => {
+                Response::error(413, "body_too_large", "request body too large")
+            }
+            FrameError::Malformed(why) => {
+                Response::error(400, "bad_request", format!("bad request: {why}"))
+            }
         }
     }
 }
@@ -280,9 +287,28 @@ impl Response {
         }
     }
 
+    /// The unified non-2xx error envelope shared by every endpoint:
+    /// `{"error":{"code":...,"message":...}}`. `code` is a stable
+    /// machine-readable slug — an HTTP reason slug (`not_found`,
+    /// `overloaded`, ...) or a `patchdb::Error::code` tag when a
+    /// library error caused the failure; `message` is human-readable
+    /// detail.
+    pub fn error(status: u16, code: &str, message: impl Into<String>) -> Response {
+        Response::json(
+            status,
+            &Json::Obj(vec![(
+                "error".into(),
+                Json::Obj(vec![
+                    ("code".into(), Json::Str(code.to_owned())),
+                    ("message".into(), Json::Str(message.into())),
+                ]),
+            )]),
+        )
+    }
+
     /// The `503` load-shedding response with its `Retry-After` hint.
     pub fn overloaded(retry_after_secs: u32) -> Response {
-        let mut r = Response::text(503, "overloaded, retry later\n");
+        let mut r = Response::error(503, "overloaded", "overloaded, retry later");
         r.retry_after = Some(retry_after_secs);
         r
     }
@@ -293,6 +319,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
             413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
@@ -506,7 +533,13 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
         assert!(text.contains("Connection: close\r\n"), "{text}");
-        assert!(text.ends_with("overloaded, retry later\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"), "{text}");
+        assert!(
+            text.ends_with(
+                "{\"error\":{\"code\":\"overloaded\",\"message\":\"overloaded, retry later\"}}\n"
+            ),
+            "{text}"
+        );
 
         // Keep-alive only flips the Connection value, nothing else.
         let ka = String::from_utf8(render_head(&Response::text(200, "ok\n"), true)).unwrap();

@@ -1,22 +1,27 @@
 //! The in-memory query index: everything hot paths need, precomputed at
 //! load time so no request ever re-parses or re-fits anything.
 
+use std::collections::HashMap;
+use std::path::Path;
+
 use patch_core::{CommitId, Patch};
 use patchdb::{
-    classify_patch, signatures_of, test_presence, PatchDb, PatchSignature, PresenceVerdict,
-    Source, ALL_CATEGORIES,
+    classify_patch, signatures_of, test_presence, DatasetStats, Error, PatchCategory, PatchDb,
+    PatchSignature, PresenceVerdict, Source, ALL_CATEGORIES,
 };
 use patchdb_features::{apply_weights, extract, learn_weights, Weights};
 use patchdb_ml::{Classifier, Dataset, RandomForest};
 use patchdb_rt::json::Json;
 use patchdb_rt::obs;
 
+use crate::snapshot::Snapshot;
+
 /// One precompiled signature plus the provenance the scan response needs.
 #[derive(Debug, Clone)]
-struct SignatureEntry {
-    commit: CommitId,
-    cve_id: Option<String>,
-    signature: PatchSignature,
+pub(crate) struct SignatureEntry {
+    pub(crate) commit: CommitId,
+    pub(crate) cve_id: Option<String>,
+    pub(crate) signature: PatchSignature,
 }
 
 /// One vulnerable-clone hit from [`ServeIndex::scan`].
@@ -108,6 +113,52 @@ impl ServeIndex {
         ServeIndex { db, weights, forest, signatures }
     }
 
+    /// Reassembles an index from already-built parts — the snapshot
+    /// loader and the shard splitter, which must never re-run the
+    /// learning pipeline.
+    pub(crate) fn from_parts(
+        db: PatchDb,
+        weights: Weights,
+        forest: Option<RandomForest>,
+        signatures: Vec<SignatureEntry>,
+    ) -> ServeIndex {
+        ServeIndex { db, weights, forest, signatures }
+    }
+
+    /// Read access to every built part, for the snapshot encoder and
+    /// the shard splitter.
+    pub(crate) fn parts(
+        &self,
+    ) -> (&PatchDb, &Weights, Option<&RandomForest>, &[SignatureEntry]) {
+        (&self.db, &self.weights, self.forest.as_ref(), &self.signatures)
+    }
+
+    /// Consumes the index into its parts (the shard splitter moves the
+    /// dataset instead of cloning it).
+    pub(crate) fn into_parts(
+        self,
+    ) -> (PatchDb, Weights, Option<RandomForest>, Vec<SignatureEntry>) {
+        (self.db, self.weights, self.forest, self.signatures)
+    }
+
+    /// Persists the built index as a `patchdb-snapshot/v1` file; a
+    /// server booted from it answers byte-identically to this one.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        Snapshot::encode(self).write_to(path)
+    }
+
+    /// Loads an index from a `patchdb-snapshot/v1` file without running
+    /// any of the learning pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the file cannot be read; [`Error::Schema`]
+    /// when it is not a well-formed snapshot (wrong magic or version,
+    /// truncated, or failing its checksum).
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<ServeIndex, Error> {
+        Snapshot::read_from(path)?.decode()
+    }
+
     /// The indexed dataset.
     pub fn db(&self) -> &PatchDb {
         &self.db
@@ -153,15 +204,93 @@ impl ServeIndex {
         outcome
     }
 
+    /// The raw, additive statistics behind `/v1/stats`. Counts over
+    /// disjoint record subsets sum, so N shards' parts merged with
+    /// [`StatsParts::merge`] and rendered once are byte-identical to the
+    /// unsharded document — the normalizing division happens exactly
+    /// once, on identical integers.
+    pub(crate) fn stats_parts(&self) -> StatsParts {
+        let (category_counts, labeled) =
+            PatchDb::category_counts(self.db.security_patches());
+        StatsParts {
+            stats: self.db.stats(),
+            signatures: self.signatures.len(),
+            category_counts,
+            labeled,
+        }
+    }
+
     /// The `/v1/stats` document: headline counts, signature count, and
     /// the ground-truth category distribution in Table V order.
     pub fn stats_json(&self) -> Json {
-        let s = self.db.stats();
-        let dist = PatchDb::category_distribution(self.db.security_patches());
+        self.stats_parts().render()
+    }
+
+    /// Prefix lookup returning the match count alongside the rendered
+    /// record (of the first match). The caller decides uniqueness —
+    /// a sharded index sums counts across shards before trusting any
+    /// single shard's "unique" hit.
+    pub(crate) fn patch_lookup(&self, id: &str) -> (usize, Option<Json>) {
+        let (hits, first) = self.db.find_patch_counted(id);
+        (hits, first.map(render_patch))
+    }
+
+    /// The `/v1/patch/<id>` document, `None` when the id resolves to no
+    /// unique record.
+    pub fn patch_json(&self, id: &str) -> Option<Json> {
+        match self.patch_lookup(id) {
+            (1, json) => json,
+            _ => None,
+        }
+    }
+
+    /// The `/v1/classify` document for one parsed patch.
+    pub fn classify_json(&self, patch: &Patch) -> Json {
+        let category = classify_patch(patch);
+        Json::Obj(vec![
+            ("type_id".into(), Json::Num(category.type_id() as f64)),
+            ("label".into(), Json::Str(category.label().to_owned())),
+        ])
+    }
+}
+
+/// Additive `/v1/stats` statistics: headline counts, signature count,
+/// and *raw* category counts (normalization is deferred to rendering so
+/// shard merges stay exact).
+#[derive(Debug, Clone)]
+pub(crate) struct StatsParts {
+    pub(crate) stats: DatasetStats,
+    pub(crate) signatures: usize,
+    pub(crate) category_counts: HashMap<PatchCategory, usize>,
+    pub(crate) labeled: usize,
+}
+
+impl StatsParts {
+    /// Folds another shard's parts into this one (disjoint subsets, so
+    /// every field adds).
+    pub(crate) fn merge(&mut self, other: &StatsParts) {
+        self.stats.nvd_security += other.stats.nvd_security;
+        self.stats.wild_security += other.stats.wild_security;
+        self.stats.non_security += other.stats.non_security;
+        self.stats.synthetic_security += other.stats.synthetic_security;
+        self.stats.synthetic_non_security += other.stats.synthetic_non_security;
+        self.signatures += other.signatures;
+        for (c, n) in &other.category_counts {
+            *self.category_counts.entry(*c).or_insert(0) += n;
+        }
+        self.labeled += other.labeled;
+    }
+
+    /// Renders the `/v1/stats` document — the single code path both the
+    /// unsharded and the merged sharded answers go through.
+    pub(crate) fn render(&self) -> Json {
+        let s = &self.stats;
+        let total = self.labeled.max(1) as f64;
         let categories = ALL_CATEGORIES
             .into_iter()
             .map(|c| {
-                (c.label().to_owned(), Json::Num(dist.get(&c).copied().unwrap_or(0.0)))
+                let n = self.category_counts.get(&c).copied().unwrap_or(0);
+                (c.label().to_owned(), Json::Num(n as f64 / total))
             })
             .collect();
         Json::Obj(vec![
@@ -173,46 +302,36 @@ impl ServeIndex {
                 "synthetic_non_security".into(),
                 Json::Num(s.synthetic_non_security as f64),
             ),
-            ("signatures".into(), Json::Num(self.signatures.len() as f64)),
+            ("signatures".into(), Json::Num(self.signatures as f64)),
             ("categories".into(), Json::Obj(categories)),
         ])
     }
+}
 
-    /// The `/v1/patch/<id>` document, `None` when the id resolves to no
-    /// unique record.
-    pub fn patch_json(&self, id: &str) -> Option<Json> {
-        let r = self.db.find_patch(id)?;
-        let source = match r.source {
-            Source::Nvd => "nvd",
-            Source::Wild => "wild",
-            Source::NonSecurity => "non-security",
-        };
-        Some(Json::Obj(vec![
-            ("commit".into(), Json::Str(r.commit.to_string())),
-            ("repo".into(), Json::Str(r.repo.clone())),
-            (
-                "cve_id".into(),
-                r.cve_id.as_ref().map_or(Json::Null, |c| Json::Str(c.clone())),
-            ),
-            ("source".into(), Json::Str(source.into())),
-            ("message".into(), Json::Str(r.message.clone())),
-            (
-                "category".into(),
-                r.truth_category
-                    .map_or(Json::Null, |c| Json::Str(c.label().to_owned())),
-            ),
-            ("patch".into(), Json::Str(r.patch.to_unified_string())),
-        ]))
-    }
-
-    /// The `/v1/classify` document for one parsed patch.
-    pub fn classify_json(&self, patch: &Patch) -> Json {
-        let category = classify_patch(patch);
-        Json::Obj(vec![
-            ("type_id".into(), Json::Num(category.type_id() as f64)),
-            ("label".into(), Json::Str(category.label().to_owned())),
-        ])
-    }
+/// The `/v1/patch/<id>` record document — one renderer shared by the
+/// unsharded and sharded lookup paths.
+fn render_patch(r: &patchdb::PatchRecord) -> Json {
+    let source = match r.source {
+        Source::Nvd => "nvd",
+        Source::Wild => "wild",
+        Source::NonSecurity => "non-security",
+    };
+    Json::Obj(vec![
+        ("commit".into(), Json::Str(r.commit.to_string())),
+        ("repo".into(), Json::Str(r.repo.clone())),
+        (
+            "cve_id".into(),
+            r.cve_id.as_ref().map_or(Json::Null, |c| Json::Str(c.clone())),
+        ),
+        ("source".into(), Json::Str(source.into())),
+        ("message".into(), Json::Str(r.message.clone())),
+        (
+            "category".into(),
+            r.truth_category
+                .map_or(Json::Null, |c| Json::Str(c.label().to_owned())),
+        ),
+        ("patch".into(), Json::Str(r.patch.to_unified_string())),
+    ])
 }
 
 #[cfg(test)]

@@ -19,7 +19,8 @@
 //! | `/v1/scan`           | POST   | C source → vulnerability-signature hits         |
 //! | `/v1/stats`          | GET    | dataset headline counts + category distribution |
 //! | `/v1/patch/<id>`     | GET    | one record by (prefix) commit hex               |
-//! | `/healthz`           | GET    | liveness                                        |
+//! | `/admin/reload`      | POST   | rebuild the index from its source, atomic swap  |
+//! | `/healthz`           | GET    | liveness + served index generation              |
 //! | `/metrics`           | GET    | counters, gauges, cumulative + windowed latency |
 //! | `/debug/requests`    | GET    | last N requests, each with its stage breakdown  |
 //! | `/debug/slow`        | GET    | slow-request exemplars above `--slow-ms`        |
@@ -57,7 +58,30 @@
 //!
 //! Responses are deterministic: the same request against the same
 //! dataset yields byte-identical bodies at any worker count or batch
-//! composition (`tests/serve.rs` pins threads 1 vs 8).
+//! composition (`tests/serve.rs` pins threads 1 vs 8), whether the
+//! index was pipeline-built or booted from a binary snapshot, and at
+//! any shard count.
+//!
+//! ## Index lifecycle
+//!
+//! The served index lives behind an [`IndexHandle`] — an atomically
+//! swappable, generation-counted pointer. A built [`ServeIndex`] can be
+//! persisted as a `patchdb-snapshot/v1` binary file ([`Snapshot`],
+//! `ServeIndex::save_snapshot` / `ServeIndex::load_snapshot`) and a
+//! server boots from it without running any of the learning pipeline.
+//! `POST /admin/reload` (or SIGHUP) rebuilds the next generation from
+//! the configured [`ReloadSource`] entirely off the handle, then swaps
+//! it in: in-flight requests keep the generation they pinned at
+//! admission, new requests see the new one, and readers never block.
+//! [`ShardedIndex`] partitions one logical index across N shards with
+//! deterministic scatter-gather merges that are byte-identical to the
+//! 1-shard answers. Non-2xx responses share one JSON error envelope:
+//! `{"error": {"code": ..., "message": ...}}`.
+//!
+//! Every non-2xx response body is that envelope; `code` is an HTTP
+//! reason slug (`not_found`, `method_not_allowed`, `overloaded`, ...)
+//! or, where a `patchdb::Error` caused the failure, its
+//! [`Error::code`](patchdb::Error::code) tag.
 //!
 //! ```rust,no_run
 //! use patchdb::prelude::*;
@@ -77,11 +101,17 @@ mod batch;
 mod cache;
 pub mod client;
 mod event_loop;
+mod handle;
 mod http;
 mod index;
 mod server;
+mod shard;
+mod snapshot;
 mod telemetry;
 
+pub use handle::{IndexHandle, ReloadSource};
 pub use http::{Request, Response};
 pub use index::{ScanMatch, ScanOutcome, ServeIndex};
 pub use server::{ServeConfig, Server};
+pub use shard::ShardedIndex;
+pub use snapshot::Snapshot;

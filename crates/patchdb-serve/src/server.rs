@@ -24,10 +24,10 @@ use patchdb_rt::par;
 use patchdb_rt::queue::BoundedQueue;
 
 use crate::batch::{identify_response, Batcher, IdentifyTicket};
-use crate::cache::{cache_key, IdentifyCache};
+use crate::cache::cache_key;
 use crate::event_loop::{Completion, EventLoop, LoopShared};
+use crate::handle::{reload, Generation, IndexHandle, ReloadSource};
 use crate::http::{render_head, Request, Response};
-use crate::index::ServeIndex;
 use crate::telemetry::{elapsed_ns, RequestRecord, Telemetry};
 
 /// Server knobs. Construct with [`ServeConfig::default`] and refine with
@@ -97,6 +97,18 @@ pub struct ServeConfig {
     /// Whether threads mirror their span path into the sampler's seqlock
     /// slots, enabling `GET /debug/profile`. Purely observational.
     pub sampler: bool,
+    /// How many ways `/admin/reload` and SIGHUP rebuilds shard the next
+    /// generation (clamped to at least 1). The *initial* index is
+    /// sharded by the caller (pass a `ShardedIndex` to
+    /// [`Server::start`]); this knob only governs swapped-in rebuilds.
+    pub shards: usize,
+    /// The snapshot file this server booted from, if any. Doubles as
+    /// the default reload source when `reload` is unset.
+    pub snapshot: Option<String>,
+    /// Where `POST /admin/reload` and SIGHUP rebuild the next index
+    /// generation from. `None` (and no `snapshot`) disables live
+    /// reload: `/admin/reload` answers `409` and SIGHUP is ignored.
+    pub reload: Option<ReloadSource>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +129,9 @@ impl Default for ServeConfig {
             access_log_max_mb: 0,
             flight: true,
             sampler: true,
+            shards: 1,
+            snapshot: None,
+            reload: None,
         }
     }
 }
@@ -211,6 +226,33 @@ impl ServeConfig {
         self.sampler = enabled;
         self
     }
+
+    /// Sets the reload shard count (clamped to at least 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Records the snapshot file this server boots from (also the
+    /// default reload source).
+    pub fn snapshot(mut self, path: impl Into<String>) -> Self {
+        self.snapshot = Some(path.into());
+        self
+    }
+
+    /// Sets where `/admin/reload` and SIGHUP rebuild the index from.
+    pub fn reload_from(mut self, source: ReloadSource) -> Self {
+        self.reload = Some(source);
+        self
+    }
+
+    /// The effective reload source: the explicit `reload` policy, else
+    /// the boot snapshot.
+    pub(crate) fn reload_source(&self) -> Option<ReloadSource> {
+        self.reload
+            .clone()
+            .or_else(|| self.snapshot.clone().map(ReloadSource::Snapshot))
+    }
 }
 
 /// One framed request traveling from the event loop to a worker.
@@ -231,19 +273,24 @@ pub(crate) struct Work {
     /// stage off this at dequeue.
     pub enqueued: Instant,
     pub rec: RequestRecord,
+    /// The index generation pinned at admission: this request answers
+    /// from this exact index and cache no matter how many swaps land
+    /// while it is in flight.
+    pub index_gen: Arc<Generation>,
 }
 
 /// Everything a worker needs, shared immutably.
 struct Ctx {
-    index: Arc<ServeIndex>,
+    /// The live handle — used only by `/admin/reload`; request serving
+    /// goes through the generation pinned on each [`Work`].
+    handle: IndexHandle,
     batcher: Batcher,
     shared: Arc<LoopShared>,
     telemetry: Arc<Telemetry>,
-    /// Content-addressed identify results: workers look up, the batcher
-    /// fills in. Hits skip parse, feature extraction, and the batcher
-    /// entirely — with byte-identical responses, since identify is a
-    /// pure function of the body bytes.
-    cache: Arc<IdentifyCache>,
+    /// Where `/admin/reload` rebuilds from (`None` = reload disabled).
+    reload: Option<ReloadSource>,
+    /// Shard count for swapped-in rebuilds.
+    shards: usize,
 }
 
 /// A running query server. Dropping it (or calling
@@ -265,11 +312,16 @@ impl Server {
     /// batcher, and starts answering. Also enables `rt::obs` so the
     /// `/metrics` endpoint has counters to export.
     ///
+    /// Accepts anything that converts into an [`IndexHandle`]: a bare
+    /// [`crate::ServeIndex`] (one shard, generation 1), a
+    /// [`crate::ShardedIndex`], or an existing handle — the latter lets
+    /// the caller keep a clone and drive swaps externally.
+    ///
     /// # Errors
     ///
     /// [`Error::Io`] when the listener cannot bind or the waker pipe
     /// cannot be created.
-    pub fn start(index: ServeIndex, config: &ServeConfig) -> Result<Server, Error> {
+    pub fn start(index: impl Into<IndexHandle>, config: &ServeConfig) -> Result<Server, Error> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -288,7 +340,8 @@ impl Server {
         obs::sampler::set_mirroring(config.sampler);
         let telemetry = Arc::new(Telemetry::new(config)?);
 
-        let index = Arc::new(index);
+        let handle: IndexHandle = index.into();
+        let reload_source = config.reload_source();
         let worker_count = if config.threads == 0 {
             par::configured_threads(8)
         } else {
@@ -297,21 +350,28 @@ impl Server {
         let queue: Arc<BoundedQueue<Work>> =
             Arc::new(BoundedQueue::new(config.max_inflight));
         let (waker, wake_rx) = Waker::new()?;
+        // SIGHUP-driven reload: the handler only sets a flag and writes
+        // one byte to the loop's self-pipe (both async-signal-safe); the
+        // event loop notices the byte, sees the flag, and runs the
+        // rebuild on a spawned thread. Without a reload source the
+        // signal is left at its default disposition.
+        if reload_source.is_some() {
+            patchdb_rt::net::install_sighup_handler(waker.raw_write_fd());
+        }
         let shared = Arc::new(LoopShared::new(waker));
-        let cache = Arc::new(IdentifyCache::new());
         let (batcher, batcher_thread) = Batcher::start(
-            Arc::clone(&index),
+            handle.clone(),
             Duration::from_millis(config.batch_window_ms),
             Arc::clone(&shared),
-            Arc::clone(&cache),
         );
 
         let ctx = Arc::new(Ctx {
-            index,
+            handle: handle.clone(),
             batcher: batcher.clone(),
             shared: Arc::clone(&shared),
             telemetry: Arc::clone(&telemetry),
-            cache,
+            reload: reload_source,
+            shards: config.shards.max(1),
         });
         let workers: Vec<JoinHandle<()>> = (0..worker_count)
             .map(|i| {
@@ -345,6 +405,7 @@ impl Server {
             Arc::clone(&stop),
             Arc::clone(&telemetry),
             config,
+            handle,
         );
         let loop_thread = std::thread::Builder::new()
             .name("patchdb-serve-loop".into())
@@ -430,6 +491,7 @@ pub(crate) fn status_counter(status: u16) -> std::borrow::Cow<'static, str> {
         400 => "serve.status.400".into(),
         404 => "serve.status.404".into(),
         405 => "serve.status.405".into(),
+        409 => "serve.status.409".into(),
         413 => "serve.status.413".into(),
         429 => "serve.status.429".into(),
         500 => "serve.status.500".into(),
@@ -486,7 +548,7 @@ fn handle_work(mut work: Work, ctx: &Ctx) {
         // through the batcher — identify is pure in the body bytes, so
         // the response is byte-identical to the full pipeline's.
         let key = cache_key(&work.request.body);
-        if let Some(score) = ctx.cache.lookup(key, &work.request.body) {
+        if let Some(score) = work.index_gen.cache.lookup(key, &work.request.body) {
             work.rec.compute_ns = elapsed_ns(started);
             obs::counter_add("serve.identify.requests", 1);
             obs::counter_add("serve.identify.cache_hits", 1);
@@ -500,10 +562,11 @@ fn handle_work(mut work: Work, ctx: &Ctx) {
                 reply(work, "identify", response, ctx);
             }
             Ok(patch) => {
-                let row = ctx.index.weighted_features(&patch);
+                let row = work.index_gen.index.weighted_features(&patch);
                 let body = std::mem::take(&mut work.request.body);
                 work.rec.compute_ns = elapsed_ns(started);
                 obs::counter_add("serve.identify.requests", 1);
+                let index_gen = Arc::clone(&work.index_gen);
                 ctx.batcher.submit_detached(
                     row,
                     IdentifyTicket {
@@ -517,6 +580,7 @@ fn handle_work(mut work: Work, ctx: &Ctx) {
                         rec: work.rec,
                         cache_key: key,
                         body,
+                        index_gen,
                     },
                 );
             }
@@ -525,7 +589,7 @@ fn handle_work(mut work: Work, ctx: &Ctx) {
     }
 
     let started = Instant::now();
-    let (endpoint, response) = dispatch(&work.request, ctx);
+    let (endpoint, response) = dispatch(&work.request, &work.index_gen, ctx);
     let dispatch_ns = elapsed_ns(started);
     work.rec.compute_ns = dispatch_ns;
     obs::counter_add(&format!("serve.{endpoint}.requests"), 1);
@@ -533,31 +597,37 @@ fn handle_work(mut work: Work, ctx: &Ctx) {
     reply(work, endpoint, response, ctx);
 }
 
-/// Routes one (non-identify) request; returns the endpoint label the
-/// metrics use.
-fn dispatch(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
+/// Routes one (non-identify) request against the generation it pinned
+/// at admission; returns the endpoint label the metrics use.
+fn dispatch(request: &Request, gen: &Generation, ctx: &Ctx) -> (&'static str, Response) {
     let path = request.path.as_str();
     // HEAD routes exactly like GET; `reply` drops the body after the
     // head (Content-Length included) is rendered.
     let get = request.method == "GET" || request.method == "HEAD";
     let post = request.method == "POST";
     match path {
-        "/healthz" if get => ("healthz", Response::text(200, "ok\n")),
+        "/healthz" if get => {
+            ("healthz", Response::text(200, format!("ok gen={}\n", gen.number)))
+        }
         "/metrics" if get => {
             // Snapshot, not report(): counters/gauges/hists/windows only,
             // no span-tree clone under the registry mutex.
             ("metrics", Response::metrics(obs::metrics_snapshot().to_metrics_text()))
         }
         "/v1/stats" if get => {
-            ("stats", Response::json(200, &ctx.index.stats_json()))
+            ("stats", Response::json(200, &gen.index.stats_json()))
         }
-        "/v1/classify" if post => ("classify", classify(request, ctx)),
-        "/v1/scan" if post => ("scan", scan(request, ctx)),
+        "/v1/classify" if post => ("classify", classify(request, gen)),
+        "/v1/scan" if post => ("scan", scan(request, gen)),
+        "/admin/reload" if post => ("admin_reload", admin_reload(ctx)),
         _ if path.starts_with("/v1/patch/") && get => {
             let id = &path["/v1/patch/".len()..];
-            match ctx.index.patch_json(id) {
+            match gen.index.patch_json(id) {
                 Some(json) => ("patch", Response::json(200, &json)),
-                None => ("patch", Response::text(404, "no unique record for that id\n")),
+                None => (
+                    "patch",
+                    Response::error(404, "not_found", "no unique record for that id"),
+                ),
             }
         }
         _ if get && (path == "/debug/requests" || path.starts_with("/debug/requests?")) => {
@@ -585,9 +655,38 @@ fn dispatch(request: &Request, ctx: &Ctx) -> (&'static str, Response) {
             ("debug_profile", Response::json(200, &profile.to_json()))
         }
         "/healthz" | "/metrics" | "/v1/stats" | "/v1/identify" | "/v1/classify"
-        | "/v1/scan" | "/debug/requests" | "/debug/slow" | "/debug/flight"
-        | "/debug/profile" => ("other", Response::text(405, "method not allowed\n")),
-        _ => ("other", Response::text(404, "unknown endpoint\n")),
+        | "/v1/scan" | "/admin/reload" | "/debug/requests" | "/debug/slow"
+        | "/debug/flight" | "/debug/profile" => {
+            ("other", Response::error(405, "method_not_allowed", "method not allowed"))
+        }
+        _ => ("other", Response::error(404, "not_found", "unknown endpoint")),
+    }
+}
+
+/// `POST /admin/reload`: rebuild the index from the configured source
+/// and atomically swap it in. The rebuild runs right here on the
+/// worker — traffic keeps answering from the old generation on the
+/// other workers until the swap lands.
+fn admin_reload(ctx: &Ctx) -> Response {
+    let Some(source) = &ctx.reload else {
+        return Response::error(
+            409,
+            "usage",
+            "no reload source configured; start the server with a dataset or snapshot path",
+        );
+    };
+    match reload(&ctx.handle, source, ctx.shards) {
+        Ok(generation) => Response::json(
+            200,
+            &Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("generation".into(), Json::Num(generation as f64)),
+            ]),
+        ),
+        Err(e) => {
+            let status = if matches!(e, Error::Usage(_)) { 400 } else { 500 };
+            Response::error(status, e.code(), e.to_string())
+        }
     }
 }
 
@@ -617,22 +716,23 @@ fn debug_request_limit(path: &str) -> usize {
 /// Parses the request body as a unified diff, or explains why not.
 fn parse_patch_body(request: &Request) -> Result<Patch, Response> {
     let text = std::str::from_utf8(&request.body)
-        .map_err(|_| Response::text(400, "body is not UTF-8\n"))?;
-    Patch::parse(text).map_err(|e| Response::text(400, format!("not a unified diff: {e}\n")))
+        .map_err(|_| Response::error(400, "bad_request", "body is not UTF-8"))?;
+    Patch::parse(text)
+        .map_err(|e| Response::error(400, "bad_request", format!("not a unified diff: {e}")))
 }
 
-fn classify(request: &Request, ctx: &Ctx) -> Response {
+fn classify(request: &Request, gen: &Generation) -> Response {
     match parse_patch_body(request) {
-        Ok(patch) => Response::json(200, &ctx.index.classify_json(&patch)),
+        Ok(patch) => Response::json(200, &gen.index.classify_json(&patch)),
         Err(r) => r,
     }
 }
 
-fn scan(request: &Request, ctx: &Ctx) -> Response {
+fn scan(request: &Request, gen: &Generation) -> Response {
     let Ok(target) = std::str::from_utf8(&request.body) else {
-        return Response::text(400, "body is not UTF-8\n");
+        return Response::error(400, "bad_request", "body is not UTF-8");
     };
-    let outcome = ctx.index.scan(target);
+    let outcome = gen.index.scan(target);
     let matches = outcome
         .matches
         .iter()

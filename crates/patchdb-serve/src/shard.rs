@@ -1,0 +1,252 @@
+//! N-way sharded serving: one logical index partitioned across N
+//! [`ServeIndex`] shards — a single-box rehearsal of horizontal
+//! scale-out whose merged answers are byte-identical to the 1-shard
+//! server's.
+//!
+//! The partition is deterministic and *contiguous*: records (per
+//! dataset component) and compiled signatures are split into N
+//! contiguous chunks, so concatenating per-shard results in shard
+//! order reproduces the unsharded iteration order exactly. The learned
+//! model — Table I weights and the random forest — is global: it was
+//! fit over the whole dataset, every shard carries the same copy, and
+//! identify answers can never depend on which shard scored them.
+//!
+//! Merges are exact, not approximate:
+//! * `/v1/stats` sums raw per-shard counts (`StatsParts::merge`) and
+//!   normalizes once, through the same renderer as the 1-shard path.
+//! * `/v1/scan` concatenates per-shard matches in shard order (= global
+//!   signature order, by contiguity).
+//! * `/v1/patch/<id>` sums per-shard prefix-match counts and answers
+//!   only when the global total is exactly one.
+
+use std::sync::Arc;
+
+use patch_core::Patch;
+use patchdb::PatchDb;
+use patchdb_rt::json::Json;
+
+use crate::index::{ScanOutcome, ServeIndex};
+
+/// A logical index served by N deterministic shards. `N = 1` is the
+/// degenerate (and default) case: one shard holding everything.
+pub struct ShardedIndex {
+    shards: Vec<Arc<ServeIndex>>,
+}
+
+/// Splits `v` into `n` contiguous chunks with the deterministic
+/// boundaries `[i*len/n, (i+1)*len/n)` — balanced to within one element
+/// and independent of anything but `len` and `n`.
+fn split<T>(v: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let len = v.len();
+    let mut out: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, item) in v.into_iter().enumerate() {
+        // Inverse of the boundary formula: item i belongs to the chunk
+        // whose range contains it.
+        let shard = (i * n) / len.max(1);
+        out[shard.min(n - 1)].push(item);
+    }
+    out
+}
+
+impl ShardedIndex {
+    /// Wraps a built index as a single shard.
+    pub fn single(index: ServeIndex) -> ShardedIndex {
+        ShardedIndex { shards: vec![Arc::new(index)] }
+    }
+
+    /// Partitions a built index across `n` shards (clamped to at least
+    /// 1). The dataset and the signature list are split contiguously;
+    /// the learned weights and forest are cloned into every shard.
+    pub fn from_index(index: ServeIndex, n: usize) -> ShardedIndex {
+        let n = n.max(1);
+        if n == 1 {
+            return Self::single(index);
+        }
+        let (db, weights, forest, signatures) = index.into_parts();
+        let PatchDb { nvd, wild, non_security, synthetic } = db;
+        let mut nvd = split(nvd, n).into_iter();
+        let mut wild = split(wild, n).into_iter();
+        let mut non_security = split(non_security, n).into_iter();
+        let mut synthetic = split(synthetic, n).into_iter();
+        let mut signatures = split(signatures, n).into_iter();
+        let shards = (0..n)
+            .map(|_| {
+                let shard_db = PatchDb {
+                    nvd: nvd.next().unwrap(),
+                    wild: wild.next().unwrap(),
+                    non_security: non_security.next().unwrap(),
+                    synthetic: synthetic.next().unwrap(),
+                };
+                Arc::new(ServeIndex::from_parts(
+                    shard_db,
+                    weights.clone(),
+                    forest.clone(),
+                    signatures.next().unwrap(),
+                ))
+            })
+            .collect();
+        ShardedIndex { shards }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total precompiled signatures across shards.
+    pub fn signature_count(&self) -> usize {
+        self.shards.iter().map(|s| s.signature_count()).sum()
+    }
+
+    /// The weighted feature row for one patch. The weights are global,
+    /// so any shard computes the identical row.
+    pub fn weighted_features(&self, patch: &Patch) -> Vec<f64> {
+        self.shards[0].weighted_features(patch)
+    }
+
+    /// Scores a batch of rows, scattering contiguous row chunks across
+    /// shards and gathering in order. Every shard carries the same
+    /// global forest, so the gathered scores equal the 1-shard answer
+    /// row for row.
+    pub fn score_rows(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        if self.shards.len() == 1 || rows.len() < 2 {
+            return self.shards[0].score_rows(rows);
+        }
+        let n = self.shards.len().min(rows.len());
+        let per = rows.len().div_ceil(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(per)
+                .zip(&self.shards)
+                .map(|(chunk, shard)| scope.spawn(move || shard.score_rows(chunk)))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("shard scorer")).collect()
+        })
+    }
+
+    /// Scatter-gather scan: every shard tests its own signature range
+    /// concurrently; matches concatenate in shard order, which by
+    /// contiguity is exactly the unsharded signature order.
+    pub fn scan(&self, target: &str) -> ScanOutcome {
+        if self.shards.len() == 1 {
+            return self.shards[0].scan(target);
+        }
+        let partials: Vec<ScanOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(move || shard.scan(target)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard scanner")).collect()
+        });
+        let mut merged = ScanOutcome::default();
+        for p in partials {
+            merged.matches.extend(p.matches);
+            merged.patched += p.patched;
+        }
+        merged
+    }
+
+    /// The `/v1/stats` document, merged from per-shard raw counts and
+    /// rendered through the same code path as the 1-shard answer.
+    pub fn stats_json(&self) -> Json {
+        let mut parts = self.shards[0].stats_parts();
+        for shard in &self.shards[1..] {
+            parts.merge(&shard.stats_parts());
+        }
+        parts.render()
+    }
+
+    /// The `/v1/patch/<id>` document. A prefix is unique only globally:
+    /// per-shard match counts are summed, and a hit unique within one
+    /// shard but duplicated in another resolves to `None`, exactly as
+    /// the unsharded lookup would.
+    pub fn patch_json(&self, id: &str) -> Option<Json> {
+        let mut total = 0usize;
+        let mut unique: Option<Json> = None;
+        for shard in &self.shards {
+            let (hits, first) = shard.patch_lookup(id);
+            if total == 0 && hits == 1 {
+                unique = first;
+            }
+            total += hits;
+            if total > 1 {
+                return None;
+            }
+        }
+        if total == 1 { unique } else { None }
+    }
+
+    /// The `/v1/classify` document (a pure function of the patch; any
+    /// shard answers identically).
+    pub fn classify_json(&self, patch: &Patch) -> Json {
+        self.shards[0].classify_json(patch)
+    }
+}
+
+impl From<ServeIndex> for ShardedIndex {
+    fn from(index: ServeIndex) -> Self {
+        ShardedIndex::single(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patchdb::BuildOptions;
+
+    fn built_index() -> ServeIndex {
+        ServeIndex::build(PatchDb::build(&BuildOptions::tiny(5).synthesize(false)).db)
+    }
+
+    #[test]
+    fn split_boundaries_are_contiguous_and_balanced() {
+        let chunks = split((0..10).collect::<Vec<_>>(), 4);
+        assert_eq!(chunks.len(), 4);
+        let flat: Vec<i32> = chunks.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        assert!(chunks.iter().all(|c| (2..=3).contains(&c.len())));
+        // Degenerate shapes must not panic or lose elements.
+        assert_eq!(split(Vec::<i32>::new(), 3).len(), 3);
+        let more_shards = split(vec![1, 2], 5);
+        assert_eq!(more_shards.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn four_shards_answer_byte_identically_to_one() {
+        let one = ShardedIndex::single(built_index());
+        let four = ShardedIndex::from_index(built_index(), 4);
+        assert_eq!(four.shard_count(), 4);
+        assert_eq!(one.signature_count(), four.signature_count());
+        assert_eq!(
+            one.stats_json().to_pretty_string(),
+            four.stats_json().to_pretty_string()
+        );
+        let db = PatchDb::build(&BuildOptions::tiny(5).synthesize(false)).db;
+        let rows: Vec<Vec<f64>> = db
+            .records()
+            .take(20)
+            .map(|r| one.weighted_features(&r.patch))
+            .collect();
+        assert_eq!(one.score_rows(&rows), four.score_rows(&rows));
+        for r in db.security_patches().take(10) {
+            let before: String = r
+                .patch
+                .hunks()
+                .flat_map(|h| {
+                    h.lines.iter().filter(|l| l.kind != patch_core::LineKind::Added)
+                })
+                .map(|l| l.content.clone() + "\n")
+                .collect();
+            assert_eq!(one.scan(&before), four.scan(&before), "scan order must merge stably");
+        }
+        for r in db.records().take(10) {
+            let id = r.commit.to_string();
+            assert_eq!(
+                one.patch_json(&id).map(|j| j.to_pretty_string()),
+                four.patch_json(&id).map(|j| j.to_pretty_string()),
+                "patch lookup diverged for {id}"
+            );
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! The `patchdb-snapshot/v1` binary index format.
+//!
+//! A snapshot persists a fully built [`ServeIndex`] — dataset, learned
+//! Table I weights, fitted random forest, and compiled vulnerability
+//! signatures — so a server can boot without running any of the
+//! learning pipeline, answering byte-identically to a fresh build.
+//!
+//! Layout (all integers little-endian, all floats as `f64::to_bits`
+//! so round-trips are bit-exact):
+//!
+//! ```text
+//! magic    8 bytes  "PDBSNAP1"
+//! schema   u32 len + UTF-8 "patchdb-snapshot/v1"
+//! sections u32      always 4, in fixed order
+//!   [0] records     u64 len + canonical dataset JSON (PatchDb::to_json)
+//!   [1] weights     u64 len + u32 count + count x f64 bits
+//!   [2] forest      u64 len + u8 present + (hyper-params, trees, nodes)
+//!   [3] signatures  u64 len + u32 count + entries
+//! checksum u64      FNV-1a-64 over every preceding byte
+//! ```
+//!
+//! The records section reuses the dataset's canonical JSON codec (its
+//! shape checks, and Rust's round-trip-exact `f64` formatting) rather
+//! than inventing a second record encoding; the learned model sections
+//! are raw binary because no JSON form of them exists anywhere else.
+//!
+//! Every decode failure — wrong magic, wrong schema string, truncation,
+//! bad checksum, a forward-pointing tree node — reports
+//! [`Error::Schema`]; only a failed read is [`Error::Io`].
+
+use std::path::Path;
+
+use patch_core::CommitId;
+use patchdb::{Error, PatchDb, PatchSignature};
+use patchdb_features::Weights;
+use patchdb_ml::{ForestState, NodeState, RandomForest, SplitCriterion, TreeState};
+
+use crate::index::{ServeIndex, SignatureEntry};
+
+/// Leading magic of every snapshot file.
+pub const MAGIC: &[u8; 8] = b"PDBSNAP1";
+/// The schema tag embedded right after the magic.
+pub const SCHEMA: &str = "patchdb-snapshot/v1";
+/// Fixed section count of the v1 layout.
+const SECTIONS: u32 = 4;
+
+/// An encoded `patchdb-snapshot/v1` document: the bytes that live on
+/// disk, plus [`Snapshot::encode`]/[`Snapshot::decode`] between those
+/// bytes and a [`ServeIndex`].
+pub struct Snapshot {
+    bytes: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Encodes a built index. Infallible: every part of a `ServeIndex`
+    /// has a representation.
+    pub fn encode(index: &ServeIndex) -> Snapshot {
+        let (db, weights, forest, signatures) = index.parts();
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.str32(SCHEMA);
+        w.u32(SECTIONS);
+        // Pretty JSON is the dataset's one canonical form; `to_json` is
+        // infallible today (it returns Result only for signature
+        // stability).
+        let records = db.to_json().expect("dataset serializes").into_bytes();
+        w.section(&records);
+        w.section(&encode_weights(weights));
+        w.section(&encode_forest(forest));
+        w.section(&encode_signatures(signatures));
+        let checksum = fnv1a64(&w.buf);
+        w.u64(checksum);
+        Snapshot { bytes: w.buf }
+    }
+
+    /// Decodes the snapshot back into a servable index.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Schema`] on any malformation: wrong magic or schema
+    /// string, truncated sections, trailing garbage, checksum mismatch,
+    /// or model state that fails validation.
+    pub fn decode(&self) -> Result<ServeIndex, Error> {
+        let buf = &self.bytes;
+        if buf.len() < MAGIC.len() + 8 {
+            return Err(schema(format!("{} bytes is too short for a snapshot", buf.len())));
+        }
+        let (body, tail) = buf.split_at(buf.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(schema(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        let mut r = Reader { buf: body, at: 0 };
+        if r.take(MAGIC.len())? != MAGIC.as_slice() {
+            return Err(schema("bad magic (not a patchdb snapshot)"));
+        }
+        let tag = r.str32()?;
+        if tag != SCHEMA {
+            return Err(schema(format!("unsupported snapshot schema {tag:?}")));
+        }
+        let sections = r.u32()?;
+        if sections != SECTIONS {
+            return Err(schema(format!("expected {SECTIONS} sections, found {sections}")));
+        }
+        let records = r.section()?;
+        let weights = decode_weights(&r.section()?)?;
+        let forest = decode_forest(&r.section()?)?;
+        let signatures = decode_signatures(&r.section()?)?;
+        if r.at != body.len() {
+            return Err(schema(format!(
+                "{} trailing bytes after the last section",
+                body.len() - r.at
+            )));
+        }
+        let text = std::str::from_utf8(&records)
+            .map_err(|e| schema(format!("records section is not UTF-8: {e}")))?;
+        let db = match PatchDb::from_json(text) {
+            Ok(db) => db,
+            // Inside a checksummed container, unparseable JSON is a
+            // malformed snapshot, not a malformed user input.
+            Err(e) => return Err(schema(format!("records section: {e}"))),
+        };
+        Ok(ServeIndex::from_parts(db, weights, forest, signatures))
+    }
+
+    /// The encoded byte size.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the encoded form is empty (never, for a real snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Writes the encoded snapshot to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        std::fs::write(path, &self.bytes).map_err(Error::Io)
+    }
+
+    /// Reads an encoded snapshot from `path`. Validation happens in
+    /// [`Snapshot::decode`].
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Snapshot, Error> {
+        Ok(Snapshot { bytes: std::fs::read(path).map_err(Error::Io)? })
+    }
+}
+
+fn schema(msg: impl std::fmt::Display) -> Error {
+    Error::Schema(format!("snapshot: {msg}"))
+}
+
+/// FNV-1a 64-bit over `bytes` — the trailing integrity check.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---- section codecs ----
+
+fn encode_weights(weights: &Weights) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u32(weights.as_slice().len() as u32);
+    for &v in weights.as_slice() {
+        w.f64(v);
+    }
+    w.buf
+}
+
+fn decode_weights(buf: &[u8]) -> Result<Weights, Error> {
+    let mut r = Reader { buf, at: 0 };
+    let n = r.u32()? as usize;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(r.f64()?);
+    }
+    r.done()?;
+    Weights::from_values(values).map_err(schema)
+}
+
+fn encode_forest(forest: Option<&RandomForest>) -> Vec<u8> {
+    let mut w = Writer::default();
+    let Some(forest) = forest else {
+        w.buf.push(0);
+        return w.buf;
+    };
+    w.buf.push(1);
+    let state = forest.export_state();
+    w.u64(state.n_trees as u64);
+    w.u64(state.max_depth as u64);
+    w.u64(state.seed);
+    w.u32(state.trees.len() as u32);
+    for tree in &state.trees {
+        w.buf.push(match tree.criterion {
+            SplitCriterion::Gini => 0,
+            SplitCriterion::Entropy => 1,
+        });
+        w.u64(tree.max_depth as u64);
+        w.u64(tree.root as u64);
+        w.u32(tree.nodes.len() as u32);
+        for node in &tree.nodes {
+            match *node {
+                NodeState::Leaf { prob } => {
+                    w.buf.push(0);
+                    w.f64(prob);
+                }
+                NodeState::Split { feature, threshold, left, right, prob } => {
+                    w.buf.push(1);
+                    w.u64(feature as u64);
+                    w.f64(threshold);
+                    w.u64(left as u64);
+                    w.u64(right as u64);
+                    w.f64(prob);
+                }
+            }
+        }
+    }
+    w.buf
+}
+
+fn decode_forest(buf: &[u8]) -> Result<Option<RandomForest>, Error> {
+    let mut r = Reader { buf, at: 0 };
+    let present = r.u8()?;
+    match present {
+        0 => {
+            r.done()?;
+            return Ok(None);
+        }
+        1 => {}
+        other => return Err(schema(format!("forest presence byte {other} is not 0/1"))),
+    }
+    let n_trees = r.u64()? as usize;
+    let max_depth = r.u64()? as usize;
+    let seed = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut trees = Vec::with_capacity(count);
+    for _ in 0..count {
+        let criterion = match r.u8()? {
+            0 => SplitCriterion::Gini,
+            1 => SplitCriterion::Entropy,
+            other => return Err(schema(format!("unknown split criterion {other}"))),
+        };
+        let tree_depth = r.u64()? as usize;
+        let root = r.u64()? as usize;
+        let node_count = r.u32()? as usize;
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            nodes.push(match r.u8()? {
+                0 => NodeState::Leaf { prob: r.f64()? },
+                1 => NodeState::Split {
+                    feature: r.u64()? as usize,
+                    threshold: r.f64()?,
+                    left: r.u64()? as usize,
+                    right: r.u64()? as usize,
+                    prob: r.f64()?,
+                },
+                other => return Err(schema(format!("unknown tree node tag {other}"))),
+            });
+        }
+        trees.push(TreeState { criterion, max_depth: tree_depth, root, nodes });
+    }
+    r.done()?;
+    RandomForest::from_state(ForestState { n_trees, max_depth, seed, trees })
+        .map(Some)
+        .map_err(schema)
+}
+
+fn encode_signatures(entries: &[SignatureEntry]) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.u32(entries.len() as u32);
+    for e in entries {
+        w.bytes(e.commit.as_bytes());
+        match &e.cve_id {
+            None => w.buf.push(0),
+            Some(cve) => {
+                w.buf.push(1);
+                w.str32(cve);
+            }
+        }
+        w.bytes(e.signature.commit.as_bytes());
+        w.str_vec(&e.signature.vulnerable);
+        w.str_vec(&e.signature.fixed);
+    }
+    w.buf
+}
+
+fn decode_signatures(buf: &[u8]) -> Result<Vec<SignatureEntry>, Error> {
+    let mut r = Reader { buf, at: 0 };
+    let count = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let commit = r.commit()?;
+        let cve_id = match r.u8()? {
+            0 => None,
+            1 => Some(r.str32()?),
+            other => return Err(schema(format!("cve presence byte {other} is not 0/1"))),
+        };
+        let sig_commit = r.commit()?;
+        let vulnerable = r.str_vec()?;
+        let fixed = r.str_vec()?;
+        entries.push(SignatureEntry {
+            commit,
+            cve_id,
+            signature: PatchSignature { commit: sig_commit, vulnerable, fixed },
+        });
+    }
+    r.done()?;
+    Ok(entries)
+}
+
+// ---- byte-level writer/reader ----
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str32(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+    fn str_vec(&mut self, v: &[String]) {
+        self.u32(v.len() as u32);
+        for s in v {
+            self.str32(s);
+        }
+    }
+    /// One length-prefixed section.
+    fn section(&mut self, payload: &[u8]) {
+        self.u64(payload.len() as u64);
+        self.bytes(payload);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                schema(format!(
+                    "truncated: need {n} bytes at offset {}, have {}",
+                    self.at,
+                    self.buf.len().saturating_sub(self.at)
+                ))
+            })?;
+        let out = &self.buf[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, Error> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f64(&mut self) -> Result<f64, Error> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str32(&mut self) -> Result<String, Error> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|e| schema(format!("string at offset {} is not UTF-8: {e}", self.at - n)))
+    }
+    fn str_vec(&mut self) -> Result<Vec<String>, Error> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(self.str32()?);
+        }
+        Ok(out)
+    }
+    fn commit(&mut self) -> Result<CommitId, Error> {
+        let b: [u8; 20] = self.take(20)?.try_into().expect("20 bytes");
+        Ok(CommitId::from_bytes(b))
+    }
+    fn section(&mut self) -> Result<Vec<u8>, Error> {
+        let len = self.u64()?;
+        let len = usize::try_from(len)
+            .map_err(|_| schema(format!("section length {len} overflows")))?;
+        Ok(self.take(len)?.to_vec())
+    }
+    /// Asserts the payload was consumed exactly.
+    fn done(&self) -> Result<(), Error> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(schema(format!("{} trailing bytes in section", self.buf.len() - self.at)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patchdb::BuildOptions;
+
+    fn built_index() -> ServeIndex {
+        ServeIndex::build(PatchDb::build(&BuildOptions::tiny(5).synthesize(false)).db)
+    }
+
+    #[test]
+    fn round_trip_preserves_every_endpoint_document() {
+        let index = built_index();
+        let snap = Snapshot::encode(&index);
+        let loaded = snap.decode().expect("decode");
+        assert_eq!(
+            index.stats_json().to_pretty_string(),
+            loaded.stats_json().to_pretty_string()
+        );
+        assert_eq!(index.signature_count(), loaded.signature_count());
+        // Model scores must be bit-exact, not just close.
+        let rows: Vec<Vec<f64>> = index
+            .db()
+            .records()
+            .take(16)
+            .map(|r| index.weighted_features(&r.patch))
+            .collect();
+        assert_eq!(index.score_rows(&rows), loaded.score_rows(&rows));
+        let id = index.db().nvd[0].commit.to_string();
+        assert_eq!(
+            index.patch_json(&id).map(|j| j.to_pretty_string()),
+            loaded.patch_json(&id).map(|j| j.to_pretty_string())
+        );
+    }
+
+    #[test]
+    fn file_round_trip_and_rejections() {
+        let dir = std::env::temp_dir().join(format!("patchdb-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.snapshot");
+        let index = built_index();
+        index.save_snapshot(&path).expect("save");
+        let loaded = ServeIndex::load_snapshot(&path).expect("load");
+        assert_eq!(loaded.signature_count(), index.signature_count());
+
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Truncation, at several cut points.
+        for cut in [7, bytes.len() / 2, bytes.len() - 1] {
+            let t = dir.join("trunc.snapshot");
+            std::fs::write(&t, &bytes[..cut]).unwrap();
+            assert!(
+                matches!(ServeIndex::load_snapshot(&t), Err(Error::Schema(_))),
+                "truncation at {cut} must be Error::Schema"
+            );
+        }
+
+        // A flipped payload byte fails the checksum.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        let c = dir.join("corrupt.snapshot");
+        std::fs::write(&c, &corrupt).unwrap();
+        assert!(matches!(ServeIndex::load_snapshot(&c), Err(Error::Schema(_))));
+
+        // A wrong version string (checksum re-stamped so only the
+        // version check can object).
+        let mut wrong = bytes.clone();
+        let tag = SCHEMA.as_bytes();
+        let pos = wrong
+            .windows(tag.len())
+            .position(|w| w == tag)
+            .expect("schema tag present");
+        wrong[pos + tag.len() - 1] = b'9';
+        let len = wrong.len();
+        let sum = fnv1a64(&wrong[..len - 8]);
+        wrong[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        let v = dir.join("wrong-version.snapshot");
+        std::fs::write(&v, &wrong).unwrap();
+        match ServeIndex::load_snapshot(&v) {
+            Err(Error::Schema(msg)) => assert!(msg.contains("unsupported"), "{msg}"),
+            Err(e) => panic!("wrong version must be Error::Schema, got {e}"),
+            Ok(_) => panic!("wrong version must not load"),
+        }
+
+        // Wrong magic entirely.
+        let m = dir.join("magic.snapshot");
+        std::fs::write(&m, b"NOTASNAPSHOTFILE----------------").unwrap();
+        assert!(matches!(ServeIndex::load_snapshot(&m), Err(Error::Schema(_))));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -117,8 +117,12 @@ impl PatchDb {
         self.nvd.iter().chain(self.wild.iter())
     }
 
-    /// Ground-truth category histogram over a set of records, normalized.
-    pub fn category_distribution<'a, I>(records: I) -> HashMap<PatchCategory, f64>
+    /// Raw ground-truth category counts over a set of records, plus the
+    /// number of labeled records. The un-normalized statistic behind
+    /// [`PatchDb::category_distribution`]: counts over disjoint record
+    /// subsets add, so a sharded index can sum per-shard counts and
+    /// normalize once, reproducing the whole-set distribution exactly.
+    pub fn category_counts<'a, I>(records: I) -> (HashMap<PatchCategory, usize>, usize)
     where
         I: IntoIterator<Item = &'a PatchRecord>,
     {
@@ -130,6 +134,15 @@ impl PatchDb {
                 total += 1;
             }
         }
+        (counts, total)
+    }
+
+    /// Ground-truth category histogram over a set of records, normalized.
+    pub fn category_distribution<'a, I>(records: I) -> HashMap<PatchCategory, f64>
+    where
+        I: IntoIterator<Item = &'a PatchRecord>,
+    {
+        let (counts, total) = Self::category_counts(records);
         counts
             .into_iter()
             .map(|(c, n)| (c, n as f64 / total.max(1) as f64))
@@ -170,19 +183,30 @@ impl PatchDb {
     /// matches or the prefix is ambiguous — the query surface must never
     /// silently pick one of several commits.
     pub fn find_patch(&self, id: &str) -> Option<&PatchRecord> {
+        let (hits, first) = self.find_patch_counted(id);
+        if hits == 1 { first } else { None }
+    }
+
+    /// Prefix lookup that also reports how many records matched: the
+    /// match count and the first matching record (if any). A sharded
+    /// index sums per-shard counts to decide global uniqueness — a
+    /// prefix unique within one shard but matched in another must still
+    /// resolve to nothing, exactly as the unsharded lookup would.
+    pub fn find_patch_counted(&self, id: &str) -> (usize, Option<&PatchRecord>) {
         if id.len() < 4 {
-            return None;
+            return (0, None);
         }
-        let mut hit: Option<&PatchRecord> = None;
+        let mut hits = 0usize;
+        let mut first: Option<&PatchRecord> = None;
         for r in self.records() {
             if r.commit.to_string().starts_with(id) {
-                if hit.is_some() {
-                    return None; // ambiguous prefix
+                hits += 1;
+                if first.is_none() {
+                    first = Some(r);
                 }
-                hit = Some(r);
             }
         }
-        hit
+        (hits, first)
     }
 }
 

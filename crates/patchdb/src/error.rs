@@ -79,6 +79,18 @@ impl Error {
     pub fn is_usage(&self) -> bool {
         matches!(self, Error::Usage(_))
     }
+
+    /// A stable machine-readable tag for this variant, used as the
+    /// `error.code` field of the query server's JSON error envelope.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Io(_) => "io",
+            Error::Parse(_) => "parse",
+            Error::Schema(_) => "schema",
+            Error::Serve(_) => "serve",
+            Error::Usage(_) => "usage",
+        }
+    }
 }
 
 #[cfg(test)]

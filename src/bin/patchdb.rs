@@ -10,7 +10,9 @@ use patchdb::{
     BuildOptions, BuildTelemetry, Error, PatchDb, PresenceVerdict, ALL_CATEGORIES,
 };
 use patchdb_rt::obs;
-use patchdb_serve::{ServeConfig, ServeIndex, Server};
+use patchdb_serve::{
+    IndexHandle, ReloadSource, ServeConfig, ServeIndex, Server, ShardedIndex, Snapshot,
+};
 
 const USAGE: &str = "usage: patchdb <command> [...]
 
@@ -23,7 +25,8 @@ commands:
   patterns  Table VII-style fix-pattern mining
   analyze   most discriminative Table I features
   scan      vulnerability-signature scan of a C file
-  serve     long-lived HTTP query server over a dataset
+  serve     long-lived HTTP query server over a dataset or snapshot
+  snapshot  compile a dataset into a binary patchdb-snapshot/v1 file
   help      show usage for a command
 
 `patchdb help <command>` prints per-command flags; `--version` prints
@@ -76,14 +79,34 @@ walks them at --hz, and the aggregate lands as folded stacks —
         "scan" => {
             "usage: patchdb scan <FILE> <TARGET.c>\n\n  <FILE>      dataset JSON\n  <TARGET.c>  C source to test against every vulnerability signature"
         }
+        "snapshot" => {
+            "usage: patchdb snapshot <FILE> [--out PATH]
+
+Builds the full serve index (weights, forest, signatures) once and
+writes it as a binary patchdb-snapshot/v1 file. `patchdb serve
+--snapshot PATH` boots from it without re-running any of the pipeline,
+answering byte-identically to a fresh build.
+
+  <FILE>      dataset JSON from `patchdb build --out`
+  --out PATH  snapshot output path (default patchdb.snapshot)"
+        }
         "serve" => {
-            "usage: patchdb serve <FILE> [--addr HOST:PORT] [--threads N]
+            "usage: patchdb serve [<FILE>] [--snapshot PATH] [--shards N]
+                     [--addr HOST:PORT] [--threads N]
                      [--batch-window-ms N] [--max-inflight N]
                      [--access-log PATH|-] [--slow-ms N]
                      [--keep-alive on|off] [--idle-timeout-ms N]
                      [--max-requests-per-conn N] [--max-conns N]
 
-  <FILE>              dataset JSON to index and serve
+  <FILE>              dataset JSON to index and serve (optional when
+                      --snapshot is given)
+  --snapshot PATH     boot from a patchdb-snapshot/v1 file written by
+                      `patchdb snapshot` — skips the learning pipeline
+                      entirely; responses are byte-identical to a fresh
+                      build of the same dataset
+  --shards N          partition the index across N shards with
+                      scatter-gather serving; answers are byte-identical
+                      to --shards 1 (default 1)
   --addr HOST:PORT    bind address (default 127.0.0.1:7979; port 0 = ephemeral)
   --threads N         worker pool size (default 0 = auto)
   --batch-window-ms N identify micro-batch window (default 2)
@@ -107,11 +130,15 @@ walks them at --hz, and the aggregate lands as folded stacks —
   --max-conns N       concurrent-connection cap; over it new connections are
                       answered 503 and closed (default 10240)
 
-endpoints: POST /v1/identify /v1/classify /v1/scan,
+endpoints: POST /v1/identify /v1/classify /v1/scan /admin/reload,
            GET /v1/stats /v1/patch/<id> /healthz /metrics
            GET /debug/requests /debug/slow /debug/flight?ms=N
            GET /debug/profile?seconds=N&hz=N
-(every GET also answers HEAD with the same headers and no body)"
+(every GET also answers HEAD with the same headers and no body)
+
+POST /admin/reload (or SIGHUP) rebuilds the index from the boot source
+and atomically swaps it in; in-flight requests finish on the old
+generation. /healthz reports the served generation as `ok gen=N`."
         }
         _ => return None,
     })
@@ -162,6 +189,7 @@ fn run(args: &[String]) -> CliResult {
         Some("analyze") => with_db(&args[1..], cmd_analyze),
         Some("scan") => cmd_scan(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
         Some(other) => Err(Error::usage(format!("unknown command `{other}`"))),
         None => Err(Error::usage("expected a command")),
     }
@@ -470,11 +498,18 @@ fn cmd_scan(args: &[String]) -> CliResult {
 
 fn cmd_serve(args: &[String]) -> CliResult {
     let mut path: Option<&String> = None;
+    let mut snapshot: Option<String> = None;
     let mut config = ServeConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => config = config.addr(value_after(&mut it, "--addr")?),
+            "--snapshot" => {
+                snapshot = Some(value_after(&mut it, "--snapshot")?.clone());
+            }
+            "--shards" => {
+                config = config.shards(parse_num(value_after(&mut it, "--shards")?, "--shards")?);
+            }
             "--threads" => {
                 config =
                     config.threads(parse_num(value_after(&mut it, "--threads")?, "--threads")?);
@@ -548,18 +583,68 @@ fn cmd_serve(args: &[String]) -> CliResult {
             other => return Err(Error::usage(format!("unexpected operand `{other}`"))),
         }
     }
-    let path = path.ok_or_else(|| Error::usage("expected a dataset JSON path"))?;
+    // Boot source: a snapshot skips the learning pipeline entirely; a
+    // dataset path runs it. Either becomes the reload source for
+    // `POST /admin/reload` and SIGHUP.
+    let index = match (&snapshot, path) {
+        (Some(snap), _) => {
+            eprintln!("loading snapshot {snap}...");
+            let index = ServeIndex::load_snapshot(snap)?;
+            config = config.snapshot(snap.clone());
+            index
+        }
+        (None, Some(path)) => {
+            eprintln!("loading {path}...");
+            let db = load_db(path)?;
+            eprintln!("indexing (weights + forest + signatures)...");
+            let index = ServeIndex::build(db);
+            config = config.reload_from(ReloadSource::Dataset(path.clone()));
+            index
+        }
+        (None, None) => {
+            return Err(Error::usage("expected a dataset JSON path or --snapshot"));
+        }
+    };
+    let shards = config.shards;
+    eprintln!(
+        "{} signatures compiled; starting server ({shards} shard{})",
+        index.signature_count(),
+        if shards == 1 { "" } else { "s" }
+    );
+    let handle = IndexHandle::new(ShardedIndex::from_index(index, shards));
+    let server = Server::start(handle, &config)?;
+    println!("listening on http://{} ({} workers)", server.addr(), server.workers());
+    server.wait();
+    Ok(())
+}
 
+/// `patchdb snapshot`: build the serve index once and persist it as a
+/// binary patchdb-snapshot/v1 file for instant `serve --snapshot` boots.
+fn cmd_snapshot(args: &[String]) -> CliResult {
+    let mut path: Option<&String> = None;
+    let mut out = "patchdb.snapshot".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = value_after(&mut it, "--out")?.clone(),
+            other if other.starts_with('-') => {
+                return Err(Error::usage(format!("unknown flag {other}")));
+            }
+            _ if path.is_none() => path = Some(a),
+            other => return Err(Error::usage(format!("unexpected operand `{other}`"))),
+        }
+    }
+    let path = path.ok_or_else(|| Error::usage("expected a dataset JSON path"))?;
     eprintln!("loading {path}...");
     let db = load_db(path)?;
     eprintln!("indexing (weights + forest + signatures)...");
     let index = ServeIndex::build(db);
-    eprintln!(
-        "{} signatures compiled; starting server",
+    let encoded = Snapshot::encode(&index);
+    encoded.write_to(&out)?;
+    println!(
+        "wrote {} bytes ({} signatures) to {out}",
+        encoded.len(),
         index.signature_count()
     );
-    let server = Server::start(index, &config)?;
-    println!("listening on http://{} ({} workers)", server.addr(), server.workers());
-    server.wait();
     Ok(())
 }

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use patchdb::prelude::*;
 use patchdb_rt::json::Json;
 use patchdb_serve::client::{self, Client};
-use patchdb_serve::{ServeConfig, ServeIndex, Server};
+use patchdb_serve::{ReloadSource, ServeConfig, ServeIndex, Server, ShardedIndex};
 
 fn shared_db() -> &'static PatchDb {
     static DB: OnceLock<PatchDb> = OnceLock::new();
@@ -47,7 +47,7 @@ fn endpoints_round_trip_on_loopback() {
     let db = shared_db();
 
     let health = client::request(addr, "GET", "/healthz", b"").unwrap();
-    assert_eq!((health.status, health.body_text().as_str()), (200, "ok\n"));
+    assert_eq!((health.status, health.body_text().as_str()), (200, "ok gen=1\n"));
 
     let stats = client::request(addr, "GET", "/v1/stats", b"").unwrap();
     assert_eq!(stats.status, 200);
@@ -164,7 +164,7 @@ fn graceful_shutdown_drains_admitted_work() {
         stream.read_to_end(&mut raw).unwrap_or_else(|e| panic!("{name}: {e}"));
         let text = String::from_utf8_lossy(&raw);
         assert!(
-            text.starts_with("HTTP/1.1 200") && text.ends_with("ok\n"),
+            text.starts_with("HTTP/1.1 200") && text.ends_with("ok gen=1\n"),
             "{name} was not drained: {text}"
         );
     }
@@ -523,7 +523,7 @@ fn keep_alive_reuses_one_connection_and_honors_the_request_cap() {
     let mut ka = Client::connect(addr, Duration::from_secs(10)).unwrap();
     for _ in 0..3 {
         let reply = ka.send("GET", "/healthz", b"").unwrap();
-        assert_eq!((reply.status, reply.body_text().as_str()), (200, "ok\n"));
+        assert_eq!((reply.status, reply.body_text().as_str()), (200, "ok gen=1\n"));
     }
     // The third response carried `Connection: close` and the server hung
     // up; a fourth exchange on the same socket must fail.
@@ -622,7 +622,7 @@ fn half_closed_pipeline_still_gets_all_responses() {
         3,
         "half-closed pipeline answered: {text}"
     );
-    assert_eq!(text.matches("ok\n").count(), 3, "{text}");
+    assert_eq!(text.matches("ok gen=1\n").count(), 3, "{text}");
     server.shutdown();
 }
 
@@ -675,7 +675,7 @@ fn trickled_request_bytes_still_complete() {
     stream.read_to_end(&mut raw).expect("trickled request answered");
     let text = String::from_utf8_lossy(&raw);
     assert!(text.starts_with("HTTP/1.1 200"), "trickle got: {text}");
-    assert!(text.ends_with("ok\n"), "trickle body: {text}");
+    assert!(text.ends_with("ok gen=1\n"), "trickle body: {text}");
     server.shutdown();
 }
 
@@ -696,7 +696,7 @@ fn mid_pipeline_hangup_leaves_the_server_healthy() {
     std::thread::sleep(Duration::from_millis(200));
 
     let health = client::request(addr, "GET", "/healthz", b"").unwrap();
-    assert_eq!((health.status, health.body_text().as_str()), (200, "ok\n"));
+    assert_eq!((health.status, health.body_text().as_str()), (200, "ok gen=1\n"));
     server.shutdown();
 }
 
@@ -891,6 +891,9 @@ fn gauge_in(body: &str, name: &str) -> Option<i64> {
 
 #[test]
 fn identify_cache_and_batch_gauges_are_exported() {
+    // Index swaps (exercised by the reload test) zero the cache gauges;
+    // serialize so a concurrent swap cannot race this test's scrape.
+    let _guard = obs_lock().lock().unwrap();
     let server = start(ephemeral().threads(2));
     let addr = server.addr();
     let record = shared_db().nvd.first().expect("tiny build has NVD records");
@@ -1044,4 +1047,229 @@ fn observability_toggles_never_change_response_bytes() {
     assert_eq!(profile.status, 200);
     off.shutdown();
     on.shutdown();
+}
+
+/// Fires every public endpoint (success and error paths) at two servers
+/// and requires byte-identical `(status, body)` pairs.
+fn assert_servers_identical(
+    a: std::net::SocketAddr,
+    b: std::net::SocketAddr,
+    label: &str,
+) {
+    let db = shared_db();
+    let mut requests: Vec<(&str, String, Vec<u8>)> = vec![
+        ("GET", "/healthz".into(), Vec::new()),
+        ("GET", "/v1/stats".into(), Vec::new()),
+        ("POST", "/v1/scan".into(), b"void unrelated(void) { }\n".to_vec()),
+        ("GET", "/v1/nope".into(), Vec::new()),
+        ("GET", "/v1/identify".into(), Vec::new()),
+        ("POST", "/v1/identify".into(), b"not a diff".to_vec()),
+        ("GET", "/v1/patch/ffffffffffff".into(), Vec::new()),
+    ];
+    for record in db.records().take(10) {
+        requests.push(("POST", "/v1/identify".into(), diff_body(record).into_bytes()));
+        requests.push(("POST", "/v1/classify".into(), diff_body(record).into_bytes()));
+        requests.push(("GET", format!("/v1/patch/{}", record.commit), Vec::new()));
+    }
+    // Scan with real pre-patch code so signatures actually match.
+    for record in db.security_patches().take(5) {
+        let before: String = record
+            .patch
+            .hunks()
+            .flat_map(|h| h.old_lines().into_iter().map(|l| l.to_owned() + "\n"))
+            .collect();
+        requests.push(("POST", "/v1/scan".into(), before.into_bytes()));
+    }
+    for (method, path, body) in &requests {
+        let ra = client::request(a, method, path, body).unwrap();
+        let rb = client::request(b, method, path, body).unwrap();
+        assert_eq!(
+            (ra.status, &ra.body),
+            (rb.status, &rb.body),
+            "{label}: {method} {path} diverged"
+        );
+    }
+}
+
+#[test]
+fn snapshot_boot_answers_byte_identically_to_fresh_build() {
+    let snap_path = std::env::temp_dir()
+        .join(format!("patchdb_snap_{}.snapshot", std::process::id()));
+    ServeIndex::build(shared_db().clone())
+        .save_snapshot(&snap_path)
+        .expect("snapshot written");
+    let fresh = start(ephemeral().threads(2));
+    let booted = Server::start(
+        ServeIndex::load_snapshot(&snap_path).expect("snapshot loads"),
+        &ephemeral().threads(2),
+    )
+    .expect("server binds");
+    assert_servers_identical(fresh.addr(), booted.addr(), "snapshot boot");
+    fresh.shutdown();
+    booted.shutdown();
+    let _ = std::fs::remove_file(&snap_path);
+}
+
+#[test]
+fn four_shard_server_answers_byte_identically_to_one_shard() {
+    let one = start(ephemeral().threads(2));
+    let four = Server::start(
+        ShardedIndex::from_index(ServeIndex::build(shared_db().clone()), 4),
+        &ephemeral().threads(2),
+    )
+    .expect("server binds");
+    assert_servers_identical(one.addr(), four.addr(), "4-shard scatter-gather");
+    one.shutdown();
+    four.shutdown();
+}
+
+#[test]
+fn reload_swaps_generations_under_live_traffic() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    // Swaps zero the identify-cache gauges; serialize with the tests
+    // that scrape them.
+    let _guard = obs_lock().lock().unwrap();
+    // Persist the dataset so /admin/reload has a source to rebuild from.
+    let db_path = std::env::temp_dir()
+        .join(format!("patchdb_reload_{}.json", std::process::id()));
+    std::fs::write(&db_path, shared_db().to_json().expect("dataset serializes")).unwrap();
+    let server = start(
+        ephemeral()
+            .threads(4)
+            .reload_from(ReloadSource::Dataset(db_path.display().to_string())),
+    );
+    let addr = server.addr();
+    let body = diff_body(shared_db().nvd.first().expect("tiny build has NVD records"));
+    // Reloads rebuild from the same dataset, so identify answers must
+    // stay byte-identical across every generation.
+    let reference = client::request(addr, "POST", "/v1/identify", body.as_bytes())
+        .expect("reference identify");
+    assert_eq!(reference.status, 200, "{}", reference.body_text());
+
+    // Continuous traffic across every swap — two keep-alive workers
+    // with mixed GET/POST, one pipelining identify bursts. Each worker
+    // panics on the first non-200 (or byte-diverged) reply, so a
+    // dropped or failed request fails the test.
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic: Vec<_> = (0..3)
+        .map(|worker| {
+            let stop = Arc::clone(&stop);
+            let body = body.clone();
+            let reference = reference.body.clone();
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut conn: Option<Client> = None;
+                while !stop.load(Ordering::SeqCst) {
+                    let ka = match conn.as_mut() {
+                        Some(ka) => ka,
+                        None => conn.insert(
+                            Client::connect(addr, Duration::from_secs(10))
+                                .expect("connect mid-swap"),
+                        ),
+                    };
+                    if worker == 2 {
+                        let burst: Vec<(&str, &str, &[u8])> = (0..8)
+                            .map(|_| ("POST", "/v1/identify", body.as_bytes()))
+                            .collect();
+                        let replies =
+                            ka.pipeline(&burst).expect("pipelined burst failed mid-swap");
+                        for reply in replies {
+                            assert_eq!(reply.status, 200, "{}", reply.body_text());
+                            assert_eq!(
+                                reply.body, reference,
+                                "pipelined identify diverged across a swap"
+                            );
+                            served += 1;
+                        }
+                    } else {
+                        let (method, path, payload): (&str, &str, &[u8]) = match served % 3
+                        {
+                            0 => ("GET", "/v1/stats", b""),
+                            1 => ("POST", "/v1/identify", body.as_bytes()),
+                            _ => ("GET", "/healthz", b""),
+                        };
+                        let reply = ka
+                            .send(method, path, payload)
+                            .expect("keep-alive request failed mid-swap");
+                        assert_eq!(
+                            reply.status,
+                            200,
+                            "{method} {path} failed during a swap: {}",
+                            reply.body_text()
+                        );
+                        if path == "/v1/identify" {
+                            assert_eq!(
+                                reply.body, reference,
+                                "identify diverged across a swap"
+                            );
+                        }
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Three copy-on-write swaps while the traffic threads hammer away.
+    for expected_gen in 2..=4u64 {
+        let reply = client::request(addr, "POST", "/admin/reload", b"").expect("reload");
+        assert_eq!(reply.status, 200, "{}", reply.body_text());
+        let json = Json::parse(&reply.body_text()).expect("reload reply is JSON");
+        assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            json.get("generation").and_then(Json::as_f64),
+            Some(expected_gen as f64)
+        );
+    }
+    stop.store(true, Ordering::SeqCst);
+    let served: u64 = traffic
+        .into_iter()
+        .map(|t| t.join().expect("zero failed requests across swaps"))
+        .sum();
+    assert!(served > 0, "traffic threads never got a request through");
+
+    // The new generation is visible everywhere it is surfaced.
+    let health = client::request(addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!((health.status, health.body_text().as_str()), (200, "ok gen=4\n"));
+    let metrics = client::request(addr, "GET", "/metrics", b"").unwrap().body_text();
+    assert_eq!(gauge_in(&metrics, "serve.index.generation"), Some(4));
+    assert!(
+        counter_in(&metrics, "serve.index.swaps") >= 3,
+        "swap counter after three reloads: {metrics}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&db_path);
+}
+
+#[test]
+fn error_responses_share_the_json_envelope() {
+    let server = start(ephemeral().threads(1));
+    let addr = server.addr();
+    let cases: Vec<(&str, &str, Vec<u8>, u16, &str)> = vec![
+        ("GET", "/v1/nope", Vec::new(), 404, "not_found"),
+        ("GET", "/v1/identify", Vec::new(), 405, "method_not_allowed"),
+        ("GET", "/admin/reload", Vec::new(), 405, "method_not_allowed"),
+        ("POST", "/v1/identify", b"not a diff".to_vec(), 400, "bad_request"),
+        ("POST", "/v1/classify", vec![0xff, 0xfe], 400, "bad_request"),
+        ("GET", "/v1/patch/ffffffffffff", Vec::new(), 404, "not_found"),
+        // No reload source configured on this server.
+        ("POST", "/admin/reload", Vec::new(), 409, "usage"),
+    ];
+    for (method, path, body, status, code) in cases {
+        let reply = client::request(addr, method, path, &body).unwrap();
+        assert_eq!(reply.status, status, "{method} {path}: {}", reply.body_text());
+        let json = Json::parse(&reply.body_text())
+            .unwrap_or_else(|e| panic!("{method} {path} not JSON ({e}): {}", reply.body_text()));
+        let error = json.get("error").expect("envelope has an error object");
+        assert_eq!(
+            error.get("code").and_then(Json::as_str),
+            Some(code),
+            "{method} {path}"
+        );
+        let message = error.get("message").and_then(Json::as_str).expect("message field");
+        assert!(!message.is_empty(), "{method} {path} has an empty message");
+    }
+    server.shutdown();
 }

@@ -20,10 +20,12 @@
 //! observes. (Under pipelining the client can only time whole batches,
 //! so the per-request comparison is skipped.)
 //!
-//! After the worker/mode matrix, two observability pricing rows rerun
-//! the 8-worker keep-alive point with the flight recorder on and with
-//! span mirroring on under a live 97 Hz background sampler (the matrix
-//! itself runs with both off). Each toggle is flipped live on one
+//! After the worker/mode matrix, three observability pricing rows rerun
+//! the 8-worker keep-alive point with the flight recorder on, with
+//! span mirroring on under a live 97 Hz background sampler, and with
+//! request tracing on (per-request trace records, SLO accounting, and
+//! the per-second time-series sampler; the matrix itself runs with all
+//! three off). Each toggle is flipped live on one
 //! server across adjacent short off/on drive pairs, and the reported
 //! overhead is the median of the per-pair throughput ratios — adjacent
 //! pairs cancel machine drift, the median discards load bursts — with
@@ -365,7 +367,8 @@ fn main() {
                 .max_inflight(1024)
                 .batch_window_ms(0)
                 .flight(false)
-                .sampler(false);
+                .sampler(false)
+                .tracing(false);
             let server = Server::start(index, &config).expect("server binds on loopback");
             let addr = server.addr();
             // Warm the path (thread spawn, first forest walk) off the
@@ -464,12 +467,13 @@ fn main() {
         .max_inflight(1024)
         .batch_window_ms(0)
         .flight(false)
-        .sampler(false);
+        .sampler(false)
+        .tracing(false);
     let server = Server::start(index, &config).expect("server binds on loopback");
     let addr = server.addr();
     let _ = client::request(addr, "POST", "/v1/identify", bodies[0].as_bytes());
     let _ = drive_keepalive(addr, &bodies, &expected, total); // warm the caches
-    for obs_mode in ["flight", "sampler97"] {
+    for obs_mode in ["flight", "sampler97", "tracing"] {
         let mut ratios = Vec::new();
         let mut latencies = Vec::new();
         let mut on_rps = Vec::new();
@@ -483,6 +487,7 @@ fn main() {
             // serve` with the toggles on (or under `/debug/profile`)
             // would behave.
             obs::flight::set_enabled(obs_mode == "flight");
+            patchdb_serve::set_tracing(obs_mode == "tracing");
             let sampler = (obs_mode == "sampler97").then(|| {
                 obs::sampler::set_mirroring(true);
                 obs::sampler::BackgroundSampler::start(97)
@@ -491,6 +496,7 @@ fn main() {
             samples += sampler.map(|s| s.stop().samples).unwrap_or(0);
             obs::flight::set_enabled(false);
             obs::sampler::set_mirroring(false);
+            patchdb_serve::set_tracing(false);
             let off_tput = off.ok as f64 / off.elapsed.max(1e-9);
             let on_tput = on.ok as f64 / on.elapsed.max(1e-9);
             ratios.push(on_tput / off_tput.max(1e-9));
@@ -629,10 +635,10 @@ fn main() {
     });
     assert_eq!(traffic_errors, 0, "traffic failed during a copy-on-write swap");
     let health = client::request(addr, "GET", "/healthz", b"").expect("healthz");
-    assert_eq!(
-        health.body_text(),
-        format!("ok gen={}\n", swaps + 1),
-        "every reload must bump the served generation"
+    assert!(
+        health.body_text().starts_with(&format!("ok gen={} up=", swaps + 1)),
+        "every reload must bump the served generation: {}",
+        health.body_text()
     );
     server.shutdown();
     std::fs::remove_file(&snap_path).ok();

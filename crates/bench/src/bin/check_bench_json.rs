@@ -44,6 +44,21 @@
 //! * `patchdb-profile/v1` (`GET /debug/profile`) — positive `hz`,
 //!   non-negative `samples`, and a `folded` field passing the same
 //!   folded-stacks line checks.
+//! * `patchdb-trace-request/v1` (`GET /debug/trace/<id>`) — a string
+//!   `trace_id` matching the embedded request record's `trace`, a
+//!   boolean `supplied`, and a `request` object whose six stage
+//!   durations are non-negative and sum to at most `total_ns`; when the
+//!   record carries per-shard spans, each is non-negative and
+//!   `shard_imbalance_ns` equals their max-minus-min spread.
+//! * `patchdb-timeseries/v1` (`GET /debug/timeseries`) — a string
+//!   `metric`, a positive `retention_s`, and a `points` array of
+//!   `{s, v}` samples with strictly increasing second stamps, none of
+//!   them in the future of `now_s`.
+//! * `patchdb-slo/v1` (`GET /debug/slo`) — a non-empty `rules` array;
+//!   each rule carries a `name`, a known `kind`, an `objective_pct` in
+//!   (0, 100), a `budget_remaining_pct` in [0, 100], and per-window
+//!   entries with positive `window_s`, non-negative good/bad counts,
+//!   and a non-negative `burn_rate`.
 //! * Chrome trace-event documents (`patchdb trace --perfetto`,
 //!   `GET /debug/flight`) — dispatched on a top-level `traceEvents`
 //!   array rather than a schema tag: every event carries
@@ -136,6 +151,9 @@ fn main() -> ExitCode {
         "patchdb-serve/v1" => check_serve(&json),
         "patchdb-serve/v2" => check_serve_v2(&json),
         "patchdb-profile/v1" => check_profile(&json),
+        "patchdb-trace-request/v1" => check_trace_request(&json),
+        "patchdb-timeseries/v1" => check_timeseries(&json),
+        "patchdb-slo/v1" => check_slo(&json),
         // Chrome trace-event documents carry no schema tag; dispatch on
         // their defining member.
         "" if json.get("traceEvents").is_some() => check_trace_events(&json),
@@ -507,6 +525,156 @@ fn check_profile(json: &Json) -> Result<String, String> {
         return Err("no `self_top` array".into());
     }
     Ok(format!("{hz} Hz, {inner}"))
+}
+
+/// A `/debug/trace/<id>` document: the trace id round-trips into the
+/// embedded request record, the stage clocks stay within `total_ns`,
+/// and any per-shard spans are coherent with the recorded imbalance.
+fn check_trace_request(json: &Json) -> Result<String, String> {
+    let trace_id =
+        json.get("trace_id").and_then(Json::as_str).ok_or("no string `trace_id`")?;
+    if !matches!(json.get("supplied"), Some(Json::Bool(_))) {
+        return Err("no boolean `supplied`".into());
+    }
+    let request = json.get("request").ok_or("no `request` object")?;
+    if request.get("trace").and_then(Json::as_str) != Some(trace_id) {
+        return Err(format!(
+            "request.trace does not round-trip trace_id {trace_id:?}"
+        ));
+    }
+    let num = |field: &str| {
+        request
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("`request` lacks a numeric `{field}`"))
+    };
+    let id = num("id")?;
+    if !(id >= 1.0 && id.fract() == 0.0) {
+        return Err(format!("request.id {id} is not a positive integer"));
+    }
+    num("generation")?;
+    let total = num("total_ns")?;
+    let mut stage_sum = 0.0;
+    for stage in ["accept_ns", "queue_ns", "parse_ns", "batch_ns", "compute_ns", "write_ns"] {
+        let v = num(stage)?;
+        if v < 0.0 {
+            return Err(format!("request.{stage} is negative"));
+        }
+        stage_sum += v;
+    }
+    if stage_sum > total {
+        return Err(format!("stage durations sum to {stage_sum} > total_ns {total}"));
+    }
+    let mut summary = format!("trace {trace_id}, request {id}");
+    if let Some(shards) = request.get("shards").and_then(|s| s.as_arr()) {
+        let mut spans = Vec::with_capacity(shards.len());
+        for (i, s) in shards.iter().enumerate() {
+            let v = s.as_f64().ok_or(format!("shards[{i}] is not a number"))?;
+            if v < 0.0 {
+                return Err(format!("shards[{i}] = {v} is negative"));
+            }
+            spans.push(v);
+        }
+        let spread = spans.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - spans.iter().cloned().fold(f64::INFINITY, f64::min);
+        let imbalance = num("shard_imbalance_ns")?;
+        if imbalance != spread {
+            return Err(format!(
+                "shard_imbalance_ns {imbalance} != max-min spread {spread}"
+            ));
+        }
+        summary.push_str(&format!(", {} shard spans", spans.len()));
+    }
+    Ok(summary)
+}
+
+/// A `/debug/timeseries` document: per-second samples in strictly
+/// increasing order, none from the future.
+fn check_timeseries(json: &Json) -> Result<String, String> {
+    let metric = json.get("metric").and_then(Json::as_str).ok_or("no string `metric`")?;
+    let retention =
+        json.get("retention_s").and_then(Json::as_f64).ok_or("no numeric `retention_s`")?;
+    if !(retention >= 1.0) {
+        return Err(format!("retention_s = {retention} is not positive"));
+    }
+    let now_s = json.get("now_s").and_then(Json::as_f64).ok_or("no numeric `now_s`")?;
+    let points = json.get("points").and_then(|p| p.as_arr()).ok_or("no `points` array")?;
+    let mut last_s = f64::NEG_INFINITY;
+    for (i, p) in points.iter().enumerate() {
+        let at = format!("points[{i}]");
+        let s = p.get("s").and_then(Json::as_f64).ok_or(format!("{at} lacks a numeric `s`"))?;
+        if p.get("v").and_then(Json::as_f64).is_none() {
+            return Err(format!("{at} lacks a numeric `v`"));
+        }
+        if s <= last_s {
+            return Err(format!("{at}: second {s} does not increase past {last_s}"));
+        }
+        if s > now_s {
+            return Err(format!("{at}: second {s} is in the future of now_s {now_s}"));
+        }
+        last_s = s;
+    }
+    Ok(format!("metric {metric}, {} points", points.len()))
+}
+
+/// A `/debug/slo` document: every rule's objective, burn rates, and
+/// remaining error budget are within their defined ranges.
+fn check_slo(json: &Json) -> Result<String, String> {
+    if json.get("now_s").and_then(Json::as_f64).is_none() {
+        return Err("no numeric `now_s`".into());
+    }
+    let rules = json.get("rules").and_then(|r| r.as_arr()).ok_or("no `rules` array")?;
+    if rules.is_empty() {
+        return Err("empty `rules` array".into());
+    }
+    let mut windows = 0usize;
+    for (i, rule) in rules.iter().enumerate() {
+        let at = format!("rules[{i}]");
+        if rule.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("{at} lacks a string `name`"));
+        }
+        match rule.get("kind").and_then(Json::as_str) {
+            Some("latency" | "availability") => {}
+            other => return Err(format!("{at}: unknown kind {other:?}")),
+        }
+        let objective = rule
+            .get("objective_pct")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{at} lacks a numeric `objective_pct`"))?;
+        if !(objective > 0.0 && objective < 100.0) {
+            return Err(format!("{at}: objective_pct {objective} outside (0, 100)"));
+        }
+        let budget = rule
+            .get("budget_remaining_pct")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{at} lacks a numeric `budget_remaining_pct`"))?;
+        if !(0.0..=100.0).contains(&budget) {
+            return Err(format!("{at}: budget_remaining_pct {budget} outside [0, 100]"));
+        }
+        let entries =
+            rule.get("windows").and_then(|w| w.as_arr()).ok_or(format!("{at} lacks `windows`"))?;
+        if entries.is_empty() {
+            return Err(format!("{at}: empty `windows` array"));
+        }
+        for (j, w) in entries.iter().enumerate() {
+            let wat = format!("{at}.windows[{j}]");
+            let num = |field: &str| {
+                w.get(field)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("{wat} lacks a numeric `{field}`"))
+            };
+            if !(num("window_s")? >= 1.0) {
+                return Err(format!("{wat}: window_s is not positive"));
+            }
+            for field in ["good", "bad", "burn_rate"] {
+                if num(field)? < 0.0 {
+                    return Err(format!("{wat}: `{field}` is negative"));
+                }
+            }
+            windows += 1;
+        }
+    }
+    Ok(format!("{} rules, {windows} windows", rules.len()))
 }
 
 /// A Chrome trace-event document: every event carries the required

@@ -72,6 +72,7 @@ pub mod export;
 pub mod flight;
 pub mod ring;
 pub mod sampler;
+pub mod tsdb;
 pub mod window;
 
 pub use ring::EventRing;
@@ -356,9 +357,10 @@ pub fn window_record(name: &str, value: u64) {
         .record_at(second, value);
 }
 
-/// Clears every span, counter, gauge, histogram and rolling window, and
-/// invalidates outstanding [`SpanGuard`]s (they become inert rather than
-/// writing into recycled slots).
+/// Clears every span, counter, gauge, histogram and rolling window
+/// (plus the [`tsdb`] series sampled from them), and invalidates
+/// outstanding [`SpanGuard`]s (they become inert rather than writing
+/// into recycled slots).
 pub fn reset() {
     let mut reg = registry().lock().unwrap();
     reg.generation += 1;
@@ -368,6 +370,8 @@ pub fn reset() {
     reg.hists.clear();
     reg.gauges.clear();
     reg.windows.clear();
+    drop(reg);
+    tsdb::reset();
 }
 
 /// A fixed-bucket log2 histogram: `count`/`sum`/`max` plus

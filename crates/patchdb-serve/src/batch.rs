@@ -202,12 +202,17 @@ fn fulfill(serve: &LoopShared, score: f64, mut ticket: IdentifyTicket) {
     let response = identify_response(score);
     ticket.rec.endpoint = "identify";
     ticket.rec.status = response.status;
+    let head = render_head(
+        &response,
+        !ticket.close_after,
+        Some((ticket.rec.id, &ticket.rec.trace)),
+    );
     serve.complete(Completion {
         slot: ticket.slot,
         generation: ticket.generation,
         seq: ticket.seq,
         started: ticket.started,
-        head: render_head(&response, !ticket.close_after),
+        head,
         body: response.body,
         rec: ticket.rec,
         close_after: ticket.close_after,
@@ -269,8 +274,13 @@ fn run(shared: &Shared) {
         }
         for (generation, jobs) in groups {
             let rows: Vec<Vec<f64>> = jobs.iter().map(|(r, _)| r.clone()).collect();
-            let scores = generation.index.score_rows(&rows);
-            for ((_, ticket), score) in jobs.into_iter().zip(scores) {
+            let (scores, shard_ns) = generation.index.score_rows_traced(&rows);
+            for ((_, mut ticket), score) in jobs.into_iter().zip(scores) {
+                // Every row in the group shares one scatter-gather, so
+                // each request's trace carries the same per-shard spans.
+                if crate::tracing_enabled() {
+                    ticket.rec.shards = shard_ns.clone();
+                }
                 fulfill(&shared.serve, score, ticket);
             }
         }

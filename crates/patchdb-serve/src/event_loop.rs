@@ -264,6 +264,9 @@ pub(crate) struct EventLoop {
     reload: Option<ReloadSource>,
     /// Shard count for SIGHUP rebuilds.
     shards: usize,
+    /// Last process second the tsdb sampler and SLO evaluation ran for;
+    /// the loop drives both once per second from its own thread.
+    last_sampled_s: u64,
 }
 
 impl EventLoop {
@@ -305,6 +308,7 @@ impl EventLoop {
             handle,
             reload: config.reload_source(),
             shards: config.shards.max(1),
+            last_sampled_s: u64::MAX,
         }
     }
 
@@ -362,6 +366,16 @@ impl EventLoop {
             }
 
             let timeout = self.wheel.next_timeout_ms(Instant::now());
+            // With the tracing layer on, the loop must wake at least
+            // once per second so the tsdb sampler and SLO evaluation
+            // tick even on an idle server — history with holes reads as
+            // an outage. One spurious wake per idle second is noise next
+            // to the timer wheel's 50 ms granularity under any load.
+            let timeout = if crate::tracing_enabled() {
+                if timeout < 0 { 1000 } else { timeout.min(1000) }
+            } else {
+                timeout
+            };
             if let Some(t) = work_started.take() {
                 obs::hist_record("serve.loop.work_ns", elapsed_ns(t));
             }
@@ -383,6 +397,15 @@ impl EventLoop {
             // Completions are drained unconditionally — a waker byte can
             // coalesce behind socket traffic.
             self.drain_completions();
+            // Once per process second: sample every registry metric into
+            // the tsdb and re-evaluate the SLO burn rates. Runs on the
+            // loop thread so no extra thread exists just to observe.
+            let now_s = obs::process_second();
+            if crate::tracing_enabled() && now_s != self.last_sampled_s {
+                self.last_sampled_s = now_s;
+                obs::tsdb::sample_registry(now_s);
+                self.telemetry.slo().publish_gauges(now_s);
+            }
             // SIGHUP lands here: the handler wrote a byte to the same
             // self-pipe, so the poll woke up and the flag is fresh. The
             // rebuild runs on its own thread — the loop (and every
@@ -610,12 +633,13 @@ impl EventLoop {
         rec.endpoint = endpoint;
         rec.status = 503;
         let response = Response::overloaded(1);
+        let head = render_head(&response, false, Some((rec.id, &rec.trace)));
         self.deliver_local(Completion {
             slot,
             generation,
             seq,
             started,
-            head: render_head(&response, false),
+            head,
             body: response.body,
             rec,
             close_after: true,
@@ -762,9 +786,18 @@ impl EventLoop {
                     rec.method = parsed.request.method.clone();
                     rec.path = parsed.request.path.clone();
                     rec.parse_ns = elapsed_ns(started).saturating_sub(accept_ns);
+                    if let Some(trace) = parsed.trace {
+                        rec.trace = trace;
+                        rec.trace_supplied = true;
+                    }
                     obs::gauge_add("serve.inflight", 1);
                     obs::gauge_add("serve.queue_depth", 1);
                     let rec_id = rec.id;
+                    // Pin the index generation at admission: this
+                    // request answers from this exact index/cache no
+                    // matter when a swap lands.
+                    let index_gen = self.handle.load();
+                    rec.generation = index_gen.number;
                     let work = Work {
                         request: parsed.request,
                         slot,
@@ -775,10 +808,7 @@ impl EventLoop {
                         close_after,
                         enqueued: Instant::now(),
                         rec,
-                        // Pin the index generation at admission: this
-                        // request answers from this exact index/cache no
-                        // matter when a swap lands.
-                        index_gen: self.handle.load(),
+                        index_gen,
                     };
                     if let Err(refused) = self.queue.try_push(work) {
                         // Admission backpressure: shed this request with
@@ -791,13 +821,18 @@ impl EventLoop {
                         conn.close_after = Some(seq);
                         work.rec.endpoint = "shed";
                         work.rec.status = 503;
-                        let response = Response::overloaded(1);
+                        let mut response = Response::overloaded(1);
+                        if work.rec.trace_supplied {
+                            response = response.with_trace(&work.rec.trace);
+                        }
+                        let head =
+                            render_head(&response, false, Some((work.rec.id, &work.rec.trace)));
                         self.deliver_local(Completion {
                             slot,
                             generation,
                             seq,
                             started: work.started,
-                            head: render_head(&response, false),
+                            head,
                             body: response.body,
                             rec: work.rec,
                             close_after: true,
@@ -828,12 +863,13 @@ impl EventLoop {
                     let response = frame_error.response();
                     rec.status = response.status;
                     obs::gauge_add("serve.inflight", 1);
+                    let head = render_head(&response, false, Some((rec.id, &rec.trace)));
                     self.deliver_local(Completion {
                         slot,
                         generation,
                         seq,
                         started,
-                        head: render_head(&response, false),
+                        head,
                         body: response.body,
                         rec,
                         close_after: true,

@@ -95,6 +95,11 @@ impl IndexHandle {
         obs::gauge_set("serve.identify.cache_entries", 0);
         obs::gauge_set("serve.identify.cache_bytes", 0);
         obs::flight::record(obs::flight::FlightKind::Counter, "serve.index.swap", number);
+        // Stamp the swap into the time-series store immediately — an
+        // idle server's next per-second sample could be up to a second
+        // away, and swap-vs-latency correlation is the point of the
+        // generation series.
+        obs::tsdb::record_at("serve.index.generation", obs::process_second(), number as f64);
         number
     }
 }

@@ -42,6 +42,26 @@ pub(crate) struct ParsedRequest {
     /// Whether the client asked (or defaulted) to keep the connection
     /// open after this exchange.
     pub keep_alive: bool,
+    /// A client-supplied `X-Patchdb-Trace-Id` header value, when present
+    /// and well-formed (see [`valid_trace_id`]). `None` means the server
+    /// derives a trace id from the admission-ordered request id.
+    pub trace: Option<String>,
+}
+
+/// Longest accepted client-supplied trace id. Anything longer (or with
+/// non-token characters) is ignored rather than echoed — a trace id
+/// rides in response headers, the access log, and JSON documents, so it
+/// must never carry framing or quoting characters.
+pub(crate) const MAX_TRACE_ID_BYTES: usize = 64;
+
+/// Whether a client-supplied trace id is safe to echo: 1–64 bytes of
+/// ASCII alphanumerics plus `-`, `_`, `.`, `:`.
+pub(crate) fn valid_trace_id(value: &str) -> bool {
+    !value.is_empty()
+        && value.len() <= MAX_TRACE_ID_BYTES
+        && value
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':'))
 }
 
 /// A framing violation. The connection is answered and then closed —
@@ -83,6 +103,7 @@ struct PendingBody {
     method: String,
     path: String,
     keep_alive: bool,
+    trace: Option<String>,
 }
 
 /// Incremental request framer. Feed bytes as they arrive, then drain
@@ -163,6 +184,7 @@ impl RequestParser {
         Ok(Some(ParsedRequest {
             request: Request { method: pending.method, path: pending.path, body },
             keep_alive: pending.keep_alive,
+            trace: pending.trace,
         }))
     }
 
@@ -211,6 +233,7 @@ fn parse_head(head: &[u8]) -> Result<PendingBody, FrameError> {
     // HTTP/1.1 keeps the connection open unless told otherwise;
     // HTTP/1.0 closes it unless told otherwise.
     let mut keep_alive = version != "HTTP/1.0";
+    let mut trace = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
@@ -226,6 +249,13 @@ fn parse_head(head: &[u8]) -> Result<PendingBody, FrameError> {
                 } else if value.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
                 }
+            } else if name.eq_ignore_ascii_case("x-patchdb-trace-id") {
+                // A malformed trace id is ignored, not rejected: tracing
+                // is advisory and must never fail a request.
+                let value = value.trim();
+                if valid_trace_id(value) {
+                    trace = Some(value.to_owned());
+                }
             }
         }
     }
@@ -238,6 +268,7 @@ fn parse_head(head: &[u8]) -> Result<PendingBody, FrameError> {
         method: method.to_ascii_uppercase(),
         path: path.to_owned(),
         keep_alive,
+        trace,
     })
 }
 
@@ -253,6 +284,10 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Seconds for a `Retry-After` header (`503` shedding responses).
     pub retry_after: Option<u32>,
+    /// The `(code, message)` behind an error envelope, retained so
+    /// [`Response::with_trace`] can re-render the body with a client's
+    /// trace id without re-parsing JSON. `None` for success bodies.
+    pub(crate) error_parts: Option<(String, String)>,
 }
 
 impl Response {
@@ -263,6 +298,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             retry_after: None,
+            error_parts: None,
         }
     }
 
@@ -274,6 +310,7 @@ impl Response {
             content_type: "text/plain; version=0.0.4",
             body: body.into().into_bytes(),
             retry_after: None,
+            error_parts: None,
         }
     }
 
@@ -284,6 +321,7 @@ impl Response {
             content_type: "application/json",
             body: (json.to_compact_string() + "\n").into_bytes(),
             retry_after: None,
+            error_parts: None,
         }
     }
 
@@ -294,16 +332,43 @@ impl Response {
     /// library error caused the failure; `message` is human-readable
     /// detail.
     pub fn error(status: u16, code: &str, message: impl Into<String>) -> Response {
-        Response::json(
+        let message = message.into();
+        let mut r = Response::json(
             status,
             &Json::Obj(vec![(
                 "error".into(),
                 Json::Obj(vec![
                     ("code".into(), Json::Str(code.to_owned())),
-                    ("message".into(), Json::Str(message.into())),
+                    ("message".into(), Json::Str(message.clone())),
                 ]),
             )]),
-        )
+        );
+        r.error_parts = Some((code.to_owned(), message));
+        r
+    }
+
+    /// Re-renders an error envelope with the client's trace id as a
+    /// `trace_id` field: `{"error":{"code":...,"message":...,
+    /// "trace_id":...}}`. Only applied when the client *supplied* the
+    /// trace id — server-derived ids stay out of bodies so that the
+    /// byte-determinism contract (identical bodies across transports,
+    /// worker counts, and replays) holds for headerless clients. A
+    /// success body is returned unchanged.
+    pub fn with_trace(mut self, trace: &str) -> Response {
+        if let Some((code, message)) = &self.error_parts {
+            self.body = (Json::Obj(vec![(
+                "error".into(),
+                Json::Obj(vec![
+                    ("code".into(), Json::Str(code.clone())),
+                    ("message".into(), Json::Str(message.clone())),
+                    ("trace_id".into(), Json::Str(trace.to_owned())),
+                ]),
+            )])
+            .to_compact_string()
+                + "\n")
+                .into_bytes();
+        }
+        self
     }
 
     /// The `503` load-shedding response with its `Retry-After` hint.
@@ -333,7 +398,17 @@ impl Response {
 /// body follows verbatim; only the `Connection` value varies between
 /// keep-alive and close, so bodies and header shape are byte-identical
 /// to the close-per-request protocol.
-pub(crate) fn render_head(response: &Response, keep_alive: bool) -> Vec<u8> {
+///
+/// `ids` carries the admission-ordered request id and the trace id,
+/// emitted as `X-Patchdb-Request-Id` / `X-Patchdb-Trace-Id`. Every
+/// production path passes `Some` — even sheds and framing errors get an
+/// id, so any response a client holds can be correlated with
+/// `/debug/requests` and `/debug/trace/<id>`.
+pub(crate) fn render_head(
+    response: &Response,
+    keep_alive: bool,
+    ids: Option<(u64, &str)>,
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
@@ -342,6 +417,10 @@ pub(crate) fn render_head(response: &Response, keep_alive: bool) -> Vec<u8> {
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    if let Some((id, trace)) = ids {
+        head.push_str(&format!("X-Patchdb-Request-Id: {id}\r\n"));
+        head.push_str(&format!("X-Patchdb-Trace-Id: {trace}\r\n"));
+    }
     if let Some(secs) = response.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
     }
@@ -527,7 +606,7 @@ mod tests {
 
     #[test]
     fn response_wire_format_round_trips() {
-        let mut out = render_head(&Response::overloaded(1), false);
+        let mut out = render_head(&Response::overloaded(1), false, None);
         out.extend_from_slice(&Response::overloaded(1).body);
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
@@ -542,9 +621,9 @@ mod tests {
         );
 
         // Keep-alive only flips the Connection value, nothing else.
-        let ka = String::from_utf8(render_head(&Response::text(200, "ok\n"), true)).unwrap();
+        let ka = String::from_utf8(render_head(&Response::text(200, "ok\n"), true, None)).unwrap();
         assert!(ka.contains("Connection: keep-alive\r\n"), "{ka}");
-        let cl = String::from_utf8(render_head(&Response::text(200, "ok\n"), false)).unwrap();
+        let cl = String::from_utf8(render_head(&Response::text(200, "ok\n"), false, None)).unwrap();
         assert_eq!(
             ka.replace("Connection: keep-alive", "Connection: close"),
             cl,
@@ -555,7 +634,59 @@ mod tests {
     #[test]
     fn reason_covers_431() {
         let r = Response::text(431, "x");
-        let head = String::from_utf8(render_head(&r, false)).unwrap();
+        let head = String::from_utf8(render_head(&r, false, None)).unwrap();
         assert!(head.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"), "{head}");
+    }
+
+    #[test]
+    fn ids_render_as_patchdb_headers_before_retry_after() {
+        let head =
+            String::from_utf8(render_head(&Response::overloaded(2), true, Some((7, "abc-1"))))
+                .unwrap();
+        assert!(
+            head.contains(
+                "Connection: keep-alive\r\nX-Patchdb-Request-Id: 7\r\n\
+                 X-Patchdb-Trace-Id: abc-1\r\nRetry-After: 2\r\n"
+            ),
+            "{head}"
+        );
+    }
+
+    #[test]
+    fn trace_header_is_captured_when_valid_and_ignored_otherwise() {
+        let with = parse("GET / HTTP/1.1\r\nX-Patchdb-Trace-Id: req_42.a:b\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(with.trace.as_deref(), Some("req_42.a:b"));
+        // Case-insensitive header name, surrounding whitespace trimmed.
+        let cased =
+            parse("GET / HTTP/1.1\r\nx-patchdb-TRACE-id:  t1 \r\n\r\n").unwrap().unwrap();
+        assert_eq!(cased.trace.as_deref(), Some("t1"));
+
+        let none = parse("GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(none.trace, None);
+        // Quoting/framing characters and oversized values are dropped,
+        // never echoed.
+        let bad = parse("GET / HTTP/1.1\r\nX-Patchdb-Trace-Id: a\"b\r\n\r\n").unwrap().unwrap();
+        assert_eq!(bad.trace, None);
+        let long = format!(
+            "GET / HTTP/1.1\r\nX-Patchdb-Trace-Id: {}\r\n\r\n",
+            "a".repeat(MAX_TRACE_ID_BYTES + 1)
+        );
+        assert_eq!(parse(&long).unwrap().unwrap().trace, None);
+        assert!(valid_trace_id(&"a".repeat(MAX_TRACE_ID_BYTES)));
+        assert!(!valid_trace_id(""));
+    }
+
+    #[test]
+    fn with_trace_extends_error_envelopes_only() {
+        let err = Response::error(404, "not_found", "no such path").with_trace("t-9");
+        assert_eq!(
+            String::from_utf8(err.body).unwrap(),
+            "{\"error\":{\"code\":\"not_found\",\"message\":\"no such path\",\
+             \"trace_id\":\"t-9\"}}\n"
+        );
+        let ok = Response::text(200, "ok\n").with_trace("t-9");
+        assert_eq!(ok.body, b"ok\n", "success bodies never grow a trace id");
     }
 }

@@ -26,6 +26,9 @@
 //! | `/debug/slow`        | GET    | slow-request exemplars above `--slow-ms`        |
 //! | `/debug/flight`      | GET    | recent flight-recorder journal as a Chrome trace|
 //! | `/debug/profile`     | GET    | sampling profile (`?seconds=&hz=`), folded stacks|
+//! | `/debug/trace/<id>`  | GET    | one request by trace id: stages, shards, cache  |
+//! | `/debug/timeseries`  | GET    | per-second metric history (`?metric=&secs=`)    |
+//! | `/debug/slo`         | GET    | objectives, multi-window burn rates, budgets    |
 //!
 //! Every GET endpoint also answers HEAD with the same headers
 //! (`Content-Length` included) and an empty body; `/metrics` is served
@@ -106,6 +109,7 @@ mod http;
 mod index;
 mod server;
 mod shard;
+mod slo;
 mod snapshot;
 mod telemetry;
 
@@ -115,3 +119,24 @@ pub use index::{ScanMatch, ScanOutcome, ServeIndex};
 pub use server::{ServeConfig, Server};
 pub use shard::ShardedIndex;
 pub use snapshot::Snapshot;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-global gate over the tracing/tsdb/SLO layer (default on).
+/// Mirrors the PR 8 pattern for the flight recorder and sampler: a
+/// relaxed atomic read on the hot path, flippable live so a bench can
+/// price the layer with paired off/on drives on one server. Gates only
+/// *observation* — trace-ring pushes, per-shard attribution, registry
+/// sampling, SLO accounting. Response bytes never change; the
+/// `X-Patchdb-*` correlation headers are always emitted.
+static TRACING: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the tracing/tsdb/SLO observation layer.
+pub fn set_tracing(enabled: bool) {
+    TRACING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the tracing/tsdb/SLO observation layer is currently on.
+pub(crate) fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}

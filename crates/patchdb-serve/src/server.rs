@@ -109,6 +109,20 @@ pub struct ServeConfig {
     /// generation from. `None` (and no `snapshot`) disables live
     /// reload: `/admin/reload` answers `409` and SIGHUP is ignored.
     pub reload: Option<ReloadSource>,
+    /// Whether the tracing/tsdb/SLO layer observes: trace-ring pushes,
+    /// per-shard attribution, per-second registry sampling, and SLO
+    /// accounting. Purely observational — response bytes are identical
+    /// either way, and the `X-Patchdb-*` headers are always emitted.
+    pub tracing: bool,
+    /// Per-series retention of the embedded metrics time-series store,
+    /// in seconds of one-second samples.
+    pub tsdb_retention_s: usize,
+    /// The identify-latency SLO threshold: an identify request is
+    /// "good" when its total latency is at most this many milliseconds.
+    pub slo_identify_p99_ms: u64,
+    /// The availability objective as a percentage of responses that
+    /// must be non-5xx (e.g. `99.9`).
+    pub slo_availability_pct: f64,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +146,10 @@ impl Default for ServeConfig {
             shards: 1,
             snapshot: None,
             reload: None,
+            tracing: true,
+            tsdb_retention_s: 600,
+            slo_identify_p99_ms: 250,
+            slo_availability_pct: 99.9,
         }
     }
 }
@@ -246,6 +264,32 @@ impl ServeConfig {
         self
     }
 
+    /// Enables or disables the tracing/tsdb/SLO observation layer.
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Sets the time-series store retention in seconds (clamped to at
+    /// least 1).
+    pub fn tsdb_retention_s(mut self, secs: usize) -> Self {
+        self.tsdb_retention_s = secs.max(1);
+        self
+    }
+
+    /// Sets the identify-latency SLO threshold in milliseconds.
+    pub fn slo_identify_p99_ms(mut self, ms: u64) -> Self {
+        self.slo_identify_p99_ms = ms;
+        self
+    }
+
+    /// Sets the availability objective percentage (clamped into
+    /// `[50, 99.999]` so the error budget never degenerates).
+    pub fn slo_availability_pct(mut self, pct: f64) -> Self {
+        self.slo_availability_pct = pct.clamp(50.0, 99.999);
+        self
+    }
+
     /// The effective reload source: the explicit `reload` policy, else
     /// the boot snapshot.
     pub(crate) fn reload_source(&self) -> Option<ReloadSource> {
@@ -338,6 +382,11 @@ impl Server {
             obs::flight::install_panic_hook();
         }
         obs::sampler::set_mirroring(config.sampler);
+        // The correlation-and-objectives layer (PR 10): same contract as
+        // the recorder and sampler — flipping it never changes response
+        // bytes, only what gets observed.
+        crate::set_tracing(config.tracing);
+        obs::tsdb::set_retention_s(config.tsdb_retention_s);
         let telemetry = Arc::new(Telemetry::new(config)?);
 
         let handle: IndexHandle = index.into();
@@ -506,12 +555,20 @@ pub(crate) fn status_counter(status: u16) -> std::borrow::Cow<'static, str> {
 fn reply(work: Work, endpoint: &'static str, response: Response, ctx: &Ctx) {
     let mut rec = work.rec;
     rec.endpoint = endpoint;
+    // A *client-supplied* trace id is echoed into error-envelope bodies
+    // for correlation; derived ids stay header-only so bodies remain
+    // byte-identical for clients that sent no trace header.
+    let response = if response.status >= 400 && rec.trace_supplied {
+        response.with_trace(&rec.trace)
+    } else {
+        response
+    };
     rec.status = response.status;
     obs::counter_add(&status_counter(response.status), 1);
     // HEAD answers with the GET entity's headers (Content-Length
     // included, per RFC 9110) but no body — the head is rendered before
     // the body is dropped so the two stay consistent.
-    let head = render_head(&response, !work.close_after);
+    let head = render_head(&response, !work.close_after, Some((rec.id, &rec.trace)));
     let body = if work.request.method == "HEAD" { Vec::new() } else { response.body };
     ctx.shared.complete(Completion {
         slot: work.slot,
@@ -550,12 +607,14 @@ fn handle_work(mut work: Work, ctx: &Ctx) {
         let key = cache_key(&work.request.body);
         if let Some(score) = work.index_gen.cache.lookup(key, &work.request.body) {
             work.rec.compute_ns = elapsed_ns(started);
+            work.rec.cache = Some(true);
             obs::counter_add("serve.identify.requests", 1);
             obs::counter_add("serve.identify.cache_hits", 1);
             obs::hist_record("serve.identify.ns", elapsed_ns(started));
             reply(work, "identify", identify_response(score), ctx);
             return;
         }
+        work.rec.cache = Some(false);
         match parse_patch_body(&work.request) {
             Err(response) => {
                 work.rec.compute_ns = elapsed_ns(started);
@@ -589,7 +648,7 @@ fn handle_work(mut work: Work, ctx: &Ctx) {
     }
 
     let started = Instant::now();
-    let (endpoint, response) = dispatch(&work.request, &work.index_gen, ctx);
+    let (endpoint, response) = dispatch(&work.request, &work.index_gen, ctx, &mut work.rec);
     let dispatch_ns = elapsed_ns(started);
     work.rec.compute_ns = dispatch_ns;
     obs::counter_add(&format!("serve.{endpoint}.requests"), 1);
@@ -598,27 +657,51 @@ fn handle_work(mut work: Work, ctx: &Ctx) {
 }
 
 /// Routes one (non-identify) request against the generation it pinned
-/// at admission; returns the endpoint label the metrics use.
-fn dispatch(request: &Request, gen: &Generation, ctx: &Ctx) -> (&'static str, Response) {
+/// at admission; returns the endpoint label the metrics use. `rec` is
+/// the request's telemetry record — endpoints with per-shard fan-outs
+/// attach their shard timings to it.
+fn dispatch(
+    request: &Request,
+    gen: &Generation,
+    ctx: &Ctx,
+    rec: &mut RequestRecord,
+) -> (&'static str, Response) {
     let path = request.path.as_str();
     // HEAD routes exactly like GET; `reply` drops the body after the
     // head (Content-Length included) is rendered.
     let get = request.method == "GET" || request.method == "HEAD";
     let post = request.method == "POST";
     match path {
-        "/healthz" if get => {
-            ("healthz", Response::text(200, format!("ok gen={}\n", gen.number)))
-        }
+        "/healthz" if get => (
+            "healthz",
+            Response::text(
+                200,
+                format!("ok gen={} up={}\n", gen.number, ctx.telemetry.uptime_secs()),
+            ),
+        ),
         "/metrics" if get => {
             // Snapshot, not report(): counters/gauges/hists/windows only,
-            // no span-tree clone under the registry mutex.
-            ("metrics", Response::metrics(obs::metrics_snapshot().to_metrics_text()))
+            // no span-tree clone under the registry mutex. Uptime and
+            // build-info ride along as hand-rendered exposition lines —
+            // neither belongs in the registry (one is a clock, the other
+            // a constant).
+            let mut text = obs::metrics_snapshot().to_metrics_text();
+            text.push_str(&format!(
+                "# build\npatchdb_uptime_seconds {}\n",
+                ctx.telemetry.uptime_secs()
+            ));
+            text.push_str(&format!(
+                "patchdb_build_info{{version=\"{}\",snapshot_schema=\"patchdb-snapshot/v1\",\
+                 serve_bench_schema=\"patchdb-serve/v2\"}} 1\n",
+                env!("CARGO_PKG_VERSION")
+            ));
+            ("metrics", Response::metrics(text))
         }
         "/v1/stats" if get => {
             ("stats", Response::json(200, &gen.index.stats_json()))
         }
         "/v1/classify" if post => ("classify", classify(request, gen)),
-        "/v1/scan" if post => ("scan", scan(request, gen)),
+        "/v1/scan" if post => ("scan", scan(request, gen, rec)),
         "/admin/reload" if post => ("admin_reload", admin_reload(ctx)),
         _ if path.starts_with("/v1/patch/") && get => {
             let id = &path["/v1/patch/".len()..];
@@ -654,12 +737,73 @@ fn dispatch(request: &Request, gen: &Generation, ctx: &Ctx) -> (&'static str, Re
             let profile = obs::sampler::profile_for(Duration::from_secs(seconds), hz);
             ("debug_profile", Response::json(200, &profile.to_json()))
         }
+        _ if get && path.starts_with("/debug/trace/") => {
+            let trace = &path["/debug/trace/".len()..];
+            match ctx.telemetry.debug_trace_json(trace) {
+                Some(doc) => ("debug_trace", Response::json(200, &doc)),
+                None => (
+                    "debug_trace",
+                    Response::error(
+                        404,
+                        "not_found",
+                        "no retained request for that trace id",
+                    ),
+                ),
+            }
+        }
+        _ if get && (path == "/debug/timeseries" || path.starts_with("/debug/timeseries?")) => {
+            ("debug_timeseries", debug_timeseries(path))
+        }
+        "/debug/slo" if get => (
+            "debug_slo",
+            Response::json(200, &ctx.telemetry.slo().debug_json(obs::process_second())),
+        ),
         "/healthz" | "/metrics" | "/v1/stats" | "/v1/identify" | "/v1/classify"
         | "/v1/scan" | "/admin/reload" | "/debug/requests" | "/debug/slow"
-        | "/debug/flight" | "/debug/profile" => {
+        | "/debug/flight" | "/debug/profile" | "/debug/timeseries" | "/debug/slo" => {
+            ("other", Response::error(405, "method_not_allowed", "method not allowed"))
+        }
+        _ if path.starts_with("/debug/trace/") => {
             ("other", Response::error(405, "method_not_allowed", "method not allowed"))
         }
         _ => ("other", Response::error(404, "not_found", "unknown endpoint")),
+    }
+}
+
+/// `GET /debug/timeseries?metric=NAME&secs=N`: the named series over
+/// the trailing window as a `patchdb-timeseries/v1` document. `400`
+/// without a metric, `404` for a series the store never sampled.
+fn debug_timeseries(path: &str) -> Response {
+    let Some(metric) = query_param_str(path, "metric").filter(|m| !m.is_empty()) else {
+        return Response::error(400, "usage", "metric query parameter is required");
+    };
+    let secs = query_param(path, "secs").unwrap_or(60).max(1);
+    let now_s = obs::process_second();
+    match obs::tsdb::query(&metric, now_s, secs) {
+        None => Response::error(404, "not_found", format!("no such metric series: {metric}")),
+        Some(points) => Response::json(
+            200,
+            &Json::Obj(vec![
+                ("schema".into(), Json::Str("patchdb-timeseries/v1".into())),
+                ("metric".into(), Json::Str(metric)),
+                ("retention_s".into(), Json::Num(obs::tsdb::retention_s() as f64)),
+                ("now_s".into(), Json::Num(now_s as f64)),
+                (
+                    "points".into(),
+                    Json::Arr(
+                        points
+                            .into_iter()
+                            .map(|(s, v)| {
+                                Json::Obj(vec![
+                                    ("s".into(), Json::Num(s as f64)),
+                                    ("v".into(), Json::Num(v)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
     }
 }
 
@@ -692,11 +836,16 @@ fn admin_reload(ctx: &Ctx) -> Response {
 
 /// The integer value of `key=N` in the path's query string, if present.
 fn query_param(path: &str, key: &str) -> Option<u64> {
+    query_param_str(path, key).and_then(|v| v.parse().ok())
+}
+
+/// The raw string value of `key=...` in the path's query string.
+fn query_param_str(path: &str, key: &str) -> Option<String> {
     let (_, query) = path.split_once('?')?;
     query
         .split('&')
         .find_map(|pair| pair.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
-        .and_then(|v| v.parse().ok())
+        .map(str::to_owned)
 }
 
 /// How many records `/debug/requests` should return: the `n` query
@@ -728,11 +877,14 @@ fn classify(request: &Request, gen: &Generation) -> Response {
     }
 }
 
-fn scan(request: &Request, gen: &Generation) -> Response {
+fn scan(request: &Request, gen: &Generation, rec: &mut RequestRecord) -> Response {
     let Ok(target) = std::str::from_utf8(&request.body) else {
         return Response::error(400, "bad_request", "body is not UTF-8");
     };
-    let outcome = gen.index.scan(target);
+    let (outcome, shard_ns) = gen.index.scan_traced(target);
+    if crate::tracing_enabled() {
+        rec.shards = shard_ns;
+    }
     let matches = outcome
         .matches
         .iter()

@@ -20,12 +20,42 @@
 //!   only when the global total is exactly one.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use patch_core::Patch;
 use patchdb::PatchDb;
 use patchdb_rt::json::Json;
+use patchdb_rt::obs;
 
 use crate::index::{ScanOutcome, ServeIndex};
+use crate::telemetry::elapsed_ns;
+
+/// Banks the attribution for one real scatter-gather fan-out: the
+/// fan-out counter, one latency histogram per shard position, the
+/// scatter-imbalance histogram (slowest minus fastest — the number that
+/// says whether the contiguous partition is actually balanced), and one
+/// flight-journal span exit per shard. Gated on the tracing toggle;
+/// shard indices are stable across requests, so the per-position
+/// histograms read as "shard 2 is the slow one", not noise.
+fn record_fanout(op: &'static str, shard_ns: &[u64]) {
+    if !crate::tracing_enabled() || shard_ns.is_empty() {
+        return;
+    }
+    obs::counter_add("serve.shard.fanout", 1);
+    let mut fastest = u64::MAX;
+    let mut slowest = 0u64;
+    for (i, &ns) in shard_ns.iter().enumerate() {
+        obs::hist_record(&format!("serve.shard.{i}.ns"), ns);
+        obs::flight::record_dyn(
+            obs::flight::FlightKind::SpanExit,
+            &format!("serve.shard.{i}.{op}"),
+            ns,
+        );
+        fastest = fastest.min(ns);
+        slowest = slowest.max(ns);
+    }
+    obs::hist_record("serve.shard.imbalance_ns", slowest - fastest);
+}
 
 /// A logical index served by N deterministic shards. `N = 1` is the
 /// degenerate (and default) case: one shard holding everything.
@@ -109,42 +139,83 @@ impl ShardedIndex {
     /// global forest, so the gathered scores equal the 1-shard answer
     /// row for row.
     pub fn score_rows(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        self.score_rows_traced(rows).0
+    }
+
+    /// [`score_rows`](Self::score_rows) plus per-shard attribution: the
+    /// second element is each shard's compute nanoseconds in shard
+    /// order, empty when no real fan-out happened (single shard or the
+    /// tiny-batch fast path). Timings are wall clocks taken *inside*
+    /// each spawned scorer, so they exclude spawn/join overhead and sum
+    /// to at most the scatter's wall time times the shard count.
+    pub(crate) fn score_rows_traced(&self, rows: &[Vec<f64>]) -> (Vec<f64>, Vec<u64>) {
         if self.shards.len() == 1 || rows.len() < 2 {
-            return self.shards[0].score_rows(rows);
+            return (self.shards[0].score_rows(rows), Vec::new());
         }
+        let _scatter = obs::sampler::frame("serve.shard.score");
         let n = self.shards.len().min(rows.len());
         let per = rows.len().div_ceil(n);
-        std::thread::scope(|scope| {
+        let parts: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = rows
                 .chunks(per)
                 .zip(&self.shards)
-                .map(|(chunk, shard)| scope.spawn(move || shard.score_rows(chunk)))
+                .map(|(chunk, shard)| {
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        let scores = shard.score_rows(chunk);
+                        (scores, elapsed_ns(t))
+                    })
+                })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("shard scorer")).collect()
-        })
+            handles.into_iter().map(|h| h.join().expect("shard scorer")).collect()
+        });
+        let mut scores = Vec::with_capacity(rows.len());
+        let mut shard_ns = Vec::with_capacity(parts.len());
+        for (part, ns) in parts {
+            scores.extend(part);
+            shard_ns.push(ns);
+        }
+        record_fanout("score", &shard_ns);
+        (scores, shard_ns)
     }
 
     /// Scatter-gather scan: every shard tests its own signature range
     /// concurrently; matches concatenate in shard order, which by
     /// contiguity is exactly the unsharded signature order.
     pub fn scan(&self, target: &str) -> ScanOutcome {
+        self.scan_traced(target).0
+    }
+
+    /// [`scan`](Self::scan) plus per-shard attribution, shaped exactly
+    /// like [`score_rows_traced`](Self::score_rows_traced).
+    pub(crate) fn scan_traced(&self, target: &str) -> (ScanOutcome, Vec<u64>) {
         if self.shards.len() == 1 {
-            return self.shards[0].scan(target);
+            return (self.shards[0].scan(target), Vec::new());
         }
-        let partials: Vec<ScanOutcome> = std::thread::scope(|scope| {
+        let _scatter = obs::sampler::frame("serve.shard.scan");
+        let parts: Vec<(ScanOutcome, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|shard| scope.spawn(move || shard.scan(target)))
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        let outcome = shard.scan(target);
+                        (outcome, elapsed_ns(t))
+                    })
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard scanner")).collect()
         });
         let mut merged = ScanOutcome::default();
-        for p in partials {
+        let mut shard_ns = Vec::with_capacity(parts.len());
+        for (p, ns) in parts {
             merged.matches.extend(p.matches);
             merged.patched += p.patched;
+            shard_ns.push(ns);
         }
-        merged
+        record_fanout("scan", &shard_ns);
+        (merged, shard_ns)
     }
 
     /// The `/v1/stats` document, merged from per-shard raw counts and
@@ -248,5 +319,30 @@ mod tests {
                 "patch lookup diverged for {id}"
             );
         }
+    }
+
+    #[test]
+    fn traced_variants_attribute_each_shard_of_a_real_fanout() {
+        let one = ShardedIndex::single(built_index());
+        let four = ShardedIndex::from_index(built_index(), 4);
+        let db = PatchDb::build(&BuildOptions::tiny(5).synthesize(false)).db;
+        let rows: Vec<Vec<f64>> = db
+            .records()
+            .take(8)
+            .map(|r| one.weighted_features(&r.patch))
+            .collect();
+
+        let (scores, ns) = four.score_rows_traced(&rows);
+        assert_eq!(scores, one.score_rows(&rows));
+        assert_eq!(ns.len(), 4, "one timing per shard, in shard order");
+
+        let (_, single_ns) = one.score_rows_traced(&rows);
+        assert!(single_ns.is_empty(), "no fan-out, no attribution");
+        let (_, tiny_ns) = four.score_rows_traced(&rows[..1]);
+        assert!(tiny_ns.is_empty(), "tiny-batch fast path skips the scatter");
+
+        let (outcome, scan_ns) = four.scan_traced("int main() { return 0; }\n");
+        assert_eq!(outcome, one.scan("int main() { return 0; }\n"));
+        assert_eq!(scan_ns.len(), 4);
     }
 }

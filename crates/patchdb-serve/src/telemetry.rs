@@ -28,6 +28,7 @@ use patchdb_rt::json::Json;
 use patchdb_rt::obs::{self, EventRing};
 
 use crate::server::ServeConfig;
+use crate::slo::SloEngine;
 
 /// Nanoseconds elapsed since `t`, saturating into `u64`.
 pub(crate) fn elapsed_ns(t: Instant) -> u64 {
@@ -70,6 +71,21 @@ pub(crate) struct RequestRecord {
     pub compute_ns: u64,
     /// Response write + flush.
     pub write_ns: u64,
+    /// The trace id: a client-supplied `X-Patchdb-Trace-Id`, else the
+    /// admission id rendered as 16 hex digits.
+    pub trace: String,
+    /// Whether the client supplied the trace id. Only supplied ids are
+    /// echoed into error-envelope *bodies* — derived ids stay in
+    /// headers so bodies remain byte-deterministic for plain clients.
+    pub trace_supplied: bool,
+    /// The index generation pinned at admission (0 until pinned).
+    pub generation: u64,
+    /// Identify-cache outcome: `Some(true)` hit, `Some(false)` miss,
+    /// `None` when the request never consulted the cache.
+    pub cache: Option<bool>,
+    /// Per-shard compute nanoseconds for a scatter-gather fan-out, in
+    /// shard order; empty when the request ran single-shard.
+    pub shards: Vec<u64>,
 }
 
 impl RequestRecord {
@@ -89,6 +105,11 @@ impl RequestRecord {
             batch_ns: 0,
             compute_ns: 0,
             write_ns: 0,
+            trace: derived_trace(id),
+            trace_supplied: false,
+            generation: 0,
+            cache: None,
+            shards: Vec::new(),
         }
     }
 
@@ -104,12 +125,14 @@ impl RequestRecord {
     }
 
     fn fields(&self) -> Vec<(String, Json)> {
-        vec![
+        let mut fields = vec![
             ("id".into(), Json::Num(self.id as f64)),
+            ("trace".into(), Json::Str(self.trace.clone())),
             ("method".into(), Json::Str(self.method.clone())),
             ("path".into(), Json::Str(self.path.clone())),
             ("endpoint".into(), Json::Str(self.endpoint.into())),
             ("status".into(), Json::Num(self.status as f64)),
+            ("generation".into(), Json::Num(self.generation as f64)),
             ("total_ns".into(), Json::Num(self.total_ns as f64)),
             ("accept_ns".into(), Json::Num(self.accept_ns as f64)),
             ("queue_ns".into(), Json::Num(self.queue_ns as f64)),
@@ -117,7 +140,21 @@ impl RequestRecord {
             ("batch_ns".into(), Json::Num(self.batch_ns as f64)),
             ("compute_ns".into(), Json::Num(self.compute_ns as f64)),
             ("write_ns".into(), Json::Num(self.write_ns as f64)),
-        ]
+        ];
+        if let Some(hit) = self.cache {
+            let outcome = if hit { "hit" } else { "miss" };
+            fields.push(("cache".into(), Json::Str(outcome.into())));
+        }
+        if !self.shards.is_empty() {
+            fields.push((
+                "shards".into(),
+                Json::Arr(self.shards.iter().map(|&ns| Json::Num(ns as f64)).collect()),
+            ));
+            let max = self.shards.iter().copied().max().unwrap_or(0);
+            let min = self.shards.iter().copied().min().unwrap_or(0);
+            fields.push(("shard_imbalance_ns".into(), Json::Num((max - min) as f64)));
+        }
+        fields
     }
 
     /// The `/debug/requests` and `/debug/slow` document for one record.
@@ -132,6 +169,14 @@ impl RequestRecord {
         fields.extend(self.fields());
         Json::Obj(fields)
     }
+}
+
+/// The server-derived trace id for an admission-ordered request id: 16
+/// hex digits, so derived and client-supplied ids are visually
+/// distinguishable and the mapping back to `/debug/requests` is
+/// trivial.
+pub(crate) fn derived_trace(id: u64) -> String {
+    format!("{id:016x}")
 }
 
 /// Capacity of the slow-request exemplar ring.
@@ -193,6 +238,11 @@ pub(crate) struct Telemetry {
     /// `ts_ms` is read under this lock so log lines are written with
     /// strictly non-decreasing timestamps even under worker contention.
     access: Option<Mutex<AccessSink>>,
+    /// Finished records addressable by trace id for `/debug/trace/<id>`.
+    /// Fed only while the tracing layer is on.
+    traces: EventRing<RequestRecord>,
+    /// The SLO burn-rate engine; every finished request feeds it.
+    slo: SloEngine,
 }
 
 impl Telemetry {
@@ -222,12 +272,26 @@ impl Telemetry {
             slow: EventRing::new(SLOW_RING),
             slow_ns: config.slow_ms.saturating_mul(1_000_000),
             access: access.map(Mutex::new),
+            traces: EventRing::new(config.debug_ring),
+            slo: SloEngine::new(config),
         })
     }
 
     /// The next request ID, in admission order.
     pub fn next_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Whole seconds since the server booted (for `/healthz` and the
+    /// `patchdb_uptime_seconds` gauge line).
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The SLO engine, for the event loop's per-second evaluation tick
+    /// and the `/debug/slo` document.
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
     }
 
     /// Banks one finished request: global windowed histograms and stage
@@ -259,7 +323,26 @@ impl Telemetry {
             obs::counter_add("serve.slow_requests", 1);
             self.slow.push(record.clone());
         }
+        if crate::tracing_enabled() {
+            self.slo.observe(&record);
+            self.traces.push(record.clone());
+        }
         self.ring.push(record);
+    }
+
+    /// The `GET /debug/trace/<id>` document for the most recent finished
+    /// request carrying `trace` — stage clocks, shard timings, cache
+    /// outcome, and pinned generation. `None` when no retained record
+    /// matches (never traced, or aged out of the ring).
+    pub fn debug_trace_json(&self, trace: &str) -> Option<Json> {
+        let records = self.traces.recent(self.traces.capacity());
+        let record = records.iter().rev().find(|r| r.trace == trace)?;
+        Some(Json::Obj(vec![
+            ("schema".into(), Json::Str("patchdb-trace-request/v1".into())),
+            ("trace_id".into(), Json::Str(record.trace.clone())),
+            ("supplied".into(), Json::Bool(record.trace_supplied)),
+            ("request".into(), record.to_json()),
+        ]))
     }
 
     /// The `GET /debug/requests` document: ring capacity/pressure plus
@@ -386,5 +469,88 @@ mod tests {
         let telemetry = Telemetry::new(&ServeConfig::default()).unwrap();
         let ids: Vec<u64> = (0..5).map(|_| telemetry.next_id()).collect();
         assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    /// A second rotation *replaces* `PATH.1` — the rename overwrites the
+    /// previous generation rather than appending to it, so `PATH.1`
+    /// never mixes two generations of lines.
+    #[test]
+    fn second_rotation_replaces_dot_one() {
+        let path = std::env::temp_dir()
+            .join(format!("patchdb_access_rot2_{}.jsonl", std::process::id()));
+        let path = path.to_str().unwrap().to_owned();
+        let rotated = format!("{path}.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+
+        let config = ServeConfig::default().access_log(&path).access_log_max_mb(1);
+        let telemetry = Telemetry::new(&config).unwrap();
+        // Small cap → the 40 lines rotate at least twice.
+        telemetry.access.as_ref().unwrap().lock().unwrap().max_bytes = 2_500;
+        for id in 1..=40 {
+            telemetry.observe(record(id, 1_000));
+        }
+        let written = telemetry.access.as_ref().unwrap().lock().unwrap().written;
+        assert!(written > 0, "sanity: the current file has bytes");
+
+        let text = std::fs::read_to_string(&rotated).unwrap();
+        let first_id = Json::parse(text.lines().next().unwrap())
+            .unwrap()
+            .get("id")
+            .and_then(Json::as_f64)
+            .unwrap() as u64;
+        assert!(first_id > 1, "PATH.1 still holds generation-one lines: replaced, not appended");
+        // And the retained pair still parses line-by-line with ascending
+        // contiguous ids — nothing was interleaved by the overwrite.
+        let mut ids = Vec::new();
+        for file in [&rotated, &path] {
+            for line in std::fs::read_to_string(file).unwrap().lines() {
+                ids.push(Json::parse(line).unwrap().get("id").and_then(Json::as_f64).unwrap()
+                    as u64);
+            }
+        }
+        let expect: Vec<u64> = (first_id..=40).collect();
+        assert_eq!(ids, expect, "PATH.1 + PATH must be one contiguous suffix of the stream");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+    }
+
+    #[test]
+    fn derived_trace_is_sixteen_hex_digits() {
+        assert_eq!(derived_trace(1), "0000000000000001");
+        assert_eq!(derived_trace(0xdead_beef), "00000000deadbeef");
+        let r = RequestRecord::admitted(7, 0);
+        assert_eq!(r.trace, "0000000000000007");
+        assert!(!r.trace_supplied);
+    }
+
+    #[test]
+    fn debug_trace_lookup_finds_latest_match() {
+        let telemetry = Telemetry::new(&ServeConfig::default()).unwrap();
+        let mut a = record(1, 500);
+        a.trace = "client-a".into();
+        a.trace_supplied = true;
+        a.generation = 3;
+        a.cache = Some(true);
+        a.shards = vec![100, 250, 50, 200];
+        telemetry.observe(a);
+        telemetry.observe(record(2, 500));
+
+        let doc = telemetry.debug_trace_json("client-a").expect("trace retained");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("patchdb-trace-request/v1"));
+        assert_eq!(doc.get("trace_id").and_then(Json::as_str), Some("client-a"));
+        let req = doc.get("request").unwrap();
+        assert_eq!(req.get("generation").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(req.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(
+            req.get("shards").and_then(|s| s.as_arr()).map(|s| s.len()),
+            Some(4)
+        );
+        assert_eq!(req.get("shard_imbalance_ns").and_then(Json::as_f64), Some(200.0));
+
+        // The derived trace of request 2 resolves too; a stranger 404s.
+        assert!(telemetry.debug_trace_json(&derived_trace(2)).is_some());
+        assert!(telemetry.debug_trace_json("no-such-trace").is_none());
     }
 }

@@ -97,6 +97,8 @@ answering byte-identically to a fresh build.
                      [--access-log PATH|-] [--slow-ms N]
                      [--keep-alive on|off] [--idle-timeout-ms N]
                      [--max-requests-per-conn N] [--max-conns N]
+                     [--tracing on|off] [--tsdb-retention-s N]
+                     [--slo-identify-p99-ms N] [--slo-availability-pct F]
 
   <FILE>              dataset JSON to index and serve (optional when
                       --snapshot is given)
@@ -129,16 +131,36 @@ answering byte-identically to a fresh build.
                       close a connection after N responses (default 0 = off)
   --max-conns N       concurrent-connection cap; over it new connections are
                       answered 503 and closed (default 10240)
+  --tracing on|off    request tracing, per-shard attribution, the embedded
+                      time-series store, and the SLO engine; responses are
+                      byte-identical either way except the documented
+                      X-Patchdb-* headers (default on)
+  --tsdb-retention-s N
+                      per-second metric samples kept per series by the
+                      embedded time-series ring (default 600)
+  --slo-identify-p99-ms N
+                      identify latency SLO threshold: a request slower than
+                      this burns error budget (default 250)
+  --slo-availability-pct F
+                      availability objective for the burn-rate engine,
+                      e.g. 99.9 (default 99.9, clamped to 50..=99.999)
 
 endpoints: POST /v1/identify /v1/classify /v1/scan /admin/reload,
            GET /v1/stats /v1/patch/<id> /healthz /metrics
            GET /debug/requests /debug/slow /debug/flight?ms=N
            GET /debug/profile?seconds=N&hz=N
+           GET /debug/trace/<id> /debug/timeseries?metric=M&secs=N
+           GET /debug/slo
 (every GET also answers HEAD with the same headers and no body)
+
+Every response carries X-Patchdb-Request-Id and X-Patchdb-Trace-Id; a
+client-sent X-Patchdb-Trace-Id is honored and echoed, and its trace is
+queryable at GET /debug/trace/<id> while it stays in the debug ring.
 
 POST /admin/reload (or SIGHUP) rebuilds the index from the boot source
 and atomically swaps it in; in-flight requests finish on the old
-generation. /healthz reports the served generation as `ok gen=N`."
+generation. /healthz reports the served generation and uptime as
+`ok gen=N up=S`."
         }
         _ => return None,
     })
@@ -574,6 +596,28 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 config = config.max_conns(parse_num(
                     value_after(&mut it, "--max-conns")?,
                     "--max-conns",
+                )?);
+            }
+            "--tracing" => {
+                config =
+                    config.tracing(parse_on_off(value_after(&mut it, "--tracing")?, "--tracing")?);
+            }
+            "--tsdb-retention-s" => {
+                config = config.tsdb_retention_s(parse_num(
+                    value_after(&mut it, "--tsdb-retention-s")?,
+                    "--tsdb-retention-s",
+                )?);
+            }
+            "--slo-identify-p99-ms" => {
+                config = config.slo_identify_p99_ms(parse_num(
+                    value_after(&mut it, "--slo-identify-p99-ms")?,
+                    "--slo-identify-p99-ms",
+                )?);
+            }
+            "--slo-availability-pct" => {
+                config = config.slo_availability_pct(parse_num(
+                    value_after(&mut it, "--slo-availability-pct")?,
+                    "--slo-availability-pct",
                 )?);
             }
             other if other.starts_with('-') => {

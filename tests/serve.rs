@@ -5,7 +5,9 @@
 //! half-close, mid-pipeline hangup), a 10k-idle-connection soak,
 //! graceful-drain shutdown, metrics monotonicity, request-scoped
 //! telemetry (stage clocks, debug rings, access log), failure-mode
-//! classification, and worker-count/transport-mode determinism.
+//! classification, worker-count/transport-mode determinism, and the
+//! tracing surface (X-Patchdb id headers, /debug/trace lookup,
+//! per-shard attribution, the time-series store, and the SLO engine).
 //!
 //! The tiny dataset is built exactly once, before any server starts:
 //! `PatchDb::build` resets the global `rt::obs` registry when tracing is
@@ -47,7 +49,12 @@ fn endpoints_round_trip_on_loopback() {
     let db = shared_db();
 
     let health = client::request(addr, "GET", "/healthz", b"").unwrap();
-    assert_eq!((health.status, health.body_text().as_str()), (200, "ok gen=1\n"));
+    assert_eq!(health.status, 200);
+    assert!(
+        health.body_text().starts_with("ok gen=1 up="),
+        "healthz body: {}",
+        health.body_text()
+    );
 
     let stats = client::request(addr, "GET", "/v1/stats", b"").unwrap();
     assert_eq!(stats.status, 200);
@@ -164,7 +171,7 @@ fn graceful_shutdown_drains_admitted_work() {
         stream.read_to_end(&mut raw).unwrap_or_else(|e| panic!("{name}: {e}"));
         let text = String::from_utf8_lossy(&raw);
         assert!(
-            text.starts_with("HTTP/1.1 200") && text.ends_with("ok gen=1\n"),
+            text.starts_with("HTTP/1.1 200") && text.contains("ok gen=1 up="),
             "{name} was not drained: {text}"
         );
     }
@@ -523,7 +530,8 @@ fn keep_alive_reuses_one_connection_and_honors_the_request_cap() {
     let mut ka = Client::connect(addr, Duration::from_secs(10)).unwrap();
     for _ in 0..3 {
         let reply = ka.send("GET", "/healthz", b"").unwrap();
-        assert_eq!((reply.status, reply.body_text().as_str()), (200, "ok gen=1\n"));
+        assert_eq!(reply.status, 200);
+        assert!(reply.body_text().starts_with("ok gen=1 up="), "{}", reply.body_text());
     }
     // The third response carried `Connection: close` and the server hung
     // up; a fourth exchange on the same socket must fail.
@@ -622,7 +630,7 @@ fn half_closed_pipeline_still_gets_all_responses() {
         3,
         "half-closed pipeline answered: {text}"
     );
-    assert_eq!(text.matches("ok gen=1\n").count(), 3, "{text}");
+    assert_eq!(text.matches("ok gen=1 up=").count(), 3, "{text}");
     server.shutdown();
 }
 
@@ -675,7 +683,7 @@ fn trickled_request_bytes_still_complete() {
     stream.read_to_end(&mut raw).expect("trickled request answered");
     let text = String::from_utf8_lossy(&raw);
     assert!(text.starts_with("HTTP/1.1 200"), "trickle got: {text}");
-    assert!(text.ends_with("ok gen=1\n"), "trickle body: {text}");
+    assert!(text.contains("ok gen=1 up="), "trickle body: {text}");
     server.shutdown();
 }
 
@@ -696,7 +704,8 @@ fn mid_pipeline_hangup_leaves_the_server_healthy() {
     std::thread::sleep(Duration::from_millis(200));
 
     let health = client::request(addr, "GET", "/healthz", b"").unwrap();
-    assert_eq!((health.status, health.body_text().as_str()), (200, "ok gen=1\n"));
+    assert_eq!(health.status, 200);
+    assert!(health.body_text().starts_with("ok gen=1 up="), "{}", health.body_text());
     server.shutdown();
 }
 
@@ -1083,6 +1092,20 @@ fn assert_servers_identical(
     for (method, path, body) in &requests {
         let ra = client::request(a, method, path, body).unwrap();
         let rb = client::request(b, method, path, body).unwrap();
+        if path == "/healthz" {
+            // The uptime stamp is wall-clock relative to each server's
+            // own start; compare everything before ` up=`.
+            let cut = |body: &[u8]| {
+                let text = String::from_utf8_lossy(body).into_owned();
+                text.split(" up=").next().unwrap_or_default().to_owned()
+            };
+            assert_eq!(
+                (ra.status, cut(&ra.body)),
+                (rb.status, cut(&rb.body)),
+                "{label}: {method} {path} diverged"
+            );
+            continue;
+        }
         assert_eq!(
             (ra.status, &ra.body),
             (rb.status, &rb.body),
@@ -1232,12 +1255,348 @@ fn reload_swaps_generations_under_live_traffic() {
 
     // The new generation is visible everywhere it is surfaced.
     let health = client::request(addr, "GET", "/healthz", b"").unwrap();
-    assert_eq!((health.status, health.body_text().as_str()), (200, "ok gen=4\n"));
+    assert_eq!(health.status, 200);
+    assert!(health.body_text().starts_with("ok gen=4 up="), "{}", health.body_text());
     let metrics = client::request(addr, "GET", "/metrics", b"").unwrap().body_text();
     assert_eq!(gauge_in(&metrics, "serve.index.generation"), Some(4));
     assert!(
         counter_in(&metrics, "serve.index.swaps") >= 3,
         "swap counter after three reloads: {metrics}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&db_path);
+}
+
+/// Like [`raw_close`] but with a request body and caller-chosen extra
+/// headers — the shape trace-propagation tests need.
+fn raw_exchange(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> (String, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n");
+    for (key, value) in extra {
+        head.push_str(&format!("{key}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read close-mode response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in {:?}", String::from_utf8_lossy(&raw)));
+    let head = String::from_utf8_lossy(&raw[..split]).to_string();
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.lines();
+    let status = lines.next().expect("status line").to_string();
+    let headers = lines
+        .map(|l| {
+            let (k, v) = l.split_once(": ").unwrap_or_else(|| panic!("bad header {l:?}"));
+            (k.to_ascii_lowercase(), v.to_string())
+        })
+        .collect();
+    (status, headers, body)
+}
+
+#[test]
+fn every_response_carries_request_and_trace_ids() {
+    let server = start(ephemeral().threads(1));
+    let addr = server.addr();
+
+    // Success, not-found, and method-error responses all carry both
+    // headers, and the derived trace id is the request id in 16 hex
+    // digits.
+    for (path, want) in [("/healthz", "200"), ("/v1/nope", "404"), ("/v1/identify", "405")] {
+        let (status, headers, _) = raw_close(addr, "GET", path);
+        assert!(status.contains(want), "GET {path}: {status}");
+        let id: u64 = header(&headers, "x-patchdb-request-id")
+            .parse()
+            .unwrap_or_else(|_| panic!("GET {path}: request id is not an integer"));
+        assert!(id >= 1, "GET {path}: request id {id}");
+        let trace = header(&headers, "x-patchdb-trace-id");
+        assert_eq!(trace, format!("{id:016x}"), "GET {path}: derived trace shape");
+    }
+
+    // Ids are admission-ordered: a later request gets a larger id.
+    let (_, first, _) = raw_close(addr, "GET", "/healthz");
+    let (_, second, _) = raw_close(addr, "GET", "/healthz");
+    let a: u64 = header(&first, "x-patchdb-request-id").parse().unwrap();
+    let b: u64 = header(&second, "x-patchdb-request-id").parse().unwrap();
+    assert!(b > a, "request ids not increasing: {a} then {b}");
+    server.shutdown();
+}
+
+#[test]
+fn client_trace_ids_round_trip_and_are_queryable() {
+    // The tracing toggle is process-global; serialize with the test
+    // that switches it off.
+    let _guard = obs_lock().lock().unwrap();
+    let server = start(ephemeral().threads(1).debug_ring(64));
+    let addr = server.addr();
+
+    // A valid client trace id is echoed on the response...
+    let (status, headers, _) =
+        raw_exchange(addr, "GET", "/v1/stats", &[("X-Patchdb-Trace-Id", "it-trace-1")], b"");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(header(&headers, "x-patchdb-trace-id"), "it-trace-1");
+
+    // ...and its record is queryable by that id.
+    let reply = client::request(addr, "GET", "/debug/trace/it-trace-1", b"").unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let json = Json::parse(&reply.body_text()).expect("/debug/trace is JSON");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("patchdb-trace-request/v1")
+    );
+    assert_eq!(json.get("trace_id").and_then(Json::as_str), Some("it-trace-1"));
+    assert_eq!(json.get("supplied").and_then(Json::as_bool), Some(true));
+    let request = json.get("request").expect("embedded request record");
+    assert_eq!(request.get("path").and_then(Json::as_str), Some("/v1/stats"));
+    assert_eq!(request.get("generation").and_then(Json::as_f64), Some(1.0));
+    let total = request.get("total_ns").and_then(Json::as_f64).expect("total_ns");
+    let stages: f64 = ["accept_ns", "queue_ns", "parse_ns", "batch_ns", "compute_ns", "write_ns"]
+        .iter()
+        .map(|s| request.get(s).and_then(Json::as_f64).expect("stage"))
+        .sum();
+    assert!(stages <= total, "stages {stages} exceed total {total}");
+
+    // A client trace id is also echoed into the error envelope body.
+    let (status, _, body) = raw_exchange(
+        addr,
+        "POST",
+        "/v1/identify",
+        &[("X-Patchdb-Trace-Id", "it-trace-err")],
+        b"not a diff",
+    );
+    assert!(status.contains("400"), "{status}");
+    let envelope = Json::parse(&String::from_utf8_lossy(&body)).expect("error envelope");
+    assert_eq!(
+        envelope.get("error").and_then(|e| e.get("trace_id")).and_then(Json::as_str),
+        Some("it-trace-err")
+    );
+
+    // An invalid header value (spaces) is ignored: the response falls
+    // back to the derived id and never fails the request.
+    let (status, headers, _) =
+        raw_exchange(addr, "GET", "/healthz", &[("X-Patchdb-Trace-Id", "not valid!")], b"");
+    assert!(status.contains("200"), "{status}");
+    let id: u64 = header(&headers, "x-patchdb-request-id").parse().unwrap();
+    assert_eq!(header(&headers, "x-patchdb-trace-id"), format!("{id:016x}"));
+
+    // An unknown trace id is a 404 with the standard envelope.
+    let miss = client::request(addr, "GET", "/debug/trace/никогда", b"").unwrap();
+    assert_eq!(miss.status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn tracing_toggle_never_changes_response_bytes() {
+    let _guard = obs_lock().lock().unwrap();
+    let db = shared_db();
+    let record = db.nvd.first().expect("tiny build has NVD records");
+    let body = diff_body(record).into_bytes();
+    let requests: Vec<(&str, String, Vec<u8>)> = vec![
+        ("GET", "/healthz".into(), Vec::new()),
+        ("GET", "/v1/stats".into(), Vec::new()),
+        ("GET", "/v1/nope".into(), Vec::new()),
+        ("POST", "/v1/identify".into(), b"not a diff".to_vec()),
+        ("POST", "/v1/identify".into(), body.clone()),
+        ("POST", "/v1/classify".into(), body),
+    ];
+    // The tracing switch is process-global, so the two servers are
+    // driven one after the other: the whole `dark` conversation happens
+    // while tracing is off, then `lit`'s start() turns it back on. Both
+    // see the identical request sequence, so even the X-Patchdb ids
+    // match — the full response bytes must be equal.
+    let dark = start(ephemeral().threads(1).tracing(false));
+    let dark_replies: Vec<_> = requests
+        .iter()
+        .map(|(m, p, b)| raw_exchange(dark.addr(), m, p, &[], b))
+        .collect();
+    dark.shutdown();
+
+    let lit = start(ephemeral().threads(1));
+    for ((method, path, payload), want) in requests.iter().zip(&dark_replies) {
+        let got = raw_exchange(lit.addr(), method, path, &[], payload);
+        if path == "/healthz" {
+            assert_eq!(got.0, want.0, "{method} {path} status diverged");
+            continue; // the uptime stamp is wall-clock, not workload
+        }
+        assert_eq!(
+            &got, want,
+            "{method} {path}: response bytes differ between tracing off and on"
+        );
+    }
+    lit.shutdown();
+}
+
+#[test]
+fn four_shard_trace_attributes_per_shard_compute() {
+    let _guard = obs_lock().lock().unwrap();
+    let server = Server::start(
+        ShardedIndex::from_index(ServeIndex::build(shared_db().clone()), 4),
+        &ephemeral().threads(2).debug_ring(64),
+    )
+    .expect("server binds");
+    let addr = server.addr();
+
+    // A signature scan scatter-gathers across all four shards inside
+    // the request's compute stage.
+    let (status, _, _) = raw_exchange(
+        addr,
+        "POST",
+        "/v1/scan",
+        &[("X-Patchdb-Trace-Id", "shard-trace-1")],
+        b"void unrelated(void) { }\n",
+    );
+    assert!(status.contains("200"), "{status}");
+
+    let reply = client::request(addr, "GET", "/debug/trace/shard-trace-1", b"").unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let json = Json::parse(&reply.body_text()).unwrap();
+    let request = json.get("request").expect("request record");
+    let shards = request.get("shards").and_then(Json::as_arr).expect("per-shard spans");
+    assert_eq!(shards.len(), 4, "one span per shard: {}", reply.body_text());
+    let spans: Vec<f64> = shards.iter().map(|s| s.as_f64().expect("span ns")).collect();
+    let compute = request.get("compute_ns").and_then(Json::as_f64).expect("compute_ns");
+    let sum: f64 = spans.iter().sum();
+    assert!(
+        sum <= compute,
+        "shard spans sum to {sum} ns > compute stage {compute} ns"
+    );
+    let spread = spans.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - spans.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert_eq!(
+        request.get("shard_imbalance_ns").and_then(Json::as_f64),
+        Some(spread),
+        "imbalance must be the max-min spread of the recorded spans"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn debug_timeseries_and_slo_round_trip() {
+    let _guard = obs_lock().lock().unwrap();
+    let server = start(ephemeral().threads(2));
+    let addr = server.addr();
+    for _ in 0..4 {
+        assert_eq!(client::request(addr, "GET", "/healthz", b"").unwrap().status, 200);
+    }
+    // The event loop samples the registry into the time-series store
+    // once per second; wait out two ticks so the series has points.
+    std::thread::sleep(Duration::from_millis(2500));
+
+    let reply = client::request(
+        addr,
+        "GET",
+        "/debug/timeseries?metric=serve.accepted&secs=60",
+        b"",
+    )
+    .unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body_text());
+    let json = Json::parse(&reply.body_text()).expect("/debug/timeseries is JSON");
+    assert_eq!(json.get("schema").and_then(Json::as_str), Some("patchdb-timeseries/v1"));
+    assert_eq!(json.get("metric").and_then(Json::as_str), Some("serve.accepted"));
+    let points = json.get("points").and_then(Json::as_arr).expect("points array");
+    assert!(!points.is_empty(), "no samples after two loop ticks");
+    let mut last_s = f64::NEG_INFINITY;
+    for p in points {
+        let s = p.get("s").and_then(Json::as_f64).expect("second stamp");
+        assert!(s > last_s, "seconds not strictly increasing");
+        last_s = s;
+        assert!(p.get("v").and_then(Json::as_f64).expect("value") >= 0.0);
+    }
+
+    // Parameter errors are envelope errors, not panics.
+    assert_eq!(client::request(addr, "GET", "/debug/timeseries", b"").unwrap().status, 400);
+    assert_eq!(
+        client::request(addr, "GET", "/debug/timeseries?metric=no.such.series", b"")
+            .unwrap()
+            .status,
+        404
+    );
+
+    let slo = client::request(addr, "GET", "/debug/slo", b"").unwrap();
+    assert_eq!(slo.status, 200, "{}", slo.body_text());
+    let slo_json = Json::parse(&slo.body_text()).expect("/debug/slo is JSON");
+    assert_eq!(slo_json.get("schema").and_then(Json::as_str), Some("patchdb-slo/v1"));
+    let rules = slo_json.get("rules").and_then(Json::as_arr).expect("rules array");
+    let names: Vec<&str> =
+        rules.iter().filter_map(|r| r.get("name").and_then(Json::as_str)).collect();
+    assert!(names.contains(&"identify_latency_p99"), "{names:?}");
+    assert!(names.contains(&"availability"), "{names:?}");
+    for rule in rules {
+        let budget =
+            rule.get("budget_remaining_pct").and_then(Json::as_f64).expect("budget");
+        assert!((0.0..=100.0).contains(&budget), "budget {budget} out of range");
+        let windows = rule.get("windows").and_then(Json::as_arr).expect("windows");
+        assert_eq!(windows.len(), 2, "5m and 1h burn windows");
+        for w in windows {
+            assert!(w.get("burn_rate").and_then(Json::as_f64).expect("burn") >= 0.0);
+        }
+    }
+    // Only healthz traffic ran: nothing burned the availability budget.
+    let availability = rules
+        .iter()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some("availability"))
+        .unwrap();
+    assert_eq!(
+        availability.get("budget_remaining_pct").and_then(Json::as_f64),
+        Some(100.0),
+        "healthz-only traffic must not burn availability budget"
+    );
+
+    for path in ["/debug/timeseries", "/debug/slo", "/debug/trace/x"] {
+        assert_eq!(client::request(addr, "POST", path, b"").unwrap().status, 405, "{path}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn latency_windows_survive_a_reload() {
+    let _guard = obs_lock().lock().unwrap();
+    let db_path = std::env::temp_dir()
+        .join(format!("patchdb_window_reload_{}.json", std::process::id()));
+    std::fs::write(&db_path, shared_db().to_json().expect("dataset serializes")).unwrap();
+    let server = start(
+        ephemeral()
+            .threads(2)
+            .reload_from(ReloadSource::Dataset(db_path.display().to_string())),
+    );
+    let addr = server.addr();
+    for _ in 0..6 {
+        assert_eq!(client::request(addr, "GET", "/healthz", b"").unwrap().status, 200);
+    }
+    let window_count = |body: &str| {
+        body.lines()
+            .find_map(|l| {
+                l.strip_prefix(
+                    "patchdb_window_count{name=\"serve.request.total_ns\",window_s=\"60\"} ",
+                )
+            })
+            .and_then(|v| v.parse::<u64>().ok())
+            .expect("windowed request count in /metrics")
+    };
+    let before =
+        window_count(&client::request(addr, "GET", "/metrics", b"").unwrap().body_text());
+    assert!(before >= 6, "window missed the warm-up burst: {before}");
+
+    let reload = client::request(addr, "POST", "/admin/reload", b"").unwrap();
+    assert_eq!(reload.status, 200, "{}", reload.body_text());
+
+    // An index swap replaces the generation, never the telemetry: the
+    // 60 s latency window must still hold the pre-reload requests.
+    let after =
+        window_count(&client::request(addr, "GET", "/metrics", b"").unwrap().body_text());
+    assert!(
+        after >= before,
+        "60s window lost samples across a reload: {before} -> {after}"
     );
     server.shutdown();
     let _ = std::fs::remove_file(&db_path);
